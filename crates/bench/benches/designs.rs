@@ -1,0 +1,34 @@
+//! Design-construction and sampling benchmarks: Steiner systems, axiom
+//! verification, and the Monte-Carlo `P_k` estimate behind Fig. 4 and the
+//! statistical admission controller.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqos_decluster::sampling::optimal_retrieval_probabilities;
+use fqos_decluster::DesignTheoretic;
+use fqos_designs::steiner::steiner_triple_system;
+use std::hint::black_box;
+
+fn bench_designs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("designs");
+    for &v in &[9usize, 13, 33, 99] {
+        if steiner_triple_system(v).is_err() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("construct_sts", v), &v, |b, &v| {
+            b.iter(|| steiner_triple_system(black_box(v)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("verify_sts", v), &v, |b, &v| {
+            let d = steiner_triple_system(v).unwrap();
+            b.iter(|| black_box(&d).verify().unwrap())
+        });
+    }
+
+    let scheme = DesignTheoretic::paper_9_3_1();
+    group.bench_function("p_k_sampling_1k_trials", |b| {
+        b.iter(|| optimal_retrieval_probabilities(black_box(&scheme), 10, 1_000, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

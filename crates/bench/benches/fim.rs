@@ -1,0 +1,44 @@
+//! Miner micro-benchmarks — the Table IV pathway: time scaling of the three
+//! miners with database size and support.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqos_fim::{Apriori, Eclat, FpGrowth, PairMiner, TransactionDb};
+use std::hint::black_box;
+
+fn synthetic_db(transactions: usize, items: u32, tx_len: usize, seed: u64) -> TransactionDb {
+    let mut state = seed | 1;
+    let txs: Vec<Vec<u32>> = (0..transactions)
+        .map(|_| {
+            (0..tx_len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    // Skewed: square the uniform to concentrate on low ids.
+                    let u = ((state >> 33) % 1_000_000) as f64 / 1e6;
+                    (u * u * items as f64) as u32
+                })
+                .collect()
+        })
+        .collect();
+    TransactionDb::from_transactions(txs, items)
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fim");
+    for &(txs, support) in &[(1_000usize, 1u32), (1_000, 3), (10_000, 1), (10_000, 3)] {
+        let db = synthetic_db(txs, 2_000, 5, 99);
+        let id = format!("{txs}tx_s{support}");
+        group.bench_with_input(BenchmarkId::new("apriori", &id), &db, |b, db| {
+            b.iter(|| Apriori.mine_pairs(black_box(db), support))
+        });
+        group.bench_with_input(BenchmarkId::new("eclat", &id), &db, |b, db| {
+            b.iter(|| Eclat.mine_pairs(black_box(db), support))
+        });
+        group.bench_with_input(BenchmarkId::new("fp_growth", &id), &db, |b, db| {
+            b.iter(|| FpGrowth.mine_pairs(black_box(db), support))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Max-flow algorithm comparison on retrieval-shaped networks: Dinic vs
+//! Edmonds–Karp vs push–relabel, across request sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqos_maxflow::{dinic, edmonds_karp, push_relabel, FlowNetwork};
+use std::hint::black_box;
+
+/// Build a retrieval network: b blocks × 9 devices, 3 replicas each,
+/// device capacity ⌈b/9⌉.
+fn retrieval_network(b: usize, seed: u64) -> FlowNetwork {
+    let devices = 9;
+    let sink = b + devices + 1;
+    let mut net = FlowNetwork::new(sink + 1, 0, sink);
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as usize
+    };
+    for i in 0..b {
+        net.add_edge(0, 1 + i, 1);
+        let base = next() % devices;
+        for c in 0..3 {
+            net.add_edge(1 + i, 1 + b + (base + c * 3) % devices, 1);
+        }
+    }
+    let cap = b.div_ceil(devices) as u64;
+    for d in 0..devices {
+        net.add_edge(1 + b + d, sink, cap);
+    }
+    net
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow");
+    for &b in &[9usize, 36, 144, 576] {
+        let net = retrieval_network(b, 7);
+        group.bench_with_input(BenchmarkId::new("dinic", b), &net, |bench, net| {
+            bench.iter(|| {
+                let mut g = net.clone();
+                black_box(dinic::max_flow(&mut g))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("edmonds_karp", b), &net, |bench, net| {
+            bench.iter(|| {
+                let mut g = net.clone();
+                black_box(edmonds_karp::max_flow(&mut g))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("push_relabel", b), &net, |bench, net| {
+            bench.iter(|| {
+                let mut g = net.clone();
+                black_box(push_relabel::max_flow(&mut g))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxflow);
+criterion_main!(benches);

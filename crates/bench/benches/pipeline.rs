@@ -1,0 +1,51 @@
+//! End-to-end pipeline benchmarks: the Fig. 8 (online), Fig. 12 (interval)
+//! and Table III (baseline) pathways on a reduced Exchange workload, plus
+//! the original-layout replay.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fqos_core::mapping::MappingStrategy;
+use fqos_core::{QosConfig, QosPipeline};
+use fqos_decluster::Raid1Mirrored;
+use fqos_traces::models::exchange::ExchangeConfig;
+use fqos_traces::Trace;
+use std::hint::black_box;
+
+fn workload() -> Trace {
+    fqos_traces::models::exchange(ExchangeConfig {
+        intervals: 4,
+        interval_ns: 100_000_000,
+        peak_rate_per_s: 5_000.0,
+        seed: 9,
+    })
+    .generate()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(20);
+
+    let fim = QosPipeline::new(QosConfig::paper_9_3_1());
+    let modulo =
+        QosPipeline::new(QosConfig::paper_9_3_1()).with_mapping(MappingStrategy::Modulo);
+
+    group.bench_function("online_fim", |b| b.iter(|| black_box(fim.run_online(&trace))));
+    group.bench_function("online_modulo", |b| {
+        b.iter(|| black_box(modulo.run_online(&trace)))
+    });
+    group.bench_function("interval_design_theoretic", |b| {
+        b.iter(|| black_box(modulo.run_interval().run(&trace)))
+    });
+    group.bench_function("baseline_mirrored", |b| {
+        let scheme = Raid1Mirrored::paper();
+        b.iter(|| black_box(modulo.run_interval().run_baseline(&trace, &scheme)))
+    });
+    group.bench_function("original_replay", |b| {
+        b.iter(|| black_box(fim.run_original(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

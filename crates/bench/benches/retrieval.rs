@@ -1,0 +1,42 @@
+//! Retrieval algorithm micro-benchmarks — the §III-C complexity claim:
+//! design-theoretic retrieval is `O(b)` and much cheaper than the exact
+//! `O(b³)` max-flow, which is why the hybrid only falls back on demand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqos_decluster::retrieval::{
+    design_theoretic_retrieval, hybrid_retrieval, max_flow_retrieval,
+};
+use fqos_decluster::{AllocationScheme, DesignTheoretic};
+use std::hint::black_box;
+
+fn random_request(scheme: &DesignTheoretic, b: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed | 1;
+    (0..b)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize % scheme.num_buckets()
+        })
+        .collect()
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let scheme = DesignTheoretic::paper_9_3_1();
+    let mut group = c.benchmark_group("retrieval");
+    for &b in &[5usize, 14, 27, 36, 72] {
+        let buckets = random_request(&scheme, b, 42);
+        let reqs: Vec<&[usize]> = buckets.iter().map(|&x| scheme.replicas(x)).collect();
+        group.bench_with_input(BenchmarkId::new("design_theoretic", b), &reqs, |bench, reqs| {
+            bench.iter(|| design_theoretic_retrieval(black_box(reqs), 9))
+        });
+        group.bench_with_input(BenchmarkId::new("max_flow", b), &reqs, |bench, reqs| {
+            bench.iter(|| max_flow_retrieval(black_box(reqs), 9))
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", b), &reqs, |bench, reqs| {
+            bench.iter(|| hybrid_retrieval(black_box(reqs), 9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

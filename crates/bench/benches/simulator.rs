@@ -1,0 +1,58 @@
+//! Simulator throughput: how many simulated I/Os per second the calibrated
+//! and page-level flash models replay (the substrate behind every
+//! experiment), plus the device-model sensitivity ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fqos_flashsim::device::Device;
+use fqos_flashsim::{CalibratedSsd, FlashArray, FlashModule, IoRequest};
+use std::hint::black_box;
+
+fn trace(n: usize) -> Vec<IoRequest> {
+    let mut state = 5u64;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            IoRequest::read_block(
+                i as u64,
+                i as u64 * 20_000,
+                ((state >> 33) % 9) as usize,
+                (state >> 40) % 4096,
+            )
+        })
+        .collect()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let n = 10_000;
+    let reqs = trace(n);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_with_input(BenchmarkId::new("calibrated_replay", n), &reqs, |b, reqs| {
+        b.iter(|| {
+            let mut arr = FlashArray::calibrated(9);
+            black_box(arr.replay(reqs.iter().copied()))
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("page_level_replay", n), &reqs, |b, reqs| {
+        b.iter(|| {
+            let mut arr =
+                FlashArray::new((0..9).map(|_| FlashModule::default()).collect::<Vec<_>>());
+            black_box(arr.replay(reqs.iter().copied()))
+        })
+    });
+
+    group.bench_function("single_submit_calibrated", |b| {
+        let mut dev = CalibratedSsd::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 200_000;
+            black_box(dev.submit(&IoRequest::read_block(1, t, 0, 7), t))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Run every experiment in sequence (the full paper reproduction).
+//!
+//! Equivalent to running the individual binaries: layouts, fig4, table2,
+//! table3, fig6, fig8, fig9, fig10, fig11, fig12, table4.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "layouts", "fig4", "table2", "table3", "fig6", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "table4", "scheme_sweep", "device_models", "hdd_motivation", "degraded",
+        "writes",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for bin in bins {
+        let path = exe_dir.join(bin);
+        eprintln!(">>> running {bin}");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            failed.push(bin);
+        }
+    }
+    if failed.is_empty() {
+        eprintln!("\nall experiments completed");
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 6 — trace statistics of the Exchange and TPC-E workload models.
+//!
+//! For each reporting interval: maximum and average read requests per
+//! second, and the total number of read requests (the four panels of
+//! Fig. 6). Our models are scaled (DESIGN.md §2), so absolute counts are
+//! smaller than the SNIA originals; the shapes — diurnal Exchange curve,
+//! steady high-rate TPC-E parts, peak≫average burstiness — are the
+//! reproduction target.
+
+use fqos_bench::{banner, exchange_trace, tpce_trace, TableBuilder};
+use fqos_traces::stats::interval_stats;
+use fqos_traces::Trace;
+
+fn show(trace: &Trace, bucket_ns: u64) {
+    println!("--- {} ({} records, {} devices, {} intervals) ---",
+        trace.name, trace.len(), trace.num_devices, trace.num_intervals());
+    let stats = interval_stats(trace, bucket_ns);
+    let mut table =
+        TableBuilder::new(&["interval", "total reads", "avg req/s", "max req/s", "peak/avg"]);
+    for s in &stats {
+        table.row(&[
+            s.interval.to_string(),
+            s.total_requests.to_string(),
+            format!("{:.0}", s.avg_per_sec),
+            format!("{:.0}", s.max_per_sec),
+            format!("{:.1}x", s.max_per_sec / s.avg_per_sec.max(1.0)),
+        ]);
+    }
+    table.print();
+    let total: u64 = stats.iter().map(|s| s.total_requests).sum();
+    let peak = stats.iter().map(|s| s.max_per_sec as u64).max().unwrap_or(0);
+    println!("total = {total}, global peak = {peak} req/s\n");
+}
+
+fn main() {
+    banner(
+        "fig6",
+        "Fig. 6",
+        "Per-interval trace statistics (a/b: Exchange, c/d: TPC-E); rates over 10 ms buckets normalized to req/s",
+    );
+    show(&exchange_trace(), 10_000_000);
+    show(&tpce_trace(), 10_000_000);
+}

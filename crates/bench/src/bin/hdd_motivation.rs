@@ -1,0 +1,77 @@
+//! Extension experiment — the §II-A motivation, measured: why flash?
+//!
+//! Runs the Table III design-theoretic schedule (5 blocks / 0.133 ms-style
+//! loads, scaled intervals for the disk) through an array of calibrated
+//! flash modules and through an array of 15 kRPM disks. On flash every
+//! response is a constant; on disk the same schedule has millisecond
+//! variance from seek + rotation — "proposing a QoS framework for
+//! traditional HDD based storage arrays cannot exceed providing a best
+//! effort performance".
+
+use fqos_bench::{banner, ms, TableBuilder};
+use fqos_decluster::retrieval::hybrid_retrieval;
+use fqos_decluster::{AllocationScheme, DesignTheoretic};
+use fqos_flashsim::{CalibratedSsd, FlashArray, HardDisk, IoRequest};
+use fqos_traces::SyntheticConfig;
+
+fn main() {
+    banner(
+        "hdd_motivation",
+        "§II-A (extension)",
+        "The same design-theoretic schedule on flash vs 15 kRPM disks",
+    );
+    let scheme = DesignTheoretic::paper_9_3_1();
+    // Disk-scaled intervals: one 15 kRPM random read ≈ 5–8 ms, so the
+    // equivalent guarantee interval would be ~10 ms instead of 0.133 ms.
+    let interval_ns = 10_000_000;
+    let trace = SyntheticConfig {
+        blocks_per_interval: 5,
+        interval_ns,
+        total_requests: 10_000,
+        block_pool: 36,
+        seed: 0x5EED,
+    }
+    .generate();
+
+    // Identical per-device assignment for both arrays. Buckets are spread
+    // over the LBN space so the disk has to seek like a real server would.
+    let mut reqs = Vec::with_capacity(trace.len());
+    for records in trace.intervals() {
+        if records.is_empty() {
+            continue;
+        }
+        let boundary = records[0].arrival_ns;
+        let buckets: Vec<usize> = records.iter().map(|r| r.lbn as usize).collect();
+        let refs: Vec<&[usize]> = buckets.iter().map(|&b| scheme.replicas(b)).collect();
+        let (sched, _) = hybrid_retrieval(&refs, 9);
+        for (r, &d) in records.iter().zip(&sched.assignment) {
+            // Scatter buckets across the disk: bucket i sits at cylinder
+            // region i/36 of the disk.
+            let lbn = r.lbn * 80_000;
+            reqs.push(IoRequest::read_block(r.lbn, boundary, d, lbn));
+        }
+    }
+
+    let mut flash = FlashArray::new((0..9).map(|_| CalibratedSsd::new()).collect::<Vec<_>>());
+    let flash_result = flash.replay(reqs.iter().copied());
+    let mut disks = FlashArray::new((0..9).map(|_| HardDisk::default()).collect::<Vec<_>>());
+    let disk_result = disks.replay(reqs.iter().copied());
+
+    let mut table = TableBuilder::new(&["array", "avg (ms)", "std (ms)", "min (ms)", "max (ms)", "max/min"]);
+    for (name, s) in [("flash", &flash_result.stats), ("15 kRPM HDD", &disk_result.stats)] {
+        table.row(&[
+            name.to_string(),
+            ms(s.mean_ms()),
+            ms(s.std_ms()),
+            ms(s.min_ns() as f64 / 1e6),
+            ms(s.max_ms()),
+            format!("{:.1}x", s.max_ns() as f64 / s.min_ns().max(1) as f64),
+        ]);
+    }
+    table.print();
+
+    println!("\nFlash: every read costs exactly 0.132507 ms — a deterministic guarantee is");
+    println!("just an admission-control problem. Disk: the identical schedule spans a wide");
+    println!("response range purely from head position, so no interval T short enough to be");
+    println!("useful can ever be promised. This is the paper's case for flash arrays.");
+}

@@ -1,0 +1,69 @@
+//! Table II — comparison of retrieval algorithms: `DTR(S)` vs `OLR(S)`.
+//!
+//! For request sizes `S = 1..6` on the (9,3,1) design: the number of
+//! accesses needed by the interval-aligned design-theoretic retrieval
+//! (DTR, with remapping) and by the online algorithm (OLR, greedy FCFS).
+//! Paper: DTR = 1,1,1,1,1,2; OLR = 1,1,1,"1 or 2","1 or 2",2.
+
+use fqos_bench::{banner, TableBuilder};
+use fqos_decluster::retrieval::{design_theoretic_retrieval, pick_online_device};
+use fqos_decluster::{AllocationScheme, DesignTheoretic};
+
+/// Greedy online cost: requests arrive one by one (FCFS, no remapping of
+/// already-started requests); each picks its earliest-finishing replica.
+fn online_accesses(reqs: &[&[usize]], devices: usize) -> usize {
+    let mut free = vec![0u64; devices];
+    for r in reqs {
+        let d = pick_online_device(r, &free, 0);
+        free[d] += 1; // one access unit
+    }
+    free.iter().copied().max().unwrap_or(0) as usize
+}
+
+fn main() {
+    banner(
+        "table2",
+        "Table II",
+        "DTR(S) vs OLR(S) for S = 1..6 on the (9,3,1) design (exhaustive-ish sampling over distinct bucket sets)",
+    );
+    let scheme = DesignTheoretic::paper_9_3_1();
+    let n = scheme.num_buckets();
+
+    let mut table =
+        TableBuilder::new(&["S", "DTR(S)", "OLR(S)", "paper DTR", "paper OLR"]);
+    let paper_dtr = ["1", "1", "1", "1", "1", "2"];
+    let paper_olr = ["1", "1", "1", "1 or 2", "1 or 2", "2"];
+
+    for s in 1..=6usize {
+        let mut dtr_seen = std::collections::BTreeSet::new();
+        let mut olr_seen = std::collections::BTreeSet::new();
+        // Deterministic dense sampling of distinct bucket sets.
+        let mut state = 0xABCDu64;
+        let trials = 40_000;
+        let mut pool: Vec<usize> = (0..n).collect();
+        for _ in 0..trials {
+            for i in 0..s {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = i + (state >> 33) as usize % (n - i);
+                pool.swap(i, j);
+            }
+            let reqs: Vec<&[usize]> = pool[..s].iter().map(|&b| scheme.replicas(b)).collect();
+            dtr_seen.insert(design_theoretic_retrieval(&reqs, 9).accesses);
+            olr_seen.insert(online_accesses(&reqs, 9));
+        }
+        let fmt = |set: &std::collections::BTreeSet<usize>| {
+            set.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" or ")
+        };
+        table.row(&[
+            s.to_string(),
+            fmt(&dtr_seen),
+            fmt(&olr_seen),
+            paper_dtr[s - 1].to_string(),
+            paper_olr[s - 1].to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nTheorem 1 check: whenever OLR(k) = DTR(k), serving on arrival finishes no later\nthan interval alignment (TOLR <= TDTR) — measured end-to-end in fig12."
+    );
+}

@@ -1,0 +1,57 @@
+//! Extension experiment — mixed read/write workloads.
+//!
+//! The paper evaluates read streams; on a replicated layout every write
+//! must land on all `c` replicas, so a write consumes `c` device-slots per
+//! window where a read consumes one. This sweep converts a growing
+//! fraction of the synthetic workload into writes and shows the admission
+//! pressure rising accordingly while the per-request guarantee never
+//! breaks.
+
+use fqos_bench::{banner, ms, pct, TableBuilder};
+use fqos_core::mapping::MappingStrategy;
+use fqos_core::{QosConfig, QosPipeline};
+use fqos_flashsim::time::BASE_INTERVAL_NS;
+use fqos_traces::{rw, SyntheticConfig};
+
+fn main() {
+    banner(
+        "writes",
+        "extension (write path)",
+        "Deterministic QoS under growing write fractions (3 blocks per 0.133 ms, 10 000 requests)",
+    );
+    // A lighter load than Table III's 5/interval: writes use 3 slots each,
+    // so 3 requests per window can be all-writes (9 slots = N·M) at most.
+    let base = SyntheticConfig {
+        blocks_per_interval: 3,
+        interval_ns: BASE_INTERVAL_NS,
+        total_requests: 10_000,
+        block_pool: 36,
+        seed: 0x11,
+    }
+    .generate();
+
+    let mut table = TableBuilder::new(&[
+        "write fraction",
+        "% delayed",
+        "avg delay (ms)",
+        "max response (ms)",
+        "guarantee held",
+    ]);
+    for frac in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let trace = rw::with_write_fraction(&base, frac, 0xF00D);
+        let report = QosPipeline::new(QosConfig::paper_9_3_1())
+            .with_mapping(MappingStrategy::Modulo)
+            .run_online(&trace);
+        let held = report.total_response.max_ns() <= QosConfig::paper_9_3_1().service_ns;
+        table.row(&[
+            pct(100.0 * frac),
+            pct(report.delayed_pct()),
+            ms(report.avg_delay_ms()),
+            format!("{:.6}", report.total_response.max_ms()),
+            if held { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    table.print();
+    println!("\nEvery served request still completes in exactly one service time — the");
+    println!("guarantee is preserved by pushing the extra replica-update load into delays.");
+}

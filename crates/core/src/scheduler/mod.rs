@@ -1,0 +1,113 @@
+//! The two QoS schedulers: online (§IV-B) and interval-aligned
+//! design-theoretic (§III-C).
+
+pub mod interval;
+pub mod online;
+
+pub use interval::IntervalQos;
+pub use online::OnlineQos;
+
+use fqos_flashsim::SimTime;
+use std::collections::BTreeMap;
+
+/// Per-window device start budgets: device `d` may *start* at most `M`
+/// accesses within one QoS window `T`. Enforcing this is exactly what makes
+/// the deterministic guarantee hold — a device that starts ≤ M reads of
+/// `t_read ≤ T/M` each is always idle again by the next window.
+#[derive(Debug, Clone)]
+pub(crate) struct WindowBudgets {
+    devices: usize,
+    accesses: usize,
+    /// window index → (per-device starts, total admitted in window).
+    windows: BTreeMap<u64, (Vec<u8>, usize)>,
+}
+
+impl WindowBudgets {
+    pub(crate) fn new(devices: usize, accesses: usize) -> Self {
+        assert!(accesses >= 1 && accesses < 256);
+        WindowBudgets { devices, accesses, windows: BTreeMap::new() }
+    }
+
+    /// Remaining start budget of `device` in `window`.
+    pub(crate) fn remaining(&self, window: u64, device: usize) -> usize {
+        match self.windows.get(&window) {
+            Some((starts, _)) => self.accesses - starts[device] as usize,
+            None => self.accesses,
+        }
+    }
+
+    /// Record a start of `device` in `window`.
+    pub(crate) fn record_start(&mut self, window: u64, device: usize) {
+        let entry = self
+            .windows
+            .entry(window)
+            .or_insert_with(|| (vec![0; self.devices], 0));
+        debug_assert!((entry.0[device] as usize) < self.accesses);
+        entry.0[device] += 1;
+        entry.1 += 1;
+    }
+
+    /// Record a statistical over-admission into `window`: counts toward the
+    /// window's request size (and therefore the `N_k` history feedback)
+    /// without consuming a device start budget.
+    pub(crate) fn record_overload(&mut self, window: u64) {
+        let entry = self
+            .windows
+            .entry(window)
+            .or_insert_with(|| (vec![0; self.devices], 0));
+        entry.1 += 1;
+    }
+
+    /// Number of requests admitted into `window` so far.
+    pub(crate) fn admitted(&self, window: u64) -> usize {
+        self.windows.get(&window).map_or(0, |(_, n)| *n)
+    }
+
+    /// Drop state for windows `< keep_from`, returning the request counts
+    /// of the closed non-empty windows (feeds the statistical counters).
+    pub(crate) fn close_before(&mut self, keep_from: u64) -> Vec<usize> {
+        let mut closed = Vec::new();
+        while let Some((&w, _)) = self.windows.first_key_value() {
+            if w >= keep_from {
+                break;
+            }
+            let (_, n) = self.windows.remove(&w).unwrap();
+            closed.push(n);
+        }
+        closed
+    }
+}
+
+/// The QoS window of a point in time.
+#[inline]
+pub(crate) fn window_of(t: SimTime, interval_ns: u64) -> u64 {
+    t / interval_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_tracking() {
+        let mut b = WindowBudgets::new(3, 2);
+        assert_eq!(b.remaining(5, 0), 2);
+        b.record_start(5, 0);
+        b.record_start(5, 0);
+        assert_eq!(b.remaining(5, 0), 0);
+        assert_eq!(b.remaining(5, 1), 2);
+        assert_eq!(b.remaining(6, 0), 2);
+        assert_eq!(b.admitted(5), 2);
+    }
+
+    #[test]
+    fn closing_returns_sizes_in_order() {
+        let mut b = WindowBudgets::new(2, 1);
+        b.record_start(1, 0);
+        b.record_start(3, 1);
+        b.record_start(3, 0);
+        assert_eq!(b.close_before(3), vec![1]);
+        assert_eq!(b.close_before(10), vec![2]);
+        assert!(b.close_before(10).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the QoS schedulers' invariants.
+
+use fqos_core::config::QosConfig;
+use fqos_core::mapping::{BlockMapping, MappingStrategy};
+use fqos_core::scheduler::{IntervalQos, OnlineQos};
+use fqos_core::OverloadPolicy;
+use fqos_flashsim::time::BASE_INTERVAL_NS;
+use fqos_flashsim::{IoOp, BLOCK_SIZE_BYTES};
+use fqos_traces::{Trace, TraceRecord};
+use proptest::prelude::*;
+
+fn rec(t: u64, lbn: u64) -> TraceRecord {
+    TraceRecord { arrival_ns: t, device: 0, lbn, size_bytes: BLOCK_SIZE_BYTES, op: IoOp::Read }
+}
+
+fn modulo_mapping() -> BlockMapping {
+    BlockMapping::new(MappingStrategy::Modulo, 36, BASE_INTERVAL_NS, 1)
+}
+
+/// Arbitrary small traces: bursts of requests at arbitrary times.
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..40, 0u64..36), 1..120).prop_map(|pairs| {
+        let records = pairs
+            .into_iter()
+            .map(|(w, lbn)| rec(w * (BASE_INTERVAL_NS / 3), lbn))
+            .collect();
+        Trace::new("prop", records, 9, 4 * BASE_INTERVAL_NS)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// THE deterministic guarantee: every served request's response time is
+    /// exactly the device service time, no matter how adversarial the
+    /// trace — overload shows up as delay, never as a violated response.
+    #[test]
+    fn deterministic_online_never_violates_response_guarantee(trace in trace_strategy()) {
+        let cfg = QosConfig::paper_9_3_1();
+        let service = cfg.service_ns;
+        let report = OnlineQos::new(cfg).run(&trace, &mut modulo_mapping());
+        prop_assert_eq!(report.completed(), trace.len() as u64);
+        prop_assert_eq!(report.total_response.max_ns(), service);
+        prop_assert_eq!(report.rejected, 0);
+    }
+
+    /// Conservation under Reject: completed + rejected = offered.
+    #[test]
+    fn reject_policy_conserves_requests(trace in trace_strategy()) {
+        let mut cfg = QosConfig::paper_9_3_1();
+        cfg.policy = OverloadPolicy::Reject;
+        let report = OnlineQos::new(cfg).run(&trace, &mut modulo_mapping());
+        prop_assert_eq!(report.completed() + report.rejected, trace.len() as u64);
+        // Nothing is both rejected and delayed.
+        let delayed: u64 = report.intervals.delayed.iter().sum();
+        prop_assert_eq!(delayed, 0);
+    }
+
+    /// The interval scheduler with admission keeps every response within
+    /// M × service (the batch bound), for any trace.
+    #[test]
+    fn interval_scheduler_bounds_responses(trace in trace_strategy()) {
+        let cfg = QosConfig::paper_9_3_1();
+        let bound = cfg.accesses as u64 * cfg.service_ns;
+        let report = IntervalQos::new(cfg).run(&trace, &mut modulo_mapping());
+        prop_assert_eq!(report.completed(), trace.len() as u64);
+        prop_assert!(report.total_response.max_ns() <= bound);
+    }
+
+    /// Delay accounting is consistent: delayed% > 0 iff some delay was
+    /// recorded, and average delay is positive exactly then.
+    #[test]
+    fn delay_accounting_consistency(trace in trace_strategy()) {
+        let report = OnlineQos::new(QosConfig::paper_9_3_1())
+            .run(&trace, &mut modulo_mapping());
+        let delayed: u64 = report.intervals.delayed.iter().sum();
+        if delayed == 0 {
+            prop_assert_eq!(report.avg_delay_ms(), 0.0);
+            prop_assert_eq!(report.delayed_pct(), 0.0);
+        } else {
+            prop_assert!(report.avg_delay_ms() > 0.0);
+            prop_assert!(report.delayed_pct() > 0.0);
+        }
+    }
+
+    /// Loads within the per-window limit are never delayed when they hit
+    /// distinct buckets at window starts.
+    #[test]
+    fn within_limit_window_start_loads_are_never_delayed(
+        windows in 1usize..20,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut records = Vec::new();
+        let mut state = seed | 1;
+        for w in 0..windows {
+            // k distinct buckets per window.
+            let mut pool: Vec<u64> = (0..36).collect();
+            for i in 0..k {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+                let j = i + (state >> 33) as usize % (pool.len() - i);
+                pool.swap(i, j);
+                records.push(rec(w as u64 * BASE_INTERVAL_NS, pool[i]));
+            }
+        }
+        let trace = Trace::new("t", records, 9, 4 * BASE_INTERVAL_NS);
+        let report = OnlineQos::new(QosConfig::paper_9_3_1())
+            .run(&trace, &mut modulo_mapping());
+        prop_assert_eq!(report.delayed_pct(), 0.0, "k = {}", k);
+    }
+}

@@ -1,0 +1,61 @@
+//! Replicated declustering: allocation schemes and retrieval algorithms.
+//!
+//! An *allocation scheme* decides which `c` devices store each bucket's
+//! replicas; a *retrieval algorithm* decides, for a set of requested
+//! buckets, which replica each request is served from and therefore how many
+//! parallel accesses the set costs.
+//!
+//! # Allocation schemes
+//!
+//! * [`DesignTheoretic`] — the paper's scheme, backed by an `(N, c, 1)`
+//!   design ([`fqos_designs`]).
+//! * [`Raid1Mirrored`] / [`Raid1Chained`] — the two high-performance RAID
+//!   baselines of Table III (Fig. 7 layouts).
+//! * [`RandomDuplicate`] — RDA (Sanders et al.), near-optimal with high
+//!   probability but no deterministic guarantee.
+//! * [`Partitioned`], [`DependentPeriodic`], [`Orthogonal`] — the remaining
+//!   background schemes of §II-B2.
+//!
+//! # Retrieval algorithms
+//!
+//! * [`retrieval::design_theoretic_retrieval`] — the paper's `O(b)` initial
+//!   mapping + remapping heuristic.
+//! * [`retrieval::max_flow_retrieval`] — exact optimum via max-flow.
+//! * [`retrieval::hybrid_retrieval`] — the paper's production policy: run
+//!   the heuristic, fall back to max-flow only when it is non-optimal.
+//! * [`retrieval::pick_online_device`] — the §IV-B online rule (idle replica
+//!   first, else earliest-finish-time).
+//!
+//! # Sampling
+//!
+//! [`sampling::optimal_retrieval_probabilities`] reproduces Fig. 4: the
+//! Monte-Carlo estimate of `P_k`, the probability that `k` random buckets
+//! are retrievable in the optimal `⌈k/N⌉` accesses.
+//!
+//! # Example
+//!
+//! ```
+//! use fqos_decluster::{AllocationScheme, DesignTheoretic};
+//! use fqos_decluster::retrieval::hybrid_retrieval;
+//!
+//! let scheme = DesignTheoretic::paper_9_3_1();
+//! // Any 5 distinct buckets retrieve in a single parallel access.
+//! let requests: Vec<&[usize]> = (0..5).map(|b| scheme.replicas(b)).collect();
+//! let (schedule, used_max_flow) = hybrid_retrieval(&requests, scheme.devices());
+//! assert_eq!(schedule.accesses, 1);
+//! assert!(!used_max_flow); // the O(b) heuristic sufficed
+//! ```
+
+pub mod analysis;
+pub mod retrieval;
+pub mod sampling;
+pub mod scheme;
+pub mod schemes;
+
+pub use scheme::{AllocationScheme, BucketId, DeviceId};
+pub use schemes::design_theoretic::DesignTheoretic;
+pub use schemes::orthogonal::Orthogonal;
+pub use schemes::partitioned::Partitioned;
+pub use schemes::periodic::DependentPeriodic;
+pub use schemes::raid::{Raid1Chained, Raid1Mirrored};
+pub use schemes::rda::RandomDuplicate;

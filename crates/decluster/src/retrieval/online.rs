@@ -1,0 +1,53 @@
+//! The online replica-selection rule of §IV-B.
+//!
+//! Requests are served on arrival (FCFS). "A block is preferably retrieved
+//! from the device having the earliest finish time if no idle device is
+//! available": pick an idle replica if one exists (primary first), else the
+//! replica whose queue drains soonest.
+
+use fqos_designs::DeviceId;
+
+/// Choose the replica to serve a request arriving at `now`, given each
+/// device's next-free time. Ties break toward the earlier copy in the
+/// tuple (the primary).
+pub fn pick_online_device(
+    replicas: &[DeviceId],
+    device_free: &[u64],
+    now: u64,
+) -> DeviceId {
+    debug_assert!(!replicas.is_empty());
+    *replicas
+        .iter()
+        .min_by_key(|&&d| device_free[d].max(now))
+        .expect("non-empty replica tuple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_primary_wins() {
+        let free = vec![0u64, 0, 0];
+        assert_eq!(pick_online_device(&[1, 2, 0], &free, 100), 1);
+    }
+
+    #[test]
+    fn idle_beats_busy() {
+        let free = vec![500u64, 0, 900];
+        // Primary 0 busy until 500; replica 1 idle.
+        assert_eq!(pick_online_device(&[0, 1, 2], &free, 100), 1);
+    }
+
+    #[test]
+    fn earliest_finish_when_all_busy() {
+        let free = vec![500u64, 300, 900];
+        assert_eq!(pick_online_device(&[0, 1, 2], &free, 100), 1);
+    }
+
+    #[test]
+    fn tie_breaks_to_primary_order() {
+        let free = vec![400u64, 400, 400];
+        assert_eq!(pick_online_device(&[2, 0, 1], &free, 100), 2);
+    }
+}

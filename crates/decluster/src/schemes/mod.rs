@@ -1,0 +1,8 @@
+//! Concrete allocation schemes.
+
+pub mod design_theoretic;
+pub mod orthogonal;
+pub mod partitioned;
+pub mod periodic;
+pub mod raid;
+pub mod rda;

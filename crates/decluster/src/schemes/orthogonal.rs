@@ -1,0 +1,85 @@
+//! Orthogonal allocation (Tosun SAC 2004; Ferhatosmanoglu et al. PODS 2004).
+//!
+//! Two single-copy allocations are *orthogonal* when, viewing the pair of
+//! devices each bucket lands on, every ordered pair appears at most once.
+//! With `N` devices and up to `N²` buckets, bucket `b = i·N + j` stores its
+//! first copy on device `j` and its second on `(i + j) mod N`: the pair
+//! `(j, (i+j) mod N)` is distinct for every `(i, j)`, so the allocation is
+//! orthogonal. It guarantees `⌈√b⌉ + 1`-ish retrieval for arbitrary
+//! queries — weaker than the design-theoretic bound (§II-B3).
+
+use crate::scheme::{AllocationScheme, BucketId, DeviceId};
+
+/// Orthogonal two-copy allocation over `N` devices and up to `N·(N−1)`
+/// buckets (diagonal buckets with both copies on one device are skipped).
+#[derive(Debug, Clone)]
+pub struct Orthogonal {
+    devices: usize,
+    table: Vec<Vec<DeviceId>>,
+    name: String,
+}
+
+impl Orthogonal {
+    /// Build with `num_buckets <= N·(N−1)` buckets.
+    pub fn new(devices: usize, num_buckets: usize) -> Self {
+        assert!(devices >= 2);
+        assert!(num_buckets <= devices * (devices - 1), "orthogonal supports N(N-1) buckets");
+        let mut table = Vec::with_capacity(num_buckets);
+        // Enumerate (i, j) pairs skipping i = 0 (where both copies coincide).
+        'outer: for i in 1..devices {
+            for j in 0..devices {
+                if table.len() == num_buckets {
+                    break 'outer;
+                }
+                table.push(vec![j, (i + j) % devices]);
+            }
+        }
+        Orthogonal { devices, table, name: format!("orthogonal ({devices} devices, 2 copies)") }
+    }
+}
+
+impl AllocationScheme for Orthogonal {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn devices(&self) -> usize {
+        self.devices
+    }
+    fn copies(&self) -> usize {
+        2
+    }
+    fn num_buckets(&self) -> usize {
+        self.table.len()
+    }
+    fn replicas(&self, bucket: BucketId) -> &[DeviceId] {
+        &self.table[bucket]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuples_are_valid() {
+        let s = Orthogonal::new(9, 72);
+        s.validate().unwrap();
+        assert_eq!(s.num_buckets(), 72);
+    }
+
+    #[test]
+    fn ordered_pairs_are_unique() {
+        let s = Orthogonal::new(9, 72);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..s.num_buckets() {
+            let r = s.replicas(b);
+            assert!(seen.insert((r[0], r[1])), "pair ({}, {}) repeated", r[0], r[1]);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bucket_space() {
+        let r = std::panic::catch_unwind(|| Orthogonal::new(3, 7));
+        assert!(r.is_err());
+    }
+}

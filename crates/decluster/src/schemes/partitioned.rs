@@ -1,0 +1,95 @@
+//! Partitioned allocation (Ferhatosmanoglu et al., DAPD 2006).
+//!
+//! Devices are split into groups and every bucket is replicated on all
+//! devices of one group, cycling over the groups. Reasonable for range
+//! queries, poor for arbitrary queries (§II-B2) — requests that happen to
+//! map to the same group serialize at `⌈b_g / c⌉`.
+
+use crate::scheme::{AllocationScheme, BucketId, DeviceId};
+
+/// Partitioned replication with groups of size `copies`.
+#[derive(Debug, Clone)]
+pub struct Partitioned {
+    devices: usize,
+    copies: usize,
+    table: Vec<Vec<DeviceId>>,
+    name: String,
+}
+
+impl Partitioned {
+    /// Build with `devices` split into `devices / copies` groups, assigning
+    /// buckets to groups round-robin and rotating the in-group order.
+    ///
+    /// Unlike [`crate::Raid1Mirrored`] (whose groups are contiguous device
+    /// ranges), partitioned groups stride across the array: group `g` holds
+    /// devices `{g, g + G, g + 2G, …}` where `G` is the group count.
+    pub fn new(devices: usize, copies: usize, num_buckets: usize) -> Self {
+        assert!(copies >= 1 && devices % copies == 0);
+        let groups = devices / copies;
+        let table = (0..num_buckets)
+            .map(|b| {
+                let g = b % groups;
+                let rot = (b / groups) % copies;
+                (0..copies).map(|p| g + ((p + rot) % copies) * groups).collect()
+            })
+            .collect();
+        Partitioned {
+            devices,
+            copies,
+            table,
+            name: format!("partitioned ({devices} devices, {copies} copies)"),
+        }
+    }
+}
+
+impl AllocationScheme for Partitioned {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn devices(&self) -> usize {
+        self.devices
+    }
+    fn copies(&self) -> usize {
+        self.copies
+    }
+    fn num_buckets(&self) -> usize {
+        self.table.len()
+    }
+    fn replicas(&self, bucket: BucketId) -> &[DeviceId] {
+        &self.table[bucket]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_groups() {
+        let s = Partitioned::new(9, 3, 36);
+        s.validate().unwrap();
+        // Group 0 = {0, 3, 6}, group 1 = {1, 4, 7}, group 2 = {2, 5, 8}.
+        let mut r0 = s.replicas(0).to_vec();
+        r0.sort_unstable();
+        assert_eq!(r0, vec![0, 3, 6]);
+        let mut r1 = s.replicas(1).to_vec();
+        r1.sort_unstable();
+        assert_eq!(r1, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn buckets_in_same_group_conflict() {
+        // Buckets 0, 3, 6, ... all map to group 0 — the weakness for
+        // arbitrary queries.
+        let s = Partitioned::new(9, 3, 36);
+        let set0: std::collections::BTreeSet<_> = s.replicas(0).iter().copied().collect();
+        let set3: std::collections::BTreeSet<_> = s.replicas(3).iter().copied().collect();
+        assert_eq!(set0, set3);
+    }
+
+    #[test]
+    fn rotations_shift_primary() {
+        let s = Partitioned::new(9, 3, 36);
+        assert_ne!(s.replicas(0)[0], s.replicas(3)[0]);
+    }
+}

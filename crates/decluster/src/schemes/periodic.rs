@@ -1,0 +1,89 @@
+//! Dependent periodic allocation (Tosun & Ferhatosmanoglu, ICPP 2002).
+//!
+//! Copy `j` of bucket `b` is stored at device `(b + j·shift) mod N` — each
+//! additional copy is a shifted version of the first allocation. Good for
+//! range/connected queries (neighbouring buckets spread over neighbouring
+//! devices), weaker for arbitrary queries (§II-B2).
+
+use crate::scheme::{AllocationScheme, BucketId, DeviceId};
+
+/// Dependent periodic allocation with a configurable shift.
+#[derive(Debug, Clone)]
+pub struct DependentPeriodic {
+    devices: usize,
+    copies: usize,
+    table: Vec<Vec<DeviceId>>,
+    name: String,
+}
+
+impl DependentPeriodic {
+    /// Build with the given `shift` between consecutive copies. `shift = 1`
+    /// coincides with RAID-1 chained; larger coprime shifts spread copies
+    /// further apart.
+    pub fn new(devices: usize, copies: usize, shift: usize, num_buckets: usize) -> Self {
+        assert!(copies <= devices);
+        assert!(shift >= 1);
+        // Distinctness of the c devices requires j·shift mod N distinct for
+        // j in 0..c, which holds when shift·(c−1) < N or gcd(shift, N) has
+        // large enough order; validate eagerly.
+        let table: Vec<Vec<DeviceId>> = (0..num_buckets)
+            .map(|b| (0..copies).map(|j| (b + j * shift) % devices).collect())
+            .collect();
+        let s = DependentPeriodic {
+            devices,
+            copies,
+            table,
+            name: format!("dependent periodic (shift {shift}, {devices} devices, {copies} copies)"),
+        };
+        s.validate().expect("shift must place copies on distinct devices");
+        s
+    }
+}
+
+impl AllocationScheme for DependentPeriodic {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn devices(&self) -> usize {
+        self.devices
+    }
+    fn copies(&self) -> usize {
+        self.copies
+    }
+    fn num_buckets(&self) -> usize {
+        self.table.len()
+    }
+    fn replicas(&self, bucket: BucketId) -> &[DeviceId] {
+        &self.table[bucket]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_one_is_chained() {
+        let p = DependentPeriodic::new(9, 3, 1, 36);
+        let c = crate::Raid1Chained::paper();
+        for b in 0..36 {
+            assert_eq!(p.replicas(b), c.replicas(b));
+        }
+    }
+
+    #[test]
+    fn larger_shift_spreads_copies() {
+        let p = DependentPeriodic::new(9, 3, 4, 36);
+        p.validate().unwrap();
+        assert_eq!(p.replicas(0), &[0, 4, 8]);
+        assert_eq!(p.replicas(1), &[1, 5, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_shift_panics() {
+        // shift 3 with 9 devices puts copies 0 and 3 apart, but copy 3·3 = 9
+        // ≡ 0 would collide if copies = 4.
+        DependentPeriodic::new(9, 4, 3, 36);
+    }
+}

@@ -1,0 +1,167 @@
+//! The RAID-1 baselines of Table III (Fig. 7 layouts).
+
+use crate::scheme::{AllocationScheme, BucketId, DeviceId};
+
+/// RAID-1 *mirrored*: the `N` devices form `N/c` groups of `c` devices that
+/// mirror each other completely. Bucket `b` belongs to group `b mod (N/c)`;
+/// rotations of the in-group order spread primary copies (Fig. 7 shows
+/// b0→{d0,d1,d2}, b1→{d3,d4,d5}, b2→{d6,d7,d8}, b3→{d0,d1,d2}, …).
+#[derive(Debug, Clone)]
+pub struct Raid1Mirrored {
+    devices: usize,
+    copies: usize,
+    table: Vec<Vec<DeviceId>>,
+    name: String,
+}
+
+impl Raid1Mirrored {
+    /// Build with `devices` devices, `copies` copies per bucket and
+    /// `num_buckets` supported buckets. `devices` must divide into groups of
+    /// `copies`.
+    pub fn new(devices: usize, copies: usize, num_buckets: usize) -> Self {
+        assert!(copies >= 1 && devices % copies == 0, "devices must split into c-sized groups");
+        let groups = devices / copies;
+        // Fig. 7 lists num_buckets/copies base blocks cycling over the
+        // groups in order; the remaining buckets are their rotations.
+        let base = num_buckets.div_ceil(copies).max(1);
+        let table = (0..num_buckets)
+            .map(|b| {
+                let g = b % groups;
+                let rot = (b / base) % copies;
+                (0..copies).map(|p| g * copies + (p + rot) % copies).collect()
+            })
+            .collect();
+        Raid1Mirrored {
+            devices,
+            copies,
+            table,
+            name: format!("RAID-1 mirrored ({devices} devices, {copies} copies)"),
+        }
+    }
+
+    /// The Table III configuration: 9 devices, 3 copies, 36 buckets.
+    pub fn paper() -> Self {
+        Raid1Mirrored::new(9, 3, 36)
+    }
+}
+
+impl AllocationScheme for Raid1Mirrored {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn devices(&self) -> usize {
+        self.devices
+    }
+    fn copies(&self) -> usize {
+        self.copies
+    }
+    fn num_buckets(&self) -> usize {
+        self.table.len()
+    }
+    fn replicas(&self, bucket: BucketId) -> &[DeviceId] {
+        &self.table[bucket]
+    }
+}
+
+/// RAID-1 *chained* declustering: if the primary copy of bucket `b` is on
+/// device `i`, the other copies are on `(i+1) mod N, …, (i+c−1) mod N`
+/// (Fig. 7's second layout).
+#[derive(Debug, Clone)]
+pub struct Raid1Chained {
+    devices: usize,
+    copies: usize,
+    table: Vec<Vec<DeviceId>>,
+    name: String,
+}
+
+impl Raid1Chained {
+    /// Build with `devices` devices, `copies` copies and `num_buckets`
+    /// buckets; bucket `b`'s primary is device `b mod N`.
+    pub fn new(devices: usize, copies: usize, num_buckets: usize) -> Self {
+        assert!(copies <= devices);
+        let table = (0..num_buckets)
+            .map(|b| (0..copies).map(|p| (b + p) % devices).collect())
+            .collect();
+        Raid1Chained {
+            devices,
+            copies,
+            table,
+            name: format!("RAID-1 chained ({devices} devices, {copies} copies)"),
+        }
+    }
+
+    /// The Table III configuration: 9 devices, 3 copies, 36 buckets.
+    pub fn paper() -> Self {
+        Raid1Chained::new(9, 3, 36)
+    }
+}
+
+impl AllocationScheme for Raid1Chained {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn devices(&self) -> usize {
+        self.devices
+    }
+    fn copies(&self) -> usize {
+        self.copies
+    }
+    fn num_buckets(&self) -> usize {
+        self.table.len()
+    }
+    fn replicas(&self, bucket: BucketId) -> &[DeviceId] {
+        &self.table[bucket]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrored_matches_fig7() {
+        let s = Raid1Mirrored::paper();
+        s.validate().unwrap();
+        assert_eq!(s.replicas(0), &[0, 1, 2]);
+        assert_eq!(s.replicas(1), &[3, 4, 5]);
+        assert_eq!(s.replicas(2), &[6, 7, 8]);
+        assert_eq!(s.replicas(3), &[0, 1, 2]); // wraps to group 0 again
+        // Rotation after a full pass over the rotations: b12 has rot
+        // (12/3) % 3 = 1, so its primary shifts to d1 within group 0.
+        assert_eq!(s.replicas(12), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn mirrored_groups_are_closed() {
+        // All replicas of a bucket live in one mirror group.
+        let s = Raid1Mirrored::paper();
+        for b in 0..s.num_buckets() {
+            let r = s.replicas(b);
+            let g = r[0] / 3;
+            assert!(r.iter().all(|&d| d / 3 == g), "bucket {b}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn chained_matches_fig7() {
+        let s = Raid1Chained::paper();
+        s.validate().unwrap();
+        assert_eq!(s.replicas(0), &[0, 1, 2]);
+        assert_eq!(s.replicas(7), &[7, 8, 0]);
+        assert_eq!(s.replicas(8), &[8, 0, 1]);
+        assert_eq!(s.replicas(9), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn chained_primaries_are_balanced() {
+        let s = Raid1Chained::paper();
+        let loads = s.primary_loads();
+        assert!(loads.iter().all(|&l| l == 4), "{loads:?}");
+    }
+
+    #[test]
+    fn mirrored_requires_divisible_devices() {
+        let r = std::panic::catch_unwind(|| Raid1Mirrored::new(10, 3, 30));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Random duplicate allocation (RDA) — Sanders, Egner & Korst (SODA 2000).
+//!
+//! Each bucket's `c` replicas go to devices chosen uniformly at random
+//! (without repetition). Retrieval cost is at most one above optimal with
+//! high probability, but — being random — the scheme can give no
+//! deterministic guarantee (§II-B2).
+
+use crate::scheme::{AllocationScheme, BucketId, DeviceId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// RDA with a seeded table so experiments are reproducible.
+#[derive(Debug, Clone)]
+pub struct RandomDuplicate {
+    devices: usize,
+    copies: usize,
+    table: Vec<Vec<DeviceId>>,
+    name: String,
+}
+
+impl RandomDuplicate {
+    /// Build an RDA table of `num_buckets` buckets.
+    pub fn new(devices: usize, copies: usize, num_buckets: usize, seed: u64) -> Self {
+        assert!(copies <= devices);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all: Vec<DeviceId> = (0..devices).collect();
+        let table = (0..num_buckets)
+            .map(|_| {
+                let mut choice = all.clone();
+                choice.shuffle(&mut rng);
+                choice.truncate(copies);
+                choice
+            })
+            .collect();
+        RandomDuplicate {
+            devices,
+            copies,
+            table,
+            name: format!("RDA ({devices} devices, {copies} copies)"),
+        }
+    }
+}
+
+impl AllocationScheme for RandomDuplicate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn devices(&self) -> usize {
+        self.devices
+    }
+    fn copies(&self) -> usize {
+        self.copies
+    }
+    fn num_buckets(&self) -> usize {
+        self.table.len()
+    }
+    fn replicas(&self, bucket: BucketId) -> &[DeviceId] {
+        &self.table[bucket]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_tuples() {
+        let s = RandomDuplicate::new(9, 3, 36, 7);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RandomDuplicate::new(9, 3, 36, 7);
+        let b = RandomDuplicate::new(9, 3, 36, 7);
+        let c = RandomDuplicate::new(9, 3, 36, 8);
+        for i in 0..36 {
+            assert_eq!(a.replicas(i), b.replicas(i));
+        }
+        assert!((0..36).any(|i| a.replicas(i) != c.replicas(i)));
+    }
+
+    #[test]
+    fn covers_devices_roughly_uniformly() {
+        let s = RandomDuplicate::new(9, 3, 3600, 42);
+        let mut counts = vec![0usize; 9];
+        for b in 0..s.num_buckets() {
+            for &d in s.replicas(b) {
+                counts[d] += 1;
+            }
+        }
+        // 3600 × 3 / 9 = 1200 expected per device; allow ±15 %.
+        assert!(counts.iter().all(|&c| (1020..1380).contains(&c)), "{counts:?}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for allocation schemes and retrieval algorithms.
+
+use fqos_decluster::retrieval::{
+    design_theoretic_retrieval, hybrid_retrieval, max_flow_retrieval,
+};
+use fqos_decluster::{
+    AllocationScheme, DependentPeriodic, DesignTheoretic, Orthogonal, Partitioned, Raid1Chained,
+    Raid1Mirrored, RandomDuplicate,
+};
+use proptest::prelude::*;
+
+fn all_schemes() -> Vec<Box<dyn AllocationScheme>> {
+    vec![
+        Box::new(DesignTheoretic::paper_9_3_1()),
+        Box::new(DesignTheoretic::paper_13_3_1()),
+        Box::new(Raid1Mirrored::paper()),
+        Box::new(Raid1Chained::paper()),
+        Box::new(RandomDuplicate::new(9, 3, 36, 1)),
+        Box::new(Partitioned::new(9, 3, 36)),
+        Box::new(DependentPeriodic::new(9, 3, 2, 36)),
+        Box::new(Orthogonal::new(9, 72)),
+    ]
+}
+
+#[test]
+fn every_scheme_validates() {
+    for s in all_schemes() {
+        s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+    }
+}
+
+#[test]
+fn every_scheme_has_balanced_total_load() {
+    // Each device should hold roughly num_buckets·c/N replicas (exactly, for
+    // the structured schemes).
+    for s in all_schemes() {
+        let mut loads = vec![0usize; s.devices()];
+        for b in 0..s.num_buckets() {
+            for &d in s.replicas(b) {
+                loads[d] += 1;
+            }
+        }
+        let expected = s.num_buckets() * s.copies() / s.devices();
+        let name = s.name().to_string();
+        if name.starts_with("RDA") {
+            // Random: just require every device is used.
+            assert!(loads.iter().all(|&l| l > 0), "{name}: {loads:?}");
+        } else {
+            assert!(
+                loads.iter().all(|&l| l == expected),
+                "{name}: {loads:?} expected {expected}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The design-theoretic heuristic always produces a valid schedule whose
+    /// access count is sandwiched between the information bound and the
+    /// exact optimum + slack, and never uses a non-replica device.
+    #[test]
+    fn dtr_schedule_validity(
+        scheme_idx in 0usize..8,
+        buckets in prop::collection::vec(0usize..36, 1..30),
+    ) {
+        let schemes = all_schemes();
+        let s = &schemes[scheme_idx];
+        let reqs: Vec<&[usize]> =
+            buckets.iter().map(|&b| s.replicas(b % s.num_buckets())).collect();
+        let sched = design_theoretic_retrieval(&reqs, s.devices());
+        let lb = reqs.len().div_ceil(s.devices());
+        prop_assert!(sched.accesses >= lb);
+        for (i, r) in reqs.iter().enumerate() {
+            prop_assert!(r.contains(&sched.assignment[i]));
+        }
+        let loads = sched.device_loads(s.devices());
+        prop_assert_eq!(loads.iter().copied().max().unwrap_or(0), sched.accesses);
+    }
+
+    /// The heuristic never beats the exact max-flow optimum, and the hybrid
+    /// always equals the optimum.
+    #[test]
+    fn dtr_vs_exact_vs_hybrid(
+        scheme_idx in 0usize..8,
+        buckets in prop::collection::vec(0usize..36, 1..25),
+    ) {
+        let schemes = all_schemes();
+        let s = &schemes[scheme_idx];
+        let reqs: Vec<&[usize]> =
+            buckets.iter().map(|&b| s.replicas(b % s.num_buckets())).collect();
+        let heuristic = design_theoretic_retrieval(&reqs, s.devices());
+        let exact = max_flow_retrieval(&reqs, s.devices());
+        let (hybrid, _) = hybrid_retrieval(&reqs, s.devices());
+        prop_assert!(heuristic.accesses >= exact.accesses);
+        prop_assert_eq!(hybrid.accesses, exact.accesses);
+    }
+
+    /// Design guarantee as a property: any ≤ S(M) distinct buckets of the
+    /// (9,3,1) design retrieve within M accesses via the exact scheduler.
+    #[test]
+    fn design_guarantee_bounds_exact_cost(
+        seed in any::<u64>(),
+        m in 1usize..4,
+    ) {
+        let s = DesignTheoretic::paper_9_3_1();
+        let g = s.guarantee();
+        let k = g.buckets_in(m).min(s.num_buckets());
+        // Draw k distinct buckets deterministically from the seed.
+        let mut pool: Vec<usize> = (0..s.num_buckets()).collect();
+        let mut state = seed | 1;
+        for i in 0..k {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = i + (state >> 33) as usize % (pool.len() - i);
+            pool.swap(i, j);
+        }
+        let reqs: Vec<&[usize]> = pool[..k].iter().map(|&b| s.replicas(b)).collect();
+        let exact = max_flow_retrieval(&reqs, s.devices());
+        prop_assert!(
+            exact.accesses <= m,
+            "S({m}) = {k} buckets took {} accesses", exact.accesses
+        );
+    }
+
+    /// The same guarantee also holds through the heuristic (the paper's
+    /// claim that DTR achieves the bound for loads within S(M)).
+    #[test]
+    fn design_guarantee_bounds_heuristic_cost(
+        seed in any::<u64>(),
+        m in 1usize..3,
+    ) {
+        let s = DesignTheoretic::paper_9_3_1();
+        let k = s.guarantee().buckets_in(m);
+        let mut pool: Vec<usize> = (0..s.num_buckets()).collect();
+        let mut state = seed | 1;
+        for i in 0..k {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = i + (state >> 33) as usize % (pool.len() - i);
+            pool.swap(i, j);
+        }
+        let reqs: Vec<&[usize]> = pool[..k].iter().map(|&b| s.replicas(b)).collect();
+        let sched = design_theoretic_retrieval(&reqs, s.devices());
+        prop_assert!(sched.accesses <= m, "heuristic took {} > {m}", sched.accesses);
+    }
+}

@@ -1,0 +1,267 @@
+//! Difference families and their development into block designs.
+//!
+//! A set of base blocks `B_1, …, B_t ⊂ Z_v` is a *(v, k, λ) difference
+//! family* if every nonzero residue of `Z_v` occurs exactly `λ` times among
+//! the pairwise differences `x − y (mod v)` of elements within the base
+//! blocks. Translating ("developing") each base block through `Z_v` then
+//! yields a `(v, k, λ)` design — the construction behind the paper's
+//! `(13,3,1)` design.
+
+use crate::design::{Block, Design};
+use crate::error::DesignError;
+
+/// Check whether `base_blocks` form a `(v, k, λ)` difference family.
+pub fn is_difference_family(
+    v: usize,
+    k: usize,
+    lambda: usize,
+    base_blocks: &[Block],
+) -> Result<(), DesignError> {
+    let mut diff_count = vec![0usize; v];
+    for (bi, block) in base_blocks.iter().enumerate() {
+        if block.len() != k {
+            return Err(DesignError::WrongBlockSize { block: bi, len: block.len(), k });
+        }
+        for &p in block {
+            if p >= v {
+                return Err(DesignError::PointOutOfRange { block: bi, point: p, v });
+            }
+        }
+        for i in 0..block.len() {
+            for j in 0..block.len() {
+                if i != j {
+                    let d = (block[i] + v - block[j]) % v;
+                    diff_count[d] += 1;
+                }
+            }
+        }
+    }
+    for d in 1..v {
+        if diff_count[d] != lambda {
+            return Err(DesignError::PairCoverage {
+                a: 0,
+                b: d,
+                observed: diff_count[d],
+                lambda,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Develop base blocks through `Z_v`: every block is translated by every
+/// residue, producing `t·v` blocks. If the base blocks form a difference
+/// family the result is a `(v, k, λ)` design.
+pub fn develop(v: usize, k: usize, lambda: usize, base_blocks: &[Block]) -> Design {
+    let mut blocks = Vec::with_capacity(base_blocks.len() * v);
+    for base in base_blocks {
+        for shift in 0..v {
+            blocks.push(base.iter().map(|&p| (p + shift) % v).collect());
+        }
+    }
+    Design::new_unchecked(v, k, lambda, blocks)
+}
+
+/// Develop and verify in one step.
+pub fn develop_verified(
+    v: usize,
+    k: usize,
+    lambda: usize,
+    base_blocks: &[Block],
+) -> Result<Design, DesignError> {
+    is_difference_family(v, k, lambda, base_blocks)?;
+    let d = develop(v, k, lambda, base_blocks);
+    d.verify()?;
+    Ok(d)
+}
+
+/// Search for a `(v, k, 1)` cyclic difference family by backtracking.
+///
+/// Admissibility requires `k(k−1) | v−1`; the family has
+/// `t = (v−1)/(k(k−1))` base blocks, each normalized to contain 0. Returns
+/// `None` when no *cyclic* family exists (some admissible parameter sets
+/// only have non-cyclic designs). Practical for the catalog's range
+/// (`v ≲ 50`, `k ≤ 5`).
+pub fn find_difference_family(v: usize, k: usize) -> Option<Vec<Block>> {
+    if k < 2 || v <= k || (v - 1) % (k * (k - 1)) != 0 {
+        return None;
+    }
+    let t = (v - 1) / (k * (k - 1));
+    let mut used = vec![false; v]; // used[d] for nonzero differences
+    let mut family: Vec<Block> = Vec::with_capacity(t);
+    if search_family(v, k, t, &mut family, &mut used) {
+        Some(family)
+    } else {
+        None
+    }
+}
+
+fn search_family(
+    v: usize,
+    k: usize,
+    t: usize,
+    family: &mut Vec<Block>,
+    used: &mut [bool],
+) -> bool {
+    if family.len() == t {
+        return true;
+    }
+    // Canonicalization: the smallest still-uncovered difference `d0` must be
+    // produced by some block; translate that block so the producing pair is
+    // (0, d0). The remaining k−2 elements can lie anywhere in Z_v.
+    let Some(d0) = (1..=v / 2).find(|&d| !used[d]) else {
+        return false;
+    };
+    let mut block = vec![0, d0];
+    used[d0] = true;
+    used[v - d0] = true;
+    let found = complete_block(v, k, t, 1, &mut block, family, used);
+    used[d0] = false;
+    used[v - d0] = false;
+    found
+}
+
+/// Extend `block` (containing `{0, d0, …}` with all internal differences
+/// marked) by elements `>= from`, and recurse into the family search once
+/// the block reaches size `k`.
+fn complete_block(
+    v: usize,
+    k: usize,
+    t: usize,
+    from: usize,
+    block: &mut Block,
+    family: &mut Vec<Block>,
+    used: &mut [bool],
+) -> bool {
+    if block.len() == k {
+        let mut sorted = block.clone();
+        sorted.sort_unstable();
+        family.push(sorted);
+        if search_family(v, k, t, family, used) {
+            return true;
+        }
+        family.pop();
+        return false;
+    }
+    for next in from..v {
+        if block.contains(&next) {
+            continue;
+        }
+        // Differences of `next` against every member must be unused and
+        // mutually distinct (as ± classes).
+        let mut classes: Vec<usize> = Vec::with_capacity(block.len());
+        let mut ok = true;
+        for &b in block.iter() {
+            let d = if next > b { next - b } else { b - next };
+            let class = d.min(v - d);
+            if used[class] || classes.contains(&class) {
+                ok = false;
+                break;
+            }
+            classes.push(class);
+        }
+        if !ok {
+            continue;
+        }
+        for &c in &classes {
+            used[c] = true;
+            used[v - c] = true;
+        }
+        block.push(next);
+        if complete_block(v, k, t, next + 1, block, family, used) {
+            return true;
+        }
+        block.pop();
+        for &c in &classes {
+            used[c] = false;
+            used[v - c] = false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fano_difference_family() {
+        // {0,1,3} is the classical (7,3,1) planar difference set.
+        let base = vec![vec![0, 1, 3]];
+        is_difference_family(7, 3, 1, &base).unwrap();
+        let d = develop_verified(7, 3, 1, &base).unwrap();
+        assert_eq!(d.num_blocks(), 7);
+    }
+
+    #[test]
+    fn design_13_3_1_difference_family() {
+        // The classical pair of base blocks for v = 13.
+        let base = vec![vec![0, 1, 4], vec![0, 2, 7]];
+        is_difference_family(13, 3, 1, &base).unwrap();
+        let d = develop_verified(13, 3, 1, &base).unwrap();
+        assert_eq!(d.num_blocks(), 26);
+    }
+
+    #[test]
+    fn rejects_non_family() {
+        // {0,1,2} has differences {1,1,2} (doubled) — not a (7,3,1) family.
+        let base = vec![vec![0, 1, 2]];
+        assert!(is_difference_family(7, 3, 1, &base).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_block() {
+        assert!(is_difference_family(7, 3, 1, &[vec![0, 1]]).is_err());
+        assert!(is_difference_family(7, 3, 1, &[vec![0, 1, 9]]).is_err());
+    }
+
+    #[test]
+    fn search_finds_k3_families() {
+        // All admissible v ≡ 1, 7 (mod 6·?): k = 3 needs 6 | v−1.
+        for v in [7usize, 13, 19, 25, 31, 37] {
+            let family = find_difference_family(v, 3)
+                .unwrap_or_else(|| panic!("no (v={v}, k=3) family found"));
+            assert_eq!(family.len(), (v - 1) / 6);
+            let d = develop_verified(v, 3, 1, &family)
+                .unwrap_or_else(|e| panic!("({v},3,1): {e}"));
+            assert_eq!(d.num_blocks(), v * (v - 1) / 6);
+        }
+    }
+
+    #[test]
+    fn search_finds_k4_families() {
+        // k = 4 needs 12 | v−1: v = 13 (PG(2,3)) and 37 have cyclic
+        // families.
+        for v in [13usize, 37] {
+            let family = find_difference_family(v, 4)
+                .unwrap_or_else(|| panic!("no (v={v}, k=4) family found"));
+            assert_eq!(family.len(), (v - 1) / 12);
+            develop_verified(v, 4, 1, &family)
+                .unwrap_or_else(|e| panic!("({v},4,1): {e}"));
+        }
+    }
+
+    #[test]
+    fn no_cyclic_25_4_1_family() {
+        // A (25,4,1) design exists (it is even resolvable), but not as a
+        // cyclic difference family over Z_25 — the classical construction
+        // lives over the elementary abelian group GF(5)². The exhaustive
+        // search correctly proves the cyclic case impossible.
+        assert!(find_difference_family(25, 4).is_none());
+    }
+
+    #[test]
+    fn search_finds_k5_family_for_21() {
+        // (21,5,1): the projective plane of order 4, cyclic.
+        let family = find_difference_family(21, 5).expect("(21,5,1) family");
+        assert_eq!(family.len(), 1);
+        develop_verified(21, 5, 1, &family).unwrap();
+    }
+
+    #[test]
+    fn search_rejects_inadmissible_parameters() {
+        assert!(find_difference_family(8, 3).is_none()); // 6 ∤ 7
+        assert!(find_difference_family(14, 4).is_none()); // 12 ∤ 13
+        assert!(find_difference_family(4, 5).is_none()); // v <= k
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for design construction and verification.
+
+use std::fmt;
+
+/// Errors raised while constructing or verifying a block design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// A block references a point `>= v`.
+    PointOutOfRange { block: usize, point: usize, v: usize },
+    /// A block has the wrong number of points.
+    WrongBlockSize { block: usize, len: usize, k: usize },
+    /// A block contains a repeated point.
+    RepeatedPoint { block: usize, point: usize },
+    /// A pair of points is covered a different number of times than `λ`.
+    PairCoverage {
+        a: usize,
+        b: usize,
+        observed: usize,
+        lambda: usize,
+    },
+    /// The number of blocks does not match `λ·v(v−1) / (k(k−1))`.
+    BlockCount { observed: usize, expected: usize },
+    /// No construction is known for the requested parameters.
+    NoKnownConstruction { v: usize, k: usize, lambda: usize },
+    /// Parameters are structurally impossible (admissibility conditions fail).
+    Inadmissible { v: usize, k: usize, lambda: usize, reason: &'static str },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::PointOutOfRange { block, point, v } => {
+                write!(f, "block {block} references point {point} >= v = {v}")
+            }
+            DesignError::WrongBlockSize { block, len, k } => {
+                write!(f, "block {block} has {len} points, expected k = {k}")
+            }
+            DesignError::RepeatedPoint { block, point } => {
+                write!(f, "block {block} repeats point {point}")
+            }
+            DesignError::PairCoverage { a, b, observed, lambda } => write!(
+                f,
+                "pair ({a},{b}) covered {observed} times, expected λ = {lambda}"
+            ),
+            DesignError::BlockCount { observed, expected } => {
+                write!(f, "design has {observed} blocks, expected {expected}")
+            }
+            DesignError::NoKnownConstruction { v, k, lambda } => {
+                write!(f, "no known construction for a ({v},{k},{lambda}) design")
+            }
+            DesignError::Inadmissible { v, k, lambda, reason } => {
+                write!(f, "({v},{k},{lambda}) design is inadmissible: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}

@@ -1,0 +1,139 @@
+//! The retrieval-guarantee algebra of design-theoretic declustering.
+//!
+//! An `(N, c, 1)` design guarantees that **any** `S(M) = (c−1)·M² + c·M`
+//! buckets can be retrieved with at most `M` parallel accesses, regardless of
+//! which buckets are requested (Tosun, ITCC 2005; §II-B2 of the paper).
+
+use crate::design::Design;
+
+/// Worst-case retrieval guarantee of an `(N, c, 1)` replicated declustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrievalGuarantee {
+    /// Number of devices `N`.
+    pub devices: usize,
+    /// Replication factor `c` (the design's block size `k`).
+    pub copies: usize,
+}
+
+impl RetrievalGuarantee {
+    /// Guarantee parameters of a concrete design.
+    pub fn of(design: &Design) -> Self {
+        RetrievalGuarantee { devices: design.v(), copies: design.k() }
+    }
+
+    /// Build from raw parameters.
+    pub fn new(devices: usize, copies: usize) -> Self {
+        RetrievalGuarantee { devices, copies }
+    }
+
+    /// `S(M) = (c−1)·M² + c·M`: the maximum number of buckets guaranteed to
+    /// be retrievable in `M` accesses.
+    ///
+    /// For the `(9,3,1)` design: `S(1) = 5`, `S(2) = 14`, `S(3) = 27`.
+    pub fn buckets_in(&self, accesses: usize) -> usize {
+        let c = self.copies;
+        (c - 1) * accesses * accesses + c * accesses
+    }
+
+    /// The inverse of [`Self::buckets_in`]: the smallest `M` such that
+    /// `S(M) >= buckets` — the worst-case number of accesses needed for any
+    /// request of `buckets` buckets. Returns 0 for an empty request.
+    pub fn accesses_for(&self, buckets: usize) -> usize {
+        if buckets == 0 {
+            return 0;
+        }
+        let c = self.copies;
+        if c == 1 {
+            // No replication: worst case everything is on one device.
+            return buckets;
+        }
+        // Solve (c-1)M² + cM >= b for the smallest integer M ≥ 1.
+        let a = (c - 1) as f64;
+        let bq = c as f64;
+        let disc = bq * bq + 4.0 * a * buckets as f64;
+        let mut m = ((-bq + disc.sqrt()) / (2.0 * a)).ceil() as usize;
+        m = m.max(1);
+        // Guard against floating point edge cases: adjust to the true bound.
+        while m > 1 && self.buckets_in(m - 1) >= buckets {
+            m -= 1;
+        }
+        while self.buckets_in(m) < buckets {
+            m += 1;
+        }
+        m
+    }
+
+    /// The optimal (lower-bound) number of accesses: `⌈b / N⌉`. No schedule
+    /// can do better since each access touches each device at most once.
+    pub fn optimal_accesses(&self, buckets: usize) -> usize {
+        buckets.div_ceil(self.devices)
+    }
+
+    /// Number of distinct buckets supported when every design block is used
+    /// in all `c` rotations: `N(N−1)/(c−1)` (= 36 for the `(9,3,1)` design).
+    pub fn supported_buckets(&self) -> usize {
+        self.devices * (self.devices - 1) / (self.copies - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g931() -> RetrievalGuarantee {
+        RetrievalGuarantee::new(9, 3)
+    }
+
+    #[test]
+    fn paper_values_9_3_1() {
+        let g = g931();
+        assert_eq!(g.buckets_in(1), 5);
+        assert_eq!(g.buckets_in(2), 14);
+        assert_eq!(g.buckets_in(3), 27);
+        assert_eq!(g.supported_buckets(), 36);
+    }
+
+    #[test]
+    fn paper_values_two_copies() {
+        // §II-B3: for c = 2, 3 buckets in 1 access, 8 in 2, 15 in 3.
+        let g = RetrievalGuarantee::new(9, 2);
+        assert_eq!(g.buckets_in(1), 3);
+        assert_eq!(g.buckets_in(2), 8);
+        assert_eq!(g.buckets_in(3), 15);
+    }
+
+    #[test]
+    fn accesses_for_inverts_buckets_in() {
+        for copies in 2..=5 {
+            let g = RetrievalGuarantee::new(9, copies);
+            for m in 1..=10 {
+                let s = g.buckets_in(m);
+                assert_eq!(g.accesses_for(s), m, "c={copies} M={m}");
+                assert_eq!(g.accesses_for(s + 1), m + 1, "c={copies} M={m} (s+1)");
+                if m > 1 {
+                    assert_eq!(g.accesses_for(s - 1), m, "c={copies} M={m} (s-1)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accesses_for_edge_cases() {
+        let g = g931();
+        assert_eq!(g.accesses_for(0), 0);
+        assert_eq!(g.accesses_for(1), 1);
+        assert_eq!(g.accesses_for(5), 1);
+        assert_eq!(g.accesses_for(6), 2);
+        // Single copy degenerates to serial retrieval.
+        let g1 = RetrievalGuarantee::new(9, 1);
+        assert_eq!(g1.accesses_for(7), 7);
+    }
+
+    #[test]
+    fn optimal_accesses_matches_ceiling() {
+        let g = g931();
+        assert_eq!(g.optimal_accesses(9), 1);
+        assert_eq!(g.optimal_accesses(10), 2);
+        assert_eq!(g.optimal_accesses(0), 0);
+    }
+}

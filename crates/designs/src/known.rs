@@ -1,0 +1,78 @@
+//! The specific designs used by the paper's experiments.
+
+use crate::design::Design;
+use crate::difference;
+use crate::steiner;
+
+/// The `(9,3,1)` design of the paper's Fig. 2, block for block.
+///
+/// 9 devices, 3 copies, every device pair shares exactly one block. Used for
+/// the synthetic experiments (Table III) and the Exchange workload.
+pub fn design_9_3_1() -> Design {
+    Design::new_unchecked(
+        9,
+        3,
+        1,
+        vec![
+            vec![0, 1, 2],
+            vec![0, 3, 6],
+            vec![0, 4, 8],
+            vec![0, 5, 7],
+            vec![1, 3, 8],
+            vec![1, 4, 7],
+            vec![1, 5, 6],
+            vec![2, 3, 7],
+            vec![2, 4, 6],
+            vec![2, 5, 8],
+            vec![3, 4, 5],
+            vec![6, 7, 8],
+        ],
+    )
+}
+
+/// The `(13,3,1)` design used for the TPC-E workload (13 active volumes),
+/// developed from the classical difference family `{0,1,4}, {0,2,7} mod 13`.
+pub fn design_13_3_1() -> Design {
+    difference::develop(13, 3, 1, &[vec![0, 1, 4], vec![0, 2, 7]])
+}
+
+/// The Fano plane `(7,3,1)` — the smallest Steiner triple system; handy for
+/// small tests and examples.
+pub fn design_7_3_1() -> Design {
+    steiner::netto(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_9_3_1_is_valid() {
+        let d = design_9_3_1();
+        d.verify().unwrap();
+        assert_eq!(d.v(), 9);
+        assert_eq!(d.k(), 3);
+        assert_eq!(d.num_blocks(), 12);
+        assert_eq!(d.replication_number(), 4);
+    }
+
+    #[test]
+    fn paper_design_9_3_1_matches_fig2_block_zero() {
+        // Fig. 2's first column is (0,1,2): devices 0, 1 and 2 store the
+        // three copies of the first design block.
+        assert_eq!(design_9_3_1().blocks()[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn design_13_3_1_is_valid() {
+        let d = design_13_3_1();
+        d.verify().unwrap();
+        assert_eq!(d.v(), 13);
+        assert_eq!(d.num_blocks(), 26);
+    }
+
+    #[test]
+    fn fano_is_valid() {
+        design_7_3_1().verify().unwrap();
+    }
+}

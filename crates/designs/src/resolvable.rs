@@ -1,0 +1,256 @@
+//! Resolutions of block designs into parallel classes.
+//!
+//! A *parallel class* is a set of `v/k` pairwise-disjoint blocks covering
+//! every point exactly once; a design is *resolvable* (a Kirkman system for
+//! `k = 3`) when its blocks partition into `r = (v−1)/(k−1)` parallel
+//! classes. Parallel classes matter operationally: one class is a retrieval
+//! round that touches **every device exactly once** — the unit of
+//! full-bandwidth bulk work (scrubbing, migration, rebuild) that coexists
+//! with the QoS guarantee because it consumes exactly one access per device
+//! per round.
+
+use crate::design::Design;
+
+/// A resolution: parallel classes of block indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// `classes[c]` lists the block indices of parallel class `c`.
+    pub classes: Vec<Vec<usize>>,
+}
+
+impl Resolution {
+    /// Number of parallel classes (`r` for a full resolution).
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Search for a resolution of `design` by exact-cover backtracking with the
+/// default node budget. Returns `None` if the design is not resolvable
+/// (e.g. the Fano plane) or the budget is exhausted before a resolution is
+/// found. Practical for `v ≲ 30`.
+pub fn find_resolution(design: &Design) -> Option<Resolution> {
+    find_resolution_with_budget(design, 20_000_000)
+}
+
+/// [`find_resolution`] with an explicit backtracking-node budget. Proving
+/// *non*-resolvability is exponential, so a budget keeps the search
+/// predictable; `None` therefore means "not resolvable or not found within
+/// budget".
+pub fn find_resolution_with_budget(design: &Design, budget: u64) -> Option<Resolution> {
+    let v = design.v();
+    let k = design.k();
+    if v % k != 0 {
+        return None; // parallel classes need k | v
+    }
+    let blocks = design.blocks();
+    let num_classes = design.replication_number();
+    let per_class = v / k;
+
+    // Precompute block point-masks (v <= 64 supported).
+    if v > 64 {
+        return None;
+    }
+    let masks: Vec<u64> = blocks
+        .iter()
+        .map(|b| b.iter().fold(0u64, |m, &p| m | (1 << p)))
+        .collect();
+    let full: u64 = if v == 64 { u64::MAX } else { (1 << v) - 1 };
+
+    let mut used = vec![false; blocks.len()];
+    let mut classes: Vec<Vec<usize>> = Vec::with_capacity(num_classes);
+    let mut nodes = budget;
+    if build_classes(&masks, full, &mut used, &mut classes, num_classes, per_class, &mut nodes) {
+        Some(Resolution { classes })
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_classes(
+    masks: &[u64],
+    full: u64,
+    used: &mut [bool],
+    classes: &mut Vec<Vec<usize>>,
+    num_classes: usize,
+    per_class: usize,
+    nodes: &mut u64,
+) -> bool {
+    if classes.len() == num_classes {
+        return used.iter().all(|&u| u);
+    }
+    // Canonicalization: each new class must contain the lowest-indexed
+    // unused block (it has to belong to some remaining class).
+    let Some(seed) = used.iter().position(|&u| !u) else {
+        return false;
+    };
+    let mut class = vec![seed];
+    used[seed] = true;
+    let ok = extend_class(
+        masks,
+        full,
+        masks[seed],
+        seed + 1,
+        used,
+        &mut class,
+        classes,
+        num_classes,
+        per_class,
+        nodes,
+    );
+    used[seed] = false;
+    ok
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_class(
+    masks: &[u64],
+    full: u64,
+    covered: u64,
+    from: usize,
+    used: &mut [bool],
+    class: &mut Vec<usize>,
+    classes: &mut Vec<Vec<usize>>,
+    num_classes: usize,
+    per_class: usize,
+    nodes: &mut u64,
+) -> bool {
+    if *nodes == 0 {
+        return false;
+    }
+    *nodes -= 1;
+    if class.len() == per_class {
+        if covered != full {
+            return false;
+        }
+        classes.push(class.clone());
+        let done =
+            build_classes(masks, full, used, classes, num_classes, per_class, nodes);
+        if done {
+            return true;
+        }
+        classes.pop();
+        return false;
+    }
+    for b in from..masks.len() {
+        if used[b] || masks[b] & covered != 0 {
+            continue;
+        }
+        used[b] = true;
+        class.push(b);
+        if extend_class(
+            masks,
+            full,
+            covered | masks[b],
+            b + 1,
+            used,
+            class,
+            classes,
+            num_classes,
+            per_class,
+            nodes,
+        ) {
+            return true;
+        }
+        class.pop();
+        used[b] = false;
+    }
+    false
+}
+
+/// Verify that `resolution` really resolves `design`.
+pub fn verify_resolution(design: &Design, resolution: &Resolution) -> Result<(), String> {
+    let expected_classes = design.replication_number();
+    if resolution.num_classes() != expected_classes {
+        return Err(format!(
+            "{} classes, expected {expected_classes}",
+            resolution.num_classes()
+        ));
+    }
+    let mut seen = vec![false; design.num_blocks()];
+    for (ci, class) in resolution.classes.iter().enumerate() {
+        let mut covered = vec![false; design.v()];
+        for &bi in class {
+            if seen[bi] {
+                return Err(format!("block {bi} appears in two classes"));
+            }
+            seen[bi] = true;
+            for &p in &design.blocks()[bi] {
+                if covered[p] {
+                    return Err(format!("class {ci} covers point {p} twice"));
+                }
+                covered[p] = true;
+            }
+        }
+        if !covered.iter().all(|&c| c) {
+            return Err(format!("class {ci} does not cover every point"));
+        }
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err("not every block is classified".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::known;
+    use crate::steiner;
+
+    #[test]
+    fn sts9_is_kirkman() {
+        // STS(9) is famously resolvable: 4 parallel classes of 3 blocks.
+        let d = known::design_9_3_1();
+        let r = find_resolution(&d).expect("STS(9) resolves");
+        assert_eq!(r.num_classes(), 4);
+        verify_resolution(&d, &r).unwrap();
+    }
+
+    #[test]
+    fn bose_sts15_is_not_resolvable() {
+        // Resolvable STS(15)s exist (Kirkman's schoolgirl problem), but the
+        // specific system the Bose construction produces is NOT one of
+        // them — the exhaustive exact-cover search proves it quickly. (Only
+        // 4 of the 80 non-isomorphic STS(15)s are resolvable.)
+        let d = steiner::bose(15);
+        assert!(find_resolution(&d).is_none());
+    }
+
+    #[test]
+    fn fano_is_not_resolvable() {
+        // v = 7 is not divisible by k = 3: no parallel classes at all.
+        let d = known::design_7_3_1();
+        assert!(find_resolution(&d).is_none());
+    }
+
+    #[test]
+    fn verification_rejects_corrupt_resolutions() {
+        let d = known::design_9_3_1();
+        let r = find_resolution(&d).unwrap();
+        // Swap one block between classes: coverage must break.
+        let mut bad = r.clone();
+        let moved = bad.classes[0].pop().unwrap();
+        bad.classes[1].push(moved);
+        assert!(verify_resolution(&d, &bad).is_err());
+
+        let mut short = r.clone();
+        short.classes.pop();
+        assert!(verify_resolution(&d, &short).is_err());
+    }
+
+    #[test]
+    fn each_class_touches_every_device_once() {
+        // The operational property: a parallel class = one access round
+        // using all N devices simultaneously.
+        let d = known::design_9_3_1();
+        let r = find_resolution(&d).unwrap();
+        for class in &r.classes {
+            let mut devices: Vec<usize> =
+                class.iter().flat_map(|&b| d.blocks()[b].iter().copied()).collect();
+            devices.sort_unstable();
+            assert_eq!(devices, (0..9).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Eclat: vertical tid-list mining (Zaki, TKDE 2000).
+//!
+//! Each item carries the sorted list of transaction ids containing it; the
+//! support of a pair is the size of the intersection of the two lists.
+//! Intersections are only computed for pairs that actually co-occur
+//! (gathered in a cheap horizontal pass), not all `F²` frequent-item pairs.
+
+use crate::transaction::{lbn_pair, FrequentPair, PairMiner, TransactionDb};
+use std::collections::HashSet;
+
+/// Eclat pair miner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Eclat;
+
+impl PairMiner for Eclat {
+    fn name(&self) -> &'static str {
+        "eclat"
+    }
+
+    fn mine_pairs(&self, db: &TransactionDb, min_support: u32) -> Vec<FrequentPair> {
+        let min_support = min_support.max(1);
+
+        // Vertical representation: tid-lists per item.
+        let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); db.num_items()];
+        for (tid, t) in db.transactions().iter().enumerate() {
+            for &i in t {
+                tidlists[i as usize].push(tid as u32);
+            }
+        }
+        let frequent: Vec<bool> =
+            tidlists.iter().map(|l| l.len() as u32 >= min_support).collect();
+
+        // Candidate pairs: pairs of frequent items that co-occur at least
+        // once.
+        let mut candidates: HashSet<(u32, u32)> = HashSet::new();
+        let mut kept: Vec<u32> = Vec::new();
+        for t in db.transactions() {
+            kept.clear();
+            kept.extend(t.iter().copied().filter(|&i| frequent[i as usize]));
+            for i in 0..kept.len() {
+                for j in (i + 1)..kept.len() {
+                    candidates.insert((kept[i], kept[j]));
+                }
+            }
+        }
+
+        let mut out: Vec<FrequentPair> = candidates
+            .into_iter()
+            .filter_map(|(x, y)| {
+                let support = intersection_size(&tidlists[x as usize], &tidlists[y as usize]);
+                if support >= min_support {
+                    let (a, b) = lbn_pair(db, x, y);
+                    Some(FrequentPair { a, b, support })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn peak_bytes_estimate(&self, db: &TransactionDb, pairs_found: usize) -> usize {
+        // Tid-lists hold every item occurrence as a u32, plus the candidate
+        // set.
+        db.total_occurrences() * 4 + pairs_found * 16
+    }
+}
+
+/// Size of the intersection of two sorted tid-lists (merge scan).
+fn intersection_size(a: &[u32], b: &[u32]) -> u32 {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::brute_force_pairs;
+
+    #[test]
+    fn intersection_basics() {
+        assert_eq!(intersection_size(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[5], &[5]), 1);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let db = TransactionDb::from_transactions(
+            vec![
+                vec![0, 1, 2],
+                vec![1, 2, 3],
+                vec![0, 2, 3],
+                vec![0, 1, 3],
+                vec![0, 1, 2, 3],
+            ],
+            4,
+        );
+        for support in 1..=5 {
+            assert_eq!(
+                Eclat.mine_pairs(&db, support),
+                brute_force_pairs(&db, support),
+                "support {support}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_apriori() {
+        use crate::apriori::Apriori;
+        let db = TransactionDb::from_transactions(
+            vec![vec![0, 5, 9], vec![0, 5], vec![9, 5], vec![1, 2, 3, 4], vec![0, 9]],
+            10,
+        );
+        for support in 1..=3 {
+            assert_eq!(Eclat.mine_pairs(&db, support), Apriori.mine_pairs(&db, support));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! FP-Growth: frequent-pattern tree mining (Han, Pei & Yin, SIGMOD 2000).
+//!
+//! Transactions are inserted into a prefix tree with items ordered by
+//! descending support; shared prefixes compress the database. For set size
+//! 2 the mining step is a single tree walk: every node contributes its
+//! count to the pair (node item, ancestor item) for each ancestor.
+
+use crate::transaction::{lbn_pair, FrequentPair, PairMiner, TransactionDb};
+use std::collections::HashMap;
+
+/// FP-Growth pair miner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpGrowth;
+
+#[derive(Debug)]
+struct Node {
+    item: u32,
+    count: u32,
+    parent: usize,
+    /// Child lookup: item → node index.
+    children: HashMap<u32, usize>,
+}
+
+impl PairMiner for FpGrowth {
+    fn name(&self) -> &'static str {
+        "fp-growth"
+    }
+
+    fn mine_pairs(&self, db: &TransactionDb, min_support: u32) -> Vec<FrequentPair> {
+        let min_support = min_support.max(1);
+
+        // Item supports and frequency order.
+        let mut item_support = vec![0u32; db.num_items()];
+        for t in db.transactions() {
+            for &i in t {
+                item_support[i as usize] += 1;
+            }
+        }
+        // rank[item] = position in descending-support order (frequent only).
+        let mut order: Vec<u32> = (0..db.num_items() as u32)
+            .filter(|&i| item_support[i as usize] >= min_support)
+            .collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(item_support[i as usize]));
+        let mut rank = vec![u32::MAX; db.num_items()];
+        for (r, &i) in order.iter().enumerate() {
+            rank[i as usize] = r as u32;
+        }
+
+        // Build the FP-tree. Node 0 is the root.
+        let mut nodes = vec![Node {
+            item: u32::MAX,
+            count: 0,
+            parent: usize::MAX,
+            children: HashMap::new(),
+        }];
+        let mut sorted_tx: Vec<u32> = Vec::new();
+        for t in db.transactions() {
+            sorted_tx.clear();
+            sorted_tx.extend(t.iter().copied().filter(|&i| rank[i as usize] != u32::MAX));
+            sorted_tx.sort_by_key(|&i| rank[i as usize]);
+            let mut cur = 0usize;
+            for &item in &sorted_tx {
+                cur = match nodes[cur].children.get(&item) {
+                    Some(&c) => {
+                        nodes[c].count += 1;
+                        c
+                    }
+                    None => {
+                        let idx = nodes.len();
+                        nodes.push(Node {
+                            item,
+                            count: 1,
+                            parent: cur,
+                            children: HashMap::new(),
+                        });
+                        nodes[cur].children.insert(item, idx);
+                        idx
+                    }
+                };
+            }
+        }
+
+        // Mine pairs: each node's count flows to (node item, every ancestor).
+        let mut pair_counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for idx in 1..nodes.len() {
+            let item = nodes[idx].item;
+            let count = nodes[idx].count;
+            let mut anc = nodes[idx].parent;
+            while anc != 0 {
+                *pair_counts.entry((nodes[anc].item, item)).or_insert(0) += count;
+                anc = nodes[anc].parent;
+            }
+        }
+
+        let mut out: Vec<FrequentPair> = pair_counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_support)
+            .map(|((x, y), support)| {
+                let (a, b) = lbn_pair(db, x, y);
+                FrequentPair { a, b, support }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn peak_bytes_estimate(&self, db: &TransactionDb, pairs_found: usize) -> usize {
+        // Upper bound: one tree node per item occurrence (no sharing) at
+        // ~64 B per node, plus the pair map.
+        db.total_occurrences() * 64 + pairs_found * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::brute_force_pairs;
+
+    #[test]
+    fn matches_brute_force() {
+        let db = TransactionDb::from_transactions(
+            vec![
+                vec![0, 1, 2, 4],
+                vec![1, 2, 3],
+                vec![0, 2, 3],
+                vec![0, 1, 3],
+                vec![0, 1, 2, 3],
+                vec![4],
+                vec![2, 4],
+            ],
+            5,
+        );
+        for support in 1..=5 {
+            assert_eq!(
+                FpGrowth.mine_pairs(&db, support),
+                brute_force_pairs(&db, support),
+                "support {support}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_compression_preserves_counts() {
+        // Many identical transactions share one path; the pair count must be
+        // the transaction count, not 1.
+        let db = TransactionDb::from_transactions(vec![vec![3, 7]; 50], 8);
+        let pairs = FpGrowth.mine_pairs(&db, 1);
+        assert_eq!(pairs, vec![FrequentPair { a: 3, b: 7, support: 50 }]);
+    }
+
+    #[test]
+    fn infrequent_items_are_pruned_before_tree_build() {
+        let db = TransactionDb::from_transactions(
+            vec![vec![0, 1], vec![0, 1], vec![0, 2]],
+            3,
+        );
+        // With support 2, item 2 is infrequent → only pair (0,1).
+        let pairs = FpGrowth.mine_pairs(&db, 2);
+        assert_eq!(pairs, vec![FrequentPair { a: 0, b: 1, support: 2 }]);
+    }
+
+    #[test]
+    fn all_three_miners_agree() {
+        use crate::{Apriori, Eclat};
+        let db = TransactionDb::from_transactions(
+            vec![
+                vec![0, 2, 4, 6, 8],
+                vec![1, 3, 5, 7],
+                vec![0, 1, 2, 3],
+                vec![4, 5, 6, 7],
+                vec![0, 4, 8],
+                vec![2, 6],
+            ],
+            9,
+        );
+        for support in 1..=3 {
+            let a = Apriori.mine_pairs(&db, support);
+            assert_eq!(a, Eclat.mine_pairs(&db, support), "eclat, support {support}");
+            assert_eq!(a, FpGrowth.mine_pairs(&db, support), "fp-growth, support {support}");
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! General frequent-itemset mining (arbitrary set size) and association
+//! rules.
+//!
+//! The QoS framework only needs size-2 itemsets, but the paper's §IV-A
+//! describes the general FIM problem ("x customers who bought item1 also
+//! bought item2 … y who bought item1 and item2 together also bought item3")
+//! — this module provides it: level-wise Apriori with candidate generation
+//! and a recursive Eclat, cross-checked against each other, plus
+//! association-rule extraction with support/confidence.
+
+use crate::transaction::TransactionDb;
+use std::collections::HashMap;
+
+/// A frequent itemset in LBN space, items sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FrequentItemset {
+    /// Sorted member blocks.
+    pub items: Vec<u64>,
+    /// Number of transactions containing all members.
+    pub support: u32,
+}
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Sorted antecedent items.
+    pub antecedent: Vec<u64>,
+    /// Sorted consequent items (disjoint from the antecedent).
+    pub consequent: Vec<u64>,
+    /// Support of the full itemset.
+    pub support: u32,
+    /// `support(A ∪ C) / support(A)`.
+    pub confidence: f64,
+}
+
+/// Level-wise Apriori: mine all frequent itemsets of size `2..=max_k`.
+pub fn apriori_itemsets(
+    db: &TransactionDb,
+    min_support: u32,
+    max_k: usize,
+) -> Vec<FrequentItemset> {
+    let min_support = min_support.max(1);
+    if max_k < 2 || db.is_empty() {
+        return Vec::new();
+    }
+
+    // L1: frequent items (dense ids).
+    let mut item_support = vec![0u32; db.num_items()];
+    for t in db.transactions() {
+        for &i in t {
+            item_support[i as usize] += 1;
+        }
+    }
+    let frequent_item: Vec<bool> =
+        item_support.iter().map(|&s| s >= min_support).collect();
+
+    // Pre-filter transactions to frequent items only.
+    let filtered: Vec<Vec<u32>> = db
+        .transactions()
+        .iter()
+        .map(|t| t.iter().copied().filter(|&i| frequent_item[i as usize]).collect())
+        .collect();
+
+    let mut out = Vec::new();
+    // Current level: sorted itemsets (as Vec<u32>) with supports.
+    let mut level: Vec<Vec<u32>> = count_level(&filtered, &candidates_from_items(&frequent_item))
+        .into_iter()
+        .filter(|(_, s)| *s >= min_support)
+        .map(|(set, s)| {
+            out.push(to_lbn_itemset(db, &set, s));
+            set
+        })
+        .collect();
+    level.sort();
+
+    let mut k = 2;
+    while k < max_k && !level.is_empty() {
+        let candidates = generate_candidates(&level);
+        let counted = count_level(&filtered, &candidates);
+        let mut next: Vec<Vec<u32>> = Vec::new();
+        for (set, s) in counted {
+            if s >= min_support {
+                out.push(to_lbn_itemset(db, &set, s));
+                next.push(set);
+            }
+        }
+        next.sort();
+        level = next;
+        k += 1;
+    }
+    out.sort();
+    out
+}
+
+/// Recursive Eclat over vertical tid-lists, sizes `2..=max_k`.
+pub fn eclat_itemsets(
+    db: &TransactionDb,
+    min_support: u32,
+    max_k: usize,
+) -> Vec<FrequentItemset> {
+    let min_support = min_support.max(1);
+    if max_k < 2 || db.is_empty() {
+        return Vec::new();
+    }
+    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); db.num_items()];
+    for (tid, t) in db.transactions().iter().enumerate() {
+        for &i in t {
+            tidlists[i as usize].push(tid as u32);
+        }
+    }
+    let frequent: Vec<u32> = (0..db.num_items() as u32)
+        .filter(|&i| tidlists[i as usize].len() as u32 >= min_support)
+        .collect();
+
+    let mut out = Vec::new();
+    // Depth-first: extend prefix with items greater than the last.
+    fn recurse(
+        prefix: &mut Vec<u32>,
+        prefix_tids: &[u32],
+        candidates: &[u32],
+        tidlists: &[Vec<u32>],
+        min_support: u32,
+        max_k: usize,
+        db: &TransactionDb,
+        out: &mut Vec<FrequentItemset>,
+    ) {
+        for (ci, &item) in candidates.iter().enumerate() {
+            let tids = intersect(prefix_tids, &tidlists[item as usize]);
+            if (tids.len() as u32) < min_support {
+                continue;
+            }
+            prefix.push(item);
+            if prefix.len() >= 2 {
+                out.push(to_lbn_itemset(db, prefix, tids.len() as u32));
+            }
+            if prefix.len() < max_k {
+                recurse(
+                    prefix,
+                    &tids,
+                    &candidates[ci + 1..],
+                    tidlists,
+                    min_support,
+                    max_k,
+                    db,
+                    out,
+                );
+            }
+            prefix.pop();
+        }
+    }
+
+    for (fi, &first) in frequent.iter().enumerate() {
+        let mut prefix = vec![first];
+        recurse(
+            &mut prefix,
+            &tidlists[first as usize],
+            &frequent[fi + 1..],
+            &tidlists,
+            min_support,
+            max_k,
+            db,
+            &mut out,
+        );
+    }
+    out.sort();
+    out
+}
+
+/// Extract association rules with `confidence >= min_confidence` from a set
+/// of frequent itemsets (single-item consequents, as in the classical
+/// formulation).
+pub fn association_rules(
+    itemsets: &[FrequentItemset],
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    // Support lookup for all itemsets and their (frequent) subsets.
+    let support_of: HashMap<&[u64], u32> =
+        itemsets.iter().map(|f| (f.items.as_slice(), f.support)).collect();
+    let mut rules = Vec::new();
+    for f in itemsets {
+        if f.items.len() < 2 {
+            continue;
+        }
+        for (i, &c) in f.items.iter().enumerate() {
+            let mut antecedent = f.items.clone();
+            antecedent.remove(i);
+            // Antecedent support: from the table for size >= 2; rules with
+            // single-item antecedents need item supports which itemsets of
+            // size >= 2 don't carry — skip those unless present.
+            let Some(&a_support) = support_of.get(antecedent.as_slice()) else {
+                continue;
+            };
+            let confidence = f.support as f64 / a_support as f64;
+            if confidence >= min_confidence {
+                rules.push(AssociationRule {
+                    antecedent,
+                    consequent: vec![c],
+                    support: f.support,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules
+}
+
+fn candidates_from_items(frequent: &[bool]) -> Vec<Vec<u32>> {
+    let items: Vec<u32> =
+        (0..frequent.len() as u32).filter(|&i| frequent[i as usize]).collect();
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            out.push(vec![items[i], items[j]]);
+        }
+    }
+    out
+}
+
+/// Classical Apriori candidate generation: join two frequent k-sets sharing
+/// a (k−1)-prefix, then prune candidates with an infrequent subset.
+fn generate_candidates(level: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    use std::collections::HashSet;
+    let level_set: HashSet<&[u32]> = level.iter().map(|s| s.as_slice()).collect();
+    let mut out = Vec::new();
+    for i in 0..level.len() {
+        for j in (i + 1)..level.len() {
+            let (a, b) = (&level[i], &level[j]);
+            let k = a.len();
+            if a[..k - 1] != b[..k - 1] {
+                // `level` is sorted, so once prefixes diverge no later j
+                // matches either.
+                break;
+            }
+            let mut cand = a.clone();
+            cand.push(b[k - 1].max(a[k - 1]));
+            cand[k - 1] = a[k - 1].min(b[k - 1]);
+            // Prune: every k-subset must be frequent.
+            let mut ok = true;
+            let mut sub = cand.clone();
+            for drop in 0..cand.len() {
+                sub.remove(drop);
+                if !level_set.contains(sub.as_slice()) {
+                    ok = false;
+                }
+                sub.insert(drop, cand[drop]);
+                if !ok {
+                    break;
+                }
+            }
+            if ok {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+fn count_level(transactions: &[Vec<u32>], candidates: &[Vec<u32>]) -> Vec<(Vec<u32>, u32)> {
+    let mut counts: HashMap<&[u32], u32> = candidates.iter().map(|c| (c.as_slice(), 0)).collect();
+    for t in transactions {
+        for c in candidates {
+            if is_subset(c, t) {
+                *counts.get_mut(c.as_slice()).unwrap() += 1;
+            }
+        }
+    }
+    candidates.iter().map(|c| (c.clone(), counts[c.as_slice()])).collect()
+}
+
+fn is_subset(needle: &[u32], haystack: &[u32]) -> bool {
+    // Both sorted.
+    let mut it = haystack.iter();
+    'outer: for &n in needle {
+        for &h in it.by_ref() {
+            if h == n {
+                continue 'outer;
+            }
+            if h > n {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn to_lbn_itemset(db: &TransactionDb, items: &[u32], support: u32) -> FrequentItemset {
+    let mut lbns: Vec<u64> = items.iter().map(|&i| db.lbn_of(i)).collect();
+    lbns.sort_unstable();
+    FrequentItemset { items: lbns, support }
+}
+
+/// Brute-force oracle for tests: enumerate all subsets of every transaction.
+pub fn brute_force_itemsets(
+    db: &TransactionDb,
+    min_support: u32,
+    max_k: usize,
+) -> Vec<FrequentItemset> {
+    let mut counts: HashMap<Vec<u32>, u32> = HashMap::new();
+    for t in db.transactions() {
+        let n = t.len();
+        for mask in 1u64..(1 << n) {
+            let size = mask.count_ones() as usize;
+            if size < 2 || size > max_k {
+                continue;
+            }
+            let subset: Vec<u32> =
+                (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| t[i]).collect();
+            *counts.entry(subset).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<FrequentItemset> = counts
+        .into_iter()
+        .filter(|&(_, s)| s >= min_support)
+        .map(|(set, s)| to_lbn_itemset(db, &set, s))
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_transactions(
+            vec![
+                vec![0, 1, 2, 3],
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0, 2, 3],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn apriori_matches_brute_force() {
+        let db = db();
+        for support in 1..=4 {
+            for max_k in 2..=4 {
+                assert_eq!(
+                    apriori_itemsets(&db, support, max_k),
+                    brute_force_itemsets(&db, support, max_k),
+                    "support {support}, max_k {max_k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eclat_matches_apriori() {
+        let db = db();
+        for support in 1..=4 {
+            for max_k in 2..=4 {
+                assert_eq!(
+                    eclat_itemsets(&db, support, max_k),
+                    apriori_itemsets(&db, support, max_k),
+                    "support {support}, max_k {max_k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn size2_agrees_with_pair_miners() {
+        use crate::{Apriori, PairMiner};
+        let db = db();
+        let pairs = Apriori.mine_pairs(&db, 2);
+        let sets = apriori_itemsets(&db, 2, 2);
+        assert_eq!(pairs.len(), sets.len());
+        for (p, s) in pairs.iter().zip(&sets) {
+            assert_eq!(vec![p.a, p.b], s.items);
+            assert_eq!(p.support, s.support);
+        }
+    }
+
+    #[test]
+    fn triple_supports_are_exact() {
+        let db = db();
+        let sets = apriori_itemsets(&db, 1, 3);
+        let t123 = sets.iter().find(|f| f.items == vec![1, 2, 3]).unwrap();
+        assert_eq!(t123.support, 3); // transactions 0, 4, 5
+        let t012 = sets.iter().find(|f| f.items == vec![0, 1, 2]).unwrap();
+        assert_eq!(t012.support, 3); // transactions 0, 1, 5
+    }
+
+    #[test]
+    fn rules_have_correct_confidence() {
+        let db = db();
+        let sets = apriori_itemsets(&db, 1, 3);
+        let rules = association_rules(&sets, 0.0);
+        // {1,2} ⇒ 3: support({1,2,3}) = 3, support({1,2}) = 4 → 0.75.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![1, 2] && r.consequent == vec![3])
+            .expect("rule {1,2} ⇒ 3 exists");
+        assert_eq!(r.support, 3);
+        assert!((r.confidence - 0.75).abs() < 1e-12);
+        // Confidence filter works.
+        let high = association_rules(&sets, 0.9);
+        assert!(high.iter().all(|r| r.confidence >= 0.9));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty = TransactionDb::default();
+        assert!(apriori_itemsets(&empty, 1, 3).is_empty());
+        assert!(eclat_itemsets(&empty, 1, 3).is_empty());
+        let db = db();
+        assert!(apriori_itemsets(&db, 1, 1).is_empty());
+        assert!(apriori_itemsets(&db, 100, 3).is_empty());
+    }
+}

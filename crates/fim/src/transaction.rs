@@ -1,0 +1,220 @@
+//! Transactions, frequent pairs and the miner interface.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A transaction database: each transaction is the set of distinct blocks
+/// requested within one time window `T` ("we first investigate the trace of
+/// the storage system and determine the data blocks that are requested
+/// within a short time interval T", §IV-A).
+///
+/// Block numbers (LBNs) are dictionary-compressed to dense item ids.
+#[derive(Debug, Clone, Default)]
+pub struct TransactionDb {
+    /// Transactions; items are dense ids, sorted and deduplicated.
+    transactions: Vec<Vec<u32>>,
+    /// Item id → original LBN.
+    item_to_lbn: Vec<u64>,
+}
+
+impl TransactionDb {
+    /// Build from timed block requests `(time_ns, lbn)`, windowing by
+    /// `window_ns`. Events need not be sorted; windows are absolute
+    /// (`time / window_ns`).
+    pub fn from_timed_events(
+        events: impl IntoIterator<Item = (u64, u64)>,
+        window_ns: u64,
+    ) -> Self {
+        assert!(window_ns > 0);
+        let mut lbn_to_item: HashMap<u64, u32> = HashMap::new();
+        let mut item_to_lbn = Vec::new();
+        let mut windows: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (t, lbn) in events {
+            let item = *lbn_to_item.entry(lbn).or_insert_with(|| {
+                item_to_lbn.push(lbn);
+                (item_to_lbn.len() - 1) as u32
+            });
+            windows.entry(t / window_ns).or_default().push(item);
+        }
+        let mut keys: Vec<u64> = windows.keys().copied().collect();
+        keys.sort_unstable();
+        let transactions = keys
+            .into_iter()
+            .map(|k| {
+                let mut items = windows.remove(&k).unwrap();
+                items.sort_unstable();
+                items.dedup();
+                items
+            })
+            .collect();
+        TransactionDb { transactions, item_to_lbn }
+    }
+
+    /// Build directly from item-id transactions (tests, benchmarks).
+    pub fn from_transactions(transactions: Vec<Vec<u32>>, num_items: u32) -> Self {
+        let mut txs = transactions;
+        for t in &mut txs {
+            t.sort_unstable();
+            t.dedup();
+            assert!(t.iter().all(|&i| i < num_items));
+        }
+        TransactionDb { transactions: txs, item_to_lbn: (0..num_items as u64).collect() }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True if there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Number of distinct items (blocks).
+    pub fn num_items(&self) -> usize {
+        self.item_to_lbn.len()
+    }
+
+    /// The transactions (dense item ids, each sorted + deduplicated).
+    pub fn transactions(&self) -> &[Vec<u32>] {
+        &self.transactions
+    }
+
+    /// Original LBN of a dense item id.
+    pub fn lbn_of(&self, item: u32) -> u64 {
+        self.item_to_lbn[item as usize]
+    }
+
+    /// Total item occurrences (Σ transaction sizes) — the "request size"
+    /// column of Table IV.
+    pub fn total_occurrences(&self) -> usize {
+        self.transactions.iter().map(|t| t.len()).sum()
+    }
+}
+
+/// A frequent block pair, reported in original LBN space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FrequentPair {
+    /// Smaller LBN.
+    pub a: u64,
+    /// Larger LBN.
+    pub b: u64,
+    /// Number of transactions containing both.
+    pub support: u32,
+}
+
+/// Resource report of one mining run (the Table IV columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiningReport {
+    /// Wall-clock mining time in seconds.
+    pub seconds: f64,
+    /// Estimated peak working-set bytes of the miner's data structures.
+    pub peak_bytes: usize,
+    /// Number of frequent pairs found.
+    pub pairs_found: usize,
+}
+
+/// A size-2 frequent itemset miner.
+pub trait PairMiner {
+    /// Algorithm name.
+    fn name(&self) -> &'static str;
+
+    /// Mine all pairs with support ≥ `min_support`, reported in LBN space,
+    /// sorted by `(a, b)`.
+    fn mine_pairs(&self, db: &TransactionDb, min_support: u32) -> Vec<FrequentPair>;
+
+    /// Mine and report wall time plus an estimate of peak memory.
+    fn mine_pairs_with_report(
+        &self,
+        db: &TransactionDb,
+        min_support: u32,
+    ) -> (Vec<FrequentPair>, MiningReport) {
+        let start = Instant::now();
+        let pairs = self.mine_pairs(db, min_support);
+        let seconds = start.elapsed().as_secs_f64();
+        let report = MiningReport {
+            seconds,
+            peak_bytes: self.peak_bytes_estimate(db, pairs.len()),
+            pairs_found: pairs.len(),
+        };
+        (pairs, report)
+    }
+
+    /// Estimated peak bytes for mining `db` (algorithm-specific).
+    fn peak_bytes_estimate(&self, db: &TransactionDb, pairs_found: usize) -> usize;
+}
+
+/// Brute-force oracle used by tests: count all pairs per transaction.
+pub fn brute_force_pairs(db: &TransactionDb, min_support: u32) -> Vec<FrequentPair> {
+    let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+    for t in db.transactions() {
+        for i in 0..t.len() {
+            for j in (i + 1)..t.len() {
+                *counts.entry((t[i], t[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<FrequentPair> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .map(|((x, y), support)| {
+            let (a, b) = lbn_pair(db, x, y);
+            FrequentPair { a, b, support }
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Map an item pair to an ordered LBN pair.
+pub(crate) fn lbn_pair(db: &TransactionDb, x: u32, y: u32) -> (u64, u64) {
+    let (la, lb) = (db.lbn_of(x), db.lbn_of(y));
+    if la < lb {
+        (la, lb)
+    } else {
+        (lb, la)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowing_groups_and_dedups() {
+        let events = vec![(0u64, 100u64), (10, 200), (15, 100), (120, 300), (130, 300)];
+        let db = TransactionDb::from_timed_events(events, 100);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.transactions()[0].len(), 2); // {100, 200}, dedup of 100
+        assert_eq!(db.transactions()[1].len(), 1); // {300}
+        assert_eq!(db.num_items(), 3);
+    }
+
+    #[test]
+    fn item_dictionary_roundtrip() {
+        let db = TransactionDb::from_timed_events(vec![(0, 42), (1, 7)], 10);
+        let items: Vec<u64> = (0..db.num_items() as u32).map(|i| db.lbn_of(i)).collect();
+        assert!(items.contains(&42) && items.contains(&7));
+    }
+
+    #[test]
+    fn brute_force_counts_supports() {
+        let db = TransactionDb::from_transactions(
+            vec![vec![0, 1, 2], vec![0, 1], vec![0, 2], vec![1, 2], vec![0, 1]],
+            3,
+        );
+        let pairs = brute_force_pairs(&db, 2);
+        // (0,1): 3, (0,2): 2, (1,2): 2.
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], FrequentPair { a: 0, b: 1, support: 3 });
+        let high = brute_force_pairs(&db, 3);
+        assert_eq!(high.len(), 1);
+    }
+
+    #[test]
+    fn total_occurrences_counts_items() {
+        let db = TransactionDb::from_transactions(vec![vec![0, 1], vec![2]], 3);
+        assert_eq!(db.total_occurrences(), 3);
+    }
+}

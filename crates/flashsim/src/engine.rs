@@ -1,0 +1,125 @@
+//! A small generic discrete-event queue.
+//!
+//! Events fire in time order; ties are broken FIFO (by insertion sequence),
+//! which keeps trace-driven simulations deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    payloads: Vec<Option<T>>,
+    free: Vec<usize>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), free: Vec::new(), seq: 0 }
+    }
+
+    /// Schedule `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.payloads[s] = Some(payload);
+                s
+            }
+            None => {
+                self.payloads.push(Some(payload));
+                self.payloads.len() - 1
+            }
+        };
+        // Sequence in the low bits keeps (time, insertion order) ordering
+        // while letting the heap key stay a simple tuple.
+        let key = (time, (self.seq << 32) | slot as u64);
+        self.seq += 1;
+        self.heap.push(Reverse(key));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let Reverse((time, packed)) = self.heap.pop()?;
+        let slot = (packed & 0xFFFF_FFFF) as usize;
+        let payload = self.payloads[slot].take().expect("event slot must be live");
+        self.free.push(slot);
+        Some((time, payload))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            for i in 0..8 {
+                q.push(round * 10 + i, i);
+            }
+            for _ in 0..8 {
+                q.pop();
+            }
+        }
+        // Payload storage stays bounded by the max concurrent events.
+        assert!(q.payloads.len() <= 8);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

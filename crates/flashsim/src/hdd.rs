@@ -1,0 +1,217 @@
+//! A mechanical hard-disk device model.
+//!
+//! §II-A of the paper argues that HDD arrays can only offer *best-effort*
+//! service because of "variable delays caused by mechanical process of
+//! accessing disk data such as rotational delay, seek time, head/cylinder
+//! switch time". This model exists to demonstrate that claim inside the
+//! same simulator: identical schedules that are deterministic on flash
+//! become position-dependent on an HDD.
+//!
+//! The timing model is the classical one used by DiskSim-style simulators:
+//!
+//! * **seek** — `a + b·√d` for a d-cylinder move (zero for same cylinder);
+//! * **rotation** — the head waits for the target sector under a constant
+//!   angular velocity spindle (position advances continuously with time);
+//! * **transfer** — one block time at the track's streaming rate.
+//!
+//! Defaults approximate a 15 kRPM enterprise disk (the "performance of HDD
+//! was limited by 15K RPM disks over years" remark).
+
+use crate::device::Device;
+use crate::request::{Completion, IoRequest};
+use crate::time::{Duration, SimTime};
+
+/// Geometry and timing parameters of the disk model.
+#[derive(Debug, Clone, Copy)]
+pub struct HddConfig {
+    /// Number of cylinders.
+    pub cylinders: u64,
+    /// 8 KiB blocks per track.
+    pub blocks_per_track: u64,
+    /// Spindle speed in RPM.
+    pub rpm: u64,
+    /// Fixed seek overhead (head settle), ns.
+    pub seek_base_ns: Duration,
+    /// Seek distance coefficient: `seek = base + coef·√cylinders`, ns.
+    pub seek_coef_ns: f64,
+}
+
+impl Default for HddConfig {
+    fn default() -> Self {
+        // 15 kRPM: 4 ms/revolution; typical short-seek ≈ 0.5–4 ms.
+        HddConfig {
+            cylinders: 50_000,
+            blocks_per_track: 64,
+            rpm: 15_000,
+            seek_base_ns: 400_000,
+            seek_coef_ns: 15_000.0,
+        }
+    }
+}
+
+impl HddConfig {
+    /// One full revolution, ns.
+    pub fn revolution_ns(&self) -> Duration {
+        60_000_000_000 / self.rpm
+    }
+
+    /// Time to read one block off the platter.
+    pub fn block_transfer_ns(&self) -> Duration {
+        self.revolution_ns() / self.blocks_per_track
+    }
+}
+
+/// A single mechanical disk with FCFS queueing.
+#[derive(Debug, Clone)]
+pub struct HardDisk {
+    config: HddConfig,
+    busy_until: SimTime,
+    head_cylinder: u64,
+}
+
+impl HardDisk {
+    /// New disk with head parked at cylinder 0.
+    pub fn new(config: HddConfig) -> Self {
+        HardDisk { config, busy_until: 0, head_cylinder: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HddConfig {
+        &self.config
+    }
+
+    fn locate(&self, lbn: u64) -> (u64, u64) {
+        // Simple linear mapping: LBN → (cylinder, sector-in-track).
+        let track = lbn / self.config.blocks_per_track;
+        let sector = lbn % self.config.blocks_per_track;
+        (track % self.config.cylinders, sector)
+    }
+
+    fn seek_time(&self, from: u64, to: u64) -> Duration {
+        if from == to {
+            return 0;
+        }
+        let d = from.abs_diff(to) as f64;
+        self.config.seek_base_ns + (self.config.seek_coef_ns * d.sqrt()) as Duration
+    }
+
+    /// Rotational wait: the platter angle is `time mod revolution`, and the
+    /// target sector's angle is `sector / blocks_per_track` of a turn.
+    fn rotational_wait(&self, at: SimTime, sector: u64) -> Duration {
+        let rev = self.config.revolution_ns();
+        let now_angle = at % rev;
+        let target_angle = sector * rev / self.config.blocks_per_track;
+        if target_angle >= now_angle {
+            target_angle - now_angle
+        } else {
+            rev - (now_angle - target_angle)
+        }
+    }
+}
+
+impl Default for HardDisk {
+    fn default() -> Self {
+        Self::new(HddConfig::default())
+    }
+}
+
+impl Device for HardDisk {
+    fn submit(&mut self, req: &IoRequest, now: SimTime) -> Completion {
+        debug_assert!(now >= req.arrival);
+        let service_start = self.busy_until.max(now);
+        let (cyl, sector) = self.locate(req.lbn);
+        let seek = self.seek_time(self.head_cylinder, cyl);
+        let after_seek = service_start + seek;
+        let rot = self.rotational_wait(after_seek, sector);
+        let transfer = self.config.block_transfer_ns() * req.num_blocks() as Duration;
+        let finish = after_seek + rot + transfer;
+        self.head_cylinder = cyl;
+        self.busy_until = finish;
+        Completion { request: *req, service_start, finish }
+    }
+
+    fn next_free(&self, now: SimTime) -> SimTime {
+        self.busy_until.max(now)
+    }
+
+    fn reset(&mut self) {
+        self.busy_until = 0;
+        self.head_cylinder = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::IoRequest;
+
+    #[test]
+    fn revolution_math() {
+        let c = HddConfig::default();
+        assert_eq!(c.revolution_ns(), 4_000_000); // 15 kRPM = 4 ms
+        assert_eq!(c.block_transfer_ns(), 62_500);
+    }
+
+    #[test]
+    fn sequential_reads_are_fast() {
+        // Same track, consecutive sectors: no seek, minimal rotation.
+        let mut d = HardDisk::default();
+        let c1 = d.submit(&IoRequest::read_block(1, 0, 0, 0), 0);
+        let c2 = d.submit(&IoRequest::read_block(2, 0, 0, 1), 0);
+        // The second block is adjacent: it streams right after the first.
+        assert_eq!(c2.finish - c1.finish, d.config.block_transfer_ns());
+    }
+
+    #[test]
+    fn random_reads_pay_seek_and_rotation() {
+        let mut d = HardDisk::default();
+        let far = 40_000 * d.config.blocks_per_track; // distant cylinder
+        let c = d.submit(&IoRequest::read_block(1, 0, 0, far), 0);
+        assert!(c.service_time() > 1_000_000, "far read took {} ns", c.service_time());
+    }
+
+    #[test]
+    fn service_time_is_position_dependent() {
+        // The same request sequence with different layouts yields different
+        // times — the unpredictability that rules out HDD guarantees.
+        let run = |lbns: &[u64]| {
+            let mut d = HardDisk::default();
+            let mut total = 0;
+            for (i, &lbn) in lbns.iter().enumerate() {
+                total += d.submit(&IoRequest::read_block(i as u64, 0, 0, lbn), 0).service_time();
+            }
+            total
+        };
+        let sequential = run(&[0, 1, 2, 3]);
+        let random = run(&[0, 2_000_000, 64, 1_500_000]);
+        assert!(random > 3 * sequential, "random {random} vs sequential {sequential}");
+    }
+
+    #[test]
+    fn variance_vs_flash_is_dramatic() {
+        use crate::device::CalibratedSsd;
+        use crate::stats::ResponseStats;
+        // Identical random workload through both devices.
+        let mut lbns = Vec::new();
+        let mut state = 3u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lbns.push((state >> 33) % 3_000_000);
+        }
+        let mut hdd_stats = ResponseStats::new();
+        let mut ssd_stats = ResponseStats::new();
+        let mut hdd = HardDisk::default();
+        let mut ssd = CalibratedSsd::new();
+        let mut t = 0;
+        for (i, &lbn) in lbns.iter().enumerate() {
+            t += 20_000_000; // spaced out: no queueing, pure service
+            let r = IoRequest::read_block(i as u64, t, 0, lbn);
+            hdd_stats.record(hdd.submit(&r, t).response_time());
+            ssd_stats.record(ssd.submit(&r, t).response_time());
+        }
+        // Flash: zero variance. HDD: milliseconds of spread.
+        assert_eq!(ssd_stats.std_ns(), 0.0);
+        assert!(hdd_stats.std_ns() > 500_000.0);
+        assert!(hdd_stats.max_ns() > 2 * hdd_stats.min_ns());
+    }
+}

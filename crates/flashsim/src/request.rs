@@ -1,0 +1,103 @@
+//! I/O requests and completions.
+
+use crate::time::{Duration, SimTime, BLOCK_SIZE_BYTES};
+
+/// Unique identifier of a request within one simulation.
+pub type RequestId = u64;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    Read,
+    Write,
+}
+
+/// A block I/O request as seen by the array's I/O driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoRequest {
+    /// Simulation-unique id.
+    pub id: RequestId,
+    /// Time the I/O driver issues the request.
+    pub arrival: SimTime,
+    /// Target device (flash module) index.
+    pub device: usize,
+    /// Logical block number on that device.
+    pub lbn: u64,
+    /// Request size in bytes (the paper aligns everything to 8 KiB).
+    pub size_bytes: u32,
+    /// Operation type.
+    pub op: IoOp,
+}
+
+impl IoRequest {
+    /// Convenience constructor for the common 8 KiB read.
+    pub fn read_block(id: RequestId, arrival: SimTime, device: usize, lbn: u64) -> Self {
+        IoRequest { id, arrival, device, lbn, size_bytes: BLOCK_SIZE_BYTES, op: IoOp::Read }
+    }
+
+    /// Number of 8 KiB blocks this request spans.
+    pub fn num_blocks(&self) -> u32 {
+        self.size_bytes.div_ceil(BLOCK_SIZE_BYTES).max(1)
+    }
+}
+
+/// A completed request with its timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The originating request.
+    pub request: IoRequest,
+    /// Time the device began servicing the request.
+    pub service_start: SimTime,
+    /// Time the response reached the I/O driver.
+    pub finish: SimTime,
+}
+
+impl Completion {
+    /// I/O driver response time: "the time between sending the I/O request
+    /// and receiving the corresponding response" (§V-C1).
+    pub fn response_time(&self) -> Duration {
+        self.finish - self.request.arrival
+    }
+
+    /// Time spent queueing before service began.
+    pub fn queue_delay(&self) -> Duration {
+        self.service_start - self.request.arrival
+    }
+
+    /// Pure service time.
+    pub fn service_time(&self) -> Duration {
+        self.finish - self.service_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::BLOCK_READ_NS;
+
+    #[test]
+    fn read_block_defaults() {
+        let r = IoRequest::read_block(1, 10, 3, 42);
+        assert_eq!(r.size_bytes, BLOCK_SIZE_BYTES);
+        assert_eq!(r.op, IoOp::Read);
+        assert_eq!(r.num_blocks(), 1);
+    }
+
+    #[test]
+    fn multi_block_counts() {
+        let mut r = IoRequest::read_block(1, 0, 0, 0);
+        r.size_bytes = BLOCK_SIZE_BYTES * 3 - 1;
+        assert_eq!(r.num_blocks(), 3);
+        r.size_bytes = 1;
+        assert_eq!(r.num_blocks(), 1);
+    }
+
+    #[test]
+    fn completion_timing_decomposition() {
+        let r = IoRequest::read_block(1, 100, 0, 0);
+        let c = Completion { request: r, service_start: 250, finish: 250 + BLOCK_READ_NS };
+        assert_eq!(c.queue_delay(), 150);
+        assert_eq!(c.service_time(), BLOCK_READ_NS);
+        assert_eq!(c.response_time(), 150 + BLOCK_READ_NS);
+    }
+}

@@ -1,0 +1,63 @@
+//! Simulated time: `u64` nanoseconds since simulation start.
+//!
+//! A nanosecond grid represents every timing constant of the paper exactly:
+//! the calibrated 8 KiB read of the MSR DiskSim SSD extension is
+//! 0.132507 ms = 132 507 ns, and the paper's intervals (0.133 ms, 0.266 ms,
+//! 0.399 ms) are 133 000 / 266 000 / 399 000 ns.
+
+/// A point in simulated time, in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+/// A span of simulated time, in nanoseconds.
+pub type Duration = u64;
+
+/// Service time of one 8 KiB flash read per the MSR DiskSim SSD extension
+/// parameters: 0.132507 ms.
+pub const BLOCK_READ_NS: Duration = 132_507;
+
+/// The paper aligns all requests to 8 KiB blocks.
+pub const BLOCK_SIZE_BYTES: u32 = 8 * 1024;
+
+/// The paper's base QoS interval: 0.133 ms, "slightly larger than the
+/// response time of one block request" (§V-D).
+pub const BASE_INTERVAL_NS: Duration = 133_000;
+
+/// Convert milliseconds to [`SimTime`] nanoseconds (round to nearest).
+pub fn ms_to_ns(ms: f64) -> Duration {
+    (ms * 1e6).round() as Duration
+}
+
+/// Convert [`SimTime`] nanoseconds to milliseconds.
+pub fn ns_to_ms(ns: Duration) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Convert seconds to nanoseconds.
+pub fn secs_to_ns(s: f64) -> Duration {
+    (s * 1e9).round() as Duration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_read_is_exact() {
+        assert_eq!(ms_to_ns(0.132507), BLOCK_READ_NS);
+    }
+
+    #[test]
+    fn paper_intervals_are_exact() {
+        assert_eq!(ms_to_ns(0.133), BASE_INTERVAL_NS);
+        assert_eq!(ms_to_ns(0.266), 2 * BASE_INTERVAL_NS);
+        assert_eq!(ms_to_ns(0.399), 3 * BASE_INTERVAL_NS);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        for ns in [0u64, 1, 132_507, 1_000_000_000] {
+            assert_eq!(ms_to_ns(ns_to_ms(ns)), ns);
+        }
+        assert_eq!(secs_to_ns(1.5), 1_500_000_000);
+    }
+}

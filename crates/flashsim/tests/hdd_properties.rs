@@ -1,0 +1,80 @@
+//! Property-based tests for the mechanical disk model.
+
+use fqos_flashsim::device::Device;
+use fqos_flashsim::hdd::{HardDisk, HddConfig};
+use fqos_flashsim::IoRequest;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Causality and FCFS: completions never precede arrivals and never
+    /// overlap on the single head.
+    #[test]
+    fn hdd_causality_and_fcfs(
+        gaps in prop::collection::vec(0u64..20_000_000, 1..40),
+        lbns in prop::collection::vec(0u64..3_000_000, 1..40),
+    ) {
+        let mut d = HardDisk::default();
+        let mut t = 0u64;
+        let mut prev_finish = 0u64;
+        let n = gaps.len().min(lbns.len());
+        for i in 0..n {
+            t += gaps[i];
+            let c = d.submit(&IoRequest::read_block(i as u64, t, 0, lbns[i]), t);
+            prop_assert!(c.service_start >= t);
+            prop_assert!(c.finish > c.service_start);
+            prop_assert!(c.service_start >= prev_finish);
+            prev_finish = c.finish;
+        }
+    }
+
+    /// Service time is bounded: at most max-seek + one revolution + the
+    /// transfer, and at least the transfer.
+    #[test]
+    fn hdd_service_time_bounds(lbn in 0u64..10_000_000) {
+        let cfg = HddConfig::default();
+        let mut d = HardDisk::new(cfg);
+        let c = d.submit(&IoRequest::read_block(1, 0, 0, lbn), 0);
+        let max_seek = cfg.seek_base_ns + (cfg.seek_coef_ns * (cfg.cylinders as f64).sqrt()) as u64;
+        let upper = max_seek + cfg.revolution_ns() + cfg.block_transfer_ns();
+        prop_assert!(c.service_time() >= cfg.block_transfer_ns());
+        prop_assert!(c.service_time() <= upper, "service {} > bound {upper}", c.service_time());
+    }
+
+    /// Determinism: the same request sequence yields identical timings.
+    #[test]
+    fn hdd_is_deterministic(lbns in prop::collection::vec(0u64..1_000_000, 1..30)) {
+        let run = |lbns: &[u64]| -> Vec<u64> {
+            let mut d = HardDisk::default();
+            lbns.iter()
+                .enumerate()
+                .map(|(i, &lbn)| d.submit(&IoRequest::read_block(i as u64, 0, 0, lbn), 0).finish)
+                .collect()
+        };
+        prop_assert_eq!(run(&lbns), run(&lbns));
+    }
+
+    /// Reset really restores the initial state.
+    #[test]
+    fn hdd_reset_restores_state(lbns in prop::collection::vec(0u64..1_000_000, 1..20)) {
+        let mut d = HardDisk::default();
+        let fresh: Vec<u64> = {
+            let mut d2 = HardDisk::default();
+            lbns.iter()
+                .enumerate()
+                .map(|(i, &l)| d2.submit(&IoRequest::read_block(i as u64, 0, 0, l), 0).finish)
+                .collect()
+        };
+        for (i, &l) in lbns.iter().enumerate() {
+            d.submit(&IoRequest::read_block(i as u64, 0, 0, l), 0);
+        }
+        d.reset();
+        let after: Vec<u64> = lbns
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| d.submit(&IoRequest::read_block(i as u64, 0, 0, l), 0).finish)
+            .collect();
+        prop_assert_eq!(fresh, after);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the simulator's timing invariants.
+
+use fqos_flashsim::{
+    device::Device, flash::FlashModule, stats::ResponseStats, CalibratedSsd, FlashArray,
+    IoRequest, BLOCK_READ_NS,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Response time is always at least the pure service time and completions
+    /// on one device never overlap.
+    #[test]
+    fn calibrated_device_timing_invariants(
+        gaps in prop::collection::vec(0u64..300_000, 1..60),
+    ) {
+        let mut dev = CalibratedSsd::new();
+        let mut t = 0u64;
+        let mut prev_finish = 0u64;
+        for (i, gap) in gaps.iter().enumerate() {
+            t += gap;
+            let r = IoRequest::read_block(i as u64, t, 0, i as u64);
+            let c = dev.submit(&r, t);
+            prop_assert!(c.response_time() >= BLOCK_READ_NS);
+            prop_assert!(c.service_start >= t);
+            prop_assert!(c.service_start >= prev_finish); // FCFS, no overlap
+            prop_assert_eq!(c.finish, c.service_start + BLOCK_READ_NS);
+            prev_finish = c.finish;
+        }
+    }
+
+    /// Work-conservation: total busy time equals requests × service time, so
+    /// the last finish is bounded by arrival span + backlog.
+    #[test]
+    fn calibrated_device_is_work_conserving(
+        gaps in prop::collection::vec(0u64..200_000, 1..50),
+    ) {
+        let mut dev = CalibratedSsd::new();
+        let mut t = 0u64;
+        let n = gaps.len() as u64;
+        let mut last_finish = 0;
+        for (i, gap) in gaps.iter().enumerate() {
+            t += gap;
+            let c = dev.submit(&IoRequest::read_block(i as u64, t, 0, 0), t);
+            last_finish = c.finish;
+        }
+        // Never finishes later than "all arrivals at t=0 then serial".
+        prop_assert!(last_finish <= t + n * BLOCK_READ_NS);
+        // Never finishes earlier than one service after the last arrival.
+        prop_assert!(last_finish >= t + BLOCK_READ_NS);
+    }
+
+    /// Replaying a trace records exactly one completion per request, and
+    /// per-device completions are disjoint in time.
+    #[test]
+    fn array_replay_conservation(
+        reqs in prop::collection::vec((0u64..1_000_000, 0usize..5, 0u64..64), 1..80),
+    ) {
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|r| r.0);
+        let trace: Vec<IoRequest> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, d, lbn))| IoRequest::read_block(i as u64, t, d, lbn))
+            .collect();
+        let mut arr = FlashArray::calibrated(5);
+        let result = arr.replay(trace.clone());
+        prop_assert_eq!(result.completions.len(), trace.len());
+
+        // Per-device service intervals must not overlap.
+        for d in 0..5 {
+            let mut intervals: Vec<(u64, u64)> = result
+                .completions
+                .iter()
+                .filter(|c| c.request.device == d)
+                .map(|c| (c.service_start, c.finish))
+                .collect();
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap on device {d}: {w:?}");
+            }
+        }
+    }
+
+    /// The page-level flash model also never violates causality, and is
+    /// monotone: a request submitted later never finishes earlier on the
+    /// same module.
+    #[test]
+    fn flash_module_causality(
+        gaps in prop::collection::vec(0u64..400_000, 1..40),
+        lbns in prop::collection::vec(0u64..32, 1..40),
+    ) {
+        let mut m = FlashModule::default();
+        let mut t = 0u64;
+        let mut prev_finish = 0u64;
+        let n = gaps.len().min(lbns.len());
+        for i in 0..n {
+            t += gaps[i];
+            let c = m.submit(&IoRequest::read_block(i as u64, t, 0, lbns[i]), t);
+            prop_assert!(c.finish > t);
+            prop_assert!(c.finish >= prev_finish, "later submit finished earlier");
+            prev_finish = c.finish;
+        }
+    }
+
+    /// Merged statistics equal whole-stream statistics for arbitrary splits.
+    #[test]
+    fn stats_merge_associativity(
+        xs in prop::collection::vec(0u64..10_000_000, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split % xs.len();
+        let mut whole = ResponseStats::new();
+        for &x in &xs { whole.record(x); }
+        let mut a = ResponseStats::new();
+        let mut b = ResponseStats::new();
+        for &x in &xs[..split] { a.record(x); }
+        for &x in &xs[split..] { b.record(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean_ns() - whole.mean_ns()).abs() < 1e-6 * whole.mean_ns().max(1.0));
+        prop_assert!((a.std_ns() - whole.std_ns()).abs() < 1e-6 * whole.std_ns().max(1.0));
+        prop_assert_eq!(a.max_ns(), whole.max_ns());
+    }
+}

@@ -1,0 +1,200 @@
+//! Incremental retrieval scheduling: add requests one at a time and keep the
+//! schedule optimal, re-augmenting instead of re-solving (the "integrated
+//! maximum flow" idea of the paper's ref [15]).
+//!
+//! Used by the online retrieval path and the statistical admission
+//! controller, which probe "would adding this request keep the interval
+//! retrievable in `M` accesses?" many times per interval.
+
+use crate::graph::FlowNetwork;
+use fqos_designs::DeviceId;
+
+/// Incrementally maintained retrieval network with a fixed access budget.
+#[derive(Debug, Clone)]
+pub struct IncrementalRetrieval {
+    net: FlowNetwork,
+    devices: usize,
+    accesses: usize,
+    /// Edge id of `device_d → sink` for capacity updates.
+    device_edges: Vec<usize>,
+    /// Source-edge id per admitted request, to recover assignments.
+    request_edges: Vec<usize>,
+    /// Replica tuples of admitted requests.
+    requests: Vec<Vec<DeviceId>>,
+}
+
+impl IncrementalRetrieval {
+    /// Create an empty scheduler over `devices` devices with a per-device
+    /// budget of `accesses`.
+    pub fn new(devices: usize, accesses: usize) -> Self {
+        assert!(devices > 0);
+        // Layout: 0 = source, 1 = sink, 2..2+N = devices; blocks appended.
+        let mut net = FlowNetwork::new(2 + devices, 0, 1);
+        let mut device_edges = Vec::with_capacity(devices);
+        for d in 0..devices {
+            device_edges.push(net.add_edge(2 + d, 1, accesses as u64));
+        }
+        IncrementalRetrieval {
+            net,
+            devices,
+            accesses,
+            device_edges,
+            request_edges: Vec::new(),
+            requests: Vec::new(),
+        }
+    }
+
+    /// Number of admitted requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if no request has been admitted.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Current per-device access budget `M`.
+    pub fn accesses(&self) -> usize {
+        self.accesses
+    }
+
+    /// Try to admit one more request. Returns `true` (and keeps the request)
+    /// if all admitted requests remain schedulable within `M` accesses;
+    /// returns `false` and leaves the state untouched otherwise.
+    pub fn try_add(&mut self, replicas: &[DeviceId]) -> bool {
+        let block = self.net.add_vertex();
+        let source_edge = self.net.add_edge(0, block, 1);
+        for &d in replicas {
+            debug_assert!(d < self.devices);
+            self.net.add_edge(block, 2 + d, 1);
+        }
+        // One augmenting path suffices: the previous flow saturated all
+        // earlier source edges, so max-flow can grow by at most 1.
+        let pushed = crate::dinic::max_flow(&mut self.net);
+        debug_assert!(pushed <= 1);
+        if pushed == 1 {
+            self.request_edges.push(source_edge);
+            self.requests.push(replicas.to_vec());
+            true
+        } else {
+            // Zero the new source edge so the dead vertex can never carry
+            // flow; the vertex itself stays as a tombstone.
+            self.net.set_capacity(source_edge, 0);
+            false
+        }
+    }
+
+    /// Raise the access budget to `accesses` (no-op if not larger).
+    pub fn grow_accesses(&mut self, accesses: usize) {
+        if accesses <= self.accesses {
+            return;
+        }
+        self.accesses = accesses;
+        for &e in &self.device_edges {
+            let flow = self.net.flow(e);
+            self.net.set_capacity(e, (accesses as u64).max(flow));
+        }
+    }
+
+    /// Current device assignment of every admitted request, in admission
+    /// order.
+    pub fn assignments(&self) -> Vec<DeviceId> {
+        let mut out = Vec::with_capacity(self.requests.len());
+        for (&src_edge, replicas) in self.request_edges.iter().zip(&self.requests) {
+            let block = self.net.edge_to(src_edge);
+            let mut assigned = None;
+            for &e in self.net.adjacent(block) {
+                if e % 2 == 0 && e != src_edge && self.net.flow(e) == 1 {
+                    assigned = Some(self.net.edge_to(e) - 2);
+                    break;
+                }
+            }
+            let d = assigned.expect("admitted request must be assigned");
+            debug_assert!(replicas.contains(&d));
+            out.push(d);
+        }
+        out
+    }
+
+    /// Per-device load of the current schedule.
+    pub fn device_loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.devices];
+        for d in self.assignments() {
+            loads[d] += 1;
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity() {
+        // 3 devices, 1 access: any 3 disjoint unit requests fit.
+        let mut inc = IncrementalRetrieval::new(3, 1);
+        assert!(inc.try_add(&[0]));
+        assert!(inc.try_add(&[1]));
+        assert!(inc.try_add(&[2]));
+        assert!(!inc.try_add(&[0]));
+        assert_eq!(inc.len(), 3);
+    }
+
+    #[test]
+    fn rejection_leaves_schedule_intact() {
+        let mut inc = IncrementalRetrieval::new(2, 1);
+        assert!(inc.try_add(&[0, 1]));
+        assert!(inc.try_add(&[0, 1]));
+        assert!(!inc.try_add(&[0, 1]));
+        let loads = inc.device_loads();
+        assert_eq!(loads, vec![1, 1]);
+    }
+
+    #[test]
+    fn augmenting_reroutes_earlier_requests() {
+        // Request A can use {0,1}; request B only {0}. Greedy might put A on
+        // 0; adding B must re-route A to 1 through the residual graph.
+        let mut inc = IncrementalRetrieval::new(2, 1);
+        assert!(inc.try_add(&[0, 1]));
+        assert!(inc.try_add(&[0]));
+        let assign = inc.assignments();
+        assert_eq!(assign[1], 0);
+        assert_eq!(assign[0], 1);
+    }
+
+    #[test]
+    fn grow_accesses_unlocks_rejected_load() {
+        let mut inc = IncrementalRetrieval::new(2, 1);
+        assert!(inc.try_add(&[0]));
+        assert!(inc.try_add(&[0, 1]));
+        assert!(!inc.try_add(&[0]));
+        inc.grow_accesses(2);
+        assert!(inc.try_add(&[0]));
+        assert_eq!(inc.len(), 3);
+        let loads = inc.device_loads();
+        assert_eq!(loads.iter().sum::<usize>(), 3);
+        assert!(loads.iter().all(|&l| l <= 2));
+    }
+
+    #[test]
+    fn matches_batch_scheduler() {
+        use crate::retrieval::RetrievalNetwork;
+        // Same request set through both paths must agree on feasibility.
+        let reqs: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![3, 8, 1],
+            vec![4, 8, 0],
+        ];
+        let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let batch = RetrievalNetwork::new(9).feasible(&refs, 1);
+        assert!(batch.is_some());
+        let mut inc = IncrementalRetrieval::new(9, 1);
+        for r in &reqs {
+            assert!(inc.try_add(r));
+        }
+    }
+}

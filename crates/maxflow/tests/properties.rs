@@ -1,0 +1,111 @@
+//! Property-based cross-checks of the max-flow implementations.
+
+use fqos_maxflow::{dinic, edmonds_karp, FlowNetwork, IncrementalRetrieval, RetrievalNetwork};
+use proptest::prelude::*;
+
+/// Build a random directed network from a proptest-generated edge list.
+fn build(n: usize, edges: &[(usize, usize, u64)]) -> (FlowNetwork, FlowNetwork) {
+    let a = {
+        let mut g = FlowNetwork::new(n, 0, n - 1);
+        for &(u, v, c) in edges {
+            if u != v {
+                g.add_edge(u % n, v % n, c % 32);
+            }
+        }
+        g
+    };
+    (a.clone(), a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dinic_equals_edmonds_karp(
+        n in 2usize..12,
+        edges in prop::collection::vec((0usize..12, 0usize..12, 0u64..32), 0..40),
+    ) {
+        let (mut g1, mut g2) = build(n, &edges);
+        let f1 = dinic::max_flow(&mut g1);
+        let f2 = edmonds_karp::max_flow(&mut g2);
+        prop_assert_eq!(f1, f2);
+        prop_assert!(g1.check_conservation());
+        prop_assert!(g2.check_conservation());
+        prop_assert_eq!(g1.total_flow(), f1);
+    }
+
+    #[test]
+    fn schedule_is_feasible_and_minimal(
+        devices in 2usize..10,
+        reqs in prop::collection::vec(prop::collection::vec(0usize..10, 1..4), 1..25),
+    ) {
+        let reqs: Vec<Vec<usize>> = reqs
+            .into_iter()
+            .map(|r| {
+                let mut r: Vec<usize> = r.into_iter().map(|d| d % devices).collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let net = RetrievalNetwork::new(devices);
+        let s = net.optimal_schedule(&refs);
+
+        // Every assignment uses a true replica.
+        for (i, r) in reqs.iter().enumerate() {
+            prop_assert!(r.contains(&s.assignment[i]));
+        }
+        // The schedule respects its own access bound.
+        let loads = s.device_loads(devices);
+        prop_assert!(loads.iter().all(|&l| l <= s.accesses));
+        // Minimality: one fewer access must be infeasible.
+        if s.accesses > reqs.len().div_ceil(devices) {
+            prop_assert!(net.feasible(&refs, s.accesses - 1).is_none());
+        }
+        // Never better than the information-theoretic lower bound.
+        prop_assert!(s.accesses >= reqs.len().div_ceil(devices));
+    }
+
+    #[test]
+    fn incremental_agrees_with_batch(
+        devices in 2usize..8,
+        m in 1usize..4,
+        reqs in prop::collection::vec(prop::collection::vec(0usize..8, 1..4), 1..20),
+    ) {
+        let reqs: Vec<Vec<usize>> = reqs
+            .into_iter()
+            .map(|r| {
+                let mut r: Vec<usize> = r.into_iter().map(|d| d % devices).collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let net = RetrievalNetwork::new(devices);
+        let mut inc = IncrementalRetrieval::new(devices, m);
+        let mut admitted: Vec<Vec<usize>> = Vec::new();
+        for r in &reqs {
+            let accepted = inc.try_add(r);
+            if accepted {
+                admitted.push(r.clone());
+            }
+            // Incremental acceptance must equal batch feasibility of the
+            // would-be admitted prefix.
+            let mut probe = admitted.clone();
+            if !accepted {
+                probe.push(r.clone());
+            }
+            let probe_refs: Vec<&[usize]> = probe.iter().map(|x| x.as_slice()).collect();
+            let batch_ok = net.feasible(&probe_refs, m).is_some();
+            prop_assert_eq!(accepted, batch_ok || accepted,
+                "incremental rejected a feasible set");
+            if !accepted {
+                prop_assert!(!batch_ok, "incremental rejected a batch-feasible request");
+            }
+        }
+        // The final incremental schedule is within budget.
+        let loads = inc.device_loads();
+        prop_assert!(loads.iter().all(|&l| l <= m));
+    }
+}

@@ -1,0 +1,41 @@
+//! Trace formats, synthetic generators and server workload models.
+//!
+//! The paper evaluates with (a) a synthetic generator that requests random
+//! design blocks at interval boundaries (§V-B1) and (b) two SNIA server
+//! traces — Microsoft Exchange and TPC-E. The SNIA traces are not
+//! redistributable, so this crate ships **statistical workload models** that
+//! reproduce the properties the experiments consume (per-interval rate
+//! curves, device skew, burstiness, block co-occurrence persistence); see
+//! DESIGN.md §2 for the substitution argument.
+//!
+//! # Contents
+//!
+//! * [`record`] — trace records and the [`Trace`] container.
+//! * [`ascii`] — DiskSim-style ASCII trace parsing/emission.
+//! * [`synthetic`] — the paper's synthetic generator.
+//! * [`arrivals`] — bursty (Poisson-modulated) arrival processes.
+//! * [`models`] — the Exchange and TPC-E workload models.
+//! * [`stats`] — per-interval trace statistics (Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use fqos_traces::SyntheticConfig;
+//!
+//! // The paper's Table III generator: 5 blocks per 0.133 ms interval.
+//! let trace = SyntheticConfig::table3(5, 133_000).generate();
+//! assert_eq!(trace.len(), 10_000);
+//! assert!(trace.records.iter().all(|r| r.lbn < 36));
+//! ```
+
+pub mod arrivals;
+pub mod ascii;
+pub mod models;
+pub mod record;
+pub mod rw;
+pub mod stats;
+pub mod synthetic;
+
+pub use record::{Trace, TraceRecord};
+pub use stats::TraceIntervalStats;
+pub use synthetic::SyntheticConfig;

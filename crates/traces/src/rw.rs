@@ -1,0 +1,64 @@
+//! Read/write mix utilities.
+//!
+//! The paper replays the read streams of its traces; real deployments also
+//! write, and on a replicated layout a write must update **every** replica.
+//! This module converts a fraction of a trace's records into writes so the
+//! write path of the QoS scheduler can be exercised.
+
+use crate::record::Trace;
+use fqos_flashsim::IoOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Return a copy of `trace` with approximately `fraction` of its records
+/// turned into writes (selected pseudo-randomly, deterministic per seed).
+pub fn with_write_fraction(trace: &Trace, fraction: f64, seed: u64) -> Trace {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records = trace
+        .records
+        .iter()
+        .map(|r| {
+            let mut r = *r;
+            r.op = if rng.gen_bool(fraction) { IoOp::Write } else { IoOp::Read };
+            r
+        })
+        .collect();
+    Trace::new(
+        format!("{}+w{:.0}%", trace.name, fraction * 100.0),
+        records,
+        trace.num_devices,
+        trace.interval_ns,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    #[test]
+    fn fraction_is_respected() {
+        let t = SyntheticConfig::table3(5, 133_000).generate();
+        let w = with_write_fraction(&t, 0.3, 1);
+        let writes = w.records.iter().filter(|r| r.op == IoOp::Write).count();
+        let frac = writes as f64 / w.len() as f64;
+        assert!((frac - 0.3).abs() < 0.03, "write fraction {frac}");
+        assert_eq!(w.len(), t.len());
+    }
+
+    #[test]
+    fn extremes() {
+        let t = SyntheticConfig::table3(5, 133_000).generate();
+        assert!(with_write_fraction(&t, 0.0, 1).records.iter().all(|r| r.op == IoOp::Read));
+        assert!(with_write_fraction(&t, 1.0, 1).records.iter().all(|r| r.op == IoOp::Write));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = SyntheticConfig::table3(5, 133_000).generate();
+        let a = with_write_fraction(&t, 0.5, 7);
+        let b = with_write_fraction(&t, 0.5, 7);
+        assert_eq!(a.records, b.records);
+    }
+}

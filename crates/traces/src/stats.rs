@@ -1,0 +1,93 @@
+//! Per-interval trace statistics — the Fig. 6 metrics.
+
+use crate::record::Trace;
+
+/// Statistics of one reporting interval (Fig. 6: total reads per interval,
+/// maximum and average reads per second).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceIntervalStats {
+    /// Interval index.
+    pub interval: usize,
+    /// Total read requests in the interval.
+    pub total_requests: u64,
+    /// Average request rate over the interval, requests/second.
+    pub avg_per_sec: f64,
+    /// Peak request rate over any one-second bucket (or any one bucket of
+    /// `bucket_ns` when the interval is shorter than a second).
+    pub max_per_sec: f64,
+}
+
+/// Compute Fig. 6-style statistics for every interval of a trace.
+///
+/// Rates are measured over fixed buckets of `bucket_ns` (use 1 s for
+/// full-scale traces; the scaled models pass something smaller and the rate
+/// is normalized to per-second).
+pub fn interval_stats(trace: &Trace, bucket_ns: u64) -> Vec<TraceIntervalStats> {
+    assert!(bucket_ns > 0);
+    let interval_ns = trace.interval_ns;
+    trace
+        .intervals()
+        .enumerate()
+        .map(|(i, records)| {
+            let total = records.len() as u64;
+            let avg_per_sec = total as f64 / (interval_ns as f64 / 1e9);
+            // Bucket the interval and find the peak.
+            let buckets = interval_ns.div_ceil(bucket_ns) as usize;
+            let mut counts = vec![0u64; buckets.max(1)];
+            let base = i as u64 * interval_ns;
+            let last = counts.len() - 1;
+            for r in records {
+                let b = ((r.arrival_ns - base) / bucket_ns) as usize;
+                counts[b.min(last)] += 1;
+            }
+            let max = counts.iter().copied().max().unwrap_or(0);
+            let max_per_sec = max as f64 / (bucket_ns as f64 / 1e9);
+            TraceIntervalStats { interval: i, total_requests: total, avg_per_sec, max_per_sec }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+    use fqos_flashsim::IoOp;
+
+    fn rec(t: u64) -> TraceRecord {
+        TraceRecord { arrival_ns: t, device: 0, lbn: 0, size_bytes: 8192, op: IoOp::Read }
+    }
+
+    #[test]
+    fn uniform_interval_rates() {
+        // 10 requests spread over a 1-second interval.
+        let records: Vec<_> = (0..10).map(|i| rec(i * 100_000_000)).collect();
+        let t = Trace::new("t", records, 1, 1_000_000_000);
+        let s = interval_stats(&t, 100_000_000);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].total_requests, 10);
+        assert!((s[0].avg_per_sec - 10.0).abs() < 1e-9);
+        // One request per 100 ms bucket → peak rate 10/s.
+        assert!((s[0].max_per_sec - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_interval_peak_exceeds_average() {
+        // All 10 requests in the first 100 ms bucket of a 1 s interval.
+        let records: Vec<_> = (0..10).map(|i| rec(i * 1_000)).collect();
+        let t = Trace::new("t", records, 1, 1_000_000_000);
+        let s = interval_stats(&t, 100_000_000);
+        assert!((s[0].avg_per_sec - 10.0).abs() < 1e-9);
+        assert!((s[0].max_per_sec - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_intervals() {
+        let mut records: Vec<_> = (0..5).map(|i| rec(i)).collect();
+        records.push(rec(1_000_000_001));
+        let t = Trace::new("t", records, 1, 1_000_000_000);
+        let s = interval_stats(&t, 1_000_000_000);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].total_requests, 5);
+        assert_eq!(s[1].total_requests, 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Building a QoS deployment for *your* array: pick a design from the
+//! catalog for a target device count or QoS requirement, inspect its
+//! guarantees, and verify them empirically with the exact max-flow
+//! scheduler.
+//!
+//! Run with: `cargo run --release --example custom_design`
+
+use flash_qos::decluster::retrieval::max_flow_retrieval;
+use flash_qos::decluster::sampling::optimal_retrieval_probabilities;
+use flash_qos::prelude::*;
+
+fn main() {
+    let catalog = DesignCatalog;
+
+    // 1. From a device count: the smallest constructible (N,3,1) design
+    //    with at least 20 devices.
+    let n = catalog.next_constructible_devices(20);
+    let design = catalog.find(n, 3).expect("catalog design");
+    design.verify().expect("design axioms");
+    let g = RetrievalGuarantee::of(&design);
+    println!("array of {n} devices, 3 copies: {} design blocks, {} buckets with rotations", design.num_blocks(), g.supported_buckets());
+    for m in 1..=4 {
+        println!("  any {:>3} buckets retrievable in {m} access(es)", g.buckets_in(m));
+    }
+
+    // 2. From a QoS requirement: guarantee 14 block reads per interval in
+    //    at most 2 accesses.
+    let design2 = catalog.for_guarantee(14, 2).expect("feasible requirement");
+    println!(
+        "\nrequirement '14 blocks in 2 accesses' → ({}, 3, 1) design",
+        design2.v()
+    );
+
+    // 3. Verify the guarantee empirically on the (9,3,1) paper design:
+    //    exhaustively schedule random within-limit bucket sets with the
+    //    exact max-flow scheduler.
+    let scheme = DesignTheoretic::paper_9_3_1();
+    let gg = scheme.guarantee();
+    let mut worst = 0;
+    let mut state = 7u64;
+    for _ in 0..5_000 {
+        // 14 distinct buckets = S(2).
+        let mut pool: Vec<usize> = (0..scheme.num_buckets()).collect();
+        for i in 0..14 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = i + (state >> 33) as usize % (pool.len() - i);
+            pool.swap(i, j);
+        }
+        let reqs: Vec<&[usize]> = pool[..14].iter().map(|&b| scheme.replicas(b)).collect();
+        worst = worst.max(max_flow_retrieval(&reqs, 9).accesses);
+    }
+    println!("\n(9,3,1): worst observed cost for 5 000 random 14-bucket requests: {worst} accesses (guarantee: {})", gg.accesses_for(14));
+    assert!(worst <= gg.accesses_for(14));
+
+    // 4. And probabilistically: the P_k table that statistical QoS uses.
+    let probs = optimal_retrieval_probabilities(&scheme, 10, 20_000, 1);
+    println!("\noptimal-retrieval probabilities (with-replacement draws):");
+    for k in 5..=10 {
+        println!("  P_{k:<2} = {:.3}", probs.p_k(k));
+    }
+}

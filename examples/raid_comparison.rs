@@ -1,0 +1,54 @@
+//! Comparing replicated allocations under load (the Table III scenario):
+//! RAID-1 mirrored, RAID-1 chained and design-theoretic declustering on
+//! the same synthetic workload.
+//!
+//! Run with: `cargo run --release --example raid_comparison`
+
+use flash_qos::prelude::*;
+
+fn main() {
+    // 27 random blocks per 0.399 ms interval — the paper's heaviest row.
+    let interval_ns = 399_000;
+    let trace = SyntheticConfig {
+        blocks_per_interval: 27,
+        interval_ns,
+        total_requests: 10_000,
+        block_pool: 36,
+        seed: 0x5EED,
+    }
+    .generate();
+
+    let pipeline = QosPipeline::new(QosConfig::paper_9_3_1().with_accesses(3))
+        .with_mapping(MappingStrategy::Modulo);
+
+    println!("27 blocks per 0.399 ms on 9 devices, 3 copies, 10 000 requests\n");
+    println!("{:<28} {:>10} {:>10} {:>10} {:>12}", "scheme", "avg (ms)", "std (ms)", "max (ms)", "guarantee?");
+
+    let mirrored = pipeline.run_interval().run_baseline(&trace, &Raid1Mirrored::paper());
+    let chained = pipeline.run_interval().run_baseline(&trace, &Raid1Chained::paper());
+    let rda = pipeline
+        .run_interval()
+        .run_baseline(&trace, &RandomDuplicate::new(9, 3, 36, 42));
+    let design = pipeline.run_interval().run(&trace);
+
+    for (name, r) in [
+        ("RAID-1 mirrored", &mirrored),
+        ("RAID-1 chained", &chained),
+        ("random duplicate (RDA)", &rda),
+        ("design-theoretic (9,3,1)", &design),
+    ] {
+        let met = r.total_response.max_ns() <= interval_ns;
+        println!(
+            "{:<28} {:>10.3} {:>10.3} {:>10.3} {:>12}",
+            name,
+            r.total_response.mean_ms(),
+            r.total_response.std_ms(),
+            r.total_response.max_ms(),
+            if met { "yes" } else { "VIOLATED" }
+        );
+    }
+
+    println!("\nOnly the design-theoretic allocation (with its admission control and");
+    println!("hybrid retrieval) keeps every response inside the 0.399 ms interval;");
+    println!("the mirror groups serialize conflicting requests and blow the deadline.");
+}

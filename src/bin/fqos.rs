@@ -1,0 +1,200 @@
+//! `fqos` — command-line front end for the flash-qos library.
+//!
+//! ```text
+//! fqos design   --devices 9 [--copies 3]
+//!     Print the design, its rotation table size and S(M) guarantees.
+//!
+//! fqos generate --blocks 5 --interval-ms 0.133 --total 10000 [--pool 36] [--seed N]
+//!     Emit a synthetic DiskSim-style ASCII trace on stdout (§V-B1).
+//!
+//! fqos analyze  --trace FILE --devices 9 [--copies 3] [--interval-ms 0.133]
+//!               [--epsilon 0.0] [--mapping fim|modulo|roundrobin]
+//!               [--reporting-ms 100]
+//!     Run a trace through the QoS pipeline and print the per-interval
+//!     report plus the original-layout comparison.
+//! ```
+
+use flash_qos::prelude::*;
+use flash_qos::qos::config::OverloadPolicy;
+use flash_qos::traces::ascii;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("usage: fqos <design|generate|analyze> [options]  (see --help)");
+        return ExitCode::FAILURE;
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "design" => cmd_design(&opts),
+        "generate" => cmd_generate(&opts),
+        "analyze" => cmd_analyze(&opts),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!("fqos — replication-based QoS for flash arrays (CLUSTER 2012 reproduction)");
+    println!();
+    println!("commands:");
+    println!("  design   --devices N [--copies C]          show a design and its guarantees");
+    println!("  generate --blocks B --interval-ms T --total N [--pool P] [--seed S]");
+    println!("                                              emit a synthetic ASCII trace");
+    println!("  analyze  --trace FILE --devices N [--copies C] [--interval-ms T]");
+    println!("           [--epsilon E] [--mapping fim|modulo|roundrobin] [--reporting-ms R]");
+    println!("                                              run the QoS pipeline on a trace");
+}
+
+type Options = HashMap<String, String>;
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, found '{}'", args[i]))?;
+        let value =
+            args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+        out.insert(key.to_string(), value);
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn get_num<T: std::str::FromStr>(opts: &Options, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+    }
+}
+
+fn require_num<T: std::str::FromStr>(opts: &Options, key: &str) -> Result<T, String> {
+    let v = opts.get(key).ok_or_else(|| format!("--{key} is required"))?;
+    v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'"))
+}
+
+fn cmd_design(opts: &Options) -> Result<(), String> {
+    let devices: usize = require_num(opts, "devices")?;
+    let copies: usize = get_num(opts, "copies", 3)?;
+    let design = DesignCatalog.find(devices, copies).map_err(|e| e.to_string())?;
+    design.verify().map_err(|e| e.to_string())?;
+    println!("({devices},{copies},1) design: {} blocks, replication number {}", design.num_blocks(), design.replication_number());
+    let g = RetrievalGuarantee::of(&design);
+    println!("rotation-expanded buckets: {}", g.supported_buckets());
+    println!("guarantees:");
+    for m in 1..=4 {
+        println!("  any {:>4} buckets in {m} access(es)  (interval ≥ {:.3} ms on calibrated flash)", g.buckets_in(m), m as f64 * 0.132507);
+    }
+    println!("blocks:");
+    for (i, b) in design.blocks().iter().enumerate() {
+        let cells: Vec<String> = b.iter().map(|p| p.to_string()).collect();
+        println!("  {i:>3}: ({})", cells.join(","));
+    }
+    Ok(())
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), String> {
+    let blocks: usize = require_num(opts, "blocks")?;
+    let interval_ms: f64 = require_num(opts, "interval-ms")?;
+    let total: usize = require_num(opts, "total")?;
+    let pool: u64 = get_num(opts, "pool", 36)?;
+    let seed: u64 = get_num(opts, "seed", 0x5EED)?;
+    let cfg = SyntheticConfig {
+        blocks_per_interval: blocks,
+        interval_ns: (interval_ms * 1e6) as u64,
+        total_requests: total,
+        block_pool: pool,
+        seed,
+    };
+    print!("{}", ascii::emit(&cfg.generate()));
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Options) -> Result<(), String> {
+    let path = opts.get("trace").ok_or("--trace is required")?;
+    let devices: usize = require_num(opts, "devices")?;
+    let copies: usize = get_num(opts, "copies", 3)?;
+    let interval_ms: f64 = get_num(opts, "interval-ms", 0.133)?;
+    let epsilon: f64 = get_num(opts, "epsilon", 0.0)?;
+    let reporting_ms: f64 = get_num(opts, "reporting-ms", 100.0)?;
+    let mapping = match opts.get("mapping").map(String::as_str) {
+        None | Some("fim") => MappingStrategy::Fim,
+        Some("modulo") => MappingStrategy::Modulo,
+        Some("roundrobin") => MappingStrategy::RoundRobin,
+        Some(other) => return Err(format!("--mapping: unknown strategy '{other}'")),
+    };
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = ascii::parse(&text, path.clone(), devices, (reporting_ms * 1e6) as u64)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "trace: {} requests, {} reporting intervals of {reporting_ms} ms",
+        trace.len(),
+        trace.num_intervals()
+    );
+
+    let design = DesignCatalog.find(devices, copies).map_err(|e| e.to_string())?;
+    let config = QosConfig {
+        scheme: flash_qos::decluster::DesignTheoretic::new(design),
+        accesses: 1,
+        interval_ns: (interval_ms * 1e6) as u64,
+        epsilon,
+        policy: OverloadPolicy::Delay,
+        service_ns: BLOCK_READ_NS,
+    };
+    config.validate().map_err(|e| e.to_string())?;
+    let limit = config.request_limit();
+    let pipeline = QosPipeline::new(config).with_mapping(mapping);
+
+    let qos = pipeline.run_online(&trace);
+    let orig = pipeline.run_original(&trace);
+
+    println!("\nQoS guarantee: {limit} requests per {interval_ms} ms interval\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>11}",
+        "interval", "requests", "qos avg ms", "qos max ms", "orig avg ms", "orig max ms", "% delayed"
+    );
+    for i in 0..trace.num_intervals() {
+        println!(
+            "{:<10} {:>10} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>10.1}%",
+            i,
+            qos.intervals.requests[i],
+            qos.intervals.response[i].mean_ms(),
+            qos.intervals.response[i].max_ms(),
+            orig.intervals.response[i].mean_ms(),
+            orig.intervals.response[i].max_ms(),
+            qos.intervals.delayed_pct(i),
+        );
+    }
+    println!(
+        "\ntotals: qos max {:.6} ms | original max {:.6} ms | {:.2}% delayed ({:.3} ms avg delay)",
+        qos.total_response.max_ms(),
+        orig.total_response.max_ms(),
+        qos.delayed_pct(),
+        qos.avg_delay_ms()
+    );
+    if !qos.matched_fraction.is_empty() {
+        println!("FIM re-match average: {:.1}%", 100.0 * qos.avg_matched_fraction());
+    }
+    Ok(())
+}
