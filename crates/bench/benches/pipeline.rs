@@ -27,10 +27,11 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(20);
 
     let fim = QosPipeline::new(QosConfig::paper_9_3_1());
-    let modulo =
-        QosPipeline::new(QosConfig::paper_9_3_1()).with_mapping(MappingStrategy::Modulo);
+    let modulo = QosPipeline::new(QosConfig::paper_9_3_1()).with_mapping(MappingStrategy::Modulo);
 
-    group.bench_function("online_fim", |b| b.iter(|| black_box(fim.run_online(&trace))));
+    group.bench_function("online_fim", |b| {
+        b.iter(|| black_box(fim.run_online(&trace)))
+    });
     group.bench_function("online_modulo", |b| {
         b.iter(|| black_box(modulo.run_online(&trace)))
     });

@@ -3,9 +3,7 @@
 //! `O(b³)` max-flow, which is why the hybrid only falls back on demand.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fqos_decluster::retrieval::{
-    design_theoretic_retrieval, hybrid_retrieval, max_flow_retrieval,
-};
+use fqos_decluster::retrieval::{design_theoretic_retrieval, hybrid_retrieval, max_flow_retrieval};
 use fqos_decluster::{AllocationScheme, DesignTheoretic};
 use std::hint::black_box;
 
@@ -25,9 +23,11 @@ fn bench_retrieval(c: &mut Criterion) {
     for &b in &[5usize, 14, 27, 36, 72] {
         let buckets = random_request(&scheme, b, 42);
         let reqs: Vec<&[usize]> = buckets.iter().map(|&x| scheme.replicas(x)).collect();
-        group.bench_with_input(BenchmarkId::new("design_theoretic", b), &reqs, |bench, reqs| {
-            bench.iter(|| design_theoretic_retrieval(black_box(reqs), 9))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("design_theoretic", b),
+            &reqs,
+            |bench, reqs| bench.iter(|| design_theoretic_retrieval(black_box(reqs), 9)),
+        );
         group.bench_with_input(BenchmarkId::new("max_flow", b), &reqs, |bench, reqs| {
             bench.iter(|| max_flow_retrieval(black_box(reqs), 9))
         });

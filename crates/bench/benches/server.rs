@@ -1,0 +1,131 @@
+//! End-to-end benchmarks for the concurrent serving engine: how fast the
+//! full admission → dispatch → worker-pool path drains a multi-tenant
+//! synthetic workload, under both assignment modes and under submitter
+//! contention.
+//!
+//! Besides the usual per-benchmark lines, the run writes
+//! `BENCH_server.json` (machine-readable: wall-clock throughput in req/s
+//! plus the simulated p50/p99 response times) for CI trend tracking.
+
+use criterion::{Criterion, Throughput};
+use fqos_core::{OverloadPolicy, QosConfig};
+use fqos_server::{AssignmentMode, MetricsSnapshot, QosServer, ServerConfig};
+use std::hint::black_box;
+use std::io::Write;
+
+const WINDOWS: u64 = 120;
+
+/// Drive one complete serve: `submitters` threads each own a tenant slice
+/// of `S(M)` and replay `WINDOWS` intervals. Returns the request count and
+/// the final snapshot.
+fn run_serve(mode: AssignmentMode, submitters: usize, workers: usize) -> (u64, MetricsSnapshot) {
+    let qos = QosConfig::paper_9_3_1().with_accesses(2); // S(2) = 14
+    let t = qos.interval_ns;
+    let limit = qos.request_limit();
+    let server = QosServer::new(
+        ServerConfig::new(qos)
+            .with_workers(workers)
+            .with_queue_depth(64)
+            .with_assignment(mode),
+    )
+    .expect("valid config");
+
+    let tenants = submitters.min(limit);
+    let base = limit / tenants;
+    let extra = limit % tenants;
+    let plan: Vec<(u64, usize)> = (0..tenants)
+        .map(|i| (i as u64 + 1, base + usize::from(i < extra)))
+        .collect();
+    for &(tenant, reserved) in &plan {
+        server
+            .register(tenant, reserved, OverloadPolicy::Delay)
+            .expect("within S(M)");
+    }
+
+    let threads: Vec<_> = plan
+        .into_iter()
+        .map(|(tenant, reserved)| {
+            let mut h = server.handle();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                for w in 0..WINDOWS {
+                    for i in 0..reserved as u64 {
+                        h.submit(tenant, tenant * 10_000 + w * 31 + i, w * t + i);
+                        n += 1;
+                    }
+                }
+                n
+            })
+        })
+        .collect();
+    let submitted: u64 = threads.into_iter().map(|j| j.join().unwrap()).sum();
+    let m = server.finish();
+    assert_eq!(
+        m.guaranteed_violations, 0,
+        "bench workload must stay deterministic"
+    );
+    (submitted, m)
+}
+
+fn bench_server(c: &mut Criterion) {
+    let per_run = WINDOWS * 14; // S(2) requests per window, every window full
+
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(per_run));
+    group.bench_function("end_to_end/flow", |b| {
+        b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 4, 4)))
+    });
+    group.bench_function("end_to_end/eft", |b| {
+        b.iter(|| black_box(run_serve(AssignmentMode::Eft, 4, 4)))
+    });
+    group.bench_function("end_to_end/flow_1_submitter", |b| {
+        b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 1, 4)))
+    });
+    group.bench_function("end_to_end/flow_8_workers", |b| {
+        b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 4, 8)))
+    });
+    group.finish();
+
+    // One instrumented run per mode for the simulated-latency figures the
+    // timing loop above cannot see.
+    let (n_flow, flow) = run_serve(AssignmentMode::OptimalFlow, 4, 4);
+    let (n_eft, eft) = run_serve(AssignmentMode::Eft, 4, 4);
+
+    let mut json = String::from("{\n  \"bench\": \"server\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{ \"design\": \"(9,3,1)\", \"accesses\": 2, \"limit\": 14, \"windows\": {WINDOWS}, \"requests_per_run\": {per_run} }},\n"
+    ));
+    json.push_str("  \"timing\": [\n");
+    for (i, r) in c.results.iter().enumerate() {
+        let req_per_s = per_run as f64 / (r.median_ns * 1e-9);
+        let sep = if i + 1 == c.results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"median_ns\": {:.0}, \"throughput_req_per_s\": {:.0} }}{sep}\n",
+            r.id, r.median_ns, req_per_s
+        ));
+    }
+    json.push_str("  ],\n  \"latency\": [\n");
+    for (i, (mode, n, m)) in [("flow", n_flow, &flow), ("eft", n_eft, &eft)]
+        .into_iter()
+        .enumerate()
+    {
+        let sep = if i == 1 { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"mode\": \"{mode}\", \"requests\": {n}, \"served\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.0}, \"deadline_violations\": {} }}{sep}\n",
+            m.served, m.p50_latency_ns, m.p99_latency_ns, m.max_latency_ns, m.mean_latency_ns, m.deadline_violations
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = "BENCH_server.json";
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_server(&mut criterion);
+}

@@ -28,20 +28,28 @@ fn bench_simulator(c: &mut Criterion) {
     let reqs = trace(n);
     group.throughput(Throughput::Elements(n as u64));
 
-    group.bench_with_input(BenchmarkId::new("calibrated_replay", n), &reqs, |b, reqs| {
-        b.iter(|| {
-            let mut arr = FlashArray::calibrated(9);
-            black_box(arr.replay(reqs.iter().copied()))
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("calibrated_replay", n),
+        &reqs,
+        |b, reqs| {
+            b.iter(|| {
+                let mut arr = FlashArray::calibrated(9);
+                black_box(arr.replay(reqs.iter().copied()))
+            })
+        },
+    );
 
-    group.bench_with_input(BenchmarkId::new("page_level_replay", n), &reqs, |b, reqs| {
-        b.iter(|| {
-            let mut arr =
-                FlashArray::new((0..9).map(|_| FlashModule::default()).collect::<Vec<_>>());
-            black_box(arr.replay(reqs.iter().copied()))
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("page_level_replay", n),
+        &reqs,
+        |b, reqs| {
+            b.iter(|| {
+                let mut arr =
+                    FlashArray::new((0..9).map(|_| FlashModule::default()).collect::<Vec<_>>());
+                black_box(arr.replay(reqs.iter().copied()))
+            })
+        },
+    );
 
     group.bench_function("single_submit_calibrated", |b| {
         let mut dev = CalibratedSsd::new();

@@ -7,8 +7,21 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "layouts", "fig4", "table2", "table3", "fig6", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "table4", "scheme_sweep", "device_models", "hdd_motivation", "degraded",
+        "layouts",
+        "fig4",
+        "table2",
+        "table3",
+        "fig6",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "table4",
+        "scheme_sweep",
+        "device_models",
+        "hdd_motivation",
+        "degraded",
         "writes",
     ];
     let exe_dir = std::env::current_exe()

@@ -48,8 +48,16 @@ fn main() {
                 worst_cost = worst_cost.max(out.schedule.accesses);
             }
             table.row(&[
-                if f == 0 { s.name().to_string() } else { String::new() },
-                if f == 0 { fault_tolerance(s.as_ref()).to_string() } else { String::new() },
+                if f == 0 {
+                    s.name().to_string()
+                } else {
+                    String::new()
+                },
+                if f == 0 {
+                    fault_tolerance(s.as_ref()).to_string()
+                } else {
+                    String::new()
+                },
                 f.to_string(),
                 pct(100.0 * worst_avail),
                 worst_cost.to_string(),

@@ -10,9 +10,7 @@
 use fqos_bench::{banner, ms, TableBuilder};
 use fqos_decluster::retrieval::hybrid_retrieval;
 use fqos_decluster::{AllocationScheme, DesignTheoretic};
-use fqos_flashsim::{
-    CalibratedSsd, Device, FlashArray, FlashModule, IoRequest, ResponseStats,
-};
+use fqos_flashsim::{CalibratedSsd, Device, FlashArray, FlashModule, IoRequest, ResponseStats};
 use fqos_traces::SyntheticConfig;
 
 /// Build the per-device request stream once (interval batches scheduled by
@@ -24,8 +22,10 @@ fn schedule(trace: &fqos_traces::Trace, scheme: &DesignTheoretic) -> Vec<IoReque
             continue;
         }
         let boundary = records[0].arrival_ns;
-        let buckets: Vec<usize> =
-            records.iter().map(|r| (r.lbn % scheme.num_buckets() as u64) as usize).collect();
+        let buckets: Vec<usize> = records
+            .iter()
+            .map(|r| (r.lbn % scheme.num_buckets() as u64) as usize)
+            .collect();
         let refs: Vec<&[usize]> = buckets.iter().map(|&b| scheme.replicas(b)).collect();
         let (sched, _) = hybrid_retrieval(&refs, scheme.devices());
         for (r, &d) in records.iter().zip(&sched.assignment) {
@@ -57,8 +57,14 @@ fn main() {
     for &(blocks, m) in &[(5usize, 1u64), (14, 2), (27, 3)] {
         let trace = SyntheticConfig::table3(blocks, m * 133_000).generate();
         let reqs = schedule(&trace, &scheme);
-        let cal = replay(&reqs, (0..9).map(|_| CalibratedSsd::new()).collect::<Vec<_>>());
-        let flash = replay(&reqs, (0..9).map(|_| FlashModule::default()).collect::<Vec<_>>());
+        let cal = replay(
+            &reqs,
+            (0..9).map(|_| CalibratedSsd::new()).collect::<Vec<_>>(),
+        );
+        let flash = replay(
+            &reqs,
+            (0..9).map(|_| FlashModule::default()).collect::<Vec<_>>(),
+        );
         table.row(&[
             format!("{blocks}/{:.3}ms", m as f64 * 0.133),
             ms(cal.mean_ms()),

@@ -33,7 +33,12 @@ fn sweep(trace: &Trace, base: QosConfig, epsilons: &[f64]) {
     table.print();
     write_csv(
         &format!("fig10_{}", trace.name),
-        &["epsilon", "pct_delayed", "avg_response_ms", "max_response_ms"],
+        &[
+            "epsilon",
+            "pct_delayed",
+            "avg_response_ms",
+            "max_response_ms",
+        ],
         &csv_rows,
     );
     println!();

@@ -33,10 +33,8 @@ fn separation_ablation(trace: &Trace, num_buckets: usize) -> (f64, f64, f64) {
         modulo.advance_interval(prev);
         rr.advance_interval(prev);
         // Pairs actually co-requested in the current interval.
-        let db = TransactionDb::from_timed_events(
-            cur.iter().map(|r| (r.arrival_ns, r.lbn)),
-            window,
-        );
+        let db =
+            TransactionDb::from_timed_events(cur.iter().map(|r| (r.arrival_ns, r.lbn)), window);
         let pairs = Apriori.mine_pairs(&db, 1);
         if pairs.is_empty() {
             continue;
@@ -97,7 +95,17 @@ fn main() {
 
     println!("\nMapping ablation — fraction of co-requested pairs separated onto distinct design blocks:");
     let (f, m, r) = separation_ablation(&exchange, 36);
-    println!("  exchange: FIM {} | modulo {} | round-robin {}", pct(100.0 * f), pct(100.0 * m), pct(100.0 * r));
+    println!(
+        "  exchange: FIM {} | modulo {} | round-robin {}",
+        pct(100.0 * f),
+        pct(100.0 * m),
+        pct(100.0 * r)
+    );
     let (f, m, r) = separation_ablation(&tpce, 78);
-    println!("  tpce:     FIM {} | modulo {} | round-robin {}", pct(100.0 * f), pct(100.0 * m), pct(100.0 * r));
+    println!(
+        "  tpce:     FIM {} | modulo {} | round-robin {}",
+        pct(100.0 * f),
+        pct(100.0 * m),
+        pct(100.0 * r)
+    );
 }

@@ -20,11 +20,16 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(100_000);
-    let probs = optimal_retrieval_probabilities(&scheme, 36, trials, 0xF16_4);
+    let probs = optimal_retrieval_probabilities(&scheme, 36, trials, 0xF164);
 
     let mut table = TableBuilder::new(&["k", "P_k (measured)", "paper", "optimal accesses"]);
-    let paper: &[(usize, &str)] =
-        &[(6, "0.99"), (7, "0.98"), (8, "0.95"), (9, "0.75"), (10, "1.00")];
+    let paper: &[(usize, &str)] = &[
+        (6, "0.99"),
+        (7, "0.98"),
+        (8, "0.95"),
+        (9, "0.75"),
+        (10, "1.00"),
+    ];
     for k in 1..=36 {
         let reference = paper
             .iter()

@@ -12,11 +12,21 @@ use fqos_traces::stats::interval_stats;
 use fqos_traces::Trace;
 
 fn show(trace: &Trace, bucket_ns: u64) {
-    println!("--- {} ({} records, {} devices, {} intervals) ---",
-        trace.name, trace.len(), trace.num_devices, trace.num_intervals());
+    println!(
+        "--- {} ({} records, {} devices, {} intervals) ---",
+        trace.name,
+        trace.len(),
+        trace.num_devices,
+        trace.num_intervals()
+    );
     let stats = interval_stats(trace, bucket_ns);
-    let mut table =
-        TableBuilder::new(&["interval", "total reads", "avg req/s", "max req/s", "peak/avg"]);
+    let mut table = TableBuilder::new(&[
+        "interval",
+        "total reads",
+        "avg req/s",
+        "max req/s",
+        "peak/avg",
+    ]);
     for s in &stats {
         table.row(&[
             s.interval.to_string(),
@@ -28,7 +38,11 @@ fn show(trace: &Trace, bucket_ns: u64) {
     }
     table.print();
     let total: u64 = stats.iter().map(|s| s.total_requests).sum();
-    let peak = stats.iter().map(|s| s.max_per_sec as u64).max().unwrap_or(0);
+    let peak = stats
+        .iter()
+        .map(|s| s.max_per_sec as u64)
+        .max()
+        .unwrap_or(0);
     println!("total = {total}, global peak = {peak} req/s\n");
 }
 

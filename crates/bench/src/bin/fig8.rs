@@ -52,7 +52,15 @@ fn main() {
     table.print();
     write_csv(
         "fig8_exchange",
-        &["interval", "qos_avg_ms", "qos_max_ms", "orig_avg_ms", "orig_max_ms", "avg_delay_ms", "pct_delayed"],
+        &[
+            "interval",
+            "qos_avg_ms",
+            "qos_max_ms",
+            "orig_avg_ms",
+            "orig_max_ms",
+            "avg_delay_ms",
+            "pct_delayed",
+        ],
         &csv_rows,
     );
 

@@ -57,8 +57,13 @@ fn main() {
     let mut disks = FlashArray::new((0..9).map(|_| HardDisk::default()).collect::<Vec<_>>());
     let disk_result = disks.replay(reqs.iter().copied());
 
-    let mut table = TableBuilder::new(&["array", "avg (ms)", "std (ms)", "min (ms)", "max (ms)", "max/min"]);
-    for (name, s) in [("flash", &flash_result.stats), ("15 kRPM HDD", &disk_result.stats)] {
+    let mut table = TableBuilder::new(&[
+        "array", "avg (ms)", "std (ms)", "min (ms)", "max (ms)", "max/min",
+    ]);
+    for (name, s) in [
+        ("flash", &flash_result.stats),
+        ("15 kRPM HDD", &disk_result.stats),
+    ] {
         table.row(&[
             name.to_string(),
             ms(s.mean_ms()),

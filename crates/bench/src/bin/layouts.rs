@@ -29,7 +29,11 @@ fn print_scheme(s: &dyn AllocationScheme, base_only: usize) {
 }
 
 fn main() {
-    banner("layouts", "Fig. 2 / Fig. 7", "Design table and allocation layouts");
+    banner(
+        "layouts",
+        "Fig. 2 / Fig. 7",
+        "Design table and allocation layouts",
+    );
 
     println!("--- (9,3,1) design (Fig. 2) ---");
     let d = known::design_9_3_1();

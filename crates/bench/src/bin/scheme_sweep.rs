@@ -49,9 +49,17 @@ fn main() {
     }
     table.print();
 
-    println!("\nWorst-case accesses for b = 1..8 (exact max-flow scoring; exhaustive ≤ C(36,4)):\n");
-    let effort = SearchEffort { exhaustive_limit: 90_000, random_starts: 60, climb_steps: 150 };
-    let mut table = TableBuilder::new(&["scheme", "b=1", "b=2", "b=3", "b=4", "b=5", "b=6", "b=7", "b=8"]);
+    println!(
+        "\nWorst-case accesses for b = 1..8 (exact max-flow scoring; exhaustive ≤ C(36,4)):\n"
+    );
+    let effort = SearchEffort {
+        exhaustive_limit: 90_000,
+        random_starts: 60,
+        climb_steps: 150,
+    };
+    let mut table = TableBuilder::new(&[
+        "scheme", "b=1", "b=2", "b=3", "b=4", "b=5", "b=6", "b=7", "b=8",
+    ]);
     for s in &schemes {
         let profile = worst_case_profile(s.as_ref(), 8, effort, 7);
         let mut row = vec![s.name().to_string()];

@@ -29,8 +29,7 @@ fn main() {
     let scheme = DesignTheoretic::paper_9_3_1();
     let n = scheme.num_buckets();
 
-    let mut table =
-        TableBuilder::new(&["S", "DTR(S)", "OLR(S)", "paper DTR", "paper OLR"]);
+    let mut table = TableBuilder::new(&["S", "DTR(S)", "OLR(S)", "paper DTR", "paper OLR"]);
     let paper_dtr = ["1", "1", "1", "1", "1", "2"];
     let paper_olr = ["1", "1", "1", "1 or 2", "1 or 2", "2"];
 
@@ -43,7 +42,9 @@ fn main() {
         let mut pool: Vec<usize> = (0..n).collect();
         for _ in 0..trials {
             for i in 0..s {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let j = i + (state >> 33) as usize % (n - i);
                 pool.swap(i, j);
             }
@@ -52,7 +53,10 @@ fn main() {
             olr_seen.insert(online_accesses(&reqs, 9));
         }
         let fmt = |set: &std::collections::BTreeSet<usize>| {
-            set.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" or ")
+            set.iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" or ")
         };
         table.row(&[
             s.to_string(),

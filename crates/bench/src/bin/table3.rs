@@ -42,8 +42,12 @@ fn main() {
         let pipeline = QosPipeline::new(QosConfig::paper_9_3_1().with_accesses(m))
             .with_mapping(MappingStrategy::Modulo);
 
-        let mirrored = pipeline.run_interval().run_baseline(&trace, &Raid1Mirrored::paper());
-        let chained = pipeline.run_interval().run_baseline(&trace, &Raid1Chained::paper());
+        let mirrored = pipeline
+            .run_interval()
+            .run_baseline(&trace, &Raid1Mirrored::paper());
+        let chained = pipeline
+            .run_interval()
+            .run_baseline(&trace, &Raid1Chained::paper());
         let design = pipeline.run_interval().run(&trace);
 
         let met = design.total_response.max_ns() <= interval_ns;

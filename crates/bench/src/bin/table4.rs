@@ -18,13 +18,20 @@ fn interval_db(trace: &Trace, which: &str) -> (String, TransactionDb) {
         .iter()
         .enumerate()
         .filter(|(_, r)| !r.is_empty())
-        .max_by_key(|(_, r)| if which == "largest" { r.len() } else { usize::MAX - r.len() })
+        .max_by_key(|(_, r)| {
+            if which == "largest" {
+                r.len()
+            } else {
+                usize::MAX - r.len()
+            }
+        })
         .expect("non-empty trace");
-    let db = TransactionDb::from_timed_events(
-        records.iter().map(|r| (r.arrival_ns, r.lbn)),
-        133_000,
-    );
-    (format!("{}{} ({} reqs)", trace.name, idx, records.len()), db)
+    let db =
+        TransactionDb::from_timed_events(records.iter().map(|r| (r.arrival_ns, r.lbn)), 133_000);
+    (
+        format!("{}{} ({} reqs)", trace.name, idx, records.len()),
+        db,
+    )
 }
 
 fn main() {
@@ -71,7 +78,9 @@ fn main() {
         }
     }
     table.print();
-    println!("\nPaper anchors (their scale): exchange 1–11 s / 240–767 MB; tpce 1–90 s / 0.3–3.4 GB;");
+    println!(
+        "\nPaper anchors (their scale): exchange 1–11 s / 240–767 MB; tpce 1–90 s / 0.3–3.4 GB;"
+    );
     println!("support 3 cuts tpce3 from 90 s / 3.4 GB to 57 s / 2.2 GB. Here the same monotone");
     println!("relationships hold at our (smaller) trace scale.");
 }

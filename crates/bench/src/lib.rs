@@ -19,7 +19,10 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Start a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TableBuilder { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TableBuilder {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.
@@ -81,7 +84,10 @@ pub fn exchange_trace() -> Trace {
 
 /// A reduced Exchange trace for quick runs (16 intervals).
 pub fn exchange_trace_quick() -> Trace {
-    let cfg = ExchangeConfig { intervals: 16, ..Default::default() };
+    let cfg = ExchangeConfig {
+        intervals: 16,
+        ..Default::default()
+    };
     fqos_traces::models::exchange(cfg).generate()
 }
 

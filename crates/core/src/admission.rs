@@ -16,7 +16,11 @@ pub struct AppAdmission {
 impl AppAdmission {
     /// Create a controller with per-interval request limit `S(M)`.
     pub fn new(limit: usize) -> Self {
-        AppAdmission { limit, total: 0, apps: HashMap::new() }
+        AppAdmission {
+            limit,
+            total: 0,
+            apps: HashMap::new(),
+        }
     }
 
     /// The configured limit.
@@ -107,12 +111,7 @@ impl StatisticalCounters {
     /// with the tentative interval counted (§III-B2: "Admission control
     /// algorithm admits the requests of the current interval if Q … is
     /// smaller than ε").
-    pub fn would_admit(
-        &self,
-        k: usize,
-        p: &OptimalRetrievalProbabilities,
-        epsilon: f64,
-    ) -> bool {
+    pub fn would_admit(&self, k: usize, p: &OptimalRetrievalProbabilities, epsilon: f64) -> bool {
         let n_t = (self.n_t + 1) as f64;
         let mut q = 0.0;
         for (size, &n) in self.n_k.iter().enumerate() {

@@ -49,7 +49,10 @@ pub fn run_scheme_greedy<S: fqos_decluster::AllocationScheme>(
             let bucket = mapping.bucket_for(r.lbn);
             let replicas = scheme.replicas(bucket);
             let d = fqos_decluster::retrieval::pick_online_device(replicas, &free, r.arrival_ns);
-            let c = array.submit(&IoRequest::read_block(r.lbn, r.arrival_ns, d, r.lbn), r.arrival_ns);
+            let c = array.submit(
+                &IoRequest::read_block(r.lbn, r.arrival_ns, d, r.lbn),
+                r.arrival_ns,
+            );
             free[d] = c.finish;
             report.record(interval_idx, c.response_time(), 0);
         }

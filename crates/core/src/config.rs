@@ -51,7 +51,10 @@ impl QosConfig {
 
     /// The TPC-E configuration: `(13,3,1)` design, otherwise as above.
     pub fn paper_13_3_1() -> Self {
-        QosConfig { scheme: DesignTheoretic::paper_13_3_1(), ..Self::paper_9_3_1() }
+        QosConfig {
+            scheme: DesignTheoretic::paper_13_3_1(),
+            ..Self::paper_9_3_1()
+        }
     }
 
     /// Set the access budget `M` and scale the interval to `M · 0.133 ms`
@@ -126,7 +129,10 @@ mod tests {
 
     #[test]
     fn epsilon_bounds() {
-        assert!(QosConfig::paper_9_3_1().with_epsilon(0.2).validate().is_ok());
+        assert!(QosConfig::paper_9_3_1()
+            .with_epsilon(0.2)
+            .validate()
+            .is_ok());
         let mut c = QosConfig::paper_9_3_1();
         c.epsilon = 1.5;
         assert!(c.validate().is_err());

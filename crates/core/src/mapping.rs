@@ -82,9 +82,9 @@ impl BlockMapping {
         finished_interval: &[TraceRecord],
     ) -> (f64, Option<fqos_fim::MiningReport>) {
         let matched = match self.strategy {
-            MappingStrategy::Fim => {
-                self.matcher.matched_fraction(finished_interval.iter().map(|r| r.lbn))
-            }
+            MappingStrategy::Fim => self
+                .matcher
+                .matched_fraction(finished_interval.iter().map(|r| r.lbn)),
             _ => 0.0,
         };
         let report = if self.strategy == MappingStrategy::Fim {
@@ -118,7 +118,13 @@ mod tests {
     use fqos_flashsim::IoOp;
 
     fn rec(t: u64, lbn: u64) -> TraceRecord {
-        TraceRecord { arrival_ns: t, device: 0, lbn, size_bytes: 8192, op: IoOp::Read }
+        TraceRecord {
+            arrival_ns: t,
+            device: 0,
+            lbn,
+            size_bytes: 8192,
+            op: IoOp::Read,
+        }
     }
 
     #[test]
@@ -138,8 +144,9 @@ mod tests {
         // Interval 0: blocks 100 and 200 always together. Under modulo both
         // map to bucket 100%36 = 28 and 200%36 = 20 (different here), so use
         // colliding blocks: 36 and 72 both → bucket 0 under modulo.
-        let interval: Vec<TraceRecord> =
-            (0..10).flat_map(|i| [rec(i * 1000, 36), rec(i * 1000 + 1, 72)]).collect();
+        let interval: Vec<TraceRecord> = (0..10)
+            .flat_map(|i| [rec(i * 1000, 36), rec(i * 1000 + 1, 72)])
+            .collect();
         assert_eq!(m.bucket_for(36), 0);
         assert_eq!(m.bucket_for(72), 0); // pre-mining collision
         let (matched0, report) = m.advance_interval(&interval);

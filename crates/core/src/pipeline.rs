@@ -28,7 +28,11 @@ impl QosPipeline {
     /// reporting interval with support 1.
     pub fn new(config: QosConfig) -> Self {
         config.validate().expect("invalid QoS configuration");
-        QosPipeline { config, strategy: MappingStrategy::Fim, min_support: DEFAULT_MIN_SUPPORT }
+        QosPipeline {
+            config,
+            strategy: MappingStrategy::Fim,
+            min_support: DEFAULT_MIN_SUPPORT,
+        }
     }
 
     /// Override the block-mapping strategy (ablations: Modulo, RoundRobin).
@@ -121,8 +125,11 @@ impl IntervalRunner<'_> {
             self.pipeline.config.interval_ns,
             self.pipeline.min_support,
         );
-        IntervalQos::without_admission(self.pipeline.config.clone())
-            .run_scheme(trace, scheme, &mut mapping)
+        IntervalQos::without_admission(self.pipeline.config.clone()).run_scheme(
+            trace,
+            scheme,
+            &mut mapping,
+        )
     }
 }
 

@@ -24,7 +24,10 @@ pub struct QosReport {
 impl QosReport {
     /// New empty report.
     pub fn new(name: impl Into<String>) -> Self {
-        QosReport { name: name.into(), ..Default::default() }
+        QosReport {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Record one completed request.

@@ -52,12 +52,20 @@ impl IntervalQos {
             let k_max = config.scheme.num_buckets().min(4 * config.request_limit());
             optimal_retrieval_probabilities(&config.scheme, k_max, 20_000, 0xF19u64)
         });
-        IntervalQos { config, admission: true, p_k }
+        IntervalQos {
+            config,
+            admission: true,
+            p_k,
+        }
     }
 
     /// Scheduler without admission (baseline mode).
     pub fn without_admission(config: QosConfig) -> Self {
-        IntervalQos { config, admission: false, p_k: None }
+        IntervalQos {
+            config,
+            admission: false,
+            p_k: None,
+        }
     }
 
     /// Run with the config's own design-theoretic scheme.
@@ -85,7 +93,11 @@ impl IntervalQos {
         let mut report = QosReport::new(format!(
             "interval {} ({})",
             scheme.name(),
-            if self.admission { "admission" } else { "no admission" }
+            if self.admission {
+                "admission"
+            } else {
+                "no admission"
+            }
         ));
 
         // Note: Reject is only meaningful online; the interval scheduler
@@ -165,7 +177,13 @@ impl IntervalQos {
                 // Flush every boundary strictly before this arrival; an
                 // arrival exactly at a boundary joins that boundary's batch.
                 while boundary < r.arrival_ns {
-                    flush(boundary, &mut pending, &mut array, &mut report, &mut counters);
+                    flush(
+                        boundary,
+                        &mut pending,
+                        &mut array,
+                        &mut report,
+                        &mut counters,
+                    );
                     boundary += t_win;
                 }
                 let bucket = mapping.bucket_for(r.lbn);
@@ -185,7 +203,13 @@ impl IntervalQos {
         }
         // Drain the tail.
         while !pending.is_empty() {
-            flush(boundary, &mut pending, &mut array, &mut report, &mut counters);
+            flush(
+                boundary,
+                &mut pending,
+                &mut array,
+                &mut report,
+                &mut counters,
+            );
             boundary += t_win;
         }
         report
@@ -232,12 +256,7 @@ mod tests {
 
     #[test]
     fn mid_window_arrivals_align_to_next_boundary() {
-        let trace = Trace::new(
-            "t",
-            vec![rec(BASE_INTERVAL_NS / 2, 0)],
-            9,
-            BASE_INTERVAL_NS,
-        );
+        let trace = Trace::new("t", vec![rec(BASE_INTERVAL_NS / 2, 0)], 9, BASE_INTERVAL_NS);
         let q = IntervalQos::new(QosConfig::paper_9_3_1());
         let report = q.run(&trace, &mut modulo_mapping());
         assert_eq!(report.completed(), 1);
@@ -302,7 +321,11 @@ mod tests {
 
         let stat = IntervalQos::new(QosConfig::paper_9_3_1().with_epsilon(0.9));
         let stat_report = stat.run(&trace, &mut modulo_mapping());
-        assert_eq!(stat_report.delayed_pct(), 0.0, "ε = 0.9 should admit whole batches");
+        assert_eq!(
+            stat_report.delayed_pct(),
+            0.0,
+            "ε = 0.9 should admit whole batches"
+        );
         assert_eq!(stat_report.completed(), det_report.completed());
         // The accepted risk: responses may exceed one access, but stay
         // within two (8 buckets never need more).

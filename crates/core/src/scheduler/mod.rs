@@ -24,8 +24,12 @@ pub(crate) struct WindowBudgets {
 
 impl WindowBudgets {
     pub(crate) fn new(devices: usize, accesses: usize) -> Self {
-        assert!(accesses >= 1 && accesses < 256);
-        WindowBudgets { devices, accesses, windows: BTreeMap::new() }
+        assert!((1..256).contains(&accesses));
+        WindowBudgets {
+            devices,
+            accesses,
+            windows: BTreeMap::new(),
+        }
     }
 
     /// Remaining start budget of `device` in `window`.

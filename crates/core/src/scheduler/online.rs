@@ -50,7 +50,10 @@ impl OnlineQos {
     /// Build with a precomputed `P_k` table (avoids resampling in sweeps).
     pub fn with_probabilities(config: QosConfig, p_k: OptimalRetrievalProbabilities) -> Self {
         config.validate().expect("invalid QoS configuration");
-        OnlineQos { config, p_k: Some(p_k) }
+        OnlineQos {
+            config,
+            p_k: Some(p_k),
+        }
     }
 
     /// The configuration.
@@ -97,15 +100,13 @@ impl OnlineQos {
                     counters.record_interval(closed);
                 }
 
-                let buckets: Vec<usize> =
-                    group.iter().map(|r| mapping.bucket_for(r.lbn)).collect();
+                let buckets: Vec<usize> = group.iter().map(|r| mapping.bucket_for(r.lbn)).collect();
 
                 // Joint assignment for simultaneous arrivals (remapping).
                 let joint: Option<Vec<usize>> = if group.len() > 1 {
                     let refs: Vec<&[usize]> =
                         buckets.iter().map(|&b| cfg.scheme.replicas(b)).collect();
-                    let (schedule, _) =
-                        fqos_decluster::retrieval::hybrid_retrieval(&refs, devices);
+                    let (schedule, _) = fqos_decluster::retrieval::hybrid_retrieval(&refs, devices);
                     Some(schedule.assignment)
                 } else {
                     None
@@ -139,8 +140,7 @@ impl OnlineQos {
                     if let Some(assign) = &joint {
                         let d = assign[g_idx];
                         if budgets.remaining(w, d) > 0 && array.next_free(d, t) == t {
-                            let c =
-                                array.submit(&IoRequest::read_block(r.lbn, t, d, r.lbn), t);
+                            let c = array.submit(&IoRequest::read_block(r.lbn, t, d, r.lbn), t);
                             budgets.record_start(w, d);
                             report.record(interval_idx, c.response_time(), 0);
                             continue;
@@ -155,8 +155,7 @@ impl OnlineQos {
                         .expect("non-empty replica tuple");
 
                     if start == t {
-                        let c = array
-                            .submit(&IoRequest::read_block(r.lbn, t, device, r.lbn), t);
+                        let c = array.submit(&IoRequest::read_block(r.lbn, t, device, r.lbn), t);
                         budgets.record_start(w, device);
                         report.record(interval_idx, c.response_time(), 0);
                         continue;
@@ -177,8 +176,7 @@ impl OnlineQos {
                                 .iter()
                                 .min_by_key(|&&d| array.next_free(d, t))
                                 .unwrap();
-                            let c =
-                                array.submit(&IoRequest::read_block(r.lbn, t, d, r.lbn), t);
+                            let c = array.submit(&IoRequest::read_block(r.lbn, t, d, r.lbn), t);
                             budgets.record_overload(w);
                             report.record(interval_idx, c.response_time(), 0);
                             continue;
@@ -229,7 +227,11 @@ impl OnlineQos {
             .max()
             .expect("non-empty replica tuple");
         loop {
-            let busy = replicas.iter().map(|&d| array.next_free(d, s)).max().unwrap();
+            let busy = replicas
+                .iter()
+                .map(|&d| array.next_free(d, s))
+                .max()
+                .unwrap();
             if busy > s {
                 s = busy;
                 continue;
@@ -348,8 +350,7 @@ mod tests {
         }
         let trace = Trace::new("t", records, 9, 10 * BASE_INTERVAL_NS);
 
-        let det = OnlineQos::new(QosConfig::paper_9_3_1())
-            .run(&trace, &mut modulo_mapping());
+        let det = OnlineQos::new(QosConfig::paper_9_3_1()).run(&trace, &mut modulo_mapping());
         let stat = OnlineQos::new(QosConfig::paper_9_3_1().with_epsilon(0.9))
             .run(&trace, &mut modulo_mapping());
 

@@ -10,7 +10,13 @@ use fqos_traces::{Trace, TraceRecord};
 use proptest::prelude::*;
 
 fn rec(t: u64, lbn: u64) -> TraceRecord {
-    TraceRecord { arrival_ns: t, device: 0, lbn, size_bytes: BLOCK_SIZE_BYTES, op: IoOp::Read }
+    TraceRecord {
+        arrival_ns: t,
+        device: 0,
+        lbn,
+        size_bytes: BLOCK_SIZE_BYTES,
+        op: IoOp::Read,
+    }
 }
 
 fn modulo_mapping() -> BlockMapping {

@@ -11,7 +11,13 @@ use fqos_flashsim::{IoOp, BLOCK_SIZE_BYTES};
 use fqos_traces::{Trace, TraceRecord};
 
 fn rec(t: u64, lbn: u64) -> TraceRecord {
-    TraceRecord { arrival_ns: t, device: 0, lbn, size_bytes: BLOCK_SIZE_BYTES, op: IoOp::Read }
+    TraceRecord {
+        arrival_ns: t,
+        device: 0,
+        lbn,
+        size_bytes: BLOCK_SIZE_BYTES,
+        op: IoOp::Read,
+    }
 }
 
 fn modulo_mapping() -> BlockMapping {
@@ -46,7 +52,10 @@ fn q_converges_to_the_empirical_violation_rate() {
     }
     let q = c.violation_probability(&p);
     let expected = 0.6 * (1.0 - p.p_k(3)) + 0.3 * (1.0 - p.p_k(8)) + 0.1 * (1.0 - p.p_k(9));
-    assert!((q - expected).abs() < 1e-12, "q = {q}, expected = {expected}");
+    assert!(
+        (q - expected).abs() < 1e-12,
+        "q = {q}, expected = {expected}"
+    );
     assert_eq!(c.intervals(), 100);
 }
 

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Implements the group/bencher surface this workspace's benches use —
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a plain wall-clock
+//! measurement loop (warmup estimate, then `sample_size` timed samples,
+//! median reported). No statistical regression analysis, plots, or saved
+//! baselines; output is one line per benchmark on stdout.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Per-iteration work units, used to derive a throughput line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark label of the form `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label `function/parameter`.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the pre-computed iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Target wall-clock time for one measured sample. Small enough that a
+/// full `cargo bench` stays interactive on one core, large enough to
+/// dominate timer noise for sub-microsecond bodies.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+
+/// Collection of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (upstream semantics; clamped
+    /// to at least 3 so the median is meaningful).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declare per-iteration work so a throughput figure is printed.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Run a benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        // Warmup sample: one iteration, to size the measured batches.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+
+        let mut line = format!(
+            "{full:<48} time: [{} .. {}] (median of {} × {iters} iters)",
+            fmt_ns(best),
+            fmt_ns(median),
+            self.sample_size
+        );
+        if let Some(t) = self.throughput {
+            let (units, label) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            let rate = units / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {rate:.3e} {label}"));
+        }
+        println!("{line}");
+        self.criterion.results.push(BenchResult {
+            id: full,
+            median_ns: median,
+        });
+    }
+
+    /// End the group (upstream writes reports here; we only need the
+    /// explicit call for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// One measured benchmark, retained on the parent [`Criterion`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full `group/benchmark` label.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// Results accumulated across groups, in run order.
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark (implicit group named after itself).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        let mut f = f;
+        group.run(id, &mut f);
+        self
+    }
+}
+
+/// Re-export so bench code can use `criterion::black_box` (the workspace
+/// currently imports `std::hint::black_box` directly, but upstream exposes
+/// both spellings).
+pub use std::hint::black_box;
+
+/// Declare a benchmark runner function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Format nanoseconds with an adaptive unit, criterion-style.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_results() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("probe");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(4));
+            g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+            g.bench_with_input(BenchmarkId::new("sum", 8usize), &8usize, |b, &n| {
+                b.iter(|| (0..n).sum::<usize>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "probe/add");
+        assert_eq!(c.results[1].id, "probe/sum/8");
+        assert!(c.results.iter().all(|r| r.median_ns > 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_upstream() {
+        assert_eq!(BenchmarkId::new("dinic", 32).to_string(), "dinic/32");
+        assert_eq!(
+            BenchmarkId::new("apriori", "d20x40").to_string(),
+            "apriori/d20x40"
+        );
+    }
+}

@@ -26,7 +26,11 @@ pub struct SearchEffort {
 
 impl Default for SearchEffort {
     fn default() -> Self {
-        SearchEffort { exhaustive_limit: 200_000, random_starts: 200, climb_steps: 400 }
+        SearchEffort {
+            exhaustive_limit: 200_000,
+            random_starts: 200,
+            climb_steps: 400,
+        }
     }
 }
 
@@ -152,7 +156,10 @@ mod tests {
     fn design_worst_case_matches_guarantee_at_small_sizes() {
         // Exhaustive: any 1..=5 buckets of (9,3,1) cost exactly 1 access.
         let s = DesignTheoretic::paper_9_3_1();
-        let effort = SearchEffort { exhaustive_limit: 500_000, ..Default::default() };
+        let effort = SearchEffort {
+            exhaustive_limit: 500_000,
+            ..Default::default()
+        };
         for b in 1..=5 {
             assert_eq!(worst_case_accesses(&s, b, effort, 1), 1, "b = {b}");
         }
@@ -164,7 +171,10 @@ mod tests {
     fn mirrored_worst_case_is_inferior() {
         // 4 buckets of one mirror group serialize: worst case ⌈4/3⌉ = 2 at
         // b = 4 already, while the design holds 1 until b = 6.
-        let effort = SearchEffort { exhaustive_limit: 500_000, ..Default::default() };
+        let effort = SearchEffort {
+            exhaustive_limit: 500_000,
+            ..Default::default()
+        };
         let mir = Raid1Mirrored::paper();
         let design = DesignTheoretic::paper_9_3_1();
         assert!(worst_case_accesses(&mir, 4, effort, 2) >= 2);
@@ -173,7 +183,10 @@ mod tests {
 
     #[test]
     fn chained_worst_case_between() {
-        let effort = SearchEffort { exhaustive_limit: 500_000, ..Default::default() };
+        let effort = SearchEffort {
+            exhaustive_limit: 500_000,
+            ..Default::default()
+        };
         let chained = Raid1Chained::paper();
         // Chained buckets {i, i+1, i+2}: buckets 0 and 9 share all devices…
         // 4 buckets from one 3-device chain window force 2 accesses.

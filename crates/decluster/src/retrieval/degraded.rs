@@ -35,8 +35,7 @@ pub fn degraded_retrieval(
     let mut served_replicas: Vec<Vec<DeviceId>> = Vec::with_capacity(requests.len());
     let mut lost = Vec::new();
     for (i, replicas) in requests.iter().enumerate() {
-        let live: Vec<DeviceId> =
-            replicas.iter().copied().filter(|&d| !failed[d]).collect();
+        let live: Vec<DeviceId> = replicas.iter().copied().filter(|&d| !failed[d]).collect();
         if live.is_empty() {
             lost.push(i);
         } else {
@@ -130,7 +129,11 @@ mod tests {
             failed[d] = true; // devices 0, 1, 2
         }
         let d = degraded_retrieval(&reqs, 9, &failed);
-        assert_eq!(d.lost, vec![0, 1, 2], "the three rotations of block (0,1,2)");
+        assert_eq!(
+            d.lost,
+            vec![0, 1, 2],
+            "the three rotations of block (0,1,2)"
+        );
     }
 
     #[test]
@@ -141,9 +144,7 @@ mod tests {
         let mut prev = 0;
         for f in 0..3 {
             let mut failed = [false; 9];
-            for d in 0..f {
-                failed[d] = true;
-            }
+            failed[..f].fill(true);
             let d = degraded_retrieval(&reqs, 9, &failed);
             assert!(d.schedule.accesses >= prev);
             prev = d.schedule.accesses;

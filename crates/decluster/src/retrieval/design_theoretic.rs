@@ -18,13 +18,13 @@ use fqos_maxflow::RetrievalSchedule;
 /// The result is locally optimal: no single remapping can reduce the
 /// maximum load. For request sizes within the design guarantee `S(M)` the
 /// achieved cost is at most `M`.
-pub fn design_theoretic_retrieval(
-    requests: &[&[DeviceId]],
-    devices: usize,
-) -> RetrievalSchedule {
+pub fn design_theoretic_retrieval(requests: &[&[DeviceId]], devices: usize) -> RetrievalSchedule {
     let b = requests.len();
     if b == 0 {
-        return RetrievalSchedule { accesses: 0, assignment: Vec::new() };
+        return RetrievalSchedule {
+            accesses: 0,
+            assignment: Vec::new(),
+        };
     }
 
     // Initial mapping: primary copies.
@@ -52,10 +52,11 @@ pub fn design_theoretic_retrieval(
         let mut best: Option<(usize, DeviceId)> = None; // (block index, target)
         for &i in &on_device[dmax] {
             for &alt in requests[i].iter() {
-                if alt != dmax && loads[alt] + 1 < max_load {
-                    if best.is_none_or(|(_, t)| loads[alt] < loads[t]) {
-                        best = Some((i, alt));
-                    }
+                if alt != dmax
+                    && loads[alt] + 1 < max_load
+                    && best.is_none_or(|(_, t)| loads[alt] < loads[t])
+                {
+                    best = Some((i, alt));
                 }
             }
         }
@@ -72,7 +73,10 @@ pub fn design_theoretic_retrieval(
     }
 
     let accesses = loads.iter().copied().max().unwrap_or(0);
-    RetrievalSchedule { accesses, assignment }
+    RetrievalSchedule {
+        accesses,
+        assignment,
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +102,13 @@ mod tests {
         let s = design_theoretic_retrieval(&refs(&t0), 9);
         assert_eq!(s.accesses, 1);
 
-        let t1 = vec![vec![0, 3, 6], vec![5, 7, 0], vec![0, 4, 8], vec![8, 0, 4], vec![7, 0, 5]];
+        let t1 = vec![
+            vec![0, 3, 6],
+            vec![5, 7, 0],
+            vec![0, 4, 8],
+            vec![8, 0, 4],
+            vec![7, 0, 5],
+        ];
         // T1 carries Application 1's two blocks plus its (0,4,8) and App 2's
         // pair; primaries are 0,5,0,8,7 → device 0 conflicts, remapping
         // resolves it within 1 access.
@@ -147,8 +157,7 @@ mod tests {
                     if uniq.len() < 5 {
                         continue;
                     }
-                    let reqs: Vec<&[usize]> =
-                        set.iter().map(|&x| scheme.replicas(x)).collect();
+                    let reqs: Vec<&[usize]> = set.iter().map(|&x| scheme.replicas(x)).collect();
                     let s = design_theoretic_retrieval(&reqs, 9);
                     assert!(s.accesses <= 1, "set {set:?} took {} accesses", s.accesses);
                     checked += 1;

@@ -15,10 +15,7 @@ pub fn max_flow_retrieval(requests: &[&[DeviceId]], devices: usize) -> Retrieval
 
 /// The paper's hybrid policy. Returns the schedule and whether the max-flow
 /// fallback was needed.
-pub fn hybrid_retrieval(
-    requests: &[&[DeviceId]],
-    devices: usize,
-) -> (RetrievalSchedule, bool) {
+pub fn hybrid_retrieval(requests: &[&[DeviceId]], devices: usize) -> (RetrievalSchedule, bool) {
     let fast = design_theoretic_retrieval(requests, devices);
     let optimal = requests.len().div_ceil(devices);
     if fast.accesses <= optimal {

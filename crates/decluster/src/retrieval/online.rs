@@ -10,11 +10,7 @@ use fqos_designs::DeviceId;
 /// Choose the replica to serve a request arriving at `now`, given each
 /// device's next-free time. Ties break toward the earlier copy in the
 /// tuple (the primary).
-pub fn pick_online_device(
-    replicas: &[DeviceId],
-    device_free: &[u64],
-    now: u64,
-) -> DeviceId {
+pub fn pick_online_device(replicas: &[DeviceId], device_free: &[u64], now: u64) -> DeviceId {
     debug_assert!(!replicas.is_empty());
     *replicas
         .iter()

@@ -118,7 +118,11 @@ pub fn optimal_retrieval_probabilities_with<S: AllocationScheme + Sync + ?Sized>
             optimal as f64 / trials as f64
         })
         .collect();
-    OptimalRetrievalProbabilities { p, trials, sampling }
+    OptimalRetrievalProbabilities {
+        p,
+        trials,
+        sampling,
+    }
 }
 
 #[cfg(test)]
@@ -133,13 +137,24 @@ mod tests {
         let scheme = DesignTheoretic::paper_9_3_1();
         let probs = optimal_retrieval_probabilities(&scheme, 10, 20_000, 42);
         for k in 1..=5 {
-            assert!(probs.p_k(k) > 0.995, "P_{k} = {} must plot as 1", probs.p_k(k));
+            assert!(
+                probs.p_k(k) > 0.995,
+                "P_{k} = {} must plot as 1",
+                probs.p_k(k)
+            );
         }
         assert!((probs.p_k(6) - 0.99).abs() < 0.01, "P_6 = {}", probs.p_k(6));
-        assert!((probs.p_k(7) - 0.98).abs() < 0.015, "P_7 = {}", probs.p_k(7));
+        assert!(
+            (probs.p_k(7) - 0.98).abs() < 0.015,
+            "P_7 = {}",
+            probs.p_k(7)
+        );
         assert!((probs.p_k(8) - 0.95).abs() < 0.02, "P_8 = {}", probs.p_k(8));
         assert!((probs.p_k(9) - 0.75).abs() < 0.05, "P_9 = {}", probs.p_k(9));
-        assert!(probs.p_k(10) > 0.999, "P_10: ⌈10/9⌉ = 2 accesses is near-always reachable");
+        assert!(
+            probs.p_k(10) > 0.999,
+            "P_10: ⌈10/9⌉ = 2 accesses is near-always reachable"
+        );
     }
 
     #[test]
@@ -147,13 +162,8 @@ mod tests {
         // With coalesced (distinct) sampling, the S(1) = 5 guarantee is
         // exact: P_k = 1 for k ≤ 5.
         let scheme = DesignTheoretic::paper_9_3_1();
-        let probs = optimal_retrieval_probabilities_with(
-            &scheme,
-            6,
-            5_000,
-            11,
-            Sampling::DistinctBuckets,
-        );
+        let probs =
+            optimal_retrieval_probabilities_with(&scheme, 6, 5_000, 11, Sampling::DistinctBuckets);
         for k in 1..=5 {
             assert_eq!(probs.p_k(k), 1.0, "P_{k} under distinct sampling");
         }

@@ -32,7 +32,11 @@ pub trait AllocationScheme {
         for b in 0..self.num_buckets() {
             let r = self.replicas(b);
             if r.len() != self.copies() {
-                return Err(format!("bucket {b}: {} replicas, expected {}", r.len(), self.copies()));
+                return Err(format!(
+                    "bucket {b}: {} replicas, expected {}",
+                    r.len(),
+                    self.copies()
+                ));
             }
             for (i, &d) in r.iter().enumerate() {
                 if d >= self.devices() {
@@ -87,26 +91,38 @@ mod tests {
 
     #[test]
     fn validate_catches_violations() {
-        let good = Toy { table: vec![vec![0, 1], vec![1, 2]] };
+        let good = Toy {
+            table: vec![vec![0, 1], vec![1, 2]],
+        };
         assert!(good.validate().is_ok());
-        let dup = Toy { table: vec![vec![1, 1]] };
+        let dup = Toy {
+            table: vec![vec![1, 1]],
+        };
         assert!(dup.validate().is_err());
-        let out = Toy { table: vec![vec![0, 7]] };
+        let out = Toy {
+            table: vec![vec![0, 7]],
+        };
         assert!(out.validate().is_err());
-        let short = Toy { table: vec![vec![0]] };
+        let short = Toy {
+            table: vec![vec![0]],
+        };
         assert!(short.validate().is_err());
     }
 
     #[test]
     fn lbn_mapping_wraps() {
-        let s = Toy { table: vec![vec![0, 1], vec![1, 2]] };
+        let s = Toy {
+            table: vec![vec![0, 1], vec![1, 2]],
+        };
         assert_eq!(s.bucket_for_lbn(0), 0);
         assert_eq!(s.bucket_for_lbn(3), 1);
     }
 
     #[test]
     fn primary_loads_count_first_copies() {
-        let s = Toy { table: vec![vec![0, 1], vec![1, 2], vec![0, 2]] };
+        let s = Toy {
+            table: vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+        };
         assert_eq!(s.primary_loads(), vec![2, 1, 0]);
     }
 }

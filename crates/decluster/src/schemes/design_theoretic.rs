@@ -15,8 +15,16 @@ pub struct DesignTheoretic {
 impl DesignTheoretic {
     /// Build from a verified design.
     pub fn new(design: Design) -> Self {
-        let name = format!("design-theoretic ({},{},{})", design.v(), design.k(), design.lambda());
-        DesignTheoretic { rotated: RotatedDesign::new(design), name }
+        let name = format!(
+            "design-theoretic ({},{},{})",
+            design.v(),
+            design.k(),
+            design.lambda()
+        );
+        DesignTheoretic {
+            rotated: RotatedDesign::new(design),
+            name,
+        }
     }
 
     /// The paper's `(9,3,1)` configuration.

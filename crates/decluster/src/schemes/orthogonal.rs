@@ -23,7 +23,10 @@ impl Orthogonal {
     /// Build with `num_buckets <= N·(N−1)` buckets.
     pub fn new(devices: usize, num_buckets: usize) -> Self {
         assert!(devices >= 2);
-        assert!(num_buckets <= devices * (devices - 1), "orthogonal supports N(N-1) buckets");
+        assert!(
+            num_buckets <= devices * (devices - 1),
+            "orthogonal supports N(N-1) buckets"
+        );
         let mut table = Vec::with_capacity(num_buckets);
         // Enumerate (i, j) pairs skipping i = 0 (where both copies coincide).
         'outer: for i in 1..devices {
@@ -34,7 +37,11 @@ impl Orthogonal {
                 table.push(vec![j, (i + j) % devices]);
             }
         }
-        Orthogonal { devices, table, name: format!("orthogonal ({devices} devices, 2 copies)") }
+        Orthogonal {
+            devices,
+            table,
+            name: format!("orthogonal ({devices} devices, 2 copies)"),
+        }
     }
 }
 
@@ -73,7 +80,12 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for b in 0..s.num_buckets() {
             let r = s.replicas(b);
-            assert!(seen.insert((r[0], r[1])), "pair ({}, {}) repeated", r[0], r[1]);
+            assert!(
+                seen.insert((r[0], r[1])),
+                "pair ({}, {}) repeated",
+                r[0],
+                r[1]
+            );
         }
     }
 

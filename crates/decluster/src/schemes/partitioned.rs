@@ -24,13 +24,15 @@ impl Partitioned {
     /// ranges), partitioned groups stride across the array: group `g` holds
     /// devices `{g, g + G, g + 2G, …}` where `G` is the group count.
     pub fn new(devices: usize, copies: usize, num_buckets: usize) -> Self {
-        assert!(copies >= 1 && devices % copies == 0);
+        assert!(copies >= 1 && devices.is_multiple_of(copies));
         let groups = devices / copies;
         let table = (0..num_buckets)
             .map(|b| {
                 let g = b % groups;
                 let rot = (b / groups) % copies;
-                (0..copies).map(|p| g + ((p + rot) % copies) * groups).collect()
+                (0..copies)
+                    .map(|p| g + ((p + rot) % copies) * groups)
+                    .collect()
             })
             .collect();
         Partitioned {

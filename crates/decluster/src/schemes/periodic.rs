@@ -35,7 +35,8 @@ impl DependentPeriodic {
             table,
             name: format!("dependent periodic (shift {shift}, {devices} devices, {copies} copies)"),
         };
-        s.validate().expect("shift must place copies on distinct devices");
+        s.validate()
+            .expect("shift must place copies on distinct devices");
         s
     }
 }

@@ -19,7 +19,10 @@ impl Raid1Mirrored {
     /// `num_buckets` supported buckets. `devices` must divide into groups of
     /// `copies`.
     pub fn new(devices: usize, copies: usize, num_buckets: usize) -> Self {
-        assert!(copies >= 1 && devices % copies == 0, "devices must split into c-sized groups");
+        assert!(
+            copies >= 1 && devices.is_multiple_of(copies),
+            "devices must split into c-sized groups"
+        );
         let groups = devices / copies;
         // Fig. 7 lists num_buckets/copies base blocks cycling over the
         // groups in order; the remaining buckets are their rotations.
@@ -28,7 +31,9 @@ impl Raid1Mirrored {
             .map(|b| {
                 let g = b % groups;
                 let rot = (b / base) % copies;
-                (0..copies).map(|p| g * copies + (p + rot) % copies).collect()
+                (0..copies)
+                    .map(|p| g * copies + (p + rot) % copies)
+                    .collect()
             })
             .collect();
         Raid1Mirrored {
@@ -126,8 +131,8 @@ mod tests {
         assert_eq!(s.replicas(1), &[3, 4, 5]);
         assert_eq!(s.replicas(2), &[6, 7, 8]);
         assert_eq!(s.replicas(3), &[0, 1, 2]); // wraps to group 0 again
-        // Rotation after a full pass over the rotations: b12 has rot
-        // (12/3) % 3 = 1, so its primary shifts to d1 within group 0.
+                                               // Rotation after a full pass over the rotations: b12 has rot
+                                               // (12/3) % 3 = 1, so its primary shifts to d1 within group 0.
         assert_eq!(s.replicas(12), &[1, 2, 0]);
     }
 

@@ -91,6 +91,9 @@ mod tests {
             }
         }
         // 3600 × 3 / 9 = 1200 expected per device; allow ±15 %.
-        assert!(counts.iter().all(|&c| (1020..1380).contains(&c)), "{counts:?}");
+        assert!(
+            counts.iter().all(|&c| (1020..1380).contains(&c)),
+            "{counts:?}"
+        );
     }
 }

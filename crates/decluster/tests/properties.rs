@@ -1,8 +1,6 @@
 //! Property-based tests for allocation schemes and retrieval algorithms.
 
-use fqos_decluster::retrieval::{
-    design_theoretic_retrieval, hybrid_retrieval, max_flow_retrieval,
-};
+use fqos_decluster::retrieval::{design_theoretic_retrieval, hybrid_retrieval, max_flow_retrieval};
 use fqos_decluster::{
     AllocationScheme, DependentPeriodic, DesignTheoretic, Orthogonal, Partitioned, Raid1Chained,
     Raid1Mirrored, RandomDuplicate,

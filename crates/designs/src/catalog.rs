@@ -51,7 +51,11 @@ impl DesignCatalog {
                 return difference::develop_verified(devices, copies, 1, &family);
             }
         }
-        Err(DesignError::NoKnownConstruction { v: devices, k: copies, lambda: 1 })
+        Err(DesignError::NoKnownConstruction {
+            v: devices,
+            k: copies,
+            lambda: 1,
+        })
     }
 
     /// Smallest constructible device count `N >= min_devices` admitting an
@@ -120,7 +124,8 @@ mod tests {
         let c = DesignCatalog;
         for v in 7..40 {
             if let Ok(d) = c.find(v, 3) {
-                d.verify().unwrap_or_else(|e| panic!("catalog ({v},3,1): {e}"));
+                d.verify()
+                    .unwrap_or_else(|e| panic!("catalog ({v},3,1): {e}"));
             }
         }
     }

@@ -33,7 +33,12 @@ impl Design {
     /// Use [`Design::verify`] (or [`Design::new_verified`]) before trusting
     /// the retrieval guarantees.
     pub fn new_unchecked(v: usize, k: usize, lambda: usize, blocks: Vec<Block>) -> Self {
-        Design { v, k, lambda, blocks }
+        Design {
+            v,
+            k,
+            lambda,
+            blocks,
+        }
     }
 
     /// Build a design and verify every axiom; returns the design only if it
@@ -103,10 +108,17 @@ impl Design {
             let mut seen = vec![false; self.v];
             for &p in block {
                 if p >= self.v {
-                    return Err(DesignError::PointOutOfRange { block: bi, point: p, v: self.v });
+                    return Err(DesignError::PointOutOfRange {
+                        block: bi,
+                        point: p,
+                        v: self.v,
+                    });
                 }
                 if seen[p] {
-                    return Err(DesignError::RepeatedPoint { block: bi, point: p });
+                    return Err(DesignError::RepeatedPoint {
+                        block: bi,
+                        point: p,
+                    });
                 }
                 seen[p] = true;
             }
@@ -126,7 +138,12 @@ impl Design {
             for b in (a + 1)..self.v {
                 let observed = pair_count[a * self.v + b];
                 if observed != self.lambda {
-                    return Err(DesignError::PairCoverage { a, b, observed, lambda: self.lambda });
+                    return Err(DesignError::PairCoverage {
+                        a,
+                        b,
+                        observed,
+                        lambda: self.lambda,
+                    });
                 }
             }
         }
@@ -134,7 +151,10 @@ impl Design {
         // Axiom 3: block count identity (implied by 1+2, but cheap to state).
         let expected = self.expected_num_blocks();
         if self.blocks.len() != expected {
-            return Err(DesignError::BlockCount { observed: self.blocks.len(), expected });
+            return Err(DesignError::BlockCount {
+                observed: self.blocks.len(),
+                expected,
+            });
         }
         Ok(())
     }
@@ -142,7 +162,10 @@ impl Design {
     /// True if the two given blocks share at most `λ` points — the property
     /// that bounds retrieval conflicts.
     pub fn blocks_share_at_most_lambda(&self, i: usize, j: usize) -> bool {
-        let shared = self.blocks[i].iter().filter(|p| self.blocks[j].contains(p)).count();
+        let shared = self.blocks[i]
+            .iter()
+            .filter(|p| self.blocks[j].contains(p))
+            .count();
         shared <= self.lambda
     }
 }
@@ -194,13 +217,19 @@ mod tests {
     #[test]
     fn detects_wrong_block_size() {
         let d = Design::new_unchecked(7, 3, 1, vec![vec![0, 1]]);
-        assert!(matches!(d.verify(), Err(DesignError::WrongBlockSize { .. })));
+        assert!(matches!(
+            d.verify(),
+            Err(DesignError::WrongBlockSize { .. })
+        ));
     }
 
     #[test]
     fn detects_out_of_range() {
         let d = Design::new_unchecked(3, 3, 1, vec![vec![0, 1, 7]]);
-        assert!(matches!(d.verify(), Err(DesignError::PointOutOfRange { .. })));
+        assert!(matches!(
+            d.verify(),
+            Err(DesignError::PointOutOfRange { .. })
+        ));
     }
 
     #[test]

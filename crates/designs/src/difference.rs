@@ -20,11 +20,19 @@ pub fn is_difference_family(
     let mut diff_count = vec![0usize; v];
     for (bi, block) in base_blocks.iter().enumerate() {
         if block.len() != k {
-            return Err(DesignError::WrongBlockSize { block: bi, len: block.len(), k });
+            return Err(DesignError::WrongBlockSize {
+                block: bi,
+                len: block.len(),
+                k,
+            });
         }
         for &p in block {
             if p >= v {
-                return Err(DesignError::PointOutOfRange { block: bi, point: p, v });
+                return Err(DesignError::PointOutOfRange {
+                    block: bi,
+                    point: p,
+                    v,
+                });
             }
         }
         for i in 0..block.len() {
@@ -36,12 +44,12 @@ pub fn is_difference_family(
             }
         }
     }
-    for d in 1..v {
-        if diff_count[d] != lambda {
+    for (d, &observed) in diff_count.iter().enumerate().skip(1) {
+        if observed != lambda {
             return Err(DesignError::PairCoverage {
                 a: 0,
                 b: d,
-                observed: diff_count[d],
+                observed,
                 lambda,
             });
         }
@@ -83,7 +91,7 @@ pub fn develop_verified(
 /// only have non-cyclic designs). Practical for the catalog's range
 /// (`v ≲ 50`, `k ≤ 5`).
 pub fn find_difference_family(v: usize, k: usize) -> Option<Vec<Block>> {
-    if k < 2 || v <= k || (v - 1) % (k * (k - 1)) != 0 {
+    if k < 2 || v <= k || !(v - 1).is_multiple_of(k * (k - 1)) {
         return None;
     }
     let t = (v - 1) / (k * (k - 1));
@@ -96,13 +104,7 @@ pub fn find_difference_family(v: usize, k: usize) -> Option<Vec<Block>> {
     }
 }
 
-fn search_family(
-    v: usize,
-    k: usize,
-    t: usize,
-    family: &mut Vec<Block>,
-    used: &mut [bool],
-) -> bool {
+fn search_family(v: usize, k: usize, t: usize, family: &mut Vec<Block>, used: &mut [bool]) -> bool {
     if family.len() == t {
         return true;
     }
@@ -152,7 +154,7 @@ fn complete_block(
         let mut classes: Vec<usize> = Vec::with_capacity(block.len());
         let mut ok = true;
         for &b in block.iter() {
-            let d = if next > b { next - b } else { b - next };
+            let d = next.abs_diff(b);
             let class = d.min(v - d);
             if used[class] || classes.contains(&class) {
                 ok = false;
@@ -222,8 +224,7 @@ mod tests {
             let family = find_difference_family(v, 3)
                 .unwrap_or_else(|| panic!("no (v={v}, k=3) family found"));
             assert_eq!(family.len(), (v - 1) / 6);
-            let d = develop_verified(v, 3, 1, &family)
-                .unwrap_or_else(|e| panic!("({v},3,1): {e}"));
+            let d = develop_verified(v, 3, 1, &family).unwrap_or_else(|e| panic!("({v},3,1): {e}"));
             assert_eq!(d.num_blocks(), v * (v - 1) / 6);
         }
     }
@@ -236,8 +237,7 @@ mod tests {
             let family = find_difference_family(v, 4)
                 .unwrap_or_else(|| panic!("no (v={v}, k=4) family found"));
             assert_eq!(family.len(), (v - 1) / 12);
-            develop_verified(v, 4, 1, &family)
-                .unwrap_or_else(|e| panic!("({v},4,1): {e}"));
+            develop_verified(v, 4, 1, &family).unwrap_or_else(|e| panic!("({v},4,1): {e}"));
         }
     }
 

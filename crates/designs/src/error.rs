@@ -6,7 +6,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DesignError {
     /// A block references a point `>= v`.
-    PointOutOfRange { block: usize, point: usize, v: usize },
+    PointOutOfRange {
+        block: usize,
+        point: usize,
+        v: usize,
+    },
     /// A block has the wrong number of points.
     WrongBlockSize { block: usize, len: usize, k: usize },
     /// A block contains a repeated point.
@@ -23,7 +27,12 @@ pub enum DesignError {
     /// No construction is known for the requested parameters.
     NoKnownConstruction { v: usize, k: usize, lambda: usize },
     /// Parameters are structurally impossible (admissibility conditions fail).
-    Inadmissible { v: usize, k: usize, lambda: usize, reason: &'static str },
+    Inadmissible {
+        v: usize,
+        k: usize,
+        lambda: usize,
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for DesignError {
@@ -38,7 +47,12 @@ impl fmt::Display for DesignError {
             DesignError::RepeatedPoint { block, point } => {
                 write!(f, "block {block} repeats point {point}")
             }
-            DesignError::PairCoverage { a, b, observed, lambda } => write!(
+            DesignError::PairCoverage {
+                a,
+                b,
+                observed,
+                lambda,
+            } => write!(
                 f,
                 "pair ({a},{b}) covered {observed} times, expected λ = {lambda}"
             ),
@@ -48,7 +62,12 @@ impl fmt::Display for DesignError {
             DesignError::NoKnownConstruction { v, k, lambda } => {
                 write!(f, "no known construction for a ({v},{k},{lambda}) design")
             }
-            DesignError::Inadmissible { v, k, lambda, reason } => {
+            DesignError::Inadmissible {
+                v,
+                k,
+                lambda,
+                reason,
+            } => {
                 write!(f, "({v},{k},{lambda}) design is inadmissible: {reason}")
             }
         }

@@ -18,7 +18,10 @@ pub struct RetrievalGuarantee {
 impl RetrievalGuarantee {
     /// Guarantee parameters of a concrete design.
     pub fn of(design: &Design) -> Self {
-        RetrievalGuarantee { devices: design.v(), copies: design.k() }
+        RetrievalGuarantee {
+            devices: design.v(),
+            copies: design.k(),
+        }
     }
 
     /// Build from raw parameters.

@@ -40,7 +40,7 @@ pub fn find_resolution(design: &Design) -> Option<Resolution> {
 pub fn find_resolution_with_budget(design: &Design, budget: u64) -> Option<Resolution> {
     let v = design.v();
     let k = design.k();
-    if v % k != 0 {
+    if !v.is_multiple_of(k) {
         return None; // parallel classes need k | v
     }
     let blocks = design.blocks();
@@ -60,7 +60,15 @@ pub fn find_resolution_with_budget(design: &Design, budget: u64) -> Option<Resol
     let mut used = vec![false; blocks.len()];
     let mut classes: Vec<Vec<usize>> = Vec::with_capacity(num_classes);
     let mut nodes = budget;
-    if build_classes(&masks, full, &mut used, &mut classes, num_classes, per_class, &mut nodes) {
+    if build_classes(
+        &masks,
+        full,
+        &mut used,
+        &mut classes,
+        num_classes,
+        per_class,
+        &mut nodes,
+    ) {
         Some(Resolution { classes })
     } else {
         None
@@ -125,8 +133,7 @@ fn extend_class(
             return false;
         }
         classes.push(class.clone());
-        let done =
-            build_classes(masks, full, used, classes, num_classes, per_class, nodes);
+        let done = build_classes(masks, full, used, classes, num_classes, per_class, nodes);
         if done {
             return true;
         }
@@ -247,8 +254,10 @@ mod tests {
         let d = known::design_9_3_1();
         let r = find_resolution(&d).unwrap();
         for class in &r.classes {
-            let mut devices: Vec<usize> =
-                class.iter().flat_map(|&b| d.blocks()[b].iter().copied()).collect();
+            let mut devices: Vec<usize> = class
+                .iter()
+                .flat_map(|&b| d.blocks()[b].iter().copied())
+                .collect();
             devices.sort_unstable();
             assert_eq!(devices, (0..9).collect::<Vec<_>>());
         }

@@ -16,7 +16,12 @@ use crate::error::DesignError;
 /// implemented.
 pub fn steiner_triple_system(v: usize) -> Result<Design, DesignError> {
     if v < 3 {
-        return Err(DesignError::Inadmissible { v, k: 3, lambda: 1, reason: "v must be >= 3" });
+        return Err(DesignError::Inadmissible {
+            v,
+            k: 3,
+            lambda: 1,
+            reason: "v must be >= 3",
+        });
     }
     match v % 6 {
         3 => Ok(bose(v)),
@@ -49,7 +54,7 @@ pub fn steiner_triple_system(v: usize) -> Result<Design, DesignError> {
 pub fn bose(v: usize) -> Design {
     assert_eq!(v % 6, 3, "Bose construction requires v ≡ 3 (mod 6)");
     let n = v / 3; // 2t + 1, odd
-    let inv2 = (n + 1) / 2; // inverse of 2 mod n
+    let inv2 = n.div_ceil(2); // inverse of 2 mod n
     let enc = |i: usize, level: usize| 3 * i + level;
 
     let mut blocks = Vec::with_capacity(v * (v - 1) / 6);
@@ -60,7 +65,11 @@ pub fn bose(v: usize) -> Design {
         for j in (i + 1)..n {
             let mid = ((i + j) * inv2) % n;
             for level in 0..3 {
-                blocks.push(vec![enc(i, level), enc(j, level), enc(mid, (level + 1) % 3)]);
+                blocks.push(vec![
+                    enc(i, level),
+                    enc(j, level),
+                    enc(mid, (level + 1) % 3),
+                ]);
             }
         }
     }
@@ -96,13 +105,13 @@ pub fn is_prime(n: usize) -> bool {
         return false;
     }
     for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return n == p;
         }
     }
     let mut d = n - 1;
     let mut s = 0;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -142,9 +151,9 @@ fn prime_factors(mut n: usize) -> Vec<usize> {
     let mut factors = Vec::new();
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             factors.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }

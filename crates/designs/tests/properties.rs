@@ -8,7 +8,9 @@ use proptest::prelude::*;
 
 /// Constructible STS orders below 100 (v ≡ 3 mod 6, or prime v ≡ 1 mod 6).
 fn constructible_orders() -> Vec<usize> {
-    (7..100).filter(|&v| steiner_triple_system(v).is_ok()).collect()
+    (7..100)
+        .filter(|&v| steiner_triple_system(v).is_ok())
+        .collect()
 }
 
 proptest! {

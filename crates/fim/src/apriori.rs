@@ -29,8 +29,7 @@ impl PairMiner for Apriori {
                 item_support[i as usize] += 1;
             }
         }
-        let frequent: Vec<bool> =
-            item_support.iter().map(|&s| s >= min_support).collect();
+        let frequent: Vec<bool> = item_support.iter().map(|&s| s >= min_support).collect();
 
         // Pass 2: count pairs of frequent items per transaction.
         let mut pair_counts: HashMap<(u32, u32), u32> = HashMap::new();

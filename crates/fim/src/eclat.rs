@@ -27,8 +27,10 @@ impl PairMiner for Eclat {
                 tidlists[i as usize].push(tid as u32);
             }
         }
-        let frequent: Vec<bool> =
-            tidlists.iter().map(|l| l.len() as u32 >= min_support).collect();
+        let frequent: Vec<bool> = tidlists
+            .iter()
+            .map(|l| l.len() as u32 >= min_support)
+            .collect();
 
         // Candidate pairs: pairs of frequent items that co-occur at least
         // once.
@@ -121,11 +123,20 @@ mod tests {
     fn agrees_with_apriori() {
         use crate::apriori::Apriori;
         let db = TransactionDb::from_transactions(
-            vec![vec![0, 5, 9], vec![0, 5], vec![9, 5], vec![1, 2, 3, 4], vec![0, 9]],
+            vec![
+                vec![0, 5, 9],
+                vec![0, 5],
+                vec![9, 5],
+                vec![1, 2, 3, 4],
+                vec![0, 9],
+            ],
             10,
         );
         for support in 1..=3 {
-            assert_eq!(Eclat.mine_pairs(&db, support), Apriori.mine_pairs(&db, support));
+            assert_eq!(
+                Eclat.mine_pairs(&db, support),
+                Apriori.mine_pairs(&db, support)
+            );
         }
     }
 }

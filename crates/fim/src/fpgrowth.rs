@@ -145,18 +145,29 @@ mod tests {
         // the transaction count, not 1.
         let db = TransactionDb::from_transactions(vec![vec![3, 7]; 50], 8);
         let pairs = FpGrowth.mine_pairs(&db, 1);
-        assert_eq!(pairs, vec![FrequentPair { a: 3, b: 7, support: 50 }]);
+        assert_eq!(
+            pairs,
+            vec![FrequentPair {
+                a: 3,
+                b: 7,
+                support: 50
+            }]
+        );
     }
 
     #[test]
     fn infrequent_items_are_pruned_before_tree_build() {
-        let db = TransactionDb::from_transactions(
-            vec![vec![0, 1], vec![0, 1], vec![0, 2]],
-            3,
-        );
+        let db = TransactionDb::from_transactions(vec![vec![0, 1], vec![0, 1], vec![0, 2]], 3);
         // With support 2, item 2 is infrequent → only pair (0,1).
         let pairs = FpGrowth.mine_pairs(&db, 2);
-        assert_eq!(pairs, vec![FrequentPair { a: 0, b: 1, support: 2 }]);
+        assert_eq!(
+            pairs,
+            vec![FrequentPair {
+                a: 0,
+                b: 1,
+                support: 2
+            }]
+        );
     }
 
     #[test]
@@ -175,8 +186,16 @@ mod tests {
         );
         for support in 1..=3 {
             let a = Apriori.mine_pairs(&db, support);
-            assert_eq!(a, Eclat.mine_pairs(&db, support), "eclat, support {support}");
-            assert_eq!(a, FpGrowth.mine_pairs(&db, support), "fp-growth, support {support}");
+            assert_eq!(
+                a,
+                Eclat.mine_pairs(&db, support),
+                "eclat, support {support}"
+            );
+            assert_eq!(
+                a,
+                FpGrowth.mine_pairs(&db, support),
+                "fp-growth, support {support}"
+            );
         }
     }
 }

@@ -51,14 +51,18 @@ pub fn apriori_itemsets(
             item_support[i as usize] += 1;
         }
     }
-    let frequent_item: Vec<bool> =
-        item_support.iter().map(|&s| s >= min_support).collect();
+    let frequent_item: Vec<bool> = item_support.iter().map(|&s| s >= min_support).collect();
 
     // Pre-filter transactions to frequent items only.
     let filtered: Vec<Vec<u32>> = db
         .transactions()
         .iter()
-        .map(|t| t.iter().copied().filter(|&i| frequent_item[i as usize]).collect())
+        .map(|t| {
+            t.iter()
+                .copied()
+                .filter(|&i| frequent_item[i as usize])
+                .collect()
+        })
         .collect();
 
     let mut out = Vec::new();
@@ -93,11 +97,7 @@ pub fn apriori_itemsets(
 }
 
 /// Recursive Eclat over vertical tid-lists, sizes `2..=max_k`.
-pub fn eclat_itemsets(
-    db: &TransactionDb,
-    min_support: u32,
-    max_k: usize,
-) -> Vec<FrequentItemset> {
+pub fn eclat_itemsets(db: &TransactionDb, min_support: u32, max_k: usize) -> Vec<FrequentItemset> {
     let min_support = min_support.max(1);
     if max_k < 2 || db.is_empty() {
         return Vec::new();
@@ -114,6 +114,7 @@ pub fn eclat_itemsets(
 
     let mut out = Vec::new();
     // Depth-first: extend prefix with items greater than the last.
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         prefix: &mut Vec<u32>,
         prefix_tids: &[u32],
@@ -174,8 +175,10 @@ pub fn association_rules(
     min_confidence: f64,
 ) -> Vec<AssociationRule> {
     // Support lookup for all itemsets and their (frequent) subsets.
-    let support_of: HashMap<&[u64], u32> =
-        itemsets.iter().map(|f| (f.items.as_slice(), f.support)).collect();
+    let support_of: HashMap<&[u64], u32> = itemsets
+        .iter()
+        .map(|f| (f.items.as_slice(), f.support))
+        .collect();
     let mut rules = Vec::new();
     for f in itemsets {
         if f.items.len() < 2 {
@@ -205,8 +208,9 @@ pub fn association_rules(
 }
 
 fn candidates_from_items(frequent: &[bool]) -> Vec<Vec<u32>> {
-    let items: Vec<u32> =
-        (0..frequent.len() as u32).filter(|&i| frequent[i as usize]).collect();
+    let items: Vec<u32> = (0..frequent.len() as u32)
+        .filter(|&i| frequent[i as usize])
+        .collect();
     let mut out = Vec::new();
     for i in 0..items.len() {
         for j in (i + 1)..items.len() {
@@ -237,6 +241,7 @@ fn generate_candidates(level: &[Vec<u32>]) -> Vec<Vec<u32>> {
             // Prune: every k-subset must be frequent.
             let mut ok = true;
             let mut sub = cand.clone();
+            #[allow(clippy::needless_range_loop)] // `drop` drives remove/insert
             for drop in 0..cand.len() {
                 sub.remove(drop);
                 if !level_set.contains(sub.as_slice()) {
@@ -264,7 +269,10 @@ fn count_level(transactions: &[Vec<u32>], candidates: &[Vec<u32>]) -> Vec<(Vec<u
             }
         }
     }
-    candidates.iter().map(|c| (c.clone(), counts[c.as_slice()])).collect()
+    candidates
+        .iter()
+        .map(|c| (c.clone(), counts[c.as_slice()]))
+        .collect()
 }
 
 fn is_subset(needle: &[u32], haystack: &[u32]) -> bool {
@@ -304,7 +312,10 @@ fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
 fn to_lbn_itemset(db: &TransactionDb, items: &[u32], support: u32) -> FrequentItemset {
     let mut lbns: Vec<u64> = items.iter().map(|&i| db.lbn_of(i)).collect();
     lbns.sort_unstable();
-    FrequentItemset { items: lbns, support }
+    FrequentItemset {
+        items: lbns,
+        support,
+    }
 }
 
 /// Brute-force oracle for tests: enumerate all subsets of every transaction.
@@ -321,8 +332,10 @@ pub fn brute_force_itemsets(
             if size < 2 || size > max_k {
                 continue;
             }
-            let subset: Vec<u32> =
-                (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| t[i]).collect();
+            let subset: Vec<u32> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| t[i])
+                .collect();
             *counts.entry(subset).or_insert(0) += 1;
         }
     }

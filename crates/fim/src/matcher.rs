@@ -27,7 +27,10 @@ impl BlockMatcher {
     /// behaviour for the first interval, before any history exists).
     pub fn empty(num_design_blocks: usize) -> Self {
         assert!(num_design_blocks > 0);
-        BlockMatcher { assignment: HashMap::new(), num_design_blocks }
+        BlockMatcher {
+            assignment: HashMap::new(),
+            num_design_blocks,
+        }
     }
 
     /// Number of design blocks `D`.
@@ -100,9 +103,7 @@ pub fn match_design_blocks(pairs: &[FrequentPair], num_design_blocks: usize) -> 
         adj.entry(p.b).or_default().push((p.a, p.support));
     }
     let mut order: Vec<u64> = adj.keys().copied().collect();
-    let weight = |lbn: &u64| -> u64 {
-        adj[lbn].iter().map(|&(_, s)| s as u64).sum()
-    };
+    let weight = |lbn: &u64| -> u64 { adj[lbn].iter().map(|&(_, s)| s as u64).sum() };
     order.sort_by_key(|lbn| (std::cmp::Reverse(weight(lbn)), *lbn));
 
     let mut assignment: HashMap<u64, usize> = HashMap::new();
@@ -122,7 +123,10 @@ pub fn match_design_blocks(pairs: &[FrequentPair], num_design_blocks: usize) -> 
         color_use[best] += 1;
         assignment.insert(lbn, best);
     }
-    BlockMatcher { assignment, num_design_blocks }
+    BlockMatcher {
+        assignment,
+        num_design_blocks,
+    }
 }
 
 #[cfg(test)]
@@ -130,7 +134,11 @@ mod tests {
     use super::*;
 
     fn pair(a: u64, b: u64, support: u32) -> FrequentPair {
-        FrequentPair { a: a.min(b), b: a.max(b), support }
+        FrequentPair {
+            a: a.min(b),
+            b: a.max(b),
+            support,
+        }
     }
 
     #[test]
@@ -166,8 +174,16 @@ mod tests {
             pair(2, 3, 1),
         ];
         let m = match_design_blocks(&pairs, 2);
-        assert_ne!(m.bucket_for(1), m.bucket_for(2), "heaviest pair must separate");
-        assert_ne!(m.bucket_for(3), m.bucket_for(4), "second-heaviest pair must separate");
+        assert_ne!(
+            m.bucket_for(1),
+            m.bucket_for(2),
+            "heaviest pair must separate"
+        );
+        assert_ne!(
+            m.bucket_for(3),
+            m.bucket_for(4),
+            "second-heaviest pair must separate"
+        );
     }
 
     #[test]
@@ -183,8 +199,9 @@ mod tests {
     fn coloring_balances_design_block_usage() {
         // 100 isolated pairs → 200 blocks; usage per design block should be
         // near 200/36 ≈ 5.6, never wildly skewed.
-        let pairs: Vec<FrequentPair> =
-            (0..100).map(|i| pair(1000 + 2 * i, 1001 + 2 * i, 1)).collect();
+        let pairs: Vec<FrequentPair> = (0..100)
+            .map(|i| pair(1000 + 2 * i, 1001 + 2 * i, 1))
+            .collect();
         let m = match_design_blocks(&pairs, 36);
         let mut use_count = vec![0usize; 36];
         for i in 0..100u64 {

@@ -21,10 +21,7 @@ impl TransactionDb {
     /// Build from timed block requests `(time_ns, lbn)`, windowing by
     /// `window_ns`. Events need not be sorted; windows are absolute
     /// (`time / window_ns`).
-    pub fn from_timed_events(
-        events: impl IntoIterator<Item = (u64, u64)>,
-        window_ns: u64,
-    ) -> Self {
+    pub fn from_timed_events(events: impl IntoIterator<Item = (u64, u64)>, window_ns: u64) -> Self {
         assert!(window_ns > 0);
         let mut lbn_to_item: HashMap<u64, u32> = HashMap::new();
         let mut item_to_lbn = Vec::new();
@@ -47,7 +44,10 @@ impl TransactionDb {
                 items
             })
             .collect();
-        TransactionDb { transactions, item_to_lbn }
+        TransactionDb {
+            transactions,
+            item_to_lbn,
+        }
     }
 
     /// Build directly from item-id transactions (tests, benchmarks).
@@ -58,7 +58,10 @@ impl TransactionDb {
             t.dedup();
             assert!(t.iter().all(|&i| i < num_items));
         }
-        TransactionDb { transactions: txs, item_to_lbn: (0..num_items as u64).collect() }
+        TransactionDb {
+            transactions: txs,
+            item_to_lbn: (0..num_items as u64).collect(),
+        }
     }
 
     /// Number of transactions.
@@ -201,13 +204,26 @@ mod tests {
     #[test]
     fn brute_force_counts_supports() {
         let db = TransactionDb::from_transactions(
-            vec![vec![0, 1, 2], vec![0, 1], vec![0, 2], vec![1, 2], vec![0, 1]],
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+                vec![0, 1],
+            ],
             3,
         );
         let pairs = brute_force_pairs(&db, 2);
         // (0,1): 3, (0,2): 2, (1,2): 2.
         assert_eq!(pairs.len(), 3);
-        assert_eq!(pairs[0], FrequentPair { a: 0, b: 1, support: 3 });
+        assert_eq!(
+            pairs[0],
+            FrequentPair {
+                a: 0,
+                b: 1,
+                support: 3
+            }
+        );
         let high = brute_force_pairs(&db, 3);
         assert_eq!(high.len(), 1);
     }

@@ -7,15 +7,17 @@ use fqos_fim::{match_design_blocks, Apriori, Eclat, FpGrowth, PairMiner, Transac
 use proptest::prelude::*;
 
 fn db_strategy() -> impl Strategy<Value = TransactionDb> {
-    (2u32..20, prop::collection::vec(prop::collection::vec(0u32..20, 0..8), 0..40)).prop_map(
-        |(num_items, txs)| {
+    (
+        2u32..20,
+        prop::collection::vec(prop::collection::vec(0u32..20, 0..8), 0..40),
+    )
+        .prop_map(|(num_items, txs)| {
             let txs: Vec<Vec<u32>> = txs
                 .into_iter()
                 .map(|t| t.into_iter().map(|i| i % num_items).collect())
                 .collect();
             TransactionDb::from_transactions(txs, num_items)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -34,7 +34,10 @@ impl<D: Device> FlashArray<D> {
     /// Build an array from pre-configured devices.
     pub fn new(devices: Vec<D>) -> Self {
         assert!(!devices.is_empty());
-        FlashArray { devices, completions: 0 }
+        FlashArray {
+            devices,
+            completions: 0,
+        }
     }
 
     /// Number of devices.
@@ -89,7 +92,10 @@ impl<D: Device> FlashArray<D> {
         let mut result = SimulationResult::default();
         let mut last_arrival = 0;
         for req in trace {
-            debug_assert!(req.arrival >= last_arrival, "trace must be sorted by arrival");
+            debug_assert!(
+                req.arrival >= last_arrival,
+                "trace must be sorted by arrival"
+            );
             last_arrival = req.arrival;
             let c = self.submit(&req, req.arrival);
             result.record(c);
@@ -123,8 +129,9 @@ mod tests {
     #[test]
     fn parallel_devices_do_not_interfere() {
         let mut arr = FlashArray::calibrated(3);
-        let reqs: Vec<IoRequest> =
-            (0..3).map(|d| IoRequest::read_block(d as u64, 0, d, 0)).collect();
+        let reqs: Vec<IoRequest> = (0..3)
+            .map(|d| IoRequest::read_block(d as u64, 0, d, 0))
+            .collect();
         for r in &reqs {
             let c = arr.submit(r, 0);
             assert_eq!(c.response_time(), BLOCK_READ_NS);
@@ -153,8 +160,9 @@ mod tests {
     #[test]
     fn replay_counts_every_request() {
         let mut arr = FlashArray::calibrated(2);
-        let trace: Vec<IoRequest> =
-            (0..10).map(|i| IoRequest::read_block(i, i * 1000, (i % 2) as usize, i)).collect();
+        let trace: Vec<IoRequest> = (0..10)
+            .map(|i| IoRequest::read_block(i, i * 1000, (i % 2) as usize, i))
+            .collect();
         let result = arr.replay(trace);
         assert_eq!(result.stats.count(), 10);
         assert_eq!(result.completions.len(), 10);

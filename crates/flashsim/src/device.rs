@@ -44,7 +44,11 @@ impl CalibratedSsd {
 
     /// Custom per-block read/write latencies.
     pub fn with_latencies(read_ns: Duration, write_ns: Duration) -> Self {
-        CalibratedSsd { read_ns_per_block: read_ns, write_ns_per_block: write_ns, busy_until: 0 }
+        CalibratedSsd {
+            read_ns_per_block: read_ns,
+            write_ns_per_block: write_ns,
+            busy_until: 0,
+        }
     }
 
     /// Pure service time of a request on this device.
@@ -69,7 +73,11 @@ impl Device for CalibratedSsd {
         let service_start = self.busy_until.max(now);
         let finish = service_start + self.service_time(req);
         self.busy_until = finish;
-        Completion { request: *req, service_start, finish }
+        Completion {
+            request: *req,
+            service_start,
+            finish,
+        }
     }
 
     fn next_free(&self, now: SimTime) -> SimTime {

@@ -25,7 +25,12 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), free: Vec::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
     }
 
     /// Schedule `payload` to fire at `time`.

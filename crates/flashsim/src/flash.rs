@@ -72,7 +72,12 @@ impl FlashModule {
     /// Create a module with the given configuration.
     pub fn new(config: FlashConfig) -> Self {
         let dies = config.geometry.dies;
-        FlashModule { config, ftl: PageMappedFtl::new(config.geometry), die_free: vec![0; dies], channel_free: 0 }
+        FlashModule {
+            config,
+            ftl: PageMappedFtl::new(config.geometry),
+            die_free: vec![0; dies],
+            channel_free: 0,
+        }
     }
 
     /// Configuration in use.
@@ -86,8 +91,7 @@ impl FlashModule {
     }
 
     fn logical_pages(&self, req: &IoRequest) -> impl Iterator<Item = u64> {
-        let pages_per_lbn =
-            (req.size_bytes.div_ceil(self.config.page_size_bytes)).max(1) as u64;
+        let pages_per_lbn = (req.size_bytes.div_ceil(self.config.page_size_bytes)).max(1) as u64;
         let base = req.lbn * pages_per_lbn;
         base..base + pages_per_lbn
     }
@@ -151,7 +155,11 @@ impl Device for FlashModule {
             };
             finish = finish.max(done);
         }
-        Completion { request: *req, service_start, finish }
+        Completion {
+            request: *req,
+            service_start,
+            finish,
+        }
     }
 
     fn next_free(&self, now: SimTime) -> SimTime {

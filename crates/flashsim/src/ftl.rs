@@ -34,7 +34,12 @@ impl Default for FtlGeometry {
     fn default() -> Self {
         // Small but realistically shaped defaults (Agrawal et al. use 64
         // pages/block; die/block counts here are scaled for simulation).
-        FtlGeometry { dies: 4, blocks_per_die: 256, pages_per_block: 64, overprovision: 0.1 }
+        FtlGeometry {
+            dies: 4,
+            blocks_per_die: 256,
+            pages_per_block: 64,
+            overprovision: 0.1,
+        }
     }
 }
 
@@ -54,7 +59,11 @@ struct EraseBlock {
 
 impl EraseBlock {
     fn new(pages_per_block: usize) -> Self {
-        EraseBlock { pages: vec![PageState::Free; pages_per_block], write_ptr: 0, valid: 0 }
+        EraseBlock {
+            pages: vec![PageState::Free; pages_per_block],
+            write_ptr: 0,
+            valid: 0,
+        }
     }
 
     fn is_full(&self) -> bool {
@@ -113,8 +122,9 @@ impl PageMappedFtl {
     pub fn new(geometry: FtlGeometry) -> Self {
         let dies = (0..geometry.dies)
             .map(|_| {
-                let blocks =
-                    (0..geometry.blocks_per_die).map(|_| EraseBlock::new(geometry.pages_per_block)).collect();
+                let blocks = (0..geometry.blocks_per_die)
+                    .map(|_| EraseBlock::new(geometry.pages_per_block))
+                    .collect();
                 Die {
                     blocks,
                     active: 0,
@@ -158,7 +168,10 @@ impl PageMappedFtl {
     /// Write a logical page: allocate a new physical page, invalidate the
     /// old mapping, and run GC if the target die ran low on free blocks.
     pub fn write(&mut self, logical_page: u64) -> Result<(PhysPage, WriteOutcome), DeviceFull> {
-        let mut outcome = WriteOutcome { pages_programmed: 1, ..Default::default() };
+        let mut outcome = WriteOutcome {
+            pages_programmed: 1,
+            ..Default::default()
+        };
         // Stripe new writes across dies round-robin; existing pages stay on
         // their die to keep the GC bookkeeping per-die.
         let die_idx = self.next_die;
@@ -175,7 +188,8 @@ impl PageMappedFtl {
         // GC if free blocks dropped below the over-provisioning floor. The
         // floor of 2 guarantees relocation during GC always has a spare
         // block to append into.
-        let floor = ((self.geometry.blocks_per_die as f64 * self.geometry.overprovision) as usize).max(2);
+        let floor =
+            ((self.geometry.blocks_per_die as f64 * self.geometry.overprovision) as usize).max(2);
         while self.dies[die_idx].free_blocks.len() < floor {
             let before = self.dies[die_idx].free_blocks.len();
             let gc = self.collect(die_idx);
@@ -205,7 +219,11 @@ impl PageMappedFtl {
         eb.pages[page] = PageState::Valid(logical_page);
         eb.write_ptr += 1;
         eb.valid += 1;
-        Some(PhysPage { die: die_idx, block, page })
+        Some(PhysPage {
+            die: die_idx,
+            block,
+            page,
+        })
     }
 
     fn invalidate(&mut self, p: PhysPage) {
@@ -289,7 +307,12 @@ mod tests {
     use super::*;
 
     fn small_geometry() -> FtlGeometry {
-        FtlGeometry { dies: 2, blocks_per_die: 8, pages_per_block: 4, overprovision: 0.25 }
+        FtlGeometry {
+            dies: 2,
+            blocks_per_die: 8,
+            pages_per_block: 4,
+            overprovision: 0.25,
+        }
     }
 
     #[test]
@@ -350,7 +373,10 @@ mod tests {
                 full_errors += 1;
             }
         }
-        assert!(full_errors > 0, "over-capacity set must eventually report full");
+        assert!(
+            full_errors > 0,
+            "over-capacity set must eventually report full"
+        );
         // Every successfully written page is still readable.
         for lp in 0..30u64 {
             if let Some(p) = ftl.lookup(lp) {
@@ -385,7 +411,9 @@ mod tests {
         // utilization): GC victims usually contain valid pages to relocate.
         let mut seed = 1u64;
         for _ in 0..500 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             tight.write((seed >> 33) % 18).unwrap();
         }
         assert!(tight.write_amplification() > 1.0);

@@ -72,7 +72,11 @@ pub struct HardDisk {
 impl HardDisk {
     /// New disk with head parked at cylinder 0.
     pub fn new(config: HddConfig) -> Self {
-        HardDisk { config, busy_until: 0, head_cylinder: 0 }
+        HardDisk {
+            config,
+            busy_until: 0,
+            head_cylinder: 0,
+        }
     }
 
     /// The configuration.
@@ -127,7 +131,11 @@ impl Device for HardDisk {
         let finish = after_seek + rot + transfer;
         self.head_cylinder = cyl;
         self.busy_until = finish;
-        Completion { request: *req, service_start, finish }
+        Completion {
+            request: *req,
+            service_start,
+            finish,
+        }
     }
 
     fn next_free(&self, now: SimTime) -> SimTime {
@@ -167,7 +175,11 @@ mod tests {
         let mut d = HardDisk::default();
         let far = 40_000 * d.config.blocks_per_track; // distant cylinder
         let c = d.submit(&IoRequest::read_block(1, 0, 0, far), 0);
-        assert!(c.service_time() > 1_000_000, "far read took {} ns", c.service_time());
+        assert!(
+            c.service_time() > 1_000_000,
+            "far read took {} ns",
+            c.service_time()
+        );
     }
 
     #[test]
@@ -178,13 +190,18 @@ mod tests {
             let mut d = HardDisk::default();
             let mut total = 0;
             for (i, &lbn) in lbns.iter().enumerate() {
-                total += d.submit(&IoRequest::read_block(i as u64, 0, 0, lbn), 0).service_time();
+                total += d
+                    .submit(&IoRequest::read_block(i as u64, 0, 0, lbn), 0)
+                    .service_time();
             }
             total
         };
         let sequential = run(&[0, 1, 2, 3]);
         let random = run(&[0, 2_000_000, 64, 1_500_000]);
-        assert!(random > 3 * sequential, "random {random} vs sequential {sequential}");
+        assert!(
+            random > 3 * sequential,
+            "random {random} vs sequential {sequential}"
+        );
     }
 
     #[test]

@@ -32,7 +32,14 @@ pub struct IoRequest {
 impl IoRequest {
     /// Convenience constructor for the common 8 KiB read.
     pub fn read_block(id: RequestId, arrival: SimTime, device: usize, lbn: u64) -> Self {
-        IoRequest { id, arrival, device, lbn, size_bytes: BLOCK_SIZE_BYTES, op: IoOp::Read }
+        IoRequest {
+            id,
+            arrival,
+            device,
+            lbn,
+            size_bytes: BLOCK_SIZE_BYTES,
+            op: IoOp::Read,
+        }
     }
 
     /// Number of 8 KiB blocks this request spans.
@@ -95,7 +102,11 @@ mod tests {
     #[test]
     fn completion_timing_decomposition() {
         let r = IoRequest::read_block(1, 100, 0, 0);
-        let c = Completion { request: r, service_start: 250, finish: 250 + BLOCK_READ_NS };
+        let c = Completion {
+            request: r,
+            service_start: 250,
+            finish: 250 + BLOCK_READ_NS,
+        };
         assert_eq!(c.queue_delay(), 150);
         assert_eq!(c.service_time(), BLOCK_READ_NS);
         assert_eq!(c.response_time(), 150 + BLOCK_READ_NS);

@@ -28,13 +28,23 @@ impl Default for ResponseStats {
 impl ResponseStats {
     /// Statistics without sample retention (O(1) memory).
     pub fn new() -> Self {
-        ResponseStats { count: 0, mean: 0.0, m2: 0.0, max: 0, min: Duration::MAX, samples: None }
+        ResponseStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            max: 0,
+            min: Duration::MAX,
+            samples: None,
+        }
     }
 
     /// Statistics that additionally retain every sample so percentiles can
     /// be queried.
     pub fn with_samples() -> Self {
-        ResponseStats { samples: Some(Vec::new()), ..Self::new() }
+        ResponseStats {
+            samples: Some(Vec::new()),
+            ..Self::new()
+        }
     }
 
     /// Record one response time (nanoseconds).

@@ -1,8 +1,8 @@
 //! Property-based tests of the simulator's timing invariants.
 
 use fqos_flashsim::{
-    device::Device, flash::FlashModule, stats::ResponseStats, CalibratedSsd, FlashArray,
-    IoRequest, BLOCK_READ_NS,
+    device::Device, flash::FlashModule, stats::ResponseStats, CalibratedSsd, FlashArray, IoRequest,
+    BLOCK_READ_NS,
 };
 use proptest::prelude::*;
 

@@ -26,7 +26,12 @@ impl FlowNetwork {
     /// Create an empty network with `n` vertices.
     pub fn new(n: usize, source: usize, sink: usize) -> Self {
         assert!(source < n && sink < n && source != sink);
-        FlowNetwork { edges: Vec::new(), adj: vec![Vec::new(); n], source, sink }
+        FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            source,
+            sink,
+        }
     }
 
     /// Number of vertices.

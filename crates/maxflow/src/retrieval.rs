@@ -78,7 +78,7 @@ impl RetrievalNetwork {
     fn extract(&self, net: &FlowNetwork, requests: &[&[DeviceId]]) -> Vec<DeviceId> {
         let b = requests.len();
         let mut assignment = vec![0usize; b];
-        for i in 0..b {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let block = 1 + i;
             let mut assigned = None;
             for &e in net.adjacent(block) {
@@ -89,7 +89,7 @@ impl RetrievalNetwork {
                     break;
                 }
             }
-            assignment[i] = assigned.expect("saturated network must assign every block");
+            *slot = assigned.expect("saturated network must assign every block");
         }
         assignment
     }
@@ -117,7 +117,10 @@ impl RetrievalNetwork {
     pub fn optimal_schedule(&self, requests: &[&[DeviceId]]) -> RetrievalSchedule {
         let b = requests.len();
         if b == 0 {
-            return RetrievalSchedule { accesses: 0, assignment: Vec::new() };
+            return RetrievalSchedule {
+                accesses: 0,
+                assignment: Vec::new(),
+            };
         }
         let mut m = b.div_ceil(self.devices);
         let (mut net, device_edges) = self.build(requests, m);
@@ -132,7 +135,10 @@ impl RetrievalNetwork {
             // so this loop always terminates.
             debug_assert!(m <= b);
         }
-        RetrievalSchedule { accesses: m, assignment: self.extract(&net, requests) }
+        RetrievalSchedule {
+            accesses: m,
+            assignment: self.extract(&net, requests),
+        }
     }
 
     /// True iff the request set is retrievable in the optimal `⌈b/N⌉`
@@ -186,12 +192,8 @@ mod tests {
         // Three buckets all replicated on the same three devices: any
         // schedule puts two of them... actually 3 blocks over 3 devices fit
         // in 1 access. Make 4 blocks over 3 devices → 2 accesses.
-        let reqs: Vec<Vec<usize>> = vec![
-            vec![0, 1, 2],
-            vec![1, 2, 0],
-            vec![2, 0, 1],
-            vec![0, 1, 2],
-        ];
+        let reqs: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 0, 1], vec![0, 1, 2]];
         let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
         let s = RetrievalNetwork::new(3).optimal_schedule(&refs);
         assert_eq!(s.accesses, 2);

@@ -1,0 +1,411 @@
+//! Offline stand-in for the `proptest` crate (the subset this workspace's
+//! property tests use).
+//!
+//! Supports the `proptest!` macro with per-block `ProptestConfig`,
+//! range/tuple/`any`/`prop::collection::vec` strategies, `prop_map`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros. Inputs are drawn from
+//! a generator seeded deterministically from the test name and case index,
+//! so failures reproduce across runs. **No shrinking**: a failing case
+//! reports the case number instead of a minimized input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+
+/// A failed property-test assertion (carried as an `Err` so `prop_assert!`
+/// can abort just the current case's closure).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with a preformatted message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError { msg }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Result type each generated test case returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps un-configured suites quick on
+        // the single-core CI box while still exercising the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Values with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draw a uniform value from the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Whole-domain strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// Strategy over every value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Mirrors `proptest::prop` — combinator namespaces.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// `Vec` strategy: each case draws a length in `size`, then that
+        /// many elements from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// FNV-1a over the test name: stable per-test seed base, independent of
+/// link order and of other tests in the block.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Driver behind the `proptest!` macro: runs `f` for each case with a
+/// deterministic per-case generator, panicking on the first failure.
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut f: impl FnMut(&mut StdRng) -> TestCaseResult,
+) {
+    let base = name_seed(name);
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        if let Err(e) = f(&mut rng) {
+            panic!(
+                "property `{name}` failed at case {case}/{}: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Property-test entry macro. Accepts an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn name(args in
+/// strategies) { body }` items; each becomes a plain `#[test]` running
+/// `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!((<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion of the items inside a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_property(stringify!($name), &__config, |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __out: $crate::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                __out
+            });
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// `assert!` counterpart that fails only the current case's closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} — {} ({}:{})",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart that fails only the current case's closure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left), stringify!($right), __l, __r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` — {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left), stringify!($right), format!($($fmt)+), __l, __r,
+                file!(), line!()
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_between_runs() {
+        let cfg = ProptestConfig::with_cases(8);
+        let mut first: Vec<u64> = Vec::new();
+        crate::run_property("determinism_probe", &cfg, |rng| {
+            first.push((0u64..1000).sample(rng));
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::run_property("determinism_probe", &cfg, |rng| {
+            second.push((0u64..1000).sample(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        crate::run_property("always_fails", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("boom".into()))
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            a in 3u64..17,
+            pair in (0usize..4, 10i32..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10..20).contains(&pair.1));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(
+            v in prop::collection::vec((0u64..5, 0u64..5), 2..9),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            for (x, y) in &v {
+                prop_assert!(*x < 5 && *y < 5);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(x in (1u32..10).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!((2..20).contains(&x));
+        }
+    }
+
+    // `any::<u64>()` hits the full domain: over a few cases we should see
+    // values above 2^32 (probability of failure ~2^-32 per draw).
+    proptest! {
+        #[test]
+        fn any_u64_is_full_width(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn full_width_values_appear() {
+        let mut high = false;
+        crate::run_property("width_probe", &ProptestConfig::with_cases(16), |rng| {
+            if any::<u64>().sample(rng) > u32::MAX as u64 {
+                high = true;
+            }
+            Ok(())
+        });
+        assert!(high);
+    }
+}

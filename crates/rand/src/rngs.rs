@@ -1,0 +1,79 @@
+//! Generator implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++ (Blackman & Vigna),
+/// seeded by SplitMix64 key expansion. Fast, 256-bit state, passes BigCrush;
+/// *not* the same stream as upstream `rand`'s ChaCha12-based `StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Alias: upstream's `SmallRng` is also available under this name.
+pub type SmallRng = StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs for the all-distinct seed {1,2,3,4} — the reference
+        // values of the xoshiro256++ C implementation.
+        let mut rng = StdRng { s: [1, 2, 3, 4] };
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![41943041, 58720359, 3588806011781223, 3591011842654386]
+        );
+    }
+
+    #[test]
+    fn output_looks_equidistributed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ones = 0u32;
+        for _ in 0..1_000 {
+            ones += rng.next_u64().count_ones();
+        }
+        // 64 000 bits, expect ~32 000 ones.
+        assert!((31_000..33_000).contains(&ones), "{ones}");
+    }
+}

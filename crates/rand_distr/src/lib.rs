@@ -1,0 +1,302 @@
+//! Offline stand-in for the `rand_distr` crate (0.4 API subset).
+//!
+//! Ships the distributions the workload models consume: [`Normal`] and
+//! [`LogNormal`] (Box–Muller), [`Poisson`] (exponential inter-arrival
+//! counting, normal approximation for large rates) and bounded [`Zipf`]
+//! (midpoint-envelope rejection). Sampling quality is adequate for the
+//! statistical assertions in this repo's tests (tolerances of a few
+//! percent); streams differ from upstream.
+
+use rand::Rng;
+use std::fmt;
+
+/// Types that can be sampled with an [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid-parameter error shared by all constructors here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Uniform `f64` in `(0, 1]` — safe as a logarithm argument.
+fn unit_open_zero<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    1.0 - u
+}
+
+/// Standard normal via Box–Muller (one value per draw; the discarded twin
+/// keeps the implementation stateless).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_open_zero(rng);
+    let u2 = unit_open_zero(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Construct; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(ParamError("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Construct from the underlying normal's `mu` and `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Poisson distribution with rate `lambda`.
+///
+/// Exact for `lambda <= 720` (count of unit-exponential inter-arrivals
+/// within `lambda`); normal approximation `N(lambda, lambda)` beyond, where
+/// the relative discretization error is < 0.2 %.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+/// Largest rate sampled exactly. Chosen so the O(lambda) loop stays cheap
+/// and `(-lambda).exp()` style underflow is never approached.
+const POISSON_EXACT_MAX: f64 = 720.0;
+
+impl Poisson {
+    /// Construct; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError("Poisson requires lambda > 0"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda <= POISSON_EXACT_MAX {
+            // Count unit-rate exponential inter-arrival times fitting in
+            // lambda: k ~ Poisson(lambda), exactly.
+            let mut acc = 0.0;
+            let mut k = 0u64;
+            loop {
+                acc += -unit_open_zero(rng).ln();
+                if acc > self.lambda {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        }
+        (self.lambda + self.lambda.sqrt() * standard_normal(rng))
+            .round()
+            .max(0.0)
+    }
+}
+
+/// Bounded Zipf distribution on `{1, …, n}` with exponent `s > 0`:
+/// `P(k) ∝ k⁻ˢ`.
+///
+/// Rejection sampling against the continuous envelope `x⁻ˢ` on
+/// `[0.5, n + 0.5]`; the midpoint rule under-estimates the integral of a
+/// convex function, so each integer's envelope mass dominates its target
+/// mass and acceptance is exact.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf<F> {
+    n: u64,
+    s: F,
+    /// `h_int(0.5)` and `h_int(n + 0.5)` cached.
+    h_lo: F,
+    h_hi: F,
+}
+
+impl Zipf<f64> {
+    /// Construct; `n >= 1`, `s > 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s <= 0.0 {
+            return Err(ParamError("Zipf requires s > 0"));
+        }
+        let h = |x: f64| h_int(x, s);
+        Ok(Zipf {
+            n,
+            s,
+            h_lo: h(0.5),
+            h_hi: h(n as f64 + 0.5),
+        })
+    }
+}
+
+/// `∫ x⁻ˢ dx`: `x^(1-s)/(1-s)` for `s ≠ 1`, `ln x` at `s = 1`.
+fn h_int(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        x.ln()
+    } else {
+        x.powf(1.0 - s) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`h_int`].
+fn h_int_inv(y: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        y.exp()
+    } else {
+        (y * (1.0 - s)).powf(1.0 / (1.0 - s))
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.n == 1 {
+            return 1.0;
+        }
+        let s = self.s;
+        loop {
+            let u = self.h_lo + unit_open_zero(rng) * (self.h_hi - self.h_lo);
+            let x = h_int_inv(u, s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            let envelope = h_int(k + 0.5, s) - h_int(k - 0.5, s);
+            let target = k.powf(-s);
+            if unit_open_zero(rng) * envelope <= target {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(samples: impl Iterator<Item = f64>) -> (f64, usize) {
+        let v: Vec<f64> = samples.collect();
+        (v.iter().sum::<f64>() / v.len() as f64, v.len())
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "{mean}");
+        assert!((var - 4.0).abs() < 0.15, "{var}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_one_parameterization() {
+        // mu = -sigma^2/2 gives E[X] = 1, the workload models' convention.
+        let sigma = 1.0f64;
+        let d = LogNormal::new(-sigma * sigma / 2.0, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mean, _) = mean_of((0..200_000).map(|_| d.sample(&mut rng)));
+        assert!((mean - 1.0).abs() < 0.05, "{mean}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_exact_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Poisson::new(4.5).unwrap();
+        let (mean, _) = mean_of((0..100_000).map(|_| d.sample(&mut rng)));
+        assert!((mean - 4.5).abs() < 0.05, "{mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_approximate_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Poisson::new(5_000.0).unwrap();
+        let (mean, _) = mean_of((0..5_000).map(|_| d.sample(&mut rng)));
+        assert!((mean - 5_000.0).abs() < 10.0, "{mean}");
+        let mut rng2 = StdRng::seed_from_u64(5);
+        assert!(d.sample(&mut rng2) >= 0.0);
+    }
+
+    #[test]
+    fn poisson_rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(1e-12).is_ok());
+    }
+
+    #[test]
+    fn zipf_frequencies_follow_power_law() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = Zipf::new(100, 1.0).unwrap();
+        let mut counts = [0u32; 101];
+        let trials = 200_000;
+        for _ in 0..trials {
+            let k = d.sample(&mut rng) as usize;
+            assert!((1..=100).contains(&k));
+            counts[k] += 1;
+        }
+        // P(1)/P(2) should be ~2, P(1)/P(10) ~10 for s = 1.
+        let r12 = counts[1] as f64 / counts[2] as f64;
+        let r1_10 = counts[1] as f64 / counts[10] as f64;
+        assert!((1.8..2.2).contains(&r12), "{r12}");
+        assert!((8.5..11.5).contains(&r1_10), "{r1_10}");
+    }
+
+    #[test]
+    fn zipf_sub_unit_exponent_covers_tail() {
+        // s < 1 (the workload models use 0.8–0.9) still reaches large ranks.
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Zipf::new(10_000, 0.8).unwrap();
+        let mut max_seen = 0.0f64;
+        for _ in 0..50_000 {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=10_000.0).contains(&k));
+            max_seen = max_seen.max(k);
+        }
+        assert!(max_seen > 5_000.0, "{max_seen}");
+    }
+
+    #[test]
+    fn zipf_degenerate_n1() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = Zipf::new(1, 0.9).unwrap();
+        assert_eq!(d.sample(&mut rng), 1.0);
+    }
+}

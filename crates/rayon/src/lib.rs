@@ -1,0 +1,103 @@
+//! Offline stand-in for the `rayon` crate (the iterator subset this
+//! workspace uses).
+//!
+//! `into_par_iter().map(..).collect()` runs **sequentially** here: the CI
+//! container exposes a single core, where sequential execution is the
+//! optimal schedule anyway. Callers already structure their work as
+//! order-independent items with per-item RNG streams, so swapping in real
+//! parallelism later changes nothing observable.
+
+/// Conversion into a "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Begin iteration.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Minimal parallel-iterator interface: `map` and `collect`.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item;
+
+    /// Underlying sequential iterator (drives `collect`).
+    fn into_seq(self) -> impl Iterator<Item = Self::Item>;
+
+    /// Transform each item.
+    fn map<O, F: Fn(Self::Item) -> O + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Gather results in order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_seq().collect()
+    }
+}
+
+/// Wrapper marking a sequential iterator as the execution backend.
+pub struct Seq<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParallelIterator for Seq<I> {
+    type Item = I::Item;
+
+    fn into_seq(self) -> impl Iterator<Item = I::Item> {
+        self.inner
+    }
+}
+
+/// `map` adapter.
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P: ParallelIterator, O, F: Fn(P::Item) -> O + Sync + Send> ParallelIterator for Map<P, F> {
+    type Item = O;
+
+    fn into_seq(self) -> impl Iterator<Item = O> {
+        let f = self.f;
+        self.inner.into_seq().map(f)
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = Seq<T::IntoIter>;
+
+    fn into_par_iter(self) -> Seq<T::IntoIter> {
+        Seq {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_map_collect_round_trip() {
+        let out: Vec<usize> = (1..=5usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(out, vec![1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn vec_and_chained_maps() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| format!("v{x}"))
+            .collect();
+        assert_eq!(out, vec!["v2", "v3", "v4"]);
+    }
+}

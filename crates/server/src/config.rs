@@ -1,0 +1,148 @@
+//! Serving-engine configuration.
+
+use fqos_core::QosConfig;
+
+/// How the engine assigns an admitted request to one of its `c` replica
+/// devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignmentMode {
+    /// Maintain an incremental max-flow retrieval schedule per window
+    /// ([`fqos_maxflow::IncrementalRetrieval`]): admission is exact — a
+    /// request is refused only if **no** reassignment of the window's
+    /// earlier requests fits the `M`-access budget. Replica choice is
+    /// deferred to window seal, when the final flow is known.
+    #[default]
+    OptimalFlow,
+    /// Greedy earliest-finish-time on arrival: pick the replica with the
+    /// least load at submit time, refuse when all replicas are at `M`.
+    /// Cheaper per request and assigns immediately, but an unlucky arrival
+    /// order can strand a feasible set (online bipartite matching is not
+    /// exact), surfacing as extra delays under bursty same-bucket load.
+    Eft,
+}
+
+/// Number of ring slots the engine keeps live window state for. Bounds how
+/// far apart the slowest and fastest submitter clocks may drift, plus the
+/// delay horizon.
+pub const WINDOW_RING: usize = 1024;
+
+/// Configuration of one [`crate::QosServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The underlying QoS deployment (scheme, `M`, interval, ε, policy).
+    pub qos: QosConfig,
+    /// Worker threads driving device service loops. Devices are owned
+    /// `device % workers`, so at most `devices()` workers are useful.
+    pub workers: usize,
+    /// Bound of each worker's request queue; submitters block once the
+    /// backlog from sealed windows reaches this depth (backpressure).
+    pub queue_depth: usize,
+    /// Tenant-registry shard count (lock striping for the hot lookup path).
+    pub shards: usize,
+    /// Replica assignment algorithm.
+    pub assignment: AssignmentMode,
+    /// How many windows beyond arrival a `Delay`-policy request may be
+    /// pushed before it is rejected outright.
+    pub delay_horizon: u64,
+}
+
+impl ServerConfig {
+    /// Defaults around a [`QosConfig`]: 4 workers, depth-64 queues,
+    /// 8 registry shards, optimal-flow assignment, 64-window delay horizon.
+    pub fn new(qos: QosConfig) -> Self {
+        ServerConfig {
+            qos,
+            workers: 4,
+            queue_depth: 64,
+            shards: 8,
+            assignment: AssignmentMode::default(),
+            delay_horizon: 64,
+        }
+    }
+
+    /// Set the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the per-worker queue bound.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Set the assignment mode.
+    pub fn with_assignment(mut self, mode: AssignmentMode) -> Self {
+        self.assignment = mode;
+        self
+    }
+
+    /// Set the delay horizon (windows).
+    pub fn with_delay_horizon(mut self, horizon: u64) -> Self {
+        self.delay_horizon = horizon;
+        self
+    }
+
+    /// Validate the composite configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.qos.validate()?;
+        if self.workers == 0 {
+            return Err("at least one worker thread is required".into());
+        }
+        if self.queue_depth == 0 {
+            return Err("queue_depth must be positive".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be positive".into());
+        }
+        if self.delay_horizon as usize >= WINDOW_RING / 2 {
+            return Err(format!(
+                "delay_horizon {} must stay below half the window ring ({})",
+                self.delay_horizon,
+                WINDOW_RING / 2
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ServerConfig::new(QosConfig::paper_9_3_1())
+            .validate()
+            .unwrap();
+        ServerConfig::new(QosConfig::paper_13_3_1().with_accesses(2))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn builders_and_bounds() {
+        let cfg = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_workers(8)
+            .with_queue_depth(16)
+            .with_assignment(AssignmentMode::Eft)
+            .with_delay_horizon(4);
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.queue_depth, 16);
+        assert_eq!(cfg.assignment, AssignmentMode::Eft);
+        cfg.validate().unwrap();
+
+        assert!(ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_workers(0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_delay_horizon(WINDOW_RING as u64)
+            .validate()
+            .is_err());
+        let mut bad = ServerConfig::new(QosConfig::paper_9_3_1());
+        bad.queue_depth = 0;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # fqos-server — concurrent online QoS serving engine
+//!
+//! The rest of the workspace reproduces the paper's algorithms as
+//! single-threaded library calls; this crate puts them behind a
+//! thread-safe front door so many producer threads can serve a
+//! multi-tenant workload online:
+//!
+//! ```text
+//!  submitter threads        ┌──────────────────────────────┐
+//!  (one handle each)   ───► │ TenantRegistry (sharded)     │  S(M) aggregate
+//!                           │   └ AppAdmission (§III-A)    │  admission
+//!                           ├──────────────────────────────┤
+//!                           │ WindowRing (interval slots)  │  per-window
+//!                           │   └ IncrementalRetrieval /   │  feasibility,
+//!                           │     EFT replica selection    │  ≤ M per device
+//!                           ├──────────────────────────────┤
+//!                           │ dispatcher (watermark seal)  │  in-order,
+//!                           │   └ bounded worker queues    │  backpressure
+//!                           ├──────────────────────────────┤
+//!                           │ worker pool (device % W)     │  FCFS device
+//!                           │   └ CalibratedSsd models     │  service loops
+//!                           └──────────────────────────────┘
+//!                                        │
+//!                                        ▼
+//!                           MetricsSnapshot (latency histogram,
+//!                           per-tenant counters, violation audit)
+//! ```
+//!
+//! The engine's contract is the paper's per-interval guarantee, made
+//! concurrent: a request admitted deterministically into window `t` is
+//! serviced in `(t+1)·T .. (t+2)·T` — **never later**, under any thread
+//! interleaving. See [`engine`](QosServer) for the proof sketch and the
+//! watermark protocol that makes sealing race-free; with statistical
+//! admission (`ε > 0`, §III-B2) overflow requests ride along without a
+//! guarantee and their violations are accounted separately.
+
+pub mod config;
+mod engine;
+pub mod metrics;
+pub mod registry;
+mod window;
+
+pub use config::{AssignmentMode, ServerConfig, WINDOW_RING};
+pub use engine::{QosServer, RejectReason, SubmitOutcome, SubmitterHandle};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, TenantCounters, TenantSnapshot};
+pub use registry::{RegisterError, Tenant, TenantRegistry};

@@ -1,0 +1,248 @@
+//! Lock-free serving metrics: counters and a log-bucketed latency
+//! histogram, all updated with relaxed atomics on the hot path and read
+//! coherently enough for reporting (individual counters are exact; a
+//! snapshot taken mid-flight may be torn *across* counters, which reports
+//! tolerate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram over nanosecond latencies with power-of-two bucket edges:
+/// bucket `i` counts values in `[2^(i-1), 2^i)` (bucket 0 counts `0`).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency.
+    pub fn record(&self, ns: u64) {
+        let idx = (64 - ns.leading_zeros()) as usize; // 0 for ns == 0
+        self.buckets[idx.min(63)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded latency.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Upper bucket edge at or below which at least `q` (0..=1) of the
+    /// recorded values fall. Resolution is the power-of-two bucket width;
+    /// the exact maximum is reported separately.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i }; // upper edge
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Non-empty buckets as `(upper_edge_ns, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (if i == 0 { 0 } else { 1u64 << i }, c))
+            })
+            .collect()
+    }
+}
+
+/// Per-tenant serving counters (shared via `Arc` between the registry and
+/// the worker pool).
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// Requests admitted under the deterministic guarantee.
+    pub admitted: AtomicU64,
+    /// Requests admitted on the statistical overflow path.
+    pub overflow: AtomicU64,
+    /// Requests pushed to a later window than their arrival window.
+    pub delayed: AtomicU64,
+    /// Requests refused.
+    pub rejected: AtomicU64,
+    /// Requests whose service finished past their interval deadline.
+    pub violations: AtomicU64,
+    /// Requests fully served.
+    pub served: AtomicU64,
+    /// Total admission delay (arrival window → admitted window) in ns.
+    pub delay_ns: AtomicU64,
+}
+
+/// Frozen per-tenant view inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Reserved per-interval request size.
+    pub reserved: usize,
+    /// See [`TenantCounters::admitted`].
+    pub admitted: u64,
+    /// See [`TenantCounters::overflow`].
+    pub overflow: u64,
+    /// See [`TenantCounters::delayed`].
+    pub delayed: u64,
+    /// See [`TenantCounters::rejected`].
+    pub rejected: u64,
+    /// See [`TenantCounters::violations`].
+    pub violations: u64,
+    /// See [`TenantCounters::served`].
+    pub served: u64,
+}
+
+/// Engine-wide metrics snapshot.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests admitted under the deterministic guarantee.
+    pub admitted: u64,
+    /// Requests admitted on the statistical overflow path.
+    pub overflow: u64,
+    /// Requests delayed past their arrival window.
+    pub delayed: u64,
+    /// Requests refused.
+    pub rejected: u64,
+    /// Requests fully served.
+    pub served: u64,
+    /// Served requests finishing past their interval deadline.
+    pub deadline_violations: u64,
+    /// Violations among *guaranteed* (deterministically admitted) requests.
+    /// The engine's core invariant keeps this at exactly 0.
+    pub guaranteed_violations: u64,
+    /// Largest guaranteed aggregate observed in any sealed window; never
+    /// exceeds `S(M)`.
+    pub max_window_guaranteed: u64,
+    /// Largest total (guaranteed + overflow) aggregate in any sealed window.
+    pub max_window_total: u64,
+    /// Windows sealed so far.
+    pub windows_sealed: u64,
+    /// Served-request latency: median (bucket-resolution upper bound).
+    pub p50_latency_ns: u64,
+    /// Served-request latency: 99th percentile (bucket-resolution).
+    pub p99_latency_ns: u64,
+    /// Served-request latency: exact maximum.
+    pub max_latency_ns: u64,
+    /// Served-request latency: exact mean.
+    pub mean_latency_ns: f64,
+    /// Per-tenant breakdown, sorted by tenant id.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Requests admitted in total (guaranteed + overflow).
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_ns(), 1024);
+        let buckets = h.nonzero_buckets();
+        // 0 → bucket 0; 1 → (0,2]; 2,3 → (2,4]; 1024 → (1024,2048].
+        assert_eq!(buckets, vec![(0, 1), (2, 1), (4, 2), (2048, 1)]);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for i in 0..100u64 {
+            h.record(i * 1000); // 0 .. 99 µs
+        }
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        assert!(p50 >= 49_000, "{p50}");
+        assert!(p99 >= 98_000, "{p99}");
+        assert!(p50 <= p99);
+        assert_eq!(h.quantile_ns(1.0), h.max_ns().next_power_of_two());
+        assert!((h.mean_ns() - 49_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(
+            h.nonzero_buckets().iter().map(|&(_, c)| c).sum::<u64>(),
+            4000
+        );
+    }
+}

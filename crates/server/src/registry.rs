@@ -1,0 +1,232 @@
+//! Sharded multi-tenant registry wrapping the paper's application-level
+//! admission controller ([`AppAdmission`], §III-A) behind thread-safe
+//! registration and a lock-striped hot lookup path.
+//!
+//! Registration (cold path) serializes on one mutex so the aggregate
+//! reservation check against `S(M)` is atomic; per-request lookups (hot
+//! path) only take a read lock on the tenant's shard.
+
+use crate::metrics::TenantCounters;
+use fqos_core::{AppAdmission, OverloadPolicy};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Immutable per-tenant record handed out by lookups.
+#[derive(Debug)]
+pub struct Tenant {
+    /// Tenant id.
+    pub id: u64,
+    /// Reserved per-interval request size (counts against `S(M)`).
+    pub reserved: usize,
+    /// What happens to this tenant's requests when a window is full.
+    pub policy: OverloadPolicy,
+    /// Serving counters, shared with the worker pool.
+    pub counters: TenantCounters,
+}
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// Admitting the reservation would push the aggregate past `S(M)`.
+    OverCapacity {
+        /// Requested per-interval size.
+        requested: usize,
+        /// Remaining admittable size.
+        headroom: usize,
+    },
+    /// A reservation of zero requests is meaningless.
+    ZeroReservation,
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::OverCapacity {
+                requested,
+                headroom,
+            } => {
+                write!(
+                    f,
+                    "reservation of {requested} exceeds remaining headroom {headroom}"
+                )
+            }
+            RegisterError::ZeroReservation => write!(f, "reservation must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Thread-safe tenant registry with `S(M)` aggregate admission.
+pub struct TenantRegistry {
+    admission: Mutex<AppAdmission>,
+    shards: Vec<RwLock<HashMap<u64, Arc<Tenant>>>>,
+}
+
+impl TenantRegistry {
+    /// Registry admitting aggregate reservations up to `limit` = `S(M)`,
+    /// striped over `shards` locks.
+    pub fn new(limit: usize, shards: usize) -> Self {
+        assert!(shards > 0);
+        TenantRegistry {
+            admission: Mutex::new(AppAdmission::new(limit)),
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, tenant: u64) -> &RwLock<HashMap<u64, Arc<Tenant>>> {
+        // Multiplicative hash so consecutive tenant ids spread across shards.
+        let h = tenant.wrapping_mul(0x9E3779B97F4A7C15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    /// Register (or re-register with a new size) a tenant. The reservation
+    /// is admitted iff the aggregate over all tenants stays within `S(M)`.
+    pub fn register(
+        &self,
+        tenant: u64,
+        reserved: usize,
+        policy: OverloadPolicy,
+    ) -> Result<Arc<Tenant>, RegisterError> {
+        if reserved == 0 {
+            return Err(RegisterError::ZeroReservation);
+        }
+        // Hold the admission lock across the shard update so a concurrent
+        // deregister cannot interleave between check and insert.
+        let mut admission = self.admission.lock();
+        if !admission.register(tenant, reserved) {
+            return Err(RegisterError::OverCapacity {
+                requested: reserved,
+                headroom: admission.headroom(),
+            });
+        }
+        let record = Arc::new(Tenant {
+            id: tenant,
+            reserved,
+            policy,
+            counters: TenantCounters::default(),
+        });
+        self.shard(tenant)
+            .write()
+            .insert(tenant, Arc::clone(&record));
+        Ok(record)
+    }
+
+    /// Remove a tenant, freeing its reservation. Returns the record if it
+    /// existed (its counters stay readable through outstanding `Arc`s).
+    pub fn deregister(&self, tenant: u64) -> Option<Arc<Tenant>> {
+        let mut admission = self.admission.lock();
+        let removed = self.shard(tenant).write().remove(&tenant);
+        if removed.is_some() {
+            admission.deregister(tenant);
+        }
+        removed
+    }
+
+    /// Hot-path lookup.
+    pub fn get(&self, tenant: u64) -> Option<Arc<Tenant>> {
+        self.shard(tenant).read().get(&tenant).cloned()
+    }
+
+    /// Aggregate reservation currently admitted.
+    pub fn reserved_total(&self) -> usize {
+        self.admission.lock().total()
+    }
+
+    /// Remaining admittable reservation.
+    pub fn headroom(&self) -> usize {
+        self.admission.lock().headroom()
+    }
+
+    /// All live tenants, sorted by id (reporting path).
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        let mut all: Vec<Arc<Tenant>> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_by_key(|t| t.id);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn table1_walkthrough_through_the_registry() {
+        // §III-A with S = 5: sizes 2, 2, 1 admitted; the fourth tenant only
+        // after one deregisters.
+        let reg = TenantRegistry::new(5, 4);
+        reg.register(1, 2, OverloadPolicy::Delay).unwrap();
+        reg.register(2, 2, OverloadPolicy::Delay).unwrap();
+        reg.register(3, 1, OverloadPolicy::Reject).unwrap();
+        assert_eq!(reg.reserved_total(), 5);
+        let err = reg.register(4, 1, OverloadPolicy::Delay).unwrap_err();
+        assert_eq!(
+            err,
+            RegisterError::OverCapacity {
+                requested: 1,
+                headroom: 0
+            }
+        );
+        assert!(reg.deregister(2).is_some());
+        reg.register(4, 2, OverloadPolicy::Delay).unwrap();
+        assert_eq!(reg.headroom(), 0);
+    }
+
+    #[test]
+    fn lookup_and_listing() {
+        let reg = TenantRegistry::new(10, 2);
+        assert!(reg.get(7).is_none());
+        reg.register(7, 3, OverloadPolicy::Reject).unwrap();
+        let t = reg.get(7).unwrap();
+        assert_eq!(t.reserved, 3);
+        assert_eq!(t.policy, OverloadPolicy::Reject);
+        reg.register(3, 1, OverloadPolicy::Delay).unwrap();
+        let ids: Vec<u64> = reg.tenants().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![3, 7]);
+        assert!(reg.deregister(99).is_none());
+    }
+
+    #[test]
+    fn zero_reservation_is_refused() {
+        let reg = TenantRegistry::new(5, 1);
+        assert_eq!(
+            reg.register(1, 0, OverloadPolicy::Delay).unwrap_err(),
+            RegisterError::ZeroReservation
+        );
+    }
+
+    #[test]
+    fn counters_survive_deregistration() {
+        let reg = TenantRegistry::new(5, 2);
+        let t = reg.register(1, 1, OverloadPolicy::Delay).unwrap();
+        t.counters.served.fetch_add(3, Ordering::Relaxed);
+        let removed = reg.deregister(1).unwrap();
+        assert_eq!(removed.counters.served.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn concurrent_registration_never_oversubscribes() {
+        use std::sync::Arc as StdArc;
+        let reg = StdArc::new(TenantRegistry::new(8, 4));
+        let threads: Vec<_> = (0..16u64)
+            .map(|id| {
+                let reg = StdArc::clone(&reg);
+                std::thread::spawn(move || reg.register(id, 1, OverloadPolicy::Delay).is_ok())
+            })
+            .collect();
+        let admitted = threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
+        assert_eq!(admitted, 8);
+        assert_eq!(reg.reserved_total(), 8);
+        assert_eq!(reg.tenants().len(), 8);
+    }
+}

@@ -1,0 +1,396 @@
+//! Interval window state: a ring of per-window admission slots.
+//!
+//! Window `w` covers simulated time `[w·T, (w+1)·T)`. Requests admitted
+//! during `w` are *executed* in window `w+1` and must finish by the start
+//! of `w+2` — that is the request's **interval deadline**. Because every
+//! admitted set is schedulable in at most `M` accesses per device
+//! (exactly, via incremental max-flow, or conservatively, via greedy EFT)
+//! and `M · service ≤ T` is enforced by config validation, a sealed
+//! window's guaranteed requests always meet their deadline — regardless of
+//! how submitter threads interleave.
+//!
+//! Slots are reused modulo [`WINDOW_RING`]; the engine's watermark
+//! protocol guarantees a slot is sealed and drained before its index comes
+//! around again (enforced here with an occupancy check).
+
+use crate::config::{AssignmentMode, WINDOW_RING};
+use fqos_flashsim::IoRequest;
+use fqos_maxflow::IncrementalRetrieval;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A request parked in a window awaiting seal.
+#[derive(Debug, Clone)]
+struct Parked {
+    tenant: u64,
+    req: IoRequest,
+    replicas: Vec<usize>,
+    /// Chosen replica (set at admit time in EFT mode, at seal in flow mode).
+    assigned: Option<usize>,
+}
+
+/// Mutable state of one in-flight window.
+#[derive(Debug)]
+struct SlotState {
+    /// Which window this slot currently holds; meaningful iff `active`.
+    window: u64,
+    active: bool,
+    /// Exact feasibility state (flow mode only).
+    flow: Option<IncrementalRetrieval>,
+    /// Per-device guaranteed load (EFT mode; flow mode derives it at seal).
+    loads: Vec<u32>,
+    /// Per-tenant admitted count, enforcing each tenant's reservation.
+    per_tenant: HashMap<u64, u32>,
+    guaranteed: Vec<Parked>,
+    overflow: Vec<Parked>,
+}
+
+impl SlotState {
+    fn reset_for(&mut self, window: u64, devices: usize, accesses: usize, mode: AssignmentMode) {
+        self.window = window;
+        self.active = true;
+        self.flow = match mode {
+            AssignmentMode::OptimalFlow => Some(IncrementalRetrieval::new(devices, accesses)),
+            AssignmentMode::Eft => None,
+        };
+        self.loads.clear();
+        self.loads.resize(devices, 0);
+        self.per_tenant.clear();
+        self.guaranteed.clear();
+        self.overflow.clear();
+    }
+}
+
+/// One dispatch-ready request out of a sealed window.
+#[derive(Debug, Clone)]
+pub(crate) struct SealedItem {
+    pub tenant: u64,
+    /// Request with its final `device` assignment filled in.
+    pub req: IoRequest,
+    /// Admitted under the deterministic guarantee (vs statistical overflow).
+    pub guaranteed: bool,
+}
+
+/// The drained contents of one window, in dispatch order.
+#[derive(Debug)]
+pub(crate) struct SealedWindow {
+    pub guaranteed: u64,
+    pub total: u64,
+    pub items: Vec<SealedItem>,
+}
+
+/// Ring of interval-admission slots shared by all submitter threads.
+pub(crate) struct WindowRing {
+    slots: Vec<Mutex<SlotState>>,
+    devices: usize,
+    accesses: usize,
+    mode: AssignmentMode,
+}
+
+impl WindowRing {
+    pub fn new(devices: usize, accesses: usize, mode: AssignmentMode) -> Self {
+        WindowRing {
+            slots: (0..WINDOW_RING)
+                .map(|_| {
+                    Mutex::new(SlotState {
+                        window: 0,
+                        active: false,
+                        flow: None,
+                        loads: Vec::new(),
+                        per_tenant: HashMap::new(),
+                        guaranteed: Vec::new(),
+                        overflow: Vec::new(),
+                    })
+                })
+                .collect(),
+            devices,
+            accesses,
+            mode,
+        }
+    }
+
+    fn slot(&self, window: u64) -> &Mutex<SlotState> {
+        &self.slots[(window % WINDOW_RING as u64) as usize]
+    }
+
+    /// Lock `window`'s slot, (re-)initializing it on first touch. Panics if
+    /// the slot still holds an unsealed *older* window — that means
+    /// submitter clocks drifted further apart than the ring covers.
+    fn locked(&self, window: u64) -> parking_lot::MutexGuard<'_, SlotState> {
+        let mut s = self.slot(window).lock();
+        if !s.active {
+            s.reset_for(window, self.devices, self.accesses, self.mode);
+        } else if s.window != window {
+            assert!(
+                s.window > window,
+                "window ring wrapped: window {} still unsealed while {} arrives \
+                 (submitter drift exceeds WINDOW_RING = {WINDOW_RING})",
+                s.window,
+                window,
+            );
+            // s.window > window would mean admitting into a sealed past
+            // window; the engine's watermark protocol forbids it.
+            panic!(
+                "admission into window {window} after it was sealed and its slot reused by {}",
+                s.window
+            );
+        }
+        s
+    }
+
+    /// Try to admit one guaranteed request for `tenant` (with per-interval
+    /// reservation `reserved`) into `window`. Returns `true` iff the tenant
+    /// has reservation left in this window **and** the request fits the
+    /// `M`-access schedule.
+    pub fn try_admit(
+        &self,
+        window: u64,
+        tenant: u64,
+        reserved: usize,
+        req: IoRequest,
+        replicas: &[usize],
+    ) -> bool {
+        let mut s = self.locked(window);
+        let used = s.per_tenant.get(&tenant).copied().unwrap_or(0);
+        if used as usize >= reserved {
+            return false;
+        }
+        let assigned = match self.mode {
+            AssignmentMode::OptimalFlow => {
+                if !s.flow.as_mut().expect("flow mode").try_add(replicas) {
+                    return false;
+                }
+                None
+            }
+            AssignmentMode::Eft => {
+                // Earliest finish time under equal service times = least
+                // loaded replica.
+                let &best = replicas
+                    .iter()
+                    .min_by_key(|&&d| s.loads[d])
+                    .expect("non-empty replica tuple");
+                if s.loads[best] as usize >= self.accesses {
+                    return false;
+                }
+                s.loads[best] += 1;
+                Some(best)
+            }
+        };
+        *s.per_tenant.entry(tenant).or_insert(0) += 1;
+        s.guaranteed.push(Parked {
+            tenant,
+            req,
+            replicas: replicas.to_vec(),
+            assigned,
+        });
+        true
+    }
+
+    /// Total requests (guaranteed + overflow) currently parked in `window`.
+    pub fn admitted_total(&self, window: u64) -> usize {
+        let s = self.locked(window);
+        s.guaranteed.len() + s.overflow.len()
+    }
+
+    /// Park an overflow (statistically admitted) request in `window`,
+    /// bypassing the reservation and feasibility checks. Device choice is
+    /// deferred to seal, where overflow items pile onto the least-loaded
+    /// replica after the guaranteed schedule.
+    pub fn add_overflow(&self, window: u64, tenant: u64, req: IoRequest, replicas: &[usize]) {
+        let mut s = self.locked(window);
+        s.overflow.push(Parked {
+            tenant,
+            req,
+            replicas: replicas.to_vec(),
+            assigned: None,
+        });
+    }
+
+    /// Seal `window`: fix every request's replica assignment and drain the
+    /// slot for reuse. An untouched window seals to an empty result.
+    pub fn seal(&self, window: u64) -> SealedWindow {
+        let mut s = self.slot(window).lock();
+        if !s.active || s.window != window {
+            return SealedWindow {
+                guaranteed: 0,
+                total: 0,
+                items: Vec::new(),
+            };
+        }
+        s.active = false;
+
+        let mut loads = std::mem::take(&mut s.loads);
+        let guaranteed = std::mem::take(&mut s.guaranteed);
+        let overflow = std::mem::take(&mut s.overflow);
+        let flow = s.flow.take();
+        drop(s);
+
+        let mut items = Vec::with_capacity(guaranteed.len() + overflow.len());
+        match self.mode {
+            AssignmentMode::OptimalFlow => {
+                let flow = flow.expect("flow mode");
+                debug_assert_eq!(flow.len(), guaranteed.len());
+                let assignments = flow.assignments();
+                for (p, &d) in guaranteed.into_iter().zip(&assignments) {
+                    loads[d] += 1;
+                    let mut req = p.req;
+                    req.device = d;
+                    items.push(SealedItem {
+                        tenant: p.tenant,
+                        req,
+                        guaranteed: true,
+                    });
+                }
+            }
+            AssignmentMode::Eft => {
+                for p in guaranteed {
+                    let d = p.assigned.expect("EFT assigns at admit time");
+                    let mut req = p.req;
+                    req.device = d;
+                    items.push(SealedItem {
+                        tenant: p.tenant,
+                        req,
+                        guaranteed: true,
+                    });
+                }
+            }
+        }
+        let n_guaranteed = items.len() as u64;
+        for p in overflow {
+            let &d = p
+                .replicas
+                .iter()
+                .min_by_key(|&&d| loads[d])
+                .expect("non-empty replicas");
+            loads[d] += 1;
+            let mut req = p.req;
+            req.device = d;
+            items.push(SealedItem {
+                tenant: p.tenant,
+                req,
+                guaranteed: false,
+            });
+        }
+        SealedWindow {
+            guaranteed: n_guaranteed,
+            total: items.len() as u64,
+            items,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqos_flashsim::IoRequest;
+
+    fn req(id: u64) -> IoRequest {
+        IoRequest::read_block(id, 0, 0, id)
+    }
+
+    fn ring(mode: AssignmentMode) -> WindowRing {
+        // 3 devices, M = 1; replica pairs below.
+        WindowRing::new(3, 1, mode)
+    }
+
+    #[test]
+    fn flow_mode_reassigns_to_fit() {
+        let r = ring(AssignmentMode::OptimalFlow);
+        // First request could sit on 0; second only fits on 0 → flow must
+        // re-route the first to 1.
+        assert!(r.try_admit(0, 1, 10, req(1), &[0, 1]));
+        assert!(r.try_admit(0, 1, 10, req(2), &[0]));
+        let sealed = r.seal(0);
+        assert_eq!(sealed.guaranteed, 2);
+        let devs: Vec<usize> = sealed.items.iter().map(|i| i.req.device).collect();
+        assert!(devs.contains(&0) && devs.contains(&1));
+    }
+
+    #[test]
+    fn eft_mode_can_strand_what_flow_accepts() {
+        // Greedy ties break toward the first replica: request A on 0, then
+        // B (only replica 0) is stranded — the documented EFT tradeoff.
+        let eft = ring(AssignmentMode::Eft);
+        assert!(eft.try_admit(0, 1, 10, req(1), &[0, 1]));
+        assert!(!eft.try_admit(0, 1, 10, req(2), &[0]));
+
+        let flow = ring(AssignmentMode::OptimalFlow);
+        assert!(flow.try_admit(0, 1, 10, req(1), &[0, 1]));
+        assert!(flow.try_admit(0, 1, 10, req(2), &[0]));
+    }
+
+    #[test]
+    fn per_tenant_reservation_is_enforced() {
+        let r = ring(AssignmentMode::OptimalFlow);
+        assert!(r.try_admit(3, 7, 2, req(1), &[0, 1]));
+        assert!(r.try_admit(3, 7, 2, req(2), &[1, 2]));
+        assert!(
+            !r.try_admit(3, 7, 2, req(3), &[2, 0]),
+            "reservation of 2 exhausted"
+        );
+        assert!(
+            r.try_admit(3, 8, 1, req(4), &[2, 0]),
+            "other tenants unaffected"
+        );
+    }
+
+    #[test]
+    fn device_budget_is_enforced() {
+        let r = ring(AssignmentMode::OptimalFlow);
+        // M = 1 on 3 devices → at most 3 requests, whatever the replicas.
+        assert!(r.try_admit(1, 1, 99, req(1), &[0, 1, 2]));
+        assert!(r.try_admit(1, 1, 99, req(2), &[0, 1, 2]));
+        assert!(r.try_admit(1, 1, 99, req(3), &[0, 1, 2]));
+        assert!(!r.try_admit(1, 1, 99, req(4), &[0, 1, 2]));
+        let sealed = r.seal(1);
+        assert_eq!(sealed.total, 3);
+        let mut devs: Vec<usize> = sealed.items.iter().map(|i| i.req.device).collect();
+        devs.sort_unstable();
+        assert_eq!(devs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn overflow_lands_on_least_loaded_replica_after_guaranteed() {
+        let r = ring(AssignmentMode::OptimalFlow);
+        assert!(r.try_admit(0, 1, 9, req(1), &[0]));
+        r.add_overflow(0, 2, req(2), &[0, 1]);
+        r.add_overflow(0, 2, req(3), &[0, 1]);
+        let sealed = r.seal(0);
+        assert_eq!(sealed.guaranteed, 1);
+        assert_eq!(sealed.total, 3);
+        assert!(!sealed.items[1].guaranteed);
+        // First overflow goes to empty device 1, second balances back.
+        assert_eq!(sealed.items[1].req.device, 1);
+        assert_eq!(sealed.admitted_devices_sorted(), vec![0, 0, 1]);
+    }
+
+    impl SealedWindow {
+        fn admitted_devices_sorted(&self) -> Vec<usize> {
+            let mut v: Vec<usize> = self.items.iter().map(|i| i.req.device).collect();
+            v.sort_unstable();
+            v
+        }
+    }
+
+    #[test]
+    fn sealing_empty_and_reuse() {
+        let r = ring(AssignmentMode::Eft);
+        let sealed = r.seal(42);
+        assert_eq!(sealed.total, 0);
+        // Admit into w, seal, then the slot is reusable for w + RING.
+        assert!(r.try_admit(5, 1, 1, req(1), &[0]));
+        assert_eq!(r.seal(5).total, 1);
+        let next = 5 + WINDOW_RING as u64;
+        assert!(r.try_admit(next, 1, 1, req(2), &[0]));
+        assert_eq!(r.seal(next).total, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window ring wrapped")]
+    fn unsealed_slot_reuse_panics() {
+        let r = ring(AssignmentMode::Eft);
+        assert!(r.try_admit(0, 1, 1, req(1), &[0]));
+        // Same slot index one full ring later, while window 0 is unsealed.
+        let _ = r.try_admit(WINDOW_RING as u64, 1, 1, req(2), &[0]);
+    }
+}

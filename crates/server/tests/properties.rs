@@ -1,0 +1,171 @@
+//! Property tests over small `(N, c, M)` deployments: whatever the design,
+//! the access budget, the tenant mix or the load pattern, a deterministic
+//! engine run must
+//!
+//! * keep every window's guaranteed aggregate within `S(M)`,
+//! * meet the interval deadline of every admitted request,
+//! * and conserve requests (admitted + rejected = submitted, served =
+//!   admitted).
+
+use fqos_core::{OverloadPolicy, QosConfig};
+use fqos_decluster::DesignTheoretic;
+use fqos_designs::DesignCatalog;
+use fqos_flashsim::time::{BASE_INTERVAL_NS, BLOCK_READ_NS};
+use fqos_server::{AssignmentMode, QosServer, ServerConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Small constructible `(N, c)` pairs spanning both copy counts the
+/// catalog knows how to build.
+const DESIGNS: &[(usize, usize)] = &[(7, 3), (9, 3), (13, 3), (13, 4)];
+
+fn qos_for(design_idx: usize, m: usize, epsilon: f64) -> QosConfig {
+    let (n, c) = DESIGNS[design_idx % DESIGNS.len()];
+    let design = DesignCatalog.find(n, c).expect("catalog design");
+    QosConfig {
+        scheme: DesignTheoretic::new(design),
+        accesses: m,
+        interval_ns: m as u64 * BASE_INTERVAL_NS,
+        epsilon,
+        policy: OverloadPolicy::Delay,
+        service_ns: BLOCK_READ_NS,
+    }
+}
+
+/// Split the full `S(M)` budget into 1..=4 tenant reservations with mixed
+/// policies.
+fn tenant_plan(limit: usize, rng: &mut StdRng) -> Vec<(u64, usize, OverloadPolicy)> {
+    let mut plan = Vec::new();
+    let mut remaining = limit;
+    let mut id = 1u64;
+    while remaining > 0 && plan.len() < 4 {
+        let r = if plan.len() == 3 {
+            remaining
+        } else {
+            rng.gen_range(1..=remaining)
+        };
+        let policy = if rng.gen_range(0..3usize) == 0 {
+            OverloadPolicy::Reject
+        } else {
+            OverloadPolicy::Delay
+        };
+        plan.push((id, r, policy));
+        remaining -= r;
+        id += 1;
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Two racing submitter threads over a random small deployment.
+    #[test]
+    fn deterministic_admission_meets_every_deadline(
+        design_idx in 0..4usize,
+        m in 1..=3usize,
+        eft in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let qos = qos_for(design_idx, m, 0.0);
+        let limit = qos.request_limit();
+        let t_ns = qos.interval_ns;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = tenant_plan(limit, &mut rng);
+        let total_reserved: usize = plan.iter().map(|&(_, r, _)| r).sum();
+        prop_assert!(total_reserved <= limit);
+
+        let mode = if eft { AssignmentMode::Eft } else { AssignmentMode::OptimalFlow };
+        let server = QosServer::new(
+            ServerConfig::new(qos)
+                .with_workers(rng.gen_range(1..=4))
+                .with_queue_depth(rng.gen_range(1..=8))
+                .with_assignment(mode),
+        )
+        .map_err(proptest::TestCaseError::fail)?;
+        for &(t, r, p) in &plan {
+            server.register(t, r, p).map_err(|e| proptest::TestCaseError::fail(e.to_string()))?;
+        }
+
+        let server = Arc::new(server);
+        let windows = 25u64;
+        let threads: Vec<_> = (0..2u64)
+            .map(|thread| {
+                let mut h = server.handle();
+                let plan = plan.clone();
+                let mut rng = StdRng::seed_from_u64(seed ^ (thread + 1));
+                std::thread::spawn(move || {
+                    let mut submitted = 0u64;
+                    for w in 0..windows {
+                        for &(tenant, reserved, _) in &plan {
+                            // Sometimes idle, sometimes past the reservation.
+                            let burst = rng.gen_range(0..=reserved + 1);
+                            for _ in 0..burst {
+                                let lbn = rng.gen_range(0..10_000u64);
+                                h.submit(tenant, lbn, w * t_ns + rng.gen_range(0..t_ns));
+                                submitted += 1;
+                            }
+                        }
+                    }
+                    submitted
+                })
+            })
+            .collect();
+        let submitted: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        let m = Arc::into_inner(server).unwrap().finish();
+
+        prop_assert!(m.max_window_guaranteed <= limit as u64,
+            "window carried {} > S(M) = {limit}", m.max_window_guaranteed);
+        prop_assert_eq!(m.guaranteed_violations, 0);
+        prop_assert_eq!(m.deadline_violations, 0);
+        prop_assert_eq!(m.overflow, 0);
+        prop_assert_eq!(m.served, m.admitted);
+        prop_assert_eq!(m.admitted + m.rejected, submitted);
+        let per_tenant_admitted: u64 = m.tenants.iter().map(|t| t.admitted).sum();
+        prop_assert_eq!(per_tenant_admitted, m.admitted);
+        // A request admitted k windows late finishes by (k+2)·T after its
+        // arrival window, so the delay horizon bounds every response time.
+        let horizon = 64; // ServerConfig default delay_horizon
+        prop_assert!(m.max_latency_ns <= (horizon + 2) * t_ns,
+            "latency {} beyond the delay horizon {}", m.max_latency_ns, (horizon + 2) * t_ns);
+        if m.delayed == 0 {
+            prop_assert!(m.max_latency_ns <= 2 * t_ns);
+        }
+    }
+
+    /// The statistical path never lets the *guaranteed* aggregate past
+    /// `S(M)`, and every overflow admission is audited.
+    #[test]
+    fn statistical_mode_keeps_the_guarantee_separate(
+        design_idx in 0..4usize,
+        m in 1..=2usize,
+        seed in any::<u64>(),
+    ) {
+        let qos = qos_for(design_idx, m, 0.25);
+        let limit = qos.request_limit();
+        let t_ns = qos.interval_ns;
+        let server = QosServer::new(ServerConfig::new(qos).with_workers(2))
+            .map_err(proptest::TestCaseError::fail)?;
+        server
+            .register(1, limit, OverloadPolicy::Reject)
+            .map_err(|e| proptest::TestCaseError::fail(e.to_string()))?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = server.handle();
+        for w in 0..40u64 {
+            // Oscillate between calm and over-subscribed windows.
+            let load = if w % 4 == 3 { limit + 3 } else { rng.gen_range(0..=limit / 2) };
+            for i in 0..load as u64 {
+                h.submit(1, rng.gen_range(0..10_000u64), w * t_ns + i);
+            }
+        }
+        drop(h);
+        let m = server.finish();
+        prop_assert!(m.max_window_guaranteed <= limit as u64);
+        prop_assert_eq!(m.served, m.admitted_total());
+        prop_assert!(m.max_window_total >= m.max_window_guaranteed);
+        let t_overflow: u64 = m.tenants.iter().map(|t| t.overflow).sum();
+        prop_assert_eq!(t_overflow, m.overflow);
+    }
+}

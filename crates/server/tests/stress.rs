@@ -1,0 +1,240 @@
+//! Concurrency stress tests: many submitter threads hammer one engine and
+//! the paper's per-interval invariants must hold under every interleaving:
+//!
+//! * no sealed window ever carries more guaranteed requests than `S(M)`,
+//! * every deterministically admitted request meets its interval deadline,
+//! * nothing admitted is lost and nothing rejected is served.
+
+use fqos_core::{OverloadPolicy, QosConfig};
+use fqos_server::{AssignmentMode, QosServer, ServerConfig, SubmitOutcome};
+use std::sync::Arc;
+
+const T2: u64 = 2 * 133_000; // interval for M = 2
+
+/// One thread per tenant, bursty loads beyond reservations, tiny queues.
+#[test]
+fn per_tenant_threads_with_bursts() {
+    let qos = QosConfig::paper_9_3_1().with_accesses(2); // S(2) = 14
+    let limit = qos.request_limit();
+    let server =
+        QosServer::new(ServerConfig::new(qos).with_workers(4).with_queue_depth(4)).unwrap();
+    let plan: &[(u64, usize, OverloadPolicy)] = &[
+        (1, 5, OverloadPolicy::Delay),
+        (2, 4, OverloadPolicy::Delay),
+        (3, 3, OverloadPolicy::Reject),
+        (4, 2, OverloadPolicy::Delay),
+    ];
+    for &(t, r, p) in plan {
+        server.register(t, r, p).unwrap();
+    }
+    let server = Arc::new(server);
+    let threads: Vec<_> = plan
+        .iter()
+        .map(|&(tenant, reserved, _)| {
+            let mut h = server.handle();
+            std::thread::spawn(move || {
+                let mut submitted = 0u64;
+                for w in 0..300u64 {
+                    // Every third window bursts two past the reservation.
+                    let burst = reserved + if w % 3 == 0 { 2 } else { 0 };
+                    for i in 0..burst as u64 {
+                        h.submit(tenant, tenant * 10_000 + w * 31 + i, w * T2 + i);
+                        submitted += 1;
+                    }
+                }
+                submitted
+            })
+        })
+        .collect();
+    let submitted: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    let m = Arc::into_inner(server).unwrap().finish();
+
+    assert!(
+        m.max_window_guaranteed <= limit as u64,
+        "{} > S(M)",
+        m.max_window_guaranteed
+    );
+    assert_eq!(m.guaranteed_violations, 0);
+    assert_eq!(
+        m.deadline_violations, 0,
+        "deterministic admission never violates"
+    );
+    assert_eq!(m.overflow, 0);
+    assert_eq!(m.served, m.admitted, "everything admitted was served");
+    assert_eq!(m.admitted + m.rejected, submitted);
+    let rejecting = m.tenants.iter().find(|t| t.tenant == 3).unwrap();
+    assert!(rejecting.rejected > 0, "Reject-policy bursts must drop");
+    assert_eq!(rejecting.delayed, 0);
+    for t in m.tenants.iter().filter(|t| t.tenant != 3) {
+        assert!(
+            t.delayed > 0,
+            "Delay-policy bursts must spill to later windows"
+        );
+        // Sustained over-subscription (+2 every third window) grows the
+        // backlog without bound, so the 64-window horizon eventually
+        // saturates and rejects the residue — but only after real delaying.
+        assert!(t.admitted > t.rejected);
+    }
+}
+
+/// Six threads share ONE tenant and race for the same reservation.
+#[test]
+fn shared_tenant_contention() {
+    let qos = QosConfig::paper_9_3_1().with_accesses(2);
+    let limit = qos.request_limit();
+    let server =
+        QosServer::new(ServerConfig::new(qos).with_workers(3).with_queue_depth(8)).unwrap();
+    server.register(7, limit, OverloadPolicy::Delay).unwrap();
+    let server = Arc::new(server);
+    let threads: Vec<_> = (0..6u64)
+        .map(|n| {
+            let mut h = server.handle();
+            std::thread::spawn(move || {
+                for w in 0..150u64 {
+                    for i in 0..4u64 {
+                        h.submit(7, n * 1_000 + w * 17 + i, w * T2 + i);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let m = Arc::into_inner(server).unwrap().finish();
+    // 6 threads × 4 = 24 per window against a reservation of 14: the excess
+    // must delay, never oversubscribe a window or miss a deadline.
+    assert!(m.max_window_guaranteed <= limit as u64);
+    assert_eq!(m.guaranteed_violations, 0);
+    assert_eq!(m.deadline_violations, 0);
+    assert_eq!(m.served, m.admitted);
+    assert!(m.delayed > 0);
+}
+
+/// queue_depth = 1: maximum backpressure must throttle, not deadlock or
+/// corrupt accounting.
+#[test]
+fn backpressure_with_depth_one_queues() {
+    let qos = QosConfig::paper_9_3_1(); // M = 1, S = 5
+    let server = QosServer::new(
+        ServerConfig::new(qos)
+            .with_workers(2)
+            .with_queue_depth(1)
+            .with_assignment(AssignmentMode::Eft),
+    )
+    .unwrap();
+    server.register(1, 3, OverloadPolicy::Delay).unwrap();
+    server.register(2, 2, OverloadPolicy::Delay).unwrap();
+    let server = Arc::new(server);
+    let threads: Vec<_> = [(1u64, 3u64), (2, 2)]
+        .into_iter()
+        .map(|(tenant, per_window)| {
+            let mut h = server.handle();
+            std::thread::spawn(move || {
+                for w in 0..120u64 {
+                    for i in 0..per_window {
+                        h.submit(tenant, tenant * 500 + w * 7 + i, w * 133_000 + i);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let m = Arc::into_inner(server).unwrap().finish();
+    assert_eq!(m.served, 120 * 5);
+    assert_eq!(m.guaranteed_violations, 0);
+    assert_eq!(m.deadline_violations, 0);
+    assert!(m.max_window_guaranteed <= 5);
+}
+
+/// Tenants registering and deregistering while traffic flows: capacity is
+/// conserved and in-flight requests of departed tenants still complete.
+#[test]
+fn registration_churn_during_service() {
+    let qos = QosConfig::paper_9_3_1().with_accesses(2);
+    let server =
+        QosServer::new(ServerConfig::new(qos).with_workers(4).with_queue_depth(16)).unwrap();
+    server.register(1, 7, OverloadPolicy::Delay).unwrap();
+    let server = Arc::new(server);
+
+    let submitter = {
+        let mut h = server.handle();
+        std::thread::spawn(move || {
+            let mut admitted = 0u64;
+            for w in 0..200u64 {
+                for i in 0..5u64 {
+                    if h.submit(1, w * 11 + i, w * T2 + i).is_admitted() {
+                        admitted += 1;
+                    }
+                }
+            }
+            admitted
+        })
+    };
+    let churner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let mut churns = 0u32;
+            for round in 0..50u64 {
+                // The churn tenant cycles its 7-slot reservation; tenant 1
+                // keeps its 7 untouched throughout.
+                if server
+                    .register(900 + (round % 2), 7, OverloadPolicy::Reject)
+                    .is_ok()
+                {
+                    churns += 1;
+                    server.deregister(900 + (round % 2));
+                }
+                std::thread::yield_now();
+            }
+            churns
+        })
+    };
+    let admitted = submitter.join().unwrap();
+    let churns = churner.join().unwrap();
+    assert!(churns > 0);
+    let m = Arc::into_inner(server).unwrap().finish();
+    assert_eq!(m.served, admitted);
+    assert_eq!(m.guaranteed_violations, 0);
+    assert_eq!(m.deadline_violations, 0);
+    assert!(m.max_window_guaranteed <= 14);
+}
+
+/// Statistical admission (ε > 0): overflow may violate deadlines but the
+/// audit trail must separate it from the deterministic guarantee.
+#[test]
+fn statistical_overflow_is_audited_separately() {
+    let qos = QosConfig::paper_9_3_1().with_epsilon(0.4);
+    let server =
+        QosServer::new(ServerConfig::new(qos).with_workers(4).with_queue_depth(32)).unwrap();
+    server.register(1, 5, OverloadPolicy::Reject).unwrap();
+    let mut h = server.handle();
+    // Calm history, then sustained over-subscription.
+    for w in 0..60u64 {
+        assert!(h.submit(1, w, w * 133_000).is_admitted());
+    }
+    let mut overflow = 0u64;
+    for w in 60..80u64 {
+        for i in 0..9u64 {
+            match h.submit(1, w * 13 + i, w * 133_000 + i) {
+                SubmitOutcome::Overflow { .. } => overflow += 1,
+                SubmitOutcome::Admitted { .. } | SubmitOutcome::Rejected(_) => {}
+                SubmitOutcome::Delayed { .. } => panic!("Reject policy cannot delay"),
+            }
+        }
+    }
+    drop(h);
+    let m = server.finish();
+    assert_eq!(m.overflow, overflow);
+    assert!(m.overflow > 0, "ε = 0.4 must admit some overflow");
+    assert!(m.max_window_guaranteed <= 5);
+    assert!(m.max_window_total > 5);
+    assert_eq!(m.served, m.admitted_total());
+    // Violations, if any, are never charged to the guarantee: overflow runs
+    // after the guaranteed set and only it (or windows it spills into under
+    // sustained pressure) may be late. ε = 0 paths keep this at zero by
+    // construction; here we only require the audit split to be consistent.
+    assert!(m.deadline_violations >= m.guaranteed_violations);
+}

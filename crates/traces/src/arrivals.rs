@@ -27,7 +27,11 @@ pub struct BurstyConfig {
 
 impl Default for BurstyConfig {
     fn default() -> Self {
-        BurstyConfig { mean_rate_per_s: 1000.0, slot_ns: 10_000_000, sigma: 1.0 }
+        BurstyConfig {
+            mean_rate_per_s: 1000.0,
+            slot_ns: 10_000_000,
+            sigma: 1.0,
+        }
     }
 }
 
@@ -48,10 +52,16 @@ pub fn bursty_arrivals(
     let mut slot_start = 0u64;
     while slot_start < window_ns {
         let slot_len = cfg.slot_ns.min(window_ns - slot_start);
-        let multiplier = if cfg.sigma > 0.0 { lognormal.sample(rng) } else { 1.0 };
+        let multiplier = if cfg.sigma > 0.0 {
+            lognormal.sample(rng)
+        } else {
+            1.0
+        };
         let expected = cfg.mean_rate_per_s * multiplier * (slot_len as f64 / 1e9);
         let count = if expected > 0.0 {
-            Poisson::new(expected.max(1e-12)).map(|p| p.sample(rng) as u64).unwrap_or(0)
+            Poisson::new(expected.max(1e-12))
+                .map(|p| p.sample(rng) as u64)
+                .unwrap_or(0)
         } else {
             0
         };
@@ -72,7 +82,11 @@ mod tests {
     #[test]
     fn mean_count_matches_rate() {
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = BurstyConfig { mean_rate_per_s: 5000.0, slot_ns: 1_000_000, sigma: 0.8 };
+        let cfg = BurstyConfig {
+            mean_rate_per_s: 5000.0,
+            slot_ns: 1_000_000,
+            sigma: 0.8,
+        };
         // 100 windows of 100 ms → expected 500 arrivals each.
         let mut total = 0usize;
         for _ in 0..100 {
@@ -95,7 +109,11 @@ mod tests {
     fn burstiness_increases_slot_variance() {
         let count_variance = |sigma: f64| {
             let mut rng = StdRng::seed_from_u64(42);
-            let cfg = BurstyConfig { mean_rate_per_s: 10_000.0, slot_ns: 1_000_000, sigma };
+            let cfg = BurstyConfig {
+                mean_rate_per_s: 10_000.0,
+                slot_ns: 1_000_000,
+                sigma,
+            };
             let arrivals = bursty_arrivals(&cfg, 0, 1_000_000_000, &mut rng);
             // Count per 1 ms slot.
             let mut counts = vec![0f64; 1000];
@@ -111,7 +129,11 @@ mod tests {
     #[test]
     fn zero_sigma_is_plain_poisson() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = BurstyConfig { mean_rate_per_s: 1000.0, slot_ns: 10_000_000, sigma: 0.0 };
+        let cfg = BurstyConfig {
+            mean_rate_per_s: 1000.0,
+            slot_ns: 10_000_000,
+            sigma: 0.0,
+        };
         let a = bursty_arrivals(&cfg, 0, 1_000_000_000, &mut rng);
         // Poisson(1000): essentially always within ±15%.
         assert!((850..=1150).contains(&a.len()), "{}", a.len());

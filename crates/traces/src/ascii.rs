@@ -53,30 +53,42 @@ pub fn parse(
                 message: format!("expected 5 fields, found {}", fields.len()),
             });
         }
-        let arrival_ms: f64 = fields[0]
-            .parse()
-            .map_err(|e| ParseError { line: line_no, message: format!("arrival: {e}") })?;
-        let device: usize = fields[1]
-            .parse()
-            .map_err(|e| ParseError { line: line_no, message: format!("device: {e}") })?;
-        let lbn: u64 = fields[2]
-            .parse()
-            .map_err(|e| ParseError { line: line_no, message: format!("block: {e}") })?;
-        let blocks: u32 = fields[3]
-            .parse()
-            .map_err(|e| ParseError { line: line_no, message: format!("size: {e}") })?;
-        let flags: u32 = fields[4]
-            .parse()
-            .map_err(|e| ParseError { line: line_no, message: format!("flags: {e}") })?;
+        let arrival_ms: f64 = fields[0].parse().map_err(|e| ParseError {
+            line: line_no,
+            message: format!("arrival: {e}"),
+        })?;
+        let device: usize = fields[1].parse().map_err(|e| ParseError {
+            line: line_no,
+            message: format!("device: {e}"),
+        })?;
+        let lbn: u64 = fields[2].parse().map_err(|e| ParseError {
+            line: line_no,
+            message: format!("block: {e}"),
+        })?;
+        let blocks: u32 = fields[3].parse().map_err(|e| ParseError {
+            line: line_no,
+            message: format!("size: {e}"),
+        })?;
+        let flags: u32 = fields[4].parse().map_err(|e| ParseError {
+            line: line_no,
+            message: format!("flags: {e}"),
+        })?;
         if arrival_ms < 0.0 {
-            return Err(ParseError { line: line_no, message: "negative arrival time".into() });
+            return Err(ParseError {
+                line: line_no,
+                message: "negative arrival time".into(),
+            });
         }
         records.push(TraceRecord {
             arrival_ns: time::ms_to_ns(arrival_ms),
             device,
             lbn,
             size_bytes: blocks.max(1) * BLOCK_SIZE_BYTES,
-            op: if flags & 1 == 1 { IoOp::Read } else { IoOp::Write },
+            op: if flags & 1 == 1 {
+                IoOp::Read
+            } else {
+                IoOp::Write
+            },
         });
     }
     Ok(Trace::new(name, records, num_devices, interval_ns))
@@ -85,7 +97,12 @@ pub fn parse(
 /// Emit a trace in the ASCII format accepted by [`parse`].
 pub fn emit(trace: &Trace) -> String {
     let mut out = String::with_capacity(trace.records.len() * 32);
-    let _ = writeln!(out, "# trace: {} ({} records)", trace.name, trace.records.len());
+    let _ = writeln!(
+        out,
+        "# trace: {} ({} records)",
+        trace.name,
+        trace.records.len()
+    );
     for r in &trace.records {
         let flags = if r.op == IoOp::Read { 1 } else { 0 };
         let _ = writeln!(

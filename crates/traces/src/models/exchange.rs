@@ -86,8 +86,11 @@ mod tests {
 
     #[test]
     fn generates_nine_volume_trace() {
-        let mut cfg = ExchangeConfig::default();
-        cfg.intervals = 8; // keep the test fast
+        // Shrunk interval count keeps the test fast.
+        let cfg = ExchangeConfig {
+            intervals: 8,
+            ..Default::default()
+        };
         let t = exchange(cfg).generate();
         assert_eq!(t.num_devices, 9);
         assert!(t.records.iter().all(|r| r.device < 9));

@@ -72,8 +72,9 @@ impl ServerModel {
         let device_weights = device_cumweights(self.num_devices, self.device_skew);
 
         // Correlated pair pool, refreshed with churn each interval.
-        let mut pairs: Vec<(u64, u64)> =
-            (0..self.pair_pool).map(|_| self.draw_pair(&zipf, 0, &mut rng)).collect();
+        let mut pairs: Vec<(u64, u64)> = (0..self.pair_pool)
+            .map(|_| self.draw_pair(&zipf, 0, &mut rng))
+            .collect();
 
         let mut records = Vec::new();
         for (i, &rate) in self.rate_per_s.iter().enumerate() {
@@ -107,7 +108,12 @@ impl ServerModel {
                 }
             }
         }
-        Trace::new(self.name.clone(), records, self.num_devices, self.interval_ns)
+        Trace::new(
+            self.name.clone(),
+            records,
+            self.num_devices,
+            self.interval_ns,
+        )
     }
 
     fn record(&self, arrival_ns: SimTime, lbn: u64, weights: &[f64]) -> TraceRecord {
@@ -155,7 +161,9 @@ fn device_cumweights(n: usize, skew: f64) -> Vec<f64> {
 fn device_of(lbn: u64, cumweights: &[f64]) -> usize {
     let h = splitmix64(lbn);
     let u = (h >> 11) as f64 / (1u64 << 53) as f64;
-    cumweights.partition_point(|&c| c < u).min(cumweights.len() - 1)
+    cumweights
+        .partition_point(|&c| c < u)
+        .min(cumweights.len() - 1)
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -204,7 +212,10 @@ mod tests {
         let t = m.generate();
         assert!(!t.is_empty());
         assert_eq!(t.num_devices, 4);
-        assert!(t.records.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert!(t
+            .records
+            .windows(2)
+            .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
         assert!(t.records.iter().all(|r| r.device < 4 && r.lbn < 1000));
         assert!(t.records.iter().all(|r| r.op == IoOp::Read));
         // Expected count ≈ rate × duration = 2000/s × 0.2 s = 400.
@@ -237,6 +248,10 @@ mod tests {
             *counts.entry((w[0].lbn, w[1].lbn)).or_insert(0u32) += 1;
         }
         let repeated: u32 = counts.values().filter(|&&c| c > 1).sum();
-        assert!(repeated as usize > t.len() / 4, "repeated = {repeated}, len = {}", t.len());
+        assert!(
+            repeated as usize > t.len() / 4,
+            "repeated = {repeated}, len = {}",
+            t.len()
+        );
     }
 }

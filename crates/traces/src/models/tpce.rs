@@ -23,7 +23,11 @@ pub struct TpceConfig {
 
 impl Default for TpceConfig {
     fn default() -> Self {
-        TpceConfig { part_ns: 500_000_000, rate_per_s: 15_000.0, seed: 0x79CE }
+        TpceConfig {
+            part_ns: 500_000_000,
+            rate_per_s: 15_000.0,
+            seed: 0x79CE,
+        }
     }
 }
 
@@ -67,8 +71,11 @@ mod tests {
 
     #[test]
     fn generates_thirteen_volume_trace() {
-        let mut cfg = TpceConfig::default();
-        cfg.part_ns = 50_000_000; // keep the test fast
+        // Shrunk part length keeps the test fast.
+        let cfg = TpceConfig {
+            part_ns: 50_000_000,
+            ..Default::default()
+        };
         let t = tpce(cfg).generate();
         assert_eq!(t.num_devices, 13);
         assert_eq!(t.num_intervals(), 6);

@@ -45,7 +45,12 @@ impl Trace {
     ) -> Self {
         assert!(interval_ns > 0);
         records.sort_by_key(|r| r.arrival_ns);
-        Trace { name: name.into(), records, num_devices, interval_ns }
+        Trace {
+            name: name.into(),
+            records,
+            num_devices,
+            interval_ns,
+        }
     }
 
     /// Number of reporting intervals covered by the trace.
@@ -118,7 +123,10 @@ impl Trace {
                 let i = (r.arrival_ns / self.interval_ns) as usize;
                 (from..to).contains(&i)
             })
-            .map(|r| TraceRecord { arrival_ns: r.arrival_ns - base, ..*r })
+            .map(|r| TraceRecord {
+                arrival_ns: r.arrival_ns - base,
+                ..*r
+            })
             .collect();
         Trace::new(
             format!("{}[{from}..{to}]", self.name),
@@ -155,7 +163,13 @@ mod tests {
     use super::*;
 
     fn rec(t: u64, lbn: u64) -> TraceRecord {
-        TraceRecord { arrival_ns: t, device: 0, lbn, size_bytes: 8192, op: IoOp::Read }
+        TraceRecord {
+            arrival_ns: t,
+            device: 0,
+            lbn,
+            size_bytes: 8192,
+            op: IoOp::Read,
+        }
     }
 
     #[test]
@@ -167,7 +181,12 @@ mod tests {
 
     #[test]
     fn interval_partitioning() {
-        let t = Trace::new("t", vec![rec(0, 0), rec(99, 1), rec(100, 2), rec(350, 3)], 1, 100);
+        let t = Trace::new(
+            "t",
+            vec![rec(0, 0), rec(99, 1), rec(100, 2), rec(350, 3)],
+            1,
+            100,
+        );
         assert_eq!(t.num_intervals(), 4);
         let sizes: Vec<usize> = t.intervals().map(|s| s.len()).collect();
         assert_eq!(sizes, vec![2, 1, 0, 1]);

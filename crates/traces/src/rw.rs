@@ -20,7 +20,11 @@ pub fn with_write_fraction(trace: &Trace, fraction: f64, seed: u64) -> Trace {
         .iter()
         .map(|r| {
             let mut r = *r;
-            r.op = if rng.gen_bool(fraction) { IoOp::Write } else { IoOp::Read };
+            r.op = if rng.gen_bool(fraction) {
+                IoOp::Write
+            } else {
+                IoOp::Read
+            };
             r
         })
         .collect();
@@ -50,8 +54,14 @@ mod tests {
     #[test]
     fn extremes() {
         let t = SyntheticConfig::table3(5, 133_000).generate();
-        assert!(with_write_fraction(&t, 0.0, 1).records.iter().all(|r| r.op == IoOp::Read));
-        assert!(with_write_fraction(&t, 1.0, 1).records.iter().all(|r| r.op == IoOp::Write));
+        assert!(with_write_fraction(&t, 0.0, 1)
+            .records
+            .iter()
+            .all(|r| r.op == IoOp::Read));
+        assert!(with_write_fraction(&t, 1.0, 1)
+            .records
+            .iter()
+            .all(|r| r.op == IoOp::Write));
     }
 
     #[test]

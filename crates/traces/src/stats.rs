@@ -42,7 +42,12 @@ pub fn interval_stats(trace: &Trace, bucket_ns: u64) -> Vec<TraceIntervalStats> 
             }
             let max = counts.iter().copied().max().unwrap_or(0);
             let max_per_sec = max as f64 / (bucket_ns as f64 / 1e9);
-            TraceIntervalStats { interval: i, total_requests: total, avg_per_sec, max_per_sec }
+            TraceIntervalStats {
+                interval: i,
+                total_requests: total,
+                avg_per_sec,
+                max_per_sec,
+            }
         })
         .collect()
 }
@@ -54,7 +59,13 @@ mod tests {
     use fqos_flashsim::IoOp;
 
     fn rec(t: u64) -> TraceRecord {
-        TraceRecord { arrival_ns: t, device: 0, lbn: 0, size_bytes: 8192, op: IoOp::Read }
+        TraceRecord {
+            arrival_ns: t,
+            device: 0,
+            lbn: 0,
+            size_bytes: 8192,
+            op: IoOp::Read,
+        }
     }
 
     #[test]
@@ -82,7 +93,7 @@ mod tests {
 
     #[test]
     fn multiple_intervals() {
-        let mut records: Vec<_> = (0..5).map(|i| rec(i)).collect();
+        let mut records: Vec<_> = (0..5).map(rec).collect();
         records.push(rec(1_000_000_001));
         let t = Trace::new("t", records, 1, 1_000_000_000);
         let s = interval_stats(&t, 1_000_000_000);

@@ -58,7 +58,9 @@ impl SyntheticConfig {
         let mut records = Vec::with_capacity(self.total_requests);
         let mut interval = 0u64;
         while records.len() < self.total_requests {
-            let n = self.blocks_per_interval.min(self.total_requests - records.len());
+            let n = self
+                .blocks_per_interval
+                .min(self.total_requests - records.len());
             let arrival = interval * self.interval_ns;
             // Partial Fisher–Yates: the first n pool entries are the draw.
             for i in 0..n {
@@ -75,7 +77,10 @@ impl SyntheticConfig {
             interval += 1;
         }
         Trace::new(
-            format!("synthetic-{}x{}", self.blocks_per_interval, self.total_requests),
+            format!(
+                "synthetic-{}x{}",
+                self.blocks_per_interval, self.total_requests
+            ),
             records,
             1,
             self.interval_ns,

@@ -7,15 +7,20 @@ use fqos_traces::{ascii, SyntheticConfig, Trace, TraceRecord};
 use proptest::prelude::*;
 
 fn record_strategy() -> impl Strategy<Value = TraceRecord> {
-    (0u64..10_000_000, 0usize..9, 0u64..100_000, 1u32..5, any::<bool>()).prop_map(
-        |(t, dev, lbn, blocks, read)| TraceRecord {
+    (
+        0u64..10_000_000,
+        0usize..9,
+        0u64..100_000,
+        1u32..5,
+        any::<bool>(),
+    )
+        .prop_map(|(t, dev, lbn, blocks, read)| TraceRecord {
             arrival_ns: t,
             device: dev,
             lbn,
             size_bytes: blocks * 8192,
             op: if read { IoOp::Read } else { IoOp::Write },
-        },
-    )
+        })
 }
 
 proptest! {
@@ -105,14 +110,21 @@ proptest! {
 
 #[test]
 fn tpce_volume_skew_creates_hotspots() {
-    let t = tpce(TpceConfig { part_ns: 60_000_000, ..Default::default() }).generate();
+    let t = tpce(TpceConfig {
+        part_ns: 60_000_000,
+        ..Default::default()
+    })
+    .generate();
     let mut per_device = vec![0usize; t.num_devices];
     for r in &t.records {
         per_device[r.device] += 1;
     }
     let max = *per_device.iter().max().unwrap();
     let min = *per_device.iter().min().unwrap();
-    assert!(max > 2 * min.max(1), "device loads too uniform: {per_device:?}");
+    assert!(
+        max > 2 * min.max(1),
+        "device loads too uniform: {per_device:?}"
+    );
 }
 
 #[test]
@@ -123,5 +135,8 @@ fn exchange_is_diurnal() {
     // First interval (afternoon) busier than the overnight trough region.
     let peak_zone: usize = sizes[..8].iter().sum();
     let trough_zone: usize = sizes[38..46].iter().sum();
-    assert!(peak_zone > 2 * trough_zone, "peak {peak_zone} vs trough {trough_zone}");
+    assert!(
+        peak_zone > 2 * trough_zone,
+        "peak {peak_zone} vs trough {trough_zone}"
+    );
 }

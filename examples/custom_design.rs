@@ -18,9 +18,16 @@ fn main() {
     let design = catalog.find(n, 3).expect("catalog design");
     design.verify().expect("design axioms");
     let g = RetrievalGuarantee::of(&design);
-    println!("array of {n} devices, 3 copies: {} design blocks, {} buckets with rotations", design.num_blocks(), g.supported_buckets());
+    println!(
+        "array of {n} devices, 3 copies: {} design blocks, {} buckets with rotations",
+        design.num_blocks(),
+        g.supported_buckets()
+    );
     for m in 1..=4 {
-        println!("  any {:>3} buckets retrievable in {m} access(es)", g.buckets_in(m));
+        println!(
+            "  any {:>3} buckets retrievable in {m} access(es)",
+            g.buckets_in(m)
+        );
     }
 
     // 2. From a QoS requirement: guarantee 14 block reads per interval in

@@ -10,7 +10,10 @@ use flash_qos::traces::models::exchange::ExchangeConfig;
 fn main() {
     // A scaled Exchange-like workload: 24 diurnal intervals, nine volumes,
     // bursty arrivals (see DESIGN.md for the SNIA-trace substitution).
-    let model = models::exchange(ExchangeConfig { intervals: 24, ..Default::default() });
+    let model = models::exchange(ExchangeConfig {
+        intervals: 24,
+        ..Default::default()
+    });
     let trace = model.generate();
     println!(
         "workload: {} read requests over {} intervals on {} volumes",
@@ -28,7 +31,10 @@ fn main() {
     let qos = pipeline.run_online(&trace);
 
     println!("\nper-interval response times (ms):");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12} {:>10}", "interval", "qos avg", "qos max", "orig avg", "orig max", "% delayed");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "interval", "qos avg", "qos max", "orig avg", "orig max", "% delayed"
+    );
     for i in 0..trace.num_intervals() {
         println!(
             "{:<10} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>9.1}%",

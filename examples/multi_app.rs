@@ -35,7 +35,10 @@ fn shared_trace(app_sizes: &[usize], intervals: u64, interval_ns: u64) -> Trace 
 fn main() {
     let config = QosConfig::paper_9_3_1();
     let limit = config.request_limit();
-    println!("array: (9,3,1), S(1) = {limit} block requests per {} ms interval\n", config.interval_ns as f64 / 1e6);
+    println!(
+        "array: (9,3,1), S(1) = {limit} block requests per {} ms interval\n",
+        config.interval_ns as f64 / 1e6
+    );
 
     // Admission control, §III-A: apps declare per-interval request sizes.
     let mut admission = AppAdmission::new(limit);
@@ -45,7 +48,11 @@ fn main() {
         let ok = admission.register(app, size);
         println!(
             "app {app} requests {size}/interval → {}",
-            if ok { "ADMITTED" } else { "rejected (would exceed S)" }
+            if ok {
+                "ADMITTED"
+            } else {
+                "rejected (would exceed S)"
+            }
         );
         if ok {
             admitted_sizes.push(size);

@@ -19,10 +19,22 @@ fn main() {
 
     // 2. Application-level admission control (the paper's Table I flow).
     let mut admission = AppAdmission::new(config.request_limit());
-    assert!(admission.register(1, 2), "app 1 admitted (2 blocks/interval)");
-    assert!(admission.register(2, 2), "app 2 admitted (2 blocks/interval)");
-    assert!(admission.register(3, 1), "app 3 admitted (1 block/interval)");
-    assert!(!admission.register(4, 1), "app 4 rejected: the array is full");
+    assert!(
+        admission.register(1, 2),
+        "app 1 admitted (2 blocks/interval)"
+    );
+    assert!(
+        admission.register(2, 2),
+        "app 2 admitted (2 blocks/interval)"
+    );
+    assert!(
+        admission.register(3, 1),
+        "app 3 admitted (1 block/interval)"
+    );
+    assert!(
+        !admission.register(4, 1),
+        "app 4 rejected: the array is full"
+    );
     println!(
         "admission:         3 applications admitted, total {} of {} blocks/interval",
         admission.total(),
@@ -32,7 +44,11 @@ fn main() {
     // 3. Generate the paper's synthetic workload: 5 random blocks at the
     //    start of every 0.133 ms interval, 10 000 requests total.
     let trace = SyntheticConfig::table3(5, config.interval_ns).generate();
-    println!("workload:          {} requests over {} intervals", trace.len(), trace.num_intervals());
+    println!(
+        "workload:          {} requests over {} intervals",
+        trace.len(),
+        trace.num_intervals()
+    );
 
     // 4. Run the full QoS pipeline (allocation → admission → retrieval →
     //    flash array simulation).

@@ -22,10 +22,17 @@ fn main() {
         .with_mapping(MappingStrategy::Modulo);
 
     println!("27 blocks per 0.399 ms on 9 devices, 3 copies, 10 000 requests\n");
-    println!("{:<28} {:>10} {:>10} {:>10} {:>12}", "scheme", "avg (ms)", "std (ms)", "max (ms)", "guarantee?");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>12}",
+        "scheme", "avg (ms)", "std (ms)", "max (ms)", "guarantee?"
+    );
 
-    let mirrored = pipeline.run_interval().run_baseline(&trace, &Raid1Mirrored::paper());
-    let chained = pipeline.run_interval().run_baseline(&trace, &Raid1Chained::paper());
+    let mirrored = pipeline
+        .run_interval()
+        .run_baseline(&trace, &Raid1Mirrored::paper());
+    let chained = pipeline
+        .run_interval()
+        .run_baseline(&trace, &Raid1Chained::paper());
     let rda = pipeline
         .run_interval()
         .run_baseline(&trace, &RandomDuplicate::new(9, 3, 36, 42));

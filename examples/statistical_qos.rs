@@ -17,7 +17,10 @@ fn main() {
         trace.num_devices
     );
 
-    println!("{:<10} {:>11} {:>18} {:>16}", "epsilon", "% delayed", "avg response ms", "max response ms");
+    println!(
+        "{:<10} {:>11} {:>18} {:>16}",
+        "epsilon", "% delayed", "avg response ms", "max response ms"
+    );
     for eps in [0.0, 0.001, 0.002, 0.005] {
         let config = QosConfig::paper_13_3_1().with_epsilon(eps);
         let report = QosPipeline::new(config).run_online(&trace);

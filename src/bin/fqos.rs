@@ -12,6 +12,13 @@
 //!               [--reporting-ms 100]
 //!     Run a trace through the QoS pipeline and print the per-interval
 //!     report plus the original-layout comparison.
+//!
+//! fqos serve    --devices 9 [--copies 3] [--accesses 1] [--workers 4]
+//!               [--submitters 3] [--windows 500] [--epsilon 0.0]
+//!               [--queue-depth 64] [--mode flow|eft] [--seed N]
+//!     Replay a synthetic timestamped trace through the concurrent serving
+//!     engine: one submitter thread per tenant against a worker pool, then
+//!     print the serving report and the deadline audit.
 //! ```
 
 use flash_qos::prelude::*;
@@ -41,6 +48,7 @@ fn main() -> ExitCode {
         "design" => cmd_design(&opts),
         "generate" => cmd_generate(&opts),
         "analyze" => cmd_analyze(&opts),
+        "serve" => cmd_serve(&opts),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
@@ -62,6 +70,10 @@ fn print_help() {
     println!("  analyze  --trace FILE --devices N [--copies C] [--interval-ms T]");
     println!("           [--epsilon E] [--mapping fim|modulo|roundrobin] [--reporting-ms R]");
     println!("                                              run the QoS pipeline on a trace");
+    println!("  serve    --devices N [--copies C] [--accesses M] [--workers W]");
+    println!("           [--submitters S] [--windows K] [--epsilon E] [--queue-depth D]");
+    println!("           [--mode flow|eft] [--seed S]      replay a synthetic trace through");
+    println!("                                              the concurrent serving engine");
 }
 
 type Options = HashMap<String, String>;
@@ -73,8 +85,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, found '{}'", args[i]))?;
-        let value =
-            args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?
+            .clone();
         out.insert(key.to_string(), value);
         i += 2;
     }
@@ -84,26 +98,41 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn get_num<T: std::str::FromStr>(opts: &Options, key: &str, default: T) -> Result<T, String> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'")),
     }
 }
 
 fn require_num<T: std::str::FromStr>(opts: &Options, key: &str) -> Result<T, String> {
-    let v = opts.get(key).ok_or_else(|| format!("--{key} is required"))?;
-    v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'"))
+    let v = opts
+        .get(key)
+        .ok_or_else(|| format!("--{key} is required"))?;
+    v.parse()
+        .map_err(|_| format!("--{key}: cannot parse '{v}'"))
 }
 
 fn cmd_design(opts: &Options) -> Result<(), String> {
     let devices: usize = require_num(opts, "devices")?;
     let copies: usize = get_num(opts, "copies", 3)?;
-    let design = DesignCatalog.find(devices, copies).map_err(|e| e.to_string())?;
+    let design = DesignCatalog
+        .find(devices, copies)
+        .map_err(|e| e.to_string())?;
     design.verify().map_err(|e| e.to_string())?;
-    println!("({devices},{copies},1) design: {} blocks, replication number {}", design.num_blocks(), design.replication_number());
+    println!(
+        "({devices},{copies},1) design: {} blocks, replication number {}",
+        design.num_blocks(),
+        design.replication_number()
+    );
     let g = RetrievalGuarantee::of(&design);
     println!("rotation-expanded buckets: {}", g.supported_buckets());
     println!("guarantees:");
     for m in 1..=4 {
-        println!("  any {:>4} buckets in {m} access(es)  (interval ≥ {:.3} ms on calibrated flash)", g.buckets_in(m), m as f64 * 0.132507);
+        println!(
+            "  any {:>4} buckets in {m} access(es)  (interval ≥ {:.3} ms on calibrated flash)",
+            g.buckets_in(m),
+            m as f64 * 0.132507
+        );
     }
     println!("blocks:");
     for (i, b) in design.blocks().iter().enumerate() {
@@ -153,7 +182,9 @@ fn cmd_analyze(opts: &Options) -> Result<(), String> {
         trace.num_intervals()
     );
 
-    let design = DesignCatalog.find(devices, copies).map_err(|e| e.to_string())?;
+    let design = DesignCatalog
+        .find(devices, copies)
+        .map_err(|e| e.to_string())?;
     let config = QosConfig {
         scheme: flash_qos::decluster::DesignTheoretic::new(design),
         accesses: 1,
@@ -172,7 +203,13 @@ fn cmd_analyze(opts: &Options) -> Result<(), String> {
     println!("\nQoS guarantee: {limit} requests per {interval_ms} ms interval\n");
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>11}",
-        "interval", "requests", "qos avg ms", "qos max ms", "orig avg ms", "orig max ms", "% delayed"
+        "interval",
+        "requests",
+        "qos avg ms",
+        "qos max ms",
+        "orig avg ms",
+        "orig max ms",
+        "% delayed"
     );
     for i in 0..trace.num_intervals() {
         println!(
@@ -194,7 +231,162 @@ fn cmd_analyze(opts: &Options) -> Result<(), String> {
         qos.avg_delay_ms()
     );
     if !qos.matched_fraction.is_empty() {
-        println!("FIM re-match average: {:.1}%", 100.0 * qos.avg_matched_fraction());
+        println!(
+            "FIM re-match average: {:.1}%",
+            100.0 * qos.avg_matched_fraction()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    use flash_qos::flashsim::time::BASE_INTERVAL_NS;
+
+    let devices: usize = require_num(opts, "devices")?;
+    let copies: usize = get_num(opts, "copies", 3)?;
+    let accesses: usize = get_num(opts, "accesses", 1)?;
+    let workers: usize = get_num(opts, "workers", 4)?;
+    let submitters: usize = get_num(opts, "submitters", 3)?;
+    let windows: u64 = get_num(opts, "windows", 500)?;
+    let epsilon: f64 = get_num(opts, "epsilon", 0.0)?;
+    let queue_depth: usize = get_num(opts, "queue-depth", 64)?;
+    let seed: u64 = get_num(opts, "seed", 0x5EED)?;
+    let mode = match opts.get("mode").map(String::as_str) {
+        None | Some("flow") => AssignmentMode::OptimalFlow,
+        Some("eft") => AssignmentMode::Eft,
+        Some(other) => return Err(format!("--mode: unknown mode '{other}' (flow|eft)")),
+    };
+    if workers == 0 || submitters == 0 || windows == 0 {
+        return Err("--workers, --submitters and --windows must be positive".into());
+    }
+
+    let design = DesignCatalog
+        .find(devices, copies)
+        .map_err(|e| e.to_string())?;
+    let qos = QosConfig {
+        scheme: flash_qos::decluster::DesignTheoretic::new(design),
+        accesses,
+        interval_ns: accesses as u64 * BASE_INTERVAL_NS,
+        epsilon,
+        policy: OverloadPolicy::Delay,
+        service_ns: BLOCK_READ_NS,
+    };
+    qos.validate().map_err(|e| e.to_string())?;
+    let limit = qos.request_limit();
+    let pool = AllocationScheme::num_buckets(&qos.scheme) as u64;
+    let interval_ns = qos.interval_ns;
+    let submitters = submitters.min(limit);
+
+    let server = QosServer::new(
+        ServerConfig::new(qos)
+            .with_workers(workers)
+            .with_queue_depth(queue_depth)
+            .with_assignment(mode),
+    )?;
+
+    // Split the S(M) budget across one tenant per submitter thread and give
+    // each tenant its own synthetic timestamped trace at exactly its
+    // reserved rate.
+    let mut plan = Vec::with_capacity(submitters);
+    for s in 0..submitters {
+        let reserved = limit / submitters + usize::from(s < limit % submitters);
+        plan.push((s as u64 + 1, reserved));
+    }
+    for &(tenant, reserved) in &plan {
+        server
+            .register(tenant, reserved, OverloadPolicy::Delay)
+            .map_err(|e| e.to_string())?;
+    }
+    println!(
+        "serving {windows} windows of {:.3} ms on a ({devices},{copies},1) array: \
+         S({accesses}) = {limit}, {} tenants, {} workers, {:?} assignment",
+        interval_ns as f64 / 1e6,
+        plan.len(),
+        workers.min(devices),
+        mode,
+    );
+
+    let wall = std::time::Instant::now();
+    let threads: Vec<_> = plan
+        .iter()
+        .map(|&(tenant, reserved)| {
+            let mut handle = server.handle();
+            let trace = SyntheticConfig {
+                blocks_per_interval: reserved,
+                interval_ns,
+                total_requests: reserved * windows as usize,
+                block_pool: pool,
+                seed: seed ^ tenant,
+            }
+            .generate();
+            std::thread::spawn(move || {
+                for r in &trace.records {
+                    handle.submit(tenant, r.lbn, r.arrival_ns);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join()
+            .map_err(|_| "submitter thread panicked".to_string())?;
+    }
+    let m = server.finish();
+    let wall = wall.elapsed();
+
+    println!();
+    println!(
+        "served {} requests in {:.1} ms wall clock ({:.0} req/s)",
+        m.served,
+        wall.as_secs_f64() * 1e3,
+        m.served as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "admitted {} (overflow {}, delayed {}), rejected {}, windows sealed {}",
+        m.admitted_total(),
+        m.overflow,
+        m.delayed,
+        m.rejected,
+        m.windows_sealed,
+    );
+    println!(
+        "simulated latency: p50 ≤ {:.4} ms, p99 ≤ {:.4} ms, max {:.4} ms, mean {:.4} ms",
+        m.p50_latency_ns as f64 / 1e6,
+        m.p99_latency_ns as f64 / 1e6,
+        m.max_latency_ns as f64 / 1e6,
+        m.mean_latency_ns / 1e6,
+    );
+    println!(
+        "busiest window: {} guaranteed (limit {limit}), {} total",
+        m.max_window_guaranteed, m.max_window_total,
+    );
+    println!(
+        "\n{:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
+        "tenant", "reserved", "admitted", "delayed", "rejected", "served", "violations"
+    );
+    for t in &m.tenants {
+        println!(
+            "{:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
+            t.tenant,
+            t.reserved,
+            t.admitted + t.overflow,
+            t.delayed,
+            t.rejected,
+            t.served,
+            t.violations,
+        );
+    }
+    println!(
+        "\ndeadline audit: {} violations total, {} among guaranteed admissions {}",
+        m.deadline_violations,
+        m.guaranteed_violations,
+        if m.guaranteed_violations == 0 {
+            "✓"
+        } else {
+            "✗ GUARANTEE BROKEN"
+        },
+    );
+    if m.guaranteed_violations != 0 {
+        return Err("deterministic guarantee violated".into());
     }
     Ok(())
 }

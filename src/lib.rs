@@ -21,6 +21,7 @@
 //! | [`decluster`] | `fqos-decluster` | allocation schemes (design-theoretic, RAID-1 × 2, RDA, partitioned, periodic, orthogonal) and retrieval algorithms |
 //! | [`fim`] | `fqos-fim` | Apriori / Eclat / FP-Growth miners and the design-block matcher |
 //! | [`qos`] | `fqos-core` | admission control, online + interval schedulers, the end-to-end pipeline |
+//! | [`server`] | `fqos-server` | concurrent multi-tenant serving engine: thread-safe admission, interval-aligned dispatch, worker pool, metrics |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,9 @@ pub use fqos_traces as traces;
 /// The QoS framework itself (re-export of `fqos-core`).
 pub use fqos_core as qos;
 
+/// The concurrent online serving engine (re-export of `fqos-server`).
+pub use fqos_server as server;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use fqos_core::{
@@ -61,5 +65,8 @@ pub mod prelude {
     };
     pub use fqos_designs::{Design, DesignCatalog, RetrievalGuarantee, RotatedDesign};
     pub use fqos_flashsim::{CalibratedSsd, FlashArray, IoRequest, BLOCK_READ_NS};
+    pub use fqos_server::{
+        AssignmentMode, MetricsSnapshot, QosServer, ServerConfig, SubmitOutcome, SubmitterHandle,
+    };
     pub use fqos_traces::{models, SyntheticConfig, Trace, TraceRecord};
 }

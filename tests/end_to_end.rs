@@ -16,8 +16,12 @@ fn mini_exchange() -> Trace {
 }
 
 fn mini_tpce() -> Trace {
-    models::tpce(TpceConfig { part_ns: 100_000_000, rate_per_s: 15_000.0, seed: 0x7C })
-        .generate()
+    models::tpce(TpceConfig {
+        part_ns: 100_000_000,
+        rate_per_s: 15_000.0,
+        seed: 0x7C,
+    })
+    .generate()
 }
 
 #[test]
@@ -30,8 +34,15 @@ fn deterministic_guarantee_holds_on_exchange_model() {
     assert_eq!(report.completed(), trace.len() as u64);
     assert_eq!(report.total_response.max_ns(), service);
     // Overload exists and is absorbed as bounded delay.
-    assert!(report.delayed_pct() > 0.0, "model should produce some contention");
-    assert!(report.delayed_pct() < 50.0, "delayed = {}", report.delayed_pct());
+    assert!(
+        report.delayed_pct() > 0.0,
+        "model should produce some contention"
+    );
+    assert!(
+        report.delayed_pct() < 50.0,
+        "delayed = {}",
+        report.delayed_pct()
+    );
 }
 
 #[test]
@@ -84,11 +95,21 @@ fn table3_shape_holds() {
         .with_mapping(MappingStrategy::Modulo);
 
     let design = pipeline.run_interval().run(&trace);
-    let chained = pipeline.run_interval().run_baseline(&trace, &Raid1Chained::paper());
-    let mirrored = pipeline.run_interval().run_baseline(&trace, &Raid1Mirrored::paper());
+    let chained = pipeline
+        .run_interval()
+        .run_baseline(&trace, &Raid1Chained::paper());
+    let mirrored = pipeline
+        .run_interval()
+        .run_baseline(&trace, &Raid1Mirrored::paper());
 
-    assert!(design.total_response.max_ns() <= interval_ns, "design violated");
-    assert!(chained.total_response.max_ns() > interval_ns, "chained should violate");
+    assert!(
+        design.total_response.max_ns() <= interval_ns,
+        "design violated"
+    );
+    assert!(
+        chained.total_response.max_ns() > interval_ns,
+        "chained should violate"
+    );
     assert!(
         mirrored.total_response.max_ns() > chained.total_response.max_ns(),
         "mirrored ({}) should be worse than chained ({})",
