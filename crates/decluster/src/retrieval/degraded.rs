@@ -8,7 +8,7 @@
 //! failed devices' load.
 
 use fqos_designs::DeviceId;
-use fqos_maxflow::{RetrievalNetwork, RetrievalSchedule};
+use fqos_maxflow::{IncrementalRetrieval, RetrievalNetwork, RetrievalSchedule};
 
 /// Outcome of a degraded-mode schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +45,113 @@ pub fn degraded_retrieval(
     let refs: Vec<&[DeviceId]> = served_replicas.iter().map(|r| r.as_slice()).collect();
     let schedule = RetrievalNetwork::new(devices).optimal_schedule(&refs);
     DegradedSchedule { schedule, lost }
+}
+
+/// Outcome of one [`DegradedWindow::try_add`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedAdmit {
+    /// Admitted: the whole window remains schedulable within the access
+    /// budget over the surviving devices.
+    Admitted,
+    /// The request has a live replica, but admitting it would push some
+    /// surviving device past the access budget.
+    Infeasible,
+    /// Every replica of the request sits on a failed device — within a
+    /// `c`-copy scheme this can only happen once ≥ `c` co-hosting devices
+    /// are down (beyond the design's `c − 1` tolerance).
+    Unavailable,
+}
+
+/// Incremental degraded-mode feasibility for one serving window.
+///
+/// The online serving path admits requests one at a time and needs the
+/// degraded analogue of [`IncrementalRetrieval`]: the same re-augmenting
+/// max-flow schedule, but with failed devices excluded from the bipartite
+/// graph, exactly as [`degraded_retrieval`] excludes them for a batch.
+/// Requests whose every replica is down are refused (`Unavailable`), never
+/// silently dropped — the caller decides whether to delay or reject.
+#[derive(Debug, Clone)]
+pub struct DegradedWindow {
+    inc: IncrementalRetrieval,
+    failed: Vec<bool>,
+    live_devices: usize,
+}
+
+impl DegradedWindow {
+    /// Feasibility state for one window over `devices` devices with a
+    /// per-device budget of `accesses`, with `failed` devices down.
+    pub fn new(devices: usize, accesses: usize, failed: &[bool]) -> Self {
+        assert_eq!(failed.len(), devices);
+        DegradedWindow {
+            inc: IncrementalRetrieval::new(devices, accesses),
+            live_devices: failed.iter().filter(|&&f| !f).count(),
+            failed: failed.to_vec(),
+        }
+    }
+
+    /// Number of admitted requests.
+    pub fn len(&self) -> usize {
+        self.inc.len()
+    }
+
+    /// True if no request has been admitted.
+    pub fn is_empty(&self) -> bool {
+        self.inc.is_empty()
+    }
+
+    /// Surviving (non-failed) device count.
+    pub fn live_devices(&self) -> usize {
+        self.live_devices
+    }
+
+    /// The degraded per-window capacity bound: with `f` devices down, no
+    /// window can schedule more than `M · (N − f)` requests. The caller
+    /// tightens its aggregate admission limit to
+    /// `min(S(M), degraded_limit())` while any device is down.
+    pub fn degraded_limit(&self) -> usize {
+        self.inc.accesses() * self.live_devices
+    }
+
+    /// True iff `replicas` mentions at least one failed device (the request
+    /// would be re-routed onto survivors if admitted).
+    pub fn touches_failed(&self, replicas: &[DeviceId]) -> bool {
+        replicas.iter().any(|&d| self.failed[d])
+    }
+
+    /// Try to admit one request, scheduling it on a surviving replica.
+    pub fn try_add(&mut self, replicas: &[DeviceId]) -> DegradedAdmit {
+        if !self.touches_failed(replicas) {
+            // Fast path: all replicas live, no filtering allocation.
+            return if self.inc.try_add(replicas) {
+                DegradedAdmit::Admitted
+            } else {
+                DegradedAdmit::Infeasible
+            };
+        }
+        let live: Vec<DeviceId> = replicas
+            .iter()
+            .copied()
+            .filter(|&d| !self.failed[d])
+            .collect();
+        if live.is_empty() {
+            DegradedAdmit::Unavailable
+        } else if self.inc.try_add(&live) {
+            DegradedAdmit::Admitted
+        } else {
+            DegradedAdmit::Infeasible
+        }
+    }
+
+    /// Device assignment of every admitted request, in admission order.
+    /// Never names a failed device.
+    pub fn assignments(&self) -> Vec<DeviceId> {
+        self.inc.assignments()
+    }
+
+    /// Per-device load of the current schedule.
+    pub fn device_loads(&self) -> Vec<usize> {
+        self.inc.device_loads()
+    }
 }
 
 /// The fault-tolerance level of an allocation scheme: the largest `f` such
@@ -134,6 +241,59 @@ mod tests {
             vec![0, 1, 2],
             "the three rotations of block (0,1,2)"
         );
+    }
+
+    #[test]
+    fn degraded_window_matches_batch_schedule() {
+        let s = DesignTheoretic::paper_9_3_1();
+        let mut failed = [false; 9];
+        failed[4] = true;
+        let mut win = DegradedWindow::new(9, 1, &failed);
+        assert_eq!(win.live_devices(), 8);
+        assert_eq!(win.degraded_limit(), 8);
+        for b in 0..5 {
+            assert_eq!(win.try_add(s.replicas(b)), DegradedAdmit::Admitted);
+        }
+        assert_eq!(win.len(), 5);
+        let assign = win.assignments();
+        assert!(assign.iter().all(|&d| d != 4), "never the failed device");
+        for (b, &d) in assign.iter().enumerate() {
+            assert!(s.replicas(b).contains(&d));
+        }
+    }
+
+    #[test]
+    fn degraded_window_refuses_past_the_degraded_budget() {
+        // 3 devices, M = 1, one down: only 2 requests fit however they
+        // replicate — the third is Infeasible, not lost.
+        let mut win = DegradedWindow::new(3, 1, &[false, true, false]);
+        assert_eq!(win.degraded_limit(), 2);
+        assert_eq!(win.try_add(&[0, 1]), DegradedAdmit::Admitted);
+        assert_eq!(win.try_add(&[1, 2]), DegradedAdmit::Admitted);
+        assert_eq!(win.try_add(&[0, 1, 2]), DegradedAdmit::Infeasible);
+        assert_eq!(win.len(), 2);
+    }
+
+    #[test]
+    fn degraded_window_reports_unavailable_buckets() {
+        let mut win = DegradedWindow::new(4, 2, &[true, true, false, false]);
+        assert_eq!(win.try_add(&[0, 1]), DegradedAdmit::Unavailable);
+        assert!(win.is_empty());
+        assert!(win.touches_failed(&[1, 2]));
+        assert!(!win.touches_failed(&[2, 3]));
+        assert_eq!(win.try_add(&[1, 2]), DegradedAdmit::Admitted);
+        assert_eq!(win.assignments(), vec![2]);
+    }
+
+    #[test]
+    fn degraded_window_healthy_equals_incremental() {
+        // With nothing failed the fast path is exact incremental retrieval.
+        let mut win = DegradedWindow::new(2, 1, &[false, false]);
+        assert_eq!(win.try_add(&[0, 1]), DegradedAdmit::Admitted);
+        assert_eq!(win.try_add(&[0]), DegradedAdmit::Admitted);
+        // The flow re-routes the first request to device 1.
+        assert_eq!(win.assignments(), vec![1, 0]);
+        assert_eq!(win.try_add(&[0, 1]), DegradedAdmit::Infeasible);
     }
 
     #[test]

@@ -215,6 +215,13 @@ fn name_seed(name: &str) -> u64 {
     h
 }
 
+/// `PROPTEST_CASES` override, mirroring upstream's environment knob.
+/// Upstream folds it into `Config::default()`; the shim applies it at run
+/// time so suites with an explicit `with_cases` widen under CI too.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
 /// Driver behind the `proptest!` macro: runs `f` for each case with a
 /// deterministic per-case generator, panicking on the first failure.
 pub fn run_property(
@@ -223,13 +230,11 @@ pub fn run_property(
     mut f: impl FnMut(&mut StdRng) -> TestCaseResult,
 ) {
     let base = name_seed(name);
-    for case in 0..config.cases {
+    let cases = env_cases().unwrap_or(config.cases);
+    for case in 0..cases {
         let mut rng = StdRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
         if let Err(e) = f(&mut rng) {
-            panic!(
-                "property `{name}` failed at case {case}/{}: {e}",
-                config.cases
-            );
+            panic!("property `{name}` failed at case {case}/{cases}: {e}");
         }
     }
 }

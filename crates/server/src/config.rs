@@ -1,5 +1,6 @@
 //! Serving-engine configuration.
 
+use crate::fault::FaultSchedule;
 use fqos_core::QosConfig;
 
 /// How the engine assigns an admitted request to one of its `c` replica
@@ -44,6 +45,9 @@ pub struct ServerConfig {
     /// How many windows beyond arrival a `Delay`-policy request may be
     /// pushed before it is rejected outright.
     pub delay_horizon: u64,
+    /// Scripted device failures and recoveries replayed by the fault plane
+    /// (empty = all devices healthy unless faults are injected live).
+    pub fault_schedule: FaultSchedule,
 }
 
 impl ServerConfig {
@@ -57,6 +61,7 @@ impl ServerConfig {
             shards: 8,
             assignment: AssignmentMode::default(),
             delay_horizon: 64,
+            fault_schedule: FaultSchedule::new(),
         }
     }
 
@@ -84,6 +89,12 @@ impl ServerConfig {
         self
     }
 
+    /// Script device failures and recoveries for the fault plane.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.fault_schedule = schedule;
+        self
+    }
+
     /// Validate the composite configuration.
     pub fn validate(&self) -> Result<(), String> {
         self.qos.validate()?;
@@ -103,6 +114,7 @@ impl ServerConfig {
                 WINDOW_RING / 2
             ));
         }
+        self.fault_schedule.validate(self.qos.devices())?;
         Ok(())
     }
 }
@@ -144,5 +156,62 @@ mod tests {
         let mut bad = ServerConfig::new(QosConfig::paper_9_3_1());
         bad.queue_depth = 0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_workers() {
+        let err = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_workers(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("worker"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_queue_depth() {
+        let err = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_queue_depth(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("queue_depth"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_shards() {
+        let mut cfg = ServerConfig::new(QosConfig::paper_9_3_1());
+        cfg.shards = 0;
+        assert!(cfg.validate().unwrap_err().contains("shards"));
+    }
+
+    #[test]
+    fn validate_rejects_delay_horizon_at_or_past_half_the_ring() {
+        // The horizon must stay below WINDOW_RING / 2 so a delayed request
+        // can never land on a slot the dispatcher still owns.
+        for horizon in [WINDOW_RING as u64 / 2, WINDOW_RING as u64, u64::MAX] {
+            let err = ServerConfig::new(QosConfig::paper_9_3_1())
+                .with_delay_horizon(horizon)
+                .validate()
+                .unwrap_err();
+            assert!(err.contains("delay_horizon"), "{err}");
+        }
+        // One below the bound is fine.
+        ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_delay_horizon(WINDOW_RING as u64 / 2 - 1)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fault_events() {
+        // paper_9_3_1 has 9 devices: device 9 does not exist.
+        let err = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_fault_schedule(FaultSchedule::new().fail(9, 5))
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("device 9"), "{err}");
+        ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_fault_schedule(FaultSchedule::new().fail(8, 5).recover(8, 9))
+            .validate()
+            .unwrap();
     }
 }

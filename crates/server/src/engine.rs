@@ -40,9 +40,10 @@
 //! past a handle it has not yet seen.
 
 use crate::config::ServerConfig;
+use crate::fault::{FaultKind, FaultPlane};
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, TenantSnapshot};
 use crate::registry::{RegisterError, Tenant, TenantRegistry};
-use crate::window::WindowRing;
+use crate::window::{AdmitResult, WindowRing};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use fqos_core::{OverloadPolicy, StatisticalCounters};
 use fqos_decluster::sampling::{optimal_retrieval_probabilities, OptimalRetrievalProbabilities};
@@ -105,6 +106,11 @@ pub enum RejectReason {
     WindowFull,
     /// `Delay` policy and every window within the delay horizon is full.
     HorizonExhausted,
+    /// Every replica of the requested block sits on a failed device across
+    /// the admissible horizon: the failure set exceeds the design's `c − 1`
+    /// co-hosting tolerance for this block. The request is refused rather
+    /// than queued on a dead device.
+    ReplicasUnavailable,
     /// The server is shutting down.
     ServerStopping,
 }
@@ -165,6 +171,7 @@ struct Engine {
     cfg: ServerConfig,
     registry: TenantRegistry,
     ring: WindowRing,
+    fault: Arc<FaultPlane>,
     dispatch: Mutex<DispatchState>,
     /// Lock-free mirror of `DispatchState::sealed_through` for fast paths.
     sealed_floor: AtomicU64,
@@ -228,9 +235,16 @@ impl QosServer {
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..workers)
             .map(|_| bounded::<WorkMsg>(cfg.queue_depth))
             .unzip();
+        let fault = Arc::new(FaultPlane::new(devices, cfg.fault_schedule.clone())?);
         let engine = Arc::new(Engine {
             registry: TenantRegistry::new(limit, cfg.shards),
-            ring: WindowRing::new(devices, cfg.qos.accesses, cfg.assignment),
+            ring: WindowRing::new(
+                devices,
+                cfg.qos.accesses,
+                cfg.assignment,
+                Arc::clone(&fault),
+            ),
+            fault,
             dispatch: Mutex::new(DispatchState { sealed_through: 0 }),
             sealed_floor: AtomicU64::new(0),
             max_target: AtomicU64::new(0),
@@ -286,6 +300,36 @@ impl QosServer {
         self.engine.registry.headroom()
     }
 
+    /// The shared device-health plane (fault counters, per-window masks).
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.engine.fault
+    }
+
+    /// Inject a live device failure, effective from the next unsealed
+    /// window. Requests already dispatched to the device stay on the wire;
+    /// requests admitted but not yet sealed are drained and re-dispatched
+    /// to surviving replicas at seal.
+    pub fn inject_fault(&self, device: usize) -> Result<(), String> {
+        self.engine.inject(device, FaultKind::Fail)
+    }
+
+    /// Return a live-failed device to service, effective from the next
+    /// unsealed window.
+    pub fn recover_device(&self, device: usize) -> Result<(), String> {
+        self.engine.inject(device, FaultKind::Recover)
+    }
+
+    /// The per-window guaranteed capacity currently in force: `S(M)` when
+    /// healthy, tightened to the degraded bound `min(S(M), M · live)` while
+    /// any device is down at `window`'s execution interval.
+    pub fn request_limit_at(&self, window: u64) -> usize {
+        let e = &self.engine;
+        let mask = e.fault.admission_mask(window);
+        e.registry
+            .limit()
+            .min(e.fault.degraded_limit(mask, e.cfg.qos.accesses))
+    }
+
     /// Create a submitter handle for one producer thread. Handles must be
     /// closed (or dropped) for the engine to seal past their watermark.
     pub fn handle(&self) -> SubmitterHandle {
@@ -333,6 +377,15 @@ impl QosServer {
 }
 
 impl Engine {
+    /// Apply a live health transition at the next unsealed window. Taking
+    /// the dispatch lock orders the injection against in-flight seals: a
+    /// window is either sealed entirely before the event (its dispatches
+    /// already left) or sees the new mask in its seal-time recheck.
+    fn inject(&self, device: usize, kind: FaultKind) -> Result<(), String> {
+        let ds = self.dispatch.lock();
+        self.fault.inject(device, kind, ds.sealed_through)
+    }
+
     /// Highest window we may seal *up to* (exclusive) right now.
     fn seal_target(&self) -> u64 {
         let handles = self.handles.lock();
@@ -415,6 +468,12 @@ impl Engine {
             max_window_guaranteed: s.max_window_guaranteed.load(Ordering::Relaxed),
             max_window_total: s.max_window_total.load(Ordering::Relaxed),
             windows_sealed: s.windows_sealed.load(Ordering::Relaxed),
+            degraded_windows: self.fault.degraded_windows(),
+            fault_reroutes: self.fault.reroutes(),
+            fault_redispatches: self.fault.redispatches(),
+            fault_overloads: self.fault.overloads(),
+            fault_lost: self.fault.lost(),
+            fault_rejected: self.fault.unavailable_rejects(),
             p50_latency_ns: self.hist.quantile_ns(0.5),
             p99_latency_ns: self.hist.quantile_ns(0.99),
             max_latency_ns: self.hist.max_ns(),
@@ -484,18 +543,27 @@ impl SubmitterHandle {
             OverloadPolicy::Reject => 0,
         };
         let mut admitted_at = None;
+        let mut any_full = false;
         for k in 0..=horizon {
-            if engine
+            match engine
                 .ring
                 .try_admit(window + k, tenant, tenant_rec.reserved, req, replicas)
             {
-                admitted_at = Some(k);
-                break;
-            }
-            if k == 0 {
-                if let Some(out) = self.try_overflow(&tenant_rec, window, req, replicas) {
-                    return out;
+                AdmitResult::Admitted => {
+                    admitted_at = Some(k);
+                    break;
                 }
+                AdmitResult::Full => {
+                    any_full = true;
+                    if k == 0 {
+                        if let Some(out) = self.try_overflow(&tenant_rec, window, req, replicas) {
+                            return out;
+                        }
+                    }
+                }
+                // Every replica down for this window; a later window only
+                // helps if a recovery is scheduled inside the horizon.
+                AdmitResult::Unavailable => {}
             }
         }
         let c = &tenant_rec.counters;
@@ -519,9 +587,15 @@ impl SubmitterHandle {
             None => {
                 c.rejected.fetch_add(1, Ordering::Relaxed);
                 engine.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                let reason = match tenant_rec.policy {
-                    OverloadPolicy::Delay => RejectReason::HorizonExhausted,
-                    OverloadPolicy::Reject => RejectReason::WindowFull,
+                let reason = if any_full {
+                    match tenant_rec.policy {
+                        OverloadPolicy::Delay => RejectReason::HorizonExhausted,
+                        OverloadPolicy::Reject => RejectReason::WindowFull,
+                    }
+                } else {
+                    // Never parked on a dead device: refused outright.
+                    engine.fault.note_unavailable_reject();
+                    RejectReason::ReplicasUnavailable
                 };
                 SubmitOutcome::Rejected(reason)
             }
@@ -553,14 +627,30 @@ impl SubmitterHandle {
         {
             return None;
         }
-        engine
+        if !engine
             .ring
-            .add_overflow(window, tenant_rec.id, req, replicas);
+            .add_overflow(window, tenant_rec.id, req, replicas)
+        {
+            // Every replica down: the statistical path refuses too.
+            return None;
+        }
         tenant_rec.counters.overflow.fetch_add(1, Ordering::Relaxed);
         engine.stats.overflow.fetch_add(1, Ordering::Relaxed);
         engine.max_target.fetch_max(window, Ordering::AcqRel);
         engine.pump();
         Some(SubmitOutcome::Overflow { window })
+    }
+
+    /// Inject a live device failure from this submitter thread (see
+    /// [`QosServer::inject_fault`]).
+    pub fn inject_fault(&self, device: usize) -> Result<(), String> {
+        self.engine.inject(device, FaultKind::Fail)
+    }
+
+    /// Return a live-failed device to service (see
+    /// [`QosServer::recover_device`]).
+    pub fn recover_device(&self, device: usize) -> Result<(), String> {
+        self.engine.inject(device, FaultKind::Recover)
     }
 
     /// Close the handle: the engine may seal all windows this handle could
@@ -858,6 +948,88 @@ mod tests {
             late.submit(1, 0, 0),
             SubmitOutcome::Rejected(RejectReason::ServerStopping)
         );
+    }
+
+    #[test]
+    fn scripted_failure_serves_degraded_without_violations() {
+        use crate::fault::FaultSchedule;
+        let cfg = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_fault_schedule(FaultSchedule::new().fail(0, 3).recover(0, 6));
+        let s = QosServer::new(cfg).unwrap();
+        assert_eq!(s.request_limit_at(0), 5);
+        // paper_9_3_1 has M = 1, so the degraded cap is 8 ≥ S(1) = 5: the
+        // guarantee survives a single failure at full reserved capacity.
+        assert_eq!(s.request_limit_at(4), 5, "degraded bound stays at S(M)");
+        s.register(1, 3, OverloadPolicy::Delay).unwrap();
+        let mut h = s.handle();
+        for w in 0..10u64 {
+            for i in 0..3u64 {
+                assert!(h.submit(1, w * 3 + i, w * BASE_T + i).is_admitted());
+            }
+        }
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.served, 30);
+        assert_eq!(m.guaranteed_violations, 0);
+        assert_eq!(m.deadline_violations, 0);
+        assert_eq!(m.fault_lost, 0);
+        assert!(m.degraded_windows >= 3, "{}", m.degraded_windows);
+        assert!(
+            m.fault_reroutes > 0,
+            "device 0 hosts buckets 0..3's replicas"
+        );
+        assert_eq!(
+            m.fault_redispatches, 0,
+            "scripted faults re-route at admission"
+        );
+    }
+
+    #[test]
+    fn beyond_tolerance_rejects_instead_of_stalling() {
+        use crate::fault::FaultSchedule;
+        // Kill all three replicas of bucket 0 (devices 0, 1, 2 host the
+        // design block's rotations): bucket 0 is unavailable, the engine
+        // must refuse it promptly and keep serving other buckets.
+        let mut schedule = FaultSchedule::new();
+        for d in [0usize, 1, 2] {
+            schedule = schedule.fail(d, 0);
+        }
+        let cfg = ServerConfig::new(QosConfig::paper_9_3_1()).with_fault_schedule(schedule);
+        let s = QosServer::new(cfg).unwrap();
+        s.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut h = s.handle();
+        assert_eq!(
+            h.submit(1, 0, 0),
+            SubmitOutcome::Rejected(RejectReason::ReplicasUnavailable)
+        );
+        // Bucket 20's replicas avoid the dead trio in the (9,3,1) design.
+        let ok = h.submit(1, 20, 0);
+        assert!(ok.is_admitted(), "{ok:?}");
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.fault_rejected, 1);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.fault_lost, 0);
+        assert_eq!(m.served, m.admitted);
+    }
+
+    #[test]
+    fn live_injection_redispatches_inflight_work() {
+        let s = server();
+        s.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut h = s.handle();
+        // Park two requests in window 0, then kill a device before the
+        // window seals: the drain must land them on survivors.
+        assert!(h.submit(1, 0, 0).is_admitted());
+        assert!(h.submit(1, 1, 0).is_admitted());
+        h.inject_fault(0).unwrap();
+        // Advance time so window 0 seals under the new mask.
+        assert!(h.submit(1, 2, 2 * BASE_T).is_admitted());
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.served, 3);
+        assert_eq!(m.fault_lost, 0);
+        assert!(m.degraded_windows > 0);
     }
 
     #[test]

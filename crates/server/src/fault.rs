@@ -1,0 +1,444 @@
+//! Fault injection and the device-health plane.
+//!
+//! An `(N, c, 1)` declustering tolerates any `c − 1` device failures with
+//! zero data loss ([`fqos_decluster::retrieval::degraded`]), and the online
+//! engine must keep its per-interval guarantee through them: a failed
+//! device may never stall a worker queue or silently blow a deadline.
+//!
+//! The [`FaultPlane`] is the engine's shared view of device health, driven
+//! by two sources:
+//!
+//! * a scripted [`FaultSchedule`] of `Fail { device, window }` /
+//!   `Recover { device, window }` events, fixed at server construction
+//!   (deterministic — the test harness and `fqos serve --fault-schedule`
+//!   replay these), and
+//! * live injections ([`crate::QosServer::inject_fault`]), which take
+//!   effect at the next unsealed window.
+//!
+//! Health is resolved **per window**: `mask_at(w)` is the bitmap of devices
+//! down during window `w`. A request admitted into window `t` executes
+//! during window `t + 1`, so admission consults the conservative union
+//! `admission_mask(t) = mask_at(t) | mask_at(t + 1)` — a device that is
+//! down on arrival *or* scheduled to be down at execution time is excluded
+//! from the feasibility graph. With a scripted schedule this makes degraded
+//! serving loss-free by construction: the seal-time health view is always a
+//! subset of the admission-time view, so every admitted request still owns
+//! a live replica and the degraded max-flow bound keeps each survivor
+//! within its `M`-access budget. Live injections can land *between*
+//! admission and seal; the window ring then drains the failing device at
+//! seal and re-dispatches onto surviving replicas within the same interval
+//! (counted in [`FaultPlane::redispatches`]).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Largest device count the health bitmap covers.
+pub const MAX_FAULT_DEVICES: usize = 64;
+
+/// What happens to a device at a scheduled window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The device stops serving at the start of the window.
+    Fail,
+    /// The device returns to service at the start of the window.
+    Recover,
+}
+
+/// One scripted health transition: `device` changes state at the start of
+/// window `window`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Device index.
+    pub device: usize,
+    /// Window at whose start the transition applies.
+    pub window: u64,
+    /// Fail or recover.
+    pub kind: FaultKind,
+}
+
+/// A scripted sequence of device failures and recoveries.
+///
+/// ```
+/// use fqos_server::FaultSchedule;
+/// let s = FaultSchedule::new().fail(0, 20).recover(0, 40);
+/// assert_eq!(s, FaultSchedule::parse("fail:0@20,recover:0@40").unwrap());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Empty schedule: all devices healthy forever.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Script `device` to fail at the start of `window`.
+    pub fn fail(mut self, device: usize, window: u64) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            window,
+            kind: FaultKind::Fail,
+        });
+        self
+    }
+
+    /// Script `device` to recover at the start of `window`.
+    pub fn recover(mut self, device: usize, window: u64) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            window,
+            kind: FaultKind::Recover,
+        });
+        self
+    }
+
+    /// True when no events are scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scripted events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Parse a schedule spec: comma- or whitespace-separated
+    /// `fail:<device>@<window>` / `recover:<device>@<window>` tokens.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut schedule = FaultSchedule::new();
+        for token in spec.split([',', ' ', '\n', '\t']).filter(|t| !t.is_empty()) {
+            let (kind, rest) = token.split_once(':').ok_or_else(|| {
+                format!("'{token}': expected fail:<dev>@<win> or recover:<dev>@<win>")
+            })?;
+            let (dev, win) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("'{token}': missing @<window>"))?;
+            let device: usize = dev
+                .parse()
+                .map_err(|_| format!("'{token}': bad device '{dev}'"))?;
+            let window: u64 = win
+                .parse()
+                .map_err(|_| format!("'{token}': bad window '{win}'"))?;
+            schedule = match kind {
+                "fail" => schedule.fail(device, window),
+                "recover" => schedule.recover(device, window),
+                other => return Err(format!("'{token}': unknown event '{other}'")),
+            };
+        }
+        Ok(schedule)
+    }
+
+    /// Check every event against the deployment's device count.
+    pub fn validate(&self, devices: usize) -> Result<(), String> {
+        if devices > MAX_FAULT_DEVICES {
+            return Err(format!(
+                "fault plane covers at most {MAX_FAULT_DEVICES} devices, deployment has {devices}"
+            ));
+        }
+        for e in &self.events {
+            if e.device >= devices {
+                return Err(format!(
+                    "fault event names device {} but the array has only {devices}",
+                    e.device
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Events plus the timeline compiled from them: `timeline[i] = (w, mask)`
+/// means `mask` holds for windows in `w .. timeline[i+1].0`.
+#[derive(Debug, Default)]
+struct PlaneInner {
+    events: Vec<FaultEvent>,
+    timeline: Vec<(u64, u64)>,
+}
+
+impl PlaneInner {
+    fn recompile(&mut self) {
+        // Stable by window: same-window events apply in injection order.
+        self.events.sort_by_key(|e| e.window);
+        self.timeline.clear();
+        let mut mask = 0u64;
+        for e in &self.events {
+            match e.kind {
+                FaultKind::Fail => mask |= 1 << e.device,
+                FaultKind::Recover => mask &= !(1 << e.device),
+            }
+            match self.timeline.last_mut() {
+                Some(last) if last.0 == e.window => last.1 = mask,
+                _ => self.timeline.push((e.window, mask)),
+            }
+        }
+    }
+
+    fn mask_at(&self, window: u64) -> u64 {
+        match self.timeline.partition_point(|&(w, _)| w <= window) {
+            0 => 0,
+            i => self.timeline[i - 1].1,
+        }
+    }
+}
+
+/// Shared device-health bitmap plus the degraded-serving audit counters.
+///
+/// Owned by the engine, consulted by the window ring on every admission and
+/// seal. All counter reads/writes are relaxed atomics; the event timeline
+/// sits behind one small mutex with a lock-free fast path while no fault
+/// has ever been scripted or injected.
+#[derive(Debug)]
+pub struct FaultPlane {
+    devices: usize,
+    inner: Mutex<PlaneInner>,
+    /// False until the first event exists: lets the healthy hot path skip
+    /// the timeline lock entirely.
+    any: AtomicBool,
+    degraded_windows: AtomicU64,
+    reroutes: AtomicU64,
+    redispatches: AtomicU64,
+    overloads: AtomicU64,
+    lost: AtomicU64,
+    unavailable_rejects: AtomicU64,
+}
+
+impl FaultPlane {
+    /// Build the plane for `devices` devices from a scripted schedule.
+    pub fn new(devices: usize, schedule: FaultSchedule) -> Result<Self, String> {
+        schedule.validate(devices)?;
+        let mut inner = PlaneInner {
+            events: schedule.events,
+            timeline: Vec::new(),
+        };
+        inner.recompile();
+        let any = !inner.events.is_empty();
+        Ok(FaultPlane {
+            devices,
+            inner: Mutex::new(inner),
+            any: AtomicBool::new(any),
+            degraded_windows: AtomicU64::new(0),
+            reroutes: AtomicU64::new(0),
+            redispatches: AtomicU64::new(0),
+            overloads: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            unavailable_rejects: AtomicU64::new(0),
+        })
+    }
+
+    /// Device count covered by the bitmap.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Bitmap of devices down during window `window` (bit `d` set = device
+    /// `d` failed).
+    pub fn mask_at(&self, window: u64) -> u64 {
+        if !self.any.load(Ordering::Acquire) {
+            return 0;
+        }
+        self.inner.lock().mask_at(window)
+    }
+
+    /// Conservative health view for admitting into window `window`:
+    /// excludes devices down on arrival (`window`) *or* during the
+    /// execution interval (`window + 1`).
+    pub fn admission_mask(&self, window: u64) -> u64 {
+        if !self.any.load(Ordering::Acquire) {
+            return 0;
+        }
+        let inner = self.inner.lock();
+        inner.mask_at(window) | inner.mask_at(window + 1)
+    }
+
+    /// Inject a live health transition taking effect at window `window`.
+    pub fn inject(&self, device: usize, kind: FaultKind, window: u64) -> Result<(), String> {
+        if device >= self.devices {
+            return Err(format!(
+                "device {device} out of range (array has {} devices)",
+                self.devices
+            ));
+        }
+        let mut inner = self.inner.lock();
+        inner.events.push(FaultEvent {
+            device,
+            window,
+            kind,
+        });
+        inner.recompile();
+        self.any.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Devices down during `window`, as indices.
+    pub fn failed_devices(&self, window: u64) -> Vec<usize> {
+        let mask = self.mask_at(window);
+        (0..self.devices).filter(|d| mask >> d & 1 == 1).collect()
+    }
+
+    /// The tightened per-window capacity while `mask` is down:
+    /// `M · live_devices` — the degraded analogue of `S(M)` the admission
+    /// path enforces via the degraded feasibility graph.
+    pub fn degraded_limit(&self, mask: u64, accesses: usize) -> usize {
+        accesses * (self.devices - mask.count_ones() as usize)
+    }
+
+    pub(crate) fn note_degraded_window(&self) {
+        self.degraded_windows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_reroute(&self) {
+        self.reroutes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_redispatch(&self) {
+        self.redispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_overload(&self) {
+        self.overloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_lost(&self) {
+        self.lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_unavailable_reject(&self) {
+        self.unavailable_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sealed windows whose execution interval had at least one device down.
+    pub fn degraded_windows(&self) -> u64 {
+        self.degraded_windows.load(Ordering::Relaxed)
+    }
+
+    /// Admitted requests steered away from a failed replica at admission
+    /// time (the request named a down device; the feasibility graph routed
+    /// it to a survivor).
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes.load(Ordering::Relaxed)
+    }
+
+    /// Requests drained off a failing device at window seal and
+    /// re-dispatched to a surviving replica within the same interval (live
+    /// injections landing between admission and seal).
+    pub fn redispatches(&self) -> u64 {
+        self.redispatches.load(Ordering::Relaxed)
+    }
+
+    /// Degraded-window seal rebuilds that found no `M`-respecting slot for
+    /// a request on any surviving replica and overloaded the least-loaded
+    /// one instead. Can only happen when a *live* injection lands after
+    /// admission and the already-admitted set is infeasible on the
+    /// surviving subgraph; the request may then finish late — every such
+    /// miss shows up in the deadline audit, never hidden. Scripted
+    /// schedules keep this at zero by construction (the admission mask
+    /// already covers the execution interval).
+    pub fn overloads(&self) -> u64 {
+        self.overloads.load(Ordering::Relaxed)
+    }
+
+    /// Admitted requests that could not be served because every replica
+    /// was down at seal time. Zero whenever failures stay within the
+    /// design's `c − 1` tolerance; never silently dropped — always counted
+    /// here and audited by `finish()`.
+    pub fn lost(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected because every replica of the block was down
+    /// across the admissible horizon (≥ `c` co-hosting failures).
+    pub fn unavailable_rejects(&self) -> u64 {
+        self.unavailable_rejects.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_parse_round_trips() {
+        let s = FaultSchedule::parse("fail:2@10, recover:2@20 fail:0@15").unwrap();
+        assert_eq!(
+            s,
+            FaultSchedule::new().fail(2, 10).recover(2, 20).fail(0, 15)
+        );
+        assert!(FaultSchedule::parse("").unwrap().is_empty());
+        assert!(FaultSchedule::parse("explode:1@2").is_err());
+        assert!(FaultSchedule::parse("fail:x@2").is_err());
+        assert!(FaultSchedule::parse("fail:1").is_err());
+        assert!(FaultSchedule::parse("1@2").is_err());
+    }
+
+    #[test]
+    fn schedule_validation_checks_device_range() {
+        let s = FaultSchedule::new().fail(9, 5);
+        assert!(s.validate(9).is_err());
+        assert!(s.validate(10).is_ok());
+        assert!(FaultSchedule::new().validate(65).is_err());
+    }
+
+    #[test]
+    fn masks_follow_the_timeline() {
+        let plane = FaultPlane::new(
+            4,
+            FaultSchedule::new()
+                .fail(1, 10)
+                .fail(3, 12)
+                .recover(1, 20)
+                .recover(3, 20),
+        )
+        .unwrap();
+        assert_eq!(plane.mask_at(0), 0);
+        assert_eq!(plane.mask_at(9), 0);
+        assert_eq!(plane.mask_at(10), 0b0010);
+        assert_eq!(plane.mask_at(11), 0b0010);
+        assert_eq!(plane.mask_at(12), 0b1010);
+        assert_eq!(plane.mask_at(19), 0b1010);
+        assert_eq!(plane.mask_at(20), 0);
+        assert_eq!(plane.failed_devices(13), vec![1, 3]);
+        assert_eq!(plane.degraded_limit(plane.mask_at(13), 2), 4);
+    }
+
+    #[test]
+    fn admission_mask_is_the_arrival_exec_union() {
+        // Fail at 10: window 9 admissions execute during 10, so window 9
+        // already sees the device as down. Recover at 20: window 19
+        // admissions execute during 20 but stay conservative.
+        let plane = FaultPlane::new(2, FaultSchedule::new().fail(0, 10).recover(0, 20)).unwrap();
+        assert_eq!(plane.admission_mask(8), 0);
+        assert_eq!(plane.admission_mask(9), 1);
+        assert_eq!(plane.admission_mask(15), 1);
+        assert_eq!(plane.admission_mask(19), 1);
+        assert_eq!(plane.admission_mask(20), 0);
+    }
+
+    #[test]
+    fn healthy_plane_is_lock_free_zero() {
+        let plane = FaultPlane::new(8, FaultSchedule::new()).unwrap();
+        assert_eq!(plane.mask_at(123), 0);
+        assert_eq!(plane.admission_mask(u64::MAX - 1), 0);
+        assert!(plane.failed_devices(7).is_empty());
+    }
+
+    #[test]
+    fn live_injection_extends_the_timeline() {
+        let plane = FaultPlane::new(3, FaultSchedule::new().fail(2, 5)).unwrap();
+        plane.inject(1, FaultKind::Fail, 7).unwrap();
+        plane.inject(2, FaultKind::Recover, 8).unwrap();
+        assert_eq!(plane.mask_at(6), 0b100);
+        assert_eq!(plane.mask_at(7), 0b110);
+        assert_eq!(plane.mask_at(8), 0b010);
+        assert!(plane.inject(3, FaultKind::Fail, 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_events_are_idempotent() {
+        let plane = FaultPlane::new(2, FaultSchedule::new().fail(0, 3).fail(0, 4)).unwrap();
+        assert_eq!(plane.mask_at(4), 1);
+        plane.inject(0, FaultKind::Recover, 9).unwrap();
+        assert_eq!(plane.mask_at(9), 0);
+    }
+}

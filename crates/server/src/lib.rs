@@ -36,11 +36,13 @@
 
 pub mod config;
 mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod registry;
 mod window;
 
 pub use config::{AssignmentMode, ServerConfig, WINDOW_RING};
 pub use engine::{QosServer, RejectReason, SubmitOutcome, SubmitterHandle};
+pub use fault::{FaultEvent, FaultKind, FaultPlane, FaultSchedule};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, TenantCounters, TenantSnapshot};
 pub use registry::{RegisterError, Tenant, TenantRegistry};

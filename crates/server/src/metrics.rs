@@ -160,6 +160,27 @@ pub struct MetricsSnapshot {
     pub max_window_total: u64,
     /// Windows sealed so far.
     pub windows_sealed: u64,
+    /// Sealed windows whose execution interval had ≥ 1 device down.
+    pub degraded_windows: u64,
+    /// Admitted requests steered away from a failed replica at admission.
+    pub fault_reroutes: u64,
+    /// Requests drained off a failing device at seal and re-dispatched to
+    /// a surviving replica within the same interval.
+    pub fault_redispatches: u64,
+    /// Seal-time rebuilds that found no `M`-respecting slot on any
+    /// survivor and overloaded the least-loaded live replica instead —
+    /// only reachable when a live injection makes an already-admitted
+    /// window infeasible; the resulting late finishes are charged to the
+    /// deadline audit. Zero for scripted schedules by construction.
+    pub fault_overloads: u64,
+    /// Admitted requests unservable because every replica was down at seal
+    /// (only possible past the design's `c − 1` tolerance, or when a live
+    /// injection lands between admission and seal). Counted, never
+    /// silently dropped: `served + fault_lost = admitted_total`.
+    pub fault_lost: u64,
+    /// Submissions refused because every replica of the block was down
+    /// across the admissible horizon.
+    pub fault_rejected: u64,
     /// Served-request latency: median (bucket-resolution upper bound).
     pub p50_latency_ns: u64,
     /// Served-request latency: 99th percentile (bucket-resolution).
@@ -220,6 +241,60 @@ mod tests {
         assert_eq!(h.quantile_ns(0.5), 0);
         assert_eq!(h.mean_ns(), 0.0);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero_at_every_q() {
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0, "q = {q}");
+        }
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn quantile_zero_is_the_lowest_occupied_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(700); // bucket (512, 1024]
+        h.record(100_000);
+        // q = 0 still needs one observation: the smallest bucket's edge.
+        assert_eq!(h.quantile_ns(0.0), 1024);
+    }
+
+    #[test]
+    fn quantile_one_covers_the_maximum() {
+        let h = LatencyHistogram::new();
+        for v in [3, 900, 40_000] {
+            h.record(v);
+        }
+        let p100 = h.quantile_ns(1.0);
+        assert!(p100 >= h.max_ns(), "{p100} < {}", h.max_ns());
+        assert_eq!(p100, 65_536, "upper edge of max's bucket");
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile_ns(7.5), p100);
+        assert_eq!(h.quantile_ns(-1.0), h.quantile_ns(0.0));
+    }
+
+    #[test]
+    fn single_bucket_histogram_is_flat_across_quantiles() {
+        let h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(1500); // all in (1024, 2048]
+        }
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 2048, "q = {q}");
+        }
+        assert_eq!(h.max_ns(), 1500);
+        assert_eq!(h.nonzero_buckets(), vec![(2048, 10)]);
+    }
+
+    #[test]
+    fn zero_only_histogram_reports_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.quantile_ns(0.0), 0);
+        assert_eq!(h.quantile_ns(1.0), 0);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1)]);
     }
 
     #[test]

@@ -134,6 +134,14 @@ impl TenantRegistry {
         self.admission.lock().total()
     }
 
+    /// The aggregate reservation ceiling `S(M)` this registry admits up to
+    /// (the healthy bound; per-window capacity tightens below it while
+    /// devices are down — see [`crate::FaultPlane::degraded_limit`]).
+    pub fn limit(&self) -> usize {
+        let admission = self.admission.lock();
+        admission.total() + admission.headroom()
+    }
+
     /// Remaining admittable reservation.
     pub fn headroom(&self) -> usize {
         self.admission.lock().headroom()
@@ -176,6 +184,9 @@ mod tests {
         assert!(reg.deregister(2).is_some());
         reg.register(4, 2, OverloadPolicy::Delay).unwrap();
         assert_eq!(reg.headroom(), 0);
+        assert_eq!(reg.limit(), 5, "limit is invariant under churn");
+        reg.deregister(1);
+        assert_eq!(reg.limit(), 5);
     }
 
     #[test]

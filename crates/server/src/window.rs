@@ -9,15 +9,30 @@
 //! window's guaranteed requests always meet their deadline — regardless of
 //! how submitter threads interleave.
 //!
+//! # Degraded mode
+//!
+//! Every slot captures the [`FaultPlane`]'s conservative health view when
+//! it opens: devices down on arrival or during the execution interval are
+//! excluded from the feasibility graph ([`DegradedWindow`]), so admission
+//! re-routes blocks away from failed devices and tightens the window's
+//! capacity to the degraded bound `M · live`. At seal the *execution*
+//! health view is re-read: items still assigned to a device that failed
+//! meanwhile (live injection between admission and seal) are drained and
+//! re-dispatched onto a surviving replica within the same interval; an
+//! item with no surviving replica is counted lost — never silently
+//! dropped.
+//!
 //! Slots are reused modulo [`WINDOW_RING`]; the engine's watermark
 //! protocol guarantees a slot is sealed and drained before its index comes
 //! around again (enforced here with an occupancy check).
 
 use crate::config::{AssignmentMode, WINDOW_RING};
+use crate::fault::FaultPlane;
+use fqos_decluster::retrieval::{DegradedAdmit, DegradedWindow};
 use fqos_flashsim::IoRequest;
-use fqos_maxflow::IncrementalRetrieval;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A request parked in a window awaiting seal.
 #[derive(Debug, Clone)]
@@ -29,14 +44,39 @@ struct Parked {
     assigned: Option<usize>,
 }
 
+/// Outcome of one [`WindowRing::try_admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitResult {
+    /// Admitted into the window's guaranteed set.
+    Admitted,
+    /// The window (or the tenant's reservation in it) is full; a later
+    /// window may still take the request.
+    Full,
+    /// Every replica of the block is on a failed device for this window
+    /// (≥ `c` co-hosting failures); delaying helps only if a recovery is
+    /// scheduled within the horizon.
+    Unavailable,
+}
+
+impl AdmitResult {
+    /// True for the admitted variant (the engine matches variants directly;
+    /// the tests read better with a predicate).
+    #[cfg(test)]
+    pub fn is_admitted(self) -> bool {
+        self == AdmitResult::Admitted
+    }
+}
+
 /// Mutable state of one in-flight window.
 #[derive(Debug)]
 struct SlotState {
     /// Which window this slot currently holds; meaningful iff `active`.
     window: u64,
     active: bool,
-    /// Exact feasibility state (flow mode only).
-    flow: Option<IncrementalRetrieval>,
+    /// Health bitmap captured when the slot opened (admission view).
+    admit_mask: u64,
+    /// Exact degraded feasibility state (flow mode only).
+    flow: Option<DegradedWindow>,
     /// Per-device guaranteed load (EFT mode; flow mode derives it at seal).
     loads: Vec<u32>,
     /// Per-tenant admitted count, enforcing each tenant's reservation.
@@ -46,11 +86,22 @@ struct SlotState {
 }
 
 impl SlotState {
-    fn reset_for(&mut self, window: u64, devices: usize, accesses: usize, mode: AssignmentMode) {
+    fn reset_for(
+        &mut self,
+        window: u64,
+        devices: usize,
+        accesses: usize,
+        mode: AssignmentMode,
+        admit_mask: u64,
+    ) {
         self.window = window;
         self.active = true;
+        self.admit_mask = admit_mask;
         self.flow = match mode {
-            AssignmentMode::OptimalFlow => Some(IncrementalRetrieval::new(devices, accesses)),
+            AssignmentMode::OptimalFlow => {
+                let failed: Vec<bool> = (0..devices).map(|d| admit_mask >> d & 1 == 1).collect();
+                Some(DegradedWindow::new(devices, accesses, &failed))
+            }
             AssignmentMode::Eft => None,
         };
         self.loads.clear();
@@ -85,16 +136,23 @@ pub(crate) struct WindowRing {
     devices: usize,
     accesses: usize,
     mode: AssignmentMode,
+    fault: Arc<FaultPlane>,
 }
 
 impl WindowRing {
-    pub fn new(devices: usize, accesses: usize, mode: AssignmentMode) -> Self {
+    pub fn new(
+        devices: usize,
+        accesses: usize,
+        mode: AssignmentMode,
+        fault: Arc<FaultPlane>,
+    ) -> Self {
         WindowRing {
             slots: (0..WINDOW_RING)
                 .map(|_| {
                     Mutex::new(SlotState {
                         window: 0,
                         active: false,
+                        admit_mask: 0,
                         flow: None,
                         loads: Vec::new(),
                         per_tenant: HashMap::new(),
@@ -106,6 +164,7 @@ impl WindowRing {
             devices,
             accesses,
             mode,
+            fault,
         }
     }
 
@@ -119,7 +178,8 @@ impl WindowRing {
     fn locked(&self, window: u64) -> parking_lot::MutexGuard<'_, SlotState> {
         let mut s = self.slot(window).lock();
         if !s.active {
-            s.reset_for(window, self.devices, self.accesses, self.mode);
+            let mask = self.fault.admission_mask(window);
+            s.reset_for(window, self.devices, self.accesses, self.mode, mask);
         } else if s.window != window {
             assert!(
                 s.window > window,
@@ -139,9 +199,9 @@ impl WindowRing {
     }
 
     /// Try to admit one guaranteed request for `tenant` (with per-interval
-    /// reservation `reserved`) into `window`. Returns `true` iff the tenant
-    /// has reservation left in this window **and** the request fits the
-    /// `M`-access schedule.
+    /// reservation `reserved`) into `window`. Admits iff the tenant has
+    /// reservation left in this window **and** the request fits the
+    /// `M`-access schedule over the devices live for this window.
     pub fn try_admit(
         &self,
         window: u64,
@@ -149,33 +209,43 @@ impl WindowRing {
         reserved: usize,
         req: IoRequest,
         replicas: &[usize],
-    ) -> bool {
+    ) -> AdmitResult {
         let mut s = self.locked(window);
         let used = s.per_tenant.get(&tenant).copied().unwrap_or(0);
         if used as usize >= reserved {
-            return false;
+            return AdmitResult::Full;
         }
+        let degraded = s.admit_mask != 0 && replicas.iter().any(|&d| s.admit_mask >> d & 1 == 1);
         let assigned = match self.mode {
             AssignmentMode::OptimalFlow => {
-                if !s.flow.as_mut().expect("flow mode").try_add(replicas) {
-                    return false;
+                match s.flow.as_mut().expect("flow mode").try_add(replicas) {
+                    DegradedAdmit::Admitted => None,
+                    DegradedAdmit::Infeasible => return AdmitResult::Full,
+                    DegradedAdmit::Unavailable => return AdmitResult::Unavailable,
                 }
-                None
             }
             AssignmentMode::Eft => {
                 // Earliest finish time under equal service times = least
-                // loaded replica.
-                let &best = replicas
+                // loaded replica, among the window's live devices.
+                let mask = s.admit_mask;
+                let best = replicas
                     .iter()
-                    .min_by_key(|&&d| s.loads[d])
-                    .expect("non-empty replica tuple");
+                    .copied()
+                    .filter(|&d| mask >> d & 1 == 0)
+                    .min_by_key(|&d| s.loads[d]);
+                let Some(best) = best else {
+                    return AdmitResult::Unavailable;
+                };
                 if s.loads[best] as usize >= self.accesses {
-                    return false;
+                    return AdmitResult::Full;
                 }
                 s.loads[best] += 1;
                 Some(best)
             }
         };
+        if degraded {
+            self.fault.note_reroute();
+        }
         *s.per_tenant.entry(tenant).or_insert(0) += 1;
         s.guaranteed.push(Parked {
             tenant,
@@ -183,7 +253,7 @@ impl WindowRing {
             replicas: replicas.to_vec(),
             assigned,
         });
-        true
+        AdmitResult::Admitted
     }
 
     /// Total requests (guaranteed + overflow) currently parked in `window`.
@@ -195,20 +265,38 @@ impl WindowRing {
     /// Park an overflow (statistically admitted) request in `window`,
     /// bypassing the reservation and feasibility checks. Device choice is
     /// deferred to seal, where overflow items pile onto the least-loaded
-    /// replica after the guaranteed schedule.
-    pub fn add_overflow(&self, window: u64, tenant: u64, req: IoRequest, replicas: &[usize]) {
+    /// surviving replica after the guaranteed schedule. Returns `false`
+    /// (and parks nothing) when every replica is down for this window.
+    pub fn add_overflow(
+        &self,
+        window: u64,
+        tenant: u64,
+        req: IoRequest,
+        replicas: &[usize],
+    ) -> bool {
         let mut s = self.locked(window);
+        if s.admit_mask != 0 && replicas.iter().all(|&d| s.admit_mask >> d & 1 == 1) {
+            return false;
+        }
         s.overflow.push(Parked {
             tenant,
             req,
             replicas: replicas.to_vec(),
             assigned: None,
         });
+        true
     }
 
-    /// Seal `window`: fix every request's replica assignment and drain the
-    /// slot for reuse. An untouched window seals to an empty result.
+    /// Seal `window`: fix every request's replica assignment against the
+    /// final execution-interval health view and drain the slot for reuse.
+    /// An untouched window seals to an empty result.
     pub fn seal(&self, window: u64) -> SealedWindow {
+        // The execution interval of window `w` is window `w + 1`; re-read
+        // its health now in case a live injection landed after admission.
+        let exec_mask = self.fault.mask_at(window + 1);
+        if exec_mask != 0 {
+            self.fault.note_degraded_window();
+        }
         let mut s = self.slot(window).lock();
         if !s.active || s.window != window {
             return SealedWindow {
@@ -219,49 +307,106 @@ impl WindowRing {
         }
         s.active = false;
 
-        let mut loads = std::mem::take(&mut s.loads);
         let guaranteed = std::mem::take(&mut s.guaranteed);
         let overflow = std::mem::take(&mut s.overflow);
         let flow = s.flow.take();
         drop(s);
 
+        // Final per-device loads are rebuilt from scratch so seal-time
+        // re-dispatch balances against what actually lands on survivors.
+        let mut loads = vec![0u32; self.devices];
         let mut items = Vec::with_capacity(guaranteed.len() + overflow.len());
-        match self.mode {
+        let prelim: Vec<Option<usize>> = match self.mode {
             AssignmentMode::OptimalFlow => {
                 let flow = flow.expect("flow mode");
                 debug_assert_eq!(flow.len(), guaranteed.len());
-                let assignments = flow.assignments();
-                for (p, &d) in guaranteed.into_iter().zip(&assignments) {
-                    loads[d] += 1;
-                    let mut req = p.req;
-                    req.device = d;
-                    items.push(SealedItem {
-                        tenant: p.tenant,
-                        req,
-                        guaranteed: true,
-                    });
-                }
+                flow.assignments().into_iter().map(Some).collect()
             }
-            AssignmentMode::Eft => {
-                for p in guaranteed {
-                    let d = p.assigned.expect("EFT assigns at admit time");
-                    let mut req = p.req;
-                    req.device = d;
-                    items.push(SealedItem {
-                        tenant: p.tenant,
-                        req,
-                        guaranteed: true,
-                    });
+            AssignmentMode::Eft => guaranteed.iter().map(|p| p.assigned).collect(),
+        };
+        if exec_mask == 0 {
+            // Healthy execution interval: the admission-time assignments
+            // stand as-is.
+            for (p, prelim) in guaranteed.into_iter().zip(prelim) {
+                let d = prelim.expect("guaranteed request must be assigned");
+                loads[d] += 1;
+                let mut req = p.req;
+                req.device = d;
+                items.push(SealedItem {
+                    tenant: p.tenant,
+                    req,
+                    guaranteed: true,
+                });
+            }
+        } else {
+            // A device is down for the execution interval (a live injection
+            // may have landed after admission). Patching drained items one
+            // by one onto the least-loaded survivor can overload it past
+            // `M`; instead rebuild the whole window's schedule on the
+            // surviving subgraph, so whenever a feasible `≤ M` per-device
+            // schedule exists the rebuilt one meets every deadline.
+            let failed: Vec<bool> = (0..self.devices).map(|d| exec_mask >> d & 1 == 1).collect();
+            let mut rebuilt = DegradedWindow::new(self.devices, self.accesses, &failed);
+            let placements: Vec<DegradedAdmit> = guaranteed
+                .iter()
+                .map(|p| rebuilt.try_add(&p.replicas))
+                .collect();
+            let rebuilt_assign = rebuilt.assignments();
+            let mut next = 0usize;
+            for ((p, prelim), placement) in guaranteed.into_iter().zip(prelim).zip(placements) {
+                let drained = prelim.is_some_and(|d| exec_mask >> d & 1 == 1);
+                let d = match placement {
+                    DegradedAdmit::Admitted => {
+                        let d = rebuilt_assign[next];
+                        next += 1;
+                        d
+                    }
+                    DegradedAdmit::Infeasible => {
+                        // No `M`-respecting slot on any survivor: overload
+                        // the least-loaded live replica rather than drop.
+                        // May finish late — counted here and audited as a
+                        // violation, never hidden. Only reachable when a
+                        // live injection lands after this window admitted.
+                        self.fault.note_overload();
+                        p.replicas
+                            .iter()
+                            .copied()
+                            .filter(|&d| exec_mask >> d & 1 == 0)
+                            .min_by_key(|&d| loads[d])
+                            .expect("Infeasible implies a live replica exists")
+                    }
+                    DegradedAdmit::Unavailable => {
+                        // Beyond the c − 1 tolerance: no survivor holds a
+                        // copy. Counted, audited, never silently dropped.
+                        self.fault.note_lost();
+                        continue;
+                    }
+                };
+                if drained {
+                    self.fault.note_redispatch();
                 }
+                loads[d] += 1;
+                let mut req = p.req;
+                req.device = d;
+                items.push(SealedItem {
+                    tenant: p.tenant,
+                    req,
+                    guaranteed: true,
+                });
             }
         }
         let n_guaranteed = items.len() as u64;
         for p in overflow {
-            let &d = p
+            let live = p
                 .replicas
                 .iter()
-                .min_by_key(|&&d| loads[d])
-                .expect("non-empty replicas");
+                .copied()
+                .filter(|&d| exec_mask >> d & 1 == 0)
+                .min_by_key(|&d| loads[d]);
+            let Some(d) = live else {
+                self.fault.note_lost();
+                continue;
+            };
             loads[d] += 1;
             let mut req = p.req;
             req.device = d;
@@ -282,15 +427,20 @@ impl WindowRing {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultSchedule};
     use fqos_flashsim::IoRequest;
 
     fn req(id: u64) -> IoRequest {
         IoRequest::read_block(id, 0, 0, id)
     }
 
+    fn healthy(devices: usize) -> Arc<FaultPlane> {
+        Arc::new(FaultPlane::new(devices, FaultSchedule::new()).unwrap())
+    }
+
     fn ring(mode: AssignmentMode) -> WindowRing {
         // 3 devices, M = 1; replica pairs below.
-        WindowRing::new(3, 1, mode)
+        WindowRing::new(3, 1, mode, healthy(3))
     }
 
     #[test]
@@ -298,8 +448,8 @@ mod tests {
         let r = ring(AssignmentMode::OptimalFlow);
         // First request could sit on 0; second only fits on 0 → flow must
         // re-route the first to 1.
-        assert!(r.try_admit(0, 1, 10, req(1), &[0, 1]));
-        assert!(r.try_admit(0, 1, 10, req(2), &[0]));
+        assert!(r.try_admit(0, 1, 10, req(1), &[0, 1]).is_admitted());
+        assert!(r.try_admit(0, 1, 10, req(2), &[0]).is_admitted());
         let sealed = r.seal(0);
         assert_eq!(sealed.guaranteed, 2);
         let devs: Vec<usize> = sealed.items.iter().map(|i| i.req.device).collect();
@@ -311,25 +461,26 @@ mod tests {
         // Greedy ties break toward the first replica: request A on 0, then
         // B (only replica 0) is stranded — the documented EFT tradeoff.
         let eft = ring(AssignmentMode::Eft);
-        assert!(eft.try_admit(0, 1, 10, req(1), &[0, 1]));
-        assert!(!eft.try_admit(0, 1, 10, req(2), &[0]));
+        assert!(eft.try_admit(0, 1, 10, req(1), &[0, 1]).is_admitted());
+        assert_eq!(eft.try_admit(0, 1, 10, req(2), &[0]), AdmitResult::Full);
 
         let flow = ring(AssignmentMode::OptimalFlow);
-        assert!(flow.try_admit(0, 1, 10, req(1), &[0, 1]));
-        assert!(flow.try_admit(0, 1, 10, req(2), &[0]));
+        assert!(flow.try_admit(0, 1, 10, req(1), &[0, 1]).is_admitted());
+        assert!(flow.try_admit(0, 1, 10, req(2), &[0]).is_admitted());
     }
 
     #[test]
     fn per_tenant_reservation_is_enforced() {
         let r = ring(AssignmentMode::OptimalFlow);
-        assert!(r.try_admit(3, 7, 2, req(1), &[0, 1]));
-        assert!(r.try_admit(3, 7, 2, req(2), &[1, 2]));
-        assert!(
-            !r.try_admit(3, 7, 2, req(3), &[2, 0]),
+        assert!(r.try_admit(3, 7, 2, req(1), &[0, 1]).is_admitted());
+        assert!(r.try_admit(3, 7, 2, req(2), &[1, 2]).is_admitted());
+        assert_eq!(
+            r.try_admit(3, 7, 2, req(3), &[2, 0]),
+            AdmitResult::Full,
             "reservation of 2 exhausted"
         );
         assert!(
-            r.try_admit(3, 8, 1, req(4), &[2, 0]),
+            r.try_admit(3, 8, 1, req(4), &[2, 0]).is_admitted(),
             "other tenants unaffected"
         );
     }
@@ -338,10 +489,10 @@ mod tests {
     fn device_budget_is_enforced() {
         let r = ring(AssignmentMode::OptimalFlow);
         // M = 1 on 3 devices → at most 3 requests, whatever the replicas.
-        assert!(r.try_admit(1, 1, 99, req(1), &[0, 1, 2]));
-        assert!(r.try_admit(1, 1, 99, req(2), &[0, 1, 2]));
-        assert!(r.try_admit(1, 1, 99, req(3), &[0, 1, 2]));
-        assert!(!r.try_admit(1, 1, 99, req(4), &[0, 1, 2]));
+        assert!(r.try_admit(1, 1, 99, req(1), &[0, 1, 2]).is_admitted());
+        assert!(r.try_admit(1, 1, 99, req(2), &[0, 1, 2]).is_admitted());
+        assert!(r.try_admit(1, 1, 99, req(3), &[0, 1, 2]).is_admitted());
+        assert_eq!(r.try_admit(1, 1, 99, req(4), &[0, 1, 2]), AdmitResult::Full);
         let sealed = r.seal(1);
         assert_eq!(sealed.total, 3);
         let mut devs: Vec<usize> = sealed.items.iter().map(|i| i.req.device).collect();
@@ -352,9 +503,9 @@ mod tests {
     #[test]
     fn overflow_lands_on_least_loaded_replica_after_guaranteed() {
         let r = ring(AssignmentMode::OptimalFlow);
-        assert!(r.try_admit(0, 1, 9, req(1), &[0]));
-        r.add_overflow(0, 2, req(2), &[0, 1]);
-        r.add_overflow(0, 2, req(3), &[0, 1]);
+        assert!(r.try_admit(0, 1, 9, req(1), &[0]).is_admitted());
+        assert!(r.add_overflow(0, 2, req(2), &[0, 1]));
+        assert!(r.add_overflow(0, 2, req(3), &[0, 1]));
         let sealed = r.seal(0);
         assert_eq!(sealed.guaranteed, 1);
         assert_eq!(sealed.total, 3);
@@ -378,10 +529,10 @@ mod tests {
         let sealed = r.seal(42);
         assert_eq!(sealed.total, 0);
         // Admit into w, seal, then the slot is reusable for w + RING.
-        assert!(r.try_admit(5, 1, 1, req(1), &[0]));
+        assert!(r.try_admit(5, 1, 1, req(1), &[0]).is_admitted());
         assert_eq!(r.seal(5).total, 1);
         let next = 5 + WINDOW_RING as u64;
-        assert!(r.try_admit(next, 1, 1, req(2), &[0]));
+        assert!(r.try_admit(next, 1, 1, req(2), &[0]).is_admitted());
         assert_eq!(r.seal(next).total, 1);
     }
 
@@ -389,8 +540,77 @@ mod tests {
     #[should_panic(expected = "window ring wrapped")]
     fn unsealed_slot_reuse_panics() {
         let r = ring(AssignmentMode::Eft);
-        assert!(r.try_admit(0, 1, 1, req(1), &[0]));
+        assert!(r.try_admit(0, 1, 1, req(1), &[0]).is_admitted());
         // Same slot index one full ring later, while window 0 is unsealed.
         let _ = r.try_admit(WINDOW_RING as u64, 1, 1, req(2), &[0]);
+    }
+
+    #[test]
+    fn scripted_failure_routes_admission_around_the_dead_device() {
+        let fault =
+            Arc::new(FaultPlane::new(3, FaultSchedule::new().fail(0, 4).recover(0, 6)).unwrap());
+        let r = WindowRing::new(3, 1, AssignmentMode::OptimalFlow, Arc::clone(&fault));
+        // Window 3 executes during window 4 (device 0 down): the request
+        // naming device 0 must land on a survivor at admission time.
+        assert!(r.try_admit(3, 1, 9, req(1), &[0, 1]).is_admitted());
+        let sealed = r.seal(3);
+        assert_eq!(sealed.total, 1);
+        assert_eq!(sealed.items[0].req.device, 1);
+        assert_eq!(fault.reroutes(), 1);
+        assert_eq!(fault.redispatches(), 0, "scripted faults never redispatch");
+        assert_eq!(fault.lost(), 0);
+        // Window 6 executes during 7: recovered, full capacity back.
+        assert!(r.try_admit(6, 1, 9, req(2), &[0]).is_admitted());
+        assert_eq!(r.seal(6).items[0].req.device, 0);
+    }
+
+    #[test]
+    fn all_replicas_down_is_unavailable_not_full() {
+        let fault =
+            Arc::new(FaultPlane::new(3, FaultSchedule::new().fail(0, 0).fail(1, 0)).unwrap());
+        let r = WindowRing::new(3, 1, AssignmentMode::OptimalFlow, Arc::clone(&fault));
+        assert_eq!(
+            r.try_admit(0, 1, 9, req(1), &[0, 1]),
+            AdmitResult::Unavailable
+        );
+        assert!(r.try_admit(0, 1, 9, req(2), &[1, 2]).is_admitted());
+        assert!(
+            !r.add_overflow(0, 1, req(3), &[0, 1]),
+            "overflow refused too"
+        );
+        let eft = WindowRing::new(3, 1, AssignmentMode::Eft, fault);
+        assert_eq!(
+            eft.try_admit(0, 1, 9, req(4), &[0, 1]),
+            AdmitResult::Unavailable
+        );
+    }
+
+    #[test]
+    fn live_injection_drains_the_failing_device_at_seal() {
+        let fault = Arc::new(FaultPlane::new(3, FaultSchedule::new()).unwrap());
+        let r = WindowRing::new(3, 1, AssignmentMode::Eft, Arc::clone(&fault));
+        // EFT assigns at admit time; ties break toward replica 0.
+        assert!(r.try_admit(0, 1, 9, req(1), &[0, 1]).is_admitted());
+        // Device 0 dies before the execution interval (window 1).
+        fault.inject(0, FaultKind::Fail, 1).unwrap();
+        let sealed = r.seal(0);
+        assert_eq!(sealed.total, 1);
+        assert_eq!(sealed.items[0].req.device, 1, "re-dispatched to survivor");
+        assert_eq!(fault.redispatches(), 1);
+        assert_eq!(fault.lost(), 0);
+    }
+
+    #[test]
+    fn items_with_no_surviving_replica_are_counted_lost() {
+        let fault = Arc::new(FaultPlane::new(3, FaultSchedule::new()).unwrap());
+        let r = WindowRing::new(3, 1, AssignmentMode::Eft, Arc::clone(&fault));
+        assert!(r.try_admit(0, 1, 9, req(1), &[0, 1]).is_admitted());
+        assert!(r.add_overflow(0, 1, req(2), &[0]));
+        fault.inject(0, FaultKind::Fail, 1).unwrap();
+        fault.inject(1, FaultKind::Fail, 1).unwrap();
+        let sealed = r.seal(0);
+        assert_eq!(sealed.total, 0, "both replicas down: nothing dispatchable");
+        assert_eq!(fault.lost(), 2);
+        assert_eq!(fault.degraded_windows(), 1);
     }
 }

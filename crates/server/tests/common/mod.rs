@@ -1,0 +1,207 @@
+//! Shared plumbing for the fqos-server integration suites: one seed source
+//! (the `FQOS_TEST_SEED` environment variable), independent per-stream
+//! RNGs derived from it, and a deterministic replay harness that drives
+//! seeded traces through a server built with a scripted fault schedule and
+//! audits the paper's guarantee on the result.
+//!
+//! Every suite pulls its randomness through [`seed`]/[`rng`], so one
+//! `FQOS_TEST_SEED=0xDEADBEEF cargo test` reproduces a failure across the
+//! stress, property and fault binaries at once.
+#![allow(dead_code)] // each test binary links its own subset of helpers
+
+use fqos_core::{OverloadPolicy, QosConfig};
+use fqos_decluster::{AllocationScheme, DesignTheoretic};
+use fqos_designs::DesignCatalog;
+use fqos_flashsim::time::{BASE_INTERVAL_NS, BLOCK_READ_NS};
+use fqos_server::{
+    AssignmentMode, FaultSchedule, MetricsSnapshot, QosServer, ServerConfig, SubmitOutcome,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base seed when `FQOS_TEST_SEED` is unset.
+pub const DEFAULT_SEED: u64 = 0x5EED_F00D;
+
+/// The suite-wide base seed: `FQOS_TEST_SEED` parsed as decimal or
+/// `0x`-prefixed hex, falling back to [`DEFAULT_SEED`]. Panics on a value
+/// that parses as neither, so a typo'd override fails loudly instead of
+/// silently testing the default.
+pub fn seed() -> u64 {
+    match std::env::var("FQOS_TEST_SEED") {
+        Err(_) => DEFAULT_SEED,
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("FQOS_TEST_SEED: cannot parse '{v}'"))
+        }
+    }
+}
+
+/// An RNG on an independent stream derived from the base seed. Streams are
+/// decorrelated with a splitmix64 finalizer so `rng(0)` and `rng(1)` do
+/// not overlap even though they share one seed.
+pub fn rng(stream: u64) -> StdRng {
+    let mut z = seed() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// QoS deployment over a catalog `(n, c, 1)` design with `m` accesses per
+/// interval and deterministic admission (ε = 0).
+pub fn qos(n: usize, c: usize, m: usize) -> QosConfig {
+    let design = DesignCatalog.find(n, c).expect("catalog design");
+    QosConfig {
+        scheme: DesignTheoretic::new(design),
+        accesses: m,
+        interval_ns: m as u64 * BASE_INTERVAL_NS,
+        epsilon: 0.0,
+        policy: OverloadPolicy::Delay,
+        service_ns: BLOCK_READ_NS,
+    }
+}
+
+/// What one replayed scenario produced.
+pub struct Replay {
+    /// Final engine metrics (fault counters included).
+    pub metrics: MetricsSnapshot,
+    /// Requests pushed through `submit` across all tenants.
+    pub submitted: u64,
+    /// Outcomes that were `Rejected(_)` at submit time.
+    pub rejected: u64,
+}
+
+/// A deterministic replay scenario: per-tenant seeded traces against a
+/// server carrying a scripted fault schedule. Each tenant contributes
+/// `reserved` requests per window at jittered in-window arrival offsets
+/// over uniform random buckets; the traces are merged into one
+/// arrival-ordered stream and submitted from a single thread, so a replay
+/// is bit-reproducible for a given `FQOS_TEST_SEED` (thread-interleaving
+/// nondeterminism is the stress suite's job, not this harness's).
+pub struct Scenario {
+    pub qos: QosConfig,
+    pub mode: AssignmentMode,
+    pub schedule: FaultSchedule,
+    /// `(tenant id, reserved = per-window rate, policy)`.
+    pub tenants: Vec<(u64, usize, OverloadPolicy)>,
+    pub windows: u64,
+    /// RNG stream id; vary to decorrelate scenarios within one suite.
+    pub stream: u64,
+    pub workers: usize,
+    pub queue_depth: usize,
+}
+
+impl Scenario {
+    /// Scenario over `qos` with a schedule; add tenants before replaying.
+    pub fn new(qos: QosConfig, schedule: FaultSchedule) -> Self {
+        Scenario {
+            qos,
+            mode: AssignmentMode::OptimalFlow,
+            schedule,
+            tenants: Vec::new(),
+            windows: 60,
+            stream: 0,
+            workers: 4,
+            queue_depth: 16,
+        }
+    }
+
+    pub fn mode(mut self, mode: AssignmentMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    pub fn windows(mut self, windows: u64) -> Self {
+        self.windows = windows;
+        self
+    }
+
+    pub fn stream(mut self, stream: u64) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    pub fn tenant(mut self, id: u64, reserved: usize, policy: OverloadPolicy) -> Self {
+        self.tenants.push((id, reserved, policy));
+        self
+    }
+
+    /// Build the server, replay every tenant's seeded trace and drain.
+    pub fn replay(self) -> Replay {
+        let interval_ns = self.qos.interval_ns;
+        let pool = AllocationScheme::num_buckets(&self.qos.scheme) as u64;
+        let server = QosServer::new(
+            ServerConfig::new(self.qos)
+                .with_workers(self.workers)
+                .with_queue_depth(self.queue_depth)
+                .with_assignment(self.mode)
+                .with_fault_schedule(self.schedule),
+        )
+        .expect("scenario config");
+        for &(t, r, p) in &self.tenants {
+            server.register(t, r, p).expect("scenario registration");
+        }
+        // Merge the per-tenant traces into one arrival-ordered stream.
+        let mut events: Vec<(u64, u64, u64)> = Vec::new();
+        for &(tenant, rate, _) in &self.tenants {
+            let mut rng = rng(self.stream.wrapping_mul(101).wrapping_add(tenant));
+            for w in 0..self.windows {
+                for _ in 0..rate {
+                    let lbn = rng.gen_range(0..pool);
+                    let at = w * interval_ns + rng.gen_range(0..interval_ns);
+                    events.push((at, tenant, lbn));
+                }
+            }
+        }
+        events.sort_unstable();
+        let (mut submitted, mut rejected) = (0u64, 0u64);
+        let mut h = server.handle();
+        for &(at, tenant, lbn) in &events {
+            if let SubmitOutcome::Rejected(_) = h.submit(tenant, lbn, at) {
+                rejected += 1;
+            }
+            submitted += 1;
+        }
+        drop(h);
+        Replay {
+            metrics: server.finish(),
+            submitted,
+            rejected,
+        }
+    }
+}
+
+/// The degraded-mode contract, asserted in one place: the deterministic
+/// guarantee holds (no deadline misses at all under ε = 0), nothing
+/// admitted was lost to a failure, and accounting balances.
+pub fn assert_guarantee_held(r: &Replay) {
+    let m = &r.metrics;
+    assert_eq!(
+        m.guaranteed_violations, 0,
+        "guaranteed admission missed its interval deadline"
+    );
+    assert_eq!(m.deadline_violations, 0, "deadline missed");
+    assert_eq!(m.fault_lost, 0, "admitted request lost to a failure");
+    assert_eq!(
+        m.fault_overloads, 0,
+        "scripted schedules admit under the execution mask, so the seal \
+         rebuild can never be infeasible"
+    );
+    assert_eq!(m.served, m.admitted_total(), "admitted and served diverge");
+    assert_eq!(m.rejected, r.rejected, "rejection accounting diverges");
+    assert_eq!(
+        m.admitted_total() + m.rejected,
+        r.submitted,
+        "requests leaked"
+    );
+}
+
+/// The replica set of design bucket `b` under the `(n, c, 1)` catalog
+/// design — lets fault tests script a failure that co-hosts a bucket.
+pub fn bucket_replicas(n: usize, c: usize, bucket: u64) -> Vec<usize> {
+    let scheme = DesignTheoretic::new(DesignCatalog.find(n, c).expect("catalog design"));
+    scheme.replicas(scheme.bucket_for_lbn(bucket)).to_vec()
+}

@@ -5,13 +5,22 @@
 //! * keep every window's guaranteed aggregate within `S(M)`,
 //! * meet the interval deadline of every admitted request,
 //! * and conserve requests (admitted + rejected = submitted, served =
-//!   admitted).
+//!   admitted),
+//!
+//! and the same must survive scripted device failures within the design's
+//! `c − 1` tolerance, while co-hosted failures beyond it must reject
+//! rather than stall. Proptest seeds are mixed with `FQOS_TEST_SEED` (see
+//! `tests/common/mod.rs`) so the whole suite re-rolls together.
+
+mod common;
 
 use fqos_core::{OverloadPolicy, QosConfig};
-use fqos_decluster::DesignTheoretic;
+use fqos_decluster::{AllocationScheme, DesignTheoretic};
 use fqos_designs::DesignCatalog;
 use fqos_flashsim::time::{BASE_INTERVAL_NS, BLOCK_READ_NS};
-use fqos_server::{AssignmentMode, QosServer, ServerConfig};
+use fqos_server::{
+    AssignmentMode, FaultSchedule, QosServer, RejectReason, ServerConfig, SubmitOutcome,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,6 +78,7 @@ proptest! {
         eft in any::<bool>(),
         seed in any::<u64>(),
     ) {
+        let seed = seed ^ common::seed();
         let qos = qos_for(design_idx, m, 0.0);
         let limit = qos.request_limit();
         let t_ns = qos.interval_ns;
@@ -151,7 +161,7 @@ proptest! {
         server
             .register(1, limit, OverloadPolicy::Reject)
             .map_err(|e| proptest::TestCaseError::fail(e.to_string()))?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ common::seed());
         let mut h = server.handle();
         for w in 0..40u64 {
             // Oscillate between calm and over-subscribed windows.
@@ -167,5 +177,90 @@ proptest! {
         prop_assert!(m.max_window_total >= m.max_window_guaranteed);
         let t_overflow: u64 = m.tenants.iter().map(|t| t.overflow).sum();
         prop_assert_eq!(t_overflow, m.overflow);
+    }
+
+    /// Any single scripted failure — any device, any window, any duration
+    /// — stays within every catalog design's `c − 1` tolerance (c ≥ 3),
+    /// so a full-rate deterministic replay must finish with zero deadline
+    /// misses and zero lost requests.
+    #[test]
+    fn single_failure_within_tolerance_never_misses(
+        design_idx in 0..4usize,
+        m in 1..=2usize,
+        device in any::<usize>(),
+        fail_at in 0..20u64,
+        duration in 1..=15u64,
+        eft in any::<bool>(),
+        stream in any::<u64>(),
+    ) {
+        let (n, _) = DESIGNS[design_idx % DESIGNS.len()];
+        let qos = qos_for(design_idx, m, 0.0);
+        // Stay within the degraded cap M · (n − 1) so the failure tightens
+        // admission without forcing rejections.
+        let rate = qos.request_limit().min(m * (n - 1));
+        let device = device % n;
+        let r = common::Scenario::new(
+            qos,
+            FaultSchedule::new().fail(device, fail_at).recover(device, fail_at + duration),
+        )
+        .mode(if eft { AssignmentMode::Eft } else { AssignmentMode::OptimalFlow })
+        .windows(30)
+        .stream(stream)
+        .tenant(1, rate, OverloadPolicy::Delay)
+        .replay();
+        common::assert_guarantee_held(&r);
+        prop_assert!(r.metrics.degraded_windows > 0);
+        prop_assert_eq!(r.metrics.served, r.submitted - r.rejected);
+    }
+
+    /// Failing every replica of a bucket (≥ c co-hosted failures, beyond
+    /// tolerance) must reject submissions naming it — promptly, never by
+    /// stalling the engine or silently dropping them.
+    #[test]
+    fn co_hosted_failures_reject_not_stall(
+        design_idx in 0..4usize,
+        bucket in any::<u64>(),
+        stream in any::<u64>(),
+    ) {
+        let (n, c) = DESIGNS[design_idx % DESIGNS.len()];
+        let deployment = qos_for(design_idx, 1, 0.0);
+        let pool = AllocationScheme::num_buckets(&deployment.scheme) as u64;
+        let bucket = bucket % pool;
+        let failed = common::bucket_replicas(n, c, bucket);
+        let mut schedule = FaultSchedule::new();
+        for &d in &failed {
+            schedule = schedule.fail(d, 0);
+        }
+        let server = QosServer::new(
+            ServerConfig::new(deployment).with_fault_schedule(schedule),
+        )
+        .map_err(proptest::TestCaseError::fail)?;
+        server
+            .register(1, 2, OverloadPolicy::Delay)
+            .map_err(|e| proptest::TestCaseError::fail(e.to_string()))?;
+        let mut h = server.handle();
+        let mut rng = common::rng(stream);
+        let mut live = 0u64;
+        for w in 0..10u64 {
+            prop_assert_eq!(
+                h.submit(1, bucket, w * BASE_INTERVAL_NS),
+                SubmitOutcome::Rejected(RejectReason::ReplicasUnavailable)
+            );
+            // A bucket avoiding the dead replica set must keep flowing
+            // (rotations can hand other buckets the same dead triple —
+            // skip those, they are correctly refused too).
+            let other = rng.gen_range(0..pool);
+            let other_dead =
+                common::bucket_replicas(n, c, other).iter().all(|d| failed.contains(d));
+            if !other_dead && h.submit(1, other, w * BASE_INTERVAL_NS + 1).is_admitted() {
+                live += 1;
+            }
+        }
+        drop(h);
+        let metrics = server.finish();
+        prop_assert_eq!(metrics.fault_rejected, 10);
+        prop_assert_eq!(metrics.fault_lost, 0);
+        prop_assert_eq!(metrics.served, live, "no stall: finish() drains exactly the admitted");
+        prop_assert_eq!(metrics.guaranteed_violations, 0);
     }
 }

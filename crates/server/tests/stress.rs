@@ -4,9 +4,15 @@
 //! * no sealed window ever carries more guaranteed requests than `S(M)`,
 //! * every deterministically admitted request meets its interval deadline,
 //! * nothing admitted is lost and nothing rejected is served.
+//!
+//! Block addresses are drawn through the shared `FQOS_TEST_SEED`-keyed
+//! streams in `tests/common/mod.rs`, so one env var re-rolls every suite.
+
+mod common;
 
 use fqos_core::{OverloadPolicy, QosConfig};
 use fqos_server::{AssignmentMode, QosServer, ServerConfig, SubmitOutcome};
+use rand::Rng;
 use std::sync::Arc;
 
 const T2: u64 = 2 * 133_000; // interval for M = 2
@@ -32,13 +38,14 @@ fn per_tenant_threads_with_bursts() {
         .iter()
         .map(|&(tenant, reserved, _)| {
             let mut h = server.handle();
+            let mut rng = common::rng(tenant);
             std::thread::spawn(move || {
                 let mut submitted = 0u64;
                 for w in 0..300u64 {
                     // Every third window bursts two past the reservation.
                     let burst = reserved + if w % 3 == 0 { 2 } else { 0 };
                     for i in 0..burst as u64 {
-                        h.submit(tenant, tenant * 10_000 + w * 31 + i, w * T2 + i);
+                        h.submit(tenant, rng.gen_range(0..10_000u64), w * T2 + i);
                         submitted += 1;
                     }
                 }
@@ -89,10 +96,11 @@ fn shared_tenant_contention() {
     let threads: Vec<_> = (0..6u64)
         .map(|n| {
             let mut h = server.handle();
+            let mut rng = common::rng(100 + n);
             std::thread::spawn(move || {
                 for w in 0..150u64 {
                     for i in 0..4u64 {
-                        h.submit(7, n * 1_000 + w * 17 + i, w * T2 + i);
+                        h.submit(7, rng.gen_range(0..10_000u64), w * T2 + i);
                     }
                 }
             })

@@ -16,9 +16,12 @@
 //! fqos serve    --devices 9 [--copies 3] [--accesses 1] [--workers 4]
 //!               [--submitters 3] [--windows 500] [--epsilon 0.0]
 //!               [--queue-depth 64] [--mode flow|eft] [--seed N]
+//!               [--fault-schedule "fail:D@W,recover:D@W,..."]
 //!     Replay a synthetic timestamped trace through the concurrent serving
 //!     engine: one submitter thread per tenant against a worker pool, then
-//!     print the serving report and the deadline audit.
+//!     print the serving report and the deadline audit. A fault schedule
+//!     scripts device failures/recoveries at window boundaries; the audit
+//!     then also reports degraded windows, re-routes and losses.
 //! ```
 
 use flash_qos::prelude::*;
@@ -73,7 +76,9 @@ fn print_help() {
     println!("  serve    --devices N [--copies C] [--accesses M] [--workers W]");
     println!("           [--submitters S] [--windows K] [--epsilon E] [--queue-depth D]");
     println!("           [--mode flow|eft] [--seed S]      replay a synthetic trace through");
-    println!("                                              the concurrent serving engine");
+    println!("           [--fault-schedule \"fail:D@W,...\"]  the concurrent serving engine,");
+    println!("                                              optionally failing/recovering");
+    println!("                                              devices at scripted windows");
 }
 
 type Options = HashMap<String, String>;
@@ -256,6 +261,10 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         Some("eft") => AssignmentMode::Eft,
         Some(other) => return Err(format!("--mode: unknown mode '{other}' (flow|eft)")),
     };
+    let fault_schedule = match opts.get("fault-schedule") {
+        None => FaultSchedule::new(),
+        Some(spec) => FaultSchedule::parse(spec).map_err(|e| format!("--fault-schedule: {e}"))?,
+    };
     if workers == 0 || submitters == 0 || windows == 0 {
         return Err("--workers, --submitters and --windows must be positive".into());
     }
@@ -277,11 +286,13 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     let interval_ns = qos.interval_ns;
     let submitters = submitters.min(limit);
 
+    let scripted_faults = !fault_schedule.is_empty();
     let server = QosServer::new(
         ServerConfig::new(qos)
             .with_workers(workers)
             .with_queue_depth(queue_depth)
-            .with_assignment(mode),
+            .with_assignment(mode)
+            .with_fault_schedule(fault_schedule),
     )?;
 
     // Split the S(M) budget across one tenant per submitter thread and give
@@ -385,8 +396,28 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             "✗ GUARANTEE BROKEN"
         },
     );
+    if scripted_faults || m.degraded_windows > 0 {
+        println!(
+            "fault audit: {} degraded windows, {} re-routed at admission, \
+             {} re-dispatched at seal ({} overloaded), {} unavailable-rejected, {} lost {}",
+            m.degraded_windows,
+            m.fault_reroutes,
+            m.fault_redispatches,
+            m.fault_overloads,
+            m.fault_rejected,
+            m.fault_lost,
+            if m.fault_lost == 0 {
+                "✓"
+            } else {
+                "✗ REQUESTS LOST"
+            },
+        );
+    }
     if m.guaranteed_violations != 0 {
         return Err("deterministic guarantee violated".into());
+    }
+    if m.fault_lost != 0 {
+        return Err("admitted requests lost to device failures".into());
     }
     Ok(())
 }
