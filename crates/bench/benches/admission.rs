@@ -19,7 +19,7 @@ fn bench_admission(c: &mut Criterion) {
                 black_box(ac.register(app, 1));
             }
             black_box(ac.register(99, 1))
-        })
+        });
     });
 
     // Statistical Q with a populated history.
@@ -32,7 +32,7 @@ fn bench_admission(c: &mut Criterion) {
         counters.record_interval(((state >> 33) % 12) as usize);
     }
     group.bench_function("statistical_would_admit", |b| {
-        b.iter(|| black_box(counters.would_admit(black_box(9), &p, 0.01)))
+        b.iter(|| black_box(counters.would_admit(black_box(9), &p, 0.01)));
     });
 
     // Online feasibility probe via incremental max-flow.
@@ -47,7 +47,7 @@ fn bench_admission(c: &mut Criterion) {
                     }
                 }
                 black_box(admitted)
-            })
+            });
         });
     }
     group.finish();

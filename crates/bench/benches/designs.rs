@@ -15,17 +15,17 @@ fn bench_designs(c: &mut Criterion) {
             continue;
         }
         group.bench_with_input(BenchmarkId::new("construct_sts", v), &v, |b, &v| {
-            b.iter(|| steiner_triple_system(black_box(v)).unwrap())
+            b.iter(|| steiner_triple_system(black_box(v)).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("verify_sts", v), &v, |b, &v| {
             let d = steiner_triple_system(v).unwrap();
-            b.iter(|| black_box(&d).verify().unwrap())
+            b.iter(|| black_box(&d).verify().unwrap());
         });
     }
 
     let scheme = DesignTheoretic::paper_9_3_1();
     group.bench_function("p_k_sampling_1k_trials", |b| {
-        b.iter(|| optimal_retrieval_probabilities(black_box(&scheme), 10, 1_000, 7))
+        b.iter(|| optimal_retrieval_probabilities(black_box(&scheme), 10, 1_000, 7));
     });
     group.finish();
 }

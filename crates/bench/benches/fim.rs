@@ -28,13 +28,13 @@ fn bench_miners(c: &mut Criterion) {
         let db = synthetic_db(txs, 2_000, 5, 99);
         let id = format!("{txs}tx_s{support}");
         group.bench_with_input(BenchmarkId::new("apriori", &id), &db, |b, db| {
-            b.iter(|| Apriori.mine_pairs(black_box(db), support))
+            b.iter(|| Apriori.mine_pairs(black_box(db), support));
         });
         group.bench_with_input(BenchmarkId::new("eclat", &id), &db, |b, db| {
-            b.iter(|| Eclat.mine_pairs(black_box(db), support))
+            b.iter(|| Eclat.mine_pairs(black_box(db), support));
         });
         group.bench_with_input(BenchmarkId::new("fp_growth", &id), &db, |b, db| {
-            b.iter(|| FpGrowth.mine_pairs(black_box(db), support))
+            b.iter(|| FpGrowth.mine_pairs(black_box(db), support));
         });
     }
     group.finish();

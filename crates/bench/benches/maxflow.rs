@@ -38,19 +38,19 @@ fn bench_maxflow(c: &mut Criterion) {
             bench.iter(|| {
                 let mut g = net.clone();
                 black_box(dinic::max_flow(&mut g))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("edmonds_karp", b), &net, |bench, net| {
             bench.iter(|| {
                 let mut g = net.clone();
                 black_box(edmonds_karp::max_flow(&mut g))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("push_relabel", b), &net, |bench, net| {
             bench.iter(|| {
                 let mut g = net.clone();
                 black_box(push_relabel::max_flow(&mut g))
-            })
+            });
         });
     }
     group.finish();

@@ -30,20 +30,20 @@ fn bench_pipeline(c: &mut Criterion) {
     let modulo = QosPipeline::new(QosConfig::paper_9_3_1()).with_mapping(MappingStrategy::Modulo);
 
     group.bench_function("online_fim", |b| {
-        b.iter(|| black_box(fim.run_online(&trace)))
+        b.iter(|| black_box(fim.run_online(&trace)));
     });
     group.bench_function("online_modulo", |b| {
-        b.iter(|| black_box(modulo.run_online(&trace)))
+        b.iter(|| black_box(modulo.run_online(&trace)));
     });
     group.bench_function("interval_design_theoretic", |b| {
-        b.iter(|| black_box(modulo.run_interval().run(&trace)))
+        b.iter(|| black_box(modulo.run_interval().run(&trace)));
     });
     group.bench_function("baseline_mirrored", |b| {
         let scheme = Raid1Mirrored::paper();
-        b.iter(|| black_box(modulo.run_interval().run_baseline(&trace, &scheme)))
+        b.iter(|| black_box(modulo.run_interval().run_baseline(&trace, &scheme)));
     });
     group.bench_function("original_replay", |b| {
-        b.iter(|| black_box(fim.run_original(&trace)))
+        b.iter(|| black_box(fim.run_original(&trace)));
     });
     group.finish();
 }

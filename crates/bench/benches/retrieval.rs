@@ -29,10 +29,10 @@ fn bench_retrieval(c: &mut Criterion) {
             |bench, reqs| bench.iter(|| design_theoretic_retrieval(black_box(reqs), 9)),
         );
         group.bench_with_input(BenchmarkId::new("max_flow", b), &reqs, |bench, reqs| {
-            bench.iter(|| max_flow_retrieval(black_box(reqs), 9))
+            bench.iter(|| max_flow_retrieval(black_box(reqs), 9));
         });
         group.bench_with_input(BenchmarkId::new("hybrid", b), &reqs, |bench, reqs| {
-            bench.iter(|| hybrid_retrieval(black_box(reqs), 9))
+            bench.iter(|| hybrid_retrieval(black_box(reqs), 9));
         });
     }
     group.finish();

@@ -74,16 +74,16 @@ fn bench_server(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(per_run));
     group.bench_function("end_to_end/flow", |b| {
-        b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 4, 4)))
+        b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 4, 4)));
     });
     group.bench_function("end_to_end/eft", |b| {
-        b.iter(|| black_box(run_serve(AssignmentMode::Eft, 4, 4)))
+        b.iter(|| black_box(run_serve(AssignmentMode::Eft, 4, 4)));
     });
     group.bench_function("end_to_end/flow_1_submitter", |b| {
-        b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 1, 4)))
+        b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 1, 4)));
     });
     group.bench_function("end_to_end/flow_8_workers", |b| {
-        b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 4, 8)))
+        b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 4, 8)));
     });
     group.finish();
 

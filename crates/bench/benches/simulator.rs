@@ -35,7 +35,7 @@ fn bench_simulator(c: &mut Criterion) {
             b.iter(|| {
                 let mut arr = FlashArray::calibrated(9);
                 black_box(arr.replay(reqs.iter().copied()))
-            })
+            });
         },
     );
 
@@ -47,7 +47,7 @@ fn bench_simulator(c: &mut Criterion) {
                 let mut arr =
                     FlashArray::new((0..9).map(|_| FlashModule::default()).collect::<Vec<_>>());
                 black_box(arr.replay(reqs.iter().copied()))
-            })
+            });
         },
     );
 
@@ -57,7 +57,7 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| {
             t += 200_000;
             black_box(dev.submit(&IoRequest::read_block(1, t, 0, 7), t))
-        })
+        });
     });
     group.finish();
 }

@@ -9,7 +9,7 @@ use fqos_bench::{banner, exchange_trace, ms, pct, tpce_trace, write_csv, TableBu
 use fqos_core::{QosConfig, QosPipeline};
 use fqos_traces::Trace;
 
-fn sweep(trace: &Trace, base: QosConfig, epsilons: &[f64]) {
+fn sweep(trace: &Trace, base: &QosConfig, epsilons: &[f64]) {
     println!("--- {} ---", trace.name);
     let mut table = TableBuilder::new(&[
         "epsilon",
@@ -51,7 +51,7 @@ fn main() {
         "Statistical QoS: % delayed (a/c) and average response time (b/d) vs ε",
     );
     let epsilons = [0.0, 0.001, 0.002, 0.0025, 0.003, 0.0035, 0.004, 0.005, 0.01];
-    sweep(&exchange_trace(), QosConfig::paper_9_3_1(), &epsilons);
-    sweep(&tpce_trace(), QosConfig::paper_13_3_1(), &epsilons);
+    sweep(&exchange_trace(), &QosConfig::paper_9_3_1(), &epsilons);
+    sweep(&tpce_trace(), &QosConfig::paper_13_3_1(), &epsilons);
     println!("Expected shape: delayed % decreases with ε; average response increases (ε = 0 is the deterministic line).");
 }

@@ -38,7 +38,7 @@ fn main() {
     println!("--- (9,3,1) design (Fig. 2) ---");
     let d = known::design_9_3_1();
     for (i, block) in d.blocks().iter().enumerate() {
-        let cells: Vec<String> = block.iter().map(|p| p.to_string()).collect();
+        let cells: Vec<String> = block.iter().map(std::string::ToString::to_string).collect();
         println!("  block {i:<2} ({})", cells.join(","));
     }
     println!("  verification: {:?}\n", d.verify());

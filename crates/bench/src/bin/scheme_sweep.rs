@@ -63,7 +63,7 @@ fn main() {
     for s in &schemes {
         let profile = worst_case_profile(s.as_ref(), 8, effort, 7);
         let mut row = vec![s.name().to_string()];
-        row.extend(profile.iter().map(|a| a.to_string()));
+        row.extend(profile.iter().map(std::string::ToString::to_string));
         table.row(&row);
     }
     table.print();

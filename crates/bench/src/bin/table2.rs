@@ -54,7 +54,7 @@ fn main() {
         }
         let fmt = |set: &std::collections::BTreeSet<usize>| {
             set.iter()
-                .map(|a| a.to_string())
+                .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
                 .join(" or ")
         };

@@ -20,7 +20,10 @@ impl TableBuilder {
     /// Start a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
         TableBuilder {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -34,7 +37,7 @@ impl TableBuilder {
 
     /// Render as a markdown-style table with aligned columns.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

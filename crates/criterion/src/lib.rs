@@ -96,6 +96,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run a benchmark with a borrowed input value.
+    #[allow(clippy::needless_pass_by_value)] // signature mirrors upstream criterion
     pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
         &mut self,
         id: BenchmarkId,
@@ -126,7 +127,7 @@ impl BenchmarkGroup<'_> {
             f(&mut b);
             samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
         }
-        samples.sort_by(|a, b| a.total_cmp(b));
+        samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
         let best = samples[0];
 
@@ -244,7 +245,7 @@ mod tests {
             g.throughput(Throughput::Elements(4));
             g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
             g.bench_with_input(BenchmarkId::new("sum", 8usize), &8usize, |b, &n| {
-                b.iter(|| (0..n).sum::<usize>())
+                b.iter(|| (0..n).sum::<usize>());
             });
             g.finish();
         }

@@ -42,7 +42,10 @@ pub fn degraded_retrieval(
             served_replicas.push(live);
         }
     }
-    let refs: Vec<&[DeviceId]> = served_replicas.iter().map(|r| r.as_slice()).collect();
+    let refs: Vec<&[DeviceId]> = served_replicas
+        .iter()
+        .map(std::vec::Vec::as_slice)
+        .collect();
     let schedule = RetrievalNetwork::new(devices).optimal_schedule(&refs);
     DegradedSchedule { schedule, lost }
 }

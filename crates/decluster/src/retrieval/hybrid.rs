@@ -38,7 +38,7 @@ mod tests {
     use super::*;
 
     fn refs(reqs: &[Vec<usize>]) -> Vec<&[usize]> {
-        reqs.iter().map(|r| r.as_slice()).collect()
+        reqs.iter().map(std::vec::Vec::as_slice).collect()
     }
 
     #[test]

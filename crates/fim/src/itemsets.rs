@@ -224,7 +224,7 @@ fn candidates_from_items(frequent: &[bool]) -> Vec<Vec<u32>> {
 /// a (k−1)-prefix, then prune candidates with an infrequent subset.
 fn generate_candidates(level: &[Vec<u32>]) -> Vec<Vec<u32>> {
     use std::collections::HashSet;
-    let level_set: HashSet<&[u32]> = level.iter().map(|s| s.as_slice()).collect();
+    let level_set: HashSet<&[u32]> = level.iter().map(std::vec::Vec::as_slice).collect();
     let mut out = Vec::new();
     for i in 0..level.len() {
         for j in (i + 1)..level.len() {

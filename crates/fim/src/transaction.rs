@@ -92,7 +92,7 @@ impl TransactionDb {
     /// Total item occurrences (Σ transaction sizes) — the "request size"
     /// column of Table IV.
     pub fn total_occurrences(&self) -> usize {
-        self.transactions.iter().map(|t| t.len()).sum()
+        self.transactions.iter().map(std::vec::Vec::len).sum()
     }
 }
 

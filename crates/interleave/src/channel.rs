@@ -1,0 +1,409 @@
+//! Instrumented MPMC channel matching the `crossbeam` shim's API subset
+//! (`bounded`/`unbounded`, disconnect-on-last-endpoint-drop semantics).
+//!
+//! Under a [`crate::model`] execution, send/recv park on scheduler
+//! conditions evaluated against a mirror of the queue state — a blocked
+//! send is runnable once there is room *or* every receiver is gone (so the
+//! disconnect error is itself an explorable outcome). Outside a model the
+//! channel degrades to the same mutex-plus-condvars implementation as the
+//! crossbeam shim.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use crate::rt::{ctx, Condition, Resource, ResourceId, Rt};
+
+struct Shared<T> {
+    id: ResourceId,
+    queue: Mutex<VecDeque<T>>,
+    /// None = unbounded.
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Sending half; clonable for multi-producer use.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half; clonable for multi-consumer use.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Send failed: all receivers dropped. Returns the unsent value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Non-blocking send failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// Channel at capacity; value returned.
+    Full(T),
+    /// All receivers dropped; value returned.
+    Disconnected(T),
+}
+
+/// Receive failed: channel empty and all senders dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Non-blocking receive failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+/// Channel buffering at most `cap` messages; sends block when full.
+/// `cap = 0` is rounded up to 1 (true rendezvous is not needed here).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+/// Channel with no capacity bound; sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        id: ResourceId::new(),
+        queue: Mutex::new(VecDeque::new()),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Shared<T> {
+    fn no_receivers(&self) -> bool {
+        self.receivers.load(Ordering::Acquire) == 0
+    }
+
+    fn no_senders(&self) -> bool {
+        self.senders.load(Ordering::Acquire) == 0
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register with the scheduler, snapshotting live endpoint counts so an
+    /// object first touched mid-execution mirrors its real state.
+    fn ensure(&self, rt: &Rt) -> usize {
+        self.id.get(rt, || Resource::Channel {
+            len: self.lock_queue().len(),
+            cap: self.capacity.unwrap_or(usize::MAX),
+            senders: self.senders.load(Ordering::Acquire),
+            receivers: self.receivers.load(Ordering::Acquire),
+        })
+    }
+
+    fn mirror(&self, rt: &Rt, f: impl FnOnce(&mut usize, usize, &mut usize, &mut usize)) {
+        if let Some(id) = self.id.peek(rt) {
+            rt.update_resource(id, |r| match r {
+                Resource::Channel {
+                    len,
+                    cap,
+                    senders,
+                    receivers,
+                } => f(len, *cap, senders, receivers),
+                other => unreachable!("channel slot holds {other:?}"),
+            });
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Block until the value is enqueued, or fail if all receivers are
+    /// gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        if let Some((rt, me)) = ctx() {
+            let id = shared.ensure(&rt);
+            rt.yield_point(me, Condition::ChanSend(id), "chan.send");
+            let receivers = rt.read_resource(id, |r| match r {
+                Resource::Channel { receivers, .. } => *receivers,
+                other => unreachable!("channel slot holds {other:?}"),
+            });
+            if receivers == 0 {
+                return Err(SendError(value));
+            }
+            shared.lock_queue().push_back(value);
+            rt.update_resource(id, |r| match r {
+                Resource::Channel { len, .. } => *len += 1,
+                other => unreachable!("channel slot holds {other:?}"),
+            });
+            return Ok(());
+        }
+        let mut q = shared.lock_queue();
+        loop {
+            if shared.no_receivers() {
+                return Err(SendError(value));
+            }
+            match shared.capacity {
+                Some(cap) if q.len() >= cap => {
+                    q = shared
+                        .not_full
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        q.push_back(value);
+        drop(q);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let shared = &*self.shared;
+        if let Some((rt, me)) = ctx() {
+            let id = shared.ensure(&rt);
+            rt.yield_point(me, Condition::Always, "chan.try_send");
+            let (len, cap, receivers) = rt.read_resource(id, |r| match r {
+                Resource::Channel {
+                    len,
+                    cap,
+                    receivers,
+                    ..
+                } => (*len, *cap, *receivers),
+                other => unreachable!("channel slot holds {other:?}"),
+            });
+            if receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if len >= cap {
+                return Err(TrySendError::Full(value));
+            }
+            shared.lock_queue().push_back(value);
+            rt.update_resource(id, |r| match r {
+                Resource::Channel { len, .. } => *len += 1,
+                other => unreachable!("channel slot holds {other:?}"),
+            });
+            return Ok(());
+        }
+        let mut q = shared.lock_queue();
+        if shared.no_receivers() {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = shared.capacity {
+            if q.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        q.push_back(value);
+        drop(q);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock_queue().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value arrives, or fail once the channel is empty with
+    /// all senders gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        if let Some((rt, me)) = ctx() {
+            let id = shared.ensure(&rt);
+            rt.yield_point(me, Condition::ChanRecv(id), "chan.recv");
+            match shared.lock_queue().pop_front() {
+                Some(v) => {
+                    rt.update_resource(id, |r| match r {
+                        Resource::Channel { len, .. } => *len -= 1,
+                        other => unreachable!("channel slot holds {other:?}"),
+                    });
+                    return Ok(v);
+                }
+                // Runnable with an empty queue implies every sender is
+                // gone: disconnect.
+                None => return Err(RecvError),
+            }
+        }
+        let mut q = shared.lock_queue();
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if shared.no_senders() {
+                return Err(RecvError);
+            }
+            q = shared
+                .not_empty
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        if let Some((rt, me)) = ctx() {
+            let id = shared.ensure(&rt);
+            rt.yield_point(me, Condition::Always, "chan.try_recv");
+            match shared.lock_queue().pop_front() {
+                Some(v) => {
+                    rt.update_resource(id, |r| match r {
+                        Resource::Channel { len, .. } => *len -= 1,
+                        other => unreachable!("channel slot holds {other:?}"),
+                    });
+                    return Ok(v);
+                }
+                None => {
+                    return if shared.no_senders() {
+                        Err(TryRecvError::Disconnected)
+                    } else {
+                        Err(TryRecvError::Empty)
+                    };
+                }
+            }
+        }
+        let mut q = shared.lock_queue();
+        if let Some(v) = q.pop_front() {
+            drop(q);
+            shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if shared.no_senders() {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock_queue().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate until the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        if let Some((rt, _)) = ctx() {
+            self.shared.mirror(&rt, |_, _, senders, _| *senders += 1);
+        }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        if let Some((rt, _)) = ctx() {
+            self.shared
+                .mirror(&rt, |_, _, _, receivers| *receivers += 1);
+        }
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if let Some((rt, _)) = ctx() {
+            self.shared.senders.fetch_sub(1, Ordering::AcqRel);
+            self.shared.mirror(&rt, |_, _, senders, _| *senders -= 1);
+            // Blocked receivers become runnable at the next scheduling
+            // point; no wakeup needed under the model.
+            return;
+        }
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake receivers so they observe disconnect.
+            let _unused = self.shared.queue.lock();
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if let Some((rt, _)) = ctx() {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            self.shared
+                .mirror(&rt, |_, _, _, receivers| *receivers -= 1);
+            return;
+        }
+        if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver: wake senders blocked on a full queue.
+            let _unused = self.shared.queue.lock();
+            self.shared.not_full.notify_all();
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Instrumented counterpart of `std::thread`'s `Builder`/`spawn`/`join`
+//! subset. Inside a [`crate::model`] execution, spawned closures become
+//! model threads under the scheduler and `join` parks on a scheduler
+//! condition; outside, everything delegates to `std::thread`.
+
+use std::io;
+use std::sync::{Arc, PoisonError};
+
+use crate::rt::{ctx, spawn_model_thread, Condition, ResultSlot, Rt};
+
+/// Thread factory mirroring `std::thread::Builder`'s `name` + `spawn`.
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Create a builder with no name set.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Name the thread (visible in panic messages and debuggers).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawn `f`, as a model thread when called inside a model execution.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            Some((rt, _)) => {
+                let tid = rt.register_thread();
+                let (result, os) = spawn_model_thread(Arc::clone(&rt), tid, self.name, f);
+                Ok(JoinHandle(Inner::Model {
+                    rt,
+                    tid,
+                    result,
+                    os: Some(os),
+                }))
+            }
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
+            }
+        }
+    }
+}
+
+/// Spawn an unnamed thread; see [`Builder::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        rt: Arc<Rt>,
+        tid: usize,
+        result: ResultSlot<T>,
+        os: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+/// Owned permission to join a spawned thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its result. Under a model
+    /// this parks the caller on a scheduler condition, so a join cycle is
+    /// reported as a deadlock rather than hanging.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model {
+                rt,
+                tid,
+                result,
+                os,
+            } => {
+                let (_, me) = ctx().expect("model JoinHandle joined from outside its model");
+                rt.yield_point(me, Condition::Join(tid), "thread.join");
+                if let Some(os) = os {
+                    let _ = os.join();
+                }
+                result
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("model thread finished without storing a result")
+            }
+        }
+    }
+}

@@ -189,7 +189,7 @@ mod tests {
             vec![3, 8, 1],
             vec![4, 8, 0],
         ];
-        let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[usize]> = reqs.iter().map(std::vec::Vec::as_slice).collect();
         let batch = RetrievalNetwork::new(9).feasible(&refs, 1);
         assert!(batch.is_some());
         let mut inc = IncrementalRetrieval::new(9, 1);

@@ -180,7 +180,7 @@ mod tests {
             vec![7, 0, 5],
             vec![8, 1, 3],
         ];
-        let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[usize]> = reqs.iter().map(std::vec::Vec::as_slice).collect();
         let s = nets().optimal_schedule(&refs);
         assert_eq!(s.accesses, 1);
         let loads = s.device_loads(9);
@@ -194,7 +194,7 @@ mod tests {
         // in 1 access. Make 4 blocks over 3 devices → 2 accesses.
         let reqs: Vec<Vec<usize>> =
             vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 0, 1], vec![0, 1, 2]];
-        let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[usize]> = reqs.iter().map(std::vec::Vec::as_slice).collect();
         let s = RetrievalNetwork::new(3).optimal_schedule(&refs);
         assert_eq!(s.accesses, 2);
     }
@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn assignment_only_uses_replicas() {
         let reqs: Vec<Vec<usize>> = vec![vec![0, 3, 6], vec![5, 7, 0], vec![0, 4, 8]];
-        let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[usize]> = reqs.iter().map(std::vec::Vec::as_slice).collect();
         let s = nets().optimal_schedule(&refs);
         for (i, req) in reqs.iter().enumerate() {
             assert!(req.contains(&s.assignment[i]));
@@ -218,7 +218,7 @@ mod tests {
             vec![0, 1, 2],
             vec![0, 1, 2],
         ];
-        let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[usize]> = reqs.iter().map(std::vec::Vec::as_slice).collect();
         let net = RetrievalNetwork::new(3);
         assert!(net.feasible(&refs, 1).is_none());
         assert!(net.feasible(&refs, 2).is_some());
@@ -229,7 +229,7 @@ mod tests {
     fn single_replica_serial_retrieval() {
         // Without replication all blocks on one device retrieve serially.
         let reqs: Vec<Vec<usize>> = (0..4).map(|_| vec![2usize]).collect();
-        let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[usize]> = reqs.iter().map(std::vec::Vec::as_slice).collect();
         let s = nets().optimal_schedule(&refs);
         assert_eq!(s.accesses, 4);
         assert!(s.assignment.iter().all(|&d| d == 2));

@@ -48,7 +48,7 @@ proptest! {
                 r
             })
             .collect();
-        let refs: Vec<&[usize]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[usize]> = reqs.iter().map(std::vec::Vec::as_slice).collect();
         let net = RetrievalNetwork::new(devices);
         let s = net.optimal_schedule(&refs);
 
@@ -96,7 +96,7 @@ proptest! {
             if !accepted {
                 probe.push(r.clone());
             }
-            let probe_refs: Vec<&[usize]> = probe.iter().map(|x| x.as_slice()).collect();
+            let probe_refs: Vec<&[usize]> = probe.iter().map(std::vec::Vec::as_slice).collect();
             let batch_ok = net.feasible(&probe_refs, m).is_some();
             prop_assert_eq!(accepted, batch_ok || accepted,
                 "incremental rejected a feasible set");

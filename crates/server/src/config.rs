@@ -48,6 +48,10 @@ pub struct ServerConfig {
     /// Scripted device failures and recoveries replayed by the fault plane
     /// (empty = all devices healthy unless faults are injected live).
     pub fault_schedule: FaultSchedule,
+    /// Live window-ring slots ([`WINDOW_RING`] by default). Model-checking
+    /// configs shrink this so schedule exploration wraps the ring within a
+    /// few windows; production configs should leave it alone.
+    pub ring_slots: usize,
 }
 
 impl ServerConfig {
@@ -62,6 +66,7 @@ impl ServerConfig {
             assignment: AssignmentMode::default(),
             delay_horizon: 64,
             fault_schedule: FaultSchedule::new(),
+            ring_slots: WINDOW_RING,
         }
     }
 
@@ -95,6 +100,14 @@ impl ServerConfig {
         self
     }
 
+    /// Set the window-ring size (slots). Must stay more than twice the
+    /// delay horizon; meant for model-checking configs that need a small
+    /// state space.
+    pub fn with_ring_slots(mut self, slots: usize) -> Self {
+        self.ring_slots = slots;
+        self
+    }
+
     /// Validate the composite configuration.
     pub fn validate(&self) -> Result<(), String> {
         self.qos.validate()?;
@@ -107,11 +120,14 @@ impl ServerConfig {
         if self.shards == 0 {
             return Err("shards must be positive".into());
         }
-        if self.delay_horizon as usize >= WINDOW_RING / 2 {
+        if self.ring_slots < 2 {
+            return Err("ring_slots must be at least 2".into());
+        }
+        if self.delay_horizon as usize >= self.ring_slots / 2 {
             return Err(format!(
                 "delay_horizon {} must stay below half the window ring ({})",
                 self.delay_horizon,
-                WINDOW_RING / 2
+                self.ring_slots / 2
             ));
         }
         self.fault_schedule.validate(self.qos.devices())?;
@@ -174,6 +190,29 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(err.contains("queue_depth"), "{err}");
+    }
+
+    #[test]
+    fn ring_slots_builder_and_bounds() {
+        let cfg = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_ring_slots(8)
+            .with_delay_horizon(3);
+        assert_eq!(cfg.ring_slots, 8);
+        cfg.validate().unwrap();
+
+        let err = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_ring_slots(1)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("ring_slots"), "{err}");
+
+        // The delay horizon must stay below half the ring.
+        let err = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_ring_slots(8)
+            .with_delay_horizon(4)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("delay_horizon"), "{err}");
     }
 
     #[test]

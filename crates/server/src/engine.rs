@@ -43,16 +43,15 @@ use crate::config::ServerConfig;
 use crate::fault::{FaultKind, FaultPlane};
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, TenantSnapshot};
 use crate::registry::{RegisterError, Tenant, TenantRegistry};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::channel::{bounded, Receiver, Sender};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Arc, Mutex};
 use crate::window::{AdmitResult, WindowRing};
-use crossbeam::channel::{bounded, Receiver, Sender};
 use fqos_core::{OverloadPolicy, StatisticalCounters};
 use fqos_decluster::sampling::{optimal_retrieval_probabilities, OptimalRetrievalProbabilities};
 use fqos_decluster::AllocationScheme;
 use fqos_flashsim::{CalibratedSsd, Device, IoRequest};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Outcome of one [`SubmitterHandle::submit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,6 +238,7 @@ impl QosServer {
         let engine = Arc::new(Engine {
             registry: TenantRegistry::new(limit, cfg.shards),
             ring: WindowRing::new(
+                cfg.ring_slots,
                 devices,
                 cfg.qos.accesses,
                 cfg.assignment,
@@ -262,7 +262,7 @@ impl QosServer {
             .enumerate()
             .map(|(w, rx)| {
                 let engine = Arc::clone(&engine);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("fqos-worker-{w}"))
                     .spawn(move || worker_loop(w, workers, rx, engine))
                     .map_err(|e| format!("spawning worker {w}: {e}"))
@@ -668,6 +668,7 @@ impl Drop for SubmitterHandle {
 /// Worker `w` owns every device `d` with `d % workers == w` (local slot
 /// `d / workers`) and serves dispatched items FCFS — which is window order,
 /// because the dispatcher is serialized.
+#[allow(clippy::needless_pass_by_value)] // thread entry: owns its receiver + engine handle
 fn worker_loop(worker: usize, workers: usize, rx: Receiver<WorkMsg>, engine: Arc<Engine>) {
     let devices = engine.cfg.qos.devices();
     let service = engine.cfg.qos.service_ns;
@@ -734,6 +735,27 @@ mod tests {
     }
 
     const BASE_T: u64 = 133_000;
+
+    #[test]
+    fn dropping_a_handle_mid_window_drains_cleanly() {
+        // Companion to tests/model.rs `handle_drop_mid_window_conserves_requests`:
+        // one handle drops while another still holds the window open, then
+        // the survivor keeps admitting into the same window.
+        let s = server();
+        s.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut ha = s.handle();
+        let mut hb = s.handle();
+        assert!(ha.submit(1, 0, 0).is_admitted());
+        drop(ha); // hb's watermark (0) keeps window 0 open across this pump
+        assert!(hb.submit(1, 1, 0).is_admitted());
+        assert!(hb.submit(1, 1, BASE_T).is_admitted());
+        drop(hb);
+        let m = s.finish();
+        assert_eq!(m.admitted_total(), 3);
+        assert_eq!(m.served, 3, "drain may not strand admitted requests");
+        assert_eq!(m.fault_lost, 0);
+        assert_eq!(m.guaranteed_violations, 0);
+    }
 
     #[test]
     fn unknown_tenant_is_rejected() {

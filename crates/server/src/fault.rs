@@ -29,8 +29,8 @@
 //! seal and re-dispatches onto surviving replicas within the same interval
 //! (counted in [`FaultPlane::redispatches`]).
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::Mutex;
 
 /// Largest device count the health bitmap covers.
 pub const MAX_FAULT_DEVICES: usize = 64;

@@ -39,6 +39,7 @@ mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod registry;
+mod sync;
 mod window;
 
 pub use config::{AssignmentMode, ServerConfig, WINDOW_RING};

@@ -7,10 +7,9 @@
 //! path) only take a read lock on the tenant's shard.
 
 use crate::metrics::TenantCounters;
+use crate::sync::{Arc, Mutex, RwLock};
 use fqos_core::{AppAdmission, OverloadPolicy};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// Immutable per-tenant record handed out by lookups.
 #[derive(Debug)]

@@ -22,17 +22,17 @@
 //! item with no surviving replica is counted lost — never silently
 //! dropped.
 //!
-//! Slots are reused modulo [`WINDOW_RING`]; the engine's watermark
+//! Slots are reused modulo the configured ring size
+//! ([`crate::config::ServerConfig::ring_slots`]); the engine's watermark
 //! protocol guarantees a slot is sealed and drained before its index comes
 //! around again (enforced here with an occupancy check).
 
-use crate::config::{AssignmentMode, WINDOW_RING};
+use crate::config::AssignmentMode;
 use crate::fault::FaultPlane;
+use crate::sync::{Arc, Mutex, MutexGuard};
 use fqos_decluster::retrieval::{DegradedAdmit, DegradedWindow};
 use fqos_flashsim::IoRequest;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// A request parked in a window awaiting seal.
 #[derive(Debug, Clone)]
@@ -141,13 +141,14 @@ pub(crate) struct WindowRing {
 
 impl WindowRing {
     pub fn new(
+        ring_slots: usize,
         devices: usize,
         accesses: usize,
         mode: AssignmentMode,
         fault: Arc<FaultPlane>,
     ) -> Self {
         WindowRing {
-            slots: (0..WINDOW_RING)
+            slots: (0..ring_slots)
                 .map(|_| {
                     Mutex::new(SlotState {
                         window: 0,
@@ -169,13 +170,13 @@ impl WindowRing {
     }
 
     fn slot(&self, window: u64) -> &Mutex<SlotState> {
-        &self.slots[(window % WINDOW_RING as u64) as usize]
+        &self.slots[(window % self.slots.len() as u64) as usize]
     }
 
     /// Lock `window`'s slot, (re-)initializing it on first touch. Panics if
     /// the slot still holds an unsealed *older* window — that means
     /// submitter clocks drifted further apart than the ring covers.
-    fn locked(&self, window: u64) -> parking_lot::MutexGuard<'_, SlotState> {
+    fn locked(&self, window: u64) -> MutexGuard<'_, SlotState> {
         let mut s = self.slot(window).lock();
         if !s.active {
             let mask = self.fault.admission_mask(window);
@@ -184,9 +185,10 @@ impl WindowRing {
             assert!(
                 s.window > window,
                 "window ring wrapped: window {} still unsealed while {} arrives \
-                 (submitter drift exceeds WINDOW_RING = {WINDOW_RING})",
+                 (submitter drift exceeds the ring size {})",
                 s.window,
                 window,
+                self.slots.len(),
             );
             // s.window > window would mean admitting into a sealed past
             // window; the engine's watermark protocol forbids it.
@@ -427,6 +429,7 @@ impl WindowRing {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::WINDOW_RING;
     use crate::fault::{FaultKind, FaultSchedule};
     use fqos_flashsim::IoRequest;
 
@@ -440,7 +443,7 @@ mod tests {
 
     fn ring(mode: AssignmentMode) -> WindowRing {
         // 3 devices, M = 1; replica pairs below.
-        WindowRing::new(3, 1, mode, healthy(3))
+        WindowRing::new(WINDOW_RING, 3, 1, mode, healthy(3))
     }
 
     #[test]
@@ -549,7 +552,13 @@ mod tests {
     fn scripted_failure_routes_admission_around_the_dead_device() {
         let fault =
             Arc::new(FaultPlane::new(3, FaultSchedule::new().fail(0, 4).recover(0, 6)).unwrap());
-        let r = WindowRing::new(3, 1, AssignmentMode::OptimalFlow, Arc::clone(&fault));
+        let r = WindowRing::new(
+            WINDOW_RING,
+            3,
+            1,
+            AssignmentMode::OptimalFlow,
+            Arc::clone(&fault),
+        );
         // Window 3 executes during window 4 (device 0 down): the request
         // naming device 0 must land on a survivor at admission time.
         assert!(r.try_admit(3, 1, 9, req(1), &[0, 1]).is_admitted());
@@ -568,7 +577,13 @@ mod tests {
     fn all_replicas_down_is_unavailable_not_full() {
         let fault =
             Arc::new(FaultPlane::new(3, FaultSchedule::new().fail(0, 0).fail(1, 0)).unwrap());
-        let r = WindowRing::new(3, 1, AssignmentMode::OptimalFlow, Arc::clone(&fault));
+        let r = WindowRing::new(
+            WINDOW_RING,
+            3,
+            1,
+            AssignmentMode::OptimalFlow,
+            Arc::clone(&fault),
+        );
         assert_eq!(
             r.try_admit(0, 1, 9, req(1), &[0, 1]),
             AdmitResult::Unavailable
@@ -578,7 +593,7 @@ mod tests {
             !r.add_overflow(0, 1, req(3), &[0, 1]),
             "overflow refused too"
         );
-        let eft = WindowRing::new(3, 1, AssignmentMode::Eft, fault);
+        let eft = WindowRing::new(WINDOW_RING, 3, 1, AssignmentMode::Eft, fault);
         assert_eq!(
             eft.try_admit(0, 1, 9, req(4), &[0, 1]),
             AdmitResult::Unavailable
@@ -588,7 +603,7 @@ mod tests {
     #[test]
     fn live_injection_drains_the_failing_device_at_seal() {
         let fault = Arc::new(FaultPlane::new(3, FaultSchedule::new()).unwrap());
-        let r = WindowRing::new(3, 1, AssignmentMode::Eft, Arc::clone(&fault));
+        let r = WindowRing::new(WINDOW_RING, 3, 1, AssignmentMode::Eft, Arc::clone(&fault));
         // EFT assigns at admit time; ties break toward replica 0.
         assert!(r.try_admit(0, 1, 9, req(1), &[0, 1]).is_admitted());
         // Device 0 dies before the execution interval (window 1).
@@ -603,7 +618,7 @@ mod tests {
     #[test]
     fn items_with_no_surviving_replica_are_counted_lost() {
         let fault = Arc::new(FaultPlane::new(3, FaultSchedule::new()).unwrap());
-        let r = WindowRing::new(3, 1, AssignmentMode::Eft, Arc::clone(&fault));
+        let r = WindowRing::new(WINDOW_RING, 3, 1, AssignmentMode::Eft, Arc::clone(&fault));
         assert!(r.try_admit(0, 1, 9, req(1), &[0, 1]).is_admitted());
         assert!(r.add_overflow(0, 1, req(2), &[0]));
         fault.inject(0, FaultKind::Fail, 1).unwrap();

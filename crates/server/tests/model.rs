@@ -1,0 +1,242 @@
+//! Bounded exhaustive model checking of the engine's concurrency protocol.
+//!
+//! Only built with `--features model-check`: the facade in `src/sync.rs`
+//! swaps every lock, channel, atomic and thread the engine uses for the
+//! [`interleave`] crate's instrumented twins, and each test below runs a
+//! small end-to-end scenario under [`interleave::model_with`], which
+//! re-executes the closure once per distinct thread schedule (DFS over
+//! context switches, preemption-bounded). Any assertion failure, panic in
+//! engine code (e.g. the window ring's sealed-admission checks), or
+//! deadlock on *any* explored schedule fails the test with a replayable
+//! schedule trace.
+//!
+//! Invariants checked on every schedule (see DESIGN.md, "Concurrency
+//! invariants"):
+//!
+//! - **Conservation**: `served + fault_lost == admitted_total`, and
+//!   `admitted_total + rejected` equals the number of submits issued.
+//! - **Deadline audit**: no guaranteed-deadline violations unless a live
+//!   fault forced the overload path (`fault_overloads > 0`).
+//! - **Deadlock freedom**: the scenario runs to completion — submitters
+//!   join, `finish` drains the workers — on every schedule.
+//!
+//! Scenarios are deliberately small (2 workers, an 8-slot ring, one or two
+//! requests per submitter) so the preemption-bounded state space stays in
+//! the thousands of schedules while still covering the races named in the
+//! design notes: admission vs. seal, live fault injection vs. seal, and
+//! handle drop / shutdown vs. the final drain.
+
+#![cfg(feature = "model-check")]
+
+mod common;
+
+use fqos_core::{OverloadPolicy, QosConfig};
+use fqos_server::{QosServer, ServerConfig, SubmitOutcome};
+use interleave::{model_with, Config, Report};
+
+/// A 2-worker, 8-slot-ring configuration small enough for exhaustive
+/// schedule exploration: single registry shard, depth-2 worker queues,
+/// greedy EFT assignment (replica choice resolved at submit, so seal-time
+/// work is the drain itself).
+fn model_cfg() -> ServerConfig {
+    let mut cfg = ServerConfig::new(QosConfig::paper_9_3_1())
+        .with_workers(2)
+        .with_queue_depth(2)
+        .with_ring_slots(8)
+        .with_delay_horizon(2)
+        .with_assignment(fqos_server::AssignmentMode::Eft);
+    cfg.shards = 1;
+    cfg
+}
+
+/// Tally of one submitter thread's outcomes, joined back into the root
+/// thread so per-schedule totals can be checked against the final
+/// metrics snapshot.
+#[derive(Default)]
+struct Tally {
+    admitted: u64,
+    rejected: u64,
+}
+
+fn submit_all(
+    handle: &mut fqos_server::SubmitterHandle,
+    tenant: u64,
+    submits: &[(u64, u64)],
+) -> Tally {
+    let mut tally = Tally::default();
+    for &(lbn, arrival_ns) in submits {
+        match handle.submit(tenant, lbn, arrival_ns) {
+            SubmitOutcome::Rejected(_) => tally.rejected += 1,
+            _ => tally.admitted += 1,
+        }
+    }
+    tally
+}
+
+fn report_and_check(name: &str, report: Report, floor: u64) {
+    println!(
+        "{name}: explored {} schedules (exhausted: {}, max depth: {} ops)",
+        report.schedules, report.exhausted, report.max_depth
+    );
+    assert!(
+        report.schedules >= floor,
+        "{name} explored only {} schedules; expected at least {floor} \
+         (state space too small to be meaningful — widen the scenario)",
+        report.schedules
+    );
+}
+
+/// Two submitter threads race admission into overlapping windows against
+/// each other's seal-advancing pumps and the worker drain. Checks
+/// conservation and the guaranteed-deadline audit on every schedule.
+#[test]
+fn admission_vs_seal_conserves_requests() {
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 4096,
+        ..Config::default()
+    };
+    let report = model_with(bounds, || {
+        let server = QosServer::new(model_cfg()).unwrap();
+        let t_ns = server.config().qos.interval_ns;
+        server.register(1, 2, OverloadPolicy::Delay).unwrap();
+        server.register(2, 2, OverloadPolicy::Delay).unwrap();
+        let mut ha = server.handle();
+        let mut hb = server.handle();
+        let a = interleave::thread::spawn(move || submit_all(&mut ha, 1, &[(0, 0), (1, t_ns)]));
+        let b = interleave::thread::spawn(move || submit_all(&mut hb, 2, &[(2, 0), (3, t_ns)]));
+        let ta = a.join().unwrap();
+        let tb = b.join().unwrap();
+        let m = server.finish();
+        let submitted = 4;
+        assert_eq!(ta.admitted + tb.admitted, m.admitted_total());
+        assert_eq!(ta.rejected + tb.rejected, m.rejected);
+        assert_eq!(m.admitted_total() + m.rejected, submitted);
+        assert_eq!(m.served + m.fault_lost, m.admitted_total(), "conservation");
+        assert_eq!(m.fault_lost, 0, "no faults were injected");
+        assert_eq!(m.guaranteed_violations, 0, "deadline audit");
+    });
+    report_and_check("admission-vs-seal", report, 1000);
+}
+
+/// A live `inject_fault` races admission and seal: two same-bucket
+/// requests land in one window while an injector thread takes down two of
+/// the bucket's three replicas. Depending on where the injections land
+/// relative to admission and seal, requests are rerouted at admission,
+/// re-dispatched at seal, or squeezed through the overload path
+/// (`fault_overloads`) when the rebuild is infeasible under `M = 1`.
+/// Conservation must hold on every schedule, nothing may be lost (one
+/// replica always survives), and the guaranteed-deadline audit may only
+/// be charged when the overload path actually fired.
+#[test]
+fn inject_fault_vs_seal_conserves_requests() {
+    let replicas = common::bucket_replicas(9, 3, 0);
+    let (f0, f1) = (replicas[0], replicas[1]);
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 4096,
+        ..Config::default()
+    };
+    let report = model_with(bounds, move || {
+        let server = QosServer::new(model_cfg()).unwrap();
+        server.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut hs = server.handle();
+        let hf = server.handle();
+        let submitter = interleave::thread::spawn(move || {
+            // Same bucket, same arrival window: under M = 1 the two
+            // requests need two distinct live replicas.
+            submit_all(&mut hs, 1, &[(0, 0), (0, 0)])
+        });
+        let injector = interleave::thread::spawn(move || {
+            hf.inject_fault(f0).unwrap();
+            hf.inject_fault(f1).unwrap();
+            // Dropping hf closes its watermark so sealing can proceed.
+        });
+        let ts = submitter.join().unwrap();
+        injector.join().unwrap();
+        let m = server.finish();
+        assert_eq!(ts.admitted, m.admitted_total());
+        assert_eq!(ts.rejected, m.rejected);
+        assert_eq!(m.admitted_total() + m.rejected, 2);
+        assert_eq!(m.served + m.fault_lost, m.admitted_total(), "conservation");
+        assert_eq!(m.fault_lost, 0, "one replica survives on every schedule");
+        if m.fault_overloads == 0 {
+            assert_eq!(
+                m.guaranteed_violations, 0,
+                "deadline audit may only be charged via the overload path"
+            );
+        }
+    });
+    report_and_check("inject-fault-vs-seal", report, 1000);
+}
+
+/// Shutdown-drain race: one submitter drops its handle after a single
+/// request while the other keeps admitting, then `finish` force-closes,
+/// seals the tail and joins the 2-worker pool. Every admitted request
+/// must be served on every schedule — the drain may not strand items in
+/// the ring or the worker queues.
+#[test]
+fn shutdown_drain_loses_nothing() {
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 2048,
+        ..Config::default()
+    };
+    let report = model_with(bounds, || {
+        let server = QosServer::new(model_cfg()).unwrap();
+        let t_ns = server.config().qos.interval_ns;
+        server.register(1, 2, OverloadPolicy::Delay).unwrap();
+        server.register(2, 2, OverloadPolicy::Delay).unwrap();
+        let mut ha = server.handle();
+        let mut hb = server.handle();
+        let a = interleave::thread::spawn(move || {
+            // One request, then the handle drops mid-window: its
+            // watermark must stop gating the seal.
+            submit_all(&mut ha, 1, &[(0, 0)])
+        });
+        let b = interleave::thread::spawn(move || submit_all(&mut hb, 2, &[(2, 0), (3, 2 * t_ns)]));
+        let ta = a.join().unwrap();
+        let tb = b.join().unwrap();
+        let m = server.finish();
+        assert_eq!(m.admitted_total() + m.rejected, 3);
+        assert_eq!(ta.admitted + tb.admitted, m.admitted_total());
+        assert_eq!(m.served, m.admitted_total(), "drain may not strand items");
+        assert_eq!(m.guaranteed_violations, 0);
+    });
+    report_and_check("shutdown-drain", report, 200);
+}
+
+/// The satellite regression from DESIGN.md: dropping a `SubmitterHandle`
+/// mid-window — while another handle still holds the window open — must
+/// drain without losing conservation. The drop-side pump races the live
+/// handle's admissions into the same window.
+#[test]
+fn handle_drop_mid_window_conserves_requests() {
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 2048,
+        ..Config::default()
+    };
+    let report = model_with(bounds, || {
+        let server = QosServer::new(model_cfg()).unwrap();
+        let t_ns = server.config().qos.interval_ns;
+        server.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut ha = server.handle();
+        let mut hb = server.handle();
+        let a = interleave::thread::spawn(move || {
+            let tally = submit_all(&mut ha, 1, &[(0, 0)]);
+            drop(ha); // explicit: drop races hb's admissions below
+            tally
+        });
+        let b = interleave::thread::spawn(move || submit_all(&mut hb, 1, &[(1, 0), (1, t_ns)]));
+        let ta = a.join().unwrap();
+        let tb = b.join().unwrap();
+        let m = server.finish();
+        assert_eq!(m.admitted_total() + m.rejected, 3);
+        assert_eq!(ta.admitted + tb.admitted, m.admitted_total());
+        assert_eq!(m.served + m.fault_lost, m.admitted_total(), "conservation");
+        assert_eq!(m.fault_lost, 0);
+        assert_eq!(m.guaranteed_violations, 0);
+    });
+    report_and_check("handle-drop-mid-window", report, 200);
+}

@@ -188,7 +188,7 @@ mod tests {
             100,
         );
         assert_eq!(t.num_intervals(), 4);
-        let sizes: Vec<usize> = t.intervals().map(|s| s.len()).collect();
+        let sizes: Vec<usize> = t.intervals().map(<[TraceRecord]>::len).collect();
         assert_eq!(sizes, vec![2, 1, 0, 1]);
     }
 

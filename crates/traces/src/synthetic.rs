@@ -112,7 +112,7 @@ mod tests {
     fn interval_sizes_match_config() {
         let cfg = SyntheticConfig::table3(27, 3 * BASE_INTERVAL_NS);
         let t = cfg.generate();
-        let sizes: Vec<usize> = t.intervals().map(|s| s.len()).collect();
+        let sizes: Vec<usize> = t.intervals().map(<[TraceRecord]>::len).collect();
         // 10000 / 27 = 370 full intervals + remainder 10.
         assert_eq!(sizes.len(), 371);
         assert!(sizes[..370].iter().all(|&s| s == 27));

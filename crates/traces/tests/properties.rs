@@ -52,7 +52,7 @@ proptest! {
         interval_ns in 1u64..5_000_000,
     ) {
         let t = Trace::new("t", records, 9, interval_ns);
-        let total: usize = t.intervals().map(|s| s.len()).sum();
+        let total: usize = t.intervals().map(<[fqos_traces::TraceRecord]>::len).sum();
         prop_assert_eq!(total, t.len());
         for (i, slice) in t.intervals().enumerate() {
             for r in slice {
@@ -130,7 +130,10 @@ fn tpce_volume_skew_creates_hotspots() {
 #[test]
 fn exchange_is_diurnal() {
     let t = exchange(ExchangeConfig::default()).generate();
-    let sizes: Vec<usize> = t.intervals().map(|s| s.len()).collect();
+    let sizes: Vec<usize> = t
+        .intervals()
+        .map(<[fqos_traces::TraceRecord]>::len)
+        .collect();
     assert_eq!(sizes.len(), 96);
     // First interval (afternoon) busier than the overnight trough region.
     let peak_zone: usize = sizes[..8].iter().sum();

@@ -1,0 +1,21 @@
+//! Negative fixture: a seeded lock-order inversion. `fault.inner` (the
+//! innermost class in the documented hierarchy) is held while
+//! `engine.dispatch` (the outermost) is acquired — the AB-BA half that,
+//! combined with any legal dispatch -> inner nesting, deadlocks.
+//!
+//! CI runs `cargo run -p xtask -- analyze --root crates/xtask/fixtures/inversion`
+//! and requires a non-zero exit to prove the analyzer still catches this.
+
+struct Seeded {
+    dispatch: Mutex<DispatchState>,
+    fault: FaultPlane,
+}
+
+impl Seeded {
+    fn inverted(&self) {
+        let inner = self.fault.inner.lock();
+        let ds = self.dispatch.lock();
+        drop(ds);
+        drop(inner);
+    }
+}

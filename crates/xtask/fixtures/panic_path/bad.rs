@@ -1,0 +1,20 @@
+//! Negative fixture for the pattern lints: a std-style lock-result
+//! unwrap, a panic path, and a wall-clock read.
+
+struct Fixture {
+    dispatch: std::sync::Mutex<u64>,
+}
+
+impl Fixture {
+    fn lock_unwrap(&self) -> u64 {
+        *self.dispatch.lock().unwrap()
+    }
+
+    fn panics(&self, v: Option<u64>) -> u64 {
+        v.expect("fixture invariant")
+    }
+
+    fn wall_clock(&self) -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}

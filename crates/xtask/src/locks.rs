@@ -1,0 +1,650 @@
+//! Lock-order analysis: extract lock-acquisition sites per function,
+//! build the may-hold-while-acquiring graph (direct nesting plus calls
+//! into functions that acquire), and check it against the documented
+//! hierarchy — see DESIGN.md, section "Concurrency invariants".
+//!
+//! The pass is textual and deliberately over-approximate:
+//!
+//! - a `let`-bound guard is assumed held until its enclosing block closes
+//!   or an explicit `drop(name)` appears;
+//! - a guard acquired in a `for`/`while`/`if`/`match` head is held through
+//!   that construct's block;
+//! - any other acquisition is held to the end of its logical line;
+//! - calls are resolved by bare name against every `fn` in the scanned
+//!   tree (receiver types are unknown), and a function's acquisition set
+//!   is the fixpoint over its callees.
+//!
+//! Name collisions between unrelated methods therefore merge their
+//! acquisition sets; the only systematic artifact is a same-class
+//! self-edge (e.g. `TenantRegistry::limit` calling `AppAdmission::headroom`
+//! resolving onto `TenantRegistry::headroom`), so self-edges are skipped.
+//! Same-lock re-entrancy is out of scope for a textual pass — the
+//! model-check suite (`fqos-server` `tests/model.rs`) covers it by
+//! executing the real lock protocol under every explored schedule.
+
+use crate::source::Function;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The documented lock hierarchy, outermost first. An edge `A -> B`
+/// (B acquired while A is held) is legal iff A appears strictly before B
+/// here. Keep this table in sync with DESIGN.md "Concurrency invariants".
+pub const HIERARCHY: &[(&str, &str)] = &[
+    (
+        "engine.dispatch",
+        "seal/dispatch state (engine.rs Engine::dispatch)",
+    ),
+    (
+        "registry.admission",
+        "aggregate S(M) admission (registry.rs TenantRegistry::admission)",
+    ),
+    (
+        "engine.handles",
+        "open submitter-handle list (engine.rs Engine::handles)",
+    ),
+    (
+        "engine.stat_counters",
+        "statistical admission counters (engine.rs StatState::counters)",
+    ),
+    (
+        "window.slot",
+        "per-window ring slot (window.rs WindowRing::slots[_])",
+    ),
+    (
+        "registry.shard",
+        "tenant lookup shard (registry.rs TenantRegistry::shards[_])",
+    ),
+    (
+        "fault.inner",
+        "fault-plane event log (fault.rs FaultPlane::inner)",
+    ),
+];
+
+pub fn class_name(class: usize) -> &'static str {
+    HIERARCHY[class].0
+}
+
+fn class_index(name: &str) -> usize {
+    HIERARCHY
+        .iter()
+        .position(|(n, _)| *n == name)
+        .expect("class name in HIERARCHY")
+}
+
+/// An acquisition site found on one logical line.
+#[derive(Debug, Clone, Copy)]
+struct Acquisition {
+    pos: usize,
+    class: usize,
+}
+
+/// Classify every lock acquisition on a stripped logical line.
+fn acquisitions(file_name: &str, text: &str) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    let simple: &[(&str, &str)] = &[
+        ("dispatch.lock(", "engine.dispatch"),
+        ("admission.lock(", "registry.admission"),
+        ("handles.lock(", "engine.handles"),
+        ("counters.lock(", "engine.stat_counters"),
+        ("inner.lock(", "fault.inner"),
+    ];
+    for (needle, class) in simple {
+        let mut from = 0;
+        while let Some(p) = text[from..].find(needle) {
+            out.push(Acquisition {
+                pos: from + p,
+                class: class_index(class),
+            });
+            from += p + needle.len();
+        }
+    }
+    // Ring slot: `self.slot(window).lock()` or similar — a `.lock(` with a
+    // `slot(` receiver earlier on the line.
+    if let Some(sp) = text.find("slot(") {
+        if let Some(lp) = text[sp..].find(".lock(") {
+            out.push(Acquisition {
+                pos: sp + lp,
+                class: class_index("window.slot"),
+            });
+        }
+    }
+    // Registry shard: RwLock read/write, either on a `shard(...)` receiver
+    // or anywhere inside registry.rs (the shard vec is its only RwLock).
+    if file_name.ends_with("registry.rs") || text.contains("shard(") {
+        for needle in [".read()", ".write()"] {
+            let mut from = 0;
+            while let Some(p) = text[from..].find(needle) {
+                out.push(Acquisition {
+                    pos: from + p,
+                    class: class_index("registry.shard"),
+                });
+                from += p + needle.len();
+            }
+        }
+    }
+    out.sort_by_key(|a| a.pos);
+    out.dedup_by_key(|a| a.pos);
+    out
+}
+
+/// Does the text after an acquisition needle at `pos` reduce to a bare
+/// guard value (its own call parens, then at most `;`)? Used to decide
+/// whether a `let` binds the guard itself or a value derived from it.
+fn guard_escapes_into_let(text: &str, pos: usize) -> bool {
+    let open = match text[pos..].find('(') {
+        Some(o) => pos + o,
+        None => return false,
+    };
+    let mut depth = 0i32;
+    for (k, c) in text[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    let rest = text[open + k + 1..].trim();
+                    return rest.is_empty() || rest == ";";
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn let_binding_name(text: &str) -> Option<String> {
+    let rest = text.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+fn is_block_head(text: &str) -> bool {
+    ["for ", "while ", "if ", "match "]
+        .iter()
+        .any(|h| text.starts_with(h))
+}
+
+/// Find boundary-respecting call sites of `name` in `text`. Positions
+/// overlapping `skip` (acquisition needle positions) are ignored.
+fn call_sites(text: &str, name: &str, needles: &[String]) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for needle in needles {
+        let mut from = 0;
+        while let Some(p) = text[from..].find(needle.as_str()) {
+            let at = from + p;
+            // The needle itself anchors the boundary for qualified forms;
+            // for the bare `name(` form check the preceding character.
+            let bare = needle.as_str() == name;
+            let prev_ok = !bare
+                || at == 0
+                || (!bytes[at - 1].is_ascii_alphanumeric()
+                    && bytes[at - 1] != b'_'
+                    && bytes[at - 1] != b'.');
+            if prev_ok {
+                out.push(at + needle.len() - name.len() - 1);
+            }
+            from = at + needle.len();
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+struct HeldGuard {
+    class: usize,
+    /// Guard dies once brace depth drops below this value; `usize::MAX`
+    /// marks a line-scoped temporary.
+    dies_below: usize,
+    name: Option<String>,
+}
+
+/// One recorded `A held while B acquired` observation.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub from: usize,
+    pub to: usize,
+    pub file: String,
+    pub line: usize,
+    pub function: String,
+}
+
+#[derive(Default)]
+struct FnFacts {
+    /// Classes acquired directly anywhere in the body.
+    direct: BTreeSet<usize>,
+    /// Names of crate functions called anywhere in the body.
+    calls: BTreeSet<String>,
+    /// Guard class this function returns, if its signature returns a guard.
+    returns_guard: Option<usize>,
+}
+
+pub struct LockReport {
+    pub edges: Vec<Edge>,
+    pub findings: Vec<Finding>,
+    pub functions_analyzed: usize,
+}
+
+/// Run the lock-order pass over segmented source files.
+pub fn analyze(files: &[(std::path::PathBuf, Vec<Function>)]) -> LockReport {
+    // Pass 1: collect per-name facts (merged across same-name functions —
+    // receivers are unknown to a textual pass).
+    let mut facts: BTreeMap<String, FnFacts> = BTreeMap::new();
+    let all_names: BTreeSet<String> = files
+        .iter()
+        .flat_map(|(_, fns)| fns.iter().map(|f| f.name.clone()))
+        .collect();
+    // Ambiguous names need a qualified needle to avoid swallowing std
+    // calls (HashMap::get etc.); everything else matches `.name(`/`name(`.
+    // `new` is never resolved: every `Arc::new`/`Vec::new` would alias
+    // onto crate constructors, and the one constructor that touches locks
+    // (QosServer::new) only does so inside spawned worker closures, which
+    // run on other threads and must not count as synchronous acquisition.
+    let needles_for = |name: &str| -> Vec<String> {
+        match name {
+            "new" => Vec::new(),
+            "get" => vec!["registry.get(".to_string()],
+            _ => vec![format!(".{name}("), format!("{name}(")],
+        }
+    };
+
+    for (path, fns) in files {
+        let file_name = path.to_string_lossy().to_string();
+        for f in fns {
+            let entry = facts.entry(f.name.clone()).or_default();
+            if f.signature.contains("->")
+                && ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"]
+                    .iter()
+                    .any(|g| {
+                        f.signature
+                            .split("->")
+                            .nth(1)
+                            .is_some_and(|r| r.contains(g))
+                    })
+            {
+                // The guard class a guard-returning fn hands back is its
+                // first direct acquisition.
+                for l in &f.body {
+                    if let Some(a) = acquisitions(&file_name, &l.text).first() {
+                        entry.returns_guard = Some(a.class);
+                        break;
+                    }
+                }
+            }
+            for l in &f.body {
+                for a in acquisitions(&file_name, &l.text) {
+                    entry.direct.insert(a.class);
+                }
+                for name in &all_names {
+                    if name == &f.name {
+                        // Skip trivial self-recursion matches; real mutual
+                        // recursion through other names still resolves.
+                        continue;
+                    }
+                    if !call_sites(&l.text, name, &needles_for(name)).is_empty() {
+                        entry.calls.insert(name.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Fixpoint: transitive acquisition sets per name.
+    let mut acquires: BTreeMap<String, BTreeSet<usize>> = facts
+        .iter()
+        .map(|(n, f)| (n.clone(), f.direct.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, f) in &facts {
+            let mut merged = acquires[name].clone();
+            for callee in &f.calls {
+                if let Some(set) = acquires.get(callee) {
+                    for c in set.clone() {
+                        merged.insert(c);
+                    }
+                }
+                if let Some(g) = facts.get(callee).and_then(|cf| cf.returns_guard) {
+                    merged.insert(g);
+                }
+            }
+            if merged.len() > acquires[name].len() {
+                acquires.insert(name.clone(), merged);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 2: simulate held guards through each function body and record
+    // edges for nested acquisitions and for calls made under a lock.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut functions_analyzed = 0;
+    for (path, fns) in files {
+        let file_name = path.to_string_lossy().to_string();
+        for f in fns {
+            functions_analyzed += 1;
+            let mut held: Vec<HeldGuard> = Vec::new();
+            for l in &f.body {
+                held.retain(|g| g.dies_below == usize::MAX || l.depth_before >= g.dies_below);
+                held.retain(|g| match &g.name {
+                    Some(n) => !l.text.contains(&format!("drop({n})")),
+                    None => true,
+                });
+
+                // Gather this line's events (acquisitions + calls) in
+                // textual order.
+                #[derive(Clone)]
+                enum Event {
+                    Acquire(usize),
+                    Call(String),
+                }
+                let mut events: Vec<(usize, Event)> = acquisitions(&file_name, &l.text)
+                    .into_iter()
+                    .map(|a| (a.pos, Event::Acquire(a.class)))
+                    .collect();
+                let acq_positions: Vec<usize> = events.iter().map(|(p, _)| *p).collect();
+                for name in &all_names {
+                    for pos in call_sites(&l.text, name, &needles_for(name)) {
+                        if !acq_positions.contains(&pos) {
+                            events.push((pos, Event::Call(name.clone())));
+                        }
+                    }
+                }
+                events.sort_by_key(|(p, _)| *p);
+
+                let let_name = let_binding_name(&l.text);
+                let block_head = is_block_head(&l.text);
+                let mut temps: Vec<usize> = Vec::new();
+                let n_events = events.len();
+                for (idx, (pos, ev)) in events.into_iter().enumerate() {
+                    let held_now: Vec<usize> = held
+                        .iter()
+                        .map(|g| g.class)
+                        .chain(temps.iter().copied())
+                        .collect();
+                    match ev {
+                        Event::Acquire(class) => {
+                            for h in &held_now {
+                                if *h != class {
+                                    edges.push(Edge {
+                                        from: *h,
+                                        to: class,
+                                        file: file_name.clone(),
+                                        line: l.line,
+                                        function: f.name.clone(),
+                                    });
+                                }
+                            }
+                            let last = idx + 1 == n_events;
+                            if let_name.is_some() && last && guard_escapes_into_let(&l.text, pos) {
+                                held.push(HeldGuard {
+                                    class,
+                                    dies_below: l.depth_before,
+                                    name: let_name.clone(),
+                                });
+                            } else if block_head {
+                                held.push(HeldGuard {
+                                    class,
+                                    dies_below: l.depth_before + 1,
+                                    name: None,
+                                });
+                            } else {
+                                temps.push(class);
+                            }
+                        }
+                        Event::Call(callee) => {
+                            let mut callee_acquires: BTreeSet<usize> =
+                                acquires.get(&callee).cloned().unwrap_or_default();
+                            let returns = facts.get(&callee).and_then(|cf| cf.returns_guard);
+                            if let Some(g) = returns {
+                                callee_acquires.insert(g);
+                            }
+                            for c in &callee_acquires {
+                                for h in &held_now {
+                                    if h != c {
+                                        edges.push(Edge {
+                                            from: *h,
+                                            to: *c,
+                                            file: file_name.clone(),
+                                            line: l.line,
+                                            function: f.name.clone(),
+                                        });
+                                    }
+                                }
+                            }
+                            // A guard-returning call behaves like an
+                            // acquisition at the call site.
+                            if let Some(g) = returns {
+                                let last = idx + 1 == n_events;
+                                if let_name.is_some()
+                                    && last
+                                    && guard_escapes_into_let(&l.text, pos)
+                                {
+                                    held.push(HeldGuard {
+                                        class: g,
+                                        dies_below: l.depth_before,
+                                        name: let_name.clone(),
+                                    });
+                                } else if block_head {
+                                    held.push(HeldGuard {
+                                        class: g,
+                                        dies_below: l.depth_before + 1,
+                                        name: None,
+                                    });
+                                } else {
+                                    temps.push(g);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Check the edge set: every edge must go strictly down the documented
+    // hierarchy, and the graph must be acyclic.
+    let mut findings = Vec::new();
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for e in &edges {
+        if !seen.insert((e.from, e.to)) {
+            continue;
+        }
+        if e.from >= e.to {
+            findings.push(Finding {
+                file: e.file.clone(),
+                line: e.line,
+                text: format!("in fn {}", e.function),
+                message: format!(
+                    "lock-order inversion: `{}` acquired while `{}` is held \
+                     (hierarchy rank {} must not precede rank {}); \
+                     see DESIGN.md \"Concurrency invariants\" for the documented order",
+                    class_name(e.to),
+                    class_name(e.from),
+                    e.from + 1,
+                    e.to + 1,
+                ),
+            });
+        }
+    }
+    // Cycle check over distinct edges (redundant once ranks hold, but it
+    // localizes multi-edge cycles when the hierarchy table is stale).
+    if let Some(cycle) = find_cycle(&seen) {
+        let names: Vec<&str> = cycle.iter().map(|c| class_name(*c)).collect();
+        findings.push(Finding {
+            file: "(lock-order graph)".to_string(),
+            line: 0,
+            text: String::new(),
+            message: format!(
+                "lock-order cycle: {} -> (back to start); \
+                 see DESIGN.md \"Concurrency invariants\"",
+                names.join(" -> ")
+            ),
+        });
+    }
+
+    LockReport {
+        edges,
+        findings,
+        functions_analyzed,
+    }
+}
+
+fn find_cycle(edges: &BTreeSet<(usize, usize)>) -> Option<Vec<usize>> {
+    let nodes: BTreeSet<usize> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    // Iterative DFS with colors; small graph, recursion depth bounded by
+    // the hierarchy size.
+    fn visit(
+        n: usize,
+        edges: &BTreeSet<(usize, usize)>,
+        state: &mut BTreeMap<usize, u8>,
+        path: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        state.insert(n, 1);
+        path.push(n);
+        for &(a, b) in edges.iter() {
+            if a == n {
+                match state.get(&b) {
+                    Some(1) => {
+                        let start = path.iter().position(|&x| x == b).unwrap_or(0);
+                        return Some(path[start..].to_vec());
+                    }
+                    Some(2) => {}
+                    _ => {
+                        if let Some(c) = visit(b, edges, state, path) {
+                            return Some(c);
+                        }
+                    }
+                }
+            }
+        }
+        path.pop();
+        state.insert(n, 2);
+        None
+    }
+    let mut state = BTreeMap::new();
+    for &n in &nodes {
+        if !state.contains_key(&n) {
+            if let Some(c) = visit(n, edges, &mut state, &mut Vec::new()) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{functions, strip};
+    use std::path::PathBuf;
+
+    fn run(file: &str, src: &str) -> LockReport {
+        let stripped = strip(src);
+        let fns = functions(&stripped);
+        analyze(&[(PathBuf::from(file), fns)])
+    }
+
+    #[test]
+    fn classifies_the_engine_lock_sites() {
+        let a = acquisitions("engine.rs", "let ds = self.dispatch.lock();");
+        assert_eq!(a.len(), 1);
+        assert_eq!(class_name(a[0].class), "engine.dispatch");
+        let a = acquisitions("window.rs", "let mut s = self.slot(window).lock();");
+        assert_eq!(class_name(a[0].class), "window.slot");
+        let a = acquisitions("registry.rs", "self.shard(tenant).write().insert(t, r);");
+        assert_eq!(class_name(a[0].class), "registry.shard");
+    }
+
+    #[test]
+    fn nested_acquisition_in_hierarchy_order_passes() {
+        let r = run(
+            "engine.rs",
+            "impl E {\n fn ok(&self) {\n  let ds = self.dispatch.lock();\n  let h = self.handles.lock();\n }\n}",
+        );
+        assert_eq!(r.findings.len(), 0, "{:?}", r.findings);
+        assert!(r.edges.iter().any(
+            |e| class_name(e.from) == "engine.dispatch" && class_name(e.to) == "engine.handles"
+        ));
+    }
+
+    #[test]
+    fn inverted_acquisition_is_flagged() {
+        let r = run(
+            "engine.rs",
+            "impl E {\n fn bad(&self) {\n  let i = self.fault.inner.lock();\n  let ds = self.dispatch.lock();\n }\n}",
+        );
+        assert!(
+            r.findings.iter().any(|f| f.message.contains("inversion")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn dropped_guard_creates_no_edge() {
+        let r = run(
+            "engine.rs",
+            "impl E {\n fn ok(&self) {\n  let i = self.inner.lock();\n  drop(i);\n  let ds = self.dispatch.lock();\n }\n}",
+        );
+        assert_eq!(r.findings.len(), 0, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn for_head_guard_dies_with_its_block() {
+        // finish()-shape: iterate under handles, then lock dispatch after
+        // the loop — must NOT produce a handles -> dispatch edge.
+        let r = run(
+            "engine.rs",
+            "impl E {\n fn finish(&self) {\n  for h in self.handles.lock().iter() {\n   h.close();\n  }\n  let ds = self.dispatch.lock();\n }\n}",
+        );
+        assert!(
+            !r.edges
+                .iter()
+                .any(|e| class_name(e.from) == "engine.handles"),
+            "{:?}",
+            r.edges
+        );
+    }
+
+    #[test]
+    fn inversion_through_a_call_is_flagged() {
+        let src = "impl E {\n fn helper(&self) {\n  let ds = self.dispatch.lock();\n }\n fn bad(&self) {\n  let i = self.inner.lock();\n  self.helper();\n }\n}";
+        let r = run("engine.rs", src);
+        assert!(
+            r.findings.iter().any(|f| f.message.contains("inversion")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn guard_returning_fn_transfers_the_lock_to_its_caller() {
+        let src = "impl R {\n fn locked(&self, w: u64) -> MutexGuard<'_, S> {\n  let s = self.slot(w).lock();\n  s\n }\n fn bad(&self) {\n  let s = self.locked(0);\n  let a = self.admission.lock();\n }\n}";
+        let r = run("window.rs", src);
+        // slot (rank 5) held while admission (rank 2) acquired: inversion.
+        assert!(
+            r.findings.iter().any(|f| f.message.contains("inversion")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn derived_let_binding_is_not_a_held_guard() {
+        // `let removed = shard.write().remove(..)` binds the removed value,
+        // not the guard: no lock is held on the next line.
+        let r = run(
+            "registry.rs",
+            "impl R {\n fn ok(&self) {\n  let removed = self.shard(t).write().remove(&t);\n  let a = self.admission.lock();\n }\n}",
+        );
+        assert_eq!(r.findings.len(), 0, "{:?}", r.findings);
+    }
+}

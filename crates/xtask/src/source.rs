@@ -1,0 +1,453 @@
+//! A minimal, line-oriented Rust source model for the `analyze` pass.
+//!
+//! This is deliberately **not** a parser: the analyzer only needs four
+//! things from a source file, all robust to the subset of Rust this repo
+//! writes —
+//!
+//! 1. comments and string contents blanked out (so needles never match
+//!    inside them),
+//! 2. `#[cfg(test)]` modules blanked out (test code has its own rules),
+//! 3. physical lines folded into *logical* lines (a continuation line
+//!    starting with `.`, `?`, `&&`, `||` or a string literal belongs to
+//!    the statement above — multi-line method chains and wrapped macro
+//!    messages are the common cases),
+//! 4. function boundaries with their signatures, so acquisitions can be
+//!    attributed to a function and a call graph can be built.
+
+/// One logical line: `text` is the folded, stripped statement text and
+/// `line` the 1-based physical line it starts on.
+#[derive(Debug, Clone)]
+pub struct LogicalLine {
+    pub text: String,
+    pub line: usize,
+    /// Brace depth *before* this logical line is processed.
+    pub depth_before: usize,
+    /// Net brace delta across the logical line.
+    pub delta: i32,
+}
+
+/// One `fn` item: signature text (joined up to the opening brace) and
+/// its body as logical lines.
+#[derive(Debug)]
+pub struct Function {
+    pub name: String,
+    pub signature: String,
+    pub body: Vec<LogicalLine>,
+}
+
+/// Strip `//` and nested `/* */` comments and blank out string/char
+/// literal *contents* (delimiters stay, so the line shape survives).
+/// Operates on the whole file so multi-line literals are handled.
+pub fn strip(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut state = State::Code;
+    let mut out = Vec::new();
+    for line in source.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut kept = String::with_capacity(chars.len());
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => break, // rest is a line comment
+                    '/' if next == Some('*') => {
+                        state = State::Block(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        kept.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Raw string r"..." or r#"..."# (any hash count).
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            kept.push('"');
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            kept.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a lifetime is `'ident`
+                        // with no closing quote right after the ident char.
+                        if next == Some('\\') {
+                            kept.push('\'');
+                            state = State::Char;
+                            i += 2;
+                        } else if next.is_some() && chars.get(i + 2) == Some(&'\'') {
+                            kept.push_str("''");
+                            i += 3;
+                        } else {
+                            kept.push('\''); // lifetime
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        kept.push(c);
+                        i += 1;
+                    }
+                },
+                State::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '"' {
+                        kept.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1; // blank the content
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes as usize {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            kept.push('"');
+                            state = State::Code;
+                            i += 1 + hashes as usize;
+                        } else {
+                            i += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Char => {
+                    if c == '\'' {
+                        kept.push('\'');
+                        state = State::Code;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        out.push(kept);
+    }
+    out
+}
+
+/// Blank out every `#[cfg(test)] mod … { … }` block in stripped lines.
+pub fn blank_test_mods(lines: &mut [String]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].contains("#[cfg(test)]") {
+            // Find the opening brace of the item that follows, then blank
+            // through its matching close.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for c in lines[j].clone().chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                lines[j].clear();
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn brace_delta(s: &str) -> i32 {
+    s.chars().fold(0, |d, c| match c {
+        '{' => d + 1,
+        '}' => d - 1,
+        _ => d,
+    })
+}
+
+fn is_continuation(trimmed: &str) -> bool {
+    // A line opening with a string literal is a wrapped macro/call
+    // argument (`panic!(\n    "message…"`), never a fresh statement.
+    trimmed.starts_with('.')
+        || trimmed.starts_with('?')
+        || trimmed.starts_with("&&")
+        || trimmed.starts_with("||")
+        || trimmed.starts_with('"')
+}
+
+/// Fold stripped physical lines into logical lines with depth tracking.
+pub fn logical_lines(stripped: &[String], first_line: usize) -> Vec<LogicalLine> {
+    let mut out: Vec<LogicalLine> = Vec::new();
+    let mut depth = 0usize;
+    for (k, raw) in stripped.iter().enumerate() {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let delta = brace_delta(raw);
+        if is_continuation(trimmed) {
+            if let Some(last) = out.last_mut() {
+                last.text.push_str(trimmed);
+                last.delta += delta;
+                depth = (depth as i32 + delta).max(0) as usize;
+                continue;
+            }
+        }
+        out.push(LogicalLine {
+            text: trimmed.to_string(),
+            line: first_line + k,
+            depth_before: depth,
+            delta,
+        });
+        depth = (depth as i32 + delta).max(0) as usize;
+    }
+    out
+}
+
+fn fn_name_at(line: &str) -> Option<(usize, String)> {
+    // Find a `fn ` token at a word boundary and return (offset, name).
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("fn ") {
+        let at = from + pos;
+        let boundary = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        if boundary {
+            let rest = &line[at + 3..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some((at, name));
+            }
+        }
+        from = at + 3;
+    }
+    None
+}
+
+/// Segment a stripped file (test mods already blanked) into functions.
+/// Nested items attribute their lines to the innermost enclosing `fn`;
+/// closures stay part of the enclosing function, which is exactly what
+/// the lock analysis wants.
+pub fn functions(stripped: &[String]) -> Vec<Function> {
+    struct Open {
+        func: Function,
+        body_depth: i32,
+        raw_body: Vec<String>,
+        body_first_line: usize,
+    }
+    let mut out = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending: Option<(String, String, usize)> = None; // (name, sig, line)
+
+    // Close every open fn whose body the current depth has exited.
+    fn pop_closed(stack: &mut Vec<Open>, out: &mut Vec<Function>, depth: i32) {
+        while let Some(open) = stack.last() {
+            if depth < open.body_depth {
+                let mut done = stack.pop().expect("stack non-empty");
+                done.func.body = logical_lines(&done.raw_body, done.body_first_line);
+                out.push(done.func);
+            } else {
+                break;
+            }
+        }
+    }
+
+    // Open a fn whose declaration line contains its body brace. The body
+    // starts right after the FIRST `{`; the line's remainder (possibly a
+    // complete one-line body like `{ self.devices }` or `{}`) is processed
+    // as body text so single-line functions close immediately.
+    fn open_fn(
+        stack: &mut Vec<Open>,
+        out: &mut Vec<Function>,
+        depth: &mut i32,
+        name: String,
+        sig: String,
+        line: &str,
+        lineno: usize,
+    ) {
+        let brace = line.find('{').expect("caller checked for a brace");
+        let rest = &line[brace + 1..];
+        *depth += 1; // the body brace itself
+        stack.push(Open {
+            func: Function {
+                name,
+                signature: sig,
+                body: Vec::new(),
+            },
+            body_depth: *depth,
+            raw_body: Vec::new(),
+            body_first_line: lineno,
+        });
+        let body_depth = *depth;
+        // Body text on the declaration line: everything up to the brace
+        // that closes the body (if it closes on this very line).
+        let mut cur = body_depth;
+        let mut body_end = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '{' => cur += 1,
+                '}' => {
+                    cur -= 1;
+                    if cur < body_depth {
+                        body_end = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack
+            .last_mut()
+            .expect("just pushed")
+            .raw_body
+            .push(rest[..body_end].to_string());
+        *depth += brace_delta(rest);
+        pop_closed(stack, out, *depth);
+    }
+
+    for (k, line) in stripped.iter().enumerate() {
+        let lineno = k + 1;
+        if let Some((name, mut sig, start)) = pending.take() {
+            sig.push(' ');
+            sig.push_str(line.trim());
+            if line.contains('{') {
+                open_fn(&mut stack, &mut out, &mut depth, name, sig, line, lineno);
+                continue;
+            } else if line.contains(';') {
+                // Trait method declaration without a body: drop it.
+                depth += brace_delta(line);
+                continue;
+            }
+            pending = Some((name, sig, start));
+            continue;
+        }
+
+        if let Some((_, name)) = fn_name_at(line) {
+            if line.contains('{') {
+                let sig = line.trim().to_string();
+                open_fn(&mut stack, &mut out, &mut depth, name, sig, line, lineno);
+                continue;
+            } else if !line.contains(';') {
+                pending = Some((name, line.trim().to_string(), lineno));
+                continue;
+            }
+        }
+
+        depth += brace_delta(line);
+        if let Some(open) = stack.last_mut() {
+            if depth >= open.body_depth {
+                open.raw_body.push(line.clone());
+            }
+        }
+        pop_closed(&mut stack, &mut out, depth);
+    }
+    while let Some(mut d) = stack.pop() {
+        d.func.body = logical_lines(&d.raw_body, d.body_first_line);
+        out.push(d.func);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_string_contents() {
+        let src =
+            "let a = 1; // lock()\nlet s = \"inner.lock()\"; /* dispatch.lock() */ let b = 2;";
+        let out = strip(src);
+        assert_eq!(out[0], "let a = 1; ");
+        assert!(!out[1].contains("inner.lock"));
+        assert!(!out[1].contains("dispatch.lock"));
+        assert!(out[1].contains("let b = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = strip("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(out[0].contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn folds_method_chains_into_logical_lines() {
+        let stripped = strip("let x = a\n    .b()\n    .c();\nlet y = 2;");
+        let lines = logical_lines(&stripped, 1);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].text, "let x = a.b().c();");
+        assert_eq!(lines[0].line, 1);
+        assert_eq!(lines[1].line, 4);
+    }
+
+    #[test]
+    fn blanks_cfg_test_modules() {
+        let mut lines = strip(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.lock(); }\n}\nfn after() {}",
+        );
+        blank_test_mods(&mut lines);
+        let joined = lines.join("\n");
+        assert!(!joined.contains("x.lock()"));
+        assert!(joined.contains("fn live()"));
+        assert!(joined.contains("fn after()"));
+    }
+
+    #[test]
+    fn segments_functions_with_multiline_signatures() {
+        let src = "impl S {\n    pub fn alpha(\n        &self,\n        x: u64,\n    ) -> u64 {\n        self.inner.lock();\n        x\n    }\n    fn beta(&self) {}\n}";
+        let stripped = strip(src);
+        let fns = functions(&stripped);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(
+            names.contains(&"alpha") && names.contains(&"beta"),
+            "{names:?}"
+        );
+        let alpha = fns.iter().find(|f| f.name == "alpha").unwrap();
+        assert!(alpha.signature.contains("-> u64"));
+        assert!(alpha.body.iter().any(|l| l.text.contains("inner.lock()")));
+    }
+}

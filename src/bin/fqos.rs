@@ -141,7 +141,7 @@ fn cmd_design(opts: &Options) -> Result<(), String> {
     }
     println!("blocks:");
     for (i, b) in design.blocks().iter().enumerate() {
-        let cells: Vec<String> = b.iter().map(|p| p.to_string()).collect();
+        let cells: Vec<String> = b.iter().map(std::string::ToString::to_string).collect();
         println!("  {i:>3}: ({})", cells.join(","));
     }
     Ok(())
