@@ -23,11 +23,22 @@ pub trait Device {
 /// The calibrated flash module of the paper's evaluation: a fixed service
 /// time per 8 KiB block (0.132507 ms for reads, per the MSR DiskSim SSD
 /// extension parameters) behind an FCFS queue.
+///
+/// # Fail-slow degradation
+///
+/// A real module can stay *live* but serve far slower than calibrated (GC
+/// stall, thermal throttle, wear-leveling pause). That mode is modeled by a
+/// service-time multiplier ([`CalibratedSsd::set_degradation`]): a factor
+/// of 10 makes every request take 10× the calibrated latency until the
+/// factor is reset to 1. Queueing discipline is unchanged — the device is
+/// slow, not failed.
 #[derive(Debug, Clone)]
 pub struct CalibratedSsd {
     read_ns_per_block: Duration,
     write_ns_per_block: Duration,
     busy_until: SimTime,
+    /// Fail-slow service-time multiplier; 1 = calibrated speed.
+    degrade: u32,
 }
 
 impl CalibratedSsd {
@@ -39,6 +50,7 @@ impl CalibratedSsd {
             read_ns_per_block: BLOCK_READ_NS,
             write_ns_per_block: BLOCK_READ_NS,
             busy_until: 0,
+            degrade: 1,
         }
     }
 
@@ -48,16 +60,49 @@ impl CalibratedSsd {
             read_ns_per_block: read_ns,
             write_ns_per_block: write_ns,
             busy_until: 0,
+            degrade: 1,
         }
     }
 
-    /// Pure service time of a request on this device.
+    /// Set the fail-slow latency multiplier (clamped to at least 1;
+    /// 1 restores calibrated speed). Applies to requests submitted from
+    /// now on; an already-queued backlog keeps its old finish times.
+    pub fn set_degradation(&mut self, factor: u32) {
+        self.degrade = factor.max(1);
+    }
+
+    /// The current fail-slow latency multiplier (1 = healthy).
+    pub fn degradation(&self) -> u32 {
+        self.degrade
+    }
+
+    /// Raise the busy frontier to at least `t` (no-op when already past).
+    /// Lets an owner account for service reserved on this device by an
+    /// external scheduler — e.g. a hedged read issued by another worker.
+    pub fn advance_busy(&mut self, t: SimTime) {
+        self.busy_until = self.busy_until.max(t);
+    }
+
+    /// Cancel an in-flight request, releasing its reserved service time —
+    /// only possible while it is still the last submission (nothing queued
+    /// behind it). Returns `true` if the reservation was reclaimed.
+    pub fn cancel(&mut self, completion: &Completion) -> bool {
+        if self.busy_until == completion.finish {
+            self.busy_until = completion.service_start;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pure service time of a request on this device, including any
+    /// fail-slow degradation in force.
     pub fn service_time(&self, req: &IoRequest) -> Duration {
         let per_block = match req.op {
             IoOp::Read => self.read_ns_per_block,
             IoOp::Write => self.write_ns_per_block,
         };
-        per_block * req.num_blocks() as Duration
+        per_block * req.num_blocks() as Duration * self.degrade as Duration
     }
 }
 
@@ -150,5 +195,50 @@ mod tests {
         d.submit(&IoRequest::read_block(1, 0, 0, 0), 0);
         d.reset();
         assert_eq!(d.next_free(0), 0);
+    }
+
+    #[test]
+    fn degradation_multiplies_service_time() {
+        let mut d = CalibratedSsd::new();
+        d.set_degradation(10);
+        assert_eq!(d.degradation(), 10);
+        let c = d.submit(&IoRequest::read_block(1, 0, 0, 0), 0);
+        assert_eq!(c.service_time(), 10 * BLOCK_READ_NS);
+        // Restoring to calibrated speed affects subsequent requests only.
+        d.set_degradation(1);
+        let c2 = d.submit(&IoRequest::read_block(2, 0, 0, 1), 0);
+        assert_eq!(c2.service_time(), BLOCK_READ_NS);
+        assert_eq!(c2.finish, 11 * BLOCK_READ_NS);
+    }
+
+    #[test]
+    fn degradation_factor_zero_clamps_to_calibrated() {
+        let mut d = CalibratedSsd::new();
+        d.set_degradation(0);
+        assert_eq!(d.degradation(), 1);
+    }
+
+    #[test]
+    fn cancel_reclaims_only_the_last_submission() {
+        let mut d = CalibratedSsd::new();
+        let c1 = d.submit(&IoRequest::read_block(1, 0, 0, 0), 0);
+        let c2 = d.submit(&IoRequest::read_block(2, 0, 0, 1), 0);
+        // c1 is no longer last: its slot cannot be reclaimed.
+        assert!(!d.cancel(&c1));
+        assert_eq!(d.next_free(0), c2.finish);
+        // c2 is last: cancelling frees the device back to c2's start.
+        assert!(d.cancel(&c2));
+        assert_eq!(d.next_free(0), c2.service_start);
+    }
+
+    #[test]
+    fn advance_busy_reserves_external_service() {
+        let mut d = CalibratedSsd::new();
+        d.advance_busy(500);
+        let c = d.submit(&IoRequest::read_block(1, 0, 0, 0), 0);
+        assert_eq!(c.service_start, 500);
+        // Never moves the frontier backwards.
+        d.advance_busy(0);
+        assert_eq!(d.next_free(0), c.finish);
     }
 }

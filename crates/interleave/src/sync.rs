@@ -437,6 +437,20 @@ pub mod atomic {
                     self.cell.fetch_min(v, order)
                 }
 
+                /// Atomic bitwise OR returning the previous value;
+                /// scheduling point under a model.
+                pub fn fetch_or(&self, v: $prim, order: Ordering) -> $prim {
+                    interleave_here(concat!(stringify!($name), ".fetch_or"));
+                    self.cell.fetch_or(v, order)
+                }
+
+                /// Atomic bitwise AND returning the previous value;
+                /// scheduling point under a model.
+                pub fn fetch_and(&self, v: $prim, order: Ordering) -> $prim {
+                    interleave_here(concat!(stringify!($name), ".fetch_and"));
+                    self.cell.fetch_and(v, order)
+                }
+
                 /// Atomic compare-exchange; scheduling point under a model.
                 pub fn compare_exchange(
                     &self,

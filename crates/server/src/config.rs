@@ -52,6 +52,41 @@ pub struct ServerConfig {
     /// configs shrink this so schedule exploration wraps the ring within a
     /// few windows; production configs should leave it alone.
     pub ring_slots: usize,
+    /// Master switch for the fail-slow reaction path: hedged reads, the
+    /// worker backoff retry chain and the seal-time slow-device drain.
+    /// Detection (the health scorer) always runs; with hedging off the
+    /// engine only steers *new* schedules away from detected-slow devices
+    /// and otherwise serves as PR 2 did — the configuration used to
+    /// demonstrate what fail-slow costs without mitigation.
+    pub hedge_enabled: bool,
+    /// Percentile of a device's recent service latencies used as the
+    /// hedge base (in `(0, 1]`).
+    pub hedge_percentile: f64,
+    /// Samples the scorer needs on a device before the percentile
+    /// threshold exists; below this only a projected deadline miss hedges.
+    pub hedge_min_samples: usize,
+    /// Hedge when the projected latency exceeds `hedge_slack ×` the
+    /// percentile latency (must be ≥ 1.0; guards against jitter).
+    pub hedge_slack: f64,
+    /// Maximum speculative dispatches per block (first hedge + backoff
+    /// retries), in `1..=16`.
+    pub retry_limit: u32,
+    /// Simulated detection/reissue delay added per speculative hop: the
+    /// `k`-th hedge of a block starts no earlier than
+    /// `exec_start + k × retry_backoff_ns`.
+    pub retry_backoff_ns: u64,
+    /// Scorer recent-latency ring size per device.
+    pub health_window: usize,
+    /// A completion is anomalous when its service latency exceeds
+    /// `health_suspect_factor ×` the device's EWMA baseline (> 1.0).
+    pub health_suspect_factor: f64,
+    /// Consecutive anomalies promoting `Suspect → Slow`.
+    pub health_promote_streak: u32,
+    /// Consecutive normal completions demoting `Slow → Healthy`.
+    pub health_recover_streak: u32,
+    /// Sealed windows without a sample after which a `Slow` device is
+    /// re-probed (put back on probation and made schedulable).
+    pub health_probe_windows: u64,
 }
 
 impl ServerConfig {
@@ -67,6 +102,17 @@ impl ServerConfig {
             delay_horizon: 64,
             fault_schedule: FaultSchedule::new(),
             ring_slots: WINDOW_RING,
+            hedge_enabled: true,
+            hedge_percentile: 0.9,
+            hedge_min_samples: 4,
+            hedge_slack: 2.0,
+            retry_limit: 2,
+            retry_backoff_ns: 8_000,
+            health_window: 16,
+            health_suspect_factor: 3.0,
+            health_promote_streak: 3,
+            health_recover_streak: 8,
+            health_probe_windows: 8,
         }
     }
 
@@ -108,6 +154,85 @@ impl ServerConfig {
         self
     }
 
+    /// Enable or disable the fail-slow reaction path (hedges, backoff
+    /// retries, seal-time slow drain). Detection always runs.
+    pub fn with_hedging(mut self, enabled: bool) -> Self {
+        self.hedge_enabled = enabled;
+        self
+    }
+
+    /// Set the hedge threshold percentile (in `(0, 1]`).
+    pub fn with_hedge_percentile(mut self, percentile: f64) -> Self {
+        self.hedge_percentile = percentile;
+        self
+    }
+
+    /// Set the sample floor below which no percentile threshold exists.
+    pub fn with_hedge_min_samples(mut self, samples: usize) -> Self {
+        self.hedge_min_samples = samples;
+        self
+    }
+
+    /// Set the hedge slack multiplier (≥ 1.0).
+    pub fn with_hedge_slack(mut self, slack: f64) -> Self {
+        self.hedge_slack = slack;
+        self
+    }
+
+    /// Set the speculative-dispatch bound per block (first hedge included).
+    pub fn with_retry_limit(mut self, limit: u32) -> Self {
+        self.retry_limit = limit;
+        self
+    }
+
+    /// Set the per-hop speculative reissue delay in nanoseconds.
+    pub fn with_retry_backoff_ns(mut self, backoff_ns: u64) -> Self {
+        self.retry_backoff_ns = backoff_ns;
+        self
+    }
+
+    /// Set the scorer's recent-latency ring size.
+    pub fn with_health_window(mut self, window: usize) -> Self {
+        self.health_window = window;
+        self
+    }
+
+    /// Set the anomaly factor over the EWMA baseline (> 1.0).
+    pub fn with_health_suspect_factor(mut self, factor: f64) -> Self {
+        self.health_suspect_factor = factor;
+        self
+    }
+
+    /// Set the promote (`Suspect → Slow`) and recover (`Slow → Healthy`)
+    /// streak lengths.
+    pub fn with_health_streaks(mut self, promote: u32, recover: u32) -> Self {
+        self.health_promote_streak = promote;
+        self.health_recover_streak = recover;
+        self
+    }
+
+    /// Set the probe TTL (sealed windows without a sample) after which a
+    /// `Slow` device is made schedulable again.
+    pub fn with_health_probe_windows(mut self, windows: u64) -> Self {
+        self.health_probe_windows = windows;
+        self
+    }
+
+    /// The scorer tuning derived from this configuration, in the form the
+    /// fault plane consumes.
+    pub fn health_params(&self) -> crate::fault::HealthParams {
+        crate::fault::HealthParams {
+            window: self.health_window,
+            suspect_factor: self.health_suspect_factor,
+            promote_streak: self.health_promote_streak,
+            recover_streak: self.health_recover_streak,
+            probe_windows: self.health_probe_windows,
+            hedge_percentile: self.hedge_percentile,
+            hedge_min_samples: self.hedge_min_samples,
+            hedge_slack: self.hedge_slack,
+        }
+    }
+
     /// Validate the composite configuration.
     pub fn validate(&self) -> Result<(), String> {
         self.qos.validate()?;
@@ -130,7 +255,55 @@ impl ServerConfig {
                 self.ring_slots / 2
             ));
         }
-        self.fault_schedule.validate(self.qos.devices())?;
+        // NaN-safe: a NaN knob must fail validation, not sail through.
+        if self.hedge_percentile.is_nan()
+            || self.hedge_percentile <= 0.0
+            || self.hedge_percentile > 1.0
+        {
+            return Err(format!(
+                "hedge_percentile {} must lie in (0, 1]",
+                self.hedge_percentile
+            ));
+        }
+        if self.hedge_min_samples == 0 || self.hedge_min_samples > self.health_window {
+            return Err(format!(
+                "hedge_min_samples {} must lie in 1..=health_window ({})",
+                self.hedge_min_samples, self.health_window
+            ));
+        }
+        if self.hedge_slack.is_nan() || self.hedge_slack < 1.0 {
+            return Err(format!(
+                "hedge_slack {} must be at least 1.0",
+                self.hedge_slack
+            ));
+        }
+        if self.retry_limit == 0 || self.retry_limit > 16 {
+            return Err(format!(
+                "retry_limit {} must lie in 1..=16",
+                self.retry_limit
+            ));
+        }
+        if self.health_window < 2 || self.health_window > 1024 {
+            return Err(format!(
+                "health_window {} must lie in 2..=1024",
+                self.health_window
+            ));
+        }
+        if self.health_suspect_factor.is_nan() || self.health_suspect_factor <= 1.0 {
+            return Err(format!(
+                "health_suspect_factor {} must exceed 1.0",
+                self.health_suspect_factor
+            ));
+        }
+        if self.health_promote_streak == 0 || self.health_recover_streak == 0 {
+            return Err("health promote/recover streaks must be positive".into());
+        }
+        if self.health_probe_windows == 0 {
+            return Err("health_probe_windows must be positive".into());
+        }
+        self.fault_schedule
+            .validate(self.qos.devices())
+            .map_err(|e| e.to_string())?;
         Ok(())
     }
 }
@@ -238,6 +411,54 @@ mod tests {
             .with_delay_horizon(WINDOW_RING as u64 / 2 - 1)
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn hedge_and_health_builders_round_trip() {
+        let cfg = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_hedging(false)
+            .with_hedge_percentile(0.99)
+            .with_hedge_min_samples(2)
+            .with_hedge_slack(1.5)
+            .with_retry_limit(3)
+            .with_retry_backoff_ns(1_000)
+            .with_health_window(32)
+            .with_health_suspect_factor(4.0)
+            .with_health_streaks(2, 4)
+            .with_health_probe_windows(6);
+        assert!(!cfg.hedge_enabled);
+        assert_eq!(cfg.retry_limit, 3);
+        cfg.validate().unwrap();
+        let p = cfg.health_params();
+        assert_eq!(p.window, 32);
+        assert_eq!(p.hedge_min_samples, 2);
+        assert_eq!(p.promote_streak, 2);
+        assert_eq!(p.probe_windows, 6);
+    }
+
+    #[test]
+    fn validate_bounds_hedge_and_health_knobs() {
+        let base = || ServerConfig::new(QosConfig::paper_9_3_1());
+        for (cfg, needle) in [
+            (base().with_hedge_percentile(0.0), "hedge_percentile"),
+            (base().with_hedge_percentile(1.5), "hedge_percentile"),
+            (base().with_hedge_percentile(f64::NAN), "hedge_percentile"),
+            (base().with_hedge_min_samples(0), "hedge_min_samples"),
+            (base().with_hedge_min_samples(17), "hedge_min_samples"),
+            (base().with_hedge_slack(0.5), "hedge_slack"),
+            (base().with_retry_limit(0), "retry_limit"),
+            (base().with_retry_limit(99), "retry_limit"),
+            (base().with_health_window(1), "health_window"),
+            (
+                base().with_health_suspect_factor(1.0),
+                "health_suspect_factor",
+            ),
+            (base().with_health_streaks(0, 8), "streak"),
+            (base().with_health_probe_windows(0), "health_probe_windows"),
+        ] {
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains(needle), "expected '{needle}' in '{err}'");
+        }
     }
 
     #[test]

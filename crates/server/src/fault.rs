@@ -6,34 +6,60 @@
 //! device may never stall a worker queue or silently blow a deadline.
 //!
 //! The [`FaultPlane`] is the engine's shared view of device health, driven
-//! by two sources:
+//! by three sources:
 //!
-//! * a scripted [`FaultSchedule`] of `Fail { device, window }` /
-//!   `Recover { device, window }` events, fixed at server construction
+//! * a scripted [`FaultSchedule`] of `fail` / `recover` (fail-stop) and
+//!   `slow` / `restore` (fail-slow) events, fixed at server construction
 //!   (deterministic — the test harness and `fqos serve --fault-schedule`
-//!   replay these), and
-//! * live injections ([`crate::QosServer::inject_fault`]), which take
-//!   effect at the next unsealed window.
+//!   replay these),
+//! * live injections ([`crate::QosServer::inject_fault`],
+//!   [`crate::QosServer::degrade_device`]), which take effect at the next
+//!   unsealed window, and
+//! * the **latency health scorer**: an EWMA + windowed-quantile tracker
+//!   over per-device completion latencies reported by the worker pool,
+//!   classifying each device [`DeviceHealth::Healthy`] / `Suspect` /
+//!   `Slow`.
 //!
-//! Health is resolved **per window**: `mask_at(w)` is the bitmap of devices
-//! down during window `w`. A request admitted into window `t` executes
-//! during window `t + 1`, so admission consults the conservative union
-//! `admission_mask(t) = mask_at(t) | mask_at(t + 1)` — a device that is
-//! down on arrival *or* scheduled to be down at execution time is excluded
-//! from the feasibility graph. With a scripted schedule this makes degraded
-//! serving loss-free by construction: the seal-time health view is always a
-//! subset of the admission-time view, so every admitted request still owns
-//! a live replica and the degraded max-flow bound keeps each survivor
-//! within its `M`-access budget. Live injections can land *between*
-//! admission and seal; the window ring then drains the failing device at
-//! seal and re-dispatches onto surviving replicas within the same interval
-//! (counted in [`FaultPlane::redispatches`]).
+//! Fail-stop health is resolved **per window**: `mask_at(w)` is the bitmap
+//! of devices down during window `w`. A request admitted into window `t`
+//! executes during window `t + 1`, so admission consults the conservative
+//! union `admission_mask(t) = mask_at(t) | mask_at(t + 1)` — a device that
+//! is down on arrival *or* scheduled to be down at execution time is
+//! excluded from the feasibility graph. With a scripted schedule this makes
+//! degraded serving loss-free by construction: the seal-time health view is
+//! always a subset of the admission-time view, so every admitted request
+//! still owns a live replica and the degraded max-flow bound keeps each
+//! survivor within its `M`-access budget. Live injections can land
+//! *between* admission and seal; the window ring then drains the failing
+//! device at seal and re-dispatches onto surviving replicas within the same
+//! interval (counted in [`FaultPlane::redispatches`]).
+//!
+//! Fail-slow health is deliberately different: a `slow:D@W` event silently
+//! multiplies device `D`'s service time — **admission does not see it**.
+//! A real GC stall or thermal throttle does not announce itself either;
+//! the only honest signal is the latency the device actually delivers.
+//! Detection is the scorer's job: once enough anomalous completions
+//! promote a device to `Slow`, its bit enters [`FaultPlane::live_slow_mask`]
+//! and *new* window schedules exclude it exactly like a failed device,
+//! while in-flight work drains (hedged against healthy replicas by the
+//! worker pool, see `engine.rs`). A `Slow` device starves of samples once
+//! excluded, so the dispatcher probes it again after
+//! [`HealthParams::probe_windows`] sealed windows without observations.
+//!
+//! Lock classes owned by this module (see DESIGN.md "Concurrency
+//! invariants"): `fault.inner` (event timeline) and `fault.health` (scorer
+//! state) — both leaves, acquired by workers holding no other lock and by
+//! the dispatcher under `engine.dispatch`.
 
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::Mutex;
 
 /// Largest device count the health bitmap covers.
 pub const MAX_FAULT_DEVICES: usize = 64;
+
+/// Service-time multiplier applied by `slow:D@W` tokens that do not carry
+/// an explicit `x<factor>` suffix.
+pub const DEFAULT_SLOW_FACTOR: u32 = 10;
 
 /// What happens to a device at a scheduled window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +68,12 @@ pub enum FaultKind {
     Fail,
     /// The device returns to service at the start of the window.
     Recover,
+    /// The device keeps serving but every request takes `factor`× the
+    /// calibrated latency from the start of the window (fail-slow).
+    /// Invisible to admission — detection is the health scorer's job.
+    Slow(u32),
+    /// The device returns to calibrated speed at the start of the window.
+    Restore,
 }
 
 /// One scripted health transition: `device` changes state at the start of
@@ -52,16 +84,110 @@ pub struct FaultEvent {
     pub device: usize,
     /// Window at whose start the transition applies.
     pub window: u64,
-    /// Fail or recover.
+    /// Fail, recover, slow or restore.
     pub kind: FaultKind,
 }
 
-/// A scripted sequence of device failures and recoveries.
+/// A malformed or geometry-violating fault schedule, reported at parse /
+/// validation time instead of deep inside the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// A token did not match `kind:<device>@<window>[x<factor>]`.
+    BadToken {
+        /// The offending token.
+        token: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The event keyword was not `fail`/`recover`/`slow`/`restore`.
+    UnknownEvent {
+        /// The offending token.
+        token: String,
+        /// The unrecognized keyword.
+        event: String,
+    },
+    /// An event names a device the array does not have.
+    DeviceOutOfRange {
+        /// Device index named by the event.
+        device: usize,
+        /// Devices in the deployment.
+        devices: usize,
+    },
+    /// The deployment exceeds what the health bitmap covers.
+    TooManyDevices {
+        /// Devices in the deployment.
+        devices: usize,
+    },
+    /// An event is scheduled at or past the end of the run.
+    WindowBeyondHorizon {
+        /// Device index named by the event.
+        device: usize,
+        /// Window named by the event.
+        window: u64,
+        /// Number of windows the run will seal.
+        horizon: u64,
+    },
+    /// A `slow` event carries a factor that does not slow anything down.
+    SlowFactorTooSmall {
+        /// Device index named by the event.
+        device: usize,
+        /// The offending factor.
+        factor: u32,
+    },
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::BadToken { token, reason } => {
+                write!(f, "fault schedule token '{token}': {reason}")
+            }
+            FaultSpecError::UnknownEvent { token, event } => write!(
+                f,
+                "fault schedule token '{token}': unknown event '{event}' \
+                 (expected fail, recover, slow or restore)"
+            ),
+            FaultSpecError::DeviceOutOfRange { device, devices } => write!(
+                f,
+                "fault event names device {device} but the array has only {devices} \
+                 devices (0..={})",
+                devices.saturating_sub(1)
+            ),
+            FaultSpecError::TooManyDevices { devices } => write!(
+                f,
+                "fault plane covers at most {MAX_FAULT_DEVICES} devices, \
+                 deployment has {devices}"
+            ),
+            FaultSpecError::WindowBeyondHorizon {
+                device,
+                window,
+                horizon,
+            } => write!(
+                f,
+                "fault event for device {device} at window {window} is past the \
+                 run horizon ({horizon} windows) and would never fire"
+            ),
+            FaultSpecError::SlowFactorTooSmall { device, factor } => write!(
+                f,
+                "slow event for device {device} has factor {factor}; a fail-slow \
+                 multiplier must be at least 2 (use restore to clear)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A scripted sequence of device failures, recoveries and fail-slow
+/// degradations.
 ///
 /// ```
 /// use fqos_server::FaultSchedule;
-/// let s = FaultSchedule::new().fail(0, 20).recover(0, 40);
-/// assert_eq!(s, FaultSchedule::parse("fail:0@20,recover:0@40").unwrap());
+/// let s = FaultSchedule::new().fail(0, 20).recover(0, 40).slow(1, 10, 10);
+/// assert_eq!(
+///     s,
+///     FaultSchedule::parse("fail:0@20,recover:0@40,slow:1@10x10").unwrap()
+/// );
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultSchedule {
@@ -94,6 +220,28 @@ impl FaultSchedule {
         self
     }
 
+    /// Script `device` to serve at `factor`× calibrated latency from the
+    /// start of `window` (silent fail-slow; admission is not told).
+    pub fn slow(mut self, device: usize, window: u64, factor: u32) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            window,
+            kind: FaultKind::Slow(factor),
+        });
+        self
+    }
+
+    /// Script `device` to return to calibrated speed at the start of
+    /// `window`.
+    pub fn restore(mut self, device: usize, window: u64) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            window,
+            kind: FaultKind::Restore,
+        });
+        self
+    }
+
     /// True when no events are scripted.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -105,44 +253,93 @@ impl FaultSchedule {
     }
 
     /// Parse a schedule spec: comma- or whitespace-separated
-    /// `fail:<device>@<window>` / `recover:<device>@<window>` tokens.
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// `fail:<device>@<window>`, `recover:<device>@<window>`,
+    /// `slow:<device>@<window>[x<factor>]` (factor defaults to
+    /// [`DEFAULT_SLOW_FACTOR`]) and `restore:<device>@<window>` tokens.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
+        let bad = |token: &str, reason: &str| FaultSpecError::BadToken {
+            token: token.to_string(),
+            reason: reason.to_string(),
+        };
         let mut schedule = FaultSchedule::new();
         for token in spec.split([',', ' ', '\n', '\t']).filter(|t| !t.is_empty()) {
             let (kind, rest) = token.split_once(':').ok_or_else(|| {
-                format!("'{token}': expected fail:<dev>@<win> or recover:<dev>@<win>")
+                bad(
+                    token,
+                    "expected <event>:<dev>@<win> with event one of \
+                     fail/recover/slow/restore",
+                )
             })?;
             let (dev, win) = rest
                 .split_once('@')
-                .ok_or_else(|| format!("'{token}': missing @<window>"))?;
+                .ok_or_else(|| bad(token, "missing @<window>"))?;
             let device: usize = dev
                 .parse()
-                .map_err(|_| format!("'{token}': bad device '{dev}'"))?;
+                .map_err(|_| bad(token, &format!("bad device '{dev}'")))?;
+            // Only `slow` takes an `x<factor>` suffix on the window part.
+            let (win, factor) = match (kind, win.split_once('x')) {
+                ("slow", Some((w, f))) => {
+                    let factor: u32 = f
+                        .parse()
+                        .map_err(|_| bad(token, &format!("bad slow factor '{f}'")))?;
+                    (w, factor)
+                }
+                _ => (win, DEFAULT_SLOW_FACTOR),
+            };
             let window: u64 = win
                 .parse()
-                .map_err(|_| format!("'{token}': bad window '{win}'"))?;
+                .map_err(|_| bad(token, &format!("bad window '{win}'")))?;
             schedule = match kind {
                 "fail" => schedule.fail(device, window),
                 "recover" => schedule.recover(device, window),
-                other => return Err(format!("'{token}': unknown event '{other}'")),
+                "slow" => schedule.slow(device, window, factor),
+                "restore" => schedule.restore(device, window),
+                other => {
+                    return Err(FaultSpecError::UnknownEvent {
+                        token: token.to_string(),
+                        event: other.to_string(),
+                    })
+                }
             };
         }
         Ok(schedule)
     }
 
     /// Check every event against the deployment's device count.
-    pub fn validate(&self, devices: usize) -> Result<(), String> {
+    pub fn validate(&self, devices: usize) -> Result<(), FaultSpecError> {
+        self.validate_for(devices, None)
+    }
+
+    /// Check every event against the deployment's device count and, when
+    /// the run length is known up front (`horizon` = number of windows the
+    /// run will seal), reject events that could never fire.
+    pub fn validate_for(&self, devices: usize, horizon: Option<u64>) -> Result<(), FaultSpecError> {
         if devices > MAX_FAULT_DEVICES {
-            return Err(format!(
-                "fault plane covers at most {MAX_FAULT_DEVICES} devices, deployment has {devices}"
-            ));
+            return Err(FaultSpecError::TooManyDevices { devices });
         }
         for e in &self.events {
             if e.device >= devices {
-                return Err(format!(
-                    "fault event names device {} but the array has only {devices}",
-                    e.device
-                ));
+                return Err(FaultSpecError::DeviceOutOfRange {
+                    device: e.device,
+                    devices,
+                });
+            }
+            if let FaultKind::Slow(factor) = e.kind {
+                if factor < 2 {
+                    return Err(FaultSpecError::SlowFactorTooSmall {
+                        device: e.device,
+                        factor,
+                    });
+                }
+            }
+            if let Some(h) = horizon {
+                if e.window >= h {
+                    return Err(FaultSpecError::WindowBeyondHorizon {
+                        device: e.device,
+                        window: e.window,
+                        horizon: h,
+                    });
+                }
             }
         }
         Ok(())
@@ -150,7 +347,9 @@ impl FaultSchedule {
 }
 
 /// Events plus the timeline compiled from them: `timeline[i] = (w, mask)`
-/// means `mask` holds for windows in `w .. timeline[i+1].0`.
+/// means `mask` holds for windows in `w .. timeline[i+1].0`. Only
+/// fail-stop events contribute to the mask; fail-slow events are kept in
+/// `events` and scanned by `slow_factor_at` (they are few and silent).
 #[derive(Debug, Default)]
 struct PlaneInner {
     events: Vec<FaultEvent>,
@@ -167,6 +366,7 @@ impl PlaneInner {
             match e.kind {
                 FaultKind::Fail => mask |= 1 << e.device,
                 FaultKind::Recover => mask &= !(1 << e.device),
+                FaultKind::Slow(_) | FaultKind::Restore => continue,
             }
             match self.timeline.last_mut() {
                 Some(last) if last.0 == e.window => last.1 = mask,
@@ -181,14 +381,127 @@ impl PlaneInner {
             i => self.timeline[i - 1].1,
         }
     }
+
+    fn slow_factor_at(&self, device: usize, window: u64) -> u32 {
+        let mut factor = 1;
+        for e in &self.events {
+            if e.window > window {
+                break; // events are sorted by window
+            }
+            if e.device != device {
+                continue;
+            }
+            match e.kind {
+                FaultKind::Slow(f) => factor = f.max(1),
+                FaultKind::Restore => factor = 1,
+                FaultKind::Fail | FaultKind::Recover => {}
+            }
+        }
+        factor
+    }
 }
 
-/// Shared device-health bitmap plus the degraded-serving audit counters.
+/// Tri-state latency health of one device, as judged by the scorer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// Serving at (or near) its calibrated latency.
+    Healthy,
+    /// At least one recent anomalous completion; watching for a streak.
+    Suspect,
+    /// A sustained anomaly streak: excluded from new window schedules
+    /// until it recovers or is re-probed.
+    Slow,
+}
+
+/// Scorer tuning, derived from `ServerConfig` health/hedge knobs.
+#[derive(Debug, Clone)]
+pub struct HealthParams {
+    /// Recent-latency ring size per device (quantile window).
+    pub window: usize,
+    /// A completion is anomalous when its service latency exceeds
+    /// `suspect_factor ×` the device's EWMA baseline.
+    pub suspect_factor: f64,
+    /// Consecutive anomalous completions that promote `Suspect → Slow`.
+    pub promote_streak: u32,
+    /// Consecutive normal completions that demote `Slow → Healthy`.
+    pub recover_streak: u32,
+    /// Sealed windows without a sample after which a `Slow` device is
+    /// re-probed (demoted to `Suspect`, bit cleared, schedulable again).
+    pub probe_windows: u64,
+    /// Percentile of the recent-latency ring used as the hedge base.
+    pub hedge_percentile: f64,
+    /// Minimum samples in the ring before a hedge threshold exists.
+    pub hedge_min_samples: usize,
+    /// Multiplier on the percentile latency: hedging fires only when the
+    /// projected latency exceeds `slack × quantile`.
+    pub hedge_slack: f64,
+}
+
+impl Default for HealthParams {
+    fn default() -> Self {
+        HealthParams {
+            window: 16,
+            suspect_factor: 3.0,
+            promote_streak: 3,
+            recover_streak: 8,
+            probe_windows: 8,
+            hedge_percentile: 0.9,
+            hedge_min_samples: 4,
+            hedge_slack: 2.0,
+        }
+    }
+}
+
+/// Per-device scorer state. Latencies recorded are the *service*
+/// component (finish − service start): queueing delay behind co-scheduled
+/// work says nothing about the device's own speed.
+#[derive(Debug, Clone)]
+struct DeviceHealthState {
+    state: DeviceHealth,
+    /// Integer EWMA of normal-looking service latencies (α = 1/8). Not
+    /// updated by anomalous samples: the baseline must not chase the
+    /// degraded tail it is trying to detect.
+    ewma_ns: u64,
+    /// Ring of recent service latencies (anomalous or not) for quantiles.
+    samples: Vec<u64>,
+    next: usize,
+    seen: u64,
+    bad_streak: u32,
+    good_streak: u32,
+    last_sample_window: u64,
+}
+
+impl DeviceHealthState {
+    fn new() -> Self {
+        DeviceHealthState {
+            state: DeviceHealth::Healthy,
+            ewma_ns: 0,
+            samples: Vec::new(),
+            next: 0,
+            seen: 0,
+            bad_streak: 0,
+            good_streak: 0,
+            last_sample_window: 0,
+        }
+    }
+}
+
+/// Scorer state for the whole array; behind the `fault.health` leaf lock.
+#[derive(Debug)]
+struct HealthBoard {
+    params: HealthParams,
+    devices: Vec<DeviceHealthState>,
+}
+
+/// Shared device-health view plus the degraded-serving audit counters.
 ///
 /// Owned by the engine, consulted by the window ring on every admission and
-/// seal. All counter reads/writes are relaxed atomics; the event timeline
-/// sits behind one small mutex with a lock-free fast path while no fault
-/// has ever been scripted or injected.
+/// seal and by every worker completion. All counter reads/writes are
+/// relaxed atomics; the event timeline sits behind one small mutex
+/// (`fault.inner`) with a lock-free fast path while no fault has ever been
+/// scripted or injected, and the scorer behind another (`fault.health`).
+/// The scorer's verdict is published lock-free in `live_slow`, so the
+/// admission hot path never touches the scorer lock.
 #[derive(Debug)]
 pub struct FaultPlane {
     devices: usize,
@@ -196,18 +509,44 @@ pub struct FaultPlane {
     /// False until the first event exists: lets the healthy hot path skip
     /// the timeline lock entirely.
     any: AtomicBool,
+    /// False until a fail-slow event exists: lets workers skip the
+    /// per-completion factor lookup on healthy arrays.
+    any_slow: AtomicBool,
+    /// Bitmap of devices the scorer currently classifies `Slow`. Excluded
+    /// from new window schedules like failed devices, but their in-flight
+    /// work drains.
+    live_slow: AtomicU64,
+    health: Mutex<HealthBoard>,
     degraded_windows: AtomicU64,
     reroutes: AtomicU64,
     redispatches: AtomicU64,
     overloads: AtomicU64,
     lost: AtomicU64,
     unavailable_rejects: AtomicU64,
+    slow_detected: AtomicU64,
+    suspects: AtomicU64,
+    recoveries: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl FaultPlane {
-    /// Build the plane for `devices` devices from a scripted schedule.
+    /// Build the plane for `devices` devices from a scripted schedule,
+    /// with default scorer tuning.
     pub fn new(devices: usize, schedule: FaultSchedule) -> Result<Self, String> {
-        schedule.validate(devices)?;
+        FaultPlane::with_health(devices, schedule, HealthParams::default())
+    }
+
+    /// Build the plane with explicit scorer tuning.
+    pub fn with_health(
+        devices: usize,
+        schedule: FaultSchedule,
+        params: HealthParams,
+    ) -> Result<Self, String> {
+        schedule.validate(devices).map_err(|e| e.to_string())?;
+        let any_slow = schedule
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Slow(_)));
         let mut inner = PlaneInner {
             events: schedule.events,
             timeline: Vec::new(),
@@ -218,12 +557,22 @@ impl FaultPlane {
             devices,
             inner: Mutex::new(inner),
             any: AtomicBool::new(any),
+            any_slow: AtomicBool::new(any_slow),
+            live_slow: AtomicU64::new(0),
+            health: Mutex::new(HealthBoard {
+                params,
+                devices: (0..devices).map(|_| DeviceHealthState::new()).collect(),
+            }),
             degraded_windows: AtomicU64::new(0),
             reroutes: AtomicU64::new(0),
             redispatches: AtomicU64::new(0),
             overloads: AtomicU64::new(0),
             lost: AtomicU64::new(0),
             unavailable_rejects: AtomicU64::new(0),
+            slow_detected: AtomicU64::new(0),
+            suspects: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         })
     }
 
@@ -252,6 +601,27 @@ impl FaultPlane {
         inner.mask_at(window) | inner.mask_at(window + 1)
     }
 
+    /// Everything admission should steer around for window `window`:
+    /// fail-stop devices ([`FaultPlane::admission_mask`]) plus devices the
+    /// scorer currently classifies `Slow`.
+    pub fn exclusion_mask(&self, window: u64) -> u64 {
+        self.admission_mask(window) | self.live_slow.load(Ordering::Acquire)
+    }
+
+    /// Bitmap of devices the scorer currently classifies `Slow`.
+    pub fn live_slow_mask(&self) -> u64 {
+        self.live_slow.load(Ordering::Acquire)
+    }
+
+    /// The fail-slow service-time multiplier in force on `device` during
+    /// window `window` (1 = calibrated speed).
+    pub fn slow_factor_at(&self, device: usize, window: u64) -> u32 {
+        if !self.any_slow.load(Ordering::Acquire) {
+            return 1;
+        }
+        self.inner.lock().slow_factor_at(device, window)
+    }
+
     /// Inject a live health transition taking effect at window `window`.
     pub fn inject(&self, device: usize, kind: FaultKind, window: u64) -> Result<(), String> {
         if device >= self.devices {
@@ -260,6 +630,11 @@ impl FaultPlane {
                 self.devices
             ));
         }
+        if let FaultKind::Slow(factor) = kind {
+            if factor < 2 {
+                return Err(FaultSpecError::SlowFactorTooSmall { device, factor }.to_string());
+            }
+        }
         let mut inner = self.inner.lock();
         inner.events.push(FaultEvent {
             device,
@@ -267,8 +642,183 @@ impl FaultPlane {
             kind,
         });
         inner.recompile();
+        drop(inner);
+        if matches!(kind, FaultKind::Slow(_)) {
+            self.any_slow.store(true, Ordering::Release);
+        }
         self.any.store(true, Ordering::Release);
         Ok(())
+    }
+
+    /// Record one completion's service latency for the scorer. Called by
+    /// workers after every (non-cancelled) device completion; takes only
+    /// the `fault.health` leaf lock.
+    pub fn observe(&self, device: usize, service_ns: u64, window: u64) {
+        let mut board = self.health.lock();
+        let (suspect_factor, ring, promote, recover) = {
+            let p = &board.params;
+            (
+                p.suspect_factor,
+                p.window,
+                p.promote_streak,
+                p.recover_streak,
+            )
+        };
+        let Some(st) = board.devices.get_mut(device) else {
+            return;
+        };
+        st.last_sample_window = window;
+        let anomalous = st.seen > 0 && service_ns as f64 > suspect_factor * st.ewma_ns as f64;
+        if st.samples.len() < ring {
+            st.samples.push(service_ns);
+        } else {
+            st.samples[st.next] = service_ns;
+            st.next = (st.next + 1) % ring;
+        }
+        st.seen += 1;
+        if st.seen == 1 {
+            st.ewma_ns = service_ns.max(1);
+        } else if !anomalous {
+            let delta = service_ns as i64 - st.ewma_ns as i64;
+            st.ewma_ns = (st.ewma_ns as i64 + (delta >> 3)).max(1) as u64;
+        }
+        let prev = st.state;
+        let next = match prev {
+            DeviceHealth::Healthy => {
+                if anomalous {
+                    st.bad_streak = 1;
+                    DeviceHealth::Suspect
+                } else {
+                    DeviceHealth::Healthy
+                }
+            }
+            DeviceHealth::Suspect => {
+                if anomalous {
+                    st.bad_streak += 1;
+                    if st.bad_streak >= promote {
+                        st.good_streak = 0;
+                        DeviceHealth::Slow
+                    } else {
+                        DeviceHealth::Suspect
+                    }
+                } else {
+                    // One normal completion clears suspicion: a single
+                    // outlier never flaps a device out of schedules.
+                    st.bad_streak = 0;
+                    DeviceHealth::Healthy
+                }
+            }
+            DeviceHealth::Slow => {
+                if anomalous {
+                    st.good_streak = 0;
+                    DeviceHealth::Slow
+                } else {
+                    st.good_streak += 1;
+                    if st.good_streak >= recover {
+                        st.good_streak = 0;
+                        st.bad_streak = 0;
+                        DeviceHealth::Healthy
+                    } else {
+                        DeviceHealth::Slow
+                    }
+                }
+            }
+        };
+        st.state = next;
+        drop(board);
+        if next != prev {
+            self.note_health_transition(device, prev, next);
+        }
+    }
+
+    fn note_health_transition(&self, device: usize, prev: DeviceHealth, next: DeviceHealth) {
+        match next {
+            DeviceHealth::Suspect => {
+                self.suspects.fetch_add(1, Ordering::Relaxed);
+            }
+            DeviceHealth::Slow => {
+                self.slow_detected.fetch_add(1, Ordering::Relaxed);
+                self.live_slow.fetch_or(1 << device, Ordering::AcqRel);
+            }
+            DeviceHealth::Healthy => {
+                if prev == DeviceHealth::Slow {
+                    self.recoveries.fetch_add(1, Ordering::Relaxed);
+                    self.live_slow.fetch_and(!(1 << device), Ordering::AcqRel);
+                }
+            }
+        }
+    }
+
+    /// The scorer's current verdict for `device`.
+    pub fn health_state(&self, device: usize) -> DeviceHealth {
+        self.health
+            .lock()
+            .devices
+            .get(device)
+            .map(|s| s.state)
+            .unwrap_or(DeviceHealth::Healthy)
+    }
+
+    /// Latency above which a dispatch on `device` should be hedged:
+    /// `hedge_slack ×` the `hedge_percentile` quantile of the device's
+    /// recent service latencies. `None` until `hedge_min_samples` have
+    /// been observed — hedging with no baseline would be guessing.
+    pub fn hedge_threshold(&self, device: usize) -> Option<u64> {
+        let board = self.health.lock();
+        let p = &board.params;
+        let st = board.devices.get(device)?;
+        if st.samples.len() < p.hedge_min_samples.max(1) {
+            return None;
+        }
+        let mut v = st.samples.clone();
+        v.sort_unstable();
+        let idx = ((v.len() as f64 * p.hedge_percentile).ceil() as usize).clamp(1, v.len()) - 1;
+        Some((v[idx] as f64 * p.hedge_slack) as u64)
+    }
+
+    /// Best current estimate of a single-block service latency on
+    /// `device`: the scorer's EWMA baseline, or `default_ns` before any
+    /// sample exists. Used for earliest-finish-time hedge target choice.
+    pub fn service_estimate(&self, device: usize, default_ns: u64) -> u64 {
+        self.health
+            .lock()
+            .devices
+            .get(device)
+            .filter(|s| s.seen > 0)
+            .map(|s| s.ewma_ns)
+            .unwrap_or(default_ns)
+    }
+
+    /// Dispatcher probe tick, called as each window seals: a `Slow` device
+    /// that has been excluded from schedules stops producing samples and
+    /// would stay `Slow` forever. After `probe_windows` sealed windows
+    /// without an observation it is demoted to `Suspect` and its exclusion
+    /// bit cleared, so the next schedules route a little work back to it —
+    /// either the samples come back normal (full recovery) or the anomaly
+    /// streak re-promotes it within `promote_streak` completions.
+    pub(crate) fn health_tick(&self, sealed_window: u64) {
+        let slow = self.live_slow.load(Ordering::Acquire);
+        if slow == 0 {
+            return;
+        }
+        let mut cleared = 0u64;
+        let mut board = self.health.lock();
+        let probe = board.params.probe_windows;
+        for (d, st) in board.devices.iter_mut().enumerate() {
+            if slow >> d & 1 == 1
+                && st.state == DeviceHealth::Slow
+                && sealed_window.saturating_sub(st.last_sample_window) >= probe
+            {
+                st.state = DeviceHealth::Suspect;
+                st.bad_streak = 0;
+                st.good_streak = 0;
+                cleared |= 1 << d;
+            }
+        }
+        drop(board);
+        if cleared != 0 {
+            self.live_slow.fetch_and(!cleared, Ordering::AcqRel);
+        }
     }
 
     /// Devices down during `window`, as indices.
@@ -306,6 +856,10 @@ impl FaultPlane {
 
     pub(crate) fn note_unavailable_reject(&self) {
         self.unavailable_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Sealed windows whose execution interval had at least one device down.
@@ -352,6 +906,27 @@ impl FaultPlane {
     pub fn unavailable_rejects(&self) -> u64 {
         self.unavailable_rejects.load(Ordering::Relaxed)
     }
+
+    /// Devices the scorer promoted to `Slow` (entries, not a level).
+    pub fn slow_detected(&self) -> u64 {
+        self.slow_detected.load(Ordering::Relaxed)
+    }
+
+    /// Devices the scorer moved `Healthy → Suspect` (entries).
+    pub fn health_suspects(&self) -> u64 {
+        self.suspects.load(Ordering::Relaxed)
+    }
+
+    /// Devices the scorer demoted `Slow → Healthy` (entries).
+    pub fn health_recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Deadline-aware re-dispatches: seal-time drains off a detected-slow
+    /// device plus worker-side backoff retry hops past the first hedge.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -373,11 +948,71 @@ mod tests {
     }
 
     #[test]
+    fn schedule_parse_slow_and_restore() {
+        let s = FaultSchedule::parse("slow:2@10 restore:2@30, slow:1@5x4").unwrap();
+        assert_eq!(
+            s,
+            FaultSchedule::new()
+                .slow(2, 10, DEFAULT_SLOW_FACTOR)
+                .restore(2, 30)
+                .slow(1, 5, 4)
+        );
+        assert!(matches!(
+            FaultSchedule::parse("slow:1@5xq"),
+            Err(FaultSpecError::BadToken { .. })
+        ));
+        // The x<factor> suffix belongs to slow alone.
+        assert!(FaultSchedule::parse("fail:1@5x4").is_err());
+        assert!(matches!(
+            FaultSchedule::parse("melt:1@5"),
+            Err(FaultSpecError::UnknownEvent { .. })
+        ));
+    }
+
+    #[test]
     fn schedule_validation_checks_device_range() {
         let s = FaultSchedule::new().fail(9, 5);
-        assert!(s.validate(9).is_err());
+        assert_eq!(
+            s.validate(9),
+            Err(FaultSpecError::DeviceOutOfRange {
+                device: 9,
+                devices: 9
+            })
+        );
         assert!(s.validate(10).is_ok());
-        assert!(FaultSchedule::new().validate(65).is_err());
+        assert_eq!(
+            FaultSchedule::new().validate(65),
+            Err(FaultSpecError::TooManyDevices { devices: 65 })
+        );
+    }
+
+    #[test]
+    fn schedule_validation_checks_horizon_and_factor() {
+        let s = FaultSchedule::new().slow(1, 40, 10);
+        assert!(s.validate_for(4, Some(41)).is_ok());
+        assert_eq!(
+            s.validate_for(4, Some(40)),
+            Err(FaultSpecError::WindowBeyondHorizon {
+                device: 1,
+                window: 40,
+                horizon: 40
+            })
+        );
+        assert_eq!(
+            FaultSchedule::new().slow(0, 1, 1).validate(4),
+            Err(FaultSpecError::SlowFactorTooSmall {
+                device: 0,
+                factor: 1
+            })
+        );
+        // Typed errors render with context for the CLI.
+        let msg = FaultSpecError::WindowBeyondHorizon {
+            device: 1,
+            window: 40,
+            horizon: 40,
+        }
+        .to_string();
+        assert!(msg.contains("device 1") && msg.contains("window 40"));
     }
 
     #[test]
@@ -421,6 +1056,8 @@ mod tests {
         assert_eq!(plane.mask_at(123), 0);
         assert_eq!(plane.admission_mask(u64::MAX - 1), 0);
         assert!(plane.failed_devices(7).is_empty());
+        assert_eq!(plane.slow_factor_at(3, 99), 1);
+        assert_eq!(plane.exclusion_mask(9), 0);
     }
 
     #[test]
@@ -440,5 +1077,112 @@ mod tests {
         assert_eq!(plane.mask_at(4), 1);
         plane.inject(0, FaultKind::Recover, 9).unwrap();
         assert_eq!(plane.mask_at(9), 0);
+    }
+
+    #[test]
+    fn slow_events_degrade_silently() {
+        let plane =
+            FaultPlane::new(4, FaultSchedule::new().slow(2, 10, 10).restore(2, 30)).unwrap();
+        assert_eq!(plane.slow_factor_at(2, 9), 1);
+        assert_eq!(plane.slow_factor_at(2, 10), 10);
+        assert_eq!(plane.slow_factor_at(2, 29), 10);
+        assert_eq!(plane.slow_factor_at(2, 30), 1);
+        assert_eq!(plane.slow_factor_at(1, 15), 1);
+        // Fail-slow never enters the fail-stop masks: admission is blind
+        // to it until the scorer says otherwise.
+        assert_eq!(plane.mask_at(15), 0);
+        assert_eq!(plane.admission_mask(15), 0);
+        assert_eq!(plane.exclusion_mask(15), 0);
+        // Live degradation injections extend the same timeline.
+        plane.inject(1, FaultKind::Slow(4), 12).unwrap();
+        assert_eq!(plane.slow_factor_at(1, 12), 4);
+        plane.inject(1, FaultKind::Restore, 14).unwrap();
+        assert_eq!(plane.slow_factor_at(1, 14), 1);
+        assert!(plane.inject(1, FaultKind::Slow(1), 20).is_err());
+    }
+
+    const BASE: u64 = 132_507;
+
+    #[test]
+    fn scorer_single_outlier_does_not_flap() {
+        let plane = FaultPlane::new(4, FaultSchedule::new()).unwrap();
+        for w in 0..5 {
+            plane.observe(0, BASE, w);
+        }
+        assert_eq!(plane.health_state(0), DeviceHealth::Healthy);
+        plane.observe(0, 10 * BASE, 5);
+        assert_eq!(plane.health_state(0), DeviceHealth::Suspect);
+        assert_eq!(plane.live_slow_mask(), 0, "suspect is still schedulable");
+        plane.observe(0, BASE, 6);
+        assert_eq!(plane.health_state(0), DeviceHealth::Healthy);
+        assert_eq!(plane.slow_detected(), 0);
+        assert_eq!(plane.health_suspects(), 1);
+        // The outlier did not drag the baseline up: the next anomaly is
+        // still judged against the calibrated EWMA.
+        plane.observe(0, 10 * BASE, 7);
+        assert_eq!(plane.health_state(0), DeviceHealth::Suspect);
+    }
+
+    #[test]
+    fn scorer_promotes_on_streak_and_recovers_with_hysteresis() {
+        let plane = FaultPlane::new(4, FaultSchedule::new()).unwrap();
+        for w in 0..4 {
+            plane.observe(1, BASE, w);
+        }
+        // Three consecutive anomalies: Healthy → Suspect → … → Slow.
+        plane.observe(1, 10 * BASE, 4);
+        plane.observe(1, 10 * BASE, 4);
+        assert_eq!(plane.health_state(1), DeviceHealth::Suspect);
+        plane.observe(1, 10 * BASE, 5);
+        assert_eq!(plane.health_state(1), DeviceHealth::Slow);
+        assert_eq!(plane.live_slow_mask(), 0b10);
+        assert_eq!(plane.exclusion_mask(5), 0b10);
+        assert_eq!(plane.slow_detected(), 1);
+        // Recovery needs a sustained normal streak, not one good sample.
+        for w in 6..13 {
+            plane.observe(1, BASE, w);
+            assert_eq!(plane.health_state(1), DeviceHealth::Slow, "window {w}");
+        }
+        plane.observe(1, BASE, 13);
+        assert_eq!(plane.health_state(1), DeviceHealth::Healthy);
+        assert_eq!(plane.live_slow_mask(), 0);
+        assert_eq!(plane.health_recoveries(), 1);
+    }
+
+    #[test]
+    fn hedge_threshold_needs_samples_then_tracks_the_tail() {
+        let plane = FaultPlane::new(2, FaultSchedule::new()).unwrap();
+        assert_eq!(plane.hedge_threshold(0), None);
+        for w in 0..3 {
+            plane.observe(0, BASE, w);
+        }
+        assert_eq!(plane.hedge_threshold(0), None, "below min samples");
+        plane.observe(0, BASE, 3);
+        // Defaults: p90 of a flat ring is BASE, slack 2.0.
+        assert_eq!(plane.hedge_threshold(0), Some(2 * BASE));
+        assert_eq!(plane.service_estimate(0, 7), BASE);
+        assert_eq!(plane.service_estimate(1, 7), 7, "no samples yet");
+    }
+
+    #[test]
+    fn probe_tick_reschedules_a_starved_slow_device() {
+        let plane = FaultPlane::new(2, FaultSchedule::new()).unwrap();
+        for w in 0..4 {
+            plane.observe(0, BASE, w);
+        }
+        for _ in 0..3 {
+            plane.observe(0, 10 * BASE, 4);
+        }
+        assert_eq!(plane.health_state(0), DeviceHealth::Slow);
+        assert_eq!(plane.live_slow_mask(), 1);
+        // Excluded from schedules → no samples. Before the probe TTL the
+        // bit stays; once it expires the device is put back on probation.
+        plane.health_tick(5);
+        assert_eq!(plane.live_slow_mask(), 1);
+        plane.health_tick(4 + HealthParams::default().probe_windows);
+        assert_eq!(plane.live_slow_mask(), 0);
+        assert_eq!(plane.health_state(0), DeviceHealth::Suspect);
+        // Probation is not a counted recovery.
+        assert_eq!(plane.health_recoveries(), 0);
     }
 }

@@ -44,6 +44,9 @@ mod window;
 
 pub use config::{AssignmentMode, ServerConfig, WINDOW_RING};
 pub use engine::{QosServer, RejectReason, SubmitOutcome, SubmitterHandle};
-pub use fault::{FaultEvent, FaultKind, FaultPlane, FaultSchedule};
+pub use fault::{
+    DeviceHealth, FaultEvent, FaultKind, FaultPlane, FaultSchedule, FaultSpecError, HealthParams,
+    DEFAULT_SLOW_FACTOR,
+};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, TenantCounters, TenantSnapshot};
 pub use registry::{RegisterError, Tenant, TenantRegistry};

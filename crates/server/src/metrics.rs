@@ -181,10 +181,34 @@ pub struct MetricsSnapshot {
     /// Submissions refused because every replica of the block was down
     /// across the admissible horizon.
     pub fault_rejected: u64,
+    /// Speculative duplicate dispatches issued when a block's projected
+    /// service latency crossed its device's adaptive hedge threshold.
+    pub hedges_issued: u64,
+    /// Hedged blocks whose speculative dispatch finished first. Each such
+    /// win cancels the original dispatch, so `hedges_won ==
+    /// hedges_cancelled` is an exactly-once settlement invariant.
+    pub hedges_won: u64,
+    /// Original dispatches cancelled by a winning hedge. Part of the
+    /// conservation law: `served + fault_lost + hedges_cancelled ==
+    /// admitted_total`.
+    pub hedges_cancelled: u64,
+    /// Deadline-aware re-dispatches: backoff retry hops past the first
+    /// hedge plus seal-time drains off a detected-slow device.
+    pub retries: u64,
+    /// Health-scorer promotions into `Slow` (admission then steers new
+    /// schedules away from the device until it recovers or is re-probed).
+    pub slow_detected: u64,
+    /// Health-scorer transitions `Healthy → Suspect` (entries).
+    pub health_suspects: u64,
+    /// Health-scorer demotions `Slow → Healthy` after a sustained normal
+    /// streak.
+    pub health_recoveries: u64,
     /// Served-request latency: median (bucket-resolution upper bound).
     pub p50_latency_ns: u64,
     /// Served-request latency: 99th percentile (bucket-resolution).
     pub p99_latency_ns: u64,
+    /// Served-request latency: 99.9th percentile (bucket-resolution).
+    pub p999_latency_ns: u64,
     /// Served-request latency: exact maximum.
     pub max_latency_ns: u64,
     /// Served-request latency: exact mean.
@@ -197,6 +221,13 @@ impl MetricsSnapshot {
     /// Requests admitted in total (guaranteed + overflow).
     pub fn admitted_total(&self) -> u64 {
         self.admitted + self.overflow
+    }
+
+    /// Requests that completed service on either dispatch path: primaries
+    /// (`served`) plus hedge wins. In a conserving run this equals
+    /// `admitted_total − fault_lost`.
+    pub fn completed(&self) -> u64 {
+        self.served + self.hedges_won
     }
 }
 

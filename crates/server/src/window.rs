@@ -49,6 +49,11 @@ struct Parked {
 pub(crate) enum AdmitResult {
     /// Admitted into the window's guaranteed set.
     Admitted,
+    /// Every replica of the block sits on a device the scorer classifies
+    /// `Slow` (but live): parked as best-effort overflow on the degraded
+    /// replica set instead of promising a deadline we cannot keep — and
+    /// instead of falsely rejecting a block whose data is still readable.
+    AdmittedSlow,
     /// The window (or the tenant's reservation in it) is full; a later
     /// window may still take the request.
     Full,
@@ -73,8 +78,12 @@ struct SlotState {
     /// Which window this slot currently holds; meaningful iff `active`.
     window: u64,
     active: bool,
-    /// Health bitmap captured when the slot opened (admission view).
+    /// Exclusion bitmap captured when the slot opened: fail-stop admission
+    /// view plus devices the scorer classified `Slow` at open.
     admit_mask: u64,
+    /// Fail-stop-only subset of `admit_mask`; distinguishes "data gone"
+    /// (reject `Unavailable`) from "data slow" (serve best-effort).
+    fail_mask: u64,
     /// Exact degraded feasibility state (flow mode only).
     flow: Option<DegradedWindow>,
     /// Per-device guaranteed load (EFT mode; flow mode derives it at seal).
@@ -93,10 +102,12 @@ impl SlotState {
         accesses: usize,
         mode: AssignmentMode,
         admit_mask: u64,
+        fail_mask: u64,
     ) {
         self.window = window;
         self.active = true;
         self.admit_mask = admit_mask;
+        self.fail_mask = fail_mask;
         self.flow = match mode {
             AssignmentMode::OptimalFlow => {
                 let failed: Vec<bool> = (0..devices).map(|d| admit_mask >> d & 1 == 1).collect();
@@ -120,6 +131,9 @@ pub(crate) struct SealedItem {
     pub req: IoRequest,
     /// Admitted under the deterministic guarantee (vs statistical overflow).
     pub guaranteed: bool,
+    /// Bitmap of every replica device holding this block — the worker's
+    /// hedge candidates beyond the assigned one.
+    pub replica_mask: u64,
 }
 
 /// The drained contents of one window, in dispatch order.
@@ -137,6 +151,10 @@ pub(crate) struct WindowRing {
     accesses: usize,
     mode: AssignmentMode,
     fault: Arc<FaultPlane>,
+    /// Whether seal drains items off devices the scorer detected `Slow`
+    /// *after* admission (the fail-slow reaction path; off when hedging is
+    /// disabled so the unmitigated cost is observable).
+    failslow: bool,
 }
 
 impl WindowRing {
@@ -146,6 +164,7 @@ impl WindowRing {
         accesses: usize,
         mode: AssignmentMode,
         fault: Arc<FaultPlane>,
+        failslow: bool,
     ) -> Self {
         WindowRing {
             slots: (0..ring_slots)
@@ -154,6 +173,7 @@ impl WindowRing {
                         window: 0,
                         active: false,
                         admit_mask: 0,
+                        fail_mask: 0,
                         flow: None,
                         loads: Vec::new(),
                         per_tenant: HashMap::new(),
@@ -166,6 +186,7 @@ impl WindowRing {
             accesses,
             mode,
             fault,
+            failslow,
         }
     }
 
@@ -179,8 +200,12 @@ impl WindowRing {
     fn locked(&self, window: u64) -> MutexGuard<'_, SlotState> {
         let mut s = self.slot(window).lock();
         if !s.active {
-            let mask = self.fault.admission_mask(window);
-            s.reset_for(window, self.devices, self.accesses, self.mode, mask);
+            // Fail-stop devices are excluded outright; detected-slow
+            // devices are steered around too (they are live — blocks with
+            // no other copy still fall back to them, see try_admit).
+            let fail = self.fault.admission_mask(window);
+            let mask = fail | self.fault.live_slow_mask();
+            s.reset_for(window, self.devices, self.accesses, self.mode, mask, fail);
         } else if s.window != window {
             assert!(
                 s.window > window,
@@ -223,7 +248,9 @@ impl WindowRing {
                 match s.flow.as_mut().expect("flow mode").try_add(replicas) {
                     DegradedAdmit::Admitted => None,
                     DegradedAdmit::Infeasible => return AdmitResult::Full,
-                    DegradedAdmit::Unavailable => return AdmitResult::Unavailable,
+                    DegradedAdmit::Unavailable => {
+                        return Self::admit_on_slow_only(&mut s, tenant, req, replicas)
+                    }
                 }
             }
             AssignmentMode::Eft => {
@@ -236,7 +263,7 @@ impl WindowRing {
                     .filter(|&d| mask >> d & 1 == 0)
                     .min_by_key(|&d| s.loads[d]);
                 let Some(best) = best else {
-                    return AdmitResult::Unavailable;
+                    return Self::admit_on_slow_only(&mut s, tenant, req, replicas);
                 };
                 if s.loads[best] as usize >= self.accesses {
                     return AdmitResult::Full;
@@ -258,6 +285,28 @@ impl WindowRing {
         AdmitResult::Admitted
     }
 
+    /// Every replica of the block is excluded for this window. If at least
+    /// one is merely detected-slow (live), park the block as best-effort
+    /// overflow on the live set — no deadline is promised on a slow device,
+    /// but the data is readable and must not be rejected `Unavailable`.
+    fn admit_on_slow_only(
+        s: &mut SlotState,
+        tenant: u64,
+        req: IoRequest,
+        replicas: &[usize],
+    ) -> AdmitResult {
+        if replicas.iter().all(|&d| s.fail_mask >> d & 1 == 1) {
+            return AdmitResult::Unavailable;
+        }
+        s.overflow.push(Parked {
+            tenant,
+            req,
+            replicas: replicas.to_vec(),
+            assigned: None,
+        });
+        AdmitResult::AdmittedSlow
+    }
+
     /// Total requests (guaranteed + overflow) currently parked in `window`.
     pub fn admitted_total(&self, window: u64) -> usize {
         let s = self.locked(window);
@@ -277,7 +326,9 @@ impl WindowRing {
         replicas: &[usize],
     ) -> bool {
         let mut s = self.locked(window);
-        if s.admit_mask != 0 && replicas.iter().all(|&d| s.admit_mask >> d & 1 == 1) {
+        // Only an all-*failed* replica set refuses: slow devices are live
+        // and can still carry best-effort work.
+        if s.fail_mask != 0 && replicas.iter().all(|&d| s.fail_mask >> d & 1 == 1) {
             return false;
         }
         s.overflow.push(Parked {
@@ -296,6 +347,16 @@ impl WindowRing {
         // The execution interval of window `w` is window `w + 1`; re-read
         // its health now in case a live injection landed after admission.
         let exec_mask = self.fault.mask_at(window + 1);
+        // When the fail-slow reaction path is on, devices the scorer
+        // condemned after this window admitted drain too: their queued
+        // blocks move to healthy replicas (deadline-aware re-dispatch,
+        // reusing the fail-stop rebuild machinery below).
+        let slow_mask = if self.failslow {
+            self.fault.live_slow_mask() & !exec_mask
+        } else {
+            0
+        };
+        let drain_mask = exec_mask | slow_mask;
         if exec_mask != 0 {
             self.fault.note_degraded_window();
         }
@@ -326,28 +387,33 @@ impl WindowRing {
             }
             AssignmentMode::Eft => guaranteed.iter().map(|p| p.assigned).collect(),
         };
-        if exec_mask == 0 {
+        if drain_mask == 0 {
             // Healthy execution interval: the admission-time assignments
             // stand as-is.
             for (p, prelim) in guaranteed.into_iter().zip(prelim) {
                 let d = prelim.expect("guaranteed request must be assigned");
                 loads[d] += 1;
+                let replica_mask = mask_of(&p.replicas);
                 let mut req = p.req;
                 req.device = d;
                 items.push(SealedItem {
                     tenant: p.tenant,
                     req,
                     guaranteed: true,
+                    replica_mask,
                 });
             }
         } else {
-            // A device is down for the execution interval (a live injection
-            // may have landed after admission). Patching drained items one
-            // by one onto the least-loaded survivor can overload it past
-            // `M`; instead rebuild the whole window's schedule on the
-            // surviving subgraph, so whenever a feasible `≤ M` per-device
-            // schedule exists the rebuilt one meets every deadline.
-            let failed: Vec<bool> = (0..self.devices).map(|d| exec_mask >> d & 1 == 1).collect();
+            // A device is down (or condemned slow) for the execution
+            // interval — a live injection or a scorer verdict landed after
+            // admission. Patching drained items one by one onto the
+            // least-loaded survivor can overload it past `M`; instead
+            // rebuild the whole window's schedule on the surviving
+            // subgraph, so whenever a feasible `≤ M` per-device schedule
+            // exists the rebuilt one meets every deadline.
+            let failed: Vec<bool> = (0..self.devices)
+                .map(|d| drain_mask >> d & 1 == 1)
+                .collect();
             let mut rebuilt = DegradedWindow::new(self.devices, self.accesses, &failed);
             let placements: Vec<DegradedAdmit> = guaranteed
                 .iter()
@@ -356,20 +422,33 @@ impl WindowRing {
             let rebuilt_assign = rebuilt.assignments();
             let mut next = 0usize;
             for ((p, prelim), placement) in guaranteed.into_iter().zip(prelim).zip(placements) {
-                let drained = prelim.is_some_and(|d| exec_mask >> d & 1 == 1);
                 let d = match placement {
                     DegradedAdmit::Admitted => {
                         let d = rebuilt_assign[next];
                         next += 1;
+                        // One audit note per moved item: off a failed
+                        // device = redispatch, off a slow one = retry.
+                        if prelim.is_some_and(|pd| exec_mask >> pd & 1 == 1) {
+                            self.fault.note_redispatch();
+                        } else if prelim.is_some_and(|pd| slow_mask >> pd & 1 == 1) {
+                            self.fault.note_retry();
+                        }
                         d
                     }
                     DegradedAdmit::Infeasible => {
-                        // No `M`-respecting slot on any survivor: overload
-                        // the least-loaded live replica rather than drop.
-                        // May finish late — counted here and audited as a
-                        // violation, never hidden. Only reachable when a
-                        // live injection lands after this window admitted.
-                        self.fault.note_overload();
+                        // No `M`-respecting slot on any survivor. With a
+                        // pure fail-stop drain, overload the least-loaded
+                        // live replica rather than drop (PR 2 semantics) —
+                        // may finish late, counted and audited, never
+                        // hidden. When the squeeze comes from excluding a
+                        // live-but-slow device, the fallback below may
+                        // land back on it; that is a retry, not an
+                        // overload of a healthy survivor.
+                        if slow_mask == 0 {
+                            self.fault.note_overload();
+                        } else {
+                            self.fault.note_retry();
+                        }
                         p.replicas
                             .iter()
                             .copied()
@@ -378,44 +457,73 @@ impl WindowRing {
                             .expect("Infeasible implies a live replica exists")
                     }
                     DegradedAdmit::Unavailable => {
-                        // Beyond the c − 1 tolerance: no survivor holds a
-                        // copy. Counted, audited, never silently dropped.
-                        self.fault.note_lost();
-                        continue;
+                        // Every replica failed or condemned slow. A slow
+                        // replica is still live: keep the block on the
+                        // least-loaded one (the worker-side hedge and
+                        // deadline audit pick it up) instead of losing
+                        // readable data. Only an all-failed set — beyond
+                        // the c − 1 tolerance — is lost: counted, audited,
+                        // never silently dropped.
+                        let live = p
+                            .replicas
+                            .iter()
+                            .copied()
+                            .filter(|&d| exec_mask >> d & 1 == 0)
+                            .min_by_key(|&d| loads[d]);
+                        match live {
+                            Some(d) => {
+                                self.fault.note_retry();
+                                d
+                            }
+                            None => {
+                                self.fault.note_lost();
+                                continue;
+                            }
+                        }
                     }
                 };
-                if drained {
-                    self.fault.note_redispatch();
-                }
                 loads[d] += 1;
+                let replica_mask = mask_of(&p.replicas);
                 let mut req = p.req;
                 req.device = d;
                 items.push(SealedItem {
                     tenant: p.tenant,
                     req,
                     guaranteed: true,
+                    replica_mask,
                 });
             }
         }
         let n_guaranteed = items.len() as u64;
         for p in overflow {
-            let live = p
+            // Prefer replicas that are neither failed nor detected-slow;
+            // fall back to a slow-but-live one before declaring loss.
+            let pick = p
                 .replicas
                 .iter()
                 .copied()
-                .filter(|&d| exec_mask >> d & 1 == 0)
-                .min_by_key(|&d| loads[d]);
-            let Some(d) = live else {
+                .filter(|&d| drain_mask >> d & 1 == 0)
+                .min_by_key(|&d| loads[d])
+                .or_else(|| {
+                    p.replicas
+                        .iter()
+                        .copied()
+                        .filter(|&d| exec_mask >> d & 1 == 0)
+                        .min_by_key(|&d| loads[d])
+                });
+            let Some(d) = pick else {
                 self.fault.note_lost();
                 continue;
             };
             loads[d] += 1;
+            let replica_mask = mask_of(&p.replicas);
             let mut req = p.req;
             req.device = d;
             items.push(SealedItem {
                 tenant: p.tenant,
                 req,
                 guaranteed: false,
+                replica_mask,
             });
         }
         SealedWindow {
@@ -424,6 +532,11 @@ impl WindowRing {
             items,
         }
     }
+}
+
+/// Replica index list → bitmap.
+fn mask_of(replicas: &[usize]) -> u64 {
+    replicas.iter().fold(0u64, |m, &d| m | 1 << d)
 }
 
 #[cfg(test)]
@@ -443,7 +556,7 @@ mod tests {
 
     fn ring(mode: AssignmentMode) -> WindowRing {
         // 3 devices, M = 1; replica pairs below.
-        WindowRing::new(WINDOW_RING, 3, 1, mode, healthy(3))
+        WindowRing::new(WINDOW_RING, 3, 1, mode, healthy(3), true)
     }
 
     #[test]
@@ -558,6 +671,7 @@ mod tests {
             1,
             AssignmentMode::OptimalFlow,
             Arc::clone(&fault),
+            true,
         );
         // Window 3 executes during window 4 (device 0 down): the request
         // naming device 0 must land on a survivor at admission time.
@@ -583,6 +697,7 @@ mod tests {
             1,
             AssignmentMode::OptimalFlow,
             Arc::clone(&fault),
+            true,
         );
         assert_eq!(
             r.try_admit(0, 1, 9, req(1), &[0, 1]),
@@ -593,7 +708,7 @@ mod tests {
             !r.add_overflow(0, 1, req(3), &[0, 1]),
             "overflow refused too"
         );
-        let eft = WindowRing::new(WINDOW_RING, 3, 1, AssignmentMode::Eft, fault);
+        let eft = WindowRing::new(WINDOW_RING, 3, 1, AssignmentMode::Eft, fault, true);
         assert_eq!(
             eft.try_admit(0, 1, 9, req(4), &[0, 1]),
             AdmitResult::Unavailable
@@ -603,7 +718,14 @@ mod tests {
     #[test]
     fn live_injection_drains_the_failing_device_at_seal() {
         let fault = Arc::new(FaultPlane::new(3, FaultSchedule::new()).unwrap());
-        let r = WindowRing::new(WINDOW_RING, 3, 1, AssignmentMode::Eft, Arc::clone(&fault));
+        let r = WindowRing::new(
+            WINDOW_RING,
+            3,
+            1,
+            AssignmentMode::Eft,
+            Arc::clone(&fault),
+            true,
+        );
         // EFT assigns at admit time; ties break toward replica 0.
         assert!(r.try_admit(0, 1, 9, req(1), &[0, 1]).is_admitted());
         // Device 0 dies before the execution interval (window 1).
@@ -618,7 +740,14 @@ mod tests {
     #[test]
     fn items_with_no_surviving_replica_are_counted_lost() {
         let fault = Arc::new(FaultPlane::new(3, FaultSchedule::new()).unwrap());
-        let r = WindowRing::new(WINDOW_RING, 3, 1, AssignmentMode::Eft, Arc::clone(&fault));
+        let r = WindowRing::new(
+            WINDOW_RING,
+            3,
+            1,
+            AssignmentMode::Eft,
+            Arc::clone(&fault),
+            true,
+        );
         assert!(r.try_admit(0, 1, 9, req(1), &[0, 1]).is_admitted());
         assert!(r.add_overflow(0, 1, req(2), &[0]));
         fault.inject(0, FaultKind::Fail, 1).unwrap();
@@ -627,5 +756,114 @@ mod tests {
         assert_eq!(sealed.total, 0, "both replicas down: nothing dispatchable");
         assert_eq!(fault.lost(), 2);
         assert_eq!(fault.degraded_windows(), 1);
+    }
+
+    /// Feed the scorer enough samples to condemn `device`: a healthy
+    /// baseline, then a promote-streak of 10× outliers.
+    fn condemn(plane: &FaultPlane, device: usize) {
+        const BASE: u64 = 132_507;
+        for _ in 0..4 {
+            plane.observe(device, BASE, 0);
+        }
+        for _ in 0..3 {
+            plane.observe(device, BASE * 10, 0);
+        }
+        assert_eq!(plane.health_state(device), crate::fault::DeviceHealth::Slow);
+        assert_eq!(plane.live_slow_mask() >> device & 1, 1);
+    }
+
+    #[test]
+    fn scorer_condemned_device_is_excluded_from_new_admissions() {
+        let fault = healthy(3);
+        condemn(&fault, 0);
+        let r = WindowRing::new(
+            WINDOW_RING,
+            3,
+            1,
+            AssignmentMode::Eft,
+            Arc::clone(&fault),
+            true,
+        );
+        // EFT would tie-break toward 0; the live-slow bit forces 1.
+        assert!(r.try_admit(0, 1, 9, req(1), &[0, 1]).is_admitted());
+        let sealed = r.seal(0);
+        assert_eq!(sealed.total, 1);
+        assert_eq!(sealed.items[0].req.device, 1, "routed off the slow device");
+        assert_eq!(fault.reroutes(), 1);
+        assert_eq!(
+            fault.retries(),
+            0,
+            "avoided at admission, not re-dispatched"
+        );
+    }
+
+    #[test]
+    fn seal_drains_a_mid_window_slow_verdict_as_a_retry() {
+        let fault = healthy(3);
+        let r = WindowRing::new(
+            WINDOW_RING,
+            3,
+            1,
+            AssignmentMode::Eft,
+            Arc::clone(&fault),
+            true,
+        );
+        assert!(r.try_admit(0, 1, 9, req(1), &[0, 1]).is_admitted());
+        // The scorer condemns device 0 only after admission assigned to it.
+        condemn(&fault, 0);
+        let sealed = r.seal(0);
+        assert_eq!(sealed.total, 1);
+        assert_eq!(
+            sealed.items[0].req.device, 1,
+            "drained to the healthy replica"
+        );
+        assert_eq!(fault.retries(), 1);
+        assert_eq!(fault.redispatches(), 0, "slow is not fail-stop");
+        assert_eq!(fault.lost(), 0);
+        assert_eq!(fault.degraded_windows(), 0, "no device actually failed");
+    }
+
+    #[test]
+    fn failslow_off_leaves_slow_assignments_in_place() {
+        let fault = healthy(3);
+        let r = WindowRing::new(
+            WINDOW_RING,
+            3,
+            1,
+            AssignmentMode::Eft,
+            Arc::clone(&fault),
+            false,
+        );
+        assert!(r.try_admit(0, 1, 9, req(1), &[0, 1]).is_admitted());
+        condemn(&fault, 0);
+        let sealed = r.seal(0);
+        assert_eq!(sealed.total, 1);
+        assert_eq!(sealed.items[0].req.device, 0, "control arm: no drain");
+        assert_eq!(fault.retries(), 0);
+    }
+
+    #[test]
+    fn all_replicas_slow_is_admitted_slow_and_still_dispatched() {
+        let fault = healthy(3);
+        condemn(&fault, 0);
+        condemn(&fault, 1);
+        let r = WindowRing::new(
+            WINDOW_RING,
+            3,
+            1,
+            AssignmentMode::Eft,
+            Arc::clone(&fault),
+            true,
+        );
+        // Data is readable, just slow everywhere: park without a deadline
+        // promise rather than reject.
+        assert_eq!(
+            r.try_admit(0, 1, 9, req(1), &[0, 1]),
+            AdmitResult::AdmittedSlow
+        );
+        let sealed = r.seal(0);
+        assert_eq!(sealed.total, 1, "slow-but-live data still serves");
+        assert_eq!(sealed.guaranteed, 0, "no deadline promise was made");
+        assert_eq!(fault.lost(), 0);
     }
 }

@@ -190,7 +190,15 @@ pub fn assert_guarantee_held(r: &Replay) {
         "scripted schedules admit under the execution mask, so the seal \
          rebuild can never be infeasible"
     );
-    assert_eq!(m.served, m.admitted_total(), "admitted and served diverge");
+    assert_eq!(
+        m.hedges_won, m.hedges_cancelled,
+        "a hedge win must cancel exactly one primary"
+    );
+    assert_eq!(
+        m.served + m.fault_lost + m.hedges_cancelled,
+        m.admitted_total(),
+        "admitted and completed diverge"
+    );
     assert_eq!(m.rejected, r.rejected, "rejection accounting diverges");
     assert_eq!(
         m.admitted_total() + m.rejected,

@@ -18,8 +18,8 @@ mod common;
 use common::{assert_guarantee_held, bucket_replicas, qos, Scenario};
 use fqos_core::OverloadPolicy;
 use fqos_server::{
-    AssignmentMode, FaultSchedule, QosServer, RejectReason, ServerConfig, SubmitOutcome,
-    WINDOW_RING,
+    AssignmentMode, FaultSchedule, MetricsSnapshot, QosServer, RejectReason, ServerConfig,
+    SubmitOutcome, WINDOW_RING,
 };
 use rand::Rng;
 
@@ -183,6 +183,128 @@ fn live_injection_drains_inflight_to_survivors() {
     if m.fault_overloads == 0 {
         assert_eq!(m.deadline_violations, 0);
     }
+}
+
+/// One deterministic fail-slow replay: device 2 silently serves 10× slow
+/// over windows 10..110 of a 200-window (9,3,1) run at 3 requests per
+/// window. Returns the final metrics and the admitted count.
+fn replay_fail_slow(hedging: bool) -> (MetricsSnapshot, u64) {
+    let deployment = qos(9, 3, 1);
+    let t = deployment.interval_ns;
+    let server = QosServer::new(
+        ServerConfig::new(deployment)
+            .with_fault_schedule(FaultSchedule::new().slow(2, 10, 10).restore(2, 110))
+            .with_hedging(hedging),
+    )
+    .unwrap();
+    server.register(1, 3, OverloadPolicy::Delay).unwrap();
+    let mut h = server.handle();
+    let mut rng = common::rng(7);
+    let mut admitted = 0u64;
+    for w in 0..200u64 {
+        for i in 0..3u64 {
+            let lbn = rng.gen_range(0..36u64);
+            if h.submit(1, lbn, w * t + i).is_admitted() {
+                admitted += 1;
+            }
+        }
+    }
+    drop(h);
+    (server.finish(), admitted)
+}
+
+/// The headline fail-slow scenario: a device goes silently 10× slow
+/// mid-run — admission is never told. With hedging on, the scorer
+/// condemns it from observed latencies, seal-time drains re-dispatch its
+/// queued blocks, and speculative reads on sibling replicas keep ≥ 99% of
+/// admissions inside the interval deadline. With hedging off (the control
+/// arm, same seeded trace), the tail demonstrably blows through the
+/// deadline — proving the reaction path, not the workload, is what saves
+/// the run.
+#[test]
+fn fail_slow_hedging_keeps_the_tail_inside_the_deadline() {
+    let (on, admitted_on) = replay_fail_slow(true);
+    assert_eq!(on.admitted_total(), admitted_on);
+    assert!(on.slow_detected >= 1, "scorer must condemn device 2");
+    assert!(on.hedges_issued > 0, "slow primaries must hedge");
+    assert!(
+        on.hedges_won > 0,
+        "a 10× primary always loses to a clean hedge"
+    );
+    assert_eq!(
+        on.hedges_won, on.hedges_cancelled,
+        "each hedge win cancels exactly one primary"
+    );
+    assert_eq!(
+        on.served + on.fault_lost + on.hedges_cancelled,
+        on.admitted_total(),
+        "conservation under fail-slow"
+    );
+    assert_eq!(
+        on.fault_lost, 0,
+        "slow is not fail-stop: nothing may be lost"
+    );
+    assert!(
+        on.deadline_violations * 100 <= on.admitted_total(),
+        "hedging on: {} misses of {} admitted exceeds 1%",
+        on.deadline_violations,
+        on.admitted_total()
+    );
+
+    let (off, admitted_off) = replay_fail_slow(false);
+    assert_eq!(off.admitted_total(), admitted_off);
+    assert_eq!(off.hedges_issued, 0, "control arm must not speculate");
+    assert_eq!(
+        off.served + off.fault_lost,
+        off.admitted_total(),
+        "conservation without hedging"
+    );
+    assert!(
+        off.deadline_violations * 100 > off.admitted_total(),
+        "hedging off: only {} misses of {} admitted — the control arm \
+         no longer demonstrates the failure mode",
+        off.deadline_violations,
+        off.admitted_total()
+    );
+}
+
+/// Live (unscripted) degradation: `degrade_device` starts a silent 10×
+/// slowdown mid-run with admission left blind, exactly like the scripted
+/// path; `restore_device` returns the device to calibrated speed. The
+/// scorer must detect it and conservation must hold end to end.
+#[test]
+fn live_degradation_is_detected_and_conserved() {
+    let deployment = qos(9, 3, 1);
+    let t = deployment.interval_ns;
+    let server = QosServer::new(ServerConfig::new(deployment)).unwrap();
+    server.register(1, 3, OverloadPolicy::Delay).unwrap();
+    let mut h = server.handle();
+    let mut rng = common::rng(8);
+    let mut admitted = 0u64;
+    for w in 0..80u64 {
+        if w == 10 {
+            h.degrade_device(0, 10).unwrap();
+        }
+        if w == 40 {
+            h.restore_device(0).unwrap();
+        }
+        for i in 0..3u64 {
+            let lbn = rng.gen_range(0..36u64);
+            if h.submit(1, lbn, w * t + i).is_admitted() {
+                admitted += 1;
+            }
+        }
+    }
+    drop(h);
+    let m = server.finish();
+    assert_eq!(m.admitted_total(), admitted);
+    assert!(m.slow_detected >= 1, "live degradation must be detected");
+    assert_eq!(m.hedges_won, m.hedges_cancelled);
+    assert_eq!(
+        m.served + m.fault_lost + m.hedges_cancelled,
+        m.admitted_total()
+    );
+    assert_eq!(m.fault_lost, 0);
 }
 
 /// Wraparound regression: lap the 1024-slot window ring twice with a

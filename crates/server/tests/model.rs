@@ -13,8 +13,10 @@
 //! Invariants checked on every schedule (see DESIGN.md, "Concurrency
 //! invariants"):
 //!
-//! - **Conservation**: `served + fault_lost == admitted_total`, and
-//!   `admitted_total + rejected` equals the number of submits issued.
+//! - **Conservation**: `served + fault_lost + hedges_cancelled ==
+//!   admitted_total` (a hedge win cancels exactly one primary, so
+//!   `hedges_won == hedges_cancelled`), and `admitted_total + rejected`
+//!   equals the number of submits issued.
 //! - **Deadline audit**: no guaranteed-deadline violations unless a live
 //!   fault forced the overload path (`fault_overloads > 0`).
 //! - **Deadlock freedom**: the scenario runs to completion — submitters
@@ -23,8 +25,9 @@
 //! Scenarios are deliberately small (2 workers, an 8-slot ring, one or two
 //! requests per submitter) so the preemption-bounded state space stays in
 //! the thousands of schedules while still covering the races named in the
-//! design notes: admission vs. seal, live fault injection vs. seal, and
-//! handle drop / shutdown vs. the final drain.
+//! design notes: admission vs. seal, live fault injection vs. seal,
+//! live degradation vs. the hedge decision, and handle drop / shutdown
+//! vs. the final drain.
 
 #![cfg(feature = "model-check")]
 
@@ -112,6 +115,7 @@ fn admission_vs_seal_conserves_requests() {
         assert_eq!(ta.admitted + tb.admitted, m.admitted_total());
         assert_eq!(ta.rejected + tb.rejected, m.rejected);
         assert_eq!(m.admitted_total() + m.rejected, submitted);
+        assert_eq!(m.hedges_issued, 0, "healthy devices never speculate");
         assert_eq!(m.served + m.fault_lost, m.admitted_total(), "conservation");
         assert_eq!(m.fault_lost, 0, "no faults were injected");
         assert_eq!(m.guaranteed_violations, 0, "deadline audit");
@@ -158,7 +162,12 @@ fn inject_fault_vs_seal_conserves_requests() {
         assert_eq!(ts.admitted, m.admitted_total());
         assert_eq!(ts.rejected, m.rejected);
         assert_eq!(m.admitted_total() + m.rejected, 2);
-        assert_eq!(m.served + m.fault_lost, m.admitted_total(), "conservation");
+        assert_eq!(m.hedges_won, m.hedges_cancelled);
+        assert_eq!(
+            m.served + m.fault_lost + m.hedges_cancelled,
+            m.admitted_total(),
+            "conservation"
+        );
         assert_eq!(m.fault_lost, 0, "one replica survives on every schedule");
         if m.fault_overloads == 0 {
             assert_eq!(
@@ -200,6 +209,7 @@ fn shutdown_drain_loses_nothing() {
         let m = server.finish();
         assert_eq!(m.admitted_total() + m.rejected, 3);
         assert_eq!(ta.admitted + tb.admitted, m.admitted_total());
+        assert_eq!(m.hedges_issued, 0, "healthy devices never speculate");
         assert_eq!(m.served, m.admitted_total(), "drain may not strand items");
         assert_eq!(m.guaranteed_violations, 0);
     });
@@ -239,4 +249,55 @@ fn handle_drop_mid_window_conserves_requests() {
         assert_eq!(m.guaranteed_violations, 0);
     });
     report_and_check("handle-drop-mid-window", report, 200);
+}
+
+/// A live `degrade_device` races admission, dispatch and the hedge
+/// decision: an injector thread silently slows the primary replica 10×
+/// and then restores it while a submitter pushes two same-bucket
+/// requests through. Depending on where the degradation lands, the slow
+/// primary finishes past its deadline and is hedged onto a sibling
+/// replica (first completion wins, the loser is cancelled), the scorer's
+/// verdict reroutes the second request at seal, or the window drains
+/// before the slowdown bites. Whatever the schedule, the extended
+/// conservation law must balance — every admission completes exactly
+/// once, and a hedge win cancels exactly one primary — and nothing may
+/// be lost: a slow device is degraded, not dead.
+#[test]
+fn hedge_vs_seal_conserves_requests() {
+    let replicas = common::bucket_replicas(9, 3, 0);
+    let slow = replicas[0];
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 4096,
+        ..Config::default()
+    };
+    let report = model_with(bounds, move || {
+        let server = QosServer::new(model_cfg()).unwrap();
+        server.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut hs = server.handle();
+        let hf = server.handle();
+        let submitter = interleave::thread::spawn(move || {
+            // Same bucket: both requests' replica sets contain the
+            // degraded device, so each dispatch may race the slowdown.
+            submit_all(&mut hs, 1, &[(0, 0), (0, 0)])
+        });
+        let injector = interleave::thread::spawn(move || {
+            hf.degrade_device(slow, 10).unwrap();
+            hf.restore_device(slow).unwrap();
+            // Dropping hf closes its watermark so sealing can proceed.
+        });
+        let ts = submitter.join().unwrap();
+        injector.join().unwrap();
+        let m = server.finish();
+        assert_eq!(ts.admitted, m.admitted_total());
+        assert_eq!(m.admitted_total() + m.rejected, 2);
+        assert_eq!(m.hedges_won, m.hedges_cancelled, "exactly-once hedging");
+        assert_eq!(
+            m.served + m.fault_lost + m.hedges_cancelled,
+            m.admitted_total(),
+            "conservation"
+        );
+        assert_eq!(m.fault_lost, 0, "slow devices stay live; nothing is lost");
+    });
+    report_and_check("hedge-vs-seal", report, 1000);
 }

@@ -132,6 +132,10 @@ proptest! {
         prop_assert_eq!(m.deadline_violations, 0);
         prop_assert_eq!(m.overflow, 0);
         prop_assert_eq!(m.served, m.admitted);
+        // Healthy devices never cross the hedge threshold and guaranteed
+        // admissions never project past their deadline, so a clean run
+        // must not speculate at all.
+        prop_assert_eq!(m.hedges_issued, 0);
         prop_assert_eq!(m.admitted + m.rejected, submitted);
         let per_tenant_admitted: u64 = m.tenants.iter().map(|t| t.admitted).sum();
         prop_assert_eq!(per_tenant_admitted, m.admitted);
@@ -173,7 +177,10 @@ proptest! {
         drop(h);
         let m = server.finish();
         prop_assert!(m.max_window_guaranteed <= limit as u64);
-        prop_assert_eq!(m.served, m.admitted_total());
+        // Overflow admissions may project past their deadline and hedge;
+        // each completes exactly once, by the primary or a winning hedge.
+        prop_assert_eq!(m.hedges_won, m.hedges_cancelled);
+        prop_assert_eq!(m.served + m.hedges_won, m.admitted_total());
         prop_assert!(m.max_window_total >= m.max_window_guaranteed);
         let t_overflow: u64 = m.tenants.iter().map(|t| t.overflow).sum();
         prop_assert_eq!(t_overflow, m.overflow);
@@ -211,6 +218,55 @@ proptest! {
         common::assert_guarantee_held(&r);
         prop_assert!(r.metrics.degraded_windows > 0);
         prop_assert_eq!(r.metrics.served, r.submitted - r.rejected);
+    }
+
+    /// Any mix of one fail-stop device and one silently degraded device —
+    /// within every catalog design's `c − 1` co-hosting tolerance — must
+    /// conserve requests exactly: every admission completes once (primary
+    /// or winning hedge, never both) or is audited as lost, and a hedge
+    /// win always cancels exactly one primary.
+    #[test]
+    fn fail_slow_mix_conserves_and_never_double_serves(
+        design_idx in 0..4usize,
+        fail_dev in any::<usize>(),
+        slow_dev in any::<usize>(),
+        factor in 2..=12u32,
+        fail_at in 0..15u64,
+        slow_at in 0..15u64,
+        duration in 1..=10u64,
+        eft in any::<bool>(),
+        stream in any::<u64>(),
+    ) {
+        let (n, _) = DESIGNS[design_idx % DESIGNS.len()];
+        let qos = qos_for(design_idx, 1, 0.0);
+        let fail_dev = fail_dev % n;
+        // Distinct devices: one fail-stop, one fail-slow — two affected
+        // devices, within c − 1 for every catalog design (c ≥ 3).
+        let slow_dev = if slow_dev % n == fail_dev { (fail_dev + 1) % n } else { slow_dev % n };
+        let rate = qos.request_limit().min(n - 2);
+        let r = common::Scenario::new(
+            qos,
+            FaultSchedule::new()
+                .fail(fail_dev, fail_at)
+                .recover(fail_dev, fail_at + duration)
+                .slow(slow_dev, slow_at, factor)
+                .restore(slow_dev, slow_at + duration),
+        )
+        .mode(if eft { AssignmentMode::Eft } else { AssignmentMode::OptimalFlow })
+        .windows(40)
+        .stream(stream)
+        .tenant(1, rate, OverloadPolicy::Delay)
+        .replay();
+        let m = &r.metrics;
+        prop_assert_eq!(m.hedges_won, m.hedges_cancelled);
+        prop_assert_eq!(
+            m.served + m.fault_lost + m.hedges_cancelled,
+            m.admitted_total(),
+            "conservation: served {} + lost {} + hedge-cancelled {} vs admitted {}",
+            m.served, m.fault_lost, m.hedges_cancelled, m.admitted_total()
+        );
+        prop_assert_eq!(m.fault_lost, 0, "one failed device is within tolerance");
+        prop_assert_eq!(m.admitted_total() + m.rejected, r.submitted);
     }
 
     /// Failing every replica of a bucket (≥ c co-hosted failures, beyond

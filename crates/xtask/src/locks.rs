@@ -58,6 +58,15 @@ pub const HIERARCHY: &[(&str, &str)] = &[
         "fault.inner",
         "fault-plane event log (fault.rs FaultPlane::inner)",
     ),
+    (
+        "fault.health",
+        "device health scorer (fault.rs FaultPlane::health)",
+    ),
+    (
+        "engine.hedge",
+        "hedge frontiers (engine.rs Engine::hedge) — leaf: no lock may be \
+         acquired under it",
+    ),
 ];
 
 pub fn class_name(class: usize) -> &'static str {
@@ -87,6 +96,8 @@ fn acquisitions(file_name: &str, text: &str) -> Vec<Acquisition> {
         ("handles.lock(", "engine.handles"),
         ("counters.lock(", "engine.stat_counters"),
         ("inner.lock(", "fault.inner"),
+        ("health.lock(", "fault.health"),
+        ("hedge.lock(", "engine.hedge"),
     ];
     for (needle, class) in simple {
         let mut from = 0;
@@ -244,9 +255,15 @@ pub fn analyze(files: &[(std::path::PathBuf, Vec<Function>)]) -> LockReport {
     // onto crate constructors, and the one constructor that touches locks
     // (QosServer::new) only does so inside spawned worker closures, which
     // run on other threads and must not count as synchronous acquisition.
+    // `submit` is likewise never resolved: the public
+    // `SubmitterHandle::submit` has no intra-crate callers, so the only
+    // `.submit(` sites in server src are the flashsim device twin inside
+    // the worker (called under the hedge lock); resolving the name would
+    // alias the device model onto the handle's full acquisition set and
+    // fabricate `engine.hedge -> *` inversions.
     let needles_for = |name: &str| -> Vec<String> {
         match name {
-            "new" => Vec::new(),
+            "new" | "submit" => Vec::new(),
             "get" => vec!["registry.get(".to_string()],
             _ => vec![format!(".{name}("), format!("{name}(")],
         }

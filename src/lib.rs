@@ -66,8 +66,8 @@ pub mod prelude {
     pub use fqos_designs::{Design, DesignCatalog, RetrievalGuarantee, RotatedDesign};
     pub use fqos_flashsim::{CalibratedSsd, FlashArray, IoRequest, BLOCK_READ_NS};
     pub use fqos_server::{
-        AssignmentMode, FaultSchedule, MetricsSnapshot, QosServer, RejectReason, ServerConfig,
-        SubmitOutcome, SubmitterHandle,
+        AssignmentMode, DeviceHealth, FaultKind, FaultSchedule, FaultSpecError, MetricsSnapshot,
+        QosServer, RejectReason, ServerConfig, SubmitOutcome, SubmitterHandle,
     };
     pub use fqos_traces::{models, SyntheticConfig, Trace, TraceRecord};
 }
