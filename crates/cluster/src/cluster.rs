@@ -1,0 +1,516 @@
+//! The cluster engine: N arrays behind one router and one control loop.
+//!
+//! # Lock order
+//!
+//! `cluster.ctrl` → `cluster.router` → (engine classes). The control loop
+//! holds `ctrl` across a whole tick and may acquire the router and any
+//! array's registration path beneath it; submission handles take the
+//! router lock alone (and only on a route-cache miss), never while inside
+//! an array.
+
+use crate::config::ClusterConfig;
+use crate::ctrl::{pressure, ArrayObs, CtrlState, Drained, RebalanceEvent, TenantObs};
+use crate::metrics::ClusterMetrics;
+use crate::router::Router;
+use fqos_server::{
+    MetricsSnapshot, OverloadPolicy, QosServer, RejectReason, SubmitOutcome, SubmitterHandle,
+    TenantSnapshot,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// State shared between the cluster, its controller and every handle.
+struct Shared {
+    /// Tenant placement (lock class `cluster.router`).
+    router: Mutex<Router>,
+    /// Controller state (lock class `cluster.ctrl`).
+    ctrl: Mutex<CtrlState>,
+    /// Bumped on every placement change; handles compare-and-refresh
+    /// their route caches against it without touching the router lock.
+    epoch: AtomicU64,
+    /// Submissions routed per array.
+    routed: Vec<AtomicU64>,
+    /// Submissions refused at the router (no assignment).
+    unrouted: AtomicU64,
+    /// Migrations executed.
+    rebalances: AtomicU64,
+}
+
+/// N independent [`QosServer`] arrays behind a consistent-hash routing
+/// tier with an ε-budget rebalancing control loop.
+///
+/// Each array runs the paper's §III-A admission controller unchanged; the
+/// cluster only decides *which* array a tenant lives on, watches per-array
+/// pressure, and migrates tenants from saturated arrays to fleet headroom.
+pub struct QosCluster {
+    arrays: Vec<QosServer>,
+    shared: Arc<Shared>,
+    cfg: ClusterConfig,
+    /// Per-array `(ε, S(M))` for the controller's budget algebra.
+    budgets: Vec<(f64, usize)>,
+}
+
+impl QosCluster {
+    /// Build every array and the routing tier.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let arrays: Vec<QosServer> = cfg
+            .arrays
+            .iter()
+            .map(|a| QosServer::new(a.clone()))
+            .collect::<Result<_, _>>()?;
+        let capacities: Vec<usize> = arrays
+            .iter()
+            .map(|a| a.config().qos.request_limit())
+            .collect();
+        let budgets: Vec<(f64, usize)> = arrays
+            .iter()
+            .zip(&capacities)
+            .map(|(a, &limit)| (a.config().qos.epsilon, limit))
+            .collect();
+        let shared = Arc::new(Shared {
+            router: Mutex::new(Router::new(&capacities, cfg.vnodes_per_array)),
+            ctrl: Mutex::new(CtrlState::default()),
+            epoch: AtomicU64::new(0),
+            routed: capacities.iter().map(|_| AtomicU64::new(0)).collect(),
+            unrouted: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+        });
+        Ok(QosCluster {
+            arrays,
+            shared,
+            cfg,
+            budgets,
+        })
+    }
+
+    /// Number of arrays in the fleet.
+    pub fn arrays(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// The array a tenant currently routes to.
+    pub fn route_of(&self, tenant: u64) -> Option<usize> {
+        self.shared.router.lock().route(tenant)
+    }
+
+    /// Current router epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Register a tenant: the router places it (consistent hashing with
+    /// bounded loads), the chosen array admits the reservation against its
+    /// own `S(M)`. Returns the array index.
+    pub fn register_tenant(
+        &self,
+        tenant: u64,
+        reserved: usize,
+        policy: OverloadPolicy,
+    ) -> Result<usize, String> {
+        let mut router = self.shared.router.lock();
+        let Some(array) = router.assign(tenant, reserved) else {
+            return Err(format!(
+                "no array has headroom for tenant {tenant} (reservation {reserved})"
+            ));
+        };
+        match self.arrays[array].register(tenant, reserved, policy) {
+            Ok(_) => Ok(array),
+            Err(e) => {
+                router.release(tenant);
+                Err(format!("array {array} refused tenant {tenant}: {e}"))
+            }
+        }
+    }
+
+    /// Register a tenant on a specific array, bypassing the ring (skew
+    /// scenarios, `--pin`). Still bounded by the array's load bound.
+    pub fn register_pinned(
+        &self,
+        array: usize,
+        tenant: u64,
+        reserved: usize,
+        policy: OverloadPolicy,
+    ) -> Result<(), String> {
+        let mut router = self.shared.router.lock();
+        if !router.assign_pinned(tenant, array, reserved) {
+            return Err(format!(
+                "array {array} cannot take tenant {tenant} (reservation {reserved})"
+            ));
+        }
+        match self.arrays[array].register(tenant, reserved, policy) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                router.release(tenant);
+                Err(format!("array {array} refused tenant {tenant}: {e}"))
+            }
+        }
+    }
+
+    /// Deregister a tenant fleet-wide. Its reservation frees immediately;
+    /// in-flight admissions still settle on its array (departed records
+    /// stay resolvable at seal).
+    pub fn deregister_tenant(&self, tenant: u64) -> bool {
+        let mut router = self.shared.router.lock();
+        let Some(array) = router.route(tenant) else {
+            return false;
+        };
+        router.release(tenant);
+        drop(router);
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+        self.arrays[array].deregister(tenant).is_some()
+    }
+
+    /// A submission endpoint spanning every array (one per submitter
+    /// thread, same discipline as [`QosServer::handle`]).
+    pub fn handle(&self) -> ClusterHandle {
+        ClusterHandle {
+            handles: self.arrays.iter().map(QosServer::handle).collect(),
+            shared: Arc::clone(&self.shared),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// One pass of the global control loop, intended to run once per
+    /// window boundary. Differentiates each array's pressure counters
+    /// against its ε-budget and, when one array saturates while another
+    /// has headroom, migrates the hottest tenant: register on the target,
+    /// cooperative drain on the source (deregister; in-flight admissions
+    /// keep settling there), router epoch bump.
+    pub fn control_tick(&self) -> Option<RebalanceEvent> {
+        let snaps: Vec<MetricsSnapshot> = self.arrays.iter().map(QosServer::metrics).collect();
+        let mut ctrl = self.shared.ctrl.lock();
+        ctrl.tick += 1;
+        let tick = ctrl.tick;
+
+        let obs: Vec<ArrayObs> = snaps
+            .iter()
+            .map(|s| ArrayObs {
+                rejected: s.rejected,
+                delayed: s.delayed,
+                overflow: s.overflow,
+            })
+            .collect();
+        let pressures: Vec<u64> = obs
+            .iter()
+            .enumerate()
+            .map(|(i, &now)| {
+                let prev = ctrl.prev.get(i).copied().unwrap_or_default();
+                let delta = ArrayObs {
+                    rejected: now.rejected - prev.rejected,
+                    delayed: now.delayed - prev.delayed,
+                    overflow: now.overflow - prev.overflow,
+                };
+                pressure(delta, self.budgets[i].0, self.budgets[i].1)
+            })
+            .collect();
+
+        let decision = self.pick_migration(&ctrl, &snaps, &pressures);
+
+        // Re-baseline the differentiators before (maybe) migrating, so the
+        // next tick measures the post-migration regime.
+        ctrl.prev = obs;
+        for s in &snaps {
+            for t in &s.tenants {
+                ctrl.prev_tenants.insert(
+                    t.tenant,
+                    TenantObs {
+                        rejected: t.rejected,
+                        delayed: t.delayed,
+                        overflow: t.overflow,
+                        admitted: t.admitted,
+                    },
+                );
+            }
+        }
+
+        let (tenant, from, to, reserved, policy) = decision?;
+        // Target first: if its registry refuses, nothing has changed.
+        if self.arrays[to].register(tenant, reserved, policy).is_err() {
+            return None;
+        }
+        // Cooperative drain: the source frees the reservation now and
+        // settles the tenant's in-flight admissions at its own seals.
+        self.arrays[from].deregister(tenant);
+        let mut router = self.shared.router.lock();
+        router.reassign(tenant, to, reserved);
+        drop(router);
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+        self.shared.rebalances.fetch_add(1, Ordering::Relaxed);
+        ctrl.last_rebalance = Some(tick);
+        ctrl.drained.push(Drained { tenant, from });
+        let event = RebalanceEvent {
+            tick,
+            tenant,
+            from,
+            to,
+            reserved,
+        };
+        ctrl.events.push(event.clone());
+        Some(event)
+    }
+
+    /// Choose `(tenant, from, to, reserved, policy)` for this tick, or
+    /// `None` when the fleet is calm, cooling down, or out of headroom.
+    #[allow(clippy::type_complexity)]
+    fn pick_migration(
+        &self,
+        ctrl: &CtrlState,
+        snaps: &[MetricsSnapshot],
+        pressures: &[u64],
+    ) -> Option<(u64, usize, usize, usize, OverloadPolicy)> {
+        if !self.cfg.rebalance {
+            return None;
+        }
+        if let Some(last) = ctrl.last_rebalance {
+            if ctrl.tick - last <= self.cfg.cooldown_ticks {
+                return None;
+            }
+        }
+        let (from, &hot) = pressures.iter().enumerate().max_by_key(|&(_, &p)| p)?;
+        if hot < self.cfg.min_pressure {
+            return None;
+        }
+        // Hottest live tenant on the saturated array, by pressure delta.
+        let tenant_delta = |t: &TenantSnapshot| {
+            let prev = ctrl
+                .prev_tenants
+                .get(&t.tenant)
+                .copied()
+                .unwrap_or_default();
+            (
+                (t.rejected - prev.rejected)
+                    + (t.delayed - prev.delayed)
+                    + (t.overflow - prev.overflow),
+                (t.admitted - prev.admitted)
+                    + (t.rejected - prev.rejected)
+                    + (t.overflow - prev.overflow),
+            )
+        };
+        let (candidate, tenant_pressure, demand) = snaps[from]
+            .tenants
+            .iter()
+            .filter(|t| t.live)
+            .map(|t| {
+                let (p, d) = tenant_delta(t);
+                (t, p, d)
+            })
+            .max_by_key(|&(t, p, _)| (p, t.tenant))?;
+        if tenant_pressure == 0 {
+            return None;
+        }
+        let record = self.arrays[from].tenant(candidate.tenant)?;
+        // Size the new reservation to observed demand, bounded by what the
+        // calmest target can actually admit.
+        let want = (demand as usize).max(record.reserved);
+        let (to, headroom) = (0..self.arrays.len())
+            .filter(|&i| i != from && pressures[i] < self.cfg.min_pressure)
+            .map(|i| (i, self.arrays[i].headroom()))
+            .max_by_key(|&(i, h)| (h, usize::MAX - i))?;
+        let reserved = want.min(headroom);
+        if reserved < record.reserved {
+            return None; // nowhere better than home
+        }
+        Some((candidate.tenant, from, to, reserved, record.policy))
+    }
+
+    /// Live fleet snapshot (mid-run the law holds up to in-flight work;
+    /// see [`ClusterMetrics::in_flight_total`]).
+    pub fn metrics(&self) -> ClusterMetrics {
+        let snaps: Vec<MetricsSnapshot> = self.arrays.iter().map(QosServer::metrics).collect();
+        self.assemble(snaps)
+    }
+
+    /// Seal and drain every array, then return the final fleet metrics.
+    /// The cluster conservation audit is printed; callers should also
+    /// assert [`ClusterMetrics::conserved`].
+    pub fn finish(self) -> ClusterMetrics {
+        let QosCluster { arrays, shared, .. } = self;
+        let finals: Vec<MetricsSnapshot> = arrays.into_iter().map(QosServer::finish).collect();
+        let ctrl = shared.ctrl.lock();
+        let metrics = ClusterMetrics {
+            migrated_in_flight: migrated_in_flight(&ctrl.drained, &finals),
+            routed: shared
+                .routed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            unrouted: shared.unrouted.load(Ordering::Relaxed),
+            rebalances: shared.rebalances.load(Ordering::Relaxed),
+            router_epoch: shared.epoch.load(Ordering::Acquire),
+            events: ctrl.events.clone(),
+            arrays: finals,
+        };
+        println!("{}", metrics.render_audit());
+        metrics
+    }
+
+    fn assemble(&self, snaps: Vec<MetricsSnapshot>) -> ClusterMetrics {
+        let ctrl = self.shared.ctrl.lock();
+        ClusterMetrics {
+            migrated_in_flight: migrated_in_flight(&ctrl.drained, &snaps),
+            routed: self
+                .shared
+                .routed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            unrouted: self.shared.unrouted.load(Ordering::Relaxed),
+            rebalances: self.shared.rebalances.load(Ordering::Relaxed),
+            router_epoch: self.shared.epoch.load(Ordering::Acquire),
+            events: ctrl.events.clone(),
+            arrays: snaps,
+        }
+    }
+}
+
+/// Unsettled admissions of drained tenants on their source arrays: the
+/// `migrated_in_flight` term of the cluster law. Counts only departed
+/// records — a tenant that later returned to `from` is live there again
+/// and accounted normally.
+fn migrated_in_flight(drained: &[Drained], snaps: &[MetricsSnapshot]) -> u64 {
+    drained
+        .iter()
+        .map(|d| {
+            snaps[d.from]
+                .tenants
+                .iter()
+                .find(|t| t.tenant == d.tenant && !t.live)
+                .map_or(0, TenantSnapshot::in_flight)
+        })
+        .sum()
+}
+
+/// A per-thread submission endpoint spanning the fleet. Routes each
+/// submission to its tenant's array and keeps time moving on the others
+/// (watermark advance), so every array's windows seal at trace cadence.
+///
+/// Routing reads a per-handle cache validated against the router epoch:
+/// the router lock is only taken on a miss or after a migration.
+pub struct ClusterHandle {
+    handles: Vec<SubmitterHandle>,
+    shared: Arc<Shared>,
+    cache: HashMap<u64, (u64, usize)>,
+}
+
+impl ClusterHandle {
+    /// Submit one block read for `tenant` at `arrival_ns`; per-handle
+    /// arrival times must be non-decreasing, as with
+    /// [`SubmitterHandle::submit`].
+    pub fn submit(&mut self, tenant: u64, lbn: u64, arrival_ns: u64) -> SubmitOutcome {
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        let cached = match self.cache.get(&tenant) {
+            Some(&(e, a)) if e == epoch => Some(a),
+            _ => None,
+        };
+        let array = match cached {
+            Some(a) => Some(a),
+            None => {
+                let routed = self.shared.router.lock().route(tenant);
+                if let Some(a) = routed {
+                    self.cache.insert(tenant, (epoch, a));
+                } else {
+                    self.cache.remove(&tenant);
+                }
+                routed
+            }
+        };
+        let Some(array) = array else {
+            self.shared.unrouted.fetch_add(1, Ordering::Relaxed);
+            return SubmitOutcome::Rejected(RejectReason::UnknownTenant);
+        };
+        // Idle arrays still see time pass: an open handle that never
+        // advances its watermark would pin their windows open forever.
+        for (i, h) in self.handles.iter_mut().enumerate() {
+            if i != array {
+                h.advance_to(arrival_ns);
+            }
+        }
+        self.shared.routed[array].fetch_add(1, Ordering::Relaxed);
+        self.handles[array].submit(tenant, lbn, arrival_ns)
+    }
+
+    /// Advance every array's watermark without submitting (end-of-phase
+    /// drain in paced drivers).
+    pub fn advance_all(&mut self, arrival_ns: u64) {
+        for h in &mut self.handles {
+            h.advance_to(arrival_ns);
+        }
+    }
+
+    /// Close all per-array handles. Dropping does the same.
+    pub fn close(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqos_core::QosConfig;
+    use fqos_server::ServerConfig;
+
+    const BASE_T: u64 = 133_000;
+
+    fn two_arrays() -> QosCluster {
+        let array = ServerConfig::new(QosConfig::paper_9_3_1());
+        QosCluster::new(ClusterConfig::uniform(2, &array)).unwrap()
+    }
+
+    #[test]
+    fn routed_submissions_land_on_the_assigned_array() {
+        let c = two_arrays();
+        let a = c.register_tenant(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut h = c.handle();
+        assert!(h.submit(1, 0, 0).is_admitted());
+        assert!(h.submit(1, 1, BASE_T).is_admitted());
+        let m = c.finish();
+        assert!(m.conserved(), "{}", m.render_audit());
+        assert_eq!(m.arrays[a].admitted, 2);
+        assert_eq!(m.arrays[1 - a].admitted, 0);
+        assert_eq!(m.routed[a], 2);
+    }
+
+    #[test]
+    fn unknown_tenants_are_refused_at_the_router() {
+        let c = two_arrays();
+        let mut h = c.handle();
+        assert_eq!(
+            h.submit(42, 0, 0),
+            SubmitOutcome::Rejected(RejectReason::UnknownTenant)
+        );
+        let m = c.finish();
+        assert_eq!(m.unrouted, 1);
+        assert_eq!(m.admitted_total(), 0);
+    }
+
+    #[test]
+    fn registration_spreads_within_bounds() {
+        let c = two_arrays(); // S(1) = 5 per array
+        for t in 0..10u64 {
+            c.register_tenant(t, 1, OverloadPolicy::Delay).unwrap();
+        }
+        assert!(c.register_tenant(10, 1, OverloadPolicy::Delay).is_err());
+        let m = c.finish();
+        assert_eq!(m.arrays.len(), 2);
+    }
+
+    #[test]
+    fn deregistration_bumps_the_epoch_and_unroutes() {
+        let c = two_arrays();
+        c.register_tenant(1, 1, OverloadPolicy::Delay).unwrap();
+        let mut h = c.handle();
+        assert!(h.submit(1, 0, 0).is_admitted());
+        let before = c.epoch();
+        assert!(c.deregister_tenant(1));
+        assert!(c.epoch() > before);
+        assert_eq!(
+            h.submit(1, 1, BASE_T),
+            SubmitOutcome::Rejected(RejectReason::UnknownTenant)
+        );
+        let m = c.finish();
+        assert!(m.conserved(), "{}", m.render_audit());
+        assert_eq!(m.admitted_total(), 1);
+        assert_eq!(m.completed(), 1, "drained admission still settles");
+    }
+}

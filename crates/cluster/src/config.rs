@@ -1,0 +1,76 @@
+//! Cluster construction parameters.
+
+use fqos_server::ServerConfig;
+
+/// Configuration for a [`crate::QosCluster`]: one [`ServerConfig`] per
+/// array plus routing and control-loop knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// One entry per array; each array runs the paper's §III-A controller
+    /// unchanged over its own geometry.
+    pub arrays: Vec<ServerConfig>,
+    /// Ring points per array for the consistent-hash router.
+    pub vnodes_per_array: usize,
+    /// Whether the global control loop may migrate tenants.
+    pub rebalance: bool,
+    /// Minimum control ticks between two rebalances (hysteresis: a
+    /// migration must see its effect before the next one is considered).
+    pub cooldown_ticks: u64,
+    /// Per-tick pressure (rejections + delays + over-budget overflow) at
+    /// which an array counts as saturated.
+    pub min_pressure: u64,
+}
+
+impl ClusterConfig {
+    /// Cluster over the given arrays with default routing/control knobs.
+    pub fn new(arrays: Vec<ServerConfig>) -> Self {
+        ClusterConfig {
+            arrays,
+            vnodes_per_array: 64,
+            rebalance: true,
+            cooldown_ticks: 2,
+            min_pressure: 1,
+        }
+    }
+
+    /// `n` identical arrays.
+    pub fn uniform(n: usize, array: &ServerConfig) -> Self {
+        ClusterConfig::new(vec![array.clone(); n])
+    }
+
+    /// Builder: ring points per array.
+    pub fn with_vnodes(mut self, vnodes_per_array: usize) -> Self {
+        self.vnodes_per_array = vnodes_per_array;
+        self
+    }
+
+    /// Builder: enable/disable the rebalancing control loop.
+    pub fn with_rebalance(mut self, rebalance: bool) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+
+    /// Builder: rebalance hysteresis in control ticks.
+    pub fn with_cooldown(mut self, cooldown_ticks: u64) -> Self {
+        self.cooldown_ticks = cooldown_ticks;
+        self
+    }
+
+    /// Builder: saturation threshold in pressure units per tick.
+    pub fn with_min_pressure(mut self, min_pressure: u64) -> Self {
+        self.min_pressure = min_pressure;
+        self
+    }
+
+    /// Structural validation (per-array configs validate themselves in
+    /// [`fqos_server::QosServer::new`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.arrays.is_empty() {
+            return Err("cluster needs at least one array".into());
+        }
+        if self.vnodes_per_array == 0 {
+            return Err("vnodes_per_array must be positive".into());
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,158 @@
+//! Cluster-wide metrics and the extended conservation law.
+
+use crate::ctrl::RebalanceEvent;
+use fqos_server::MetricsSnapshot;
+
+/// Fleet-wide snapshot: per-array [`MetricsSnapshot`]s plus the routing
+/// and rebalancing view, with the cluster conservation law
+///
+/// ```text
+/// Σ served + Σ fault_lost + Σ hedges_cancelled + migrated_in_flight
+///     == Σ admitted_total
+/// ```
+///
+/// where the sums run over arrays and `migrated_in_flight` counts
+/// admissions of drained (migrated-away) tenants not yet settled on their
+/// source array. At [`crate::QosCluster::finish`] every window has sealed
+/// and drained, so `migrated_in_flight` is 0 and the law closes exactly.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// Final or live snapshot of each array, in array order.
+    pub arrays: Vec<MetricsSnapshot>,
+    /// Submissions routed to each array (handle-side count).
+    pub routed: Vec<u64>,
+    /// Submissions refused at the router (tenant had no assignment).
+    pub unrouted: u64,
+    /// Migrations executed by the control loop.
+    pub rebalances: u64,
+    /// Router epoch (bumps on every migration/deregistration).
+    pub router_epoch: u64,
+    /// Unsettled admissions of drained tenants on their source arrays.
+    pub migrated_in_flight: u64,
+    /// Every migration, in execution order.
+    pub events: Vec<RebalanceEvent>,
+}
+
+impl ClusterMetrics {
+    /// Σ admitted (guaranteed + overflow) over arrays.
+    pub fn admitted_total(&self) -> u64 {
+        self.arrays
+            .iter()
+            .map(MetricsSnapshot::admitted_total)
+            .sum()
+    }
+
+    /// Σ served (primary completions) over arrays.
+    pub fn served(&self) -> u64 {
+        self.arrays.iter().map(|m| m.served).sum()
+    }
+
+    /// Σ completions (primary + hedge wins) over arrays.
+    pub fn completed(&self) -> u64 {
+        self.arrays.iter().map(MetricsSnapshot::completed).sum()
+    }
+
+    /// Σ rejected over arrays (router-level refusals excluded; see
+    /// [`ClusterMetrics::unrouted`]).
+    pub fn rejected(&self) -> u64 {
+        self.arrays.iter().map(|m| m.rejected).sum()
+    }
+
+    /// Σ fault-lost over arrays.
+    pub fn fault_lost(&self) -> u64 {
+        self.arrays.iter().map(|m| m.fault_lost).sum()
+    }
+
+    /// Σ hedge-cancelled primaries over arrays.
+    pub fn hedges_cancelled(&self) -> u64 {
+        self.arrays.iter().map(|m| m.hedges_cancelled).sum()
+    }
+
+    /// Σ deadline violations over arrays.
+    pub fn deadline_violations(&self) -> u64 {
+        self.arrays.iter().map(|m| m.deadline_violations).sum()
+    }
+
+    /// Σ windows sealed over arrays.
+    pub fn windows_sealed(&self) -> u64 {
+        self.arrays.iter().map(|m| m.windows_sealed).sum()
+    }
+
+    /// Admissions not yet settled anywhere in the fleet
+    /// (`≥ migrated_in_flight` mid-run, 0 at finish).
+    pub fn in_flight_total(&self) -> u64 {
+        self.arrays
+            .iter()
+            .map(|m| {
+                m.admitted_total()
+                    .saturating_sub(m.served + m.hedges_won + m.fault_lost)
+            })
+            .sum()
+    }
+
+    /// p99 service latency: the worst array's (an honest fleet-wide upper
+    /// bound — a cluster is as slow as its slowest member).
+    pub fn p99_latency_ns(&self) -> u64 {
+        self.arrays
+            .iter()
+            .map(|m| m.p99_latency_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// p99.9 service latency (worst array).
+    pub fn p999_latency_ns(&self) -> u64 {
+        self.arrays
+            .iter()
+            .map(|m| m.p999_latency_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Utilization spread `(max − min) / mean` of per-array admitted
+    /// totals; 0 for a perfectly balanced fleet.
+    pub fn utilization_spread(&self) -> f64 {
+        let loads: Vec<u64> = self
+            .arrays
+            .iter()
+            .map(MetricsSnapshot::admitted_total)
+            .collect();
+        let (Some(&max), Some(&min)) = (loads.iter().max(), loads.iter().min()) else {
+            return 0.0;
+        };
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            (max - min) as f64 / mean
+        }
+    }
+
+    /// The extended conservation law. Exact per array (each array's own
+    /// law already closes), and `migrated_in_flight` must be 0 — every
+    /// drained tenant's admissions settled on its source array.
+    pub fn conserved(&self) -> bool {
+        self.migrated_in_flight == 0
+            && self.arrays.iter().all(|m| {
+                m.hedges_won == m.hedges_cancelled
+                    && m.served + m.fault_lost + m.hedges_cancelled == m.admitted_total()
+            })
+    }
+
+    /// One-line audit for logs and `finish()`.
+    pub fn render_audit(&self) -> String {
+        format!(
+            "cluster audit: arrays={} admitted={} completed={} fault_lost={} \
+             hedges_cancelled={} migrated_in_flight={} rebalances={} epoch={} law={}",
+            self.arrays.len(),
+            self.admitted_total(),
+            self.completed(),
+            self.fault_lost(),
+            self.hedges_cancelled(),
+            self.migrated_in_flight,
+            self.rebalances,
+            self.router_epoch,
+            if self.conserved() { "OK" } else { "VIOLATED" },
+        )
+    }
+}

@@ -1,0 +1,278 @@
+//! Prometheus text-format metrics endpoint.
+//!
+//! A background thread serves the latest rendered exposition page over
+//! plain HTTP/1.1 (no HTTP dependency — the protocol subset a scraper
+//! needs is a request head to discard and a `Content-Length` response).
+//! The page lives behind a shared cell the driver refreshes at window
+//! cadence via [`render`], so scrapes see live per-window gauges without
+//! the exporter ever touching engine locks.
+
+use crate::metrics::ClusterMetrics;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The shared exposition page: the driver writes, the exporter serves.
+pub type MetricsPage = Arc<Mutex<String>>;
+
+/// A per-array counter read out of one array's metrics snapshot.
+type SnapshotRead = fn(&fqos_server::MetricsSnapshot) -> u64;
+
+/// A fresh, empty [`MetricsPage`].
+pub fn new_page() -> MetricsPage {
+    Arc::new(Mutex::new(String::new()))
+}
+
+/// A bound, serving metrics endpoint. Dropping it stops the thread.
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Bind `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port) and
+    /// serve `page` to every connection from a background thread.
+    pub fn bind(addr: &str, page: MetricsPage) -> Result<Self, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("metrics bind {addr}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("metrics listener: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("metrics listener: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let worker = std::thread::Builder::new()
+            .name("fqos-metrics".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((mut conn, _)) => {
+                            let _ = conn.set_nonblocking(false);
+                            let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+                            // Drain (and ignore) the request head; every
+                            // path serves the same page, like most
+                            // single-purpose exporters.
+                            let mut head = [0u8; 1024];
+                            let _ = conn.read(&mut head);
+                            let body = page.lock().clone();
+                            let response = format!(
+                                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; \
+                                 version=0.0.4; charset=utf-8\r\nContent-Length: \
+                                 {}\r\nConnection: close\r\n\r\n{}",
+                                body.len(),
+                                body
+                            );
+                            let _ = conn.write_all(response.as_bytes());
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .map_err(|e| format!("metrics thread: {e}"))?;
+        Ok(MetricsExporter {
+            addr: local,
+            stop,
+            worker: Some(worker),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn counter(out: &mut String, name: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+}
+
+/// Render a [`ClusterMetrics`] snapshot as a Prometheus text-format
+/// exposition page, one label set per array plus cluster-level series.
+pub fn render(m: &ClusterMetrics) -> String {
+    let mut out = String::with_capacity(4096);
+    let per_array: &[(&str, &str, SnapshotRead)] = &[
+        (
+            "fqos_admitted_total",
+            "Requests admitted (guaranteed + overflow)",
+            |s| s.admitted_total(),
+        ),
+        (
+            "fqos_served_total",
+            "Requests served by their primary dispatch",
+            |s| s.served,
+        ),
+        (
+            "fqos_hedge_wins_total",
+            "Requests completed by a winning hedge",
+            |s| s.hedges_won,
+        ),
+        (
+            "fqos_rejected_total",
+            "Requests refused at admission",
+            |s| s.rejected,
+        ),
+        (
+            "fqos_delayed_total",
+            "Requests pushed past their arrival window",
+            |s| s.delayed,
+        ),
+        (
+            "fqos_overflow_total",
+            "Statistical (epsilon) admissions",
+            |s| s.overflow,
+        ),
+        (
+            "fqos_fault_lost_total",
+            "Admissions unservable with all replicas down",
+            |s| s.fault_lost,
+        ),
+        (
+            "fqos_deadline_violations_total",
+            "Served requests past their deadline",
+            |s| s.deadline_violations,
+        ),
+        (
+            "fqos_windows_sealed_total",
+            "Interval windows sealed",
+            |s| s.windows_sealed,
+        ),
+    ];
+    for &(name, help, read) in per_array {
+        counter(&mut out, name, help);
+        for (i, s) in m.arrays.iter().enumerate() {
+            let _ = writeln!(out, "{name}{{array=\"{i}\"}} {}", read(s));
+        }
+    }
+
+    gauge(
+        &mut out,
+        "fqos_in_flight",
+        "Admissions awaiting settlement this window",
+    );
+    for (i, s) in m.arrays.iter().enumerate() {
+        let in_flight = s
+            .admitted_total()
+            .saturating_sub(s.served + s.hedges_won + s.fault_lost);
+        let _ = writeln!(out, "fqos_in_flight{{array=\"{i}\"}} {in_flight}");
+    }
+    gauge(
+        &mut out,
+        "fqos_p99_latency_ns",
+        "Served-request latency p99 (bucket upper bound)",
+    );
+    for (i, s) in m.arrays.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "fqos_p99_latency_ns{{array=\"{i}\"}} {}",
+            s.p99_latency_ns
+        );
+    }
+    counter(
+        &mut out,
+        "fqos_routed_total",
+        "Submissions routed to the array by the cluster tier",
+    );
+    for (i, &r) in m.routed.iter().enumerate() {
+        let _ = writeln!(out, "fqos_routed_total{{array=\"{i}\"}} {r}");
+    }
+
+    counter(
+        &mut out,
+        "fqos_cluster_rebalances_total",
+        "Tenant migrations executed by the control loop",
+    );
+    let _ = writeln!(out, "fqos_cluster_rebalances_total {}", m.rebalances);
+    counter(
+        &mut out,
+        "fqos_cluster_unrouted_total",
+        "Submissions refused at the router (no assignment)",
+    );
+    let _ = writeln!(out, "fqos_cluster_unrouted_total {}", m.unrouted);
+    gauge(
+        &mut out,
+        "fqos_cluster_router_epoch",
+        "Current router epoch",
+    );
+    let _ = writeln!(out, "fqos_cluster_router_epoch {}", m.router_epoch);
+    gauge(
+        &mut out,
+        "fqos_cluster_migrated_in_flight",
+        "Unsettled admissions of drained tenants",
+    );
+    let _ = writeln!(
+        out,
+        "fqos_cluster_migrated_in_flight {}",
+        m.migrated_in_flight
+    );
+    gauge(
+        &mut out,
+        "fqos_cluster_law_conserved",
+        "1 while the cluster conservation law holds",
+    );
+    let _ = writeln!(
+        out,
+        "fqos_cluster_law_conserved {}",
+        u64::from(m.conserved())
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    #[test]
+    fn serves_the_current_page_over_http() {
+        let page: MetricsPage = Arc::new(Mutex::new(String::new()));
+        *page.lock() = "fqos_cluster_rebalances_total 3\n".to_string();
+        let exporter = MetricsExporter::bind("127.0.0.1:0", Arc::clone(&page)).unwrap();
+        let mut conn = TcpStream::connect(exporter.local_addr()).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain"), "{response}");
+        assert!(
+            response.contains("fqos_cluster_rebalances_total 3"),
+            "{response}"
+        );
+        // A refreshed page is served to the next scrape.
+        *page.lock() = "fqos_cluster_rebalances_total 4\n".to_string();
+        let mut conn = TcpStream::connect(exporter.local_addr()).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(
+            response.contains("fqos_cluster_rebalances_total 4"),
+            "{response}"
+        );
+    }
+}

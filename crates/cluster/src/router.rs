@@ -1,0 +1,305 @@
+//! Consistent hashing with bounded loads over array groups.
+//!
+//! Tenants are placed on a vnode ring (`vnodes_per_array` points per
+//! array, splitmix64-hashed) and walk clockwise past arrays whose load
+//! bound is already met — the "consistent hashing with bounded loads"
+//! construction. Placement is *sticky*: once a tenant is assigned, only an
+//! explicit [`Router::reassign`] (rebalancing migration) or
+//! [`Router::remove_array`] moves it, so topology changes disturb the
+//! minimum set of tenants.
+//!
+//! The router is plain data; [`crate::QosCluster`] wraps it in a mutex
+//! (lock class `cluster.router`) and pairs it with an epoch counter that
+//! handles use to invalidate their per-thread route caches.
+
+use std::collections::HashMap;
+
+/// One tenant's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Index of the array the tenant is served by.
+    pub array: usize,
+    /// Reservation weight counted against the array's load bound.
+    pub weight: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ArrayShard {
+    capacity: usize,
+    load: usize,
+    live: bool,
+}
+
+/// Consistent-hash ring with per-array load bounds.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// Sorted `(hash point, array index)` ring over live arrays.
+    vnodes: Vec<(u64, usize)>,
+    arrays: Vec<ArrayShard>,
+    assignments: HashMap<u64, Assignment>,
+    vnodes_per_array: usize,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn vnode_hash(array: usize, replica: usize) -> u64 {
+    splitmix64((array as u64) << 32 | replica as u64)
+}
+
+impl Router {
+    /// Ring over one array per entry of `capacities` (each array's load
+    /// bound, normally its `S(M)`), with `vnodes_per_array` ring points
+    /// per array.
+    pub fn new(capacities: &[usize], vnodes_per_array: usize) -> Self {
+        assert!(vnodes_per_array > 0, "ring needs at least one vnode");
+        let mut r = Router {
+            vnodes: Vec::new(),
+            arrays: capacities
+                .iter()
+                .map(|&capacity| ArrayShard {
+                    capacity,
+                    load: 0,
+                    live: true,
+                })
+                .collect(),
+            assignments: HashMap::new(),
+            vnodes_per_array,
+        };
+        r.rebuild_ring();
+        r
+    }
+
+    fn rebuild_ring(&mut self) {
+        self.vnodes.clear();
+        for (i, a) in self.arrays.iter().enumerate() {
+            if a.live {
+                self.vnodes
+                    .extend((0..self.vnodes_per_array).map(|v| (vnode_hash(i, v), i)));
+            }
+        }
+        self.vnodes.sort_unstable();
+    }
+
+    /// Number of array slots (including removed ones, which stay as
+    /// tombstones so indices remain stable).
+    pub fn arrays(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Load currently assigned to `array`.
+    pub fn load(&self, array: usize) -> usize {
+        self.arrays[array].load
+    }
+
+    /// Load bound of `array`.
+    pub fn capacity(&self, array: usize) -> usize {
+        self.arrays[array].capacity
+    }
+
+    /// Current placement of `tenant`, if assigned.
+    pub fn route(&self, tenant: u64) -> Option<usize> {
+        self.assignments.get(&tenant).map(|a| a.array)
+    }
+
+    /// All assignments, sorted by tenant id (test/report path).
+    pub fn assignments(&self) -> Vec<(u64, Assignment)> {
+        let mut all: Vec<_> = self.assignments.iter().map(|(&t, &a)| (t, a)).collect();
+        all.sort_unstable_by_key(|&(t, _)| t);
+        all
+    }
+
+    /// Ring walk from `tenant`'s hash point: live arrays in clockwise
+    /// order, deduplicated.
+    fn candidates(&self, tenant: u64) -> Vec<usize> {
+        if self.vnodes.is_empty() {
+            return Vec::new();
+        }
+        let h = splitmix64(tenant);
+        let start = self.vnodes.partition_point(|&(p, _)| p < h) % self.vnodes.len();
+        let mut seen = vec![false; self.arrays.len()];
+        let mut order = Vec::new();
+        for k in 0..self.vnodes.len() {
+            let (_, a) = self.vnodes[(start + k) % self.vnodes.len()];
+            if !seen[a] {
+                seen[a] = true;
+                order.push(a);
+            }
+        }
+        order
+    }
+
+    /// Place `tenant` with `weight`: the first array clockwise from its
+    /// hash point whose bound has room. Idempotent for an already-assigned
+    /// tenant (returns its current array). `None` when no array can take
+    /// the weight.
+    pub fn assign(&mut self, tenant: u64, weight: usize) -> Option<usize> {
+        if let Some(a) = self.assignments.get(&tenant) {
+            return Some(a.array);
+        }
+        let target = self
+            .candidates(tenant)
+            .into_iter()
+            .find(|&a| self.arrays[a].load + weight <= self.arrays[a].capacity)?;
+        self.arrays[target].load += weight;
+        self.assignments.insert(
+            tenant,
+            Assignment {
+                array: target,
+                weight,
+            },
+        );
+        Some(target)
+    }
+
+    /// Place `tenant` on a specific array, bypassing the ring but not the
+    /// load bound. Used by skew scenarios and the CLI's `--pin` option.
+    pub fn assign_pinned(&mut self, tenant: u64, array: usize, weight: usize) -> bool {
+        if self.assignments.contains_key(&tenant) || array >= self.arrays.len() {
+            return false;
+        }
+        let shard = &mut self.arrays[array];
+        if !shard.live || shard.load + weight > shard.capacity {
+            return false;
+        }
+        shard.load += weight;
+        self.assignments
+            .insert(tenant, Assignment { array, weight });
+        true
+    }
+
+    /// Drop `tenant`'s assignment, freeing its weight.
+    pub fn release(&mut self, tenant: u64) -> Option<Assignment> {
+        let a = self.assignments.remove(&tenant)?;
+        self.arrays[a.array].load -= a.weight.min(self.arrays[a.array].load);
+        Some(a)
+    }
+
+    /// Move `tenant` to `to` with `new_weight` (a rebalancing migration).
+    /// Fails without side effects if the target bound has no room.
+    pub fn reassign(&mut self, tenant: u64, to: usize, new_weight: usize) -> bool {
+        let Some(&old) = self.assignments.get(&tenant) else {
+            return false;
+        };
+        if to >= self.arrays.len() || !self.arrays[to].live {
+            return false;
+        }
+        let headroom =
+            self.arrays[to].capacity - self.arrays[to].load.min(self.arrays[to].capacity);
+        let freed = if old.array == to { old.weight } else { 0 };
+        if new_weight > headroom + freed {
+            return false;
+        }
+        self.arrays[old.array].load -= old.weight.min(self.arrays[old.array].load);
+        self.arrays[to].load += new_weight;
+        self.assignments.insert(
+            tenant,
+            Assignment {
+                array: to,
+                weight: new_weight,
+            },
+        );
+        true
+    }
+
+    /// Add an array with the given bound; returns its index. Existing
+    /// assignments do not move (stability under scale-out).
+    pub fn add_array(&mut self, capacity: usize) -> usize {
+        self.arrays.push(ArrayShard {
+            capacity,
+            load: 0,
+            live: true,
+        });
+        self.rebuild_ring();
+        self.arrays.len() - 1
+    }
+
+    /// Remove an array; its tenants (and only its tenants) are re-placed
+    /// by ring walk. Returns `(tenant, new_array)` per displaced tenant,
+    /// `None` where no remaining array had room.
+    pub fn remove_array(&mut self, array: usize) -> Vec<(u64, Option<usize>)> {
+        if array >= self.arrays.len() || !self.arrays[array].live {
+            return Vec::new();
+        }
+        self.arrays[array].live = false;
+        self.arrays[array].load = 0;
+        self.rebuild_ring();
+        let mut displaced: Vec<u64> = self
+            .assignments
+            .iter()
+            .filter(|(_, a)| a.array == array)
+            .map(|(&t, _)| t)
+            .collect();
+        displaced.sort_unstable();
+        displaced
+            .into_iter()
+            .map(|t| {
+                let weight = self.assignments.remove(&t).map_or(1, |a| a.weight);
+                (t, self.assign(t, weight))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_walk_respects_capacity() {
+        let mut r = Router::new(&[2, 2], 16);
+        for t in 0..4u64 {
+            assert!(r.assign(t, 1).is_some());
+        }
+        assert_eq!(r.load(0) + r.load(1), 4);
+        assert!(r.load(0) <= 2 && r.load(1) <= 2);
+        assert_eq!(r.assign(99, 1), None, "fleet is full");
+        r.release(0);
+        assert!(r.assign(99, 1).is_some());
+    }
+
+    #[test]
+    fn assignment_is_sticky_and_idempotent() {
+        let mut r = Router::new(&[10, 10], 16);
+        let first = r.assign(7, 2).unwrap();
+        assert_eq!(r.assign(7, 2), Some(first));
+        assert_eq!(r.route(7), Some(first));
+        assert_eq!(r.load(first), 2, "re-assign must not double-count");
+    }
+
+    #[test]
+    fn reassign_moves_weight_atomically() {
+        let mut r = Router::new(&[5, 5], 16);
+        assert!(r.assign_pinned(1, 0, 2));
+        assert!(r.reassign(1, 1, 4));
+        assert_eq!(r.route(1), Some(1));
+        assert_eq!((r.load(0), r.load(1)), (0, 4));
+        // No room: 4 already held, 2 more than the bound allows.
+        assert!(r.assign_pinned(2, 1, 1));
+        assert!(!r.reassign(2, 1, 3), "same-array resize past bound");
+        assert_eq!(r.load(1), 5);
+    }
+
+    #[test]
+    fn removing_an_array_moves_only_its_tenants() {
+        let mut r = Router::new(&[100, 100, 100], 32);
+        for t in 0..60u64 {
+            r.assign(t, 1);
+        }
+        let before: HashMap<u64, usize> = (0..60).filter_map(|t| Some((t, r.route(t)?))).collect();
+        let moved = r.remove_array(1);
+        for (t, &was) in &before {
+            if was == 1 {
+                let now = r.route(*t).unwrap();
+                assert_ne!(now, 1);
+                assert!(moved.iter().any(|&(mt, to)| mt == *t && to == Some(now)));
+            } else {
+                assert_eq!(r.route(*t), Some(was), "tenant {t} moved spuriously");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the routing tier: the bounded-load ring never
+//! exceeds an array's bound under churn, and placement is stable —
+//! topology changes move only the tenants they must.
+
+use fqos_cluster::Router;
+use proptest::prelude::*;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under an arbitrary interleaving of assigns and releases, no array's
+    /// load ever exceeds its bound, loads reconcile exactly against the
+    /// assignment map, and a weight-1 tenant is never refused while the
+    /// fleet has room.
+    #[test]
+    fn ring_stays_within_bounds_under_churn(
+        arrays in 2..6usize,
+        cap in 1..8usize,
+        ops in 8..120u64,
+        seed in any::<u64>(),
+    ) {
+        let caps = vec![cap; arrays];
+        let mut r = Router::new(&caps, 32);
+        let mut live: Vec<u64> = Vec::new();
+        for i in 0..ops {
+            let roll = splitmix64(seed ^ i);
+            if roll.is_multiple_of(3) && !live.is_empty() {
+                let victim = live.swap_remove((roll / 3) as usize % live.len());
+                prop_assert!(r.release(victim).is_some());
+            } else {
+                let tenant = roll / 7;
+                if live.contains(&tenant) {
+                    continue;
+                }
+                let total: usize = (0..arrays).map(|a| r.load(a)).sum();
+                let placed = r.assign(tenant, 1);
+                if total < arrays * cap {
+                    prop_assert!(placed.is_some(), "room left but tenant refused");
+                }
+                if placed.is_some() {
+                    live.push(tenant);
+                }
+            }
+            for a in 0..arrays {
+                prop_assert!(r.load(a) <= cap, "array {a} over bound");
+            }
+        }
+        // Loads reconcile against the assignment map exactly.
+        let mut per_array = vec![0usize; arrays];
+        for (_, assignment) in r.assignments() {
+            per_array[assignment.array] += assignment.weight;
+        }
+        for (a, &n) in per_array.iter().enumerate() {
+            prop_assert_eq!(n, r.load(a));
+        }
+        prop_assert_eq!(r.assignments().len(), live.len());
+    }
+
+    /// Consistent-hashing stability, scale-out direction: recomputing
+    /// placement from scratch with one more (unbounded) array moves
+    /// tenants only TO the new array.
+    #[test]
+    fn scale_out_steals_tenants_only_for_the_new_array(
+        arrays in 2..6usize,
+        tenants in 1..80u64,
+        seed in any::<u64>(),
+    ) {
+        let unbounded = usize::MAX / 2;
+        let mut small = Router::new(&vec![unbounded; arrays], 32);
+        let mut big = Router::new(&vec![unbounded; arrays + 1], 32);
+        for i in 0..tenants {
+            let t = splitmix64(seed ^ i);
+            let a = small.assign(t, 1);
+            let b = big.assign(t, 1);
+            prop_assert!(a.is_some() && b.is_some());
+            if a != b {
+                prop_assert_eq!(
+                    b, Some(arrays),
+                    "tenant moved between old arrays on scale-out"
+                );
+            }
+        }
+    }
+
+    /// Removing an array re-places its tenants and ONLY its tenants.
+    #[test]
+    fn remove_array_moves_only_the_displaced(
+        arrays in 2..6usize,
+        tenants in 1..80u64,
+        seed in any::<u64>(),
+        victim_pick in any::<u64>(),
+    ) {
+        let unbounded = usize::MAX / 2;
+        let mut r = Router::new(&vec![unbounded; arrays], 32);
+        let ids: Vec<u64> = (0..tenants).map(|i| splitmix64(seed ^ i)).collect();
+        for &t in &ids {
+            prop_assert!(r.assign(t, 1).is_some());
+        }
+        let before: Vec<(u64, usize)> = ids
+            .iter()
+            .filter_map(|&t| Some((t, r.route(t)?)))
+            .collect();
+        let victim = (victim_pick as usize) % arrays;
+        let moved = r.remove_array(victim);
+        for &(t, was) in &before {
+            let now = r.route(t);
+            if was == victim {
+                prop_assert!(now.is_some() && now != Some(victim));
+                prop_assert!(moved.iter().any(|&(mt, to)| mt == t && to == now));
+            } else {
+                prop_assert_eq!(now, Some(was), "undisplaced tenant moved");
+            }
+        }
+    }
+}

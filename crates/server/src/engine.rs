@@ -334,6 +334,13 @@ impl QosServer {
         self.engine.registry.deregister(tenant)
     }
 
+    /// Look up a live tenant's record (reservation, policy, counters). A
+    /// cluster controller reads the policy here before re-registering the
+    /// tenant on a migration target.
+    pub fn tenant(&self, tenant: u64) -> Option<Arc<Tenant>> {
+        self.engine.registry.get(tenant)
+    }
+
     /// Remaining admittable reservation below `S(M)`.
     pub fn headroom(&self) -> usize {
         self.engine.registry.headroom()
@@ -493,8 +500,11 @@ impl Engine {
                     if stopping {
                         continue; // workers are gone; drop on the floor
                     }
+                    // `lookup_any`: a tenant that deregistered after this
+                    // request was admitted (migration drain) must still
+                    // settle against its counters, not vanish from them.
                     let msg = WorkMsg::Item(Box::new(WorkItem {
-                        tenant: self.registry.get(item.tenant),
+                        tenant: self.registry.lookup_any(item.tenant),
                         req: item.req,
                         exec_start,
                         deadline,
@@ -547,19 +557,21 @@ impl Engine {
             mean_latency_ns: self.hist.mean_ns(),
             tenants: self
                 .registry
-                .tenants()
+                .all_tenants()
                 .iter()
                 .map(|t| {
                     let c = &t.counters;
                     TenantSnapshot {
                         tenant: t.id,
                         reserved: t.reserved,
+                        live: t.is_live(),
                         admitted: c.admitted.load(Ordering::Relaxed),
                         overflow: c.overflow.load(Ordering::Relaxed),
                         delayed: c.delayed.load(Ordering::Relaxed),
                         rejected: c.rejected.load(Ordering::Relaxed),
                         violations: c.violations.load(Ordering::Relaxed),
                         served: c.served.load(Ordering::Relaxed),
+                        hedge_wins: c.hedge_wins.load(Ordering::Relaxed),
                     }
                 })
                 .collect(),
@@ -743,6 +755,43 @@ impl SubmitterHandle {
     /// [`QosServer::restore_device`]).
     pub fn restore_device(&self, device: usize) -> Result<(), String> {
         self.engine.inject(device, FaultKind::Restore)
+    }
+
+    /// Advance this handle's watermark to `arrival_ns`'s window without
+    /// submitting anything. A multi-array router calls this on the arrays a
+    /// handle is *not* currently routing to, so their dispatchers keep
+    /// sealing windows even while all traffic goes elsewhere (an open
+    /// handle whose watermark never moves would otherwise pin every window
+    /// at or above it open forever).
+    pub fn advance_to(&mut self, arrival_ns: u64) {
+        let engine = &self.engine;
+        if engine.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let window = arrival_ns / engine.cfg.qos.interval_ns;
+        if window > self.shared.watermark.load(Ordering::Relaxed) {
+            self.shared.watermark.store(window, Ordering::Release);
+            engine.pump();
+        }
+    }
+
+    /// Register a tenant from this submitter thread (see
+    /// [`QosServer::register`]); a migration target re-registers the
+    /// drained tenant through the destination array's handle.
+    pub fn register(
+        &self,
+        tenant: u64,
+        reserved: usize,
+        policy: OverloadPolicy,
+    ) -> Result<Arc<Tenant>, RegisterError> {
+        self.engine.registry.register(tenant, reserved, policy)
+    }
+
+    /// Deregister a tenant from this submitter thread (see
+    /// [`QosServer::deregister`]). The reservation frees immediately;
+    /// in-flight admissions still settle against the departed record.
+    pub fn deregister(&self, tenant: u64) -> Option<Arc<Tenant>> {
+        self.engine.registry.deregister(tenant)
     }
 
     /// Close the handle: the engine may seal all windows this handle could
@@ -965,13 +1014,23 @@ fn hedge_and_settle(
                 .hedges_cancelled
                 .fetch_add(1, Ordering::Relaxed);
             engine.hist.record(fin.saturating_sub(item.req.arrival));
-            if fin > item.deadline {
+            let violated = fin > item.deadline;
+            if violated {
                 engine.stats.violations.fetch_add(1, Ordering::Relaxed);
                 if item.guaranteed {
                     engine
                         .stats
                         .guaranteed_violations
                         .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Hedge wins settle per-tenant too, so per-tenant completions
+            // (`served + hedge_wins`) reconcile against admissions even on
+            // the speculative path.
+            if let Some(t) = &item.tenant {
+                t.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                if violated {
+                    t.counters.violations.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -1356,6 +1415,76 @@ mod tests {
         assert_eq!(m.served, 3);
         assert_eq!(m.fault_lost, 0);
         assert!(m.degraded_windows > 0);
+    }
+
+    #[test]
+    fn deregister_mid_window_settles_the_departed_tenant() {
+        // Migration drain shape: the tenant deregisters while its window is
+        // still open. The window-ring reservations must not be stranded —
+        // the departed record settles them at seal.
+        let s = server();
+        s.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut h = s.handle();
+        assert!(h.submit(1, 0, 0).is_admitted());
+        assert!(h.submit(1, 1, 0).is_admitted());
+        assert!(s.deregister(1).is_some());
+        assert_eq!(s.headroom(), 5, "reservation freed before the seal");
+        // The freed capacity is immediately re-admittable in the same window.
+        s.register(2, 3, OverloadPolicy::Delay).unwrap();
+        assert!(h.submit(2, 2, 0).is_admitted());
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.admitted_total(), 3);
+        assert_eq!(m.served, 3);
+        assert_eq!(m.fault_lost, 0);
+        let t1 = m.tenants.iter().find(|t| t.tenant == 1).unwrap();
+        assert!(!t1.live);
+        assert_eq!(t1.admitted, 2, "departed counters stay reported");
+        assert_eq!(t1.served, 2, "seal settles against the departed record");
+        assert_eq!(t1.in_flight(), 0);
+        let t2 = m.tenants.iter().find(|t| t.tenant == 2).unwrap();
+        assert!(t2.live);
+        assert_eq!(t2.served, 1);
+    }
+
+    #[test]
+    fn deregister_at_seal_boundary_keeps_per_tenant_conservation() {
+        // Deregister exactly when the watermark crosses a window boundary:
+        // window 0 seals with tenant 1 already departed.
+        let s = server();
+        s.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut h = s.handle();
+        assert!(h.submit(1, 0, 0).is_admitted());
+        assert!(s.deregister(1).is_some());
+        h.advance_to(2 * BASE_T); // seals window 0 post-departure
+        let mid = s.metrics();
+        assert!(mid.windows_sealed >= 1, "{}", mid.windows_sealed);
+        drop(h);
+        let m = s.finish();
+        let t1 = m.tenants.iter().find(|t| t.tenant == 1).unwrap();
+        assert_eq!(t1.served + t1.hedge_wins, 1);
+        assert_eq!(t1.in_flight(), 0, "no stranded reservations");
+        assert_eq!(m.served + m.hedges_won, m.admitted_total());
+    }
+
+    #[test]
+    fn advance_to_seals_windows_without_traffic() {
+        // A router keeps time moving on idle arrays via `advance_to`; the
+        // watermark advance alone must let the dispatcher seal.
+        let s = server();
+        s.register(1, 1, OverloadPolicy::Delay).unwrap();
+        let mut h = s.handle();
+        assert!(h.submit(1, 0, 0).is_admitted());
+        h.advance_to(3 * BASE_T);
+        let m = s.metrics();
+        assert!(m.windows_sealed >= 3, "{}", m.windows_sealed);
+        // Monotone: a stale advance is a no-op, not a regression.
+        h.advance_to(BASE_T);
+        assert!(h.submit(1, 1, 3 * BASE_T).is_admitted());
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.served, 2);
+        assert_eq!(m.guaranteed_violations, 0);
     }
 
     #[test]

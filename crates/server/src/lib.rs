@@ -48,5 +48,6 @@ pub use fault::{
     DeviceHealth, FaultEvent, FaultKind, FaultPlane, FaultSchedule, FaultSpecError, HealthParams,
     DEFAULT_SLOW_FACTOR,
 };
+pub use fqos_core::OverloadPolicy;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, TenantCounters, TenantSnapshot};
 pub use registry::{RegisterError, Tenant, TenantRegistry};

@@ -110,6 +110,10 @@ pub struct TenantCounters {
     pub violations: AtomicU64,
     /// Requests fully served.
     pub served: AtomicU64,
+    /// Requests completed by a winning hedge instead of their primary
+    /// dispatch. `served + hedge_wins` is the tenant's completed total, so
+    /// per-tenant in-flight is `admitted + overflow − served − hedge_wins`.
+    pub hedge_wins: AtomicU64,
     /// Total admission delay (arrival window → admitted window) in ns.
     pub delay_ns: AtomicU64,
 }
@@ -121,6 +125,10 @@ pub struct TenantSnapshot {
     pub tenant: u64,
     /// Reserved per-interval request size.
     pub reserved: usize,
+    /// False once the tenant has deregistered (e.g. migrated to another
+    /// array); its counters stay reported so nothing it was served is lost
+    /// from the audit.
+    pub live: bool,
     /// See [`TenantCounters::admitted`].
     pub admitted: u64,
     /// See [`TenantCounters::overflow`].
@@ -133,6 +141,18 @@ pub struct TenantSnapshot {
     pub violations: u64,
     /// See [`TenantCounters::served`].
     pub served: u64,
+    /// See [`TenantCounters::hedge_wins`].
+    pub hedge_wins: u64,
+}
+
+impl TenantSnapshot {
+    /// Admissions not yet settled: `admitted + overflow − served −
+    /// hedge_wins`. For a departed tenant this is the migrated-in-flight
+    /// contribution to the cluster conservation law (0 once every window
+    /// the tenant touched has sealed and drained).
+    pub fn in_flight(&self) -> u64 {
+        (self.admitted + self.overflow).saturating_sub(self.served + self.hedge_wins)
+    }
 }
 
 /// Engine-wide metrics snapshot.

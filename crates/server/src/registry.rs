@@ -7,6 +7,7 @@
 //! path) only take a read lock on the tenant's shard.
 
 use crate::metrics::TenantCounters;
+use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::{Arc, Mutex, RwLock};
 use fqos_core::{AppAdmission, OverloadPolicy};
 use std::collections::HashMap;
@@ -22,6 +23,18 @@ pub struct Tenant {
     pub policy: OverloadPolicy,
     /// Serving counters, shared with the worker pool.
     pub counters: TenantCounters,
+    /// Cleared on deregistration. The record itself stays in its shard so
+    /// seal-time settlement can still credit in-flight admissions — a
+    /// mid-window deregistration must not strand window-ring accounting.
+    live: AtomicBool,
+}
+
+impl Tenant {
+    /// False once the tenant has been deregistered (its reservation is
+    /// freed but in-flight admissions still settle against this record).
+    pub fn is_live(&self) -> bool {
+        self.live.load(Ordering::Acquire)
+    }
 }
 
 /// Why a registration was refused.
@@ -105,26 +118,47 @@ impl TenantRegistry {
             reserved,
             policy,
             counters: TenantCounters::default(),
+            live: AtomicBool::new(true),
         });
+        // Replaces a departed record of the same id, if any. Counters start
+        // fresh: a re-registered id is a new serving epoch (the old record's
+        // already-sealed admissions settled against the old counters).
         self.shard(tenant)
             .write()
             .insert(tenant, Arc::clone(&record));
         Ok(record)
     }
 
-    /// Remove a tenant, freeing its reservation. Returns the record if it
-    /// existed (its counters stay readable through outstanding `Arc`s).
+    /// Deregister a tenant, freeing its reservation immediately. The record
+    /// is only *flagged* departed, not removed: in-flight admissions still
+    /// resolve to it at window-seal time, so per-tenant serving counters are
+    /// never stranded by a mid-window departure (migration drains rely on
+    /// this). Returns the record if the tenant was live.
     pub fn deregister(&self, tenant: u64) -> Option<Arc<Tenant>> {
         let mut admission = self.admission.lock();
-        let removed = self.shard(tenant).write().remove(&tenant);
-        if removed.is_some() {
+        let existing = self.shard(tenant).read().get(&tenant).cloned();
+        let departed = existing.filter(|t| t.is_live());
+        if let Some(t) = &departed {
+            t.live.store(false, Ordering::Release);
             admission.deregister(tenant);
         }
-        removed
+        departed
     }
 
-    /// Hot-path lookup.
+    /// Hot-path lookup: live tenants only (the admission path must not see
+    /// departed records).
     pub fn get(&self, tenant: u64) -> Option<Arc<Tenant>> {
+        self.shard(tenant)
+            .read()
+            .get(&tenant)
+            .cloned()
+            .filter(|t| t.is_live())
+    }
+
+    /// Seal-path lookup: resolves departed records too, so a request
+    /// admitted before its tenant deregistered still settles against the
+    /// tenant's counters.
+    pub fn lookup_any(&self, tenant: u64) -> Option<Arc<Tenant>> {
         self.shard(tenant).read().get(&tenant).cloned()
     }
 
@@ -148,6 +182,24 @@ impl TenantRegistry {
 
     /// All live tenants, sorted by id (reporting path).
     pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        let mut all: Vec<Arc<Tenant>> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .values()
+                    .filter(|t| t.is_live())
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by_key(|t| t.id);
+        all
+    }
+
+    /// Every record, live and departed, sorted by id. Snapshots use this so
+    /// a tenant that migrated away mid-run still reports its served counts.
+    pub fn all_tenants(&self) -> Vec<Arc<Tenant>> {
         let mut all: Vec<Arc<Tenant>> = self
             .shards
             .iter()
@@ -218,6 +270,32 @@ mod tests {
         t.counters.served.fetch_add(3, Ordering::Relaxed);
         let removed = reg.deregister(1).unwrap();
         assert_eq!(removed.counters.served.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn departed_records_stay_resolvable_until_reregistered() {
+        let reg = TenantRegistry::new(5, 2);
+        let t = reg.register(1, 2, OverloadPolicy::Delay).unwrap();
+        t.counters.served.fetch_add(2, Ordering::Relaxed);
+        assert!(reg.deregister(1).is_some());
+        // The admission path no longer sees the tenant...
+        assert!(reg.get(1).is_none());
+        assert!(reg.tenants().is_empty());
+        assert_eq!(reg.headroom(), 5, "reservation freed immediately");
+        // ...but the seal path still resolves the departed record.
+        let departed = reg.lookup_any(1).unwrap();
+        assert!(!departed.is_live());
+        assert_eq!(departed.counters.served.load(Ordering::Relaxed), 2);
+        assert_eq!(reg.all_tenants().len(), 1);
+        // A second deregister is a no-op (no double-free of the reservation).
+        assert!(reg.deregister(1).is_none());
+        assert_eq!(reg.headroom(), 5);
+        // Re-registration starts a fresh serving epoch.
+        let fresh = reg.register(1, 3, OverloadPolicy::Reject).unwrap();
+        assert!(fresh.is_live());
+        assert_eq!(fresh.counters.served.load(Ordering::Relaxed), 0);
+        assert_eq!(reg.tenants().len(), 1);
+        assert_eq!(reg.headroom(), 2);
     }
 
     #[test]

@@ -251,6 +251,80 @@ fn handle_drop_mid_window_conserves_requests() {
     report_and_check("handle-drop-mid-window", report, 200);
 }
 
+/// The cluster tier's migration drain racing the window seal: a submitter
+/// pushes requests for tenant 1 on the *source* array while a migrator
+/// thread re-registers the tenant on the *target* array, deregisters it at
+/// the source (cooperative drain — the departed record keeps settling
+/// in-flight admissions), and submits post-migration traffic on the
+/// target. Depending on where the drain lands relative to admission and
+/// seal, source submissions are admitted (and must still settle against
+/// the departed record) or rejected as unknown. On every schedule the
+/// cluster law must close: summed over both arrays,
+/// `Σ served + Σ fault_lost + Σ hedges_cancelled == Σ admitted_total`,
+/// with zero migrated-in-flight after both finishes — and per-tenant
+/// accounting on the source may not strand a single admission.
+#[test]
+fn rebalance_vs_seal_conserves_the_cluster_law() {
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 4096,
+        ..Config::default()
+    };
+    let report = model_with(bounds, || {
+        // One worker per array keeps the thread count at five (two
+        // workers + submitter + migrator + root).
+        let mut src_cfg = model_cfg().with_workers(1);
+        src_cfg.shards = 1;
+        let dst_cfg = src_cfg.clone();
+        let src = QosServer::new(src_cfg).unwrap();
+        let dst = QosServer::new(dst_cfg).unwrap();
+        let t_ns = src.config().qos.interval_ns;
+        src.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut hs = src.handle();
+        let hm = src.handle(); // migrator's drain endpoint on the source
+        let hd = dst.handle(); // migrator's endpoint on the target
+        let submitter =
+            interleave::thread::spawn(move || submit_all(&mut hs, 1, &[(0, 0), (1, 0)]));
+        let migrator = interleave::thread::spawn(move || {
+            // Target first (the controller's order): registration there
+            // cannot fail, so the drain never leaves the tenant homeless.
+            hd.register(1, 2, OverloadPolicy::Delay).unwrap();
+            hm.deregister(1);
+            let mut hd = hd;
+            submit_all(&mut hd, 1, &[(2, t_ns)])
+            // Dropping hm/hd closes their watermarks so sealing proceeds.
+        });
+        let ts = submitter.join().unwrap();
+        let td = migrator.join().unwrap();
+        let ms = src.finish();
+        let md = dst.finish();
+        // Source submissions race the drain: admitted before it, rejected
+        // (unknown tenant) after it. The target admission is unconditional.
+        assert_eq!(ts.admitted + ts.rejected, 2);
+        assert_eq!(td.admitted, 1);
+        assert_eq!(ts.admitted, ms.admitted_total());
+        assert_eq!(td.admitted, md.admitted_total());
+        // Cluster law over both arrays, and per array.
+        for m in [&ms, &md] {
+            assert_eq!(m.hedges_won, m.hedges_cancelled);
+            assert_eq!(
+                m.served + m.fault_lost + m.hedges_cancelled,
+                m.admitted_total(),
+                "conservation"
+            );
+            assert_eq!(m.fault_lost, 0, "no faults were injected");
+            assert_eq!(m.guaranteed_violations, 0, "deadline audit");
+        }
+        // The drain stranded nothing: the departed source record settled
+        // every admission it ever took (migrated_in_flight == 0).
+        let t1_src = ms.tenants.iter().find(|t| t.tenant == 1).unwrap();
+        assert!(!t1_src.live, "tenant 1 departed the source");
+        assert_eq!(t1_src.admitted, ts.admitted, "departed counters complete");
+        assert_eq!(t1_src.in_flight(), 0, "drain fully settled at the seal");
+    });
+    report_and_check("rebalance-vs-seal", report, 1000);
+}
+
 /// A live `degrade_device` races admission, dispatch and the hedge
 /// decision: an injector thread silently slows the primary replica 10×
 /// and then restores it while a submitter pushes two same-bucket

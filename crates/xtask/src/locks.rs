@@ -31,6 +31,15 @@ use std::collections::{BTreeMap, BTreeSet};
 /// here. Keep this table in sync with DESIGN.md "Concurrency invariants".
 pub const HIERARCHY: &[(&str, &str)] = &[
     (
+        "cluster.ctrl",
+        "global control-loop state (fqos-cluster cluster.rs Shared::ctrl) \
+         — held across a whole control tick, above every engine class",
+    ),
+    (
+        "cluster.router",
+        "tenant placement ring (fqos-cluster cluster.rs Shared::router)",
+    ),
+    (
         "engine.dispatch",
         "seal/dispatch state (engine.rs Engine::dispatch)",
     ),
@@ -91,6 +100,8 @@ struct Acquisition {
 fn acquisitions(file_name: &str, text: &str) -> Vec<Acquisition> {
     let mut out = Vec::new();
     let simple: &[(&str, &str)] = &[
+        ("ctrl.lock(", "cluster.ctrl"),
+        ("router.lock(", "cluster.router"),
         ("dispatch.lock(", "engine.dispatch"),
         ("admission.lock(", "registry.admission"),
         ("handles.lock(", "engine.handles"),

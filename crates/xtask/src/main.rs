@@ -8,7 +8,8 @@
 //! (the dynamic layer is `cargo test -p fqos-server --features
 //! model-check`, see DESIGN.md "Concurrency invariants"):
 //!
-//! - extracts every lock-acquisition site in `crates/server/src`, builds
+//! - extracts every lock-acquisition site in `crates/server/src` and
+//!   `crates/cluster/src`, builds
 //!   the lock-order graph (including acquisitions reached through calls
 //!   and guard-returning helpers) and fails on any edge that violates the
 //!   documented hierarchy, or on any cycle;
@@ -99,7 +100,15 @@ fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Outcome, String
 
     let src_files = {
         let mut v = Vec::new();
-        walk(if workspace_mode { &server_src } else { root }, &mut v)?;
+        if workspace_mode {
+            walk(&server_src, &mut v)?;
+            let cluster_src = root.join("crates/cluster/src");
+            if cluster_src.is_dir() {
+                walk(&cluster_src, &mut v)?;
+            }
+        } else {
+            walk(root, &mut v)?;
+        }
         v
     };
     for path in &src_files {
@@ -129,8 +138,11 @@ fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Outcome, String
     }
 
     if workspace_mode {
-        let tests_dir = root.join("crates/server/tests");
-        if tests_dir.is_dir() {
+        for tests_dir in ["crates/server/tests", "crates/cluster/tests"] {
+            let tests_dir = root.join(tests_dir);
+            if !tests_dir.is_dir() {
+                continue;
+            }
             let mut test_files = Vec::new();
             walk(&tests_dir, &mut test_files)?;
             for path in test_files {

@@ -27,6 +27,19 @@
 //!     then also reports degraded windows, re-routes, losses, and the
 //!     fail-slow counters (detections, hedges, retries). `--no-hedge`
 //!     disables speculative re-dispatch so the two runs can be compared.
+//!
+//! fqos cluster  --arrays 4 [--devices 9] [--copies 3] [--accesses 1]
+//!               [--submitters 8] [--windows 200] [--seed N] [--reserve R]
+//!               [--pin "T:A,..."] [--burst "T:RATE,..."]
+//!               [--fault-schedules "A:SPEC;A:SPEC"]
+//!               [--metrics-addr HOST:PORT] [--linger-ms MS]
+//!               [--no-rebalance] [--no-hedge]
+//!     Run N arrays as one fleet behind the consistent-hash routing tier:
+//!     tenants shard across arrays, the ε-budget control loop migrates
+//!     tenants off saturated arrays, a Prometheus endpoint serves per-array
+//!     metrics, and the run fails unless the cluster conservation law
+//!     closes. `--pin` + `--burst` provoke the skew that forces a
+//!     rebalance.
 //! ```
 
 use flash_qos::prelude::*;
@@ -38,7 +51,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
-        eprintln!("usage: fqos <design|generate|analyze> [options]  (see --help)");
+        eprintln!("usage: fqos <design|generate|analyze|serve|cluster> [options]  (see --help)");
         return ExitCode::FAILURE;
     };
     if command == "--help" || command == "-h" || command == "help" {
@@ -57,6 +70,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "analyze" => cmd_analyze(&opts),
         "serve" => cmd_serve(&opts),
+        "cluster" => cmd_cluster(&opts),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
@@ -87,12 +101,30 @@ fn print_help() {
     println!("                                              restore:D@W) devices at scripted");
     println!("                                              windows; --no-hedge disables");
     println!("                                              speculative re-dispatch");
+    println!("  cluster  --arrays N [--devices D] [--copies C] [--accesses M] [--workers W]");
+    println!("           [--submitters S] [--windows K] [--epsilon E] [--queue-depth Q]");
+    println!("           [--mode flow|eft] [--seed S] [--reserve R]");
+    println!("           [--pin \"TENANT:ARRAY,...\"] [--burst \"TENANT:RATE,...\"]");
+    println!("           [--fault-schedules \"ARRAY:SPEC;ARRAY:SPEC\"]");
+    println!("           [--metrics-addr HOST:PORT] [--linger-ms MS]");
+    println!("           [--no-rebalance] [--no-hedge]");
+    println!("                                              run N arrays as one fleet behind");
+    println!("                                              the consistent-hash routing tier:");
+    println!("                                              tenants shard across arrays, the");
+    println!("                                              control loop migrates them off");
+    println!("                                              saturated arrays (--burst overdrives");
+    println!("                                              a tenant, --pin forces placement to");
+    println!("                                              provoke skew), and the cluster");
+    println!("                                              conservation audit must close.");
+    println!("                                              --metrics-addr serves Prometheus");
+    println!("                                              text format; --linger-ms keeps it");
+    println!("                                              up after the run for scrapers.");
 }
 
 type Options = HashMap<String, String>;
 
 /// Options that are bare flags: present-or-absent, no value.
-const FLAG_KEYS: &[&str] = &["no-hedge"];
+const FLAG_KEYS: &[&str] = &["no-hedge", "no-rebalance"];
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut out = HashMap::new();
@@ -482,6 +514,250 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     }
     if !conserved {
         return Err("completion accounting does not balance".into());
+    }
+    Ok(())
+}
+
+/// Parse `"KEY:VALUE,KEY:VALUE"` pair lists (`--pin`, `--burst`).
+fn parse_pairs<K, V>(spec: &str, what: &str) -> Result<Vec<(K, V)>, String>
+where
+    K: std::str::FromStr,
+    V: std::str::FromStr,
+{
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|pair| {
+            let (k, v) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("--{what}: expected KEY:VALUE, found '{pair}'"))?;
+            let k = k
+                .trim()
+                .parse()
+                .map_err(|_| format!("--{what}: cannot parse '{k}'"))?;
+            let v = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("--{what}: cannot parse '{v}'"))?;
+            Ok((k, v))
+        })
+        .collect()
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_cluster(opts: &Options) -> Result<(), String> {
+    use flash_qos::cluster::{new_page, render};
+    use flash_qos::flashsim::time::BASE_INTERVAL_NS;
+
+    let arrays: usize = get_num(opts, "arrays", 2)?;
+    let devices: usize = get_num(opts, "devices", 9)?;
+    let copies: usize = get_num(opts, "copies", 3)?;
+    let accesses: usize = get_num(opts, "accesses", 1)?;
+    let workers: usize = get_num(opts, "workers", 4)?;
+    let submitters: usize = get_num(opts, "submitters", 2 * arrays.max(1))?;
+    let windows: u64 = get_num(opts, "windows", 200)?;
+    let epsilon: f64 = get_num(opts, "epsilon", 0.0)?;
+    let queue_depth: usize = get_num(opts, "queue-depth", 64)?;
+    let seed: u64 = get_num(opts, "seed", 0x5EED)?;
+    let linger_ms: u64 = get_num(opts, "linger-ms", 0)?;
+    let mode = match opts.get("mode").map(String::as_str) {
+        None | Some("flow") => AssignmentMode::OptimalFlow,
+        Some("eft") => AssignmentMode::Eft,
+        Some(other) => return Err(format!("--mode: unknown mode '{other}' (flow|eft)")),
+    };
+    let rebalance = !opts.contains_key("no-rebalance");
+    let hedging = !opts.contains_key("no-hedge");
+    if arrays == 0 || workers == 0 || submitters == 0 || windows == 0 {
+        return Err("--arrays, --workers, --submitters and --windows must be positive".into());
+    }
+
+    let pins: Vec<(u64, usize)> = match opts.get("pin") {
+        None => Vec::new(),
+        Some(spec) => parse_pairs(spec, "pin")?,
+    };
+    let bursts: HashMap<u64, u64> = match opts.get("burst") {
+        None => HashMap::new(),
+        Some(spec) => parse_pairs(spec, "burst")?.into_iter().collect(),
+    };
+    // Per-array fault schedules: `"0:fail:3@10,recover:3@20;1:slow:2@5"`.
+    let mut schedules: Vec<FaultSchedule> = vec![FaultSchedule::new(); arrays];
+    if let Some(spec) = opts.get("fault-schedules") {
+        for entry in spec.split(';').filter(|s| !s.trim().is_empty()) {
+            let (idx, rest) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("--fault-schedules: expected ARRAY:SPEC in '{entry}'"))?;
+            let idx: usize = idx
+                .trim()
+                .parse()
+                .map_err(|_| format!("--fault-schedules: bad array index '{idx}'"))?;
+            if idx >= arrays {
+                return Err(format!("--fault-schedules: array {idx} of {arrays}"));
+            }
+            let schedule =
+                FaultSchedule::parse(rest).map_err(|e| format!("--fault-schedules: {e}"))?;
+            schedule
+                .validate_for(devices, Some(windows))
+                .map_err(|e| format!("--fault-schedules: {e}"))?;
+            schedules[idx] = schedule;
+        }
+    }
+
+    let design = DesignCatalog
+        .find(devices, copies)
+        .map_err(|e| e.to_string())?;
+    let qos = QosConfig {
+        scheme: flash_qos::decluster::DesignTheoretic::new(design),
+        accesses,
+        interval_ns: accesses as u64 * BASE_INTERVAL_NS,
+        epsilon,
+        policy: OverloadPolicy::Delay,
+        service_ns: BLOCK_READ_NS,
+    };
+    qos.validate().map_err(|e| e.to_string())?;
+    let limit = qos.request_limit();
+    let pool = AllocationScheme::num_buckets(&qos.scheme) as u64;
+    let interval_ns = qos.interval_ns;
+
+    let array_configs: Vec<ServerConfig> = schedules
+        .into_iter()
+        .map(|schedule| {
+            ServerConfig::new(qos.clone())
+                .with_workers(workers)
+                .with_queue_depth(queue_depth)
+                .with_assignment(mode)
+                .with_fault_schedule(schedule)
+                .with_hedging(hedging)
+        })
+        .collect();
+    let cluster = QosCluster::new(ClusterConfig::new(array_configs).with_rebalance(rebalance))?;
+
+    // Uniform reservations sized so every tenant fits even in the worst
+    // ring placement: ceil(submitters / arrays) tenants per array.
+    let tenants_per_array = submitters.div_ceil(arrays);
+    let reserve: usize = get_num(opts, "reserve", (limit / tenants_per_array).max(1))?;
+    let pinned: HashMap<u64, usize> = pins.iter().copied().collect();
+    for t in 1..=submitters as u64 {
+        match pinned.get(&t) {
+            Some(&array) => {
+                if array >= arrays {
+                    return Err(format!("--pin: array {array} of {arrays}"));
+                }
+                cluster.register_pinned(array, t, reserve, OverloadPolicy::Delay)?;
+            }
+            None => {
+                cluster.register_tenant(t, reserve, OverloadPolicy::Delay)?;
+            }
+        }
+    }
+    println!(
+        "cluster: {arrays} × ({devices},{copies},1) arrays, S({accesses}) = {limit} each, \
+         {submitters} tenants reserving {reserve}, {windows} windows of {:.3} ms, \
+         rebalance {}",
+        interval_ns as f64 / 1e6,
+        if rebalance { "on" } else { "off" },
+    );
+    for t in 1..=submitters as u64 {
+        let home = cluster.route_of(t).ok_or("tenant lost by the router")?;
+        let rate = bursts.get(&t).copied().unwrap_or(reserve as u64);
+        println!("  tenant {t}: array {home}, {rate} req/window");
+    }
+
+    // Prometheus endpoint: refreshed at window cadence, served from a
+    // background thread for the life of the run (plus --linger-ms).
+    let page = new_page();
+    let exporter = match opts.get("metrics-addr") {
+        None => None,
+        Some(addr) => {
+            let e = MetricsExporter::bind(addr, page.clone())?;
+            println!("metrics: http://{}/metrics", e.local_addr());
+            Some(e)
+        }
+    };
+
+    let wall = std::time::Instant::now();
+    let mut handle = cluster.handle();
+    for w in 0..windows {
+        let mut i = 0u64;
+        for t in 1..=submitters as u64 {
+            let rate = bursts.get(&t).copied().unwrap_or(reserve as u64);
+            for _ in 0..rate {
+                let lbn = splitmix64(seed ^ (w << 16) ^ (t << 8) ^ i) % pool;
+                handle.submit(t, lbn, w * interval_ns + i * 1_000);
+                i += 1;
+            }
+        }
+        if let Some(event) = cluster.control_tick() {
+            println!(
+                "window {w}: rebalanced tenant {} array {} → {} (reservation {})",
+                event.tenant, event.from, event.to, event.reserved,
+            );
+        }
+        if exporter.is_some() {
+            *page.lock() = render(&cluster.metrics());
+        }
+    }
+    drop(handle);
+    let m = cluster.finish(); // prints the cluster audit line
+    let wall = wall.elapsed();
+    *page.lock() = render(&m);
+
+    println!();
+    println!(
+        "fleet: {} completed in {:.1} ms wall clock ({:.0} req/s aggregate)",
+        m.completed(),
+        wall.as_secs_f64() * 1e3,
+        m.completed() as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "admitted {} / rejected {} / unrouted {}, utilization spread {:.3}, \
+         p99 ≤ {:.4} ms, p99.9 ≤ {:.4} ms",
+        m.admitted_total(),
+        m.rejected(),
+        m.unrouted,
+        m.utilization_spread(),
+        m.p99_latency_ns() as f64 / 1e6,
+        m.p999_latency_ns() as f64 / 1e6,
+    );
+    println!(
+        "\n{:<7} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
+        "array", "routed", "admitted", "rejected", "served", "fault_lost", "sealed"
+    );
+    for (i, s) in m.arrays.iter().enumerate() {
+        println!(
+            "{:<7} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
+            i,
+            m.routed[i],
+            s.admitted_total(),
+            s.rejected,
+            s.served,
+            s.fault_lost,
+            s.windows_sealed,
+        );
+    }
+    for e in &m.events {
+        println!(
+            "migration @tick {}: tenant {} array {} → {} (reservation {})",
+            e.tick, e.tenant, e.from, e.to, e.reserved,
+        );
+    }
+
+    if linger_ms > 0 && exporter.is_some() {
+        println!("lingering {linger_ms} ms for scrapers…");
+        std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+    }
+    drop(exporter);
+
+    if m.deadline_violations() != 0 {
+        println!("deadline audit: {} violations ✗", m.deadline_violations());
+    }
+    if !m.conserved() {
+        return Err("cluster conservation law violated".into());
     }
     Ok(())
 }

@@ -22,6 +22,7 @@
 //! | [`fim`] | `fqos-fim` | Apriori / Eclat / FP-Growth miners and the design-block matcher |
 //! | [`qos`] | `fqos-core` | admission control, online + interval schedulers, the end-to-end pipeline |
 //! | [`server`] | `fqos-server` | concurrent multi-tenant serving engine: thread-safe admission, interval-aligned dispatch, worker pool, metrics |
+//! | [`cluster`] | `fqos-cluster` | multi-array fleet tier: consistent-hash tenant routing, ε-budget rebalancing, cluster conservation audit, Prometheus export |
 //!
 //! ## Quickstart
 //!
@@ -54,8 +55,14 @@ pub use fqos_core as qos;
 /// The concurrent online serving engine (re-export of `fqos-server`).
 pub use fqos_server as server;
 
+/// The multi-array fleet tier (re-export of `fqos-cluster`).
+pub use fqos_cluster as cluster;
+
 /// The most common imports in one place.
 pub mod prelude {
+    pub use fqos_cluster::{
+        ClusterConfig, ClusterHandle, ClusterMetrics, MetricsExporter, QosCluster, RebalanceEvent,
+    };
     pub use fqos_core::{
         AppAdmission, BlockMapping, MappingStrategy, OverloadPolicy, QosConfig, QosPipeline,
         QosReport, StatisticalCounters,
