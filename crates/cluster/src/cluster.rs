@@ -199,9 +199,9 @@ impl QosCluster {
             .map(|(i, &now)| {
                 let prev = ctrl.prev.get(i).copied().unwrap_or_default();
                 let delta = ArrayObs {
-                    rejected: now.rejected - prev.rejected,
-                    delayed: now.delayed - prev.delayed,
-                    overflow: now.overflow - prev.overflow,
+                    rejected: now.rejected.saturating_sub(prev.rejected),
+                    delayed: now.delayed.saturating_sub(prev.delayed),
+                    overflow: now.overflow.saturating_sub(prev.overflow),
                 };
                 pressure(delta, self.budgets[i].0, self.budgets[i].1)
             })
@@ -212,35 +212,62 @@ impl QosCluster {
         // Re-baseline the differentiators before (maybe) migrating, so the
         // next tick measures the post-migration regime.
         ctrl.prev = obs;
-        for s in &snaps {
+        for (i, s) in snaps.iter().enumerate() {
             for t in &s.tenants {
-                ctrl.prev_tenants.insert(
-                    t.tenant,
-                    TenantObs {
-                        rejected: t.rejected,
-                        delayed: t.delayed,
-                        overflow: t.overflow,
-                        admitted: t.admitted,
-                    },
-                );
+                if t.live {
+                    ctrl.prev_tenants.insert(
+                        (i, t.tenant),
+                        TenantObs {
+                            rejected: t.rejected,
+                            delayed: t.delayed,
+                            overflow: t.overflow,
+                            admitted: t.admitted,
+                        },
+                    );
+                } else {
+                    // A departed record's counters are frozen; keeping its
+                    // baseline would poison the delta if the tenant ever
+                    // re-registers here with fresh (near-zero) counters.
+                    ctrl.prev_tenants.remove(&(i, t.tenant));
+                }
             }
         }
 
         let (tenant, from, to, reserved, policy) = decision?;
-        // Target first: if its registry refuses, nothing has changed.
+        // Commit under the router lock so no handle can observe a
+        // half-moved placement. Router first — it is the only step that
+        // can refuse for load — then target registration (rolled back on
+        // refusal), then the source drain, which cannot fail.
+        let mut router = self.shared.router.lock();
+        let Some(old) = router.assignment(tenant) else {
+            return None; // deregistered concurrently; nothing to move
+        };
+        if old.array != from || !router.reassign(tenant, to, reserved) {
+            return None;
+        }
         if self.arrays[to].register(tenant, reserved, policy).is_err() {
+            // Undo the routing; neither engine was touched yet (the
+            // source always has room for the weight it just freed).
+            router.reassign(tenant, from, old.weight);
             return None;
         }
         // Cooperative drain: the source frees the reservation now and
         // settles the tenant's in-flight admissions at its own seals.
         self.arrays[from].deregister(tenant);
-        let mut router = self.shared.router.lock();
-        router.reassign(tenant, to, reserved);
         drop(router);
         self.shared.epoch.fetch_add(1, Ordering::AcqRel);
         self.shared.rebalances.fetch_add(1, Ordering::Relaxed);
         ctrl.last_rebalance = Some(tick);
-        ctrl.drained.push(Drained { tenant, from });
+        // One audit entry per (tenant, source): a tenant drained off the
+        // same array twice must not double its departed-record residue in
+        // `migrated_in_flight`.
+        if !ctrl
+            .drained
+            .iter()
+            .any(|d| d.tenant == tenant && d.from == from)
+        {
+            ctrl.drained.push(Drained { tenant, from });
+        }
         let event = RebalanceEvent {
             tick,
             tenant,
@@ -274,20 +301,19 @@ impl QosCluster {
             return None;
         }
         // Hottest live tenant on the saturated array, by pressure delta.
+        // Saturating: the baseline is pruned on departure, but a torn
+        // snapshot could still read a counter below its basis.
         let tenant_delta = |t: &TenantSnapshot| {
             let prev = ctrl
                 .prev_tenants
-                .get(&t.tenant)
+                .get(&(from, t.tenant))
                 .copied()
                 .unwrap_or_default();
-            (
-                (t.rejected - prev.rejected)
-                    + (t.delayed - prev.delayed)
-                    + (t.overflow - prev.overflow),
-                (t.admitted - prev.admitted)
-                    + (t.rejected - prev.rejected)
-                    + (t.overflow - prev.overflow),
-            )
+            let rejected = t.rejected.saturating_sub(prev.rejected);
+            let delayed = t.delayed.saturating_sub(prev.delayed);
+            let overflow = t.overflow.saturating_sub(prev.overflow);
+            let admitted = t.admitted.saturating_sub(prev.admitted);
+            (rejected + delayed + overflow, admitted + rejected + overflow)
         };
         let (candidate, tenant_pressure, demand) = snaps[from]
             .tenants
@@ -400,24 +426,7 @@ impl ClusterHandle {
     /// arrival times must be non-decreasing, as with
     /// [`SubmitterHandle::submit`].
     pub fn submit(&mut self, tenant: u64, lbn: u64, arrival_ns: u64) -> SubmitOutcome {
-        let epoch = self.shared.epoch.load(Ordering::Acquire);
-        let cached = match self.cache.get(&tenant) {
-            Some(&(e, a)) if e == epoch => Some(a),
-            _ => None,
-        };
-        let array = match cached {
-            Some(a) => Some(a),
-            None => {
-                let routed = self.shared.router.lock().route(tenant);
-                if let Some(a) = routed {
-                    self.cache.insert(tenant, (epoch, a));
-                } else {
-                    self.cache.remove(&tenant);
-                }
-                routed
-            }
-        };
-        let Some(array) = array else {
+        let Some(array) = self.routed_array(tenant) else {
             self.shared.unrouted.fetch_add(1, Ordering::Relaxed);
             return SubmitOutcome::Rejected(RejectReason::UnknownTenant);
         };
@@ -429,7 +438,43 @@ impl ClusterHandle {
             }
         }
         self.shared.routed[array].fetch_add(1, Ordering::Relaxed);
-        self.handles[array].submit(tenant, lbn, arrival_ns)
+        let out = self.handles[array].submit(tenant, lbn, arrival_ns);
+        if out != SubmitOutcome::Rejected(RejectReason::UnknownTenant) {
+            return out;
+        }
+        // A migration between the route read and the submit lands the
+        // request on the drained source, which no longer knows the tenant.
+        // Re-route once — the tenant is live on its new array — so a
+        // rebalance never surfaces as a spurious rejection.
+        self.cache.remove(&tenant);
+        match self.routed_array(tenant) {
+            Some(rerouted) if rerouted != array => {
+                self.shared.routed[rerouted].fetch_add(1, Ordering::Relaxed);
+                self.handles[rerouted].submit(tenant, lbn, arrival_ns)
+            }
+            _ => out, // genuinely unknown (or deregistered for real)
+        }
+    }
+
+    /// Resolve `tenant`'s array through the per-handle cache, falling back
+    /// to the router (and refreshing the cache) on a miss or stale epoch.
+    fn routed_array(&mut self, tenant: u64) -> Option<usize> {
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        if let Some(&(e, a)) = self.cache.get(&tenant) {
+            if e == epoch {
+                return Some(a);
+            }
+        }
+        let routed = self.shared.router.lock().route(tenant);
+        match routed {
+            Some(a) => {
+                self.cache.insert(tenant, (epoch, a));
+            }
+            None => {
+                self.cache.remove(&tenant);
+            }
+        }
+        routed
     }
 
     /// Advance every array's watermark without submitting (end-of-phase

@@ -36,8 +36,9 @@ pub(crate) struct ArrayObs {
     pub overflow: u64,
 }
 
-/// Cumulative per-tenant counters, keyed by tenant id (ids are
-/// cluster-unique; a migrated tenant's observation follows it).
+/// Cumulative per-tenant counters. Keyed by `(array, tenant)`: a tenant's
+/// counters restart from zero on every array it registers on, so the
+/// baseline must not follow it across a migration.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct TenantObs {
     pub rejected: u64,
@@ -63,8 +64,11 @@ pub(crate) struct CtrlState {
     pub last_rebalance: Option<u64>,
     /// Per-array observation basis from the previous tick.
     pub prev: Vec<ArrayObs>,
-    /// Per-tenant observation basis from the previous tick.
-    pub prev_tenants: HashMap<u64, TenantObs>,
+    /// Per-tenant observation basis from the previous tick, keyed by
+    /// `(array, tenant)`. Live records only: a departed record's counters
+    /// are frozen and must never overwrite the baseline of the fresh
+    /// record the tenant gets on (re-)registration.
+    pub prev_tenants: HashMap<(usize, u64), TenantObs>,
     /// Every migration executed, in order.
     pub events: Vec<RebalanceEvent>,
     /// Drain records for the conservation audit.

@@ -106,6 +106,11 @@ impl Router {
         self.assignments.get(&tenant).map(|a| a.array)
     }
 
+    /// Full assignment (array and weight) of `tenant`, if assigned.
+    pub fn assignment(&self, tenant: u64) -> Option<Assignment> {
+        self.assignments.get(&tenant).copied()
+    }
+
     /// All assignments, sorted by tenant id (test/report path).
     pub fn assignments(&self) -> Vec<(u64, Assignment)> {
         let mut all: Vec<_> = self.assignments.iter().map(|(&t, &a)| (t, a)).collect();

@@ -140,6 +140,77 @@ fn saturated_epsilon_budget_triggers_a_compliance_restoring_rebalance() {
     assert_eq!(finished.deadline_violations(), 0);
 }
 
+/// Regression: a migration to a lower-index array must not poison the
+/// controller's per-tenant baseline. The source's departed record (frozen,
+/// large cumulative counters) used to overwrite the fresh counters of the
+/// tenant's new home on every re-baseline; once the new array became the
+/// hottest, the delta underflowed — a debug panic, or astronomical
+/// pressure/demand driving garbage migrations in release.
+#[test]
+fn migration_to_a_lower_index_array_keeps_tenant_deltas_sane() {
+    let array = ServerConfig::new(QosConfig::paper_9_3_1());
+    let cluster = QosCluster::new(
+        ClusterConfig::uniform(2, &array)
+            .with_rebalance(true)
+            .with_cooldown(2),
+    )
+    .unwrap();
+    // Everyone pinned on array 1, array 0 empty: the rebalance goes 1 → 0.
+    cluster
+        .register_pinned(1, 1, 2, OverloadPolicy::Reject)
+        .unwrap();
+    cluster
+        .register_pinned(1, 2, 2, OverloadPolicy::Delay)
+        .unwrap();
+    cluster
+        .register_pinned(1, 3, 1, OverloadPolicy::Delay)
+        .unwrap();
+    let mut handle = cluster.handle();
+
+    // Phase 1: five windows of 2× overdrive before the first control tick,
+    // so the source record freezes with counters well above anything the
+    // fresh record accumulates by the next eligible tick.
+    let mut w = 0u64;
+    for _ in 0..5 {
+        let mut i = 0u64;
+        for &(tenant, n) in &[(1u64, 4u64), (2, 2), (3, 1)] {
+            for _ in 0..n {
+                handle.submit(tenant, (w << 8) | i, w * BASE_T + i * 1_000);
+                i += 1;
+            }
+        }
+        w += 1;
+    }
+    let event = cluster
+        .control_tick()
+        .expect("saturation must trigger the migration");
+    assert_eq!((event.tenant, event.from, event.to), (1, 1, 0));
+
+    // Phase 2: the tenant overdrives its resized reservation on array 0,
+    // which becomes the hottest array. Every eligible tick differentiates
+    // its fresh counters against the baseline — and must not underflow.
+    // The only escape (back to array 1) has too little headroom to beat
+    // the tenant's current reservation, so no second migration fires.
+    for _ in 0..6 {
+        let mut i = 0u64;
+        for &(tenant, n) in &[(1u64, 6u64), (2, 2), (3, 1)] {
+            for _ in 0..n {
+                handle.submit(tenant, (w << 8) | i, w * BASE_T + i * 1_000);
+                i += 1;
+            }
+        }
+        w += 1;
+        assert!(
+            cluster.control_tick().is_none(),
+            "no profitable second move exists"
+        );
+    }
+    drop(handle);
+    let m = cluster.finish();
+    assert!(m.conserved(), "{}", m.render_audit());
+    assert_eq!(m.rebalances, 1);
+}
+
 #[test]
 fn without_rebalancing_the_saturation_persists() {
     let seed = seed();

@@ -118,6 +118,17 @@ pub struct TenantCounters {
     pub delay_ns: AtomicU64,
 }
 
+impl TenantCounters {
+    /// Admissions not yet settled against these counters:
+    /// `admitted + overflow − served − hedge_wins`.
+    pub fn in_flight(&self) -> u64 {
+        (self.admitted.load(Ordering::Relaxed) + self.overflow.load(Ordering::Relaxed))
+            .saturating_sub(
+                self.served.load(Ordering::Relaxed) + self.hedge_wins.load(Ordering::Relaxed),
+            )
+    }
+}
+
 /// Frozen per-tenant view inside a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantSnapshot {

@@ -49,6 +49,14 @@ pub enum RegisterError {
     },
     /// A reservation of zero requests is meaningless.
     ZeroReservation,
+    /// The id's previous (departed) record still has unsettled in-flight
+    /// admissions; replacing it now would credit their seal-time
+    /// settlement to counters that never admitted them. Retry once the
+    /// source windows have sealed.
+    DrainPending {
+        /// Admissions of the departed record not yet settled.
+        in_flight: u64,
+    },
 }
 
 impl std::fmt::Display for RegisterError {
@@ -64,6 +72,12 @@ impl std::fmt::Display for RegisterError {
                 )
             }
             RegisterError::ZeroReservation => write!(f, "reservation must be positive"),
+            RegisterError::DrainPending { in_flight } => {
+                write!(
+                    f,
+                    "previous record still draining ({in_flight} admissions unsettled)"
+                )
+            }
         }
     }
 }
@@ -107,6 +121,18 @@ impl TenantRegistry {
         // Hold the admission lock across the shard update so a concurrent
         // deregister cannot interleave between check and insert.
         let mut admission = self.admission.lock();
+        if let Some(old) = self.shard(tenant).read().get(&tenant) {
+            // A departed record with unsettled admissions must finish
+            // draining before its id can start a fresh serving epoch:
+            // seal-time settlement resolves by id and would otherwise
+            // credit the old record's residue to the new counters.
+            if !old.is_live() {
+                let in_flight = old.counters.in_flight();
+                if in_flight > 0 {
+                    return Err(RegisterError::DrainPending { in_flight });
+                }
+            }
+        }
         if !admission.register(tenant, reserved) {
             return Err(RegisterError::OverCapacity {
                 requested: reserved,
@@ -296,6 +322,27 @@ mod tests {
         assert_eq!(fresh.counters.served.load(Ordering::Relaxed), 0);
         assert_eq!(reg.tenants().len(), 1);
         assert_eq!(reg.headroom(), 2);
+    }
+
+    #[test]
+    fn reregistration_waits_for_departed_drain() {
+        let reg = TenantRegistry::new(5, 2);
+        let t = reg.register(1, 2, OverloadPolicy::Delay).unwrap();
+        t.counters.admitted.fetch_add(3, Ordering::Relaxed);
+        t.counters.served.fetch_add(1, Ordering::Relaxed);
+        assert!(reg.deregister(1).is_some());
+        // Two admissions still unsettled: a fresh epoch now would credit
+        // their seal-time settlement to counters that never admitted them.
+        assert_eq!(
+            reg.register(1, 1, OverloadPolicy::Delay).unwrap_err(),
+            RegisterError::DrainPending { in_flight: 2 }
+        );
+        assert_eq!(reg.headroom(), 5, "refusal must not leak reservation");
+        // Once the residue settles, the id can start a fresh epoch.
+        t.counters.served.fetch_add(2, Ordering::Relaxed);
+        let fresh = reg.register(1, 1, OverloadPolicy::Reject).unwrap();
+        assert!(fresh.is_live());
+        assert_eq!(fresh.counters.served.load(Ordering::Relaxed), 0);
     }
 
     #[test]
