@@ -313,7 +313,10 @@ impl QosCluster {
             let delayed = t.delayed.saturating_sub(prev.delayed);
             let overflow = t.overflow.saturating_sub(prev.overflow);
             let admitted = t.admitted.saturating_sub(prev.admitted);
-            (rejected + delayed + overflow, admitted + rejected + overflow)
+            (
+                rejected + delayed + overflow,
+                admitted + rejected + overflow,
+            )
         };
         let (candidate, tenant_pressure, demand) = snaps[from]
             .tenants

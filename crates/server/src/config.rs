@@ -2,6 +2,48 @@
 
 use crate::fault::FaultSchedule;
 use fqos_core::QosConfig;
+use std::path::PathBuf;
+
+/// Durability knobs for the write-ahead log (see [`crate::wal`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Log directory (`wal.log` + `wal.snapshot`). `None` keeps the log
+    /// in memory — same framing and ordering checks, nothing durable —
+    /// which is what unit and model-check tests use.
+    pub dir: Option<PathBuf>,
+    /// Records per fsync batch, in `1..=4096`. `1` makes every admission
+    /// durable before its ack; `N` amortizes the fsync and bounds crash
+    /// loss to `N − 1` unacknowledged-durability records.
+    pub fsync_batch: u64,
+    /// Sealed windows between snapshot + log-truncation compactions
+    /// (≥ 1). Bounds restart replay cost by the active window horizon.
+    pub snapshot_interval: u64,
+}
+
+impl WalConfig {
+    /// Defaults: fsync every 8 records, compact every 64 sealed windows.
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        WalConfig {
+            dir,
+            fsync_batch: 8,
+            snapshot_interval: 64,
+        }
+    }
+
+    /// Validate the durability knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fsync_batch == 0 || self.fsync_batch > 4096 {
+            return Err(format!(
+                "wal fsync_batch {} must lie in 1..=4096",
+                self.fsync_batch
+            ));
+        }
+        if self.snapshot_interval == 0 {
+            return Err("wal snapshot_interval must be positive".into());
+        }
+        Ok(())
+    }
+}
 
 /// How the engine assigns an admitted request to one of its `c` replica
 /// devices.
@@ -87,6 +129,10 @@ pub struct ServerConfig {
     /// Sealed windows without a sample after which a `Slow` device is
     /// re-probed (put back on probation and made schedulable).
     pub health_probe_windows: u64,
+    /// Write-ahead durability. `None` (the default) serves exactly as
+    /// before this knob existed: nothing is logged and a crash loses all
+    /// serving state.
+    pub wal: Option<WalConfig>,
 }
 
 impl ServerConfig {
@@ -113,6 +159,7 @@ impl ServerConfig {
             health_promote_streak: 3,
             health_recover_streak: 8,
             health_probe_windows: 8,
+            wal: None,
         }
     }
 
@@ -218,6 +265,38 @@ impl ServerConfig {
         self
     }
 
+    /// Enable write-ahead durability in `dir` with default batch and
+    /// snapshot cadence.
+    pub fn with_wal(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal = Some(WalConfig::new(Some(dir.into())));
+        self
+    }
+
+    /// Enable an in-memory write-ahead log: the full record/ordering
+    /// machinery without a filesystem. For tests (notably model-check
+    /// schedules) that assert WAL ordering invariants.
+    pub fn with_wal_memory(mut self) -> Self {
+        self.wal = Some(WalConfig::new(None));
+        self
+    }
+
+    /// Set the WAL fsync batch size (requires a WAL; no-op otherwise).
+    pub fn with_wal_fsync_batch(mut self, batch: u64) -> Self {
+        if let Some(w) = &mut self.wal {
+            w.fsync_batch = batch;
+        }
+        self
+    }
+
+    /// Set the WAL compaction cadence in sealed windows (requires a WAL;
+    /// no-op otherwise).
+    pub fn with_wal_snapshot_interval(mut self, windows: u64) -> Self {
+        if let Some(w) = &mut self.wal {
+            w.snapshot_interval = windows;
+        }
+        self
+    }
+
     /// The scorer tuning derived from this configuration, in the form the
     /// fault plane consumes.
     pub fn health_params(&self) -> crate::fault::HealthParams {
@@ -300,6 +379,9 @@ impl ServerConfig {
         }
         if self.health_probe_windows == 0 {
             return Err("health_probe_windows must be positive".into());
+        }
+        if let Some(wal) = &self.wal {
+            wal.validate()?;
         }
         self.fault_schedule
             .validate(self.qos.devices())
@@ -455,6 +537,55 @@ mod tests {
             ),
             (base().with_health_streaks(0, 8), "streak"),
             (base().with_health_probe_windows(0), "health_probe_windows"),
+        ] {
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains(needle), "expected '{needle}' in '{err}'");
+        }
+    }
+
+    #[test]
+    fn wal_builders_and_bounds() {
+        let cfg = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_wal("/tmp/fqos-wal-test")
+            .with_wal_fsync_batch(1)
+            .with_wal_snapshot_interval(16);
+        let wal = cfg.wal.clone().unwrap();
+        assert_eq!(
+            wal.dir.as_deref().unwrap().to_str(),
+            Some("/tmp/fqos-wal-test")
+        );
+        assert_eq!(wal.fsync_batch, 1);
+        assert_eq!(wal.snapshot_interval, 16);
+        cfg.validate().unwrap();
+
+        let mem = ServerConfig::new(QosConfig::paper_9_3_1()).with_wal_memory();
+        assert_eq!(mem.wal.as_ref().unwrap().dir, None);
+        mem.validate().unwrap();
+
+        // Batch/snapshot builders without a WAL are inert.
+        let none = ServerConfig::new(QosConfig::paper_9_3_1()).with_wal_fsync_batch(0);
+        assert!(none.wal.is_none());
+        none.validate().unwrap();
+
+        for (cfg, needle) in [
+            (
+                ServerConfig::new(QosConfig::paper_9_3_1())
+                    .with_wal_memory()
+                    .with_wal_fsync_batch(0),
+                "fsync_batch",
+            ),
+            (
+                ServerConfig::new(QosConfig::paper_9_3_1())
+                    .with_wal_memory()
+                    .with_wal_fsync_batch(4097),
+                "fsync_batch",
+            ),
+            (
+                ServerConfig::new(QosConfig::paper_9_3_1())
+                    .with_wal_memory()
+                    .with_wal_snapshot_interval(0),
+                "snapshot_interval",
+            ),
         ] {
             let err = cfg.validate().unwrap_err();
             assert!(err.contains(needle), "expected '{needle}' in '{err}'");

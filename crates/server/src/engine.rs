@@ -47,6 +47,7 @@ use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::channel::{bounded, Receiver, Sender};
 use crate::sync::thread::JoinHandle;
 use crate::sync::{Arc, Mutex};
+use crate::wal::{crash_point, SettleKind, Wal, WalState};
 use crate::window::{AdmitResult, WindowRing};
 use fqos_core::{OverloadPolicy, StatisticalCounters};
 use fqos_decluster::sampling::{optimal_retrieval_probabilities, OptimalRetrievalProbabilities};
@@ -150,6 +151,12 @@ struct GlobalStats {
     hedges_issued: AtomicU64,
     hedges_won: AtomicU64,
     hedges_cancelled: AtomicU64,
+    // Recovery provenance, set once by `QosServer::recover` after the
+    // engine is built (zero on a fresh start).
+    recovered_admissions: AtomicU64,
+    recovered_lost: AtomicU64,
+    replay_records: AtomicU64,
+    replay_duration_ns: AtomicU64,
 }
 
 /// One dispatched request on its way to a worker.
@@ -157,6 +164,9 @@ struct WorkItem {
     req: IoRequest,
     /// Live tenant record at seal time (None if deregistered meanwhile).
     tenant: Option<Arc<Tenant>>,
+    /// The admitting tenant's id, kept even when the record is gone so the
+    /// WAL settle record always carries it.
+    tenant_id: u64,
     /// Simulated time the window's execution phase starts: `(t+1)·T`.
     exec_start: u64,
     /// Interval deadline: `(t+2)·T`.
@@ -213,6 +223,8 @@ struct Engine {
     hist: LatencyHistogram,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    /// Write-ahead log (None = durability off, serving exactly as before).
+    wal: Option<Arc<Wal>>,
 }
 
 /// The concurrent multi-tenant serving engine.
@@ -240,9 +252,57 @@ pub struct QosServer {
 }
 
 impl QosServer {
-    /// Build the engine and spawn its worker pool.
+    /// Build the engine and spawn its worker pool. With
+    /// [`ServerConfig::wal`] set this starts a **fresh** log epoch
+    /// (discarding any previous log in the directory); use
+    /// [`QosServer::recover`] to continue one.
     pub fn new(cfg: ServerConfig) -> Result<Self, String> {
         cfg.validate()?;
+        let wal = match &cfg.wal {
+            Some(wal_cfg) => Some(Arc::new(Wal::create(wal_cfg)?)),
+            None => None,
+        };
+        Self::build(cfg, wal)
+    }
+
+    /// Rebuild a server from the write-ahead log in
+    /// `cfg.wal` (required): load the compaction snapshot, replay the log
+    /// tail (discarding a torn final record), charge sealed-but-unsettled
+    /// admissions to `fault_lost`, re-park the admissions of still-open
+    /// windows into the window ring, and restore every per-tenant and
+    /// global counter — leaving a state where the conservation law
+    /// `served + fault_lost + hedges_cancelled == admitted_total` holds
+    /// over the durable admissions. The reopened log continues from where
+    /// the previous epoch ended, so recovery is itself crash-consistent
+    /// (a second crash replays to the same state).
+    pub fn recover(cfg: ServerConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let Some(wal_cfg) = cfg.wal.clone() else {
+            return Err("recover requires a WAL configuration (with_wal)".into());
+        };
+        let t0 = std::time::Instant::now();
+        let (wal, report) = Wal::resume(&wal_cfg)?;
+        // Every sealed-but-unsettled admission's dispatch died with the
+        // old process: the durable outcome is Lost.
+        let crash_lost = wal.resolve_crash_losses();
+        let state = wal.state_snapshot();
+        let server = Self::build(cfg, Some(Arc::new(wal)))?;
+        let restored = server.engine.restore_state(&state)?;
+        let s = &server.engine.stats;
+        s.recovered_admissions.store(restored, Ordering::Relaxed);
+        s.recovered_lost.store(crash_lost, Ordering::Relaxed);
+        s.replay_records.store(report.records, Ordering::Relaxed);
+        s.replay_duration_ns
+            .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // Fold the recovered state into a fresh snapshot so the *next*
+        // restart replays only post-recovery records.
+        if let Some(wal) = &server.engine.wal {
+            wal.compact();
+        }
+        Ok(server)
+    }
+
+    fn build(cfg: ServerConfig, wal: Option<Arc<Wal>>) -> Result<Self, String> {
         let limit = cfg.qos.request_limit();
         let devices = cfg.qos.devices();
         let workers = cfg.workers.min(devices);
@@ -270,7 +330,7 @@ impl QosServer {
             cfg.health_params(),
         )?);
         let engine = Arc::new(Engine {
-            registry: TenantRegistry::new(limit, cfg.shards),
+            registry: TenantRegistry::new_with_wal(limit, cfg.shards, wal.clone()),
             ring: WindowRing::new(
                 cfg.ring_slots,
                 devices,
@@ -294,6 +354,7 @@ impl QosServer {
             hist: LatencyHistogram::new(),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            wal,
             cfg,
         });
         let threads = rxs
@@ -434,6 +495,11 @@ impl QosServer {
         for t in self.workers {
             let _ = t.join();
         }
+        // Settlement records from the drained workers may still sit in the
+        // fsync batch buffer; a clean shutdown leaves nothing undurable.
+        if let Some(wal) = &self.engine.wal {
+            wal.sync_now();
+        }
         self.engine.snapshot()
     }
 }
@@ -481,6 +547,24 @@ impl Engine {
             let w = ds.sealed_through;
             let sealed = self.ring.seal(w);
             self.stats.windows_sealed.fetch_add(1, Ordering::Relaxed);
+            if let Some(wal) = &self.wal {
+                // The seal record is force-synced BEFORE any of the
+                // window's items are dispatched: after a crash, every
+                // durable admission of a sealed window whose settle record
+                // is missing is deterministically crash-lost.
+                wal.log_seal(w);
+                for &t in &sealed.lost {
+                    wal.log_settle(w, t, SettleKind::Lost);
+                }
+                crash_point("seal-mid-batch");
+            }
+            // Seal-time losses settle per-tenant too (the global counter
+            // lives in the fault plane), so per-tenant in-flight reconciles.
+            for &t in &sealed.lost {
+                if let Some(rec) = self.registry.lookup_any(t) {
+                    rec.counters.lost.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             if let Some(stat) = &self.stat {
                 // Every elapsed interval counts toward the R_k history,
                 // including empty ones (they dilute Q, per §III-B2).
@@ -505,6 +589,7 @@ impl Engine {
                     // settle against its counters, not vanish from them.
                     let msg = WorkMsg::Item(Box::new(WorkItem {
                         tenant: self.registry.lookup_any(item.tenant),
+                        tenant_id: item.tenant,
                         req: item.req,
                         exec_start,
                         deadline,
@@ -526,6 +611,11 @@ impl Engine {
 
     fn snapshot(&self) -> MetricsSnapshot {
         let s = &self.stats;
+        let wal = self
+            .wal
+            .as_deref()
+            .map(Wal::wal_counters)
+            .unwrap_or_default();
         MetricsSnapshot {
             admitted: s.admitted.load(Ordering::Relaxed),
             overflow: s.overflow.load(Ordering::Relaxed),
@@ -555,6 +645,15 @@ impl Engine {
             p999_latency_ns: self.hist.quantile_ns(0.999),
             max_latency_ns: self.hist.max_ns(),
             mean_latency_ns: self.hist.mean_ns(),
+            wal_records: wal.records,
+            wal_fsyncs: wal.fsyncs,
+            wal_compactions: wal.compactions,
+            wal_misordered: wal.misordered,
+            wal_io_errors: wal.io_errors,
+            recovered_admissions: s.recovered_admissions.load(Ordering::Relaxed),
+            recovered_lost: s.recovered_lost.load(Ordering::Relaxed),
+            wal_replay_records: s.replay_records.load(Ordering::Relaxed),
+            wal_replay_duration_ns: s.replay_duration_ns.load(Ordering::Relaxed),
             tenants: self
                 .registry
                 .all_tenants()
@@ -572,9 +671,129 @@ impl Engine {
                         violations: c.violations.load(Ordering::Relaxed),
                         served: c.served.load(Ordering::Relaxed),
                         hedge_wins: c.hedge_wins.load(Ordering::Relaxed),
+                        lost: c.lost.load(Ordering::Relaxed),
                     }
                 })
                 .collect(),
+        }
+    }
+
+    /// Log one admission and hit the post-admit crash point. Called on
+    /// every admitted `submit` path after counters are bumped, before the
+    /// outcome is returned — so with `fsync_batch = 1` the admission is
+    /// durable strictly before its ack.
+    fn wal_admit(&self, window: u64, tenant: u64, lbn: u64, guaranteed: bool, delayed: bool) {
+        if let Some(wal) = &self.wal {
+            wal.log_admit(window, tenant, lbn, guaranteed, delayed);
+            // The record is durable (or at least appended); the submitter
+            // has not seen the ack yet — the durable-unacked crash window.
+            crash_point("post-admit-pre-ack");
+        }
+    }
+
+    /// Log one completion settlement. The item's window is recovered from
+    /// its execution phase start (`exec_start = (w + 1)·T`).
+    fn wal_settle(&self, item: &WorkItem, kind: SettleKind) {
+        if let Some(wal) = &self.wal {
+            let window = item.exec_start / self.cfg.qos.interval_ns - 1;
+            wal.log_settle(window, item.tenant_id, kind);
+        }
+    }
+
+    /// Recovery: fold a replayed [`WalState`] into the freshly built
+    /// engine — tenants (with preset counters), global counters, the
+    /// sealed-through floor, and the still-open windows' admissions
+    /// re-parked into the window ring. Returns how many admissions were
+    /// re-parked.
+    fn restore_state(&self, state: &WalState) -> Result<u64, String> {
+        for (&id, t) in &state.tenants {
+            self.registry
+                .restore_record(
+                    id,
+                    t.reserved as usize,
+                    crate::wal::decode_policy(t.policy),
+                    t.live,
+                    t,
+                )
+                .map_err(|e| format!("restoring tenant {id}: {e}"))?;
+        }
+        let s = &self.stats;
+        s.admitted.store(state.admitted, Ordering::Relaxed);
+        s.overflow.store(state.overflow, Ordering::Relaxed);
+        s.delayed.store(state.delayed, Ordering::Relaxed);
+        s.served.store(state.served, Ordering::Relaxed);
+        s.hedges_won.store(state.hedges_won, Ordering::Relaxed);
+        // hedges_cancelled == hedges_won is the exactly-once invariant;
+        // the WAL stores the pair as one number.
+        s.hedges_cancelled
+            .store(state.hedges_won, Ordering::Relaxed);
+        s.windows_sealed
+            .store(state.sealed_through, Ordering::Relaxed);
+        self.fault.restore_lost(state.lost);
+        // Rejections, violations, delay totals and the latency histogram
+        // are non-durable telemetry: they restart at zero.
+        {
+            let mut ds = self.dispatch.lock();
+            ds.sealed_through = state.sealed_through;
+            self.sealed_floor
+                .store(state.sealed_through, Ordering::Release);
+        }
+        let scheme = &self.cfg.qos.scheme;
+        let t_ns = self.cfg.qos.interval_ns;
+        let mut restored = 0u64;
+        let mut max_target = state.sealed_through.saturating_sub(1);
+        for (&w, entries) in &state.open {
+            for e in entries {
+                // A durable admission into a window the log also seals
+                // would have been moved to `pending` by replay; an open
+                // entry below the floor is defensive only — forfeit it as
+                // lost rather than corrupt a reused ring slot.
+                if w < state.sealed_through {
+                    self.forfeit_recovered(w, e.tenant);
+                    continue;
+                }
+                let req = IoRequest::read_block(
+                    self.next_id.fetch_add(1, Ordering::Relaxed),
+                    w * t_ns,
+                    0,
+                    e.lbn,
+                );
+                let replicas = scheme.replicas(scheme.bucket_for_lbn(e.lbn));
+                // Reservation was enforced when the admission was first
+                // granted; re-parking must not second-guess it (the
+                // tenant may have since departed), so pass an unbounded
+                // reservation and fall back to the overflow slot.
+                let ok = if e.guaranteed {
+                    matches!(
+                        self.ring.try_admit(w, e.tenant, usize::MAX, req, replicas),
+                        AdmitResult::Admitted | AdmitResult::AdmittedSlow
+                    ) || self.ring.add_overflow(w, e.tenant, req, replicas)
+                } else {
+                    self.ring.add_overflow(w, e.tenant, req, replicas)
+                };
+                if ok {
+                    restored += 1;
+                    max_target = max_target.max(w);
+                } else {
+                    // Unreachable short of every replica being down at
+                    // restart; account it lost, never drop it silently.
+                    self.forfeit_recovered(w, e.tenant);
+                }
+            }
+        }
+        self.max_target.fetch_max(max_target, Ordering::AcqRel);
+        Ok(restored)
+    }
+
+    /// Charge one un-re-parkable recovered admission as lost, in the
+    /// engine's books and the WAL's materialized state.
+    fn forfeit_recovered(&self, window: u64, tenant: u64) {
+        self.fault.note_lost();
+        if let Some(rec) = self.registry.lookup_any(tenant) {
+            rec.counters.lost.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(wal) = &self.wal {
+            wal.forfeit_open(window, tenant);
         }
     }
 }
@@ -649,6 +868,7 @@ impl SubmitterHandle {
                     let w = window + k;
                     tenant_rec.counters.overflow.fetch_add(1, Ordering::Relaxed);
                     engine.stats.overflow.fetch_add(1, Ordering::Relaxed);
+                    engine.wal_admit(w, tenant, lbn, false, false);
                     engine.max_target.fetch_max(w, Ordering::AcqRel);
                     engine.pump();
                     return SubmitOutcome::Overflow { window: w };
@@ -663,6 +883,7 @@ impl SubmitterHandle {
             Some(0) => {
                 c.admitted.fetch_add(1, Ordering::Relaxed);
                 engine.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                engine.wal_admit(window, tenant, lbn, true, false);
                 SubmitOutcome::Admitted { window }
             }
             Some(k) => {
@@ -671,6 +892,7 @@ impl SubmitterHandle {
                 c.delay_ns.fetch_add(k * t_ns, Ordering::Relaxed);
                 engine.stats.admitted.fetch_add(1, Ordering::Relaxed);
                 engine.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                engine.wal_admit(window + k, tenant, lbn, true, true);
                 SubmitOutcome::Delayed {
                     window: window + k,
                     delayed_windows: k,
@@ -728,6 +950,7 @@ impl SubmitterHandle {
         }
         tenant_rec.counters.overflow.fetch_add(1, Ordering::Relaxed);
         engine.stats.overflow.fetch_add(1, Ordering::Relaxed);
+        engine.wal_admit(window, tenant_rec.id, req.lbn, false, false);
         engine.max_target.fetch_max(window, Ordering::AcqRel);
         engine.pump();
         Some(SubmitOutcome::Overflow { window })
@@ -1033,6 +1256,7 @@ fn hedge_and_settle(
                     t.counters.violations.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            engine.wal_settle(item, SettleKind::HedgeWin);
         }
     }
 }
@@ -1059,6 +1283,7 @@ fn settle_primary(engine: &Engine, item: &WorkItem, finish: u64) {
             t.counters.violations.fetch_add(1, Ordering::Relaxed);
         }
     }
+    engine.wal_settle(item, SettleKind::Served);
 }
 
 #[cfg(test)]

@@ -854,6 +854,12 @@ impl FaultPlane {
         self.lost.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Seed the lost counter from a recovered WAL state so the restored
+    /// engine's conservation audit balances from its first snapshot.
+    pub(crate) fn restore_lost(&self, n: u64) {
+        self.lost.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_unavailable_reject(&self) {
         self.unavailable_rejects.fetch_add(1, Ordering::Relaxed);
     }

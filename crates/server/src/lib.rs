@@ -40,9 +40,10 @@ pub mod fault;
 pub mod metrics;
 pub mod registry;
 mod sync;
+pub mod wal;
 mod window;
 
-pub use config::{AssignmentMode, ServerConfig, WINDOW_RING};
+pub use config::{AssignmentMode, ServerConfig, WalConfig, WINDOW_RING};
 pub use engine::{QosServer, RejectReason, SubmitOutcome, SubmitterHandle};
 pub use fault::{
     DeviceHealth, FaultEvent, FaultKind, FaultPlane, FaultSchedule, FaultSpecError, HealthParams,
@@ -51,3 +52,4 @@ pub use fault::{
 pub use fqos_core::OverloadPolicy;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, TenantCounters, TenantSnapshot};
 pub use registry::{RegisterError, Tenant, TenantRegistry};
+pub use wal::CRASH_POINTS;

@@ -111,20 +111,27 @@ pub struct TenantCounters {
     /// Requests fully served.
     pub served: AtomicU64,
     /// Requests completed by a winning hedge instead of their primary
-    /// dispatch. `served + hedge_wins` is the tenant's completed total, so
-    /// per-tenant in-flight is `admitted + overflow − served − hedge_wins`.
+    /// dispatch. `served + hedge_wins + lost` is the tenant's settled
+    /// total, so per-tenant in-flight is `admitted + overflow − served −
+    /// hedge_wins − lost`.
     pub hedge_wins: AtomicU64,
+    /// Admissions lost to faults (every replica down at seal) or stranded
+    /// by a crash between seal and settlement — the tenant's share of the
+    /// global `fault_lost` term.
+    pub lost: AtomicU64,
     /// Total admission delay (arrival window → admitted window) in ns.
     pub delay_ns: AtomicU64,
 }
 
 impl TenantCounters {
     /// Admissions not yet settled against these counters:
-    /// `admitted + overflow − served − hedge_wins`.
+    /// `admitted + overflow − served − hedge_wins − lost`.
     pub fn in_flight(&self) -> u64 {
         (self.admitted.load(Ordering::Relaxed) + self.overflow.load(Ordering::Relaxed))
             .saturating_sub(
-                self.served.load(Ordering::Relaxed) + self.hedge_wins.load(Ordering::Relaxed),
+                self.served.load(Ordering::Relaxed)
+                    + self.hedge_wins.load(Ordering::Relaxed)
+                    + self.lost.load(Ordering::Relaxed),
             )
     }
 }
@@ -154,15 +161,17 @@ pub struct TenantSnapshot {
     pub served: u64,
     /// See [`TenantCounters::hedge_wins`].
     pub hedge_wins: u64,
+    /// See [`TenantCounters::lost`].
+    pub lost: u64,
 }
 
 impl TenantSnapshot {
     /// Admissions not yet settled: `admitted + overflow − served −
-    /// hedge_wins`. For a departed tenant this is the migrated-in-flight
-    /// contribution to the cluster conservation law (0 once every window
-    /// the tenant touched has sealed and drained).
+    /// hedge_wins − lost`. For a departed tenant this is the
+    /// migrated-in-flight contribution to the cluster conservation law (0
+    /// once every window the tenant touched has sealed and drained).
     pub fn in_flight(&self) -> u64 {
-        (self.admitted + self.overflow).saturating_sub(self.served + self.hedge_wins)
+        (self.admitted + self.overflow).saturating_sub(self.served + self.hedge_wins + self.lost)
     }
 }
 
@@ -244,6 +253,29 @@ pub struct MetricsSnapshot {
     pub max_latency_ns: u64,
     /// Served-request latency: exact mean.
     pub mean_latency_ns: f64,
+    /// WAL records appended this epoch (0 when durability is off).
+    pub wal_records: u64,
+    /// WAL fsync batches flushed this epoch.
+    pub wal_fsyncs: u64,
+    /// WAL snapshot + log-truncation compactions this epoch.
+    pub wal_compactions: u64,
+    /// WAL records violating durable ordering (settle without a sealed
+    /// durable admission, admit into a sealed window, …). Invariantly 0;
+    /// asserted by the model suite on every schedule.
+    pub wal_misordered: u64,
+    /// WAL backing I/O failures (sticky; the engine keeps serving with
+    /// durability degraded).
+    pub wal_io_errors: u64,
+    /// Durable admissions restored into live windows by the last
+    /// [`crate::QosServer::recover`] (0 on a fresh start).
+    pub recovered_admissions: u64,
+    /// Sealed-but-unsettled admissions the last recovery charged to
+    /// `fault_lost` (dispatches the crash stranded).
+    pub recovered_lost: u64,
+    /// Log records replayed by the last recovery.
+    pub wal_replay_records: u64,
+    /// Wall-clock duration of the last recovery replay, nanoseconds.
+    pub wal_replay_duration_ns: u64,
     /// Per-tenant breakdown, sorted by tenant id.
     pub tenants: Vec<TenantSnapshot>,
 }

@@ -9,6 +9,7 @@
 use crate::metrics::TenantCounters;
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::{Arc, Mutex, RwLock};
+use crate::wal::Wal;
 use fqos_core::{AppAdmission, OverloadPolicy};
 use std::collections::HashMap;
 
@@ -88,16 +89,27 @@ impl std::error::Error for RegisterError {}
 pub struct TenantRegistry {
     admission: Mutex<AppAdmission>,
     shards: Vec<RwLock<HashMap<u64, Arc<Tenant>>>>,
+    /// Write-ahead log for register/deregister durability (None = off).
+    wal: Option<Arc<Wal>>,
 }
 
 impl TenantRegistry {
     /// Registry admitting aggregate reservations up to `limit` = `S(M)`,
     /// striped over `shards` locks.
     pub fn new(limit: usize, shards: usize) -> Self {
+        Self::new_with_wal(limit, shards, None)
+    }
+
+    /// Registry with write-ahead durability: registrations and departures
+    /// are logged (force-synced) under the admission lock, before the
+    /// record is published to its shard — so no durable admission record
+    /// can ever precede its tenant's durable registration.
+    pub(crate) fn new_with_wal(limit: usize, shards: usize, wal: Option<Arc<Wal>>) -> Self {
         assert!(shards > 0);
         TenantRegistry {
             admission: Mutex::new(AppAdmission::new(limit)),
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            wal,
         }
     }
 
@@ -139,6 +151,11 @@ impl TenantRegistry {
                 headroom: admission.headroom(),
             });
         }
+        // Durable before the record is visible to submitters: an Admit
+        // record can then never precede its Register in the log.
+        if let Some(wal) = &self.wal {
+            wal.log_register(tenant, reserved, policy);
+        }
         let record = Arc::new(Tenant {
             id: tenant,
             reserved,
@@ -167,8 +184,64 @@ impl TenantRegistry {
         if let Some(t) = &departed {
             t.live.store(false, Ordering::Release);
             admission.deregister(tenant);
+            if let Some(wal) = &self.wal {
+                wal.log_deregister(tenant);
+            }
         }
         departed
+    }
+
+    /// Recovery path: re-install a tenant from a replayed WAL state with
+    /// its durable counters preset, without logging (the records that
+    /// produced this state are already in the log). Live tenants re-enter
+    /// `S(M)` admission; departed records are installed for settlement
+    /// resolution only (their reservation was already freed).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore_record(
+        &self,
+        tenant: u64,
+        reserved: usize,
+        policy: OverloadPolicy,
+        live: bool,
+        counts: &crate::wal::TenantState,
+    ) -> Result<(), RegisterError> {
+        let mut admission = self.admission.lock();
+        if live && !admission.register(tenant, reserved) {
+            return Err(RegisterError::OverCapacity {
+                requested: reserved,
+                headroom: admission.headroom(),
+            });
+        }
+        let record = Arc::new(Tenant {
+            id: tenant,
+            reserved,
+            policy,
+            counters: TenantCounters::default(),
+            live: AtomicBool::new(live),
+        });
+        record
+            .counters
+            .admitted
+            .store(counts.admitted, Ordering::Relaxed);
+        record
+            .counters
+            .overflow
+            .store(counts.overflow, Ordering::Relaxed);
+        record
+            .counters
+            .delayed
+            .store(counts.delayed, Ordering::Relaxed);
+        record
+            .counters
+            .served
+            .store(counts.served, Ordering::Relaxed);
+        record
+            .counters
+            .hedge_wins
+            .store(counts.hedge_wins, Ordering::Relaxed);
+        record.counters.lost.store(counts.lost, Ordering::Relaxed);
+        self.shard(tenant).write().insert(tenant, record);
+        Ok(())
     }
 
     /// Hot-path lookup: live tenants only (the admission path must not see

@@ -1,0 +1,1325 @@
+//! Write-ahead durability for the serving engine.
+//!
+//! Every state transition the conservation law depends on — tenant
+//! register/deregister, window admissions, window seals, and completion
+//! settlement — is framed into an append-only, CRC-checked record log
+//! before the engine acknowledges it. [`crate::QosServer::recover`]
+//! replays the log (plus the latest compaction snapshot) into a state
+//! where window reservations, the in-flight ledger and per-tenant
+//! counters are mutually consistent and
+//! `served + fault_lost + hedges_cancelled == admitted_total` holds over
+//! the durable admissions.
+//!
+//! # Record framing and the torn-tail rule
+//!
+//! Each record is `[lsn u64][len u32][crc32 u32][payload]`, little-endian,
+//! with the CRC taken over `lsn || payload`. LSNs are strictly increasing
+//! within the file. Replay stops at the first frame that is short, fails
+//! its CRC, has a non-monotonic LSN or does not decode — the partial tail
+//! a crash mid-write leaves behind — and truncates the file there. A torn
+//! record was by construction never acknowledged (acknowledgement happens
+//! after the buffered frame reaches the log), so discarding it never
+//! loses an acked admission.
+//!
+//! # Fsync contract
+//!
+//! Records accumulate in a userspace buffer and reach the file (followed
+//! by one `fdatasync`) every `fsync_batch` records, or immediately for
+//! the cold-path records (register/deregister/seal) and on
+//! [`Wal::sync_now`]. With `fsync_batch = 1` every admission is durable
+//! before `submit` returns; larger batches amortize the fsync at the cost
+//! of losing at most `fsync_batch − 1` *unacknowledged-durability*
+//! admissions on a crash — recovery still never resurrects a record that
+//! did not reach the log.
+//!
+//! # Snapshot + compaction state machine
+//!
+//! Every `snapshot_interval` sealed windows the materialized [`WalState`]
+//! is serialized to `wal.snapshot.tmp`, fsynced, renamed over
+//! `wal.snapshot` (the atomic commit point), and only then is the log
+//! truncated. A crash between rename and truncate leaves records the
+//! snapshot already covers in the log; replay skips them by LSN, so the
+//! sequence is idempotent. Restart cost is therefore bounded by the
+//! records since the last compaction — the active window horizon — not by
+//! history length.
+//!
+//! # Crash points
+//!
+//! `FQOS_CRASH_POINT=name[:N]` aborts the process at the `N`-th hit of a
+//! named point ([`CRASH_POINTS`]), giving the crash suite deterministic
+//! kill sites: pre-fsync append loss, a torn tail, a durable-but-unacked
+//! admission, a sealed-but-undispatched window, and a half-finished
+//! compaction swap.
+//!
+//! Lock class `engine.wal` (leaf): the internal mutex is acquired under
+//! `engine.dispatch` (seal/compaction) and `registry.admission`
+//! (register/deregister) and never holds anything else.
+
+use crate::config::WalConfig;
+use crate::sync::Mutex;
+use fqos_core::OverloadPolicy;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Largest payload a frame may carry; anything bigger is corruption.
+const MAX_PAYLOAD: usize = 256;
+/// Frame header: lsn (8) + len (4) + crc (4).
+const FRAME_HEADER: usize = 16;
+/// Snapshot file magic (8 bytes, versioned).
+const SNAP_MAGIC: &[u8; 8] = b"FQWSNAP1";
+
+/// The deterministic crash points the injection harness recognizes, in
+/// log order of the operation they interrupt.
+pub const CRASH_POINTS: &[&str] = &[
+    "wal-append-pre-fsync",
+    "wal-append-torn",
+    "post-admit-pre-ack",
+    "seal-mid-batch",
+    "compact-mid-swap",
+];
+
+static CRASH_SPEC: OnceLock<Option<(String, u64)>> = OnceLock::new();
+static CRASH_HITS: AtomicU64 = AtomicU64::new(0);
+
+fn crash_spec() -> &'static Option<(String, u64)> {
+    CRASH_SPEC.get_or_init(|| {
+        let spec = std::env::var("FQOS_CRASH_POINT").ok()?;
+        let spec = spec.trim().to_string();
+        if spec.is_empty() {
+            return None;
+        }
+        match spec.split_once(':') {
+            Some((name, nth)) => {
+                let nth: u64 = nth.trim().parse().unwrap_or(1);
+                Some((name.to_string(), nth.max(1)))
+            }
+            None => Some((spec, 1)),
+        }
+    })
+}
+
+/// True exactly on the armed occurrence of `point`
+/// (`FQOS_CRASH_POINT=point[:N]`, `N`-th hit, 1-based). Counts every hit
+/// of the armed point so `:N` lands mid-trace deterministically.
+fn crash_armed(point: &str) -> bool {
+    match crash_spec() {
+        Some((name, nth)) if name == point => {
+            CRASH_HITS.fetch_add(1, Ordering::Relaxed) + 1 == *nth
+        }
+        _ => false,
+    }
+}
+
+/// Abort the process (no unwinding, no destructors — a real crash) when
+/// `point` is armed. No-op in production (env unset).
+pub(crate) fn crash_point(point: &str) {
+    if crash_armed(point) {
+        std::process::abort();
+    }
+}
+
+/// How a durable admission left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SettleKind {
+    /// Served by its primary dispatch.
+    Served,
+    /// Completed by a winning hedge (counts `hedges_won` and, via the
+    /// exactly-once invariant, `hedges_cancelled`).
+    HedgeWin,
+    /// Unservable: every replica down at seal, or stranded by a crash
+    /// between seal and settlement (charged to `fault_lost`).
+    Lost,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WalRecord {
+    Register {
+        tenant: u64,
+        reserved: u64,
+        policy: OverloadPolicy,
+    },
+    Deregister {
+        tenant: u64,
+    },
+    Admit {
+        window: u64,
+        tenant: u64,
+        lbn: u64,
+        guaranteed: bool,
+        delayed: bool,
+    },
+    Seal {
+        window: u64,
+    },
+    Settle {
+        window: u64,
+        tenant: u64,
+        kind: SettleKind,
+    },
+}
+
+/// One admission of an as-yet-unsealed window, replayable into a fresh
+/// window ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct OpenEntry {
+    pub tenant: u64,
+    pub lbn: u64,
+    pub guaranteed: bool,
+    pub delayed: bool,
+}
+
+/// Per-tenant durable counters (the law-relevant subset of
+/// [`crate::metrics::TenantCounters`]; rejected/violations/delay are
+/// telemetry and deliberately non-durable).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct TenantState {
+    pub reserved: u64,
+    pub policy: u8,
+    pub live: bool,
+    pub admitted: u64,
+    pub overflow: u64,
+    pub delayed: u64,
+    pub served: u64,
+    pub hedge_wins: u64,
+    pub lost: u64,
+}
+
+/// The state a full replay of the log materializes: every counter the
+/// conservation law touches, the admissions of still-open windows, and
+/// the unsettled residue of sealed windows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct WalState {
+    /// Highest LSN folded into this state (0 = none).
+    pub last_lsn: u64,
+    /// All windows `< sealed_through` carry a durable seal record.
+    pub sealed_through: u64,
+    pub admitted: u64,
+    pub overflow: u64,
+    pub delayed: u64,
+    pub served: u64,
+    pub hedges_won: u64,
+    pub lost: u64,
+    pub tenants: BTreeMap<u64, TenantState>,
+    /// Admissions of windows without a seal record, in admission order.
+    pub open: BTreeMap<u64, Vec<OpenEntry>>,
+    /// Sealed windows' unsettled admissions: window → tenant → count.
+    /// Non-empty at recovery = dispatches a crash stranded (crash-lost).
+    pub pending: BTreeMap<u64, BTreeMap<u64, u64>>,
+    /// Records that violated the durable-order contract (a settle without
+    /// a durable sealed admission, an admit into a sealed window, …).
+    /// Invariantly zero; the model suite asserts it on every schedule.
+    pub misordered: u64,
+}
+
+impl WalState {
+    fn apply_record(&mut self, rec: &WalRecord) {
+        match *rec {
+            WalRecord::Register {
+                tenant,
+                reserved,
+                policy,
+            } => {
+                // A re-registered id is a fresh serving epoch: counters
+                // restart (matching the registry's semantics).
+                self.tenants.insert(
+                    tenant,
+                    TenantState {
+                        reserved,
+                        policy: encode_policy(policy),
+                        live: true,
+                        ..TenantState::default()
+                    },
+                );
+            }
+            WalRecord::Deregister { tenant } => match self.tenants.get_mut(&tenant) {
+                Some(t) => t.live = false,
+                None => self.misordered += 1,
+            },
+            WalRecord::Admit {
+                window,
+                tenant,
+                lbn,
+                guaranteed,
+                delayed,
+            } => {
+                let Some(t) = self.tenants.get_mut(&tenant) else {
+                    // An admit must follow its tenant's durable register.
+                    self.misordered += 1;
+                    return;
+                };
+                if guaranteed {
+                    t.admitted += 1;
+                    self.admitted += 1;
+                    if delayed {
+                        t.delayed += 1;
+                        self.delayed += 1;
+                    }
+                } else {
+                    t.overflow += 1;
+                    self.overflow += 1;
+                }
+                if window < self.sealed_through {
+                    // The watermark protocol orders every admit before its
+                    // window's seal; seeing the reverse is a durability
+                    // ordering bug.
+                    self.misordered += 1;
+                }
+                self.open.entry(window).or_default().push(OpenEntry {
+                    tenant,
+                    lbn,
+                    guaranteed,
+                    delayed,
+                });
+            }
+            WalRecord::Seal { window } => {
+                if window < self.sealed_through {
+                    self.misordered += 1; // double seal
+                }
+                self.sealed_through = self.sealed_through.max(window + 1);
+                if let Some(entries) = self.open.remove(&window) {
+                    let per_tenant = self.pending.entry(window).or_default();
+                    for e in entries {
+                        *per_tenant.entry(e.tenant).or_insert(0) += 1;
+                    }
+                }
+            }
+            WalRecord::Settle {
+                window,
+                tenant,
+                kind,
+            } => {
+                // A settlement is only legal against a durable, sealed,
+                // not-yet-exhausted admission of (window, tenant).
+                let matched = match self.pending.get_mut(&window) {
+                    Some(per_tenant) => match per_tenant.get_mut(&tenant) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            if *n == 0 {
+                                per_tenant.remove(&tenant);
+                            }
+                            true
+                        }
+                        _ => false,
+                    },
+                    None => false,
+                };
+                if !matched {
+                    self.misordered += 1;
+                    return;
+                }
+                if self
+                    .pending
+                    .get(&window)
+                    .is_some_and(std::collections::BTreeMap::is_empty)
+                {
+                    self.pending.remove(&window);
+                }
+                let Some(t) = self.tenants.get_mut(&tenant) else {
+                    self.misordered += 1;
+                    return;
+                };
+                match kind {
+                    SettleKind::Served => {
+                        t.served += 1;
+                        self.served += 1;
+                    }
+                    SettleKind::HedgeWin => {
+                        t.hedge_wins += 1;
+                        self.hedges_won += 1;
+                    }
+                    SettleKind::Lost => {
+                        t.lost += 1;
+                        self.lost += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admissions durable in this state (guaranteed + overflow).
+    #[cfg(test)]
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted + self.overflow
+    }
+}
+
+fn encode_policy(p: OverloadPolicy) -> u8 {
+    match p {
+        OverloadPolicy::Delay => 0,
+        OverloadPolicy::Reject => 1,
+    }
+}
+
+pub(crate) fn decode_policy(p: u8) -> OverloadPolicy {
+    if p == 1 {
+        OverloadPolicy::Reject
+    } else {
+        OverloadPolicy::Delay
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — bitwise, dependency
+/// free; the log is fsync-bound, not checksum-bound.
+fn crc32(seed: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !seed;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn frame_crc(lsn: u64, payload: &[u8]) -> u32 {
+    crc32(crc32(0, &lsn.to_le_bytes()), payload)
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_payload(rec: &WalRecord, out: &mut Vec<u8>) {
+    match *rec {
+        WalRecord::Register {
+            tenant,
+            reserved,
+            policy,
+        } => {
+            out.push(1);
+            put_u64(out, tenant);
+            put_u64(out, reserved);
+            out.push(encode_policy(policy));
+        }
+        WalRecord::Deregister { tenant } => {
+            out.push(2);
+            put_u64(out, tenant);
+        }
+        WalRecord::Admit {
+            window,
+            tenant,
+            lbn,
+            guaranteed,
+            delayed,
+        } => {
+            out.push(3);
+            put_u64(out, window);
+            put_u64(out, tenant);
+            put_u64(out, lbn);
+            out.push(u8::from(guaranteed) | u8::from(delayed) << 1);
+        }
+        WalRecord::Seal { window } => {
+            out.push(4);
+            put_u64(out, window);
+        }
+        WalRecord::Settle {
+            window,
+            tenant,
+            kind,
+        } => {
+            out.push(5);
+            put_u64(out, window);
+            put_u64(out, tenant);
+            out.push(match kind {
+                SettleKind::Served => 0,
+                SettleKind::HedgeWin => 1,
+                SettleKind::Lost => 2,
+            });
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader for payload and snapshot decoding.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, off: 0 }
+    }
+
+    fn take_u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.off)?;
+        self.off += 1;
+        Some(b)
+    }
+
+    fn take_u64(&mut self) -> Option<u64> {
+        let end = self.off.checked_add(8)?;
+        let chunk = self.bytes.get(self.off..end)?;
+        self.off = end;
+        Some(u64::from_le_bytes(chunk.try_into().ok()?))
+    }
+
+    fn exhausted(&self) -> bool {
+        self.off == self.bytes.len()
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut r = Reader::new(payload);
+    let rec = match r.take_u8()? {
+        1 => WalRecord::Register {
+            tenant: r.take_u64()?,
+            reserved: r.take_u64()?,
+            policy: match r.take_u8()? {
+                0 => OverloadPolicy::Delay,
+                1 => OverloadPolicy::Reject,
+                _ => return None,
+            },
+        },
+        2 => WalRecord::Deregister {
+            tenant: r.take_u64()?,
+        },
+        3 => {
+            let window = r.take_u64()?;
+            let tenant = r.take_u64()?;
+            let lbn = r.take_u64()?;
+            let flags = r.take_u8()?;
+            if flags > 3 {
+                return None;
+            }
+            WalRecord::Admit {
+                window,
+                tenant,
+                lbn,
+                guaranteed: flags & 1 == 1,
+                delayed: flags & 2 == 2,
+            }
+        }
+        4 => WalRecord::Seal {
+            window: r.take_u64()?,
+        },
+        5 => WalRecord::Settle {
+            window: r.take_u64()?,
+            tenant: r.take_u64()?,
+            kind: match r.take_u8()? {
+                0 => SettleKind::Served,
+                1 => SettleKind::HedgeWin,
+                2 => SettleKind::Lost,
+                _ => return None,
+            },
+        },
+        _ => return None,
+    };
+    r.exhausted().then_some(rec)
+}
+
+fn encode_state(state: &WalState) -> Vec<u8> {
+    let mut body = Vec::with_capacity(256);
+    put_u64(&mut body, state.last_lsn);
+    put_u64(&mut body, state.sealed_through);
+    put_u64(&mut body, state.admitted);
+    put_u64(&mut body, state.overflow);
+    put_u64(&mut body, state.delayed);
+    put_u64(&mut body, state.served);
+    put_u64(&mut body, state.hedges_won);
+    put_u64(&mut body, state.lost);
+    put_u64(&mut body, state.misordered);
+    put_u64(&mut body, state.tenants.len() as u64);
+    for (&id, t) in &state.tenants {
+        put_u64(&mut body, id);
+        put_u64(&mut body, t.reserved);
+        body.push(t.policy);
+        body.push(u8::from(t.live));
+        for v in [
+            t.admitted,
+            t.overflow,
+            t.delayed,
+            t.served,
+            t.hedge_wins,
+            t.lost,
+        ] {
+            put_u64(&mut body, v);
+        }
+    }
+    put_u64(&mut body, state.open.len() as u64);
+    for (&w, entries) in &state.open {
+        put_u64(&mut body, w);
+        put_u64(&mut body, entries.len() as u64);
+        for e in entries {
+            put_u64(&mut body, e.tenant);
+            put_u64(&mut body, e.lbn);
+            body.push(u8::from(e.guaranteed) | u8::from(e.delayed) << 1);
+        }
+    }
+    put_u64(&mut body, state.pending.len() as u64);
+    for (&w, per_tenant) in &state.pending {
+        put_u64(&mut body, w);
+        put_u64(&mut body, per_tenant.len() as u64);
+        for (&t, &n) in per_tenant {
+            put_u64(&mut body, t);
+            put_u64(&mut body, n);
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(SNAP_MAGIC);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(0, &body).to_le_bytes());
+    out
+}
+
+fn decode_state(bytes: &[u8]) -> Option<WalState> {
+    let body = bytes.strip_prefix(SNAP_MAGIC.as_slice())?;
+    if body.len() < 4 {
+        return None;
+    }
+    let (body, crc_bytes) = body.split_at(body.len() - 4);
+    let expect = u32::from_le_bytes(crc_bytes.try_into().ok()?);
+    if crc32(0, body) != expect {
+        return None;
+    }
+    let mut r = Reader::new(body);
+    let mut state = WalState {
+        last_lsn: r.take_u64()?,
+        sealed_through: r.take_u64()?,
+        admitted: r.take_u64()?,
+        overflow: r.take_u64()?,
+        delayed: r.take_u64()?,
+        served: r.take_u64()?,
+        hedges_won: r.take_u64()?,
+        lost: r.take_u64()?,
+        misordered: r.take_u64()?,
+        ..WalState::default()
+    };
+    for _ in 0..r.take_u64()? {
+        let id = r.take_u64()?;
+        let reserved = r.take_u64()?;
+        let policy = r.take_u8()?;
+        let live = r.take_u8()? == 1;
+        let mut vals = [0u64; 6];
+        for v in &mut vals {
+            *v = r.take_u64()?;
+        }
+        state.tenants.insert(
+            id,
+            TenantState {
+                reserved,
+                policy,
+                live,
+                admitted: vals[0],
+                overflow: vals[1],
+                delayed: vals[2],
+                served: vals[3],
+                hedge_wins: vals[4],
+                lost: vals[5],
+            },
+        );
+    }
+    for _ in 0..r.take_u64()? {
+        let w = r.take_u64()?;
+        let n = r.take_u64()?;
+        let mut entries = Vec::new();
+        for _ in 0..n {
+            let tenant = r.take_u64()?;
+            let lbn = r.take_u64()?;
+            let flags = r.take_u8()?;
+            entries.push(OpenEntry {
+                tenant,
+                lbn,
+                guaranteed: flags & 1 == 1,
+                delayed: flags & 2 == 2,
+            });
+        }
+        state.open.insert(w, entries);
+    }
+    for _ in 0..r.take_u64()? {
+        let w = r.take_u64()?;
+        let n = r.take_u64()?;
+        let mut per_tenant = BTreeMap::new();
+        for _ in 0..n {
+            let t = r.take_u64()?;
+            per_tenant.insert(t, r.take_u64()?);
+        }
+        state.pending.insert(w, per_tenant);
+    }
+    r.exhausted().then_some(state)
+}
+
+enum Backing {
+    File {
+        log: File,
+        dir: PathBuf,
+    },
+    /// In-memory log for unit and model-check tests: same framing and
+    /// ordering checks, no filesystem nondeterminism in the schedule
+    /// space.
+    Memory {
+        log: Vec<u8>,
+    },
+}
+
+struct WalInner {
+    backing: Backing,
+    /// Framed records not yet handed to the backing (lost on a crash —
+    /// this models the pre-fsync window; an OS page-cache write would
+    /// survive an abort and hide it).
+    buf: Vec<u8>,
+    /// Records currently in `buf`.
+    pending_records: u64,
+    next_lsn: u64,
+    state: WalState,
+    records: u64,
+    fsyncs: u64,
+    compactions: u64,
+    seals_since_compact: u64,
+    /// Backing I/O failures (sticky count). The engine keeps serving with
+    /// durability degraded rather than unwinding under a lock; the audit
+    /// surfaces the count.
+    io_errors: u64,
+}
+
+/// Live counter view for [`crate::MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WalCounters {
+    pub records: u64,
+    pub fsyncs: u64,
+    pub compactions: u64,
+    pub misordered: u64,
+    pub io_errors: u64,
+}
+
+/// What [`Wal::resume`] found on disk.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ReplayReport {
+    /// Log records folded into the state (excludes snapshot-covered ones).
+    pub records: u64,
+    /// A torn tail was discarded and the log truncated at the last whole
+    /// record.
+    pub torn: bool,
+    /// A compaction snapshot seeded the state.
+    pub snapshot: bool,
+}
+
+/// The write-ahead log: a mutex-serialized appender over a file (or
+/// in-memory) backing plus the continuously materialized [`WalState`].
+pub(crate) struct Wal {
+    wal: Mutex<WalInner>,
+    batch: u64,
+    snapshot_every: u64,
+}
+
+impl Wal {
+    /// Start a fresh log epoch, discarding any previous log/snapshot in
+    /// the directory (use [`Wal::resume`] to continue one).
+    pub fn create(cfg: &WalConfig) -> Result<Self, String> {
+        let backing = match &cfg.dir {
+            None => Backing::Memory { log: Vec::new() },
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("wal dir {}: {e}", dir.display()))?;
+                for stale in ["wal.snapshot", "wal.snapshot.tmp"] {
+                    let _ = std::fs::remove_file(dir.join(stale));
+                }
+                let log = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(dir.join("wal.log"))
+                    .map_err(|e| format!("wal log {}: {e}", dir.display()))?;
+                Backing::File {
+                    log,
+                    dir: dir.clone(),
+                }
+            }
+        };
+        Ok(Self::with_backing(cfg, backing, WalState::default(), 1))
+    }
+
+    /// Reopen an existing log directory: load the snapshot (if any),
+    /// replay the log tail, truncate a torn final record, and leave the
+    /// log positioned for appending.
+    pub fn resume(cfg: &WalConfig) -> Result<(Self, ReplayReport), String> {
+        let Some(dir) = &cfg.dir else {
+            // The memory backing persists nothing: resuming it is a fresh
+            // epoch by definition.
+            return Ok((Self::create(cfg)?, ReplayReport::default()));
+        };
+        std::fs::create_dir_all(dir).map_err(|e| format!("wal dir {}: {e}", dir.display()))?;
+        let mut report = ReplayReport::default();
+        let mut state = WalState::default();
+        let snap_path = dir.join("wal.snapshot");
+        if snap_path.exists() {
+            let bytes = std::fs::read(&snap_path)
+                .map_err(|e| format!("wal snapshot {}: {e}", snap_path.display()))?;
+            // The published snapshot is fsynced before its rename commits
+            // it, so it is either absent or whole; failing its CRC means
+            // real corruption, which recovery must surface, not mask.
+            state = decode_state(&bytes)
+                .ok_or_else(|| format!("corrupt WAL snapshot {}", snap_path.display()))?;
+            report.snapshot = true;
+        }
+        let mut log = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join("wal.log"))
+            .map_err(|e| format!("wal log {}: {e}", dir.display()))?;
+        let mut bytes = Vec::new();
+        log.read_to_end(&mut bytes)
+            .map_err(|e| format!("wal log read: {e}"))?;
+        let mut off = 0usize;
+        let mut prev_lsn = 0u64;
+        let mut max_lsn = state.last_lsn;
+        while off + FRAME_HEADER <= bytes.len() {
+            let lsn = u64::from_le_bytes(bytes[off..off + 8].try_into().map_err(|_| "frame")?);
+            let len = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().map_err(|_| "frame")?)
+                as usize;
+            let crc =
+                u32::from_le_bytes(bytes[off + 12..off + 16].try_into().map_err(|_| "frame")?);
+            if len == 0 || len > MAX_PAYLOAD || off + FRAME_HEADER + len > bytes.len() {
+                break; // short or absurd frame: torn tail
+            }
+            let payload = &bytes[off + FRAME_HEADER..off + FRAME_HEADER + len];
+            if frame_crc(lsn, payload) != crc || lsn <= prev_lsn {
+                break;
+            }
+            let Some(rec) = decode_payload(payload) else {
+                break;
+            };
+            prev_lsn = lsn;
+            off += FRAME_HEADER + len;
+            // Skip records the snapshot already covers (a crash between
+            // the snapshot rename and the log truncate leaves them here).
+            if lsn > state.last_lsn {
+                state.apply_record(&rec);
+                state.last_lsn = lsn;
+                report.records += 1;
+            }
+            max_lsn = max_lsn.max(lsn);
+        }
+        if off < bytes.len() {
+            report.torn = true;
+            log.set_len(off as u64)
+                .map_err(|e| format!("wal truncate: {e}"))?;
+        }
+        log.seek(SeekFrom::Start(off as u64))
+            .map_err(|e| format!("wal seek: {e}"))?;
+        let wal = Self::with_backing(
+            cfg,
+            Backing::File {
+                log,
+                dir: dir.clone(),
+            },
+            state,
+            max_lsn + 1,
+        );
+        Ok((wal, report))
+    }
+
+    fn with_backing(cfg: &WalConfig, backing: Backing, state: WalState, next_lsn: u64) -> Self {
+        Wal {
+            wal: Mutex::new(WalInner {
+                backing,
+                buf: Vec::new(),
+                pending_records: 0,
+                next_lsn,
+                state,
+                records: 0,
+                fsyncs: 0,
+                compactions: 0,
+                seals_since_compact: 0,
+                io_errors: 0,
+            }),
+            batch: cfg.fsync_batch.max(1),
+            snapshot_every: cfg.snapshot_interval.max(1),
+        }
+    }
+
+    fn push_record(&self, rec: &WalRecord, force_sync: bool, pre_fsync_point: bool) {
+        let mut g = self.wal.lock();
+        let lsn = g.next_lsn;
+        g.next_lsn += 1;
+        g.state.apply_record(rec);
+        g.state.last_lsn = lsn;
+        let mut payload = Vec::with_capacity(32);
+        encode_payload(rec, &mut payload);
+        let crc = frame_crc(lsn, &payload);
+        put_u64(&mut g.buf, lsn);
+        let len = payload.len() as u32;
+        g.buf.extend_from_slice(&len.to_le_bytes());
+        g.buf.extend_from_slice(&crc.to_le_bytes());
+        g.buf.extend_from_slice(&payload);
+        g.pending_records += 1;
+        g.records += 1;
+        if pre_fsync_point {
+            // The record exists only in the userspace buffer here: an
+            // abort loses it, exactly the pre-fsync crash window.
+            crash_point("wal-append-pre-fsync");
+        }
+        if (force_sync || g.pending_records >= self.batch) && flush_inner(&mut g).is_err() {
+            g.io_errors += 1;
+        }
+    }
+
+    /// Log a tenant registration (durable before the registry publishes
+    /// the record, so a durable admit can never precede its register).
+    pub fn log_register(&self, tenant: u64, reserved: usize, policy: OverloadPolicy) {
+        self.push_record(
+            &WalRecord::Register {
+                tenant,
+                reserved: reserved as u64,
+                policy,
+            },
+            true,
+            false,
+        );
+    }
+
+    /// Log a tenant departure (reservation freed; record drains).
+    pub fn log_deregister(&self, tenant: u64) {
+        self.push_record(&WalRecord::Deregister { tenant }, true, false);
+    }
+
+    /// Log one admission. Durability follows the fsync contract: with
+    /// `fsync_batch = 1` the record is on stable storage when this
+    /// returns.
+    pub fn log_admit(&self, window: u64, tenant: u64, lbn: u64, guaranteed: bool, delayed: bool) {
+        self.push_record(
+            &WalRecord::Admit {
+                window,
+                tenant,
+                lbn,
+                guaranteed,
+                delayed,
+            },
+            false,
+            true,
+        );
+    }
+
+    /// Log a window seal (force-synced: the seal is the boundary after
+    /// which an unsettled admission becomes crash-lost) and run the
+    /// compaction cadence.
+    pub fn log_seal(&self, window: u64) {
+        self.push_record(&WalRecord::Seal { window }, true, false);
+        let mut g = self.wal.lock();
+        g.seals_since_compact += 1;
+        if g.seals_since_compact >= self.snapshot_every {
+            g.seals_since_compact = 0;
+            if compact_inner(&mut g).is_err() {
+                g.io_errors += 1;
+            } else {
+                g.compactions += 1;
+            }
+        }
+    }
+
+    /// Log one settlement (batched; a settle is re-derivable as
+    /// crash-lost, so it does not need per-record durability).
+    pub fn log_settle(&self, window: u64, tenant: u64, kind: SettleKind) {
+        self.push_record(
+            &WalRecord::Settle {
+                window,
+                tenant,
+                kind,
+            },
+            false,
+            false,
+        );
+    }
+
+    /// Flush and fsync everything buffered.
+    pub fn sync_now(&self) {
+        let mut g = self.wal.lock();
+        if flush_inner(&mut g).is_err() {
+            g.io_errors += 1;
+        }
+    }
+
+    /// Force a snapshot + log truncation now (recovery calls this so the
+    /// next restart replays only post-recovery records).
+    pub fn compact(&self) {
+        let mut g = self.wal.lock();
+        g.seals_since_compact = 0;
+        if compact_inner(&mut g).is_err() {
+            g.io_errors += 1;
+        } else {
+            g.compactions += 1;
+        }
+    }
+
+    /// Convert every sealed-but-unsettled admission into a durable-state
+    /// loss (the dispatches a crash stranded). Returns how many. Called
+    /// once by recovery, after replay and before the engine restores;
+    /// idempotent across repeated recoveries because the resolution
+    /// re-derives from the same pending set.
+    pub fn resolve_crash_losses(&self) -> u64 {
+        let mut g = self.wal.lock();
+        let pending = std::mem::take(&mut g.state.pending);
+        let mut lost = 0u64;
+        for per_tenant in pending.into_values() {
+            for (tenant, n) in per_tenant {
+                lost += n;
+                g.state.lost += n;
+                if let Some(t) = g.state.tenants.get_mut(&tenant) {
+                    t.lost += n;
+                }
+            }
+        }
+        lost
+    }
+
+    /// Drop one open-window admission that could not be re-parked at
+    /// recovery and account it lost, keeping the materialized state in
+    /// step with the engine's books.
+    pub fn forfeit_open(&self, window: u64, tenant: u64) {
+        let mut g = self.wal.lock();
+        let state = &mut g.state;
+        let mut hit = false;
+        let mut emptied = false;
+        if let Some(entries) = state.open.get_mut(&window) {
+            if let Some(i) = entries.iter().position(|e| e.tenant == tenant) {
+                entries.remove(i);
+                hit = true;
+            }
+            emptied = entries.is_empty();
+        }
+        if hit {
+            state.lost += 1;
+            if let Some(t) = state.tenants.get_mut(&tenant) {
+                t.lost += 1;
+            }
+        }
+        if emptied {
+            state.open.remove(&window);
+        }
+    }
+
+    /// Clone of the materialized state (recovery seed; tests).
+    pub fn state_snapshot(&self) -> WalState {
+        self.wal.lock().state.clone()
+    }
+
+    /// Live counters for the metrics snapshot.
+    pub fn wal_counters(&self) -> WalCounters {
+        let g = self.wal.lock();
+        WalCounters {
+            records: g.records,
+            fsyncs: g.fsyncs,
+            compactions: g.compactions,
+            misordered: g.state.misordered,
+            io_errors: g.io_errors,
+        }
+    }
+}
+
+fn flush_inner(inner: &mut WalInner) -> std::io::Result<()> {
+    if inner.buf.is_empty() {
+        return Ok(());
+    }
+    if crash_armed("wal-append-torn") {
+        // Persist all but the tail 6 bytes — cutting inside the final
+        // record's frame — then die: recovery must discard exactly the
+        // torn record and keep every whole one before it.
+        let cut = inner.buf.len().saturating_sub(6);
+        if let Backing::File { log, .. } = &mut inner.backing {
+            let _ = log.write_all(&inner.buf[..cut]);
+            let _ = log.sync_data();
+        }
+        std::process::abort();
+    }
+    match &mut inner.backing {
+        Backing::File { log, .. } => {
+            log.write_all(&inner.buf)?;
+            log.sync_data()?;
+        }
+        Backing::Memory { log } => log.extend_from_slice(&inner.buf),
+    }
+    inner.buf.clear();
+    inner.pending_records = 0;
+    inner.fsyncs += 1;
+    Ok(())
+}
+
+fn compact_inner(inner: &mut WalInner) -> std::io::Result<()> {
+    flush_inner(inner)?;
+    let body = encode_state(&inner.state);
+    match &mut inner.backing {
+        Backing::Memory { log } => {
+            // The materialized state *is* the snapshot; the log bytes are
+            // now redundant.
+            log.clear();
+            Ok(())
+        }
+        Backing::File { log, dir } => {
+            let tmp = dir.join("wal.snapshot.tmp");
+            let snap = dir.join("wal.snapshot");
+            {
+                let mut f = File::create(&tmp)?;
+                f.write_all(&body)?;
+                f.sync_data()?;
+            }
+            // The rename is the commit point: before it the old snapshot
+            // (or none) plus the full log recover the same state; after
+            // it the new snapshot subsumes the log by LSN.
+            std::fs::rename(&tmp, &snap)?;
+            if let Ok(d) = File::open(dir.as_path()) {
+                let _ = d.sync_all();
+            }
+            crash_point("compact-mid-swap");
+            log.set_len(0)?;
+            log.seek(SeekFrom::Start(0))?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_cfg() -> WalConfig {
+        WalConfig {
+            dir: None,
+            fsync_batch: 1,
+            snapshot_interval: 64,
+        }
+    }
+
+    fn dir_cfg(dir: &std::path::Path, batch: u64) -> WalConfig {
+        WalConfig {
+            dir: Some(dir.to_path_buf()),
+            fsync_batch: batch,
+            snapshot_interval: 64,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fqos-wal-{tag}-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn crc32_check_vector() {
+        // CRC-32/ISO-HDLC of "123456789".
+        assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn records_round_trip_through_the_payload_codec() {
+        let records = [
+            WalRecord::Register {
+                tenant: 7,
+                reserved: 3,
+                policy: OverloadPolicy::Reject,
+            },
+            WalRecord::Deregister { tenant: 7 },
+            WalRecord::Admit {
+                window: 41,
+                tenant: 7,
+                lbn: 123,
+                guaranteed: true,
+                delayed: true,
+            },
+            WalRecord::Seal { window: 41 },
+            WalRecord::Settle {
+                window: 41,
+                tenant: 7,
+                kind: SettleKind::HedgeWin,
+            },
+        ];
+        for rec in records {
+            let mut payload = Vec::new();
+            encode_payload(&rec, &mut payload);
+            assert_eq!(decode_payload(&payload), Some(rec), "payload {payload:?}");
+            // Truncated payloads never decode.
+            for cut in 0..payload.len() {
+                assert_eq!(decode_payload(&payload[..cut]), None, "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_snapshot_round_trips() {
+        let cfg = mem_cfg();
+        let wal = Wal::create(&cfg).unwrap();
+        wal.log_register(1, 2, OverloadPolicy::Delay);
+        wal.log_register(2, 1, OverloadPolicy::Reject);
+        wal.log_admit(0, 1, 5, true, false);
+        wal.log_admit(0, 2, 9, false, false);
+        wal.log_admit(1, 1, 6, true, true);
+        wal.log_seal(0);
+        wal.log_settle(0, 1, SettleKind::Served);
+        wal.log_deregister(2);
+        let state = wal.state_snapshot();
+        let decoded = decode_state(&encode_state(&state)).expect("decode");
+        assert_eq!(decoded, state);
+        assert_eq!(state.misordered, 0);
+        assert_eq!(state.admitted, 2);
+        assert_eq!(state.overflow, 1);
+        assert_eq!(state.sealed_through, 1);
+        assert_eq!(state.pending[&0][&2], 1, "unsettled overflow admission");
+        assert_eq!(state.open[&1].len(), 1);
+        // A flipped byte breaks the CRC.
+        let mut bytes = encode_state(&state);
+        bytes[10] ^= 0x40;
+        assert!(decode_state(&bytes).is_none());
+    }
+
+    #[test]
+    fn settle_without_durable_admission_is_misordered() {
+        let wal = Wal::create(&mem_cfg()).unwrap();
+        wal.log_register(1, 2, OverloadPolicy::Delay);
+        wal.log_settle(0, 1, SettleKind::Served); // nothing sealed
+        assert_eq!(wal.wal_counters().misordered, 1);
+        wal.log_admit(0, 1, 5, true, false);
+        wal.log_seal(0);
+        wal.log_settle(0, 1, SettleKind::Served);
+        wal.log_settle(0, 1, SettleKind::Served); // double settle
+        assert_eq!(wal.wal_counters().misordered, 2);
+        let s = wal.state_snapshot();
+        assert_eq!(s.served, 1);
+    }
+
+    #[test]
+    fn resume_replays_the_log_and_truncates_a_torn_tail() {
+        let dir = tmpdir("torn");
+        let cfg = dir_cfg(&dir, 1);
+        {
+            let wal = Wal::create(&cfg).unwrap();
+            wal.log_register(1, 2, OverloadPolicy::Delay);
+            wal.log_admit(0, 1, 11, true, false);
+            wal.log_admit(0, 1, 12, true, false);
+            wal.sync_now();
+        }
+        // Tear the final record: chop 5 bytes off the file.
+        let log_path = dir.join("wal.log");
+        let len = std::fs::metadata(&log_path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&log_path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+        let (wal, report) = Wal::resume(&cfg).unwrap();
+        assert!(report.torn);
+        assert!(!report.snapshot);
+        assert_eq!(report.records, 2, "register + first admit survive");
+        let s = wal.state_snapshot();
+        assert_eq!(s.admitted, 1, "torn admit discarded");
+        assert_eq!(s.open[&0].len(), 1);
+        assert_eq!(s.misordered, 0);
+        // The truncated log accepts new appends and replays cleanly.
+        wal.log_admit(0, 1, 13, true, false);
+        wal.sync_now();
+        drop(wal);
+        let (wal, report) = Wal::resume(&cfg).unwrap();
+        assert!(!report.torn);
+        assert_eq!(wal.state_snapshot().admitted, 2);
+        assert_eq!(report.records, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn buffered_records_are_lost_without_a_flush() {
+        let dir = tmpdir("batch");
+        let cfg = dir_cfg(&dir, 64); // large batch: nothing auto-flushes
+        {
+            let wal = Wal::create(&cfg).unwrap();
+            wal.log_register(1, 2, OverloadPolicy::Delay); // force-synced
+            wal.log_admit(0, 1, 11, true, false); // buffered only
+                                                  // Dropped without sync_now: the admit never reached the file,
+                                                  // exactly what an abort in the pre-fsync window loses.
+        }
+        let (wal, report) = Wal::resume(&cfg).unwrap();
+        assert_eq!(report.records, 1);
+        let s = wal.state_snapshot();
+        assert_eq!(s.admitted, 0);
+        assert!(s.tenants[&1].live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_snapshot_subsumes_the_log_by_lsn() {
+        let dir = tmpdir("compact");
+        let cfg = dir_cfg(&dir, 1);
+        {
+            let wal = Wal::create(&cfg).unwrap();
+            wal.log_register(1, 2, OverloadPolicy::Delay);
+            for w in 0..4u64 {
+                wal.log_admit(w, 1, w, true, false);
+                wal.log_seal(w);
+                wal.log_settle(w, 1, SettleKind::Served);
+            }
+            wal.compact();
+            assert_eq!(std::fs::metadata(dir.join("wal.log")).unwrap().len(), 0);
+            wal.log_admit(4, 1, 99, true, false);
+            wal.sync_now();
+        }
+        let (wal, report) = Wal::resume(&cfg).unwrap();
+        assert!(report.snapshot);
+        assert_eq!(report.records, 1, "only the post-compaction admit replays");
+        let s = wal.state_snapshot();
+        assert_eq!(s.admitted, 5);
+        assert_eq!(s.served, 4);
+        assert_eq!(s.sealed_through, 4);
+        assert_eq!(s.open[&4].len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_crash_losses_charges_sealed_unsettled_residue() {
+        let wal = Wal::create(&mem_cfg()).unwrap();
+        wal.log_register(1, 2, OverloadPolicy::Delay);
+        wal.log_admit(0, 1, 1, true, false);
+        wal.log_admit(0, 1, 2, true, false);
+        wal.log_seal(0);
+        wal.log_settle(0, 1, SettleKind::Served);
+        assert_eq!(wal.resolve_crash_losses(), 1);
+        let s = wal.state_snapshot();
+        assert_eq!(s.lost, 1);
+        assert_eq!(s.tenants[&1].lost, 1);
+        assert!(s.pending.is_empty());
+        assert_eq!(s.served + s.lost, s.admitted_total());
+        // Idempotent: nothing left to resolve.
+        assert_eq!(wal.resolve_crash_losses(), 0);
+    }
+
+    #[test]
+    fn forfeit_open_keeps_the_ledger_balanced() {
+        let wal = Wal::create(&mem_cfg()).unwrap();
+        wal.log_register(1, 2, OverloadPolicy::Delay);
+        wal.log_admit(3, 1, 1, true, false);
+        wal.forfeit_open(3, 1);
+        let s = wal.state_snapshot();
+        assert!(s.open.is_empty());
+        assert_eq!(s.lost, 1);
+        assert_eq!(s.served + s.lost, s.admitted_total());
+        // Forfeiting something absent is a no-op.
+        wal.forfeit_open(3, 1);
+        assert_eq!(wal.state_snapshot().lost, 1);
+    }
+
+    #[test]
+    fn reregistration_starts_a_fresh_epoch_in_state() {
+        let wal = Wal::create(&mem_cfg()).unwrap();
+        wal.log_register(1, 2, OverloadPolicy::Delay);
+        wal.log_admit(0, 1, 1, true, false);
+        wal.log_seal(0);
+        wal.log_settle(0, 1, SettleKind::Served);
+        wal.log_deregister(1);
+        wal.log_register(1, 3, OverloadPolicy::Reject);
+        let s = wal.state_snapshot();
+        let t = &s.tenants[&1];
+        assert!(t.live);
+        assert_eq!(t.reserved, 3);
+        assert_eq!(t.admitted, 0, "fresh epoch");
+        assert_eq!(s.admitted, 1, "global history is kept");
+    }
+}

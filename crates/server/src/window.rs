@@ -142,6 +142,10 @@ pub(crate) struct SealedWindow {
     pub guaranteed: u64,
     pub total: u64,
     pub items: Vec<SealedItem>,
+    /// Tenant of each admission unservable at seal (every replica down),
+    /// one entry per lost request, in drain order — the engine settles
+    /// these as `Lost` in per-tenant counters and the WAL.
+    pub lost: Vec<u64>,
 }
 
 /// Ring of interval-admission slots shared by all submitter threads.
@@ -366,6 +370,7 @@ impl WindowRing {
                 guaranteed: 0,
                 total: 0,
                 items: Vec::new(),
+                lost: Vec::new(),
             };
         }
         s.active = false;
@@ -379,6 +384,7 @@ impl WindowRing {
         // re-dispatch balances against what actually lands on survivors.
         let mut loads = vec![0u32; self.devices];
         let mut items = Vec::with_capacity(guaranteed.len() + overflow.len());
+        let mut lost: Vec<u64> = Vec::new();
         let prelim: Vec<Option<usize>> = match self.mode {
             AssignmentMode::OptimalFlow => {
                 let flow = flow.expect("flow mode");
@@ -477,6 +483,7 @@ impl WindowRing {
                             }
                             None => {
                                 self.fault.note_lost();
+                                lost.push(p.tenant);
                                 continue;
                             }
                         }
@@ -513,6 +520,7 @@ impl WindowRing {
                 });
             let Some(d) = pick else {
                 self.fault.note_lost();
+                lost.push(p.tenant);
                 continue;
             };
             loads[d] += 1;
@@ -530,6 +538,7 @@ impl WindowRing {
             guaranteed: n_guaranteed,
             total: items.len() as u64,
             items,
+            lost,
         }
     }
 }

@@ -92,6 +92,14 @@ pub struct Scenario {
     pub stream: u64,
     pub workers: usize,
     pub queue_depth: usize,
+    /// Crash-child only: after the trace, deregister this tenant (while
+    /// its tail windows are still unsealed) and abort — the recipe for a
+    /// durable `DrainPending` state.
+    pub deregister_after: Option<u64>,
+    /// The `(n, c, m)` catalog triple behind `qos`, recorded by
+    /// [`Scenario::sized`] so crash suites can serialize the scenario for
+    /// a subprocess; `(0, 0, 0)` when built from a raw [`QosConfig`].
+    design: (usize, usize, usize),
 }
 
 impl Scenario {
@@ -106,7 +114,15 @@ impl Scenario {
             stream: 0,
             workers: 4,
             queue_depth: 16,
+            deregister_after: None,
+            design: (0, 0, 0),
         }
+    }
+
+    /// See [`Scenario::deregister_after`].
+    pub fn deregister_after(mut self, tenant: u64) -> Self {
+        self.deregister_after = Some(tenant);
+        self
     }
 
     pub fn mode(mut self, mode: AssignmentMode) -> Self {
@@ -212,4 +228,275 @@ pub fn assert_guarantee_held(r: &Replay) {
 pub fn bucket_replicas(n: usize, c: usize, bucket: u64) -> Vec<usize> {
     let scheme = DesignTheoretic::new(DesignCatalog.find(n, c).expect("catalog design"));
     scheme.replicas(scheme.bucket_for_lbn(bucket)).to_vec()
+}
+
+// --- crash-consistency harness -------------------------------------------
+//
+// The crash suites need a real process death (`std::process::abort` at a
+// named WAL crash point), so the trace runs in a subprocess: the parent
+// re-execs its own test binary filtered down to a `crash_child` test whose
+// body is [`crash_child_entry`]. The scenario travels through
+// `FQOS_CRASH_SCENARIO` (see [`Scenario::to_spec`]); the child appends one
+// line to an acks file per submit-time acknowledgement, so the parent can
+// compare what was promised against what recovery restores.
+
+/// Environment variable that arms [`crash_child_entry`]; without it the
+/// `crash_child` test is a no-op, so plain `cargo test` skips it.
+pub const CRASH_CHILD_ENV: &str = "FQOS_CRASH_CHILD";
+
+/// What a crashed (or cleanly finished) child run left behind.
+pub struct CrashRun {
+    /// True when the child died (the armed crash point fired); false on a
+    /// clean exit.
+    pub aborted: bool,
+    /// Submissions the child acknowledged (complete lines in the acks
+    /// file) before it stopped.
+    pub acked: u64,
+}
+
+/// A scratch path under the system temp dir, unique per process and tag.
+/// Any leftover from a previous run at the same path is removed first.
+pub fn scratch_path(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("fqos-crash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Merge per-tenant seeded traces into one arrival-ordered
+/// `(arrival_ns, tenant, lbn)` stream — the same derivation
+/// [`Scenario::replay`] uses, so parent and child agree on the trace.
+fn merged_events(
+    tenants: &[(u64, usize, OverloadPolicy)],
+    windows: u64,
+    stream: u64,
+    interval_ns: u64,
+    pool: u64,
+) -> Vec<(u64, u64, u64)> {
+    let mut events: Vec<(u64, u64, u64)> = Vec::new();
+    for &(tenant, rate, _) in tenants {
+        let mut rng = rng(stream.wrapping_mul(101).wrapping_add(tenant));
+        for w in 0..windows {
+            for _ in 0..rate {
+                let lbn = rng.gen_range(0..pool);
+                let at = w * interval_ns + rng.gen_range(0..interval_ns);
+                events.push((at, tenant, lbn));
+            }
+        }
+    }
+    events.sort_unstable();
+    events
+}
+
+impl Scenario {
+    /// Scenario over the catalog `(n, c, 1)` design with `m` accesses per
+    /// interval, remembering the triple so the scenario can be serialized
+    /// for a crash-child subprocess ([`Scenario::to_spec`]).
+    pub fn sized(n: usize, c: usize, m: usize) -> Self {
+        let mut s = Scenario::new(qos(n, c, m), FaultSchedule::new());
+        s.design = (n, c, m);
+        s
+    }
+
+    /// Serialize for `FQOS_CRASH_SCENARIO`:
+    /// `n,c,m,windows,stream,workers,queue_depth;tenant:rate:policy;...`
+    /// (policy `d`elay / `r`eject). Requires [`Scenario::sized`].
+    pub fn to_spec(&self) -> String {
+        let (n, c, m) = self.design;
+        assert!(n != 0, "to_spec needs a Scenario::sized scenario");
+        let mut spec = format!(
+            "{n},{c},{m},{},{},{},{}",
+            self.windows, self.stream, self.workers, self.queue_depth
+        );
+        for &(t, r, p) in &self.tenants {
+            let p = match p {
+                OverloadPolicy::Delay => 'd',
+                OverloadPolicy::Reject => 'r',
+            };
+            spec.push_str(&format!(";{t}:{r}:{p}"));
+        }
+        spec
+    }
+
+    /// Parse a [`Scenario::to_spec`] string.
+    pub fn from_spec(spec: &str) -> Self {
+        let mut parts = spec.split(';');
+        let head = parts.next().expect("spec head");
+        let nums: Vec<u64> = head
+            .split(',')
+            .map(|v| v.parse().expect("spec number"))
+            .collect();
+        assert_eq!(
+            nums.len(),
+            7,
+            "spec head: n,c,m,windows,stream,workers,depth"
+        );
+        let mut s = Scenario::sized(nums[0] as usize, nums[1] as usize, nums[2] as usize);
+        s.windows = nums[3];
+        s.stream = nums[4];
+        s.workers = nums[5] as usize;
+        s.queue_depth = nums[6] as usize;
+        for t in parts {
+            let f: Vec<&str> = t.split(':').collect();
+            assert_eq!(f.len(), 3, "tenant spec: id:rate:policy");
+            let policy = match f[2] {
+                "d" => OverloadPolicy::Delay,
+                "r" => OverloadPolicy::Reject,
+                other => panic!("tenant policy '{other}'"),
+            };
+            s = s.tenant(
+                f[0].parse().expect("tenant id"),
+                f[1].parse().expect("rate"),
+                policy,
+            );
+        }
+        s
+    }
+
+    /// The WAL-backed server config this scenario runs under (child and
+    /// recovery sides must build the identical config).
+    pub fn wal_config(&self, wal_dir: &std::path::Path) -> ServerConfig {
+        let (n, c, m) = self.design;
+        assert!(n != 0, "wal_config needs a Scenario::sized scenario");
+        ServerConfig::new(qos(n, c, m))
+            .with_workers(self.workers)
+            .with_queue_depth(self.queue_depth)
+            .with_assignment(self.mode)
+            .with_wal(wal_dir)
+            .with_wal_fsync_batch(1)
+            .with_wal_snapshot_interval(4)
+    }
+
+    /// Re-exec the current test binary filtered to `child_test` (whose
+    /// body must call [`crash_child_entry`]), arm `crash_point`
+    /// (`name[:N]`), and wait. Returns the exit shape plus how many
+    /// submissions the child acknowledged before stopping.
+    pub fn spawn_with_crash_point(
+        &self,
+        child_test: &str,
+        wal_dir: &std::path::Path,
+        crash_point: Option<&str>,
+    ) -> CrashRun {
+        let acks = scratch_path(&format!("acks-{}", self.stream));
+        let exe = std::env::current_exe().expect("test binary path");
+        let mut cmd = std::process::Command::new(exe);
+        cmd.arg(child_test)
+            .arg("--exact")
+            .arg("--nocapture")
+            .arg("--test-threads")
+            .arg("1")
+            .env(CRASH_CHILD_ENV, "1")
+            .env("FQOS_CRASH_SCENARIO", self.to_spec())
+            .env("FQOS_WAL_DIR", wal_dir)
+            .env("FQOS_ACKS_PATH", &acks)
+            .env("FQOS_TEST_SEED", format!("{:#x}", seed()));
+        match crash_point {
+            Some(p) => cmd.env("FQOS_CRASH_POINT", p),
+            None => cmd.env_remove("FQOS_CRASH_POINT"),
+        };
+        match self.deregister_after {
+            Some(t) => cmd.env("FQOS_CRASH_DEREGISTER", t.to_string()),
+            None => cmd.env_remove("FQOS_CRASH_DEREGISTER"),
+        };
+        let out = cmd.output().expect("spawn crash child");
+        let acked = std::fs::read_to_string(&acks)
+            .map(|s| s.lines().filter(|l| !l.is_empty()).count() as u64)
+            .unwrap_or(0);
+        let _ = std::fs::remove_file(&acks);
+        if crash_point.is_none() && self.deregister_after.is_none() && !out.status.success() {
+            panic!(
+                "clean child run failed:\n{}\n{}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        CrashRun {
+            aborted: !out.status.success(),
+            acked,
+        }
+    }
+
+    /// Recover the WAL at `wal_dir` under this scenario's config, drain the
+    /// re-parked work, and audit the crash-consistency contract: the
+    /// conservation law restricted to durable admissions, the hedge
+    /// exactly-once invariant, and an empty per-tenant in-flight ledger.
+    pub fn recover_and_verify(&self, wal_dir: &std::path::Path) -> MetricsSnapshot {
+        let server = QosServer::recover(self.wal_config(wal_dir)).expect("recover");
+        let m = server.finish();
+        assert_eq!(
+            m.served + m.fault_lost + m.hedges_cancelled,
+            m.admitted_total(),
+            "recovered accounting diverges: served {} + lost {} + cancelled {} != admitted {}",
+            m.served,
+            m.fault_lost,
+            m.hedges_cancelled,
+            m.admitted_total()
+        );
+        assert_eq!(
+            m.hedges_won, m.hedges_cancelled,
+            "a hedge win must cancel exactly one primary"
+        );
+        for t in &m.tenants {
+            assert_eq!(
+                t.in_flight(),
+                0,
+                "tenant {} still in flight after recovery drain",
+                t.tenant
+            );
+        }
+        m
+    }
+}
+
+/// Body of the `crash_child` test every crash suite declares: no-op unless
+/// [`CRASH_CHILD_ENV`] is set, otherwise replays the scenario from
+/// `FQOS_CRASH_SCENARIO` against a WAL at `FQOS_WAL_DIR`, appending one
+/// line to `FQOS_ACKS_PATH` per acknowledged submission. An armed
+/// `FQOS_CRASH_POINT` aborts the process mid-run; otherwise the child
+/// drains and exits cleanly.
+pub fn crash_child_entry() {
+    if std::env::var(CRASH_CHILD_ENV).is_err() {
+        return;
+    }
+    use std::io::Write as _;
+    let spec = std::env::var("FQOS_CRASH_SCENARIO").expect("FQOS_CRASH_SCENARIO");
+    let wal_dir = std::env::var("FQOS_WAL_DIR").expect("FQOS_WAL_DIR");
+    let acks_path = std::env::var("FQOS_ACKS_PATH").expect("FQOS_ACKS_PATH");
+    let scenario = Scenario::from_spec(&spec);
+    let interval_ns = scenario.qos.interval_ns;
+    let pool = AllocationScheme::num_buckets(&scenario.qos.scheme) as u64;
+    let server =
+        QosServer::new(scenario.wal_config(std::path::Path::new(&wal_dir))).expect("child server");
+    for &(t, r, p) in &scenario.tenants {
+        server.register(t, r, p).expect("child registration");
+    }
+    let events = merged_events(
+        &scenario.tenants,
+        scenario.windows,
+        scenario.stream,
+        interval_ns,
+        pool,
+    );
+    let mut acks = std::fs::File::create(&acks_path).expect("acks file");
+    let mut h = server.handle();
+    for &(at, tenant, lbn) in &events {
+        let outcome = h.submit(tenant, lbn, at);
+        if !matches!(outcome, SubmitOutcome::Rejected(_)) {
+            // The ack line is the durability promise made to the caller:
+            // with fsync_batch = 1 the admit record hit stable storage
+            // before `submit` returned.
+            writeln!(acks, "{tenant} {lbn} {at}").expect("ack write");
+            acks.flush().expect("ack flush");
+        }
+    }
+    if let Ok(t) = std::env::var("FQOS_CRASH_DEREGISTER") {
+        // The handle stays open, so the tail windows cannot seal: the
+        // departing tenant dies with durable unsettled admissions — the
+        // persisted shape of a `DrainPending` record.
+        let t: u64 = t.parse().expect("FQOS_CRASH_DEREGISTER tenant id");
+        server.deregister(t);
+        std::process::abort();
+    }
+    drop(h);
+    server.finish();
 }

@@ -1,0 +1,234 @@
+//! Crash-consistency suite: every named WAL crash point is driven through
+//! a real process death and a real recovery.
+//!
+//! Each test replays a seeded trace in a subprocess (the `crash_child`
+//! test below, re-exec'd via [`common::crash_child_entry`]) with a
+//! write-ahead log at `fsync_batch = 1`, arms one `FQOS_CRASH_POINT`, lets
+//! the child abort mid-run, then recovers the log in-process and audits
+//! the durability contract:
+//!
+//! * recovery never loses an acknowledged admission (`admitted ≥ acked`),
+//! * recovery never resurrects more than the one admission that could
+//!   have been logged-but-unacked at the instant of death,
+//! * the conservation law `served + fault_lost + hedges_cancelled ==
+//!   admitted_total` holds over the durable record, and
+//! * every tenant's in-flight ledger drains to zero.
+//!
+//! Reproduce any failure with `FQOS_TEST_SEED=<seed> cargo test` (see
+//! `tests/common/mod.rs`).
+
+mod common;
+
+use common::{qos, scratch_path, Scenario};
+use fqos_core::OverloadPolicy;
+use fqos_server::{QosServer, RegisterError, ServerConfig};
+
+/// Subprocess entry point: a no-op unless the parent armed
+/// `FQOS_CRASH_CHILD` (see `common::crash_child_entry`).
+#[test]
+fn crash_child() {
+    common::crash_child_entry();
+}
+
+/// The standard crash workload: two delay-policy tenants at an aggregate
+/// 4 requests per window on a (9, 3, 2) deployment for 30 windows —
+/// ~120 admissions, ~30 seals, ~7 compactions at the harness's
+/// `snapshot_interval = 4`, so every crash point below has hits to land on.
+fn crash_scenario(stream: u64) -> Scenario {
+    Scenario::sized(9, 3, 2)
+        .windows(30)
+        .stream(stream)
+        .tenant(1, 2, OverloadPolicy::Delay)
+        .tenant(2, 2, OverloadPolicy::Delay)
+}
+
+/// Run one trace → crash → recover → verify cycle and return
+/// `(acked, recovered metrics)`.
+fn run_point(stream: u64, point: Option<&str>) -> (u64, fqos_server::MetricsSnapshot) {
+    let scenario = crash_scenario(stream);
+    let wal_dir = scratch_path(&format!("wal-{stream}"));
+    let run = scenario.spawn_with_crash_point("crash_child", &wal_dir, point);
+    assert_eq!(
+        run.aborted,
+        point.is_some(),
+        "crash point {point:?}: child exit shape"
+    );
+    let m = scenario.recover_and_verify(&wal_dir);
+    assert!(
+        m.admitted_total() >= run.acked,
+        "recovery lost acked admissions: admitted {} < acked {}",
+        m.admitted_total(),
+        run.acked
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    (run.acked, m)
+}
+
+/// A record that dies in the userspace buffer (before its fsync) was never
+/// acknowledged, so recovery restores exactly the acked set.
+#[test]
+fn recovery_after_a_pre_fsync_append_crash_restores_exactly_the_acked_set() {
+    let (acked, m) = run_point(10, Some("wal-append-pre-fsync:25"));
+    assert!(acked >= 24, "the 25th admit implies at least 24 acks");
+    assert_eq!(
+        m.admitted_total(),
+        acked,
+        "a pre-fsync record was never acked and must not be restored"
+    );
+}
+
+/// A torn final frame (partial write + crash) is truncated on resume; the
+/// half-written record was never acked.
+#[test]
+fn recovery_after_a_torn_tail_crash_truncates_and_restores_the_acked_set() {
+    let (acked, m) = run_point(11, Some("wal-append-torn:40"));
+    assert!(acked > 0, "the 40th flush lands mid-trace");
+    assert_eq!(
+        m.admitted_total(),
+        acked,
+        "a torn record was never acked and must not survive truncation"
+    );
+}
+
+/// A crash between the durable admit record and the submit-time ack leaves
+/// exactly one restorable-but-unacked admission.
+#[test]
+fn recovery_after_a_post_admit_pre_ack_crash_restores_one_extra_admission() {
+    let (acked, m) = run_point(12, Some("post-admit-pre-ack:30"));
+    assert_eq!(
+        m.admitted_total(),
+        acked + 1,
+        "the durable-but-unacked admission must be restored, and only it"
+    );
+}
+
+/// A crash in the middle of a seal's settlement batch: the seal record is
+/// durable, part of its settle batch may not be. Recovery re-derives the
+/// missing settlements as crash losses — nothing acked disappears and
+/// nothing is double-counted.
+#[test]
+fn recovery_after_a_mid_seal_crash_rederives_the_unsettled_residue() {
+    let (acked, m) = run_point(13, Some("seal-mid-batch:10"));
+    assert!(
+        m.admitted_total() - acked <= 1,
+        "at most the one in-flight submit can be unacked: admitted {} acked {}",
+        m.admitted_total(),
+        acked
+    );
+}
+
+/// A crash between the snapshot rename and the log truncate: the snapshot
+/// and the stale log tail overlap by LSN, and resume must apply each
+/// record at most once.
+#[test]
+fn recovery_after_a_mid_compaction_crash_does_not_double_apply_the_log() {
+    let (acked, m) = run_point(14, Some("compact-mid-swap:3"));
+    assert!(m.wal_compactions > 0 || m.admitted_total() > 0);
+    assert!(
+        m.admitted_total() - acked <= 1,
+        "snapshot + stale tail must replay idempotently: admitted {} acked {}",
+        m.admitted_total(),
+        acked
+    );
+}
+
+/// Without a crash the WAL round-trips losslessly: recovery finds every
+/// acked admission already settled and re-parks nothing.
+#[test]
+fn a_clean_run_recovers_with_nothing_to_replay_into_flight() {
+    let (acked, m) = run_point(15, None);
+    assert_eq!(m.admitted_total(), acked, "clean WAL must match the acks");
+    assert_eq!(
+        m.recovered_admissions, 0,
+        "a cleanly finished log has no open admissions to re-park"
+    );
+}
+
+/// PR 6's `DrainPending` protection survives a crash: a tenant that
+/// departed with unsettled in-flight admissions is restored departed, its
+/// id is refused for re-registration until the residue drains, and the
+/// drained ledger balances.
+#[test]
+fn a_drain_pending_departure_survives_recovery_and_still_refuses_the_id() {
+    let scenario = crash_scenario(16).deregister_after(2);
+    let wal_dir = scratch_path("wal-drain");
+    let run = scenario.spawn_with_crash_point("crash_child", &wal_dir, None);
+    assert!(run.aborted, "the deregister-then-abort child must die");
+    let server = QosServer::recover(scenario.wal_config(&wal_dir)).expect("recover");
+    match server.register(2, 2, OverloadPolicy::Delay) {
+        Err(RegisterError::DrainPending { in_flight }) => {
+            assert!(in_flight > 0, "the departed record must carry residue");
+        }
+        other => panic!("expected DrainPending for the departed id, got {other:?}"),
+    }
+    let m = server.finish();
+    assert_eq!(
+        m.served + m.fault_lost + m.hedges_cancelled,
+        m.admitted_total(),
+        "drained departure accounting diverges"
+    );
+    let departed = m.tenants.iter().find(|t| t.tenant == 2).expect("tenant 2");
+    assert!(!departed.live, "tenant 2 must be restored departed");
+    assert_eq!(departed.in_flight(), 0, "residue must drain to zero");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// The window ring wraps correctly across a recovery boundary: a tiny
+/// 8-slot ring is lapped more than twice before a clean shutdown, then
+/// recovery resumes the window sequence and laps it twice more. Window
+/// numbering (and slot reuse: slot = window mod 8) must stay coherent
+/// through the restart, and the combined ledger must balance.
+#[test]
+fn the_window_ring_survives_a_double_lap_across_the_recovery_boundary() {
+    let wal_dir = scratch_path("wal-lap");
+    let cfg = || {
+        ServerConfig::new(qos(9, 3, 2))
+            .with_workers(2)
+            .with_queue_depth(8)
+            .with_ring_slots(8)
+            .with_delay_horizon(2)
+            .with_wal(&wal_dir)
+            .with_wal_fsync_batch(1)
+            .with_wal_snapshot_interval(4)
+    };
+    let interval = qos(9, 3, 2).interval_ns;
+    let first = QosServer::new(cfg()).expect("server");
+    first
+        .register(1, 2, OverloadPolicy::Delay)
+        .expect("register");
+    let mut h = first.handle();
+    for w in 0..20u64 {
+        // Two requests per window, fixed offsets: laps the 8-slot ring
+        // two and a half times.
+        h.submit(1, w % 14, w * interval + interval / 4);
+        h.submit(1, (w + 5) % 14, w * interval + interval / 2);
+    }
+    drop(h);
+    let before = first.finish();
+    assert_eq!(before.admitted_total(), 40, "first run admits everything");
+
+    let second = QosServer::recover(cfg()).expect("recover");
+    assert_eq!(
+        second.metrics().recovered_admissions,
+        0,
+        "a cleanly finished log re-parks nothing"
+    );
+    let mut h = second.handle();
+    for w in 20..36u64 {
+        h.submit(1, w % 14, w * interval + interval / 4);
+        h.submit(1, (w + 5) % 14, w * interval + interval / 2);
+    }
+    drop(h);
+    let after = second.finish();
+    assert_eq!(
+        after.admitted_total(),
+        72,
+        "restored counters must carry across the boundary"
+    );
+    assert_eq!(
+        after.served + after.fault_lost + after.hedges_cancelled,
+        after.admitted_total(),
+        "combined ledger diverges across the recovery boundary"
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}

@@ -375,3 +375,48 @@ fn hedge_vs_seal_conserves_requests() {
     });
     report_and_check("hedge-vs-seal", report, 1000);
 }
+
+/// The WAL ordering invariant under every explored schedule: two racing
+/// submitters append admit records (under the `engine.wal` leaf lock)
+/// while seals and worker completions append seal/settle records from
+/// other threads. On no schedule may a settlement reach the log before
+/// its admission is durable-ordered ahead of it — the log's own replay
+/// state machine counts any such inversion (settle without a pending
+/// durable admit, admit below the sealed floor, double seal) in
+/// `wal_misordered`, which must stay zero while the usual conservation
+/// law closes over the logged record.
+#[test]
+fn wal_append_vs_settle_orders_every_schedule() {
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 4096,
+        ..Config::default()
+    };
+    let report = model_with(bounds, || {
+        let server = QosServer::new(model_cfg().with_wal_memory()).unwrap();
+        let t_ns = server.config().qos.interval_ns;
+        server.register(1, 2, OverloadPolicy::Delay).unwrap();
+        server.register(2, 2, OverloadPolicy::Delay).unwrap();
+        let mut ha = server.handle();
+        let mut hb = server.handle();
+        let a = interleave::thread::spawn(move || submit_all(&mut ha, 1, &[(0, 0), (1, t_ns)]));
+        let b = interleave::thread::spawn(move || submit_all(&mut hb, 2, &[(2, 0)]));
+        let ta = a.join().unwrap();
+        let tb = b.join().unwrap();
+        let m = server.finish();
+        assert_eq!(ta.admitted + tb.admitted, m.admitted_total());
+        assert_eq!(m.admitted_total() + m.rejected, 3);
+        assert_eq!(
+            m.wal_misordered, 0,
+            "a settlement outran its admission's durable order in the log"
+        );
+        assert!(
+            m.wal_records >= m.admitted_total(),
+            "every admission must reach the log"
+        );
+        assert_eq!(m.served + m.fault_lost, m.admitted_total(), "conservation");
+        assert_eq!(m.fault_lost, 0, "no faults were injected");
+        assert_eq!(m.guaranteed_violations, 0, "deadline audit");
+    });
+    report_and_check("wal-append-vs-settle", report, 1000);
+}

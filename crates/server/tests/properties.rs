@@ -18,6 +18,7 @@ use fqos_core::{OverloadPolicy, QosConfig};
 use fqos_decluster::{AllocationScheme, DesignTheoretic};
 use fqos_designs::DesignCatalog;
 use fqos_flashsim::time::{BASE_INTERVAL_NS, BLOCK_READ_NS};
+use fqos_server::CRASH_POINTS;
 use fqos_server::{
     AssignmentMode, FaultSchedule, QosServer, RejectReason, ServerConfig, SubmitOutcome,
 };
@@ -318,5 +319,79 @@ proptest! {
         prop_assert_eq!(metrics.fault_lost, 0);
         prop_assert_eq!(metrics.served, live, "no stall: finish() drains exactly the admitted");
         prop_assert_eq!(metrics.guaranteed_violations, 0);
+    }
+}
+
+/// Subprocess entry point for the crash-recovery property below: a no-op
+/// unless the parent armed `FQOS_CRASH_CHILD` (see
+/// `common::crash_child_entry`).
+#[test]
+fn crash_child() {
+    common::crash_child_entry();
+}
+
+/// Crash-property case count: `PROPTEST_CASES` (CI sets 64), defaulting
+/// low locally — every case re-execs the test binary as a subprocess.
+fn crash_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(crash_cases()))]
+
+    /// Any random trace crashed at any named WAL point (at any hit, or not
+    /// crashed at all) recovers to a state where the conservation law
+    /// holds over the durable record, no acknowledged admission is lost,
+    /// and at most the single logged-but-unacked admission a
+    /// `fsync_batch = 1` log can hold is resurrected. The scenario is
+    /// shrinkable through the `Scenario` spec codec like every other
+    /// property here.
+    #[test]
+    fn any_crash_point_recovers_to_a_conserved_state(
+        design_idx in 0..4usize,
+        m in 1..=2usize,
+        two_tenants in any::<bool>(),
+        windows in 8..24u64,
+        stream in any::<u64>(),
+        point_idx in 0..=5usize,
+        nth in 1..=30u64,
+    ) {
+        let (n, c) = DESIGNS[design_idx % DESIGNS.len()];
+        let mut scenario = common::Scenario::sized(n, c, m)
+            .windows(windows)
+            .stream(stream)
+            .tenant(1, 1, OverloadPolicy::Delay);
+        if two_tenants {
+            scenario = scenario.tenant(2, 1, OverloadPolicy::Reject);
+        }
+        // Index 5 (one past the named points) means "no crash"; a named
+        // point whose `nth` hit never occurs also exits cleanly, which the
+        // clean-run branch below must accept.
+        let point = CRASH_POINTS.get(point_idx).map(|p| format!("{p}:{nth}"));
+        let wal_dir = common::scratch_path(&format!("prop-{stream}-{point_idx}"));
+        let run = scenario.spawn_with_crash_point("crash_child", &wal_dir, point.as_deref());
+        let metrics = scenario.recover_and_verify(&wal_dir);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        prop_assert!(
+            metrics.admitted_total() >= run.acked,
+            "recovery lost acked admissions: admitted {} < acked {}",
+            metrics.admitted_total(), run.acked
+        );
+        if run.aborted {
+            prop_assert!(
+                metrics.admitted_total() - run.acked <= 1,
+                "a batch-of-one log holds at most one unacked admission: \
+                 admitted {} acked {}",
+                metrics.admitted_total(), run.acked
+            );
+        } else {
+            prop_assert_eq!(
+                metrics.admitted_total(), run.acked,
+                "a clean run's durable record must match its acks exactly"
+            );
+        }
     }
 }

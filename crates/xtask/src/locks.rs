@@ -73,8 +73,13 @@ pub const HIERARCHY: &[(&str, &str)] = &[
     ),
     (
         "engine.hedge",
-        "hedge frontiers (engine.rs Engine::hedge) — leaf: no lock may be \
-         acquired under it",
+        "hedge frontiers (engine.rs Engine::hedge) — no lock other than \
+         `engine.wal` may be acquired under it",
+    ),
+    (
+        "engine.wal",
+        "write-ahead log inner state (wal.rs Wal::wal) — leaf: no lock may \
+         be acquired under it",
     ),
 ];
 
@@ -109,6 +114,7 @@ fn acquisitions(file_name: &str, text: &str) -> Vec<Acquisition> {
         ("inner.lock(", "fault.inner"),
         ("health.lock(", "fault.health"),
         ("hedge.lock(", "engine.hedge"),
+        ("wal.lock(", "engine.wal"),
     ];
     for (needle, class) in simple {
         let mut from = 0;
@@ -272,9 +278,14 @@ pub fn analyze(files: &[(std::path::PathBuf, Vec<Function>)]) -> LockReport {
     // the worker (called under the hedge lock); resolving the name would
     // alias the device model onto the handle's full acquisition set and
     // fabricate `engine.hedge -> *` inversions.
+    // `recover` is never resolved for the same reason: the pure
+    // `FaultSchedule::recover` builder (called from `FaultSchedule::parse`)
+    // would alias onto `QosServer::recover`, whose replay path touches
+    // nearly every class; both are only ever called from top-level startup
+    // code with no lock held.
     let needles_for = |name: &str| -> Vec<String> {
         match name {
-            "new" | "submit" => Vec::new(),
+            "new" | "submit" | "recover" => Vec::new(),
             "get" => vec!["registry.get(".to_string()],
             _ => vec![format!(".{name}("), format!("{name}(")],
         }

@@ -17,7 +17,8 @@
 //!               [--submitters 3] [--windows 500] [--epsilon 0.0]
 //!               [--queue-depth 64] [--mode flow|eft] [--seed N]
 //!               [--fault-schedule "fail:D@W,recover:D@W,slow:D@W[xF],restore:D@W,..."]
-//!               [--no-hedge]
+//!               [--no-hedge] [--wal-dir DIR [--wal-batch N] [--wal-snapshot K]]
+//!               [--recover]
 //!     Replay a synthetic timestamped trace through the concurrent serving
 //!     engine: one submitter thread per tenant against a worker pool, then
 //!     print the serving report and the deadline audit. A fault schedule
@@ -27,6 +28,12 @@
 //!     then also reports degraded windows, re-routes, losses, and the
 //!     fail-slow counters (detections, hedges, retries). `--no-hedge`
 //!     disables speculative re-dispatch so the two runs can be compared.
+//!     `--wal-dir` makes every admission durable in a write-ahead log
+//!     before it is acknowledged (fsynced every `--wal-batch` records,
+//!     compacted every `--wal-snapshot` seals); after a crash — even a
+//!     `kill -9` — `--recover` replays the log, re-parks what was admitted
+//!     but unsettled, charges seal-stranded residue as crash losses, and
+//!     continues the run from the first unsealed window.
 //!
 //! fqos cluster  --arrays 4 [--devices 9] [--copies 3] [--accesses 1]
 //!               [--submitters 8] [--windows 200] [--seed N] [--reserve R]
@@ -97,10 +104,13 @@ fn print_help() {
     println!("           [--mode flow|eft] [--seed S]      replay a synthetic trace through");
     println!("           [--fault-schedule \"fail:D@W,...\"]  the concurrent serving engine,");
     println!("           [--no-hedge]                       optionally failing/recovering or");
-    println!("                                              silently slowing (slow:D@W[xF],");
-    println!("                                              restore:D@W) devices at scripted");
+    println!("           [--wal-dir DIR] [--wal-batch N]    silently slowing (slow:D@W[xF],");
+    println!("           [--wal-snapshot K] [--recover]     restore:D@W) devices at scripted");
     println!("                                              windows; --no-hedge disables");
-    println!("                                              speculative re-dispatch");
+    println!("                                              speculative re-dispatch. --wal-dir");
+    println!("                                              logs admissions durably before the");
+    println!("                                              ack; --recover replays that log");
+    println!("                                              after a crash and resumes the run");
     println!("  cluster  --arrays N [--devices D] [--copies C] [--accesses M] [--workers W]");
     println!("           [--submitters S] [--windows K] [--epsilon E] [--queue-depth Q]");
     println!("           [--mode flow|eft] [--seed S] [--reserve R]");
@@ -124,7 +134,7 @@ fn print_help() {
 type Options = HashMap<String, String>;
 
 /// Options that are bare flags: present-or-absent, no value.
-const FLAG_KEYS: &[&str] = &["no-hedge", "no-rebalance"];
+const FLAG_KEYS: &[&str] = &["no-hedge", "no-rebalance", "recover"];
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut out = HashMap::new();
@@ -310,6 +320,13 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         Some(other) => return Err(format!("--mode: unknown mode '{other}' (flow|eft)")),
     };
     let hedging = !opts.contains_key("no-hedge");
+    let wal_dir = opts.get("wal-dir");
+    let recover = opts.contains_key("recover");
+    let wal_batch: u64 = get_num(opts, "wal-batch", 1)?;
+    let wal_snapshot: u64 = get_num(opts, "wal-snapshot", 64)?;
+    if recover && wal_dir.is_none() {
+        return Err("--recover needs --wal-dir (the log to replay)".into());
+    }
     let fault_schedule = match opts.get("fault-schedule") {
         None => FaultSchedule::new(),
         Some(spec) => FaultSchedule::parse(spec).map_err(|e| format!("--fault-schedule: {e}"))?,
@@ -346,24 +363,54 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         .events()
         .iter()
         .any(|e| matches!(e.kind, FaultKind::Slow(_)));
-    let server = QosServer::new(
-        ServerConfig::new(qos)
-            .with_workers(workers)
-            .with_queue_depth(queue_depth)
-            .with_assignment(mode)
-            .with_fault_schedule(fault_schedule)
-            .with_hedging(hedging),
-    )?;
+    let mut cfg = ServerConfig::new(qos)
+        .with_workers(workers)
+        .with_queue_depth(queue_depth)
+        .with_assignment(mode)
+        .with_fault_schedule(fault_schedule)
+        .with_hedging(hedging);
+    if let Some(dir) = wal_dir {
+        cfg = cfg
+            .with_wal(dir)
+            .with_wal_fsync_batch(wal_batch)
+            .with_wal_snapshot_interval(wal_snapshot);
+    }
+    let server = if recover {
+        QosServer::recover(cfg)?
+    } else {
+        QosServer::new(cfg)?
+    };
+    // Recovery resumes the window sequence: the replayed log already
+    // sealed `windows_sealed` windows, so fresh traffic starts there.
+    let base_window = if recover {
+        let m = server.metrics();
+        println!(
+            "recovered WAL: {} records replayed in {:.1} ms — {} admissions \
+             re-parked, {} charged as crash losses, resuming at window {}",
+            m.wal_replay_records,
+            m.wal_replay_duration_ns as f64 / 1e6,
+            m.recovered_admissions,
+            m.recovered_lost,
+            m.windows_sealed,
+        );
+        m.windows_sealed
+    } else {
+        0
+    };
 
     // Split the S(M) budget across one tenant per submitter thread and give
     // each tenant its own synthetic timestamped trace at exactly its
-    // reserved rate.
+    // reserved rate. Tenants the recovered log already registered live are
+    // kept as-is rather than re-registered.
     let mut plan = Vec::with_capacity(submitters);
     for s in 0..submitters {
         let reserved = limit / submitters + usize::from(s < limit % submitters);
         plan.push((s as u64 + 1, reserved));
     }
     for &(tenant, reserved) in &plan {
+        if recover && server.tenant(tenant).is_some() {
+            continue;
+        }
         server
             .register(tenant, reserved, OverloadPolicy::Delay)
             .map_err(|e| e.to_string())?;
@@ -392,7 +439,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             .generate();
             std::thread::spawn(move || {
                 for r in &trace.records {
-                    handle.submit(tenant, r.lbn, r.arrival_ns);
+                    handle.submit(tenant, r.lbn, r.arrival_ns + base_window * interval_ns);
                 }
             })
         })
@@ -506,10 +553,13 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     // violation is a bug. A scripted *silent* slowdown is different:
     // admission is blind until the scorer convicts, so pre-detection
     // violations are the modeled cost, reported above rather than fatal.
-    if m.guaranteed_violations != 0 && !scripted_slow {
+    if m.guaranteed_violations != 0 && !scripted_slow && !recover {
         return Err("deterministic guarantee violated".into());
     }
-    if m.fault_lost != 0 {
+    // A recovered run legitimately carries crash losses (admissions the
+    // pre-crash process sealed but never settled); the conservation check
+    // above still audits them exactly.
+    if m.fault_lost != 0 && !recover {
         return Err("admitted requests lost to device failures".into());
     }
     if !conserved {
