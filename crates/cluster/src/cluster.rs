@@ -1,94 +1,255 @@
-//! The cluster engine: N arrays behind one router and one control loop.
+//! The cluster engine: N arrays behind one router and one control loop,
+//! tolerant to whole-array fail-stop and fail-slow.
+//!
+//! # Failure model
+//!
+//! An array can *fail-stop* ([`QosCluster::kill_array`] or a scripted
+//! `kill:A@T`): its engine halts without draining, stranding whatever was
+//! admitted but not yet settled. The stranded difference is charged to the
+//! fleet's `evacuation_lost` ledger the moment the engine halts, so the
+//! extended conservation law
+//!
+//! ```text
+//! Σ served + Σ fault_lost + Σ hedges_cancelled
+//!     + migrated_in_flight + evacuation_lost == Σ admitted_total
+//! ```
+//!
+//! holds throughout the outage, not just after repair. Detection is
+//! decoupled from injection: the control loop heartbeats every slot once
+//! per tick and handles report transport-level refusals; the health plane
+//! (`crate::health`) turns those symptoms into a `Dead` verdict after
+//! `dead_after` consecutive bad ticks, which triggers *emergency
+//! evacuation* — the dead slot is tombstoned in the router and its tenants
+//! are re-registered on survivors (register-on-target; the dead source has
+//! nothing left to drain).
+//!
+//! [`QosCluster::restore_array`] brings a killed slot back. With a WAL the
+//! engine rebuilds from its durable record ([`QosServer::recover`]) and the
+//! ledger charge is reversed — losses re-appear as the engine's own
+//! `fault_lost`/in-flight terms, and tenants the evacuation moved elsewhere
+//! are reconciled into drain records. Without a WAL the slot restarts
+//! empty, its frozen counters join the fleet's history and the stranded
+//! residue stays lost.
+//!
+//! Membership is elastic: [`QosCluster::add_array`] grows the fleet at
+//! runtime and [`QosCluster::remove_array`] retires a live slot gracefully
+//! behind a router tombstone (transactional re-registration on targets,
+//! cooperative drain on the source).
 //!
 //! # Lock order
 //!
-//! `cluster.ctrl` → `cluster.router` → (engine classes). The control loop
-//! holds `ctrl` across a whole tick and may acquire the router and any
-//! array's registration path beneath it; submission handles take the
-//! router lock alone (and only on a route-cache miss), never while inside
-//! an array.
+//! `cluster.ctrl` → `cluster.router` → `cluster.arrays` → `cluster.health`
+//! → (engine classes). The control loop holds `ctrl` across a whole tick
+//! and may acquire the router, the slot table and any array's registration
+//! path beneath it; submission handles take the router lock alone on a
+//! route-cache miss, the slot table read lock alone on an epoch refresh,
+//! and the health lock alone to report refusals — never while inside an
+//! array.
 
 use crate::config::ClusterConfig;
-use crate::ctrl::{pressure, ArrayObs, CtrlState, Drained, RebalanceEvent, TenantObs};
+use crate::ctrl::{
+    pressure, ArrayObs, CtrlState, Drained, EvacuationEvent, RebalanceEvent, TenantObs,
+};
+use crate::error::ClusterError;
+use crate::health::{ArrayHealth, ClusterFaultEvent, ClusterFaultKind, HealthPlane, Probe};
 use crate::metrics::ClusterMetrics;
 use crate::router::Router;
 use fqos_server::{
-    MetricsSnapshot, OverloadPolicy, QosServer, RejectReason, SubmitOutcome, SubmitterHandle,
-    TenantSnapshot,
+    MetricsSnapshot, OverloadPolicy, QosServer, RejectReason, ServerConfig, SubmitOutcome,
+    SubmitterHandle,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// What occupies an array slot. Slots are never removed — indices stay
+/// stable for the router, the health plane and the audit — they change
+/// state instead.
+enum ArrayState {
+    /// Serving (possibly retired, i.e. draining toward removal).
+    Live(QosServer),
+    /// Fail-stopped: the engine is gone; `frozen` is its last consistent
+    /// snapshot and `cfg` is kept so `restore_array` can rebuild it.
+    Dead {
+        frozen: Box<MetricsSnapshot>,
+        cfg: Box<ServerConfig>,
+    },
+    /// Transient placeholder while a mutation swaps the state; never
+    /// observable outside a held write lock.
+    Vacant,
+}
+
+/// One array slot: its engine (or corpse), identity and ledger hooks.
+struct ArraySlot {
+    state: ArrayState,
+    /// Bumped whenever the slot gets a *new* engine (restore); handles
+    /// compare it to know when their [`SubmitterHandle`] is stale.
+    incarnation: u64,
+    /// Frozen snapshots of prior fail-stopped incarnations that were not
+    /// WAL-reconciled (fresh restarts). Their counters stay in the fleet's
+    /// history; their stranded residue stays in `evacuation_lost`.
+    past: Vec<MetricsSnapshot>,
+    /// Graceful removal: tombstoned in the router, still settling its
+    /// drain, excluded from placement, probing and migration.
+    retired: bool,
+    /// `(ε, S(M))` for the controller's budget algebra.
+    budget: (f64, usize),
+    /// Submissions routed to this slot (handle-side count).
+    routed: Arc<AtomicU64>,
+}
+
 /// State shared between the cluster, its controller and every handle.
 struct Shared {
-    /// Tenant placement (lock class `cluster.router`).
-    router: Mutex<Router>,
     /// Controller state (lock class `cluster.ctrl`).
     ctrl: Mutex<CtrlState>,
-    /// Bumped on every placement change; handles compare-and-refresh
-    /// their route caches against it without touching the router lock.
+    /// Tenant placement (lock class `cluster.router`).
+    router: Mutex<Router>,
+    /// The slot table (lock class `cluster.arrays`). Readers are handles
+    /// refreshing their engine views and the control loop's probe pass;
+    /// writers are membership changes (kill/restore/add/remove).
+    arrays: RwLock<Vec<ArraySlot>>,
+    /// The array health plane (lock class `cluster.health`). Named
+    /// `liveness` — see the lock table in DESIGN.md.
+    liveness: Mutex<HealthPlane>,
+    /// Bumped on every placement or membership change; handles
+    /// compare-and-refresh their route caches and engine views against it.
     epoch: AtomicU64,
-    /// Submissions routed per array.
-    routed: Vec<AtomicU64>,
     /// Submissions refused at the router (no assignment).
     unrouted: AtomicU64,
     /// Migrations executed.
     rebalances: AtomicU64,
+    /// Admissions stranded on fail-stopped arrays, net of WAL-restore
+    /// reversals: the `evacuation_lost` term of the extended law.
+    evacuation_lost: AtomicU64,
+    /// Tenants re-registered on survivors by emergency evacuations.
+    evacuated_tenants: AtomicU64,
+    /// Submissions refused at the transport level because the routed
+    /// array was fail-stopped (each also feeds the health plane).
+    refused_unavailable: AtomicU64,
+}
+
+/// Admissions a snapshot admitted but never settled: the stranded work a
+/// fail-stop leaves behind, charged to `evacuation_lost`.
+fn residue(s: &MetricsSnapshot) -> u64 {
+    s.admitted_total()
+        .saturating_sub(s.served + s.fault_lost + s.hedges_cancelled)
+}
+
+/// Unsettled admissions of drained tenants on their source arrays: the
+/// `migrated_in_flight` term of the cluster law. Counts only departed
+/// records on *live* sources — a frozen (dead) source's whole residue is
+/// already in `evacuation_lost`, and a tenant that later returned to
+/// `from` is live there again and accounted normally.
+fn migrated_in_flight(drained: &[Drained], snaps: &[MetricsSnapshot], frozen: &[bool]) -> u64 {
+    drained
+        .iter()
+        .filter(|d| !frozen.get(d.from).copied().unwrap_or(false))
+        .map(|d| {
+            snaps[d.from]
+                .tenants
+                .iter()
+                .find(|t| t.tenant == d.tenant && !t.live)
+                .map_or(0, fqos_server::TenantSnapshot::in_flight)
+        })
+        .sum()
+}
+
+/// Assemble the fleet metrics from a consistent view of all planes.
+#[allow(clippy::too_many_arguments)]
+fn fleet_metrics(
+    shared: &Shared,
+    ctrl: &CtrlState,
+    liveness: &HealthPlane,
+    snaps: Vec<MetricsSnapshot>,
+    frozen: Vec<bool>,
+    retired: Vec<bool>,
+    past: Vec<MetricsSnapshot>,
+    routed: Vec<u64>,
+) -> ClusterMetrics {
+    ClusterMetrics {
+        migrated_in_flight: migrated_in_flight(&ctrl.drained, &snaps, &frozen),
+        routed,
+        unrouted: shared.unrouted.load(Ordering::Relaxed),
+        rebalances: shared.rebalances.load(Ordering::Relaxed),
+        router_epoch: shared.epoch.load(Ordering::Acquire),
+        evacuation_lost: shared.evacuation_lost.load(Ordering::Relaxed),
+        evacuated_tenants: shared.evacuated_tenants.load(Ordering::Relaxed),
+        refused_unavailable: shared.refused_unavailable.load(Ordering::Relaxed),
+        health: liveness.states(),
+        health_suspects: liveness.suspects,
+        health_verdicts_dead: liveness.verdicts_dead,
+        health_verdicts_slow: liveness.verdicts_slow,
+        health_recoveries: liveness.recoveries,
+        events: ctrl.events.clone(),
+        evacuations: ctrl.evacuations.clone(),
+        arrays: snaps,
+        frozen,
+        retired,
+        past,
+    }
 }
 
 /// N independent [`QosServer`] arrays behind a consistent-hash routing
-/// tier with an ε-budget rebalancing control loop.
+/// tier with an ε-budget rebalancing control loop and an array health
+/// plane (fail-stop detection, emergency evacuation, elastic membership).
 ///
 /// Each array runs the paper's §III-A admission controller unchanged; the
 /// cluster only decides *which* array a tenant lives on, watches per-array
-/// pressure, and migrates tenants from saturated arrays to fleet headroom.
+/// pressure and liveness, and moves tenants — by migration when an array
+/// saturates, by evacuation when one dies.
 pub struct QosCluster {
-    arrays: Vec<QosServer>,
     shared: Arc<Shared>,
     cfg: ClusterConfig,
-    /// Per-array `(ε, S(M))` for the controller's budget algebra.
-    budgets: Vec<(f64, usize)>,
 }
 
 impl QosCluster {
-    /// Build every array and the routing tier.
-    pub fn new(cfg: ClusterConfig) -> Result<Self, String> {
+    /// Build every array, the routing tier and the health plane.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, ClusterError> {
         cfg.validate()?;
-        let arrays: Vec<QosServer> = cfg
+        let servers: Vec<QosServer> = cfg
             .arrays
             .iter()
-            .map(|a| QosServer::new(a.clone()))
+            .enumerate()
+            .map(|(array, a)| {
+                QosServer::new(a.clone()).map_err(|source| ClusterError::Engine { array, source })
+            })
             .collect::<Result<_, _>>()?;
-        let capacities: Vec<usize> = arrays
+        let capacities: Vec<usize> = servers
             .iter()
             .map(|a| a.config().qos.request_limit())
             .collect();
-        let budgets: Vec<(f64, usize)> = arrays
-            .iter()
+        let slots: Vec<ArraySlot> = servers
+            .into_iter()
             .zip(&capacities)
-            .map(|(a, &limit)| (a.config().qos.epsilon, limit))
+            .map(|(server, &capacity)| ArraySlot {
+                budget: (server.config().qos.epsilon, capacity),
+                state: ArrayState::Live(server),
+                incarnation: 0,
+                past: Vec::new(),
+                retired: false,
+                routed: Arc::new(AtomicU64::new(0)),
+            })
             .collect();
         let shared = Arc::new(Shared {
-            router: Mutex::new(Router::new(&capacities, cfg.vnodes_per_array)),
             ctrl: Mutex::new(CtrlState::default()),
+            router: Mutex::new(Router::new(&capacities, cfg.vnodes_per_array)),
+            liveness: Mutex::new(HealthPlane::new(slots.len(), cfg.health)),
+            arrays: RwLock::new(slots),
             epoch: AtomicU64::new(0),
-            routed: capacities.iter().map(|_| AtomicU64::new(0)).collect(),
             unrouted: AtomicU64::new(0),
             rebalances: AtomicU64::new(0),
+            evacuation_lost: AtomicU64::new(0),
+            evacuated_tenants: AtomicU64::new(0),
+            refused_unavailable: AtomicU64::new(0),
         });
-        Ok(QosCluster {
-            arrays,
-            shared,
-            cfg,
-            budgets,
-        })
+        Ok(QosCluster { shared, cfg })
     }
 
-    /// Number of arrays in the fleet.
+    /// Number of array slots in the fleet (live, dead and retired — slots
+    /// are never removed, so indices stay stable).
     pub fn arrays(&self) -> usize {
-        self.arrays.len()
+        self.shared.arrays.read().len()
     }
 
     /// The array a tenant currently routes to.
@@ -101,6 +262,16 @@ impl QosCluster {
         self.shared.epoch.load(Ordering::Acquire)
     }
 
+    /// Current health verdict per slot.
+    pub fn health(&self) -> Vec<ArrayHealth> {
+        self.shared.liveness.lock().states()
+    }
+
+    /// Current `evacuation_lost` ledger balance.
+    pub fn evacuation_lost(&self) -> u64 {
+        self.shared.evacuation_lost.load(Ordering::Relaxed)
+    }
+
     /// Register a tenant: the router places it (consistent hashing with
     /// bounded loads), the chosen array admits the reservation against its
     /// own `S(M)`. Returns the array index.
@@ -109,18 +280,32 @@ impl QosCluster {
         tenant: u64,
         reserved: usize,
         policy: OverloadPolicy,
-    ) -> Result<usize, String> {
+    ) -> Result<usize, ClusterError> {
+        let mut ctrl = self.shared.ctrl.lock();
         let mut router = self.shared.router.lock();
+        let arrays = self.shared.arrays.read();
         let Some(array) = router.assign(tenant, reserved) else {
-            return Err(format!(
-                "no array has headroom for tenant {tenant} (reservation {reserved})"
-            ));
+            return Err(ClusterError::NoHeadroom { tenant, reserved });
         };
-        match self.arrays[array].register(tenant, reserved, policy) {
-            Ok(_) => Ok(array),
-            Err(e) => {
+        let ArrayState::Live(server) = &arrays[array].state else {
+            // The ring can still point at a killed slot before the Dead
+            // verdict tombstones it; refuse typed, the caller can retry
+            // after a control tick.
+            router.release(tenant);
+            return Err(ClusterError::ArrayNotLive { array });
+        };
+        match server.register(tenant, reserved, policy) {
+            Ok(_) => {
+                ctrl.directory.insert(tenant, policy);
+                Ok(array)
+            }
+            Err(source) => {
                 router.release(tenant);
-                Err(format!("array {array} refused tenant {tenant}: {e}"))
+                Err(ClusterError::ArrayRefused {
+                    array,
+                    tenant,
+                    source,
+                })
             }
         }
     }
@@ -133,18 +318,41 @@ impl QosCluster {
         tenant: u64,
         reserved: usize,
         policy: OverloadPolicy,
-    ) -> Result<(), String> {
+    ) -> Result<(), ClusterError> {
+        let mut ctrl = self.shared.ctrl.lock();
         let mut router = self.shared.router.lock();
-        if !router.assign_pinned(tenant, array, reserved) {
-            return Err(format!(
-                "array {array} cannot take tenant {tenant} (reservation {reserved})"
-            ));
+        let arrays = self.shared.arrays.read();
+        if array >= arrays.len() {
+            return Err(ClusterError::UnknownArray {
+                array,
+                arrays: arrays.len(),
+            });
         }
-        match self.arrays[array].register(tenant, reserved, policy) {
-            Ok(_) => Ok(()),
-            Err(e) => {
+        if arrays[array].retired || !matches!(arrays[array].state, ArrayState::Live(_)) {
+            return Err(ClusterError::ArrayNotLive { array });
+        }
+        if !router.assign_pinned(tenant, array, reserved) {
+            return Err(ClusterError::ArrayFull {
+                array,
+                tenant,
+                reserved,
+            });
+        }
+        let ArrayState::Live(server) = &arrays[array].state else {
+            unreachable!("state checked above under the same write-excluding read lock");
+        };
+        match server.register(tenant, reserved, policy) {
+            Ok(_) => {
+                ctrl.directory.insert(tenant, policy);
+                Ok(())
+            }
+            Err(source) => {
                 router.release(tenant);
-                Err(format!("array {array} refused tenant {tenant}: {e}"))
+                Err(ClusterError::ArrayRefused {
+                    array,
+                    tenant,
+                    source,
+                })
             }
         }
     }
@@ -153,66 +361,481 @@ impl QosCluster {
     /// in-flight admissions still settle on its array (departed records
     /// stay resolvable at seal).
     pub fn deregister_tenant(&self, tenant: u64) -> bool {
+        let mut ctrl = self.shared.ctrl.lock();
         let mut router = self.shared.router.lock();
         let Some(array) = router.route(tenant) else {
             return false;
         };
         router.release(tenant);
+        ctrl.directory.remove(&tenant);
         drop(router);
+        drop(ctrl);
         self.shared.epoch.fetch_add(1, Ordering::AcqRel);
-        self.arrays[array].deregister(tenant).is_some()
+        let arrays = self.shared.arrays.read();
+        match &arrays[array].state {
+            ArrayState::Live(server) => server.deregister(tenant).is_some(),
+            // The engine died with the registration; the route existed, so
+            // the deregistration "succeeds" — the stranded work is already
+            // charged to evacuation_lost.
+            _ => true,
+        }
     }
 
     /// A submission endpoint spanning every array (one per submitter
     /// thread, same discipline as [`QosServer::handle`]).
     pub fn handle(&self) -> ClusterHandle {
-        ClusterHandle {
-            handles: self.arrays.iter().map(QosServer::handle).collect(),
+        let mut h = ClusterHandle {
+            slots: Vec::new(),
+            epoch: u64::MAX,
             shared: Arc::clone(&self.shared),
             cache: HashMap::new(),
+        };
+        h.refresh();
+        h
+    }
+
+    /// Fail-stop `array` *now*: its engine halts without draining (queued
+    /// work finishes, open windows never seal) and the stranded residue is
+    /// charged to `evacuation_lost` so the extended law holds during the
+    /// outage. The router is *not* touched — discovering the corpse is the
+    /// health plane's job, which makes the detection latency observable.
+    /// Returns the stranded admission count.
+    pub fn kill_array(&self, array: usize) -> Result<u64, ClusterError> {
+        self.kill_slot(array)
+    }
+
+    /// Bring a fail-stopped `array` back. With a WAL the engine recovers
+    /// its durable record and the `evacuation_lost` charge is reversed
+    /// (losses re-surface as the engine's own accounting); tenants the
+    /// evacuation already moved to survivors are deregistered here and
+    /// become drain records. Without a WAL the slot restarts empty and its
+    /// frozen history is archived. Returns `true` when the engine
+    /// recovered from a WAL.
+    pub fn restore_array(&self, array: usize) -> Result<bool, ClusterError> {
+        let mut ctrl = self.shared.ctrl.lock();
+        self.restore_slot(&mut ctrl, array)
+    }
+
+    /// Degrade every device of a live `array` to `factor`× calibrated
+    /// service time — the silent whole-array fail-slow case. Detection is
+    /// the health plane's job.
+    pub fn degrade_array(&self, array: usize, factor: u32) -> Result<(), ClusterError> {
+        let arrays = self.shared.arrays.read();
+        let slot = arrays.get(array).ok_or(ClusterError::UnknownArray {
+            array,
+            arrays: arrays.len(),
+        })?;
+        match &slot.state {
+            ArrayState::Live(server) if !slot.retired => {
+                for d in 0..server.fault_plane().devices() {
+                    let _ = server.degrade_device(d, factor);
+                }
+                Ok(())
+            }
+            _ => Err(ClusterError::ArrayNotLive { array }),
         }
     }
 
+    /// Grow the fleet: build a new array at runtime and add it to the
+    /// ring. Existing placements do not move (stability under scale-out);
+    /// the control loop migrates hot tenants onto the new headroom on its
+    /// own cadence. Returns the new slot index.
+    pub fn add_array(&self, cfg: ServerConfig) -> Result<usize, ClusterError> {
+        let mut router = self.shared.router.lock();
+        let mut arrays = self.shared.arrays.write();
+        let array = arrays.len();
+        let server =
+            QosServer::new(cfg).map_err(|source| ClusterError::Engine { array, source })?;
+        let capacity = server.config().qos.request_limit();
+        let ring_index = router.add_array(capacity);
+        debug_assert_eq!(ring_index, array, "router and slot table diverged");
+        arrays.push(ArraySlot {
+            budget: (server.config().qos.epsilon, capacity),
+            state: ArrayState::Live(server),
+            incarnation: 0,
+            past: Vec::new(),
+            retired: false,
+            routed: Arc::new(AtomicU64::new(0)),
+        });
+        drop(arrays);
+        drop(router);
+        self.shared.liveness.lock().push_array();
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+        Ok(array)
+    }
+
+    /// Retire a live `array` gracefully: tombstone it in the router,
+    /// re-register its tenants on survivors (transactional, same shape as
+    /// a migration) and cooperatively drain the source — it keeps settling
+    /// in-flight admissions until [`QosCluster::finish`]. Returns the
+    /// `(tenant, new_array)` placements (`None` = nobody could take it).
+    pub fn remove_array(&self, array: usize) -> Result<Vec<(u64, Option<usize>)>, ClusterError> {
+        let mut ctrl = self.shared.ctrl.lock();
+        let mut router = self.shared.router.lock();
+        let mut arrays = self.shared.arrays.write();
+        if array >= arrays.len() {
+            return Err(ClusterError::UnknownArray {
+                array,
+                arrays: arrays.len(),
+            });
+        }
+        if arrays[array].retired || !matches!(arrays[array].state, ArrayState::Live(_)) {
+            return Err(ClusterError::ArrayNotLive { array });
+        }
+        let survivors = arrays
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| i != array && !s.retired && matches!(s.state, ArrayState::Live(_)))
+            .count();
+        if survivors == 0 {
+            return Err(ClusterError::LastArray { array });
+        }
+        let displaced = router.tombstone_array(array);
+        let mut placements = Vec::with_capacity(displaced.len());
+        for (tenant, target) in displaced {
+            let placed = target.is_some_and(|to| {
+                let policy = ctrl
+                    .directory
+                    .get(&tenant)
+                    .copied()
+                    .unwrap_or(OverloadPolicy::Delay);
+                let weight = router.assignment(tenant).map_or(1, |a| a.weight);
+                match &arrays[to].state {
+                    ArrayState::Live(server) if !arrays[to].retired => {
+                        server.register(tenant, weight, policy).is_ok()
+                    }
+                    _ => false,
+                }
+            });
+            if !placed {
+                router.release(tenant);
+                ctrl.directory.remove(&tenant);
+            }
+            // Cooperative drain: the retiring source frees the reservation
+            // now and settles the tenant's in-flight at its own seals.
+            if let ArrayState::Live(server) = &arrays[array].state {
+                if server.deregister(tenant).is_some()
+                    && !ctrl
+                        .drained
+                        .iter()
+                        .any(|d| d.tenant == tenant && d.from == array)
+                {
+                    ctrl.drained.push(Drained {
+                        tenant,
+                        from: array,
+                    });
+                }
+            }
+            placements.push((tenant, if placed { target } else { None }));
+        }
+        arrays[array].retired = true;
+        drop(arrays);
+        drop(router);
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+        Ok(placements)
+    }
+
+    fn kill_slot(&self, array: usize) -> Result<u64, ClusterError> {
+        let mut arrays = self.shared.arrays.write();
+        let total = arrays.len();
+        let slot = arrays.get_mut(array).ok_or(ClusterError::UnknownArray {
+            array,
+            arrays: total,
+        })?;
+        if slot.retired {
+            return Err(ClusterError::ArrayNotLive { array });
+        }
+        match std::mem::replace(&mut slot.state, ArrayState::Vacant) {
+            ArrayState::Live(server) => {
+                let cfg = Box::new(server.config().clone());
+                let frozen = Box::new(server.halt());
+                let stranded = residue(&frozen);
+                slot.state = ArrayState::Dead { frozen, cfg };
+                drop(arrays);
+                self.shared
+                    .evacuation_lost
+                    .fetch_add(stranded, Ordering::Relaxed);
+                // Handles drop their dead SubmitterHandle on the next
+                // refresh and start reporting transport refusals.
+                self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+                Ok(stranded)
+            }
+            other => {
+                slot.state = other;
+                Err(ClusterError::ArrayNotLive { array })
+            }
+        }
+    }
+
+    fn restore_slot(&self, ctrl: &mut CtrlState, array: usize) -> Result<bool, ClusterError> {
+        let mut router = self.shared.router.lock();
+        let mut arrays = self.shared.arrays.write();
+        let total = arrays.len();
+        let slot = arrays.get_mut(array).ok_or(ClusterError::UnknownArray {
+            array,
+            arrays: total,
+        })?;
+        match std::mem::replace(&mut slot.state, ArrayState::Vacant) {
+            ArrayState::Dead { frozen, cfg } => {
+                let recovered = cfg.wal.is_some();
+                let built = if recovered {
+                    QosServer::recover((*cfg).clone())
+                } else {
+                    QosServer::new((*cfg).clone())
+                };
+                let server = match built {
+                    Ok(s) => s,
+                    Err(source) => {
+                        // Put the corpse back; the slot stays dead.
+                        slot.state = ArrayState::Dead { frozen, cfg };
+                        return Err(ClusterError::Engine { array, source });
+                    }
+                };
+                if recovered {
+                    // The durable record supersedes the frozen counters:
+                    // reverse the ledger charge — what was stranded is now
+                    // re-parked in-flight or the engine's own fault_lost.
+                    self.shared
+                        .evacuation_lost
+                        .fetch_sub(residue(&frozen), Ordering::Relaxed);
+                    // Tenants the evacuation moved to survivors while this
+                    // slot was dead: drop their recovered registrations;
+                    // their durable in-flight settles here as departed
+                    // records (migrated_in_flight).
+                    for t in server.metrics().tenants.iter().filter(|t| t.live) {
+                        if router.route(t.tenant) != Some(array) {
+                            server.deregister(t.tenant);
+                            if !ctrl
+                                .drained
+                                .iter()
+                                .any(|d| d.tenant == t.tenant && d.from == array)
+                            {
+                                ctrl.drained.push(Drained {
+                                    tenant: t.tenant,
+                                    from: array,
+                                });
+                            }
+                        }
+                    }
+                } else {
+                    // No log: the frozen counters are permanent history
+                    // and the stranded residue stays lost. A fresh engine
+                    // also lost its registry — rebuild it for tenants
+                    // still routed here (restore raced the Dead verdict).
+                    for (tenant, a) in router.assignments() {
+                        if a.array == array {
+                            let policy = ctrl
+                                .directory
+                                .get(&tenant)
+                                .copied()
+                                .unwrap_or(OverloadPolicy::Delay);
+                            let _ = server.register(tenant, a.weight, policy);
+                        }
+                    }
+                    slot.past.push(*frozen);
+                }
+                slot.state = ArrayState::Live(server);
+                slot.incarnation += 1;
+                router.revive_array(array);
+                drop(arrays);
+                drop(router);
+                self.shared.liveness.lock().reset(array);
+                self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+                Ok(recovered)
+            }
+            other => {
+                slot.state = other;
+                Err(ClusterError::ArrayNotDead { array })
+            }
+        }
+    }
+
+    fn degrade_slot(&self, array: usize, factor: u32) {
+        let arrays = self.shared.arrays.read();
+        if let Some(slot) = arrays.get(array) {
+            if let ArrayState::Live(server) = &slot.state {
+                for d in 0..server.fault_plane().devices() {
+                    let _ = server.degrade_device(d, factor);
+                }
+            }
+        }
+    }
+
+    fn heal_slot(&self, array: usize) {
+        let arrays = self.shared.arrays.read();
+        if let Some(slot) = arrays.get(array) {
+            if let ArrayState::Live(server) = &slot.state {
+                for d in 0..server.fault_plane().devices() {
+                    let _ = server.restore_device(d);
+                }
+            }
+        }
+    }
+
+    /// Emergency evacuation of a `Dead`-verdicted slot: tombstone it in
+    /// the router (ring re-placement picks the survivors) and re-register
+    /// each displaced tenant on its target from the policy directory.
+    /// There is no source-side drain — the dead engine is gone and its
+    /// stranded in-flight was charged to `evacuation_lost` when it halted.
+    fn evacuate(&self, ctrl: &mut CtrlState, dead: usize, tick: u64) {
+        let mut router = self.shared.router.lock();
+        let displaced = router.tombstone_array(dead);
+        let arrays = self.shared.arrays.read();
+        let mut moved = Vec::new();
+        let mut unplaced = Vec::new();
+        for (tenant, target) in displaced {
+            let placed = target.is_some_and(|to| {
+                let policy = ctrl
+                    .directory
+                    .get(&tenant)
+                    .copied()
+                    .unwrap_or(OverloadPolicy::Delay);
+                let weight = router.assignment(tenant).map_or(1, |a| a.weight);
+                match &arrays[to].state {
+                    ArrayState::Live(server) if !arrays[to].retired => {
+                        server.register(tenant, weight, policy).is_ok()
+                    }
+                    _ => false,
+                }
+            });
+            match (placed, target) {
+                (true, Some(to)) => moved.push((tenant, to)),
+                _ => {
+                    router.release(tenant);
+                    ctrl.directory.remove(&tenant);
+                    unplaced.push(tenant);
+                }
+            }
+        }
+        drop(arrays);
+        drop(router);
+        self.shared
+            .evacuated_tenants
+            .fetch_add(moved.len() as u64, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+        ctrl.evacuations.push(EvacuationEvent {
+            tick,
+            array: dead,
+            moved,
+            unplaced,
+        });
+    }
+
     /// One pass of the global control loop, intended to run once per
-    /// window boundary. Differentiates each array's pressure counters
-    /// against its ε-budget and, when one array saturates while another
-    /// has headroom, migrates the hottest tenant: register on the target,
-    /// cooperative drain on the source (deregister; in-flight admissions
-    /// keep settling there), router epoch bump.
+    /// window boundary. In order: apply scripted chaos events, heartbeat
+    /// every slot (feeding the health plane), evacuate fresh `Dead`
+    /// verdicts, then differentiate pressure and (maybe) migrate the
+    /// hottest tenant off a saturated array.
     pub fn control_tick(&self) -> Option<RebalanceEvent> {
-        let snaps: Vec<MetricsSnapshot> = self.arrays.iter().map(QosServer::metrics).collect();
         let mut ctrl = self.shared.ctrl.lock();
         ctrl.tick += 1;
         let tick = ctrl.tick;
 
+        // Scripted whole-array faults fire at the start of their tick.
+        let due: Vec<ClusterFaultEvent> = self.cfg.chaos.at(tick).copied().collect();
+        for e in due {
+            match e.kind {
+                ClusterFaultKind::Kill => {
+                    let _ = self.kill_slot(e.array);
+                }
+                ClusterFaultKind::Restore => {
+                    // A dead slot restarts; a live (degraded) one heals.
+                    if self.restore_slot(&mut ctrl, e.array).is_err() {
+                        self.heal_slot(e.array);
+                    }
+                }
+                ClusterFaultKind::Slow(factor) => self.degrade_slot(e.array, factor),
+            }
+        }
+
+        // Heartbeat probes → health verdicts, plus this tick's observation
+        // set, all under one consistent read of the slot table.
+        let arrays = self.shared.arrays.read();
+        let mut verdicts = Vec::new();
+        let mut liveness = self.shared.liveness.lock();
+        for (i, slot) in arrays.iter().enumerate() {
+            if slot.retired {
+                continue;
+            }
+            let probe = match &slot.state {
+                ArrayState::Live(s) => Probe {
+                    alive: true,
+                    slow: s.fault_plane().live_slow_mask() != 0,
+                },
+                _ => Probe {
+                    alive: false,
+                    slow: false,
+                },
+            };
+            if liveness.observe(i, probe) == Some(ArrayHealth::Dead) {
+                verdicts.push(i);
+            }
+        }
+        let healths = liveness.states();
+        drop(liveness);
+        let snaps: Vec<Option<MetricsSnapshot>> = arrays
+            .iter()
+            .map(|s| match &s.state {
+                ArrayState::Live(sv) => Some(sv.metrics()),
+                _ => None,
+            })
+            .collect();
+        let budgets: Vec<(f64, usize)> = arrays.iter().map(|s| s.budget).collect();
+        let headrooms: Vec<usize> = arrays
+            .iter()
+            .map(|s| match &s.state {
+                ArrayState::Live(sv) => sv.headroom(),
+                _ => 0,
+            })
+            .collect();
+        let retired: Vec<bool> = arrays.iter().map(|s| s.retired).collect();
+        drop(arrays);
+
+        // Emergency evacuation on each fresh Dead verdict.
+        for dead in verdicts {
+            self.evacuate(&mut ctrl, dead, tick);
+        }
+
         let obs: Vec<ArrayObs> = snaps
             .iter()
-            .map(|s| ArrayObs {
-                rejected: s.rejected,
-                delayed: s.delayed,
-                overflow: s.overflow,
+            .enumerate()
+            .map(|(i, s)| match s {
+                Some(s) => ArrayObs {
+                    rejected: s.rejected,
+                    delayed: s.delayed,
+                    overflow: s.overflow,
+                },
+                // A dead slot keeps its previous basis: a WAL-recovered
+                // engine restores counters near it, so restoration does
+                // not read as a pressure spike.
+                None => ctrl.prev.get(i).copied().unwrap_or_default(),
             })
             .collect();
         let pressures: Vec<u64> = obs
             .iter()
             .enumerate()
             .map(|(i, &now)| {
+                if snaps[i].is_none() || retired[i] {
+                    return 0;
+                }
                 let prev = ctrl.prev.get(i).copied().unwrap_or_default();
                 let delta = ArrayObs {
                     rejected: now.rejected.saturating_sub(prev.rejected),
                     delayed: now.delayed.saturating_sub(prev.delayed),
                     overflow: now.overflow.saturating_sub(prev.overflow),
                 };
-                pressure(delta, self.budgets[i].0, self.budgets[i].1)
+                pressure(delta, budgets[i].0, budgets[i].1)
             })
             .collect();
 
-        let decision = self.pick_migration(&ctrl, &snaps, &pressures);
+        let decision =
+            self.pick_migration(&ctrl, &snaps, &pressures, &healths, &retired, &headrooms);
 
         // Re-baseline the differentiators before (maybe) migrating, so the
         // next tick measures the post-migration regime.
         ctrl.prev = obs;
         for (i, s) in snaps.iter().enumerate() {
+            let Some(s) = s else { continue };
             for t in &s.tenants {
                 if t.live {
                     ctrl.prev_tenants.insert(
@@ -233,7 +856,12 @@ impl QosCluster {
             }
         }
 
-        let (tenant, from, to, reserved, policy) = decision?;
+        let (tenant, from, to, demand) = decision?;
+        let policy = ctrl
+            .directory
+            .get(&tenant)
+            .copied()
+            .unwrap_or(OverloadPolicy::Delay);
         // Commit under the router lock so no handle can observe a
         // half-moved placement. Router first — it is the only step that
         // can refuse for load — then target registration (rolled back on
@@ -242,10 +870,21 @@ impl QosCluster {
         let Some(old) = router.assignment(tenant) else {
             return None; // deregistered concurrently; nothing to move
         };
-        if old.array != from || !router.reassign(tenant, to, reserved) {
+        if old.array != from {
             return None;
         }
-        if self.arrays[to].register(tenant, reserved, policy).is_err() {
+        // Size the new reservation to observed demand, bounded by what the
+        // calmest target can actually admit.
+        let reserved = demand.max(old.weight).min(headrooms[to]);
+        if reserved < old.weight || !router.reassign(tenant, to, reserved) {
+            return None; // nowhere better than home
+        }
+        let arrays = self.shared.arrays.read();
+        let target_ok = match &arrays[to].state {
+            ArrayState::Live(target) => target.register(tenant, reserved, policy).is_ok(),
+            _ => false,
+        };
+        if !target_ok {
             // Undo the routing; neither engine was touched yet (the
             // source always has room for the weight it just freed).
             router.reassign(tenant, from, old.weight);
@@ -253,7 +892,10 @@ impl QosCluster {
         }
         // Cooperative drain: the source frees the reservation now and
         // settles the tenant's in-flight admissions at its own seals.
-        self.arrays[from].deregister(tenant);
+        if let ArrayState::Live(source) = &arrays[from].state {
+            source.deregister(tenant);
+        }
+        drop(arrays);
         drop(router);
         self.shared.epoch.fetch_add(1, Ordering::AcqRel);
         self.shared.rebalances.fetch_add(1, Ordering::Relaxed);
@@ -279,15 +921,19 @@ impl QosCluster {
         Some(event)
     }
 
-    /// Choose `(tenant, from, to, reserved, policy)` for this tick, or
-    /// `None` when the fleet is calm, cooling down, or out of headroom.
-    #[allow(clippy::type_complexity)]
+    /// Choose `(tenant, from, to, demand)` for this tick, or `None` when
+    /// the fleet is calm, cooling down, or out of healthy headroom. Slow
+    /// and dead slots are never targets; dead and retired slots are never
+    /// sources.
     fn pick_migration(
         &self,
         ctrl: &CtrlState,
-        snaps: &[MetricsSnapshot],
+        snaps: &[Option<MetricsSnapshot>],
         pressures: &[u64],
-    ) -> Option<(u64, usize, usize, usize, OverloadPolicy)> {
+        healths: &[ArrayHealth],
+        retired: &[bool],
+        headrooms: &[usize],
+    ) -> Option<(u64, usize, usize, usize)> {
         if !self.cfg.rebalance {
             return None;
         }
@@ -300,10 +946,11 @@ impl QosCluster {
         if hot < self.cfg.min_pressure {
             return None;
         }
+        let snap = snaps[from].as_ref()?;
         // Hottest live tenant on the saturated array, by pressure delta.
         // Saturating: the baseline is pruned on departure, but a torn
         // snapshot could still read a counter below its basis.
-        let tenant_delta = |t: &TenantSnapshot| {
+        let tenant_delta = |t: &fqos_server::TenantSnapshot| {
             let prev = ctrl
                 .prev_tenants
                 .get(&(from, t.tenant))
@@ -318,7 +965,7 @@ impl QosCluster {
                 admitted + rejected + overflow,
             )
         };
-        let (candidate, tenant_pressure, demand) = snaps[from]
+        let (candidate, tenant_pressure, demand) = snap
             .tenants
             .iter()
             .filter(|t| t.live)
@@ -330,133 +977,255 @@ impl QosCluster {
         if tenant_pressure == 0 {
             return None;
         }
-        let record = self.arrays[from].tenant(candidate.tenant)?;
-        // Size the new reservation to observed demand, bounded by what the
-        // calmest target can actually admit.
-        let want = (demand as usize).max(record.reserved);
-        let (to, headroom) = (0..self.arrays.len())
-            .filter(|&i| i != from && pressures[i] < self.cfg.min_pressure)
-            .map(|i| (i, self.arrays[i].headroom()))
+        let (to, _) = (0..snaps.len())
+            .filter(|&i| {
+                i != from
+                    && !retired[i]
+                    && snaps[i].is_some()
+                    && pressures[i] < self.cfg.min_pressure
+                    && matches!(healths[i], ArrayHealth::Healthy | ArrayHealth::Suspect)
+            })
+            .map(|i| (i, headrooms[i]))
             .max_by_key(|&(i, h)| (h, usize::MAX - i))?;
-        let reserved = want.min(headroom);
-        if reserved < record.reserved {
-            return None; // nowhere better than home
-        }
-        Some((candidate.tenant, from, to, reserved, record.policy))
+        Some((candidate.tenant, from, to, demand as usize))
     }
 
     /// Live fleet snapshot (mid-run the law holds up to in-flight work;
     /// see [`ClusterMetrics::in_flight_total`]).
     pub fn metrics(&self) -> ClusterMetrics {
-        let snaps: Vec<MetricsSnapshot> = self.arrays.iter().map(QosServer::metrics).collect();
-        self.assemble(snaps)
+        let ctrl = self.shared.ctrl.lock();
+        let arrays = self.shared.arrays.read();
+        let mut snaps = Vec::with_capacity(arrays.len());
+        let mut frozen = Vec::with_capacity(arrays.len());
+        let mut retired = Vec::with_capacity(arrays.len());
+        let mut routed = Vec::with_capacity(arrays.len());
+        let mut past = Vec::new();
+        for slot in arrays.iter() {
+            past.extend(slot.past.iter().cloned());
+            retired.push(slot.retired);
+            routed.push(slot.routed.load(Ordering::Relaxed));
+            match &slot.state {
+                ArrayState::Live(server) => {
+                    frozen.push(false);
+                    snaps.push(server.metrics());
+                }
+                ArrayState::Dead { frozen: f, .. } => {
+                    frozen.push(true);
+                    snaps.push(f.as_ref().clone());
+                }
+                ArrayState::Vacant => unreachable!("vacant slot outside a held write lock"),
+            }
+        }
+        drop(arrays);
+        let liveness = self.shared.liveness.lock();
+        fleet_metrics(
+            &self.shared,
+            &ctrl,
+            &liveness,
+            snaps,
+            frozen,
+            retired,
+            past,
+            routed,
+        )
     }
 
-    /// Seal and drain every array, then return the final fleet metrics.
-    /// The cluster conservation audit is printed; callers should also
-    /// assert [`ClusterMetrics::conserved`].
+    /// Seal and drain every live array (dead slots contribute their frozen
+    /// snapshots), then return the final fleet metrics. The cluster
+    /// conservation audit is printed; callers should also assert
+    /// [`ClusterMetrics::conserved`].
     pub fn finish(self) -> ClusterMetrics {
-        let QosCluster { arrays, shared, .. } = self;
-        let finals: Vec<MetricsSnapshot> = arrays.into_iter().map(QosServer::finish).collect();
+        let QosCluster { shared, .. } = self;
+        let mut arrays = shared.arrays.write();
+        let mut finals = Vec::with_capacity(arrays.len());
+        let mut frozen = Vec::with_capacity(arrays.len());
+        let mut retired = Vec::with_capacity(arrays.len());
+        let mut routed = Vec::with_capacity(arrays.len());
+        let mut past = Vec::new();
+        for slot in arrays.iter_mut() {
+            past.append(&mut slot.past);
+            retired.push(slot.retired);
+            routed.push(slot.routed.load(Ordering::Relaxed));
+            match std::mem::replace(&mut slot.state, ArrayState::Vacant) {
+                ArrayState::Live(server) => {
+                    frozen.push(false);
+                    finals.push(server.finish());
+                }
+                ArrayState::Dead { frozen: f, .. } => {
+                    frozen.push(true);
+                    finals.push(*f);
+                }
+                ArrayState::Vacant => unreachable!("vacant slot outside a held write lock"),
+            }
+        }
+        drop(arrays);
         let ctrl = shared.ctrl.lock();
-        let metrics = ClusterMetrics {
-            migrated_in_flight: migrated_in_flight(&ctrl.drained, &finals),
-            routed: shared
-                .routed
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            unrouted: shared.unrouted.load(Ordering::Relaxed),
-            rebalances: shared.rebalances.load(Ordering::Relaxed),
-            router_epoch: shared.epoch.load(Ordering::Acquire),
-            events: ctrl.events.clone(),
-            arrays: finals,
-        };
+        let liveness = shared.liveness.lock();
+        let metrics = fleet_metrics(
+            &shared, &ctrl, &liveness, finals, frozen, retired, past, routed,
+        );
         println!("{}", metrics.render_audit());
         metrics
     }
-
-    fn assemble(&self, snaps: Vec<MetricsSnapshot>) -> ClusterMetrics {
-        let ctrl = self.shared.ctrl.lock();
-        ClusterMetrics {
-            migrated_in_flight: migrated_in_flight(&ctrl.drained, &snaps),
-            routed: self
-                .shared
-                .routed
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            unrouted: self.shared.unrouted.load(Ordering::Relaxed),
-            rebalances: self.shared.rebalances.load(Ordering::Relaxed),
-            router_epoch: self.shared.epoch.load(Ordering::Acquire),
-            events: ctrl.events.clone(),
-            arrays: snaps,
-        }
-    }
 }
 
-/// Unsettled admissions of drained tenants on their source arrays: the
-/// `migrated_in_flight` term of the cluster law. Counts only departed
-/// records — a tenant that later returned to `from` is live there again
-/// and accounted normally.
-fn migrated_in_flight(drained: &[Drained], snaps: &[MetricsSnapshot]) -> u64 {
-    drained
-        .iter()
-        .map(|d| {
-            snaps[d.from]
-                .tenants
-                .iter()
-                .find(|t| t.tenant == d.tenant && !t.live)
-                .map_or(0, TenantSnapshot::in_flight)
-        })
-        .sum()
+/// One array's view inside a [`ClusterHandle`]: the submitter handle (if
+/// the slot is alive), the engine incarnation it was built against, and
+/// the slot's routed counter.
+struct HandleSlot {
+    handle: Option<SubmitterHandle>,
+    incarnation: u64,
+    routed: Arc<AtomicU64>,
 }
 
 /// A per-thread submission endpoint spanning the fleet. Routes each
 /// submission to its tenant's array and keeps time moving on the others
 /// (watermark advance), so every array's windows seal at trace cadence.
 ///
-/// Routing reads a per-handle cache validated against the router epoch:
-/// the router lock is only taken on a miss or after a migration.
+/// Routing reads a per-handle cache validated against the cluster epoch;
+/// the router lock is only taken on a miss. The engine views refresh the
+/// same way, so a fail-stopped or restored array is picked up without any
+/// locking on the steady-state path. A submission routed to a
+/// fail-stopped slot is retried (bounded) against fresh routes — an
+/// evacuation racing the submit wins — and otherwise refused as
+/// [`RejectReason::ArrayUnavailable`], never a hang or a spurious
+/// `UnknownTenant`.
 pub struct ClusterHandle {
-    handles: Vec<SubmitterHandle>,
+    slots: Vec<HandleSlot>,
+    epoch: u64,
     shared: Arc<Shared>,
     cache: HashMap<u64, (u64, usize)>,
 }
 
 impl ClusterHandle {
+    /// Bounded retries against refreshed routes before a submission is
+    /// refused as `ArrayUnavailable` (one verdict-racing evacuation plus
+    /// slack).
+    const SUBMIT_RETRIES: usize = 3;
+
+    /// Re-sync the engine views with the slot table when the cluster
+    /// epoch moved (membership change, migration, kill or restore).
+    fn refresh(&mut self) {
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        if epoch == self.epoch {
+            return;
+        }
+        let arrays = self.shared.arrays.read();
+        for (i, slot) in arrays.iter().enumerate() {
+            if i == self.slots.len() {
+                self.slots.push(HandleSlot {
+                    handle: None,
+                    incarnation: u64::MAX,
+                    routed: Arc::clone(&slot.routed),
+                });
+            }
+            let hs = &mut self.slots[i];
+            match &slot.state {
+                ArrayState::Live(server) => {
+                    if hs.incarnation != slot.incarnation || hs.handle.is_none() {
+                        hs.handle = Some(server.handle());
+                        hs.incarnation = slot.incarnation;
+                    }
+                }
+                _ => {
+                    hs.handle = None;
+                    hs.incarnation = slot.incarnation;
+                }
+            }
+        }
+        drop(arrays);
+        self.epoch = epoch;
+    }
+
+    fn force_refresh(&mut self) {
+        self.epoch = u64::MAX;
+        self.refresh();
+    }
+
     /// Submit one block read for `tenant` at `arrival_ns`; per-handle
     /// arrival times must be non-decreasing, as with
     /// [`SubmitterHandle::submit`].
     pub fn submit(&mut self, tenant: u64, lbn: u64, arrival_ns: u64) -> SubmitOutcome {
-        let Some(array) = self.routed_array(tenant) else {
-            self.shared.unrouted.fetch_add(1, Ordering::Relaxed);
-            return SubmitOutcome::Rejected(RejectReason::UnknownTenant);
-        };
-        // Idle arrays still see time pass: an open handle that never
-        // advances its watermark would pin their windows open forever.
-        for (i, h) in self.handles.iter_mut().enumerate() {
-            if i != array {
-                h.advance_to(arrival_ns);
+        self.refresh();
+        let mut saw_dead = false;
+        for attempt in 1..=Self::SUBMIT_RETRIES {
+            let Some(array) = self.routed_array(tenant) else {
+                self.shared.unrouted.fetch_add(1, Ordering::Relaxed);
+                // An evacuation that found no survivor releases the
+                // tenant; report the outage, not an unknown tenant.
+                return SubmitOutcome::Rejected(if saw_dead {
+                    RejectReason::ArrayUnavailable
+                } else {
+                    RejectReason::UnknownTenant
+                });
+            };
+            if array >= self.slots.len() {
+                // The route is from a newer topology than our slot view.
+                self.force_refresh();
+                if array >= self.slots.len() {
+                    return SubmitOutcome::Rejected(RejectReason::UnknownTenant);
+                }
+            }
+            // Idle arrays still see time pass: an open handle that never
+            // advances its watermark would pin their windows open forever.
+            for (i, hs) in self.slots.iter_mut().enumerate() {
+                if i != array {
+                    if let Some(h) = hs.handle.as_mut() {
+                        h.advance_to(arrival_ns);
+                    }
+                }
+            }
+            let Some(h) = self.slots[array].handle.as_mut() else {
+                // Routed to a fail-stopped slot: a transport-level refusal.
+                // Feed the health plane (refusals count as failed
+                // heartbeats) and retry — a concurrent control tick may
+                // already have evacuated the tenant to a survivor.
+                saw_dead = true;
+                self.shared
+                    .refused_unavailable
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.liveness.lock().note_refusal(array);
+                self.cache.remove(&tenant);
+                if attempt == Self::SUBMIT_RETRIES {
+                    break;
+                }
+                std::thread::yield_now();
+                self.force_refresh();
+                continue;
+            };
+            let out = h.submit(tenant, lbn, arrival_ns);
+            self.slots[array].routed.fetch_add(1, Ordering::Relaxed);
+            match out {
+                SubmitOutcome::Rejected(RejectReason::UnknownTenant) => {
+                    // A migration between the route read and the submit
+                    // lands the request on the drained source. Re-route
+                    // and retry, so a rebalance never surfaces as a
+                    // spurious rejection.
+                    self.cache.remove(&tenant);
+                    if self.routed_array(tenant) == Some(array) {
+                        return out; // genuinely unknown on its own array
+                    }
+                }
+                SubmitOutcome::Rejected(RejectReason::ServerStopping) => {
+                    // The engine halted between our refresh and the
+                    // submit; same treatment as a missing handle.
+                    saw_dead = true;
+                    self.shared.liveness.lock().note_refusal(array);
+                    self.cache.remove(&tenant);
+                    if attempt == Self::SUBMIT_RETRIES {
+                        break;
+                    }
+                    std::thread::yield_now();
+                    self.force_refresh();
+                }
+                _ => return out,
             }
         }
-        self.shared.routed[array].fetch_add(1, Ordering::Relaxed);
-        let out = self.handles[array].submit(tenant, lbn, arrival_ns);
-        if out != SubmitOutcome::Rejected(RejectReason::UnknownTenant) {
-            return out;
-        }
-        // A migration between the route read and the submit lands the
-        // request on the drained source, which no longer knows the tenant.
-        // Re-route once — the tenant is live on its new array — so a
-        // rebalance never surfaces as a spurious rejection.
-        self.cache.remove(&tenant);
-        match self.routed_array(tenant) {
-            Some(rerouted) if rerouted != array => {
-                self.shared.routed[rerouted].fetch_add(1, Ordering::Relaxed);
-                self.handles[rerouted].submit(tenant, lbn, arrival_ns)
-            }
-            _ => out, // genuinely unknown (or deregistered for real)
-        }
+        SubmitOutcome::Rejected(if saw_dead {
+            RejectReason::ArrayUnavailable
+        } else {
+            RejectReason::UnknownTenant
+        })
     }
 
     /// Resolve `tenant`'s array through the per-handle cache, falling back
@@ -480,11 +1249,14 @@ impl ClusterHandle {
         routed
     }
 
-    /// Advance every array's watermark without submitting (end-of-phase
-    /// drain in paced drivers).
+    /// Advance every live array's watermark without submitting
+    /// (end-of-phase drain in paced drivers).
     pub fn advance_all(&mut self, arrival_ns: u64) {
-        for h in &mut self.handles {
-            h.advance_to(arrival_ns);
+        self.refresh();
+        for hs in &mut self.slots {
+            if let Some(h) = hs.handle.as_mut() {
+                h.advance_to(arrival_ns);
+            }
         }
     }
 
@@ -538,7 +1310,13 @@ mod tests {
         for t in 0..10u64 {
             c.register_tenant(t, 1, OverloadPolicy::Delay).unwrap();
         }
-        assert!(c.register_tenant(10, 1, OverloadPolicy::Delay).is_err());
+        assert!(matches!(
+            c.register_tenant(10, 1, OverloadPolicy::Delay),
+            Err(ClusterError::NoHeadroom {
+                tenant: 10,
+                reserved: 1
+            })
+        ));
         let m = c.finish();
         assert_eq!(m.arrays.len(), 2);
     }
@@ -560,5 +1338,52 @@ mod tests {
         assert!(m.conserved(), "{}", m.render_audit());
         assert_eq!(m.admitted_total(), 1);
         assert_eq!(m.completed(), 1, "drained admission still settles");
+    }
+
+    #[test]
+    fn killing_an_array_charges_the_ledger_and_refuses_typed() {
+        let c = two_arrays();
+        let a = c.register_tenant(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut h = c.handle();
+        assert!(h.submit(1, 0, 0).is_admitted());
+        let stranded = c.kill_array(a).unwrap();
+        assert_eq!(stranded, 1, "the admission never settled");
+        assert_eq!(c.evacuation_lost(), 1);
+        // No control tick has run: the tenant still routes to the corpse
+        // and the refusal is transport-typed, not UnknownTenant.
+        assert_eq!(
+            h.submit(1, 1, BASE_T),
+            SubmitOutcome::Rejected(RejectReason::ArrayUnavailable)
+        );
+        assert!(matches!(
+            c.kill_array(a),
+            Err(ClusterError::ArrayNotLive { .. })
+        ));
+        drop(h);
+        let m = c.finish();
+        assert!(m.conserved(), "{}", m.render_audit());
+        assert_eq!(m.evacuation_lost, 1);
+        assert!(m.refused_unavailable >= 1);
+    }
+
+    #[test]
+    fn dead_verdict_evacuates_to_the_survivor() {
+        let array = ServerConfig::new(QosConfig::paper_9_3_1());
+        let c = QosCluster::new(ClusterConfig::uniform(2, &array).with_rebalance(false)).unwrap();
+        let a = c.register_tenant(1, 1, OverloadPolicy::Delay).unwrap();
+        c.kill_array(a).unwrap();
+        // dead_after = 2 consecutive bad heartbeats.
+        assert!(c.control_tick().is_none());
+        assert!(c.control_tick().is_none());
+        assert_eq!(c.health()[a], ArrayHealth::Dead);
+        assert_eq!(c.route_of(1), Some(1 - a), "tenant lives on the survivor");
+        let mut h = c.handle();
+        assert!(h.submit(1, 0, 0).is_admitted());
+        drop(h);
+        let m = c.finish();
+        assert!(m.conserved(), "{}", m.render_audit());
+        assert_eq!(m.evacuations.len(), 1);
+        assert_eq!(m.evacuations[0].moved, vec![(1, 1 - a)]);
+        assert_eq!(m.evacuated_tenants, 1);
     }
 }

@@ -1,5 +1,7 @@
 //! Cluster construction parameters.
 
+use crate::error::ClusterError;
+use crate::health::{ClusterFaultSchedule, ClusterHealthParams};
 use fqos_server::ServerConfig;
 
 /// Configuration for a [`crate::QosCluster`]: one [`ServerConfig`] per
@@ -19,6 +21,11 @@ pub struct ClusterConfig {
     /// Per-tick pressure (rejections + delays + over-budget overflow) at
     /// which an array counts as saturated.
     pub min_pressure: u64,
+    /// Array-level liveness scoring thresholds.
+    pub health: ClusterHealthParams,
+    /// Scripted whole-array faults, applied by the control loop at the
+    /// start of their tick.
+    pub chaos: ClusterFaultSchedule,
 }
 
 impl ClusterConfig {
@@ -30,6 +37,8 @@ impl ClusterConfig {
             rebalance: true,
             cooldown_ticks: 2,
             min_pressure: 1,
+            health: ClusterHealthParams::default(),
+            chaos: ClusterFaultSchedule::new(),
         }
     }
 
@@ -62,15 +71,37 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder: liveness scoring thresholds.
+    pub fn with_health(mut self, health: ClusterHealthParams) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Builder: scripted whole-array fault schedule.
+    pub fn with_chaos(mut self, chaos: ClusterFaultSchedule) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
     /// Structural validation (per-array configs validate themselves in
     /// [`fqos_server::QosServer::new`]).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ClusterError> {
         if self.arrays.is_empty() {
-            return Err("cluster needs at least one array".into());
+            return Err(ClusterError::Config(
+                "cluster needs at least one array".into(),
+            ));
         }
         if self.vnodes_per_array == 0 {
-            return Err("vnodes_per_array must be positive".into());
+            return Err(ClusterError::Config(
+                "vnodes_per_array must be positive".into(),
+            ));
         }
+        if self.health.dead_after == 0 || self.health.slow_after == 0 {
+            return Err(ClusterError::Config(
+                "health verdicts need at least one bad tick".into(),
+            ));
+        }
+        self.chaos.validate(self.arrays.len())?;
         Ok(())
     }
 }

@@ -9,6 +9,7 @@
 //! registers the tenant fresh, and a router epoch bump invalidates every
 //! handle's route cache.
 
+use fqos_server::OverloadPolicy;
 use std::collections::HashMap;
 
 /// One executed migration, as reported by
@@ -55,6 +56,22 @@ pub(crate) struct Drained {
     pub from: usize,
 }
 
+/// One emergency evacuation, executed by the control loop on the tick an
+/// array's health verdict reached `Dead`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvacuationEvent {
+    /// Control tick (1-based) the Dead verdict fired on.
+    pub tick: u64,
+    /// The condemned array.
+    pub array: usize,
+    /// `(tenant, survivor)` placements that succeeded (register-on-target;
+    /// the dead source has nothing left to drain).
+    pub moved: Vec<(u64, usize)>,
+    /// Tenants no survivor could take; they are released from the router
+    /// and must re-register.
+    pub unplaced: Vec<u64>,
+}
+
 /// Controller state behind the `cluster.ctrl` lock.
 #[derive(Debug, Default)]
 pub(crate) struct CtrlState {
@@ -73,6 +90,12 @@ pub(crate) struct CtrlState {
     pub events: Vec<RebalanceEvent>,
     /// Drain records for the conservation audit.
     pub drained: Vec<Drained>,
+    /// Every emergency evacuation, in order.
+    pub evacuations: Vec<EvacuationEvent>,
+    /// Fleet-wide tenant → overload policy directory. The engines own the
+    /// authoritative records, but a fail-stopped engine takes its records
+    /// with it — evacuation re-registers tenants on survivors from here.
+    pub directory: HashMap<u64, OverloadPolicy>,
 }
 
 /// Pressure of one observation delta against an ε-budget: rejections and

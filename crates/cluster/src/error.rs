@@ -1,0 +1,127 @@
+//! Typed cluster-tier errors.
+//!
+//! Everything the fleet tier can refuse — registration, routing,
+//! membership changes and chaos-schedule specs — is reported through
+//! [`ClusterError`] instead of ad-hoc strings, so the CLI and tests can
+//! match on the failure class while `Display` keeps the operator-facing
+//! message.
+
+use crate::health::ClusterFaultSpecError;
+use fqos_server::RegisterError;
+
+/// Why a cluster operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Structural configuration problems (empty fleet, zero vnodes, …).
+    Config(String),
+    /// Building or recovering one array's engine failed.
+    Engine {
+        /// Array slot being built or recovered.
+        array: usize,
+        /// The engine's own error message.
+        source: String,
+    },
+    /// No array in the fleet has headroom for the reservation.
+    NoHeadroom {
+        /// The tenant being placed.
+        tenant: u64,
+        /// The reservation that found no home.
+        reserved: usize,
+    },
+    /// A pinned placement exceeds the target array's load bound (or the
+    /// array is tombstoned).
+    ArrayFull {
+        /// The pinned target.
+        array: usize,
+        /// The tenant being placed.
+        tenant: u64,
+        /// The refused reservation.
+        reserved: usize,
+    },
+    /// The routed array's admission plane refused the reservation (the
+    /// router's bound and the engine's `S(M)` disagreed).
+    ArrayRefused {
+        /// The refusing array.
+        array: usize,
+        /// The tenant being placed.
+        tenant: u64,
+        /// The engine-side refusal.
+        source: RegisterError,
+    },
+    /// An array index outside the fleet.
+    UnknownArray {
+        /// The named slot.
+        array: usize,
+        /// Slots in the fleet (live, dead and retired).
+        arrays: usize,
+    },
+    /// The operation needs a live array but the slot is fail-stopped or
+    /// retired.
+    ArrayNotLive {
+        /// The named slot.
+        array: usize,
+    },
+    /// `restore_array` on a slot that is not dead.
+    ArrayNotDead {
+        /// The named slot.
+        array: usize,
+    },
+    /// Removing or killing the slot would leave the fleet without a live
+    /// array to evacuate to.
+    LastArray {
+        /// The named slot.
+        array: usize,
+    },
+    /// A malformed or fleet-violating chaos schedule.
+    FaultSpec(ClusterFaultSpecError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(msg) => write!(f, "cluster config: {msg}"),
+            ClusterError::Engine { array, source } => {
+                write!(f, "array {array} engine: {source}")
+            }
+            ClusterError::NoHeadroom { tenant, reserved } => write!(
+                f,
+                "no array has headroom for tenant {tenant} (reservation {reserved})"
+            ),
+            ClusterError::ArrayFull {
+                array,
+                tenant,
+                reserved,
+            } => write!(
+                f,
+                "array {array} cannot take tenant {tenant} (reservation {reserved})"
+            ),
+            ClusterError::ArrayRefused {
+                array,
+                tenant,
+                source,
+            } => write!(f, "array {array} refused tenant {tenant}: {source}"),
+            ClusterError::UnknownArray { array, arrays } => {
+                write!(f, "array {array} does not exist (fleet has {arrays} slots)")
+            }
+            ClusterError::ArrayNotLive { array } => {
+                write!(f, "array {array} is not live (fail-stopped or retired)")
+            }
+            ClusterError::ArrayNotDead { array } => {
+                write!(f, "array {array} is not dead; nothing to restore")
+            }
+            ClusterError::LastArray { array } => write!(
+                f,
+                "array {array} is the last live array; refusing to remove it"
+            ),
+            ClusterError::FaultSpec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ClusterFaultSpecError> for ClusterError {
+    fn from(e: ClusterFaultSpecError) -> Self {
+        ClusterError::FaultSpec(e)
+    }
+}

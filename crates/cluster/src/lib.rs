@@ -40,13 +40,20 @@
 mod cluster;
 mod config;
 mod ctrl;
+mod error;
+mod health;
 mod metrics;
 mod prom;
 mod router;
 
 pub use cluster::{ClusterHandle, QosCluster};
 pub use config::ClusterConfig;
-pub use ctrl::RebalanceEvent;
+pub use ctrl::{EvacuationEvent, RebalanceEvent};
+pub use error::ClusterError;
+pub use health::{
+    ArrayHealth, ClusterFaultEvent, ClusterFaultKind, ClusterFaultSchedule, ClusterFaultSpecError,
+    ClusterHealthParams, DEFAULT_ARRAY_SLOW_FACTOR,
+};
 pub use metrics::ClusterMetrics;
 pub use prom::{new_page, render, MetricsExporter, MetricsPage};
 pub use router::{Assignment, Router};

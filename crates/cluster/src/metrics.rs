@@ -1,93 +1,154 @@
 //! Cluster-wide metrics and the extended conservation law.
 
-use crate::ctrl::RebalanceEvent;
+use crate::ctrl::{EvacuationEvent, RebalanceEvent};
+use crate::health::ArrayHealth;
 use fqos_server::MetricsSnapshot;
 
-/// Fleet-wide snapshot: per-array [`MetricsSnapshot`]s plus the routing
-/// and rebalancing view, with the cluster conservation law
+/// Fleet-wide snapshot: per-array [`MetricsSnapshot`]s plus the routing,
+/// rebalancing and failure-tolerance view, with the extended cluster
+/// conservation law
 ///
 /// ```text
-/// Σ served + Σ fault_lost + Σ hedges_cancelled + migrated_in_flight
-///     == Σ admitted_total
+/// Σ served + Σ fault_lost + Σ hedges_cancelled
+///     + migrated_in_flight + evacuation_lost == Σ admitted_total
 /// ```
 ///
-/// where the sums run over arrays and `migrated_in_flight` counts
-/// admissions of drained (migrated-away) tenants not yet settled on their
-/// source array. At [`crate::QosCluster::finish`] every window has sealed
-/// and drained, so `migrated_in_flight` is 0 and the law closes exactly.
+/// where the sums run over every array snapshot (current slots *and*
+/// archived past incarnations), `migrated_in_flight` counts admissions of
+/// drained (migrated-away) tenants not yet settled on their live source
+/// array, and `evacuation_lost` is the ledger of admissions stranded on
+/// fail-stopped arrays (charged when an engine halts, reversed when it
+/// recovers from its WAL). At [`crate::QosCluster::finish`] every live
+/// window has sealed and drained, so `migrated_in_flight` is 0 and the law
+/// closes exactly — `evacuation_lost` being precisely the stranded residue
+/// of the frozen snapshots.
 #[derive(Debug, Clone)]
 pub struct ClusterMetrics {
-    /// Final or live snapshot of each array, in array order.
+    /// Final or live snapshot of each slot, in slot order. A dead slot
+    /// contributes its frozen snapshot (see [`ClusterMetrics::frozen`]).
     pub arrays: Vec<MetricsSnapshot>,
-    /// Submissions routed to each array (handle-side count).
+    /// Per-slot: `true` when the snapshot is a fail-stopped engine's
+    /// frozen state rather than a live/finished one.
+    pub frozen: Vec<bool>,
+    /// Per-slot: `true` when the slot was gracefully removed and is (or
+    /// was) draining behind a router tombstone.
+    pub retired: Vec<bool>,
+    /// Frozen snapshots of prior incarnations that restarted *without* a
+    /// WAL; their counters stay in the fleet history and their stranded
+    /// residue stays in `evacuation_lost` forever.
+    pub past: Vec<MetricsSnapshot>,
+    /// Submissions routed to each slot (handle-side count).
     pub routed: Vec<u64>,
     /// Submissions refused at the router (tenant had no assignment).
     pub unrouted: u64,
     /// Migrations executed by the control loop.
     pub rebalances: u64,
-    /// Router epoch (bumps on every migration/deregistration).
+    /// Cluster epoch (bumps on every migration, deregistration, kill,
+    /// restore and membership change).
     pub router_epoch: u64,
-    /// Unsettled admissions of drained tenants on their source arrays.
+    /// Unsettled admissions of drained tenants on their live source
+    /// arrays.
     pub migrated_in_flight: u64,
+    /// Admissions stranded on fail-stopped arrays, net of WAL-restore
+    /// reversals.
+    pub evacuation_lost: u64,
+    /// Tenants re-registered on survivors by emergency evacuations.
+    pub evacuated_tenants: u64,
+    /// Submissions refused at the transport level (routed array was
+    /// fail-stopped); each fed the health plane as a failed heartbeat.
+    pub refused_unavailable: u64,
+    /// Health verdict per slot at snapshot time.
+    pub health: Vec<ArrayHealth>,
+    /// `Healthy → Suspect` promotions.
+    pub health_suspects: u64,
+    /// `Suspect → Dead` verdicts (each triggered one evacuation).
+    pub health_verdicts_dead: u64,
+    /// `Suspect → Slow` verdicts.
+    pub health_verdicts_slow: u64,
+    /// Demotions back to `Healthy`.
+    pub health_recoveries: u64,
     /// Every migration, in execution order.
     pub events: Vec<RebalanceEvent>,
+    /// Every emergency evacuation, in execution order.
+    pub evacuations: Vec<EvacuationEvent>,
 }
 
 impl ClusterMetrics {
-    /// Σ admitted (guaranteed + overflow) over arrays.
+    /// Every snapshot in the fleet's history: current slots plus archived
+    /// past incarnations.
+    fn all(&self) -> impl Iterator<Item = &MetricsSnapshot> {
+        self.arrays.iter().chain(self.past.iter())
+    }
+
+    /// Σ admitted (guaranteed + overflow) over the fleet history.
     pub fn admitted_total(&self) -> u64 {
-        self.arrays
-            .iter()
-            .map(MetricsSnapshot::admitted_total)
+        self.all().map(MetricsSnapshot::admitted_total).sum()
+    }
+
+    /// Σ served (primary completions) over the fleet history.
+    pub fn served(&self) -> u64 {
+        self.all().map(|m| m.served).sum()
+    }
+
+    /// Σ completions (primary + hedge wins) over the fleet history.
+    pub fn completed(&self) -> u64 {
+        self.all().map(MetricsSnapshot::completed).sum()
+    }
+
+    /// Σ rejected over the fleet history (router-level refusals excluded;
+    /// see [`ClusterMetrics::unrouted`]).
+    pub fn rejected(&self) -> u64 {
+        self.all().map(|m| m.rejected).sum()
+    }
+
+    /// Σ fault-lost over the fleet history.
+    pub fn fault_lost(&self) -> u64 {
+        self.all().map(|m| m.fault_lost).sum()
+    }
+
+    /// Σ hedge-cancelled primaries over the fleet history.
+    pub fn hedges_cancelled(&self) -> u64 {
+        self.all().map(|m| m.hedges_cancelled).sum()
+    }
+
+    /// Σ deadline violations over the fleet history.
+    pub fn deadline_violations(&self) -> u64 {
+        self.all().map(|m| m.deadline_violations).sum()
+    }
+
+    /// Σ windows sealed over the fleet history.
+    pub fn windows_sealed(&self) -> u64 {
+        self.all().map(|m| m.windows_sealed).sum()
+    }
+
+    /// Σ settled admissions — the left side of the extended law before
+    /// the in-flight and stranded terms.
+    fn settled(&self) -> u64 {
+        self.all()
+            .map(|m| m.served + m.fault_lost + m.hedges_cancelled)
             .sum()
     }
 
-    /// Σ served (primary completions) over arrays.
-    pub fn served(&self) -> u64 {
-        self.arrays.iter().map(|m| m.served).sum()
-    }
-
-    /// Σ completions (primary + hedge wins) over arrays.
-    pub fn completed(&self) -> u64 {
-        self.arrays.iter().map(MetricsSnapshot::completed).sum()
-    }
-
-    /// Σ rejected over arrays (router-level refusals excluded; see
-    /// [`ClusterMetrics::unrouted`]).
-    pub fn rejected(&self) -> u64 {
-        self.arrays.iter().map(|m| m.rejected).sum()
-    }
-
-    /// Σ fault-lost over arrays.
-    pub fn fault_lost(&self) -> u64 {
-        self.arrays.iter().map(|m| m.fault_lost).sum()
-    }
-
-    /// Σ hedge-cancelled primaries over arrays.
-    pub fn hedges_cancelled(&self) -> u64 {
-        self.arrays.iter().map(|m| m.hedges_cancelled).sum()
-    }
-
-    /// Σ deadline violations over arrays.
-    pub fn deadline_violations(&self) -> u64 {
-        self.arrays.iter().map(|m| m.deadline_violations).sum()
-    }
-
-    /// Σ windows sealed over arrays.
-    pub fn windows_sealed(&self) -> u64 {
-        self.arrays.iter().map(|m| m.windows_sealed).sum()
-    }
-
-    /// Admissions not yet settled anywhere in the fleet
-    /// (`≥ migrated_in_flight` mid-run, 0 at finish).
+    /// Admissions not yet settled on a *live* array
+    /// (`≥ migrated_in_flight` mid-run, 0 at finish). Frozen snapshots are
+    /// excluded: their stranded residue is `evacuation_lost`, not
+    /// in-flight work.
     pub fn in_flight_total(&self) -> u64 {
         self.arrays
             .iter()
-            .map(|m| {
+            .zip(self.frozen_flags())
+            .filter(|&(_, frozen)| !frozen)
+            .map(|(m, _)| {
                 m.admitted_total()
                     .saturating_sub(m.served + m.hedges_won + m.fault_lost)
             })
             .sum()
+    }
+
+    /// `frozen` padded to the slot count (defensive against hand-built
+    /// values in tests).
+    fn frozen_flags(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.arrays.len()).map(|i| self.frozen.get(i).copied().unwrap_or(false))
     }
 
     /// p99 service latency: the worst array's (an honest fleet-wide upper
@@ -128,28 +189,46 @@ impl ClusterMetrics {
         }
     }
 
-    /// The extended conservation law. Exact per array (each array's own
-    /// law already closes), and `migrated_in_flight` must be 0 — every
-    /// drained tenant's admissions settled on its source array.
+    /// The extended conservation law. Three independent checks:
+    ///
+    /// 1. `migrated_in_flight` is 0 — every drained tenant's admissions
+    ///    settled on its (live) source array;
+    /// 2. every non-frozen snapshot closes its own per-array law exactly;
+    /// 3. the fleet-wide equation `settled + migrated_in_flight +
+    ///    evacuation_lost == admitted_total` balances, which pins
+    ///    `evacuation_lost` to exactly the frozen snapshots' stranded
+    ///    residue — a drifting ledger (double charge, missed reversal)
+    ///    breaks it.
     pub fn conserved(&self) -> bool {
         self.migrated_in_flight == 0
-            && self.arrays.iter().all(|m| {
-                m.hedges_won == m.hedges_cancelled
-                    && m.served + m.fault_lost + m.hedges_cancelled == m.admitted_total()
-            })
+            && self
+                .arrays
+                .iter()
+                .zip(self.frozen_flags())
+                .filter(|&(_, frozen)| !frozen)
+                .all(|(m, _)| {
+                    m.hedges_won == m.hedges_cancelled
+                        && m.served + m.fault_lost + m.hedges_cancelled == m.admitted_total()
+                })
+            && self.settled() + self.migrated_in_flight + self.evacuation_lost
+                == self.admitted_total()
     }
 
     /// One-line audit for logs and `finish()`.
     pub fn render_audit(&self) -> String {
         format!(
             "cluster audit: arrays={} admitted={} completed={} fault_lost={} \
-             hedges_cancelled={} migrated_in_flight={} rebalances={} epoch={} law={}",
+             hedges_cancelled={} migrated_in_flight={} evacuation_lost={} \
+             evacuated={} dead={} rebalances={} epoch={} law={}",
             self.arrays.len(),
             self.admitted_total(),
             self.completed(),
             self.fault_lost(),
             self.hedges_cancelled(),
             self.migrated_in_flight,
+            self.evacuation_lost,
+            self.evacuated_tenants,
+            self.frozen_flags().filter(|&f| f).count(),
             self.rebalances,
             self.router_epoch,
             if self.conserved() { "OK" } else { "VIOLATED" },

@@ -7,11 +7,12 @@
 //! cadence via [`render`], so scrapes see live per-window gauges without
 //! the exporter ever touching engine locks.
 
+use crate::health::ArrayHealth;
 use crate::metrics::ClusterMetrics;
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -55,12 +56,12 @@ impl MetricsExporter {
                     match listener.accept() {
                         Ok((mut conn, _)) => {
                             let _ = conn.set_nonblocking(false);
+                            // A stalled or malicious client must not wedge
+                            // the accept loop: bound both directions and
+                            // cap how much request head we will consume.
                             let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
-                            // Drain (and ignore) the request head; every
-                            // path serves the same page, like most
-                            // single-purpose exporters.
-                            let mut head = [0u8; 1024];
-                            let _ = conn.read(&mut head);
+                            let _ = conn.set_write_timeout(Some(Duration::from_millis(200)));
+                            drain_head(&mut conn);
                             let body = page.lock().clone();
                             let response = format!(
                                 "HTTP/1.1 200 OK\r\nContent-Type: text/plain; \
@@ -97,6 +98,39 @@ impl Drop for MetricsExporter {
         self.stop.store(true, Ordering::Release);
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
+        }
+    }
+}
+
+/// Hard cap on how much request head one connection may send before
+/// the exporter gives up on finding the terminator and responds anyway.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Read and discard the request head: stops at `\r\n\r\n`, EOF, the
+/// per-connection read timeout, or [`MAX_HEAD_BYTES`] — whichever
+/// comes first. Every path serves the same page, like most
+/// single-purpose exporters, so only the head's end matters, and the
+/// exporter never buffers a client-controlled amount of data.
+fn drain_head(conn: &mut TcpStream) {
+    let mut chunk = [0u8; 1024];
+    // Carry the last 3 bytes across chunk boundaries so a terminator
+    // split between reads is still seen.
+    let mut window = [0u8; 3 + 1024];
+    let mut total = 0usize;
+    loop {
+        match conn.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => {
+                window[3..3 + n].copy_from_slice(&chunk[..n]);
+                if window[..3 + n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    return;
+                }
+                total += n;
+                if total >= MAX_HEAD_BYTES {
+                    return;
+                }
+                window.copy_within(n..n + 3, 0);
+            }
         }
     }
 }
@@ -239,6 +273,95 @@ pub fn render(m: &ClusterMetrics) -> String {
         "fqos_cluster_law_conserved {}",
         u64::from(m.conserved())
     );
+
+    // Failure plane: per-array health verdicts plus the evacuation ledger.
+    gauge(
+        &mut out,
+        "fqos_array_health",
+        "Health verdict (0=healthy 1=suspect 2=slow 3=dead)",
+    );
+    for (i, h) in m.health.iter().enumerate() {
+        let code = match h {
+            ArrayHealth::Healthy => 0,
+            ArrayHealth::Suspect => 1,
+            ArrayHealth::Slow => 2,
+            ArrayHealth::Dead => 3,
+        };
+        let _ = writeln!(out, "fqos_array_health{{array=\"{i}\"}} {code}");
+    }
+    gauge(
+        &mut out,
+        "fqos_cluster_arrays_dead",
+        "Arrays currently dead (frozen slots)",
+    );
+    let dead = m.frozen.iter().filter(|&&f| f).count();
+    let _ = writeln!(out, "fqos_cluster_arrays_dead {dead}");
+    gauge(
+        &mut out,
+        "fqos_cluster_evacuation_lost",
+        "Unsettled admissions charged to dead arrays (reversed on WAL restore)",
+    );
+    let _ = writeln!(out, "fqos_cluster_evacuation_lost {}", m.evacuation_lost);
+    counter(
+        &mut out,
+        "fqos_cluster_evacuated_tenants_total",
+        "Tenants re-registered on survivors by emergency evacuation",
+    );
+    let _ = writeln!(
+        out,
+        "fqos_cluster_evacuated_tenants_total {}",
+        m.evacuated_tenants
+    );
+    counter(
+        &mut out,
+        "fqos_cluster_refused_unavailable_total",
+        "Submissions refused because the routed array was unavailable",
+    );
+    let _ = writeln!(
+        out,
+        "fqos_cluster_refused_unavailable_total {}",
+        m.refused_unavailable
+    );
+    counter(
+        &mut out,
+        "fqos_cluster_health_suspects_total",
+        "Healthy-to-suspect promotions observed by the health plane",
+    );
+    let _ = writeln!(
+        out,
+        "fqos_cluster_health_suspects_total {}",
+        m.health_suspects
+    );
+    counter(
+        &mut out,
+        "fqos_cluster_dead_verdicts_total",
+        "Suspect-to-dead promotions (each triggers an evacuation)",
+    );
+    let _ = writeln!(
+        out,
+        "fqos_cluster_dead_verdicts_total {}",
+        m.health_verdicts_dead
+    );
+    counter(
+        &mut out,
+        "fqos_cluster_slow_verdicts_total",
+        "Suspect-to-slow promotions (fail-slow detection)",
+    );
+    let _ = writeln!(
+        out,
+        "fqos_cluster_slow_verdicts_total {}",
+        m.health_verdicts_slow
+    );
+    counter(
+        &mut out,
+        "fqos_cluster_health_recoveries_total",
+        "Suspect/slow arrays demoted back to healthy",
+    );
+    let _ = writeln!(
+        out,
+        "fqos_cluster_health_recoveries_total {}",
+        m.health_recoveries
+    );
     out
 }
 
@@ -272,6 +395,54 @@ mod tests {
         conn.read_to_string(&mut response).unwrap();
         assert!(
             response.contains("fqos_cluster_rebalances_total 4"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn a_stalled_client_cannot_wedge_the_exporter() {
+        let page: MetricsPage = Arc::new(Mutex::new(String::new()));
+        *page.lock() = "fqos_cluster_unrouted_total 0\n".to_string();
+        let exporter = MetricsExporter::bind("127.0.0.1:0", Arc::clone(&page)).unwrap();
+        // A client that connects and never sends a byte: the read timeout
+        // must fire and the loop must move on to the next connection.
+        let stalled = TcpStream::connect(exporter.local_addr()).unwrap();
+        // A well-behaved scrape right behind it still gets the page.
+        let mut conn = TcpStream::connect(exporter.local_addr()).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            response.contains("fqos_cluster_unrouted_total 0"),
+            "{response}"
+        );
+        // The stalled connection is answered (after the timeout) rather
+        // than held open forever: reading to EOF terminates.
+        let mut stalled = stalled;
+        let _ = stalled.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut leftovers = String::new();
+        let _ = stalled.read_to_string(&mut leftovers);
+        assert!(leftovers.contains("HTTP/1.1 200 OK"), "{leftovers}");
+    }
+
+    #[test]
+    fn an_oversized_request_head_is_truncated_not_buffered() {
+        let page: MetricsPage = Arc::new(Mutex::new(String::new()));
+        *page.lock() = "fqos_cluster_router_epoch 7\n".to_string();
+        let exporter = MetricsExporter::bind("127.0.0.1:0", Arc::clone(&page)).unwrap();
+        let mut conn = TcpStream::connect(exporter.local_addr()).unwrap();
+        // A cap-sized junk head with no terminator: the exporter stops
+        // draining at MAX_HEAD_BYTES and responds anyway instead of
+        // buffering a client-controlled amount of data.
+        let junk = vec![b'A'; MAX_HEAD_BYTES];
+        let _ = conn.write_all(&junk);
+        let mut response = String::new();
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = conn.read_to_string(&mut response);
+        assert!(
+            response.contains("fqos_cluster_router_epoch 7"),
             "{response}"
         );
     }

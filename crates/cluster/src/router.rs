@@ -5,7 +5,7 @@
 //! bound is already met — the "consistent hashing with bounded loads"
 //! construction. Placement is *sticky*: once a tenant is assigned, only an
 //! explicit [`Router::reassign`] (rebalancing migration) or
-//! [`Router::remove_array`] moves it, so topology changes disturb the
+//! [`Router::tombstone_array`] moves it, so topology changes disturb the
 //! minimum set of tenants.
 //!
 //! The router is plain data; [`crate::QosCluster`] wraps it in a mutex
@@ -223,10 +223,27 @@ impl Router {
         self.arrays.len() - 1
     }
 
+    /// Whether `array` is live (present on the ring). Out-of-range counts
+    /// as not live.
+    pub fn is_live(&self, array: usize) -> bool {
+        self.arrays.get(array).is_some_and(|a| a.live)
+    }
+
+    /// Return a tombstoned array to the ring (a fail-stopped array coming
+    /// back through `restore_array`). Idempotent for a live array. Its old
+    /// tenants do not move back — placement stays sticky; only new
+    /// assignments and rebalancing migrations land on it.
+    pub fn revive_array(&mut self, array: usize) {
+        if array < self.arrays.len() && !self.arrays[array].live {
+            self.arrays[array].live = true;
+            self.rebuild_ring();
+        }
+    }
+
     /// Remove an array; its tenants (and only its tenants) are re-placed
     /// by ring walk. Returns `(tenant, new_array)` per displaced tenant,
     /// `None` where no remaining array had room.
-    pub fn remove_array(&mut self, array: usize) -> Vec<(u64, Option<usize>)> {
+    pub fn tombstone_array(&mut self, array: usize) -> Vec<(u64, Option<usize>)> {
         if array >= self.arrays.len() || !self.arrays[array].live {
             return Vec::new();
         }
@@ -296,7 +313,7 @@ mod tests {
             r.assign(t, 1);
         }
         let before: HashMap<u64, usize> = (0..60).filter_map(|t| Some((t, r.route(t)?))).collect();
-        let moved = r.remove_array(1);
+        let moved = r.tombstone_array(1);
         for (t, &was) in &before {
             if was == 1 {
                 let now = r.route(*t).unwrap();

@@ -108,7 +108,7 @@ proptest! {
             .filter_map(|&t| Some((t, r.route(t)?)))
             .collect();
         let victim = (victim_pick as usize) % arrays;
-        let moved = r.remove_array(victim);
+        let moved = r.tombstone_array(victim);
         for &(t, was) in &before {
             let now = r.route(t);
             if was == victim {
@@ -118,5 +118,75 @@ proptest! {
                 prop_assert_eq!(now, Some(was), "undisplaced tenant moved");
             }
         }
+    }
+
+    /// Arbitrary interleavings of assign / release / add / tombstone /
+    /// revive — the full elastic-membership op set: loads stay within
+    /// bounds, a tenant never routes to a tombstoned array, a tombstoned
+    /// array's load is zero, and at the end the load map reconciles
+    /// exactly against the assignment map.
+    #[test]
+    fn membership_churn_preserves_ring_invariants(
+        arrays in 2..5usize,
+        cap in 2..6usize,
+        ops in 16..160u64,
+        seed in any::<u64>(),
+    ) {
+        let mut r = Router::new(&vec![cap; arrays], 32);
+        let mut live: Vec<u64> = Vec::new();
+        for i in 0..ops {
+            let roll = splitmix64(seed ^ (i << 8));
+            match roll % 8 {
+                0 if r.arrays() < 8 => {
+                    let added = r.add_array(cap);
+                    prop_assert!(r.is_live(added));
+                }
+                1 => {
+                    let victim = (roll >> 3) as usize % r.arrays();
+                    if (0..r.arrays()).filter(|&a| r.is_live(a)).count() > 1 {
+                        for (t, to) in r.tombstone_array(victim) {
+                            prop_assert!(to != Some(victim), "re-placed on the tombstone");
+                            if to.is_none() {
+                                // No survivor had room: the tenant is gone.
+                                live.retain(|&x| x != t);
+                            }
+                        }
+                        prop_assert_eq!(r.load(victim), 0, "tombstone kept load");
+                    }
+                }
+                2 => {
+                    let target = (roll >> 3) as usize % r.arrays();
+                    r.revive_array(target);
+                    prop_assert!(r.is_live(target));
+                }
+                3 | 4 if !live.is_empty() => {
+                    let t = live.swap_remove((roll >> 3) as usize % live.len());
+                    prop_assert!(r.release(t).is_some());
+                }
+                _ => {
+                    let tenant = roll >> 3;
+                    if !live.contains(&tenant) && r.assign(tenant, 1).is_some() {
+                        live.push(tenant);
+                    }
+                }
+            }
+            for a in 0..r.arrays() {
+                prop_assert!(r.load(a) <= r.capacity(a), "array {} over bound", a);
+            }
+            for (t, a) in r.assignments() {
+                prop_assert!(
+                    r.is_live(a.array),
+                    "tenant {} routed to tombstoned array {}", t, a.array
+                );
+            }
+        }
+        let mut per_array = vec![0usize; r.arrays()];
+        for (_, a) in r.assignments() {
+            per_array[a.array] += a.weight;
+        }
+        for (a, &w) in per_array.iter().enumerate() {
+            prop_assert_eq!(w, r.load(a), "load map diverged on array {}", a);
+        }
+        prop_assert_eq!(r.assignments().len(), live.len());
     }
 }

@@ -46,7 +46,7 @@ use crate::registry::{RegisterError, Tenant, TenantRegistry};
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::channel::{bounded, Receiver, Sender};
 use crate::sync::thread::JoinHandle;
-use crate::sync::{Arc, Mutex};
+use crate::sync::{Arc, Mutex, RwLock};
 use crate::wal::{crash_point, SettleKind, Wal, WalState};
 use crate::window::{AdmitResult, WindowRing};
 use fqos_core::{OverloadPolicy, StatisticalCounters};
@@ -113,6 +113,11 @@ pub enum RejectReason {
     ReplicasUnavailable,
     /// The server is shutting down.
     ServerStopping,
+    /// The routed array is fail-stopped (or verdicted dead) and the
+    /// cluster tier exhausted its rerouting retries. Surfaced by
+    /// `fqos-cluster` instead of a spurious [`RejectReason::UnknownTenant`]
+    /// while a failure races the evacuation control loop.
+    ArrayUnavailable,
 }
 
 /// Per-handle shared state read by the dispatcher.
@@ -157,6 +162,7 @@ struct GlobalStats {
     recovered_lost: AtomicU64,
     replay_records: AtomicU64,
     replay_duration_ns: AtomicU64,
+    replay_truncated: AtomicU64,
 }
 
 /// One dispatched request on its way to a worker.
@@ -223,6 +229,12 @@ struct Engine {
     hist: LatencyHistogram,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    /// Quiesce gate (lock class `engine.quiesce`): every submission holds
+    /// the read side for its full duration; [`QosServer::halt`] sets
+    /// `shutdown` and then passes through the write side once, so an ack
+    /// that raced past the shutdown check still lands in the frozen
+    /// snapshot — an admission is either counted or refused, never lost.
+    quiesce: RwLock<()>,
     /// Write-ahead log (None = durability off, serving exactly as before).
     wal: Option<Arc<Wal>>,
 }
@@ -294,6 +306,11 @@ impl QosServer {
         s.replay_records.store(report.records, Ordering::Relaxed);
         s.replay_duration_ns
             .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // `torn` covers any truncation: a torn tail *or* a corrupt frame
+        // mid-file — replay stops at the first bad frame either way and
+        // the log is cut back to the last good byte.
+        s.replay_truncated
+            .store(u64::from(report.torn), Ordering::Relaxed);
         // Fold the recovered state into a fresh snapshot so the *next*
         // restart replays only post-recovery records.
         if let Some(wal) = &server.engine.wal {
@@ -354,6 +371,7 @@ impl QosServer {
             hist: LatencyHistogram::new(),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            quiesce: RwLock::new(()),
             wal,
             cfg,
         });
@@ -497,6 +515,36 @@ impl QosServer {
         }
         // Settlement records from the drained workers may still sit in the
         // fsync batch buffer; a clean shutdown leaves nothing undurable.
+        if let Some(wal) = &self.engine.wal {
+            wal.sync_now();
+        }
+        self.engine.snapshot()
+    }
+
+    /// Fail-stop the array **without** draining: no final pump, so open
+    /// windows never seal and their admissions never settle. Workers are
+    /// stopped and joined (items already dispatched to their queues still
+    /// complete — they left the admission plane before the failure), then
+    /// the counters are frozen into the returned snapshot. The residue
+    /// `admitted_total − served − fault_lost − hedges_cancelled` is the
+    /// work the failure stranded; the cluster tier charges it to
+    /// `evacuation_lost`. The WAL (if any) is flushed and kept on disk so
+    /// a later [`QosServer::recover`] can reconcile the stranded work from
+    /// the durable record — this models an array whose serving path dies
+    /// while its log device survives.
+    pub fn halt(self) -> MetricsSnapshot {
+        self.engine.shutdown.store(true, Ordering::Release);
+        // Wait out submissions that passed the shutdown check before the
+        // store: the workers are still draining their queues here, so an
+        // in-flight submit blocked on dispatch backpressure completes
+        // rather than deadlocking against us.
+        drop(self.engine.quiesce.write());
+        for tx in &self.engine.txs {
+            let _ = tx.send(WorkMsg::Stop);
+        }
+        for t in self.workers {
+            let _ = t.join();
+        }
         if let Some(wal) = &self.engine.wal {
             wal.sync_now();
         }
@@ -654,6 +702,7 @@ impl Engine {
             recovered_lost: s.recovered_lost.load(Ordering::Relaxed),
             wal_replay_records: s.replay_records.load(Ordering::Relaxed),
             wal_replay_duration_ns: s.replay_duration_ns.load(Ordering::Relaxed),
+            wal_replay_truncated: s.replay_truncated.load(Ordering::Relaxed),
             tenants: self
                 .registry
                 .all_tenants()
@@ -813,6 +862,7 @@ impl SubmitterHandle {
     /// backpressure all happen inside this call.
     pub fn submit(&mut self, tenant: u64, lbn: u64, arrival_ns: u64) -> SubmitOutcome {
         let engine = &self.engine;
+        let _quiesce = engine.quiesce.read();
         if engine.shutdown.load(Ordering::Acquire) {
             return SubmitOutcome::Rejected(RejectReason::ServerStopping);
         }

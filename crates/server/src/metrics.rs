@@ -276,6 +276,9 @@ pub struct MetricsSnapshot {
     pub wal_replay_records: u64,
     /// Wall-clock duration of the last recovery replay, nanoseconds.
     pub wal_replay_duration_ns: u64,
+    /// 1 when the last recovery truncated the log at a bad frame (torn
+    /// tail or corrupt mid-file record), 0 for a clean replay.
+    pub wal_replay_truncated: u64,
     /// Per-tenant breakdown, sorted by tenant id.
     pub tenants: Vec<TenantSnapshot>,
 }

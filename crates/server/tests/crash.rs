@@ -173,6 +173,88 @@ fn a_drain_pending_departure_survives_recovery_and_still_refuses_the_id() {
     let _ = std::fs::remove_dir_all(&wal_dir);
 }
 
+/// A corrupt frame in the *middle* of the log (bit rot, not a torn
+/// tail): replay folds every record before it, stops at the first bad
+/// CRC, truncates the file there, and reports the cut via
+/// `wal_replay_truncated` — and a second recovery is then clean.
+#[test]
+fn recovery_stops_at_a_corrupt_mid_file_frame_and_truncates() {
+    let wal_dir = scratch_path("wal-bitrot");
+    let cfg = || {
+        ServerConfig::new(qos(9, 3, 2))
+            .with_workers(2)
+            .with_wal(&wal_dir)
+            .with_wal_fsync_batch(1)
+            // No compaction: keep every frame in wal.log so a mid-file
+            // corruption site exists after a clean shutdown.
+            .with_wal_snapshot_interval(u64::MAX)
+    };
+    let interval = qos(9, 3, 2).interval_ns;
+    let server = QosServer::new(cfg()).expect("server");
+    server
+        .register(1, 2, OverloadPolicy::Delay)
+        .expect("register");
+    let mut h = server.handle();
+    for w in 0..12u64 {
+        h.submit(1, w % 14, w * interval + interval / 4);
+        h.submit(1, (w + 5) % 14, w * interval + interval / 2);
+    }
+    drop(h);
+    let clean = server.finish();
+    assert_eq!(clean.admitted_total(), 24, "clean run admits everything");
+
+    // Flip one payload byte in a frame halfway through the log. Frames
+    // are `[lsn u64][len u32][crc u32][payload]`, little-endian.
+    let log_path = wal_dir.join("wal.log");
+    let mut bytes = std::fs::read(&log_path).expect("read log");
+    let mut offsets = Vec::new();
+    let mut off = 0usize;
+    while off + 16 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
+        assert!(off + 16 + len <= bytes.len(), "clean log has a torn tail");
+        offsets.push(off);
+        off += 16 + len;
+    }
+    assert!(offsets.len() >= 8, "need a mid-file frame to corrupt");
+    let victim = offsets[offsets.len() / 2];
+    bytes[victim + 16] ^= 0xFF;
+    std::fs::write(&log_path, &bytes).expect("write corrupted log");
+
+    let recovered = QosServer::recover(cfg()).expect("recover");
+    assert_eq!(
+        recovered.metrics().wal_replay_truncated,
+        1,
+        "the mid-file cut must be reported"
+    );
+    let m = recovered.finish();
+    assert!(
+        m.admitted_total() > 0,
+        "records before the corruption must replay"
+    );
+    assert!(
+        m.admitted_total() < clean.admitted_total(),
+        "records past the corrupt frame must not replay: {} vs {}",
+        m.admitted_total(),
+        clean.admitted_total()
+    );
+    assert_eq!(
+        m.served + m.fault_lost + m.hedges_cancelled,
+        m.admitted_total(),
+        "conservation must hold over the surviving prefix"
+    );
+
+    // The first recovery truncated the bad tail and re-snapshotted:
+    // resuming again finds nothing to cut.
+    let again = QosServer::recover(cfg()).expect("second recover");
+    assert_eq!(
+        again.metrics().wal_replay_truncated,
+        0,
+        "second recovery must be clean"
+    );
+    let _ = again.finish();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
 /// The window ring wraps correctly across a recovery boundary: a tiny
 /// 8-slot ring is lapped more than twice before a clean shutdown, then
 /// recovery resumes the window sequence and laps it twice more. Window

@@ -420,3 +420,110 @@ fn wal_append_vs_settle_orders_every_schedule() {
     });
     report_and_check("wal-append-vs-settle", report, 1000);
 }
+
+/// A whole-array fail-stop (`halt`, the cluster tier's `kill_array`
+/// primitive) races a submitter mid-burst. This is the linearization
+/// point the evacuation ledger depends on: the residue charged to
+/// `evacuation_lost` is computed from the frozen snapshot, so an
+/// admission acked to the client but missing from that snapshot would
+/// silently vanish from the cluster conservation law. On every schedule:
+/// each submit either lands in the frozen snapshot or is refused as
+/// `ServerStopping` (never a hang, never an unaccounted ack), and the
+/// extended per-array law closes exactly once the stranded residue is
+/// added back.
+#[test]
+fn kill_vs_submit_freezes_every_ack_into_the_ledger() {
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 4096,
+        ..Config::default()
+    };
+    let report = model_with(bounds, || {
+        let server = QosServer::new(model_cfg().with_workers(1)).unwrap();
+        server.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut h = server.handle();
+        let submitter = interleave::thread::spawn(move || submit_all(&mut h, 1, &[(0, 0), (1, 0)]));
+        // Root plays the failure injector: halt without draining while
+        // the submitter is (possibly) mid-call.
+        let frozen = server.halt();
+        let t = submitter.join().unwrap();
+        assert_eq!(t.admitted + t.rejected, 2, "a submit hung across the kill");
+        // Every ack the client saw is in the frozen snapshot, and every
+        // admission the snapshot counts was acked: the ledger charge
+        // (residue of `frozen`) misses nothing the client was promised.
+        assert_eq!(t.admitted, frozen.admitted_total());
+        assert_eq!(frozen.hedges_won, frozen.hedges_cancelled);
+        let settled = frozen.served + frozen.fault_lost + frozen.hedges_cancelled;
+        assert!(settled <= frozen.admitted_total(), "over-settled");
+        let residue = frozen.admitted_total() - settled;
+        // Extended law, as the cluster audit states it after charging the
+        // residue to `evacuation_lost`.
+        assert_eq!(
+            settled + residue,
+            frozen.admitted_total(),
+            "extended conservation"
+        );
+        assert_eq!(frozen.fault_lost, 0, "no device faults were injected");
+    });
+    report_and_check("kill-vs-submit", report, 1000);
+}
+
+/// Emergency evacuation races the survivor's own seal/drain: after a
+/// source array fail-stops, the controller re-registers the displaced
+/// tenant on a survivor (target first, same order as rebalancing) and
+/// replays traffic there while a native tenant keeps the survivor's seal
+/// pipeline moving. Unlike `rebalance_vs_seal` there is no source drain —
+/// the source is dead and its residue is already charged — so the checks
+/// concentrate on the survivor: the evacuated tenant's registration wins
+/// before its first submit on every schedule (no spurious
+/// `UnknownTenant`), and the survivor's law closes with both tenants'
+/// admissions settled at the final seal.
+#[test]
+fn evacuate_vs_seal_lands_the_displaced_tenant_exactly_once() {
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 4096,
+        ..Config::default()
+    };
+    let report = model_with(bounds, || {
+        let survivor = QosServer::new(model_cfg().with_workers(1)).unwrap();
+        let t_ns = survivor.config().qos.interval_ns;
+        // Tenant 1 is native to the survivor; tenant 2 arrives by
+        // evacuation while 1's submitter keeps windows sealing.
+        survivor.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut hn = survivor.handle();
+        let he = survivor.handle(); // evacuator's endpoint
+        let native =
+            interleave::thread::spawn(move || submit_all(&mut hn, 1, &[(0, 0), (1, t_ns)]));
+        let evacuator = interleave::thread::spawn(move || {
+            // The controller's evacuation order: register on the target,
+            // then replay the displaced tenant's traffic. Registration
+            // happens-before the submit in program order, so no schedule
+            // may observe UnknownTenant.
+            he.register(2, 2, OverloadPolicy::Delay).unwrap();
+            let mut he = he;
+            let t = submit_all(&mut he, 2, &[(2, 0)]);
+            assert_eq!(t.rejected, 0, "evacuated tenant bounced off its new home");
+            t
+        });
+        let tn = native.join().unwrap();
+        let te = evacuator.join().unwrap();
+        let m = survivor.finish();
+        assert_eq!(tn.admitted + tn.rejected, 2);
+        assert_eq!(te.admitted, 1);
+        assert_eq!(tn.admitted + te.admitted, m.admitted_total());
+        assert_eq!(m.hedges_won, m.hedges_cancelled);
+        assert_eq!(
+            m.served + m.fault_lost + m.hedges_cancelled,
+            m.admitted_total(),
+            "survivor conservation"
+        );
+        assert_eq!(m.fault_lost, 0, "no faults were injected");
+        assert_eq!(m.guaranteed_violations, 0, "deadline audit");
+        let t2 = m.tenants.iter().find(|t| t.tenant == 2).unwrap();
+        assert!(t2.live, "evacuated tenant registered on the survivor");
+        assert_eq!(t2.admitted, 1, "evacuated admission settled here");
+        assert_eq!(t2.in_flight(), 0, "evacuated work fully settled");
+    });
+    report_and_check("evacuate-vs-seal", report, 1000);
+}

@@ -40,6 +40,22 @@ pub const HIERARCHY: &[(&str, &str)] = &[
         "tenant placement ring (fqos-cluster cluster.rs Shared::router)",
     ),
     (
+        "cluster.arrays",
+        "array slot table (fqos-cluster cluster.rs Shared::arrays, RwLock) \
+         — kill/restore/add take the write lock, submit paths the read lock",
+    ),
+    (
+        "cluster.health",
+        "array liveness scorer (fqos-cluster cluster.rs Shared::liveness) \
+         — probed under the slot table, below every cluster class",
+    ),
+    (
+        "engine.quiesce",
+        "submission quiesce gate (engine.rs Engine::quiesce, RwLock) \
+         — every submit holds the read side for its full duration; halt \
+         passes through the write side once after setting shutdown",
+    ),
+    (
         "engine.dispatch",
         "seal/dispatch state (engine.rs Engine::dispatch)",
     ),
@@ -107,6 +123,11 @@ fn acquisitions(file_name: &str, text: &str) -> Vec<Acquisition> {
     let simple: &[(&str, &str)] = &[
         ("ctrl.lock(", "cluster.ctrl"),
         ("router.lock(", "cluster.router"),
+        ("arrays.read()", "cluster.arrays"),
+        ("arrays.write()", "cluster.arrays"),
+        ("liveness.lock(", "cluster.health"),
+        ("quiesce.read()", "engine.quiesce"),
+        ("quiesce.write()", "engine.quiesce"),
         ("dispatch.lock(", "engine.dispatch"),
         ("admission.lock(", "registry.admission"),
         ("handles.lock(", "engine.handles"),
@@ -206,8 +227,9 @@ fn call_sites(text: &str, name: &str, needles: &[String]) -> Vec<usize> {
         while let Some(p) = text[from..].find(needle.as_str()) {
             let at = from + p;
             // The needle itself anchors the boundary for qualified forms;
-            // for the bare `name(` form check the preceding character.
-            let bare = needle.as_str() == name;
+            // for the bare `name(` form check the preceding character so
+            // `fleet_metrics(` does not alias onto `metrics`.
+            let bare = needle.len() == name.len() + 1;
             let prev_ok = !bare
                 || at == 0
                 || (!bytes[at - 1].is_ascii_alphanumeric()
@@ -283,9 +305,15 @@ pub fn analyze(files: &[(std::path::PathBuf, Vec<Function>)]) -> LockReport {
     // would alias onto `QosServer::recover`, whose replay path touches
     // nearly every class; both are only ever called from top-level startup
     // code with no lock held.
+    // `metrics` is never resolved because `QosServer::metrics` (engine
+    // classes only, legitimately called under cluster locks by the control
+    // loop and restore path) would alias onto `QosCluster::metrics`, which
+    // takes the top-ranked cluster locks and is only ever called from
+    // drivers with no lock held; the merged set would fabricate
+    // `cluster.arrays -> cluster.ctrl` inversions at every engine snapshot.
     let needles_for = |name: &str| -> Vec<String> {
         match name {
-            "new" | "submit" | "recover" => Vec::new(),
+            "new" | "submit" | "recover" | "metrics" => Vec::new(),
             "get" => vec!["registry.get(".to_string()],
             _ => vec![format!(".{name}("), format!("{name}(")],
         }
@@ -390,6 +418,15 @@ pub fn analyze(files: &[(std::path::PathBuf, Vec<Function>)]) -> LockReport {
                     .collect();
                 let acq_positions: Vec<usize> = events.iter().map(|(p, _)| *p).collect();
                 for name in &all_names {
+                    if name == &f.name {
+                        // Mirror pass 1: a same-name call site inside the
+                        // function is treated as self-recursion, not as a
+                        // call into the name's merged acquisition set
+                        // (e.g. `router.add_array(..)` inside
+                        // `QosCluster::add_array` must not alias the
+                        // cluster method onto the ring helper).
+                        continue;
+                    }
                     for pos in call_sites(&l.text, name, &needles_for(name)) {
                         if !acq_positions.contains(&pos) {
                             events.push((pos, Event::Call(name.clone())));

@@ -39,6 +39,7 @@
 //!               [--submitters 8] [--windows 200] [--seed N] [--reserve R]
 //!               [--pin "T:A,..."] [--burst "T:RATE,..."]
 //!               [--fault-schedules "A:SPEC;A:SPEC"]
+//!               [--chaos-schedule "kill:A@T,restore:A@T,slow:A@T[xF]"]
 //!               [--metrics-addr HOST:PORT] [--linger-ms MS]
 //!               [--no-rebalance] [--no-hedge]
 //!     Run N arrays as one fleet behind the consistent-hash routing tier:
@@ -46,7 +47,10 @@
 //!     tenants off saturated arrays, a Prometheus endpoint serves per-array
 //!     metrics, and the run fails unless the cluster conservation law
 //!     closes. `--pin` + `--burst` provoke the skew that forces a
-//!     rebalance.
+//!     rebalance. `--chaos-schedule` fail-stops, restores or fail-slows
+//!     whole arrays at scripted control ticks; the health plane detects
+//!     the symptom, evacuates dead arrays' tenants onto survivors, and
+//!     the extended law (with `evacuation_lost`) must still close.
 //! ```
 
 use flash_qos::prelude::*;
@@ -116,6 +120,7 @@ fn print_help() {
     println!("           [--mode flow|eft] [--seed S] [--reserve R]");
     println!("           [--pin \"TENANT:ARRAY,...\"] [--burst \"TENANT:RATE,...\"]");
     println!("           [--fault-schedules \"ARRAY:SPEC;ARRAY:SPEC\"]");
+    println!("           [--chaos-schedule \"kill:A@T,restore:A@T,slow:A@T[xF]\"]");
     println!("           [--metrics-addr HOST:PORT] [--linger-ms MS]");
     println!("           [--no-rebalance] [--no-hedge]");
     println!("                                              run N arrays as one fleet behind");
@@ -126,6 +131,10 @@ fn print_help() {
     println!("                                              a tenant, --pin forces placement to");
     println!("                                              provoke skew), and the cluster");
     println!("                                              conservation audit must close.");
+    println!("                                              --chaos-schedule kills/restores/");
+    println!("                                              slows whole arrays at scripted");
+    println!("                                              ticks; dead arrays are detected");
+    println!("                                              and evacuated onto survivors.");
     println!("                                              --metrics-addr serves Prometheus");
     println!("                                              text format; --linger-ms keeps it");
     println!("                                              up after the run for scrapers.");
@@ -626,6 +635,15 @@ fn cmd_cluster(opts: &Options) -> Result<(), String> {
     if arrays == 0 || workers == 0 || submitters == 0 || windows == 0 {
         return Err("--arrays, --workers, --submitters and --windows must be positive".into());
     }
+    // Whole-array chaos: `kill:A@T,restore:A@T,slow:A@T[xF]` at control
+    // ticks (one tick per window). Validated against the fleet size by
+    // `ClusterConfig::validate` inside `QosCluster::new`.
+    let chaos = match opts.get("chaos-schedule") {
+        None => ClusterFaultSchedule::new(),
+        Some(spec) => {
+            ClusterFaultSchedule::parse(spec).map_err(|e| format!("--chaos-schedule: {e}"))?
+        }
+    };
 
     let pins: Vec<(u64, usize)> = match opts.get("pin") {
         None => Vec::new(),
@@ -685,7 +703,12 @@ fn cmd_cluster(opts: &Options) -> Result<(), String> {
                 .with_hedging(hedging)
         })
         .collect();
-    let cluster = QosCluster::new(ClusterConfig::new(array_configs).with_rebalance(rebalance))?;
+    let cluster = QosCluster::new(
+        ClusterConfig::new(array_configs)
+            .with_rebalance(rebalance)
+            .with_chaos(chaos),
+    )
+    .map_err(|e: ClusterError| e.to_string())?;
 
     // Uniform reservations sized so every tenant fits even in the worst
     // ring placement: ceil(submitters / arrays) tenants per array.
@@ -698,10 +721,14 @@ fn cmd_cluster(opts: &Options) -> Result<(), String> {
                 if array >= arrays {
                     return Err(format!("--pin: array {array} of {arrays}"));
                 }
-                cluster.register_pinned(array, t, reserve, OverloadPolicy::Delay)?;
+                cluster
+                    .register_pinned(array, t, reserve, OverloadPolicy::Delay)
+                    .map_err(|e| e.to_string())?;
             }
             None => {
-                cluster.register_tenant(t, reserve, OverloadPolicy::Delay)?;
+                cluster
+                    .register_tenant(t, reserve, OverloadPolicy::Delay)
+                    .map_err(|e| e.to_string())?;
             }
         }
     }
@@ -794,6 +821,25 @@ fn cmd_cluster(opts: &Options) -> Result<(), String> {
         println!(
             "migration @tick {}: tenant {} array {} → {} (reservation {})",
             e.tick, e.tenant, e.from, e.to, e.reserved,
+        );
+    }
+    for ev in &m.evacuations {
+        println!(
+            "evacuation @tick {}: array {} dead, {} tenant(s) moved, {} unplaced",
+            ev.tick,
+            ev.array,
+            ev.moved.len(),
+            ev.unplaced.len(),
+        );
+    }
+    if m.evacuation_lost != 0 || m.health_verdicts_dead != 0 {
+        println!(
+            "failures: {} stranded admissions, {} dead verdicts, {} slow verdicts, \
+             {} transport refusals",
+            m.evacuation_lost,
+            m.health_verdicts_dead,
+            m.health_verdicts_slow,
+            m.refused_unavailable,
         );
     }
 

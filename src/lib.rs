@@ -61,7 +61,9 @@ pub use fqos_cluster as cluster;
 /// The most common imports in one place.
 pub mod prelude {
     pub use fqos_cluster::{
-        ClusterConfig, ClusterHandle, ClusterMetrics, MetricsExporter, QosCluster, RebalanceEvent,
+        ArrayHealth, ClusterConfig, ClusterError, ClusterFaultSchedule, ClusterHandle,
+        ClusterHealthParams, ClusterMetrics, EvacuationEvent, MetricsExporter, QosCluster,
+        RebalanceEvent,
     };
     pub use fqos_core::{
         AppAdmission, BlockMapping, MappingStrategy, OverloadPolicy, QosConfig, QosPipeline,
