@@ -916,8 +916,8 @@ impl SubmitterHandle {
                 // data.
                 AdmitResult::AdmittedSlow => {
                     let w = window + k;
-                    tenant_rec.counters.overflow.fetch_add(1, Ordering::Relaxed);
-                    engine.stats.overflow.fetch_add(1, Ordering::Relaxed);
+                    tenant_rec.counters.overflow.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
+                    engine.stats.overflow.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
                     engine.wal_admit(w, tenant, lbn, false, false);
                     engine.max_target.fetch_max(w, Ordering::AcqRel);
                     engine.pump();
@@ -931,16 +931,16 @@ impl SubmitterHandle {
         let c = &tenant_rec.counters;
         let outcome = match admitted_at {
             Some(0) => {
-                c.admitted.fetch_add(1, Ordering::Relaxed);
-                engine.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                c.admitted.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
+                engine.stats.admitted.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
                 engine.wal_admit(window, tenant, lbn, true, false);
                 SubmitOutcome::Admitted { window }
             }
             Some(k) => {
-                c.admitted.fetch_add(1, Ordering::Relaxed);
+                c.admitted.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
                 c.delayed.fetch_add(1, Ordering::Relaxed);
                 c.delay_ns.fetch_add(k * t_ns, Ordering::Relaxed);
-                engine.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                engine.stats.admitted.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
                 engine.stats.delayed.fetch_add(1, Ordering::Relaxed);
                 engine.wal_admit(window + k, tenant, lbn, true, true);
                 SubmitOutcome::Delayed {
@@ -998,8 +998,8 @@ impl SubmitterHandle {
             // Every replica down: the statistical path refuses too.
             return None;
         }
-        tenant_rec.counters.overflow.fetch_add(1, Ordering::Relaxed);
-        engine.stats.overflow.fetch_add(1, Ordering::Relaxed);
+        tenant_rec.counters.overflow.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
+        engine.stats.overflow.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
         engine.wal_admit(window, tenant_rec.id, req.lbn, false, false);
         engine.max_target.fetch_max(window, Ordering::AcqRel);
         engine.pump();

@@ -252,15 +252,15 @@ impl WalState {
                     return;
                 };
                 if guaranteed {
-                    t.admitted += 1;
-                    self.admitted += 1;
+                    t.admitted += 1; // ledger: defer(replay tally; later Settle/Seal records in the log settle it)
+                    self.admitted += 1; // ledger: defer(replay tally; later Settle/Seal records in the log settle it)
                     if delayed {
                         t.delayed += 1;
                         self.delayed += 1;
                     }
                 } else {
-                    t.overflow += 1;
-                    self.overflow += 1;
+                    t.overflow += 1; // ledger: defer(replay tally; later Settle/Seal records in the log settle it)
+                    self.overflow += 1; // ledger: defer(replay tally; later Settle/Seal records in the log settle it)
                 }
                 if window < self.sealed_through {
                     // The watermark protocol orders every admit before its

@@ -1,0 +1,24 @@
+//! Seeded guard-across-blocking violation: an exclusive `engine.wal`
+//! guard is held across an fsync, stalling every contender for the
+//! duration of the disk flush. The analyzer must exit non-zero here.
+
+use std::fs::File;
+use std::sync::Mutex;
+
+struct WalState {
+    frames: u64,
+}
+
+struct Seeded {
+    wal: Mutex<WalState>,
+    file: File,
+}
+
+impl Seeded {
+    fn flush_under_lock(&self) {
+        let mut w = self.wal.lock();
+        w.frames += 1;
+        let _ = self.file.sync_all();
+        drop(w);
+    }
+}

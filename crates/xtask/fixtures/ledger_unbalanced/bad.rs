@@ -1,0 +1,29 @@
+//! Seeded ledger-balance violation: the `else` arm admits into
+//! `admitted_total` but never settles, so one path leaks an admission —
+//! exactly the branch-blind bug class the textual scanner missed.
+//! The analyzer must exit non-zero on this tree.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Stats {
+    admitted: AtomicU64,
+    served: AtomicU64,
+}
+
+struct Seeded {
+    stats: Stats,
+}
+
+impl Seeded {
+    fn admit(&self, fast_path: bool) {
+        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        if fast_path {
+            self.stats.served.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // forgot to settle: the admission leaks on this arm
+            self.observe();
+        }
+    }
+
+    fn observe(&self) {}
+}

@@ -1,0 +1,20 @@
+//! Seeded atomic-ordering violation: `shutdown` gates a cross-thread
+//! control decision but is published and observed with `Relaxed`, so
+//! the flag flip carries no happens-before edge to the state it is
+//! supposed to publish. The analyzer must exit non-zero here.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+struct Seeded {
+    shutdown: AtomicBool,
+}
+
+impl Seeded {
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    fn keep_running(&self) -> bool {
+        !self.shutdown.load(Ordering::Relaxed)
+    }
+}

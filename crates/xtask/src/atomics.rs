@@ -1,0 +1,186 @@
+//! Atomic-ordering audit: classify every `Ordering::*` use site and
+//! flag `Relaxed` on flags that gate cross-thread control decisions.
+//!
+//! The ROADMAP's next tentpole is a lock-free admission/dispatch hot
+//! path, where ordering mistakes become the dominant bug class. The
+//! rule enforced today: a *control flag* — one whose loaded value
+//! decides whether another thread's writes are observed (`shutdown`,
+//! `closed`, tenant `live`, fail-slow `live_slow`, router `epoch`,
+//! WAL `sealed_floor`, dispatch `watermark`) — must publish with
+//! Release and observe with Acquire (AcqRel for RMWs). `Relaxed` on a
+//! control flag orders nothing: the flag flip can become visible
+//! before the writes it is supposed to publish.
+//!
+//! Pure statistics counters (the `GlobalStats` tallies, per-tenant
+//! served/lost counts) are deliberately Relaxed — they carry no
+//! ordering obligation, only totals, and the audit leaves them alone.
+//! A `Relaxed` control-flag site that is actually safe (single-writer
+//! same-thread re-read, for example) is allowlisted with the written
+//! happens-before argument rather than silenced in code.
+
+use crate::cfg::{all_stmts, FnDef};
+use crate::source::{Tok, TokKind};
+use crate::{Finding, Severity};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Flags gating cross-thread control decisions.
+const CONTROL_FLAGS: &[&str] = &[
+    "shutdown",
+    "closed",
+    "live",
+    "live_slow",
+    "epoch",
+    "sealed_floor",
+    "watermark",
+];
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// The atomic access governing the `Ordering::` token at `at`: the
+/// nearest preceding `recv.method(` with an atomic method name.
+fn governing_access(toks: &[Tok], at: usize) -> Option<(String, String)> {
+    for j in (0..at).rev() {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident
+            && ATOMIC_METHODS.contains(&t.text.as_str())
+            && j > 0
+            && toks[j - 1].is(".")
+            && toks.get(j + 1).is_some_and(|n| n.is("("))
+        {
+            let flag = toks
+                .get(j.wrapping_sub(2))
+                .filter(|f| f.kind == TokKind::Ident)
+                .map(|f| f.text.clone())
+                .unwrap_or_default();
+            return Some((flag, t.text.clone()));
+        }
+    }
+    None
+}
+
+pub struct AtomicsReport {
+    pub findings: Vec<Finding>,
+    /// Classification census: ordering name → use-site count.
+    pub counts: BTreeMap<String, usize>,
+}
+
+pub fn analyze(files: &[(PathBuf, Vec<FnDef>)]) -> AtomicsReport {
+    let mut findings = Vec::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+
+    for (path, fns) in files {
+        let file = path.to_string_lossy().to_string();
+        for f in fns {
+            let mut stmts = Vec::new();
+            all_stmts(&f.nodes, &mut stmts);
+            for s in stmts {
+                let toks = &s.toks;
+                for k in 0..toks.len() {
+                    if !toks[k].is_ident("Ordering") || !toks.get(k + 1).is_some_and(|t| t.is("::"))
+                    {
+                        continue;
+                    }
+                    let Some(ord) = toks.get(k + 2).filter(|t| t.kind == TokKind::Ident) else {
+                        continue;
+                    };
+                    *counts.entry(ord.text.clone()).or_insert(0) += 1;
+                    if ord.text != "Relaxed" {
+                        continue;
+                    }
+                    let Some((flag, method)) = governing_access(toks, k) else {
+                        continue;
+                    };
+                    if CONTROL_FLAGS.contains(&flag.as_str()) {
+                        findings.push(Finding {
+                            pass: "atomic-ordering",
+                            severity: Severity::Error,
+                            file: file.clone(),
+                            line: ord.line,
+                            col: ord.col,
+                            text: format!("in fn {}", f.name),
+                            message: format!(
+                                "Relaxed ordering on control flag `{flag}` ({method}): \
+                                 this flag gates a cross-thread control decision and \
+                                 must publish with Release / observe with Acquire \
+                                 (AcqRel for RMWs), or be allowlisted with a written \
+                                 happens-before argument"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    AtomicsReport { findings, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::functions;
+    use crate::source::lex;
+
+    fn run(src: &str) -> AtomicsReport {
+        let fns = functions(&lex(src).0);
+        analyze(&[(PathBuf::from("engine.rs"), fns)])
+    }
+
+    #[test]
+    fn classifies_every_ordering_site() {
+        let r = run(
+            "fn f(a: &A) {\n a.shutdown.store(true, Ordering::Release);\n let v = a.shutdown.load(Ordering::Acquire);\n a.admitted.fetch_add(1, Ordering::Relaxed);\n}",
+        );
+        assert_eq!(r.counts.get("Release"), Some(&1));
+        assert_eq!(r.counts.get("Acquire"), Some(&1));
+        assert_eq!(r.counts.get("Relaxed"), Some(&1));
+    }
+
+    #[test]
+    fn relaxed_on_a_shutdown_flag_is_flagged_with_span() {
+        let r = run("fn f(a: &A) {\n a.shutdown.store(true, Ordering::Relaxed);\n}");
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].line, 2);
+        assert!(r.findings[0].message.contains("`shutdown`"));
+        assert!(r.findings[0].message.contains("store"));
+    }
+
+    #[test]
+    fn relaxed_on_a_pure_statistics_counter_is_fine() {
+        let r = run("fn f(a: &A) {\n a.admitted.fetch_add(1, Ordering::Relaxed);\n a.served.fetch_add(1, Ordering::Relaxed);\n}");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn acquire_release_on_control_flags_is_clean() {
+        let r = run(
+            "fn f(a: &A) {\n a.live_slow.store(true, Ordering::Release);\n if a.epoch.load(Ordering::Acquire) > e { return; }\n a.live.fetch_and(false, Ordering::AcqRel);\n}",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.counts.len(), 3);
+    }
+
+    #[test]
+    fn compare_exchange_failure_ordering_is_audited_too() {
+        let r = run(
+            "fn f(a: &A) {\n a.epoch.compare_exchange(e, e + 1, Ordering::AcqRel, Ordering::Relaxed);\n}",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].message.contains("`epoch`"));
+    }
+}

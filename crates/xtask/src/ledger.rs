@@ -1,0 +1,381 @@
+//! Ledger-balance pass: path-sensitive conservation-law accounting.
+//!
+//! The workspace's correctness story rests on one conservation law
+//! (DESIGN.md, metrics.rs):
+//!
+//! ```text
+//! Σ served + Σ fault_lost + Σ hedges_cancelled
+//!     + migrated_in_flight + evacuation_lost == Σ admitted_total
+//! ```
+//!
+//! where `admitted_total = admitted + overflow`. Every admitted request
+//! must eventually be settled exactly once. This pass enumerates every
+//! mutation site of the law's counters and then, per function, walks
+//! every acyclic entry→exit path of the CFG checking that a path which
+//! increments an admission counter either
+//!
+//! - reaches exactly one settling counter *kind* on the same path
+//!   (tenant-level and global counters of the same kind both move for
+//!   one logical event, so kinds are counted, not raw increments), or
+//! - carries a `// ledger: defer(<reason>)` annotation on or directly
+//!   above the admitting statement — the documented way to say
+//!   "settlement happens later, in <reason>" (the seal/drain pipeline
+//!   settles admissions from an earlier submit call, for example).
+//!
+//! The WAL recovery pair `recovered_admissions`/`recovered_lost` must
+//! be restored together on every path — restoring one side only is
+//! precisely the crash-recovery bug class PR 7 guarded against.
+//! `migrated_in_flight` is a cross-function transit counter (incremented
+//! when an evacuation starts, drained when it lands), so it is
+//! enumerated in the site census but exempt from the per-path rule.
+//!
+//! Path enumeration is capped; functions that hit the cap are reported
+//! in `truncated` and surfaced in the summary — never silently
+//! under-checked.
+
+use crate::cfg::{Cfg, FnDef, Stmt};
+use crate::source::{Annotation, Tok, TokKind};
+use crate::{Finding, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Counters that form `admitted_total`.
+const ADMIT: &[&str] = &["admitted", "overflow"];
+
+/// Settling counters, mapped to their logical kind. Tenant-level `lost`
+/// and global `fault_lost` record the same settlement event.
+const SETTLE: &[(&str, &str)] = &[
+    ("served", "served"),
+    ("lost", "lost"),
+    ("fault_lost", "lost"),
+    ("hedges_cancelled", "hedges_cancelled"),
+    ("evacuation_lost", "evacuation_lost"),
+];
+
+/// Transit counter: moves admissions between arrays, settled elsewhere.
+const TRANSIT: &[&str] = &["migrated_in_flight"];
+
+/// WAL recovery pair: must move together.
+const PAIR: (&str, &str) = ("recovered_admissions", "recovered_lost");
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    Inc,
+    Dec,
+    Set,
+}
+
+#[derive(Debug, Clone)]
+struct Mutation {
+    counter: String,
+    op: Op,
+    line: usize,
+    col: usize,
+}
+
+fn is_tracked(name: &str) -> bool {
+    ADMIT.contains(&name)
+        || SETTLE.iter().any(|(n, _)| *n == name)
+        || TRANSIT.contains(&name)
+        || name == PAIR.0
+        || name == PAIR.1
+}
+
+/// Find the tracked-counter mutations in one statement. A mutation is
+/// `counter.fetch_add(…)` / `fetch_sub` / `store`, or `counter += …` /
+/// `-= …`. Reads (`.load(…)`) and struct-literal field inits
+/// (`counter: …`) are not mutations.
+fn mutations(toks: &[Tok]) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || !is_tracked(&t.text) {
+            continue;
+        }
+        let op = match (toks.get(k + 1), toks.get(k + 2), toks.get(k + 3)) {
+            (Some(dot), Some(m), Some(open)) if dot.is(".") && open.is("(") => {
+                match m.text.as_str() {
+                    "fetch_add" => Some(Op::Inc),
+                    "fetch_sub" => Some(Op::Dec),
+                    "store" => Some(Op::Set),
+                    _ => None,
+                }
+            }
+            (Some(assign), _, _) if assign.is("+=") => Some(Op::Inc),
+            (Some(assign), _, _) if assign.is("-=") => Some(Op::Dec),
+            _ => None,
+        };
+        if let Some(op) = op {
+            out.push(Mutation {
+                counter: t.text.clone(),
+                op,
+                line: t.line,
+                col: t.col,
+            });
+        }
+    }
+    out
+}
+
+fn settle_kind(counter: &str) -> Option<&'static str> {
+    SETTLE.iter().find(|(n, _)| *n == counter).map(|(_, k)| *k)
+}
+
+/// Does a `// ledger: defer(…)` annotation attach to this statement —
+/// i.e. sit on the line directly above its first token, or on any line
+/// the statement spans?
+fn annotated(stmt: &Stmt, anns: &[Annotation]) -> bool {
+    let first = stmt.toks.first().map_or(0, |t| t.line);
+    let last = stmt.toks.last().map_or(first, |t| t.line);
+    anns.iter()
+        .any(|a| a.line + 1 >= first && a.line <= last && a.text.contains("defer("))
+}
+
+pub struct LedgerReport {
+    pub findings: Vec<Finding>,
+    /// Mutation-site census: counter name → number of sites.
+    pub sites: BTreeMap<String, usize>,
+    /// Functions whose path enumeration hit the cap (reported, never
+    /// silently under-checked).
+    pub truncated: Vec<String>,
+}
+
+const PATH_CAP: usize = 4096;
+
+pub fn analyze(files: &[(PathBuf, Vec<FnDef>, Vec<Annotation>)]) -> LedgerReport {
+    let mut findings = Vec::new();
+    let mut sites: BTreeMap<String, usize> = BTreeMap::new();
+    let mut truncated = Vec::new();
+
+    for (path, fns, anns) in files {
+        let file = path.to_string_lossy().to_string();
+        for f in fns {
+            let mut stmts = Vec::new();
+            crate::cfg::all_stmts(&f.nodes, &mut stmts);
+            let mut touches_law = false;
+            for s in &stmts {
+                for m in mutations(&s.toks) {
+                    *sites.entry(m.counter.clone()).or_insert(0) += 1;
+                    touches_law = true;
+                }
+            }
+            if !touches_law {
+                continue;
+            }
+
+            let cfg = Cfg::build(&f.nodes);
+            let (paths, was_truncated) = cfg.paths(PATH_CAP);
+            if was_truncated {
+                truncated.push(format!(
+                    "{file}: fn {} at line {} (cap {PATH_CAP})",
+                    f.name, f.line
+                ));
+            }
+
+            // Deduplicate: many paths share the same offending statement.
+            let mut reported: BTreeSet<(usize, &'static str)> = BTreeSet::new();
+            for path_stmts in &paths {
+                let mut admit: Option<Mutation> = None;
+                let mut admit_annotated = true;
+                let mut kinds: BTreeMap<&'static str, Mutation> = BTreeMap::new();
+                let mut pair_a = 0usize;
+                let mut pair_b = 0usize;
+                let mut pair_line = 0usize;
+                for s in path_stmts {
+                    for m in mutations(&s.toks) {
+                        if ADMIT.contains(&m.counter.as_str()) && m.op == Op::Inc {
+                            if !annotated(s, anns) {
+                                admit_annotated = false;
+                            }
+                            admit.get_or_insert(m.clone());
+                        } else if m.op == Op::Inc {
+                            if let Some(k) = settle_kind(&m.counter) {
+                                kinds.entry(k).or_insert_with(|| m.clone());
+                            }
+                        }
+                        if m.counter == PAIR.0 {
+                            pair_a += 1;
+                            pair_line = m.line;
+                        }
+                        if m.counter == PAIR.1 {
+                            pair_b += 1;
+                            pair_line = m.line;
+                        }
+                    }
+                }
+                if (pair_a > 0) != (pair_b > 0) && reported.insert((pair_line, "pair")) {
+                    findings.push(Finding {
+                        pass: "ledger-balance",
+                        severity: Severity::Error,
+                        file: file.clone(),
+                        line: pair_line,
+                        col: 0,
+                        text: format!("in fn {}", f.name),
+                        message: format!(
+                            "WAL recovery pair split: a path touches `{}` without `{}` \
+                             (they must be restored together or the conservation audit \
+                             diverges after crash recovery)",
+                            if pair_a > 0 { PAIR.0 } else { PAIR.1 },
+                            if pair_a > 0 { PAIR.1 } else { PAIR.0 },
+                        ),
+                    });
+                }
+                let Some(adm) = admit else { continue };
+                if admit_annotated {
+                    continue; // explicitly deferred
+                }
+                if kinds.is_empty() {
+                    if reported.insert((adm.line, "leak")) {
+                        findings.push(Finding {
+                            pass: "ledger-balance",
+                            severity: Severity::Error,
+                            file: file.clone(),
+                            line: adm.line,
+                            col: adm.col,
+                            text: format!("in fn {}", f.name),
+                            message: format!(
+                                "path increments `{}` (part of admitted_total) but reaches \
+                                 no settling counter; settle on every path or annotate the \
+                                 admission with `// ledger: defer(<where it settles>)`",
+                                adm.counter
+                            ),
+                        });
+                    }
+                } else if kinds.len() > 1 {
+                    let second = kinds.values().max_by_key(|m| m.line).unwrap();
+                    if reported.insert((second.line, "double")) {
+                        let names: Vec<&str> = kinds.keys().copied().collect();
+                        findings.push(Finding {
+                            pass: "ledger-balance",
+                            severity: Severity::Error,
+                            file: file.clone(),
+                            line: second.line,
+                            col: second.col,
+                            text: format!("in fn {}", f.name),
+                            message: format!(
+                                "path settles a single admission more than once \
+                                 ({}); each admitted request must settle exactly once",
+                                names.join(" and ")
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    LedgerReport {
+        findings,
+        sites,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::functions;
+    use crate::source::lex;
+
+    fn run(src: &str) -> LedgerReport {
+        let (toks, anns) = lex(src);
+        let fns = functions(&toks);
+        analyze(&[(PathBuf::from("engine.rs"), fns, anns)])
+    }
+
+    #[test]
+    fn balanced_admit_and_settle_on_every_arm_is_clean() {
+        let r = run(
+            "impl E {\n fn go(&self, ok: bool) {\n  self.stats.admitted.fetch_add(1, O::Relaxed);\n  if ok {\n   self.stats.served.fetch_add(1, O::Relaxed);\n  } else {\n   self.stats.fault_lost.fetch_add(1, O::Relaxed);\n  }\n }\n}",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sites.get("admitted"), Some(&1));
+        assert_eq!(r.sites.get("served"), Some(&1));
+    }
+
+    #[test]
+    fn unbalanced_arm_is_flagged_at_the_admit_site() {
+        let r = run(
+            "impl E {\n fn go(&self, ok: bool) {\n  self.stats.admitted.fetch_add(1, O::Relaxed);\n  if ok {\n   self.stats.served.fetch_add(1, O::Relaxed);\n  }\n }\n}",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].line, 3);
+        assert!(r.findings[0].message.contains("no settling counter"));
+    }
+
+    #[test]
+    fn deferral_annotation_silences_the_admit() {
+        let r = run(
+            "impl E {\n fn admit(&self) {\n  // ledger: defer(settled by seal/drain)\n  self.stats.admitted.fetch_add(1, O::Relaxed);\n }\n}",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn non_defer_ledger_comment_does_not_silence() {
+        let r = run(
+            "impl E {\n fn admit(&self) {\n  // ledger: note to self\n  self.stats.admitted.fetch_add(1, O::Relaxed);\n }\n}",
+        );
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn tenant_and_global_counters_of_one_kind_settle_once() {
+        // fault_lost (global) + lost (tenant) are one logical settlement.
+        let r = run(
+            "impl E {\n fn go(&self) {\n  self.stats.admitted.fetch_add(1, O::Relaxed);\n  self.stats.fault_lost.fetch_add(1, O::Relaxed);\n  t.counters.lost.fetch_add(1, O::Relaxed);\n }\n}",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn two_distinct_settle_kinds_on_one_path_is_a_double_settle() {
+        let r = run(
+            "impl E {\n fn go(&self) {\n  self.stats.admitted.fetch_add(1, O::Relaxed);\n  self.stats.served.fetch_add(1, O::Relaxed);\n  self.stats.hedges_cancelled.fetch_add(1, O::Relaxed);\n }\n}",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].message.contains("more than once"));
+        assert_eq!(r.findings[0].line, 5);
+    }
+
+    #[test]
+    fn try_operator_leaks_an_unsettled_admission() {
+        // The `?` early exit creates a path where the admission never
+        // settles — the crash-recovery bug class, caught statically.
+        let r = run(
+            "impl E {\n fn go(&self) -> Result<(), E> {\n  self.stats.admitted.fetch_add(1, O::Relaxed);\n  self.wal.log_admit()?;\n  self.stats.served.fetch_add(1, O::Relaxed);\n  Ok(())\n }\n}",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].line, 3);
+    }
+
+    #[test]
+    fn recovery_pair_split_is_flagged() {
+        let r = run(
+            "impl W {\n fn recover(&self, ok: bool) {\n  self.stats.recovered_admissions.store(n, O::Relaxed);\n  if ok {\n   self.stats.recovered_lost.store(m, O::Relaxed);\n  }\n }\n}",
+        );
+        assert!(
+            r.findings.iter().any(|f| f.message.contains("pair split")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn transit_counter_is_censused_but_exempt_from_the_path_rule() {
+        let r = run(
+            "impl C {\n fn evacuate(&self) {\n  self.metrics.migrated_in_flight.fetch_add(n, O::Relaxed);\n }\n}",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sites.get("migrated_in_flight"), Some(&1));
+    }
+
+    #[test]
+    fn loads_and_field_inits_are_not_mutations() {
+        let r = run(
+            "impl E {\n fn snap(&self) -> S {\n  let a = self.stats.admitted.load(O::Relaxed);\n  S { admitted: a, served: 0 }\n }\n}",
+        );
+        assert!(r.findings.is_empty());
+        assert!(r.sites.is_empty(), "{:?}", r.sites);
+    }
+}

@@ -23,21 +23,32 @@
 //! Every finding cross-references DESIGN.md "Concurrency invariants".
 
 use crate::source::LogicalLine;
-use crate::Finding;
+use crate::{Finding, Severity};
 use std::path::Path;
 
 /// One allowlist entry: a finding is suppressed when its file path ends
-/// with `path_suffix` and the flagged source text contains `needle`.
+/// with `path_suffix` and the flagged source text (or, for the
+/// pass-level findings, the diagnostic message) contains `needle`.
 #[derive(Debug)]
 pub struct AllowEntry {
     pub path_suffix: String,
     pub needle: String,
     pub reason: String,
+    /// Optional `expires: PR<N>` bound: once the repo reaches PR N the
+    /// entry fails the run instead of suppressing — temporary exceptions
+    /// can't quietly become permanent.
+    pub expires: Option<u32>,
+    pub line: usize,
 }
 
-/// Parse the allowlist format: `path-suffix | needle | reason`, one per
-/// line, `#` comments. The reason is mandatory — an exception nobody can
-/// explain is a bug.
+/// Parse the allowlist format, one entry per line, `#` comments:
+///
+/// ```text
+/// path-suffix | needle | reason
+/// path-suffix | needle | reason | expires: PR<N>
+/// ```
+///
+/// The reason is mandatory — an exception nobody can explain is a bug.
 pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
     let mut out = Vec::new();
     for (i, raw) in text.lines().enumerate() {
@@ -45,20 +56,66 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let parts: Vec<&str> = line.splitn(3, '|').map(str::trim).collect();
-        if parts.len() != 3 || parts.iter().any(|p| p.is_empty()) {
+        let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+        if parts.len() < 3 || parts[..3].iter().any(|p| p.is_empty()) {
             return Err(format!(
-                "allowlist line {}: expected `path-suffix | needle | reason`, got `{line}`",
+                "allowlist line {}: expected `path-suffix | needle | reason [| expires: PR<N>]`, got `{line}`",
                 i + 1
             ));
         }
+        let expires = match parts.get(3) {
+            None => None,
+            Some(f) => {
+                let n = f
+                    .strip_prefix("expires:")
+                    .map(str::trim)
+                    .and_then(|p| p.strip_prefix("PR"))
+                    .and_then(|n| n.trim().parse::<u32>().ok());
+                match n {
+                    Some(n) => Some(n),
+                    None => {
+                        return Err(format!(
+                            "allowlist line {}: fourth field must be `expires: PR<N>`, got `{f}`",
+                            i + 1
+                        ))
+                    }
+                }
+            }
+        };
         out.push(AllowEntry {
             path_suffix: parts[0].to_string(),
             needle: parts[1].to_string(),
             reason: parts[2].to_string(),
+            expires,
+            line: i + 1,
         });
     }
     Ok(out)
+}
+
+/// Expired entries become findings: the exception's bound has passed and
+/// the underlying issue must now be fixed (or the bound consciously
+/// extended in review).
+pub fn expired_entries(allow: &[AllowEntry], current_pr: u32) -> Vec<Finding> {
+    allow
+        .iter()
+        .filter(|e| e.expires.is_some_and(|n| current_pr >= n))
+        .map(|e| Finding {
+            pass: "allowlist",
+            severity: Severity::Error,
+            file: "crates/xtask/allowlist.txt".to_string(),
+            line: e.line,
+            col: 0,
+            text: format!("{} | {}", e.path_suffix, e.needle),
+            message: format!(
+                "allowlist entry expired at PR {} (repo is at PR {current_pr}): \
+                 fix the underlying finding or consciously extend the bound \
+                 — reason was: {}",
+                e.expires.unwrap_or(0),
+                e.reason
+            ),
+        })
+        .collect()
 }
 
 pub fn is_allowed<'a>(
@@ -113,6 +170,7 @@ fn scan(
     logical: &[LogicalLine],
     original: &[String],
     needles: &[&str],
+    pass: &'static str,
     what: &str,
     allow: &[AllowEntry],
     findings: &mut Vec<Finding>,
@@ -127,8 +185,11 @@ fn scan(
                     suppressed.push(format!("{file}:{}: allowed: {}", l.line, entry.reason));
                 } else {
                     findings.push(Finding {
+                        pass,
+                        severity: Severity::Error,
                         file: file.clone(),
                         line: l.line,
+                        col: 0,
                         text: source,
                         message: format!(
                             "{what}: `{}` is forbidden here; handle the failure, use `assert!` \
@@ -158,6 +219,7 @@ pub fn lint_src(
         logical,
         original,
         LOCK_UNWRAP,
+        "lint-lock-unwrap",
         "unwrap/expect on a lock result in the server hot path",
         allow,
         findings,
@@ -179,6 +241,7 @@ pub fn lint_src(
         &remaining,
         original,
         PANIC_PATH,
+        "lint-panic-path",
         "panic path in server code",
         allow,
         findings,
@@ -201,6 +264,7 @@ pub fn lint_test(
         logical,
         original,
         WALL_CLOCK,
+        "lint-wall-clock",
         "wall-clock in deterministic test code",
         allow,
         findings,
@@ -296,6 +360,28 @@ mod tests {
     #[test]
     fn allowlist_rejects_entries_without_a_reason() {
         assert!(parse_allowlist("window.rs | expect(\"flow mode\")").is_err());
+    }
+
+    #[test]
+    fn allowlist_parses_an_expires_bound() {
+        let allow = parse_allowlist("window.rs | needle | reason | expires: PR12\n").unwrap();
+        assert_eq!(allow[0].expires, Some(12));
+        assert!(expired_entries(&allow, 11).is_empty());
+        let expired = expired_entries(&allow, 12);
+        assert_eq!(expired.len(), 1);
+        assert!(expired[0].message.contains("expired at PR 12"));
+    }
+
+    #[test]
+    fn allowlist_rejects_a_malformed_expires_field() {
+        assert!(parse_allowlist("window.rs | needle | reason | expires: someday").is_err());
+        assert!(parse_allowlist("window.rs | needle | reason | until: PR12").is_err());
+    }
+
+    #[test]
+    fn entries_without_expires_never_expire() {
+        let allow = parse_allowlist("window.rs | needle | reason\n").unwrap();
+        assert!(expired_entries(&allow, 9999).is_empty());
     }
 
     #[test]

@@ -1,29 +1,40 @@
-//! Lock-order analysis: extract lock-acquisition sites per function,
-//! build the may-hold-while-acquiring graph (direct nesting plus calls
-//! into functions that acquire), and check it against the documented
-//! hierarchy — see DESIGN.md, section "Concurrency invariants".
+//! Lock-order and guard-across-blocking analysis over the per-function
+//! statement trees (`cfg.rs`) — see DESIGN.md, "Concurrency invariants".
 //!
-//! The pass is textual and deliberately over-approximate:
+//! The pass extracts every lock-acquisition site per function, builds
+//! the may-hold-while-acquiring graph (direct nesting plus calls into
+//! functions that acquire, as a call-graph fixpoint) and checks it
+//! against the documented hierarchy. Guard lifetimes follow the tree:
 //!
-//! - a `let`-bound guard is assumed held until its enclosing block closes
-//!   or an explicit `drop(name)` appears;
-//! - a guard acquired in a `for`/`while`/`if`/`match` head is held through
-//!   that construct's block;
-//! - any other acquisition is held to the end of its logical line;
-//! - calls are resolved by bare name against every `fn` in the scanned
-//!   tree (receiver types are unknown), and a function's acquisition set
-//!   is the fixpoint over its callees.
+//! - a `let`-bound guard is held until its enclosing block ends or an
+//!   explicit `drop(name)` appears;
+//! - a guard acquired in an `if`/`match`/`while`/`for` head is held
+//!   through that construct's branches;
+//! - any other acquisition is a temporary held to the end of its
+//!   statement;
+//! - `spawn(move || …)` closure bodies are detached functions — guards
+//!   held at the spawn site are not held inside them (cfg.rs cuts them
+//!   out before this pass runs).
 //!
-//! Name collisions between unrelated methods therefore merge their
-//! acquisition sets; the only systematic artifact is a same-class
-//! self-edge (e.g. `TenantRegistry::limit` calling `AppAdmission::headroom`
-//! resolving onto `TenantRegistry::headroom`), so self-edges are skipped.
-//! Same-lock re-entrancy is out of scope for a textual pass — the
-//! model-check suite (`fqos-server` `tests/model.rs`) covers it by
-//! executing the real lock protocol under every explored schedule.
+//! Call resolution is owner-aware: `Type::name(…)` and `self.name(…)`
+//! resolve against that type's methods only, and a receiver-hint table
+//! maps well-known binding names (`router`, `registry`, `wal`, …) to
+//! their types. Unhinted receivers and bare names still merge every
+//! same-name function (over-approximate, the safe direction), except a
+//! short documented never-resolve list where merging fabricated edges.
+//!
+//! The same guard simulation feeds **guard-across-blocking**: an
+//! *exclusive* guard (mutex or write lock) live across a blocking
+//! operation — fsync, channel send/recv, thread join, sleep, condvar
+//! wait, subprocess I/O — stalls every contender for the duration, so
+//! each such site must be restructured or allowlisted with a reason.
+//! Shared (`read()`) guards are exempt: readers don't serialize
+//! readers, and the submit path holds `engine.quiesce` read-side for
+//! its whole duration by design.
 
-use crate::source::Function;
-use crate::Finding;
+use crate::cfg::{all_stmts, FnDef, Node, Stmt};
+use crate::source::{Tok, TokKind};
+use crate::{Finding, Severity};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The documented lock hierarchy, outermost first. An edge `A -> B`
@@ -110,167 +121,278 @@ fn class_index(name: &str) -> usize {
         .expect("class name in HIERARCHY")
 }
 
-/// An acquisition site found on one logical line.
+/// Binding names whose receiver type is known. A hinted receiver
+/// resolves *only* against the named types — the collision killer: a
+/// method name shared with an unrelated type no longer merges their
+/// acquisition sets through hinted call sites.
+const RECEIVER_HINTS: &[(&str, &[&str])] = &[
+    ("router", &["Router"]),
+    ("registry", &["TenantRegistry"]),
+    ("wal", &["Wal", "WalInner", "WalState"]),
+    ("fault", &["FaultPlane"]),
+    ("engine", &["Engine"]),
+    ("liveness", &["HealthPlane"]),
+    ("health", &["HealthBoard", "HealthPlane"]),
+    ("ring", &["WindowRing"]),
+    ("cluster", &["QosCluster"]),
+    ("server", &["QosServer"]),
+    ("srv", &["QosServer"]),
+    ("handle", &["ClusterHandle", "SubmitterHandle"]),
+    ("inner", &["PlaneInner", "WalInner"]),
+];
+
+/// Names never resolved through bare/unhinted forms: merging them
+/// across same-name functions fabricated edges. `new` would alias every
+/// `Arc::new`/`Vec::new` onto crate constructors; `submit` the flashsim
+/// device twin onto `SubmitterHandle::submit`; `recover` the pure
+/// `FaultSchedule::recover` builder onto `QosServer::recover`; `metrics`
+/// `QosServer::metrics` onto `QosCluster::metrics`; `get` every
+/// `HashMap::get`; `drop` would alias `std::mem::drop` (every
+/// guard-release site) onto `Drop` impls, which are never invoked as a
+/// bare call. Qualified (`Type::name`), `self.`, and hinted forms still
+/// resolve these precisely.
+const NEVER_RESOLVE_BARE: &[&str] = &["new", "submit", "recover", "metrics", "get", "drop"];
+
+/// One lock-acquisition event inside a statement.
 #[derive(Debug, Clone, Copy)]
-struct Acquisition {
-    pos: usize,
-    class: usize,
+pub struct Acq {
+    pub class: usize,
+    pub exclusive: bool,
+    /// Token index of the acquiring method (`lock`/`read`/`write`).
+    pub idx: usize,
+    pub line: usize,
+    pub col: usize,
 }
 
-/// Classify every lock acquisition on a stripped logical line.
-fn acquisitions(file_name: &str, text: &str) -> Vec<Acquisition> {
-    let mut out = Vec::new();
-    let simple: &[(&str, &str)] = &[
-        ("ctrl.lock(", "cluster.ctrl"),
-        ("router.lock(", "cluster.router"),
-        ("arrays.read()", "cluster.arrays"),
-        ("arrays.write()", "cluster.arrays"),
-        ("liveness.lock(", "cluster.health"),
-        ("quiesce.read()", "engine.quiesce"),
-        ("quiesce.write()", "engine.quiesce"),
-        ("dispatch.lock(", "engine.dispatch"),
-        ("admission.lock(", "registry.admission"),
-        ("handles.lock(", "engine.handles"),
-        ("counters.lock(", "engine.stat_counters"),
-        ("inner.lock(", "fault.inner"),
-        ("health.lock(", "fault.health"),
-        ("hedge.lock(", "engine.hedge"),
-        ("wal.lock(", "engine.wal"),
-    ];
-    for (needle, class) in simple {
-        let mut from = 0;
-        while let Some(p) = text[from..].find(needle) {
-            out.push(Acquisition {
-                pos: from + p,
-                class: class_index(class),
-            });
-            from += p + needle.len();
-        }
-    }
-    // Ring slot: `self.slot(window).lock()` or similar — a `.lock(` with a
-    // `slot(` receiver earlier on the line.
-    if let Some(sp) = text.find("slot(") {
-        if let Some(lp) = text[sp..].find(".lock(") {
-            out.push(Acquisition {
-                pos: sp + lp,
-                class: class_index("window.slot"),
-            });
-        }
-    }
-    // Registry shard: RwLock read/write, either on a `shard(...)` receiver
-    // or anywhere inside registry.rs (the shard vec is its only RwLock).
-    if file_name.ends_with("registry.rs") || text.contains("shard(") {
-        for needle in [".read()", ".write()"] {
-            let mut from = 0;
-            while let Some(p) = text[from..].find(needle) {
-                out.push(Acquisition {
-                    pos: from + p,
-                    class: class_index("registry.shard"),
-                });
-                from += p + needle.len();
-            }
-        }
-    }
-    out.sort_by_key(|a| a.pos);
-    out.dedup_by_key(|a| a.pos);
-    out
-}
-
-/// Does the text after an acquisition needle at `pos` reduce to a bare
-/// guard value (its own call parens, then at most `;`)? Used to decide
-/// whether a `let` binds the guard itself or a value derived from it.
-fn guard_escapes_into_let(text: &str, pos: usize) -> bool {
-    let open = match text[pos..].find('(') {
-        Some(o) => pos + o,
-        None => return false,
-    };
+fn matching(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0i32;
-    for (k, c) in text[open..].char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => {
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
                 depth -= 1;
                 if depth == 0 {
-                    let rest = text[open + k + 1..].trim();
-                    return rest.is_empty() || rest == ";";
+                    return k;
                 }
             }
             _ => {}
         }
     }
-    false
+    toks.len()
 }
 
-fn let_binding_name(text: &str) -> Option<String> {
-    let rest = text.strip_prefix("let ")?;
-    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    (!name.is_empty()).then_some(name)
-}
-
-fn is_block_head(text: &str) -> bool {
-    ["for ", "while ", "if ", "match "]
+/// Classify every lock acquisition in a statement's tokens.
+pub fn acquisitions(file_name: &str, toks: &[Tok]) -> Vec<Acq> {
+    // (field, method, class, exclusive)
+    const TABLE: &[(&str, &str, &str, bool)] = &[
+        ("ctrl", "lock", "cluster.ctrl", true),
+        ("router", "lock", "cluster.router", true),
+        ("arrays", "read", "cluster.arrays", false),
+        ("arrays", "write", "cluster.arrays", true),
+        ("liveness", "lock", "cluster.health", true),
+        ("quiesce", "read", "engine.quiesce", false),
+        ("quiesce", "write", "engine.quiesce", true),
+        ("dispatch", "lock", "engine.dispatch", true),
+        ("admission", "lock", "registry.admission", true),
+        ("handles", "lock", "engine.handles", true),
+        ("counters", "lock", "engine.stat_counters", true),
+        ("inner", "lock", "fault.inner", true),
+        ("health", "lock", "fault.health", true),
+        ("hedge", "lock", "engine.hedge", true),
+        ("wal", "lock", "engine.wal", true),
+    ];
+    let mut out: Vec<Acq> = Vec::new();
+    let mut push = |class: &str, exclusive: bool, idx: usize, t: &Tok| {
+        if !out.iter().any(|a| a.idx == idx) {
+            out.push(Acq {
+                class: class_index(class),
+                exclusive,
+                idx,
+                line: t.line,
+                col: t.col,
+            });
+        }
+    };
+    let has_shard_recv = toks
         .iter()
-        .any(|h| text.starts_with(h))
+        .zip(toks.iter().skip(1))
+        .any(|(a, b)| a.is_ident("shard") && b.is("("));
+    for k in 0..toks.len() {
+        let field = &toks[k];
+        if field.kind != TokKind::Ident {
+            continue;
+        }
+        if let (Some(dot), Some(method), Some(open)) =
+            (toks.get(k + 1), toks.get(k + 2), toks.get(k + 3))
+        {
+            if dot.is(".") && method.kind == TokKind::Ident && open.is("(") {
+                for (f, m, class, excl) in TABLE {
+                    if field.text == *f && method.text == *m {
+                        // RwLock read()/write() take no arguments; requiring
+                        // the empty call keeps `file.read(buf)` out.
+                        let rw = *m != "lock";
+                        if !rw || toks.get(k + 4).is_some_and(|t| t.is(")")) {
+                            push(class, *excl, k + 2, method);
+                        }
+                    }
+                }
+            }
+        }
+        // Registry shard RwLock: any bare `.read()`/`.write()` inside
+        // registry.rs (the shard vec is its only RwLock), or in a
+        // statement that calls `shard(…)`. The receiver is usually a call
+        // expression (`self.shard(t).write()`), so this matches on the
+        // method token rather than a field identifier; acquisitions the
+        // field table already claimed are deduplicated by token index.
+        if (file_name.ends_with("registry.rs") || has_shard_recv)
+            && (field.is_ident("read") || field.is_ident("write"))
+            && k > 0
+            && toks[k - 1].is(".")
+            && toks.get(k + 1).is_some_and(|t| t.is("("))
+            && toks.get(k + 2).is_some_and(|t| t.is(")"))
+        {
+            push("registry.shard", field.is_ident("write"), k, field);
+        }
+        // Ring slot: `slot(…).lock()`.
+        if field.is_ident("slot") && toks.get(k + 1).is_some_and(|t| t.is("(")) {
+            let close = matching(toks, k + 1);
+            if toks.get(close + 1).is_some_and(|t| t.is("."))
+                && toks.get(close + 2).is_some_and(|t| t.is_ident("lock"))
+                && toks.get(close + 3).is_some_and(|t| t.is("("))
+            {
+                let m = &toks[close + 2];
+                push("window.slot", true, close + 2, m);
+            }
+        }
+    }
+    out.sort_by_key(|a| a.idx);
+    out
 }
 
-/// Find boundary-respecting call sites of `name` in `text`. Positions
-/// overlapping `skip` (acquisition needle positions) are ignored.
-fn call_sites(text: &str, name: &str, needles: &[String]) -> Vec<usize> {
-    let bytes = text.as_bytes();
+/// One blocking operation inside a statement.
+#[derive(Debug, Clone)]
+struct BlockingOp {
+    idx: usize,
+    what: String,
+    line: usize,
+    col: usize,
+}
+
+/// Direct blocking primitives: fsync, channel send/recv, thread join,
+/// sleep, condvar wait, subprocess I/O.
+fn blocking_ops(toks: &[Tok]) -> Vec<BlockingOp> {
     let mut out = Vec::new();
-    for needle in needles {
-        let mut from = 0;
-        while let Some(p) = text[from..].find(needle.as_str()) {
-            let at = from + p;
-            // The needle itself anchors the boundary for qualified forms;
-            // for the bare `name(` form check the preceding character so
-            // `fleet_metrics(` does not alias onto `metrics`.
-            let bare = needle.len() == name.len() + 1;
-            let prev_ok = !bare
-                || at == 0
-                || (!bytes[at - 1].is_ascii_alphanumeric()
-                    && bytes[at - 1] != b'_'
-                    && bytes[at - 1] != b'.');
-            if prev_ok {
-                out.push(at + needle.len() - name.len() - 1);
+    let has_command = toks.iter().any(|t| t.is_ident("Command"));
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call =
+            k > 0 && toks[k - 1].is(".") && toks.get(k + 1).is_some_and(|n| n.is("("));
+        let bare_call = toks.get(k + 1).is_some_and(|n| n.is("("));
+        let what: Option<&str> = match t.text.as_str() {
+            "sync_all" | "sync_data" if method_call => Some("fsync"),
+            "send" | "recv" | "recv_timeout" | "recv_deadline" if method_call => {
+                Some("channel send/recv")
             }
-            from = at + needle.len();
+            "join" if method_call && toks.get(k + 2).is_some_and(|n| n.is(")")) => {
+                Some("thread join")
+            }
+            "sleep" if bare_call => Some("sleep"),
+            "wait" | "wait_timeout" if method_call => Some("blocking wait"),
+            "output" | "status" if method_call && has_command => Some("subprocess I/O"),
+            _ => None,
+        };
+        if let Some(w) = what {
+            out.push(BlockingOp {
+                idx: k,
+                what: w.to_string(),
+                line: t.line,
+                col: t.col,
+            });
         }
     }
     out
 }
 
+/// How a call site names its target.
 #[derive(Debug, Clone)]
-struct HeldGuard {
-    class: usize,
-    /// Guard dies once brace depth drops below this value; `usize::MAX`
-    /// marks a line-scoped temporary.
-    dies_below: usize,
-    name: Option<String>,
+enum CallForm {
+    /// `Type::name(…)`
+    Qualified(String),
+    /// `recv.name(…)`
+    Receiver(String),
+    /// `expr….name(…)` — receiver unknowable
+    Chain,
+    /// `name(…)`
+    Bare,
 }
 
-/// One recorded `A held while B acquired` observation.
+#[derive(Debug, Clone)]
+struct CallSite {
+    name: String,
+    form: CallForm,
+    idx: usize,
+}
+
+/// Extract call sites (ident directly followed by `(`), skipping token
+/// indexes already claimed by acquisition events.
+fn call_sites(toks: &[Tok], skip: &BTreeSet<usize>) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        if toks[k].kind != TokKind::Ident
+            || !toks.get(k + 1).is_some_and(|n| n.is("("))
+            || skip.contains(&k)
+        {
+            continue;
+        }
+        let form = if k >= 2 && toks[k - 1].is("::") && toks[k - 2].kind == TokKind::Ident {
+            CallForm::Qualified(toks[k - 2].text.clone())
+        } else if k >= 1 && toks[k - 1].is(".") {
+            match toks.get(k.wrapping_sub(2)) {
+                Some(r) if r.kind == TokKind::Ident => CallForm::Receiver(r.text.clone()),
+                _ => CallForm::Chain,
+            }
+        } else {
+            CallForm::Bare
+        };
+        out.push(CallSite {
+            name: toks[k].text.clone(),
+            form,
+            idx: k,
+        });
+    }
+    out
+}
+
+fn fn_key(owner: Option<&str>, name: &str) -> String {
+    match owner {
+        Some(o) => format!("{o}::{name}"),
+        None => name.to_string(),
+    }
+}
+
+#[derive(Default, Clone)]
+struct Facts {
+    /// Classes acquired directly anywhere in the body.
+    direct: BTreeSet<usize>,
+    /// Keys of crate functions called anywhere in the body.
+    calls: BTreeSet<String>,
+    /// Guard this function returns, if its signature returns one.
+    returns_guard: Option<(usize, bool)>,
+    /// Contains a direct blocking primitive.
+    blocks_directly: Option<String>,
+}
+
 #[derive(Debug, Clone)]
 pub struct Edge {
     pub from: usize,
     pub to: usize,
     pub file: String,
     pub line: usize,
+    pub col: usize,
     pub function: String,
-}
-
-#[derive(Default)]
-struct FnFacts {
-    /// Classes acquired directly anywhere in the body.
-    direct: BTreeSet<usize>,
-    /// Names of crate functions called anywhere in the body.
-    calls: BTreeSet<String>,
-    /// Guard class this function returns, if its signature returns a guard.
-    returns_guard: Option<usize>,
 }
 
 pub struct LockReport {
@@ -279,108 +401,146 @@ pub struct LockReport {
     pub functions_analyzed: usize,
 }
 
-/// Run the lock-order pass over segmented source files.
-pub fn analyze(files: &[(std::path::PathBuf, Vec<Function>)]) -> LockReport {
-    // Pass 1: collect per-name facts (merged across same-name functions —
-    // receivers are unknown to a textual pass).
-    let mut facts: BTreeMap<String, FnFacts> = BTreeMap::new();
-    let all_names: BTreeSet<String> = files
-        .iter()
-        .flat_map(|(_, fns)| fns.iter().map(|f| f.name.clone()))
-        .collect();
-    // Ambiguous names need a qualified needle to avoid swallowing std
-    // calls (HashMap::get etc.); everything else matches `.name(`/`name(`.
-    // `new` is never resolved: every `Arc::new`/`Vec::new` would alias
-    // onto crate constructors, and the one constructor that touches locks
-    // (QosServer::new) only does so inside spawned worker closures, which
-    // run on other threads and must not count as synchronous acquisition.
-    // `submit` is likewise never resolved: the public
-    // `SubmitterHandle::submit` has no intra-crate callers, so the only
-    // `.submit(` sites in server src are the flashsim device twin inside
-    // the worker (called under the hedge lock); resolving the name would
-    // alias the device model onto the handle's full acquisition set and
-    // fabricate `engine.hedge -> *` inversions.
-    // `recover` is never resolved for the same reason: the pure
-    // `FaultSchedule::recover` builder (called from `FaultSchedule::parse`)
-    // would alias onto `QosServer::recover`, whose replay path touches
-    // nearly every class; both are only ever called from top-level startup
-    // code with no lock held.
-    // `metrics` is never resolved because `QosServer::metrics` (engine
-    // classes only, legitimately called under cluster locks by the control
-    // loop and restore path) would alias onto `QosCluster::metrics`, which
-    // takes the top-ranked cluster locks and is only ever called from
-    // drivers with no lock held; the merged set would fabricate
-    // `cluster.arrays -> cluster.ctrl` inversions at every engine snapshot.
-    let needles_for = |name: &str| -> Vec<String> {
-        match name {
-            "new" | "submit" | "recover" | "metrics" => Vec::new(),
-            "get" => vec!["registry.get(".to_string()],
-            _ => vec![format!(".{name}("), format!("{name}(")],
-        }
-    };
+struct Resolver {
+    /// fn name -> [(owner, key)]
+    by_name: BTreeMap<String, Vec<(Option<String>, String)>>,
+}
 
+impl Resolver {
+    fn resolve(&self, site: &CallSite, cur_owner: Option<&str>, caller_name: &str) -> Vec<String> {
+        if site.name == caller_name {
+            // Same-name call sites inside a function are treated as
+            // self-recursion, never as a call into the name's merged set
+            // (e.g. `router.add_array(..)` inside `QosCluster::add_array`).
+            return Vec::new();
+        }
+        let Some(defs) = self.by_name.get(&site.name) else {
+            return Vec::new();
+        };
+        let only_owner = |owners: &[&str]| -> Vec<String> {
+            defs.iter()
+                .filter(|(o, _)| o.as_deref().is_some_and(|o| owners.contains(&o)))
+                .map(|(_, k)| k.clone())
+                .collect()
+        };
+        match &site.form {
+            CallForm::Qualified(t) => only_owner(&[t.as_str()]),
+            CallForm::Receiver(r) if r == "self" => {
+                let own: Vec<String> = cur_owner.map(|o| only_owner(&[o])).unwrap_or_default();
+                if !own.is_empty() {
+                    own
+                } else {
+                    self.merged(&site.name, defs)
+                }
+            }
+            CallForm::Receiver(r) => {
+                if let Some((_, owners)) = RECEIVER_HINTS.iter().find(|(n, _)| n == r) {
+                    only_owner(owners)
+                } else {
+                    self.merged(&site.name, defs)
+                }
+            }
+            CallForm::Chain | CallForm::Bare => self.merged(&site.name, defs),
+        }
+    }
+
+    fn merged(&self, name: &str, defs: &[(Option<String>, String)]) -> Vec<String> {
+        if NEVER_RESOLVE_BARE.contains(&name) {
+            return Vec::new();
+        }
+        defs.iter().map(|(_, k)| k.clone()).collect()
+    }
+}
+
+/// Run the lock-order and guard-across-blocking passes.
+pub fn analyze(files: &[(std::path::PathBuf, Vec<FnDef>)]) -> LockReport {
+    // Function table.
+    let mut by_name: BTreeMap<String, Vec<(Option<String>, String)>> = BTreeMap::new();
+    for (_, fns) in files {
+        for f in fns {
+            let key = fn_key(f.owner.as_deref(), &f.name);
+            let entry = by_name.entry(f.name.clone()).or_default();
+            if !entry.iter().any(|(_, k)| *k == key) {
+                entry.push((f.owner.clone(), key));
+            }
+        }
+    }
+    let resolver = Resolver { by_name };
+
+    // Pass 1: per-function facts.
+    let mut facts: BTreeMap<String, Facts> = BTreeMap::new();
     for (path, fns) in files {
         let file_name = path.to_string_lossy().to_string();
         for f in fns {
-            let entry = facts.entry(f.name.clone()).or_default();
-            if f.signature.contains("->")
-                && ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"]
-                    .iter()
-                    .any(|g| {
-                        f.signature
-                            .split("->")
-                            .nth(1)
-                            .is_some_and(|r| r.contains(g))
-                    })
-            {
-                // The guard class a guard-returning fn hands back is its
-                // first direct acquisition.
-                for l in &f.body {
-                    if let Some(a) = acquisitions(&file_name, &l.text).first() {
-                        entry.returns_guard = Some(a.class);
+            let key = fn_key(f.owner.as_deref(), &f.name);
+            let entry = facts.entry(key).or_default();
+            let mut stmts = Vec::new();
+            all_stmts(&f.nodes, &mut stmts);
+            if returns_guard_sig(&f.sig).is_some() {
+                for s in &stmts {
+                    if let Some(a) = acquisitions(&file_name, &s.toks).first() {
+                        entry.returns_guard = Some((a.class, a.exclusive));
                         break;
                     }
                 }
             }
-            for l in &f.body {
-                for a in acquisitions(&file_name, &l.text) {
+            for s in &stmts {
+                let acqs = acquisitions(&file_name, &s.toks);
+                let skip: BTreeSet<usize> = acqs.iter().map(|a| a.idx).collect();
+                for a in &acqs {
                     entry.direct.insert(a.class);
                 }
-                for name in &all_names {
-                    if name == &f.name {
-                        // Skip trivial self-recursion matches; real mutual
-                        // recursion through other names still resolves.
-                        continue;
+                if entry.blocks_directly.is_none() {
+                    if let Some(b) = blocking_ops(&s.toks).first() {
+                        entry.blocks_directly = Some(b.what.clone());
                     }
-                    if !call_sites(&l.text, name, &needles_for(name)).is_empty() {
-                        entry.calls.insert(name.clone());
+                }
+                for site in call_sites(&s.toks, &skip) {
+                    for key in resolver.resolve(&site, f.owner.as_deref(), &f.name) {
+                        entry.calls.insert(key);
                     }
                 }
             }
         }
     }
 
-    // Fixpoint: transitive acquisition sets per name.
+    // Fixpoint: transitive acquisition sets and blocking reachability.
     let mut acquires: BTreeMap<String, BTreeSet<usize>> = facts
         .iter()
         .map(|(n, f)| (n.clone(), f.direct.clone()))
+        .collect();
+    let mut blocks: BTreeMap<String, Option<String>> = facts
+        .iter()
+        .map(|(n, f)| (n.clone(), f.blocks_directly.clone()))
         .collect();
     loop {
         let mut changed = false;
         for (name, f) in &facts {
             let mut merged = acquires[name].clone();
+            let mut blocked = blocks[name].clone();
             for callee in &f.calls {
                 if let Some(set) = acquires.get(callee) {
                     for c in set.clone() {
                         merged.insert(c);
                     }
                 }
-                if let Some(g) = facts.get(callee).and_then(|cf| cf.returns_guard) {
-                    merged.insert(g);
+                if let Some(cf) = facts.get(callee) {
+                    if let Some((g, _)) = cf.returns_guard {
+                        merged.insert(g);
+                    }
+                }
+                if blocked.is_none() {
+                    if let Some(Some(why)) = blocks.get(callee) {
+                        blocked = Some(format!("{why}, via `{callee}`"));
+                    }
                 }
             }
             if merged.len() > acquires[name].len() {
                 acquires.insert(name.clone(), merged);
+                changed = true;
+            }
+            if blocked.is_some() && blocks[name].is_none() {
+                blocks.insert(name.clone(), blocked);
                 changed = true;
             }
         }
@@ -389,154 +549,44 @@ pub fn analyze(files: &[(std::path::PathBuf, Vec<Function>)]) -> LockReport {
         }
     }
 
-    // Pass 2: simulate held guards through each function body and record
-    // edges for nested acquisitions and for calls made under a lock.
-    let mut edges: Vec<Edge> = Vec::new();
-    let mut functions_analyzed = 0;
+    // Pass 2: guard simulation over each function's statement tree.
+    let mut sim = Sim {
+        resolver: &resolver,
+        facts: &facts,
+        acquires: &acquires,
+        blocks: &blocks,
+        edges: Vec::new(),
+        findings: Vec::new(),
+        file: String::new(),
+        fn_name: String::new(),
+        owner: None,
+        functions_analyzed: 0,
+    };
     for (path, fns) in files {
-        let file_name = path.to_string_lossy().to_string();
+        sim.file = path.to_string_lossy().to_string();
         for f in fns {
-            functions_analyzed += 1;
-            let mut held: Vec<HeldGuard> = Vec::new();
-            for l in &f.body {
-                held.retain(|g| g.dies_below == usize::MAX || l.depth_before >= g.dies_below);
-                held.retain(|g| match &g.name {
-                    Some(n) => !l.text.contains(&format!("drop({n})")),
-                    None => true,
-                });
-
-                // Gather this line's events (acquisitions + calls) in
-                // textual order.
-                #[derive(Clone)]
-                enum Event {
-                    Acquire(usize),
-                    Call(String),
-                }
-                let mut events: Vec<(usize, Event)> = acquisitions(&file_name, &l.text)
-                    .into_iter()
-                    .map(|a| (a.pos, Event::Acquire(a.class)))
-                    .collect();
-                let acq_positions: Vec<usize> = events.iter().map(|(p, _)| *p).collect();
-                for name in &all_names {
-                    if name == &f.name {
-                        // Mirror pass 1: a same-name call site inside the
-                        // function is treated as self-recursion, not as a
-                        // call into the name's merged acquisition set
-                        // (e.g. `router.add_array(..)` inside
-                        // `QosCluster::add_array` must not alias the
-                        // cluster method onto the ring helper).
-                        continue;
-                    }
-                    for pos in call_sites(&l.text, name, &needles_for(name)) {
-                        if !acq_positions.contains(&pos) {
-                            events.push((pos, Event::Call(name.clone())));
-                        }
-                    }
-                }
-                events.sort_by_key(|(p, _)| *p);
-
-                let let_name = let_binding_name(&l.text);
-                let block_head = is_block_head(&l.text);
-                let mut temps: Vec<usize> = Vec::new();
-                let n_events = events.len();
-                for (idx, (pos, ev)) in events.into_iter().enumerate() {
-                    let held_now: Vec<usize> = held
-                        .iter()
-                        .map(|g| g.class)
-                        .chain(temps.iter().copied())
-                        .collect();
-                    match ev {
-                        Event::Acquire(class) => {
-                            for h in &held_now {
-                                if *h != class {
-                                    edges.push(Edge {
-                                        from: *h,
-                                        to: class,
-                                        file: file_name.clone(),
-                                        line: l.line,
-                                        function: f.name.clone(),
-                                    });
-                                }
-                            }
-                            let last = idx + 1 == n_events;
-                            if let_name.is_some() && last && guard_escapes_into_let(&l.text, pos) {
-                                held.push(HeldGuard {
-                                    class,
-                                    dies_below: l.depth_before,
-                                    name: let_name.clone(),
-                                });
-                            } else if block_head {
-                                held.push(HeldGuard {
-                                    class,
-                                    dies_below: l.depth_before + 1,
-                                    name: None,
-                                });
-                            } else {
-                                temps.push(class);
-                            }
-                        }
-                        Event::Call(callee) => {
-                            let mut callee_acquires: BTreeSet<usize> =
-                                acquires.get(&callee).cloned().unwrap_or_default();
-                            let returns = facts.get(&callee).and_then(|cf| cf.returns_guard);
-                            if let Some(g) = returns {
-                                callee_acquires.insert(g);
-                            }
-                            for c in &callee_acquires {
-                                for h in &held_now {
-                                    if h != c {
-                                        edges.push(Edge {
-                                            from: *h,
-                                            to: *c,
-                                            file: file_name.clone(),
-                                            line: l.line,
-                                            function: f.name.clone(),
-                                        });
-                                    }
-                                }
-                            }
-                            // A guard-returning call behaves like an
-                            // acquisition at the call site.
-                            if let Some(g) = returns {
-                                let last = idx + 1 == n_events;
-                                if let_name.is_some()
-                                    && last
-                                    && guard_escapes_into_let(&l.text, pos)
-                                {
-                                    held.push(HeldGuard {
-                                        class: g,
-                                        dies_below: l.depth_before,
-                                        name: let_name.clone(),
-                                    });
-                                } else if block_head {
-                                    held.push(HeldGuard {
-                                        class: g,
-                                        dies_below: l.depth_before + 1,
-                                        name: None,
-                                    });
-                                } else {
-                                    temps.push(g);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+            sim.functions_analyzed += 1;
+            sim.fn_name = f.name.clone();
+            sim.owner = f.owner.clone();
+            sim.walk_nodes(&f.nodes, &[]);
         }
     }
 
     // Check the edge set: every edge must go strictly down the documented
     // hierarchy, and the graph must be acyclic.
-    let mut findings = Vec::new();
+    let mut findings = sim.findings;
     let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
-    for e in &edges {
+    for e in &sim.edges {
         if !seen.insert((e.from, e.to)) {
             continue;
         }
         if e.from >= e.to {
             findings.push(Finding {
+                pass: "lock-order",
+                severity: Severity::Error,
                 file: e.file.clone(),
                 line: e.line,
+                col: e.col,
                 text: format!("in fn {}", e.function),
                 message: format!(
                     "lock-order inversion: `{}` acquired while `{}` is held \
@@ -550,13 +600,14 @@ pub fn analyze(files: &[(std::path::PathBuf, Vec<Function>)]) -> LockReport {
             });
         }
     }
-    // Cycle check over distinct edges (redundant once ranks hold, but it
-    // localizes multi-edge cycles when the hierarchy table is stale).
     if let Some(cycle) = find_cycle(&seen) {
         let names: Vec<&str> = cycle.iter().map(|c| class_name(*c)).collect();
         findings.push(Finding {
+            pass: "lock-order",
+            severity: Severity::Error,
             file: "(lock-order graph)".to_string(),
             line: 0,
+            col: 0,
             text: String::new(),
             message: format!(
                 "lock-order cycle: {} -> (back to start); \
@@ -567,16 +618,299 @@ pub fn analyze(files: &[(std::path::PathBuf, Vec<Function>)]) -> LockReport {
     }
 
     LockReport {
-        edges,
+        edges: sim.edges,
         findings,
-        functions_analyzed,
+        functions_analyzed: sim.functions_analyzed,
+    }
+}
+
+fn returns_guard_sig(sig: &[Tok]) -> Option<bool> {
+    let arrow = sig.iter().position(|t| t.is("->"))?;
+    for t in &sig[arrow..] {
+        match t.text.as_str() {
+            "MutexGuard" | "RwLockWriteGuard" => return Some(true),
+            "RwLockReadGuard" => return Some(false),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[derive(Debug, Clone)]
+struct Held {
+    class: usize,
+    exclusive: bool,
+    name: Option<String>,
+}
+
+struct Sim<'a> {
+    resolver: &'a Resolver,
+    facts: &'a BTreeMap<String, Facts>,
+    acquires: &'a BTreeMap<String, BTreeSet<usize>>,
+    blocks: &'a BTreeMap<String, Option<String>>,
+    edges: Vec<Edge>,
+    findings: Vec<Finding>,
+    file: String,
+    fn_name: String,
+    owner: Option<String>,
+    functions_analyzed: usize,
+}
+
+/// Does the guard value produced at `open` (a `(` token) escape into the
+/// statement's `let` binding — i.e. is nothing but `;`/`?` left after
+/// its call parens close? `let v = g.lock().field;` binds a *derived*
+/// value, not the guard.
+fn escapes_into_let(toks: &[Tok], open: usize) -> bool {
+    let close = matching(toks, open);
+    toks[close.saturating_add(1).min(toks.len())..]
+        .iter()
+        .all(|t| t.is(";") || t.is("?"))
+}
+
+fn let_binding_name(toks: &[Tok]) -> Option<String> {
+    if !toks.first().is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut k = 1;
+    if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    toks.get(k)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+enum Ev {
+    Acq(Acq),
+    Call {
+        idx: usize,
+        keys: Vec<String>,
+        line: usize,
+        col: usize,
+    },
+    Blocking(BlockingOp),
+}
+
+impl Ev {
+    fn idx(&self) -> usize {
+        match self {
+            Ev::Acq(a) => a.idx,
+            Ev::Call { idx, .. } => *idx,
+            Ev::Blocking(b) => b.idx,
+        }
+    }
+}
+
+impl Sim<'_> {
+    fn walk_nodes(&mut self, nodes: &[Node], held0: &[Held]) {
+        let mut held: Vec<Held> = held0.to_vec();
+        for n in nodes {
+            match n {
+                Node::Stmt(s) => self.do_stmt(s, &mut held, false),
+                Node::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let mut hc = held.clone();
+                    self.do_stmt(cond, &mut hc, true);
+                    self.walk_nodes(then_branch, &hc);
+                    if let Some(e) = else_branch {
+                        self.walk_nodes(e, &hc);
+                    }
+                }
+                Node::Match { head, arms } => {
+                    let mut hc = held.clone();
+                    self.do_stmt(head, &mut hc, true);
+                    for a in arms {
+                        self.walk_nodes(&a.body, &hc);
+                    }
+                }
+                Node::Loop { head, body } => {
+                    let mut hc = held.clone();
+                    self.do_stmt(head, &mut hc, true);
+                    self.walk_nodes(body, &hc);
+                }
+                Node::Block(b) | Node::Else(b) => self.walk_nodes(b, &held),
+            }
+        }
+    }
+
+    fn do_stmt(&mut self, s: &Stmt, held: &mut Vec<Held>, head_mode: bool) {
+        // Explicit `drop(name)` releases the named guard.
+        for k in 0..s.toks.len() {
+            if s.toks[k].is_ident("drop")
+                && s.toks.get(k + 1).is_some_and(|t| t.is("("))
+                && s.toks.get(k + 3).is_some_and(|t| t.is(")"))
+            {
+                if let Some(n) = s.toks.get(k + 2).filter(|t| t.kind == TokKind::Ident) {
+                    held.retain(|g| g.name.as_deref() != Some(&n.text));
+                }
+            }
+        }
+
+        let acqs = acquisitions(&self.file, &s.toks);
+        let skip: BTreeSet<usize> = acqs.iter().map(|a| a.idx).collect();
+        let mut events: Vec<Ev> = acqs.into_iter().map(Ev::Acq).collect();
+        for b in blocking_ops(&s.toks) {
+            events.push(Ev::Blocking(b));
+        }
+        for site in call_sites(&s.toks, &skip) {
+            let keys = self
+                .resolver
+                .resolve(&site, self.owner.as_deref(), &self.fn_name);
+            if !keys.is_empty() {
+                let t = &s.toks[site.idx];
+                events.push(Ev::Call {
+                    idx: site.idx,
+                    keys,
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        }
+        events.sort_by_key(Ev::idx);
+
+        let let_name = let_binding_name(&s.toks);
+        let mut temps: Vec<Held> = Vec::new();
+        let n_events = events.len();
+        for (i, ev) in events.into_iter().enumerate() {
+            let last = i + 1 == n_events;
+            match ev {
+                Ev::Acq(a) => {
+                    self.record_edges(a.class, held, &temps, a.line, a.col);
+                    self.bind_guard(
+                        Held {
+                            class: a.class,
+                            exclusive: a.exclusive,
+                            name: let_name.clone(),
+                        },
+                        s,
+                        a.idx + 1,
+                        last,
+                        head_mode,
+                        held,
+                        &mut temps,
+                    );
+                }
+                Ev::Call {
+                    idx,
+                    keys,
+                    line,
+                    col,
+                } => {
+                    let mut callee_classes: BTreeSet<usize> = BTreeSet::new();
+                    let mut returns: Option<(usize, bool)> = None;
+                    let mut blocking_why: Option<(String, String)> = None;
+                    for key in &keys {
+                        if let Some(set) = self.acquires.get(key) {
+                            callee_classes.extend(set.iter().copied());
+                        }
+                        if let Some(cf) = self.facts.get(key) {
+                            if returns.is_none() {
+                                returns = cf.returns_guard;
+                            }
+                        }
+                        if blocking_why.is_none() {
+                            if let Some(Some(why)) = self.blocks.get(key) {
+                                blocking_why = Some((key.clone(), why.clone()));
+                            }
+                        }
+                    }
+                    for c in &callee_classes {
+                        self.record_edges(*c, held, &temps, line, col);
+                    }
+                    if let Some((key, why)) = blocking_why {
+                        self.check_blocking(held, &temps, line, col, &format!("{why} in `{key}`"));
+                    }
+                    if let Some((g, excl)) = returns {
+                        self.bind_guard(
+                            Held {
+                                class: g,
+                                exclusive: excl,
+                                name: let_name.clone(),
+                            },
+                            s,
+                            idx + 1,
+                            last,
+                            head_mode,
+                            held,
+                            &mut temps,
+                        );
+                    }
+                }
+                Ev::Blocking(b) => {
+                    self.check_blocking(held, &temps, b.line, b.col, &b.what);
+                }
+            }
+        }
+    }
+
+    fn record_edges(&mut self, to: usize, held: &[Held], temps: &[Held], line: usize, col: usize) {
+        for g in held.iter().chain(temps.iter()) {
+            if g.class != to {
+                self.edges.push(Edge {
+                    from: g.class,
+                    to,
+                    file: self.file.clone(),
+                    line,
+                    col,
+                    function: self.fn_name.clone(),
+                });
+            }
+        }
+    }
+
+    fn check_blocking(
+        &mut self,
+        held: &[Held],
+        temps: &[Held],
+        line: usize,
+        col: usize,
+        what: &str,
+    ) {
+        if let Some(g) = held.iter().chain(temps.iter()).find(|g| g.exclusive) {
+            self.findings.push(Finding {
+                pass: "guard-blocking",
+                severity: Severity::Warning,
+                file: self.file.clone(),
+                line,
+                col,
+                text: format!("in fn {}", self.fn_name),
+                message: format!(
+                    "`{}` (exclusive) guard held across blocking op ({what}); \
+                     every contender stalls for the full duration — move the \
+                     operation outside the critical section or allowlist it \
+                     with a reason (DESIGN.md \"Static analysis passes\")",
+                    class_name(g.class),
+                ),
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // flat event-loop plumbing
+    fn bind_guard(
+        &mut self,
+        g: Held,
+        s: &Stmt,
+        open: usize,
+        last: bool,
+        head_mode: bool,
+        held: &mut Vec<Held>,
+        temps: &mut Vec<Held>,
+    ) {
+        if head_mode {
+            held.push(Held { name: None, ..g });
+        } else if g.name.is_some() && last && escapes_into_let(&s.toks, open) {
+            held.push(g);
+        } else {
+            temps.push(Held { name: None, ..g });
+        }
     }
 }
 
 fn find_cycle(edges: &BTreeSet<(usize, usize)>) -> Option<Vec<usize>> {
     let nodes: BTreeSet<usize> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
-    // Iterative DFS with colors; small graph, recursion depth bounded by
-    // the hierarchy size.
     fn visit(
         n: usize,
         edges: &BTreeSet<(usize, usize)>,
@@ -619,24 +953,41 @@ fn find_cycle(edges: &BTreeSet<(usize, usize)>) -> Option<Vec<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::source::{functions, strip};
+    use crate::cfg::functions;
+    use crate::source::lex;
     use std::path::PathBuf;
 
     fn run(file: &str, src: &str) -> LockReport {
-        let stripped = strip(src);
-        let fns = functions(&stripped);
+        let (toks, _) = lex(src);
+        let fns = functions(&toks);
         analyze(&[(PathBuf::from(file), fns)])
+    }
+
+    fn acq(file: &str, stmt: &str) -> Vec<Acq> {
+        acquisitions(file, &lex(stmt).0)
     }
 
     #[test]
     fn classifies_the_engine_lock_sites() {
-        let a = acquisitions("engine.rs", "let ds = self.dispatch.lock();");
+        let a = acq("engine.rs", "let ds = self.dispatch.lock();");
         assert_eq!(a.len(), 1);
         assert_eq!(class_name(a[0].class), "engine.dispatch");
-        let a = acquisitions("window.rs", "let mut s = self.slot(window).lock();");
+        assert!(a[0].exclusive);
+        let a = acq("window.rs", "let mut s = self.slot(window).lock();");
         assert_eq!(class_name(a[0].class), "window.slot");
-        let a = acquisitions("registry.rs", "self.shard(tenant).write().insert(t, r);");
+        let a = acq("registry.rs", "self.shard(tenant).write().insert(t, r);");
         assert_eq!(class_name(a[0].class), "registry.shard");
+        assert!(a[0].exclusive);
+        let a = acq("cluster.rs", "let arrays = self.shared.arrays.read();");
+        assert_eq!(class_name(a[0].class), "cluster.arrays");
+        assert!(!a[0].exclusive, "read side is shared");
+    }
+
+    #[test]
+    fn spanned_acquisitions_carry_line_and_col() {
+        let a = acq("engine.rs", "let a = 1;\nlet ds = self.dispatch.lock();");
+        assert_eq!(a[0].line, 2);
+        assert_eq!(a[0].col, 24);
     }
 
     #[test]
@@ -691,6 +1042,30 @@ mod tests {
     }
 
     #[test]
+    fn branch_guard_dies_at_branch_end() {
+        // A guard let-bound inside a then-branch must not be held after
+        // the `if` — the statement tree gives this for free.
+        let r = run(
+            "engine.rs",
+            "impl E {\n fn ok(&self, c: bool) {\n  if c {\n   let i = self.inner.lock();\n   i.log();\n  }\n  let ds = self.dispatch.lock();\n }\n}",
+        );
+        assert_eq!(r.findings.len(), 0, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn match_head_guard_is_held_through_every_arm() {
+        let r = run(
+            "engine.rs",
+            "impl E {\n fn bad(&self, x: u8) {\n  match self.inner.lock().kind(x) {\n   0 => { let ds = self.dispatch.lock(); }\n   _ => {}\n  }\n }\n}",
+        );
+        assert!(
+            r.findings.iter().any(|f| f.message.contains("inversion")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
     fn inversion_through_a_call_is_flagged() {
         let src = "impl E {\n fn helper(&self) {\n  let ds = self.dispatch.lock();\n }\n fn bad(&self) {\n  let i = self.inner.lock();\n  self.helper();\n }\n}";
         let r = run("engine.rs", src);
@@ -702,10 +1077,24 @@ mod tests {
     }
 
     #[test]
+    fn mutually_recursive_helpers_reach_a_fixpoint() {
+        // a -> b -> a cycle in the call graph; b acquires dispatch. The
+        // fixpoint must terminate and propagate dispatch into a, so
+        // holding fault.inner while calling a is an inversion.
+        let src = "impl E {\n fn a(&self, n: u64) {\n  if n > 0 { self.b(n - 1); }\n }\n fn b(&self, n: u64) {\n  let ds = self.dispatch.lock();\n  drop(ds);\n  self.a(n);\n }\n fn bad(&self) {\n  let i = self.inner.lock();\n  self.a(3);\n }\n}";
+        let r = run("engine.rs", src);
+        assert!(
+            r.findings.iter().any(|f| f.message.contains("inversion")),
+            "mutual recursion lost acquisitions: {:?}",
+            r.findings
+        );
+    }
+
+    #[test]
     fn guard_returning_fn_transfers_the_lock_to_its_caller() {
         let src = "impl R {\n fn locked(&self, w: u64) -> MutexGuard<'_, S> {\n  let s = self.slot(w).lock();\n  s\n }\n fn bad(&self) {\n  let s = self.locked(0);\n  let a = self.admission.lock();\n }\n}";
         let r = run("window.rs", src);
-        // slot (rank 5) held while admission (rank 2) acquired: inversion.
+        // window.slot held while registry.admission acquired: inversion.
         assert!(
             r.findings.iter().any(|f| f.message.contains("inversion")),
             "{:?}",
@@ -722,5 +1111,98 @@ mod tests {
             "impl R {\n fn ok(&self) {\n  let removed = self.shard(t).write().remove(&t);\n  let a = self.admission.lock();\n }\n}",
         );
         assert_eq!(r.findings.len(), 0, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn receiver_hints_disambiguate_method_name_collisions() {
+        // Both Router::probe and Wal::probe exist; Wal::probe takes the
+        // wal lock. A hinted `router.probe()` call under cluster.router
+        // must NOT pick up Wal::probe's acquisition (which would be fine
+        // here) nor merge sets; an unhinted receiver still merges.
+        let src = "impl Router {\n fn probe(&self) { self.tick(); }\n}\nimpl Wal {\n fn probe(&self) {\n  let w = self.wal.lock();\n }\n}\nimpl C {\n fn hinted(&self) {\n  let mut router = self.shared.router.lock();\n  router.probe();\n }\n}";
+        let r = run("cluster.rs", src);
+        // Hinted resolution: no router -> wal edge.
+        assert!(
+            !r.edges
+                .iter()
+                .any(|e| class_name(e.from) == "cluster.router"
+                    && class_name(e.to) == "engine.wal"),
+            "hint failed, sets merged: {:?}",
+            r.edges
+        );
+    }
+
+    #[test]
+    fn spawned_closure_does_not_inherit_the_spawn_sites_guards() {
+        let src = "impl E {\n fn start(&self) {\n  let h = self.handles.lock();\n  thread::spawn(move || {\n   let ds = self.dispatch.lock();\n  });\n }\n}";
+        let r = run("engine.rs", src);
+        // dispatch is acquired on the new thread: no handles -> dispatch
+        // edge (which would be an inversion, rank 8 before rank 6).
+        assert!(
+            r.findings.is_empty()
+                && !r
+                    .edges
+                    .iter()
+                    .any(|e| class_name(e.from) == "engine.handles"),
+            "{:?} / {:?}",
+            r.findings,
+            r.edges
+        );
+    }
+
+    // --- guard-across-blocking ---
+
+    #[test]
+    fn exclusive_guard_across_fsync_is_flagged() {
+        let r = run(
+            "wal.rs",
+            "impl W {\n fn bad(&self) {\n  let w = self.wal.lock();\n  self.file.sync_all();\n }\n}",
+        );
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.pass == "guard-blocking" && f.message.contains("fsync")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn shared_read_guard_across_blocking_is_exempt() {
+        let r = run(
+            "engine.rs",
+            "impl E {\n fn ok(&self) {\n  let q = self.quiesce.read();\n  self.rx.recv();\n }\n}",
+        );
+        assert!(
+            !r.findings.iter().any(|f| f.pass == "guard-blocking"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn blocking_reached_through_a_call_is_flagged_transitively() {
+        let src = "impl W {\n fn flush_inner(&self) {\n  self.file.sync_all();\n }\n fn bad(&self) {\n  let ds = self.dispatch.lock();\n  self.flush_inner();\n }\n}";
+        let r = run("engine.rs", src);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.pass == "guard-blocking" && f.message.contains("flush_inner")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn blocking_after_guard_dropped_is_clean() {
+        let r = run(
+            "engine.rs",
+            "impl E {\n fn ok(&self) {\n  let ds = self.dispatch.lock();\n  drop(ds);\n  self.rx.recv();\n }\n}",
+        );
+        assert!(
+            !r.findings.iter().any(|f| f.pass == "guard-blocking"),
+            "{:?}",
+            r.findings
+        );
     }
 }

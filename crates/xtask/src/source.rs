@@ -1,18 +1,25 @@
-//! A minimal, line-oriented Rust source model for the `analyze` pass.
+//! Source model for the `analyze` passes, two layers deep.
 //!
-//! This is deliberately **not** a parser: the analyzer only needs four
-//! things from a source file, all robust to the subset of Rust this repo
-//! writes —
+//! **Layer 1 — stripped logical lines** (the original, line-oriented
+//! model, still used by the forbidden-pattern lints in `lints.rs`):
+//! comments and string contents blanked out, `#[cfg(test)]` modules
+//! blanked, physical lines folded into logical statements.
 //!
-//! 1. comments and string contents blanked out (so needles never match
-//!    inside them),
-//! 2. `#[cfg(test)]` modules blanked out (test code has its own rules),
-//! 3. physical lines folded into *logical* lines (a continuation line
-//!    starting with `.`, `?`, `&&`, `||` or a string literal belongs to
-//!    the statement above — multi-line method chains and wrapped macro
-//!    messages are the common cases),
-//! 4. function boundaries with their signatures, so acquisitions can be
-//!    attributed to a function and a call graph can be built.
+//! **Layer 2 — a spanned token stream** (`lex`), feeding the
+//! branch-aware passes in `cfg.rs`/`locks.rs`/`ledger.rs`/`atomics.rs`.
+//! The lexer is a real hand-written scanner: every token carries its
+//! 1-based line and column, string/char/raw-string literals are reduced
+//! to empty spans (their *contents* can never alias code), lifetimes are
+//! distinguished from char literals, and nested block comments are
+//! skipped. Annotation comments (`// ledger: defer(...)`) are captured
+//! with their line so the ledger pass can honor documented deferral
+//! sites.
+//!
+//! Neither layer is a full parser; both are robust to the subset of
+//! Rust this repo writes, and the regression tests below pin the
+//! historically sharp edges (raw strings containing `{` or `//`,
+//! multi-line raw strings, `[u8; N]` types inside signatures, nested
+//! generics).
 
 /// One logical line: `text` is the folded, stripped statement text and
 /// `line` the 1-based physical line it starts on.
@@ -20,19 +27,6 @@
 pub struct LogicalLine {
     pub text: String,
     pub line: usize,
-    /// Brace depth *before* this logical line is processed.
-    pub depth_before: usize,
-    /// Net brace delta across the logical line.
-    pub delta: i32,
-}
-
-/// One `fn` item: signature text (joined up to the opening brace) and
-/// its body as logical lines.
-#[derive(Debug)]
-pub struct Function {
-    pub name: String,
-    pub signature: String,
-    pub body: Vec<LogicalLine>,
 }
 
 /// Strip `//` and nested `/* */` comments and blank out string/char
@@ -68,8 +62,15 @@ pub fn strip(source: &str) -> Vec<String> {
                         state = State::Str;
                         i += 1;
                     }
-                    'r' if next == Some('"') || next == Some('#') => {
+                    'r' if (next == Some('"') || next == Some('#'))
+                        && !prev_is_ident_char(&chars, i) =>
+                    {
                         // Raw string r"..." or r#"..."# (any hash count).
+                        // The identifier-boundary check keeps an ident
+                        // ending in `r` (`attr`, `ptr`) from opening a
+                        // phantom raw string; `r#ident` raw identifiers
+                        // fall through to the ident path below because no
+                        // quote follows the hashes.
                         let mut hashes = 0;
                         let mut j = i + 1;
                         while chars.get(j) == Some(&'#') {
@@ -165,6 +166,10 @@ pub fn strip(source: &str) -> Vec<String> {
     out
 }
 
+fn prev_is_ident_char(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_')
+}
+
 /// Blank out every `#[cfg(test)] mod … { … }` block in stripped lines.
 pub fn blank_test_mods(lines: &mut [String]) {
     let mut i = 0;
@@ -199,14 +204,6 @@ pub fn blank_test_mods(lines: &mut [String]) {
     }
 }
 
-fn brace_delta(s: &str) -> i32 {
-    s.chars().fold(0, |d, c| match c {
-        '{' => d + 1,
-        '}' => d - 1,
-        _ => d,
-    })
-}
-
 fn is_continuation(trimmed: &str) -> bool {
     // A line opening with a string literal is a wrapped macro/call
     // argument (`panic!(\n    "message…"`), never a fresh statement.
@@ -217,178 +214,381 @@ fn is_continuation(trimmed: &str) -> bool {
         || trimmed.starts_with('"')
 }
 
-/// Fold stripped physical lines into logical lines with depth tracking.
+/// Fold stripped physical lines into logical lines.
 pub fn logical_lines(stripped: &[String], first_line: usize) -> Vec<LogicalLine> {
     let mut out: Vec<LogicalLine> = Vec::new();
-    let mut depth = 0usize;
     for (k, raw) in stripped.iter().enumerate() {
         let trimmed = raw.trim();
         if trimmed.is_empty() {
             continue;
         }
-        let delta = brace_delta(raw);
         if is_continuation(trimmed) {
             if let Some(last) = out.last_mut() {
                 last.text.push_str(trimmed);
-                last.delta += delta;
-                depth = (depth as i32 + delta).max(0) as usize;
                 continue;
             }
         }
         out.push(LogicalLine {
             text: trimmed.to_string(),
             line: first_line + k,
-            depth_before: depth,
-            delta,
         });
-        depth = (depth as i32 + delta).max(0) as usize;
     }
     out
 }
 
-fn fn_name_at(line: &str) -> Option<(usize, String)> {
-    // Find a `fn ` token at a word boundary and return (offset, name).
-    let bytes = line.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find("fn ") {
-        let at = from + pos;
-        let boundary = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
-        if boundary {
-            let rest = &line[at + 3..];
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                return Some((at, name));
-            }
-        }
-        from = at + 3;
-    }
-    None
+// ---------------------------------------------------------------------------
+// Layer 2: the spanned token stream.
+// ---------------------------------------------------------------------------
+
+/// Token classes the branch-aware passes distinguish. Literal contents
+/// are dropped (a string body can never be code), so `Lit` carries only
+/// the delimiter shape (`""`, `''`, or the numeric text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Lit,
+    Punct,
 }
 
-/// Segment a stripped file (test mods already blanked) into functions.
-/// Nested items attribute their lines to the innermost enclosing `fn`;
-/// closures stay part of the enclosing function, which is exactly what
-/// the lock analysis wants.
-pub fn functions(stripped: &[String]) -> Vec<Function> {
-    struct Open {
-        func: Function,
-        body_depth: i32,
-        raw_body: Vec<String>,
-        body_first_line: usize,
-    }
-    let mut out = Vec::new();
-    let mut stack: Vec<Open> = Vec::new();
-    let mut depth = 0i32;
-    let mut pending: Option<(String, String, usize)> = None; // (name, sig, line)
+/// One spanned token. `line`/`col` are 1-based positions of the token's
+/// first character in the original source.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
 
-    // Close every open fn whose body the current depth has exited.
-    fn pop_closed(stack: &mut Vec<Open>, out: &mut Vec<Function>, depth: i32) {
-        while let Some(open) = stack.last() {
-            if depth < open.body_depth {
-                let mut done = stack.pop().expect("stack non-empty");
-                done.func.body = logical_lines(&done.raw_body, done.body_first_line);
-                out.push(done.func);
+impl Tok {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+}
+
+/// An annotation comment captured by the lexer. Only `// ledger:` lines
+/// are collected today; the text is everything after the marker.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    pub line: usize,
+    pub text: String,
+}
+
+/// Multi-character punctuation, longest first. `<<`/`>>` deliberately
+/// stay two tokens so angle-depth tracking over generics keeps working.
+const PUNCTS: &[&str] = &[
+    "..=", "::", "->", "=>", "..", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "==", "!=", "<=", ">=",
+];
+
+/// Lex a source file into spanned tokens plus annotation comments.
+/// Comments are skipped (but `// ledger:` annotations are captured),
+/// string/char contents are dropped, lifetimes are told apart from char
+/// literals, raw strings of any hash count are handled — including
+/// bodies containing `{`, `}` or `//`, which the historical line-based
+/// scanner only got right by construction of this repo's code.
+pub fn lex(source: &str) -> (Vec<Tok>, Vec<Annotation>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut anns = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
             } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comment (and annotation capture).
+        if c == '/' && next == Some('/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(rest) = text.trim_start_matches('/').trim().strip_prefix("ledger:") {
+                anns.push(Annotation {
+                    line,
+                    text: rest.trim().to_string(),
+                });
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && next == Some('*') {
+            let mut depth = 1u32;
+            bump!();
+            bump!();
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let (l, co) = (line, col);
+            bump!();
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    bump!();
+                    if i < chars.len() {
+                        bump!();
+                    }
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Lit,
+                text: "\"\"".to_string(),
+                line: l,
+                col: co,
+            });
+            continue;
+        }
+        // Raw string (r"..."), any hash count, or byte-string prefix.
+        if (c == 'r' || c == 'b') && !prev_is_ident_char(&chars, i) {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            let rawish = (c == 'r' || chars.get(i + 1) == Some(&'r')) || hashes == 0;
+            if chars.get(j) == Some(&'"') && (hashes > 0 || c != 'b' || rawish) {
+                // Opens a (raw/byte) string iff a quote follows the
+                // optional hashes. `r#ident` has no quote and falls
+                // through to the identifier path.
+                let is_raw = c == 'r' || chars.get(i + 1) == Some(&'r') || hashes > 0;
+                let (l, co) = (line, col);
+                while i <= j {
+                    bump!();
+                }
+                if is_raw {
+                    // Scan for `"` followed by `hashes` hash marks.
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if chars.get(i + 1 + k) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                for _ in 0..=hashes {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                } else {
+                    // b"..." plain byte string: escapes apply.
+                    while i < chars.len() {
+                        if chars[i] == '\\' {
+                            bump!();
+                            if i < chars.len() {
+                                bump!();
+                            }
+                        } else if chars[i] == '"' {
+                            bump!();
+                            break;
+                        } else {
+                            bump!();
+                        }
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: "\"\"".to_string(),
+                    line: l,
+                    col: co,
+                });
+                continue;
+            }
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let (l, co) = (line, col);
+            if next == Some('\\') {
+                // Escaped char literal: consume to the closing quote.
+                bump!();
+                bump!();
+                while i < chars.len() && chars[i] != '\'' {
+                    bump!();
+                }
+                if i < chars.len() {
+                    bump!();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: "''".to_string(),
+                    line: l,
+                    col: co,
+                });
+            } else if next.is_some() && chars.get(i + 2) == Some(&'\'') {
+                bump!();
+                bump!();
+                bump!();
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: "''".to_string(),
+                    line: l,
+                    col: co,
+                });
+            } else {
+                // Lifetime: 'ident.
+                bump!();
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                let name: String = chars[start..i].iter().collect();
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: format!("'{name}"),
+                    line: l,
+                    col: co,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword / raw identifier.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let (l, co) = (line, col);
+            let start = i;
+            // r#ident raw identifiers: skip the prefix, keep the name.
+            if c == 'r' && next == Some('#') {
+                bump!();
+                bump!();
+            }
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            let mut text: String = chars[start..i].iter().collect();
+            if let Some(stripped) = text.strip_prefix("r#") {
+                text = stripped.to_string();
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: l,
+                col: co,
+            });
+            continue;
+        }
+        // Number literal (decimal, hex, float, suffixed).
+        if c.is_ascii_digit() {
+            let (l, co) = (line, col);
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            // A fractional part: `.` followed by a digit (so `0..10`
+            // stays a range, not a float).
+            if i < chars.len()
+                && chars[i] == '.'
+                && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+            {
+                bump!();
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Lit,
+                text: chars[start..i].iter().collect(),
+                line: l,
+                col: co,
+            });
+            continue;
+        }
+        // Multi-char punctuation, longest first.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pc: Vec<char> = p.chars().collect();
+            if chars[i..].starts_with(&pc) {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                    col,
+                });
+                for _ in 0..pc.len() {
+                    bump!();
+                }
+                matched = true;
                 break;
             }
         }
-    }
-
-    // Open a fn whose declaration line contains its body brace. The body
-    // starts right after the FIRST `{`; the line's remainder (possibly a
-    // complete one-line body like `{ self.devices }` or `{}`) is processed
-    // as body text so single-line functions close immediately.
-    fn open_fn(
-        stack: &mut Vec<Open>,
-        out: &mut Vec<Function>,
-        depth: &mut i32,
-        name: String,
-        sig: String,
-        line: &str,
-        lineno: usize,
-    ) {
-        let brace = line.find('{').expect("caller checked for a brace");
-        let rest = &line[brace + 1..];
-        *depth += 1; // the body brace itself
-        stack.push(Open {
-            func: Function {
-                name,
-                signature: sig,
-                body: Vec::new(),
-            },
-            body_depth: *depth,
-            raw_body: Vec::new(),
-            body_first_line: lineno,
-        });
-        let body_depth = *depth;
-        // Body text on the declaration line: everything up to the brace
-        // that closes the body (if it closes on this very line).
-        let mut cur = body_depth;
-        let mut body_end = rest.len();
-        for (i, c) in rest.char_indices() {
-            match c {
-                '{' => cur += 1,
-                '}' => {
-                    cur -= 1;
-                    if cur < body_depth {
-                        body_end = i;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        stack
-            .last_mut()
-            .expect("just pushed")
-            .raw_body
-            .push(rest[..body_end].to_string());
-        *depth += brace_delta(rest);
-        pop_closed(stack, out, *depth);
-    }
-
-    for (k, line) in stripped.iter().enumerate() {
-        let lineno = k + 1;
-        if let Some((name, mut sig, start)) = pending.take() {
-            sig.push(' ');
-            sig.push_str(line.trim());
-            if line.contains('{') {
-                open_fn(&mut stack, &mut out, &mut depth, name, sig, line, lineno);
-                continue;
-            } else if line.contains(';') {
-                // Trait method declaration without a body: drop it.
-                depth += brace_delta(line);
-                continue;
-            }
-            pending = Some((name, sig, start));
+        if matched {
             continue;
         }
-
-        if let Some((_, name)) = fn_name_at(line) {
-            if line.contains('{') {
-                let sig = line.trim().to_string();
-                open_fn(&mut stack, &mut out, &mut depth, name, sig, line, lineno);
-                continue;
-            } else if !line.contains(';') {
-                pending = Some((name, line.trim().to_string(), lineno));
-                continue;
-            }
-        }
-
-        depth += brace_delta(line);
-        if let Some(open) = stack.last_mut() {
-            if depth >= open.body_depth {
-                open.raw_body.push(line.clone());
-            }
-        }
-        pop_closed(&mut stack, &mut out, depth);
+        // Single-char punctuation.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+        bump!();
     }
-    while let Some(mut d) = stack.pop() {
-        d.func.body = logical_lines(&d.raw_body, d.body_first_line);
-        out.push(d.func);
+    (toks, anns)
+}
+
+/// Reconstruct compact statement text from tokens: a space is inserted
+/// only between two "wordy" tokens (idents, literals, lifetimes), so
+/// needle matching (`dispatch.lock(`, `Ordering::Relaxed`) stays exact.
+/// Test scaffolding — the passes match against original source lines.
+#[cfg(test)]
+pub fn text_of(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    let mut prev_wordy = false;
+    for t in toks {
+        let wordy = matches!(t.kind, TokKind::Ident | TokKind::Lit | TokKind::Lifetime);
+        if wordy && prev_wordy {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+        prev_wordy = wordy;
     }
     out
 }
@@ -436,18 +636,99 @@ mod tests {
         assert!(joined.contains("fn after()"));
     }
 
+    // --- regression tests: raw strings and generics (historic gaps) ---
+
     #[test]
-    fn segments_functions_with_multiline_signatures() {
-        let src = "impl S {\n    pub fn alpha(\n        &self,\n        x: u64,\n    ) -> u64 {\n        self.inner.lock();\n        x\n    }\n    fn beta(&self) {}\n}";
-        let stripped = strip(src);
-        let fns = functions(&stripped);
-        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
-        assert!(
-            names.contains(&"alpha") && names.contains(&"beta"),
-            "{names:?}"
+    fn raw_string_bodies_with_braces_and_comments_are_blanked() {
+        let out = strip("let s = r#\"body { // with } braces\"#;\nlet g = m.lock();");
+        assert_eq!(out[0], "let s = \"\";");
+        assert_eq!(out[1], "let g = m.lock();");
+    }
+
+    #[test]
+    fn multiline_raw_strings_do_not_leak_braces() {
+        let out = strip("let s = r#\"line1 {\n// not a comment\nline3 }\"#;\nlet x = 1;");
+        let joined = out.join("");
+        assert!(!joined.contains('{'), "{out:?}");
+        assert!(!joined.contains("not a comment"), "{out:?}");
+        assert!(out[3].contains("let x = 1;"), "{out:?}");
+    }
+
+    #[test]
+    fn ident_ending_in_r_does_not_open_a_raw_string() {
+        // `attr` ends in `r`; a following string must lex as a normal
+        // string, not swallow the rest of the file as a raw literal.
+        let out = strip("f(attr,\"a{\");\nlet g = m.lock();");
+        assert_eq!(out[1], "let g = m.lock();");
+    }
+
+    #[test]
+    fn nested_generics_survive_stripping() {
+        let out = strip("fn g(m: &HashMap<u64, Vec<Mutex<u64>>>) -> Option<Vec<u64>> { x }");
+        assert!(out[0].contains("HashMap<u64, Vec<Mutex<u64>>>"), "{out:?}");
+    }
+
+    // --- lexer ---
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lexes_spanned_tokens() {
+        let (toks, _) = lex("let ds = self.dispatch.lock();\nlet x = 2;");
+        let lock = toks.iter().find(|t| t.text == "lock").unwrap();
+        assert_eq!((lock.line, lock.col), (1, 24));
+        let x = toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn lexes_raw_strings_with_braces_as_one_literal() {
+        let toks = kinds("let s = r#\"a { // } b\"#; m.lock();");
+        let lit = toks.iter().filter(|(k, _)| *k == TokKind::Lit).count();
+        assert_eq!(lit, 1, "{toks:?}");
+        assert!(toks.iter().any(|(_, t)| t == "lock"), "{toks:?}");
+        assert!(!toks.iter().any(|(_, t)| t == "{"), "{toks:?}");
+    }
+
+    #[test]
+    fn lexes_lifetimes_chars_and_ranges() {
+        let toks = kinds("fn f<'a>(c: char) { matches!(c, '0'..='9') }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".to_string())));
+        assert!(toks.contains(&(TokKind::Punct, "..=".to_string())));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokKind::Lit && t == "''")
+                .count(),
+            2
         );
-        let alpha = fns.iter().find(|f| f.name == "alpha").unwrap();
-        assert!(alpha.signature.contains("-> u64"));
-        assert!(alpha.body.iter().any(|l| l.text.contains("inner.lock()")));
+    }
+
+    #[test]
+    fn lexes_raw_identifiers_and_numbers() {
+        let toks = kinds("let r#type = 0xFA177; let f = 1.5e3;");
+        assert!(toks.contains(&(TokKind::Ident, "type".to_string())));
+        assert!(toks.contains(&(TokKind::Lit, "0xFA177".to_string())));
+        assert!(toks.contains(&(TokKind::Lit, "1.5e3".to_string())));
+    }
+
+    #[test]
+    fn captures_ledger_annotations() {
+        let (_, anns) = lex("// ledger: defer(settles at seal)\nx.admitted.fetch_add(1, O);");
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].line, 1);
+        assert!(anns[0].text.starts_with("defer("));
+    }
+
+    #[test]
+    fn text_of_reconstructs_needle_exact_text() {
+        let (toks, _) = lex("let ds = self.dispatch.lock();");
+        assert_eq!(text_of(&toks), "let ds=self.dispatch.lock();");
+        let (toks, _) = lex("self.shutdown.store(true, Ordering::Relaxed)");
+        assert_eq!(
+            text_of(&toks),
+            "self.shutdown.store(true,Ordering::Relaxed)"
+        );
     }
 }
