@@ -10,7 +10,9 @@
 
 use criterion::{Criterion, Throughput};
 use fqos_core::{OverloadPolicy, QosConfig};
-use fqos_server::{AssignmentMode, MetricsSnapshot, QosServer, ServerConfig};
+use fqos_server::{
+    AssignmentMode, FtlGeometry, GcConfig, IoOp, MetricsSnapshot, QosServer, ServerConfig,
+};
 use std::hint::black_box;
 use std::io::Write;
 
@@ -68,6 +70,67 @@ fn run_serve(mode: AssignmentMode, submitters: usize, workers: usize) -> (u64, M
     (submitted, m)
 }
 
+/// Like [`run_serve`] but with every other request a replica fan-out
+/// write, against a deliberately small FTL (64 pages/device, 12.5% OP)
+/// so garbage collection actually runs inside the bench and its
+/// program/erase interference shows up in the latency figures.
+fn run_mixed(mode: AssignmentMode, submitters: usize, workers: usize) -> (u64, MetricsSnapshot) {
+    let qos = QosConfig::paper_9_3_1().with_accesses(2);
+    let t = qos.interval_ns;
+    let limit = qos.request_limit();
+    let geometry = FtlGeometry {
+        dies: 1,
+        blocks_per_die: 8,
+        pages_per_block: 8,
+        overprovision: 0.125,
+    };
+    let server = QosServer::new(
+        ServerConfig::new(qos)
+            .with_workers(workers)
+            .with_queue_depth(64)
+            .with_assignment(mode)
+            .with_gc_model(GcConfig::new(geometry)),
+    )
+    .expect("valid config");
+
+    // Writes charge c× at admission, so reserve conservatively: half the
+    // healthy read limit split across the submitters.
+    let tenants = submitters.min(limit / 2);
+    let base = (limit / 2) / tenants;
+    let plan: Vec<(u64, usize)> = (0..tenants).map(|i| (i as u64 + 1, base)).collect();
+    for &(tenant, reserved) in &plan {
+        server
+            .register(tenant, reserved, OverloadPolicy::Delay)
+            .expect("within S(M)");
+    }
+
+    let threads: Vec<_> = plan
+        .into_iter()
+        .map(|(tenant, reserved)| {
+            let mut h = server.handle();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                for w in 0..WINDOWS {
+                    for i in 0..reserved as u64 {
+                        let op = if (w + i) % 2 == 0 {
+                            IoOp::Write
+                        } else {
+                            IoOp::Read
+                        };
+                        h.submit_op(tenant, tenant * 10_000 + w * 31 + i, w * t + i, op);
+                        n += 1;
+                    }
+                }
+                n
+            })
+        })
+        .collect();
+    let submitted: u64 = threads.into_iter().map(|j| j.join().unwrap()).sum();
+    let m = server.finish();
+    assert_eq!(m.write_lost, 0, "no device failed; every replica settles");
+    (submitted, m)
+}
+
 fn bench_server(c: &mut Criterion) {
     let per_run = WINDOWS * 14; // S(2) requests per window, every window full
 
@@ -85,6 +148,9 @@ fn bench_server(c: &mut Criterion) {
     });
     group.bench_function("end_to_end/flow_8_workers", |b| {
         b.iter(|| black_box(run_serve(AssignmentMode::OptimalFlow, 4, 8)));
+    });
+    group.bench_function("end_to_end/flow_mixed_rw", |b| {
+        b.iter(|| black_box(run_mixed(AssignmentMode::OptimalFlow, 4, 4)));
     });
     group.finish();
 
@@ -117,7 +183,29 @@ fn bench_server(c: &mut Criterion) {
             m.served, m.p50_latency_ns, m.p99_latency_ns, m.p999_latency_ns, m.max_latency_ns, m.mean_latency_ns, m.deadline_violations
         ));
     }
-    json.push_str("  ]\n}\n");
+
+    // One instrumented mixed read/write run against the small FTL: the
+    // write-path and garbage-collection figures CI tracks for trend.
+    let (n_mix, mix) = run_mixed(AssignmentMode::OptimalFlow, 4, 4);
+    let write_amp = if mix.gc_host_pages == 0 {
+        1.0
+    } else {
+        (mix.gc_host_pages + mix.gc_pages) as f64 / mix.gc_host_pages as f64
+    };
+    json.push_str("  ],\n  \"writes\": {\n");
+    json.push_str(&format!(
+        "    \"requests\": {n_mix}, \"served\": {}, \"write_settled\": {}, \"write_lost\": {}, \"delayed\": {},\n",
+        mix.served, mix.write_settled, mix.write_lost, mix.delayed
+    ));
+    json.push_str(&format!(
+        "    \"gc_host_pages\": {}, \"gc_pages\": {}, \"gc_relocated\": {}, \"gc_erases\": {}, \"write_amplification\": {write_amp:.4},\n",
+        mix.gc_host_pages, mix.gc_pages, mix.gc_relocated, mix.gc_erases
+    ));
+    json.push_str(&format!(
+        "    \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, \"deadline_violations\": {}\n",
+        mix.p50_latency_ns, mix.p99_latency_ns, mix.p999_latency_ns, mix.max_latency_ns, mix.deadline_violations
+    ));
+    json.push_str("  }\n}\n");
 
     let path = "BENCH_server.json";
     match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {

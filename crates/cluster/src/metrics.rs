@@ -9,8 +9,9 @@ use fqos_server::MetricsSnapshot;
 /// conservation law
 ///
 /// ```text
-/// Σ served + Σ fault_lost + Σ hedges_cancelled
-///     + migrated_in_flight + evacuation_lost == Σ admitted_total
+/// Σ served + Σ write_settled + Σ fault_lost + Σ hedges_cancelled
+///     + Σ write_lost + migrated_in_flight + evacuation_lost
+///     == Σ admitted_total
 /// ```
 ///
 /// where the sums run over every array snapshot (current slots *and*
@@ -106,6 +107,36 @@ impl ClusterMetrics {
         self.all().map(|m| m.fault_lost).sum()
     }
 
+    /// Σ logical writes settled on every replica over the fleet history.
+    pub fn write_settled(&self) -> u64 {
+        self.all().map(|m| m.write_settled).sum()
+    }
+
+    /// Σ logical writes that lost a replica past retries.
+    pub fn write_lost(&self) -> u64 {
+        self.all().map(|m| m.write_lost).sum()
+    }
+
+    /// Σ host pages programmed by the fleet's FTL models.
+    pub fn gc_host_pages(&self) -> u64 {
+        self.all().map(|m| m.gc_host_pages).sum()
+    }
+
+    /// Σ GC relocation pages programmed by the fleet's FTL models.
+    pub fn gc_pages(&self) -> u64 {
+        self.all().map(|m| m.gc_pages).sum()
+    }
+
+    /// Fleet-wide write amplification `(host + gc) / host`.
+    pub fn write_amplification(&self) -> f64 {
+        let host = self.gc_host_pages();
+        if host == 0 {
+            1.0
+        } else {
+            (host + self.gc_pages()) as f64 / host as f64
+        }
+    }
+
     /// Σ hedge-cancelled primaries over the fleet history.
     pub fn hedges_cancelled(&self) -> u64 {
         self.all().map(|m| m.hedges_cancelled).sum()
@@ -124,9 +155,7 @@ impl ClusterMetrics {
     /// Σ settled admissions — the left side of the extended law before
     /// the in-flight and stranded terms.
     fn settled(&self) -> u64 {
-        self.all()
-            .map(|m| m.served + m.fault_lost + m.hedges_cancelled)
-            .sum()
+        self.all().map(MetricsSnapshot::settled).sum()
     }
 
     /// Admissions not yet settled on a *live* array
@@ -139,8 +168,9 @@ impl ClusterMetrics {
             .zip(self.frozen_flags())
             .filter(|&(_, frozen)| !frozen)
             .map(|(m, _)| {
-                m.admitted_total()
-                    .saturating_sub(m.served + m.hedges_won + m.fault_lost)
+                m.admitted_total().saturating_sub(
+                    m.served + m.write_settled + m.hedges_won + m.fault_lost + m.write_lost,
+                )
             })
             .sum()
     }
@@ -207,8 +237,7 @@ impl ClusterMetrics {
                 .zip(self.frozen_flags())
                 .filter(|&(_, frozen)| !frozen)
                 .all(|(m, _)| {
-                    m.hedges_won == m.hedges_cancelled
-                        && m.served + m.fault_lost + m.hedges_cancelled == m.admitted_total()
+                    m.hedges_won == m.hedges_cancelled && m.settled() == m.admitted_total()
                 })
             && self.settled() + self.migrated_in_flight + self.evacuation_lost
                 == self.admitted_total()
@@ -217,14 +246,16 @@ impl ClusterMetrics {
     /// One-line audit for logs and `finish()`.
     pub fn render_audit(&self) -> String {
         format!(
-            "cluster audit: arrays={} admitted={} completed={} fault_lost={} \
-             hedges_cancelled={} migrated_in_flight={} evacuation_lost={} \
-             evacuated={} dead={} rebalances={} epoch={} law={}",
+            "cluster audit: arrays={} admitted={} completed={} write_settled={} \
+             fault_lost={} hedges_cancelled={} write_lost={} migrated_in_flight={} \
+             evacuation_lost={} evacuated={} dead={} rebalances={} epoch={} law={}",
             self.arrays.len(),
             self.admitted_total(),
             self.completed(),
+            self.write_settled(),
             self.fault_lost(),
             self.hedges_cancelled(),
+            self.write_lost(),
             self.migrated_in_flight,
             self.evacuation_lost,
             self.evacuated_tenants,

@@ -186,6 +186,31 @@ pub fn render(m: &ClusterMetrics) -> String {
             |s| s.fault_lost,
         ),
         (
+            "fqos_write_settled_total",
+            "Logical writes settled on every replica",
+            |s| s.write_settled,
+        ),
+        (
+            "fqos_write_lost_total",
+            "Logical writes that lost a replica past retries",
+            |s| s.write_lost,
+        ),
+        (
+            "fqos_gc_host_pages_total",
+            "Host pages programmed by the FTL model",
+            |s| s.gc_host_pages,
+        ),
+        (
+            "fqos_gc_pages_total",
+            "GC relocation pages programmed by the FTL model",
+            |s| s.gc_pages,
+        ),
+        (
+            "fqos_gc_erases_total",
+            "Blocks erased by the FTL garbage collector",
+            |s| s.gc_erases,
+        ),
+        (
             "fqos_deadline_violations_total",
             "Served requests past their deadline",
             |s| s.deadline_violations,
@@ -209,10 +234,22 @@ pub fn render(m: &ClusterMetrics) -> String {
         "Admissions awaiting settlement this window",
     );
     for (i, s) in m.arrays.iter().enumerate() {
-        let in_flight = s
-            .admitted_total()
-            .saturating_sub(s.served + s.hedges_won + s.fault_lost);
+        let in_flight = s.admitted_total().saturating_sub(
+            s.served + s.write_settled + s.hedges_won + s.fault_lost + s.write_lost,
+        );
         let _ = writeln!(out, "fqos_in_flight{{array=\"{i}\"}} {in_flight}");
+    }
+    gauge(
+        &mut out,
+        "fqos_write_amplification",
+        "FTL write amplification (host + gc pages) / host pages",
+    );
+    for (i, s) in m.arrays.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "fqos_write_amplification{{array=\"{i}\"}} {:.4}",
+            s.write_amplification()
+        );
     }
     gauge(
         &mut out,

@@ -55,6 +55,12 @@ impl FlashConfig {
     pub fn page_transfer_ns(&self) -> Duration {
         self.transfer_ns_per_byte * self.page_size_bytes as Duration
     }
+
+    /// Check the configuration (the FTL geometry bounds, including the
+    /// documented 0.0–0.5 over-provisioning range).
+    pub fn validate(&self) -> Result<(), crate::ftl::GeometryError> {
+        self.geometry.validate()
+    }
 }
 
 /// A page-level flash module: dies + shared channel + page-mapped FTL.
@@ -238,6 +244,17 @@ mod tests {
         assert!(m.next_free(0) > 0);
         m.reset();
         assert_eq!(m.next_free(0), 0);
+    }
+
+    #[test]
+    fn config_validation_rejects_out_of_range_overprovision() {
+        let mut cfg = FlashConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.geometry.overprovision = 0.75;
+        assert!(matches!(
+            cfg.validate(),
+            Err(crate::ftl::GeometryError::OverprovisionOutOfRange(_))
+        ));
     }
 
     #[test]

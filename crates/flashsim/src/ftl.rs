@@ -17,7 +17,7 @@ pub struct PhysPage {
 }
 
 /// Geometry of one flash module.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FtlGeometry {
     /// Number of dies (independent command units).
     pub dies: usize,
@@ -40,6 +40,52 @@ impl Default for FtlGeometry {
             pages_per_block: 64,
             overprovision: 0.1,
         }
+    }
+}
+
+/// A structurally invalid [`FtlGeometry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeometryError {
+    /// `overprovision` outside the documented `0.0–0.5` range (or NaN).
+    /// Past 0.5 the GC floor would reserve more blocks than GC can ever
+    /// reclaim into; negative values would disable the floor entirely.
+    OverprovisionOutOfRange(f64),
+    /// A die/block/page dimension of zero.
+    EmptyDimension,
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeometryError::OverprovisionOutOfRange(v) => {
+                write!(
+                    f,
+                    "over-provisioning {v} outside the supported 0.0–0.5 range"
+                )
+            }
+            GeometryError::EmptyDimension => {
+                write!(
+                    f,
+                    "dies, blocks_per_die and pages_per_block must all be non-zero"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl FtlGeometry {
+    /// Check the documented bounds: all dimensions non-zero and
+    /// `overprovision` within `0.0–0.5`.
+    pub fn validate(&self) -> Result<(), GeometryError> {
+        if self.dies == 0 || self.blocks_per_die == 0 || self.pages_per_block == 0 {
+            return Err(GeometryError::EmptyDimension);
+        }
+        if !(0.0..=0.5).contains(&self.overprovision) {
+            return Err(GeometryError::OverprovisionOutOfRange(self.overprovision));
+        }
+        Ok(())
     }
 }
 
@@ -119,7 +165,19 @@ pub struct PageMappedFtl {
 
 impl PageMappedFtl {
     /// Create an FTL with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid ([`FtlGeometry::validate`]); use
+    /// [`PageMappedFtl::try_new`] to handle the error.
     pub fn new(geometry: FtlGeometry) -> Self {
+        Self::try_new(geometry).expect("invalid FTL geometry")
+    }
+
+    /// Fallible constructor: rejects geometries that fail
+    /// [`FtlGeometry::validate`] instead of panicking.
+    pub fn try_new(geometry: FtlGeometry) -> Result<Self, GeometryError> {
+        geometry.validate()?;
         let dies = (0..geometry.dies)
             .map(|_| {
                 let blocks = (0..geometry.blocks_per_die)
@@ -133,14 +191,14 @@ impl PageMappedFtl {
                 }
             })
             .collect();
-        PageMappedFtl {
+        Ok(PageMappedFtl {
             geometry,
             dies,
             map: std::collections::HashMap::new(),
             next_die: 0,
             host_writes: 0,
             gc_writes: 0,
-        }
+        })
     }
 
     /// Geometry in use.
@@ -300,6 +358,16 @@ impl PageMappedFtl {
     pub fn total_erases(&self) -> u64 {
         self.dies.iter().map(|d| d.erases).sum()
     }
+
+    /// Host-issued page programs so far.
+    pub fn host_writes(&self) -> u64 {
+        self.host_writes
+    }
+
+    /// GC relocation page programs so far.
+    pub fn gc_writes(&self) -> u64 {
+        self.gc_writes
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +381,54 @@ mod tests {
             pages_per_block: 4,
             overprovision: 0.25,
         }
+    }
+
+    #[test]
+    fn overprovision_bounds_are_enforced() {
+        for bad in [-0.1, 0.50001, 1.0, f64::NAN] {
+            let g = FtlGeometry {
+                overprovision: bad,
+                ..small_geometry()
+            };
+            match PageMappedFtl::try_new(g) {
+                Err(GeometryError::OverprovisionOutOfRange(v)) => {
+                    assert!(v.is_nan() == bad.is_nan() && (v.is_nan() || v == bad));
+                }
+                other => panic!("overprovision {bad} accepted: {other:?}"),
+            }
+        }
+        // Both documented endpoints are valid.
+        for ok in [0.0, 0.5] {
+            let g = FtlGeometry {
+                overprovision: ok,
+                ..small_geometry()
+            };
+            assert!(
+                PageMappedFtl::try_new(g).is_ok(),
+                "overprovision {ok} rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_are_rejected() {
+        let g = FtlGeometry {
+            dies: 0,
+            ..small_geometry()
+        };
+        assert_eq!(
+            PageMappedFtl::try_new(g).unwrap_err(),
+            GeometryError::EmptyDimension
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FTL geometry")]
+    fn infallible_constructor_panics_on_invalid_geometry() {
+        let _ = PageMappedFtl::new(FtlGeometry {
+            overprovision: 0.9,
+            ..small_geometry()
+        });
     }
 
     #[test]

@@ -52,8 +52,9 @@ pub mod stats;
 pub mod time;
 
 pub use array::{ArrayConfig, FlashArray, SimulationResult};
-pub use device::{CalibratedSsd, Device};
+pub use device::{CalibratedSsd, Device, GcStats};
 pub use flash::{FlashConfig, FlashModule};
+pub use ftl::{FtlGeometry, GeometryError, PageMappedFtl, WriteOutcome};
 pub use hdd::{HardDisk, HddConfig};
 pub use request::{Completion, IoOp, IoRequest, RequestId};
 pub use stats::{IntervalStats, ResponseStats};

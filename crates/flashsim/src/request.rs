@@ -42,6 +42,14 @@ impl IoRequest {
         }
     }
 
+    /// Convenience constructor for the common 8 KiB write (program).
+    pub fn write_block(id: RequestId, arrival: SimTime, device: usize, lbn: u64) -> Self {
+        IoRequest {
+            op: IoOp::Write,
+            ..Self::read_block(id, arrival, device, lbn)
+        }
+    }
+
     /// Number of 8 KiB blocks this request spans.
     pub fn num_blocks(&self) -> u32 {
         self.size_bytes.div_ceil(BLOCK_SIZE_BYTES).max(1)
@@ -87,6 +95,14 @@ mod tests {
         let r = IoRequest::read_block(1, 10, 3, 42);
         assert_eq!(r.size_bytes, BLOCK_SIZE_BYTES);
         assert_eq!(r.op, IoOp::Read);
+        assert_eq!(r.num_blocks(), 1);
+    }
+
+    #[test]
+    fn write_block_defaults() {
+        let r = IoRequest::write_block(1, 10, 3, 42);
+        assert_eq!(r.size_bytes, BLOCK_SIZE_BYTES);
+        assert_eq!(r.op, IoOp::Write);
         assert_eq!(r.num_blocks(), 1);
     }
 

@@ -2,7 +2,48 @@
 
 use crate::fault::FaultSchedule;
 use fqos_core::QosConfig;
+use fqos_flashsim::{FtlGeometry, BLOCK_READ_NS};
 use std::path::PathBuf;
+
+/// Write/GC device model knobs (see [`fqos_flashsim::CalibratedSsd::with_gc`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcConfig {
+    /// Per-device FTL geometry; low over-provisioning makes GC storms easy
+    /// to provoke.
+    pub geometry: FtlGeometry,
+    /// Block erase latency charged per GC erase.
+    pub erase_ns: u64,
+    /// Per-block program latency. `None` uses the calibrated read service
+    /// time, which keeps the `M · service ≤ T` window math exact for
+    /// writes too; setting it higher models real program cost, covered by
+    /// the GC-pressure reserve rather than the deterministic bound.
+    pub write_service_ns: Option<u64>,
+    /// Whether window admission reserves per-device headroom proportional
+    /// to the device's recent write-amplification EWMA.
+    pub reserve: bool,
+}
+
+impl GcConfig {
+    /// GC model over `geometry` with an erase costing one calibrated block
+    /// read and the reserve enabled.
+    pub fn new(geometry: FtlGeometry) -> Self {
+        GcConfig {
+            geometry,
+            erase_ns: BLOCK_READ_NS,
+            write_service_ns: None,
+            reserve: true,
+        }
+    }
+
+    /// Validate the model knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        self.geometry.validate().map_err(|e| e.to_string())?;
+        if self.write_service_ns == Some(0) {
+            return Err("gc write_service_ns must be positive when set".into());
+        }
+        Ok(())
+    }
+}
 
 /// Durability knobs for the write-ahead log (see [`crate::wal`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +174,10 @@ pub struct ServerConfig {
     /// before this knob existed: nothing is logged and a crash loses all
     /// serving state.
     pub wal: Option<WalConfig>,
+    /// Write/GC device model. `None` (the default) keeps the historical
+    /// behavior: writes cost the calibrated read latency and never stall
+    /// on garbage collection.
+    pub gc: Option<GcConfig>,
 }
 
 impl ServerConfig {
@@ -160,6 +205,7 @@ impl ServerConfig {
             health_recover_streak: 8,
             health_probe_windows: 8,
             wal: None,
+            gc: None,
         }
     }
 
@@ -297,6 +343,12 @@ impl ServerConfig {
         self
     }
 
+    /// Attach a write/GC device model.
+    pub fn with_gc_model(mut self, gc: GcConfig) -> Self {
+        self.gc = Some(gc);
+        self
+    }
+
     /// The scorer tuning derived from this configuration, in the form the
     /// fault plane consumes.
     pub fn health_params(&self) -> crate::fault::HealthParams {
@@ -382,6 +434,9 @@ impl ServerConfig {
         }
         if let Some(wal) = &self.wal {
             wal.validate()?;
+        }
+        if let Some(gc) = &self.gc {
+            gc.validate()?;
         }
         self.fault_schedule
             .validate(self.qos.devices())
@@ -590,6 +645,26 @@ mod tests {
             let err = cfg.validate().unwrap_err();
             assert!(err.contains(needle), "expected '{needle}' in '{err}'");
         }
+    }
+
+    #[test]
+    fn gc_model_builder_and_bounds() {
+        let cfg = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_gc_model(GcConfig::new(FtlGeometry::default()));
+        assert!(cfg.gc.is_some());
+        cfg.validate().unwrap();
+
+        let mut bad = GcConfig::new(FtlGeometry::default());
+        bad.geometry.overprovision = 0.9;
+        let err = ServerConfig::new(QosConfig::paper_9_3_1())
+            .with_gc_model(bad)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("over-provisioning"), "{err}");
+
+        let mut zero = GcConfig::new(FtlGeometry::default());
+        zero.write_service_ns = Some(0);
+        assert!(zero.validate().is_err());
     }
 
     #[test]

@@ -52,7 +52,7 @@ use crate::window::{AdmitResult, WindowRing};
 use fqos_core::{OverloadPolicy, StatisticalCounters};
 use fqos_decluster::sampling::{optimal_retrieval_probabilities, OptimalRetrievalProbabilities};
 use fqos_decluster::AllocationScheme;
-use fqos_flashsim::{CalibratedSsd, Completion, Device, IoRequest};
+use fqos_flashsim::{CalibratedSsd, Completion, Device, IoOp, IoRequest};
 
 /// Outcome of one [`SubmitterHandle::submit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +156,17 @@ struct GlobalStats {
     hedges_issued: AtomicU64,
     hedges_won: AtomicU64,
     hedges_cancelled: AtomicU64,
+    /// Logical writes whose every replica copy landed.
+    write_settled: AtomicU64,
+    /// Logical writes that lost ≥ 1 copy past the retry budget.
+    write_lost: AtomicU64,
+    // Array-wide GC counters, aggregated from the workers' devices as
+    // writes complete (each worker owns its devices, so per-request deltas
+    // never race).
+    gc_host_pages: AtomicU64,
+    gc_pages: AtomicU64,
+    gc_relocated: AtomicU64,
+    gc_erases: AtomicU64,
     // Recovery provenance, set once by `QosServer::recover` after the
     // engine is built (zero on a fresh start).
     recovered_admissions: AtomicU64,
@@ -163,6 +174,21 @@ struct GlobalStats {
     replay_records: AtomicU64,
     replay_duration_ns: AtomicU64,
     replay_truncated: AtomicU64,
+}
+
+/// Shared settlement state of one logical write's replica fan-out. Every
+/// copy's [`WorkItem`] holds the same `Arc`; the worker that lands the
+/// *last* copy (remaining hits zero) settles the logical write exactly
+/// once — as `write_settled` if every copy landed, `write_lost` if any
+/// copy died on a fail-stopped replica past the retry budget.
+struct WriteSink {
+    /// Copies still outstanding.
+    remaining: AtomicU64,
+    /// Sticky: some copy was lost (all-must-settle failed).
+    lost: AtomicBool,
+    /// Latest copy finish time, for the deadline audit of the settling
+    /// copy (a write is only as done as its slowest replica).
+    latest_finish: AtomicU64,
 }
 
 /// One dispatched request on its way to a worker.
@@ -181,6 +207,9 @@ struct WorkItem {
     /// Replica bitmap of the block; the bits other than `req.device` are
     /// the hedge candidates.
     replica_mask: u64,
+    /// Write fan-out: settlement sink shared by all replica copies of the
+    /// logical write. `None` for reads.
+    write: Option<Arc<WriteSink>>,
 }
 
 enum WorkMsg {
@@ -628,10 +657,24 @@ impl Engine {
                 let exec_start = (w + 1) * t_ns;
                 let deadline = (w + 2) * t_ns;
                 let stopping = self.shutdown.load(Ordering::Acquire);
+                // One settlement sink per logical write in this window,
+                // shared by its replica copies (group ids are
+                // window-local).
+                let mut sinks: std::collections::HashMap<u32, Arc<WriteSink>> =
+                    std::collections::HashMap::new();
                 for item in sealed.items {
                     if stopping {
                         continue; // workers are gone; drop on the floor
                     }
+                    let write = item.write_group.map(|(group, fanout)| {
+                        Arc::clone(sinks.entry(group).or_insert_with(|| {
+                            Arc::new(WriteSink {
+                                remaining: AtomicU64::new(u64::from(fanout)),
+                                lost: AtomicBool::new(false),
+                                latest_finish: AtomicU64::new(0),
+                            })
+                        }))
+                    });
                     // `lookup_any`: a tenant that deregistered after this
                     // request was admitted (migration drain) must still
                     // settle against its counters, not vanish from them.
@@ -643,6 +686,7 @@ impl Engine {
                         deadline,
                         guaranteed: item.guaranteed,
                         replica_mask: item.replica_mask,
+                        write,
                     }));
                     // Blocking send = backpressure: submitters stall here
                     // once a worker's backlog hits queue_depth.
@@ -670,6 +714,12 @@ impl Engine {
             delayed: s.delayed.load(Ordering::Relaxed),
             rejected: s.rejected.load(Ordering::Relaxed),
             served: s.served.load(Ordering::Relaxed),
+            write_settled: s.write_settled.load(Ordering::Relaxed),
+            write_lost: s.write_lost.load(Ordering::Relaxed),
+            gc_host_pages: s.gc_host_pages.load(Ordering::Relaxed),
+            gc_pages: s.gc_pages.load(Ordering::Relaxed),
+            gc_relocated: s.gc_relocated.load(Ordering::Relaxed),
+            gc_erases: s.gc_erases.load(Ordering::Relaxed),
             deadline_violations: s.violations.load(Ordering::Relaxed),
             guaranteed_violations: s.guaranteed_violations.load(Ordering::Relaxed),
             max_window_guaranteed: s.max_window_guaranteed.load(Ordering::Relaxed),
@@ -721,6 +771,8 @@ impl Engine {
                         served: c.served.load(Ordering::Relaxed),
                         hedge_wins: c.hedge_wins.load(Ordering::Relaxed),
                         lost: c.lost.load(Ordering::Relaxed),
+                        write_settled: c.write_settled.load(Ordering::Relaxed),
+                        write_lost: c.write_lost.load(Ordering::Relaxed),
                     }
                 })
                 .collect(),
@@ -731,9 +783,17 @@ impl Engine {
     /// every admitted `submit` path after counters are bumped, before the
     /// outcome is returned — so with `fsync_batch = 1` the admission is
     /// durable strictly before its ack.
-    fn wal_admit(&self, window: u64, tenant: u64, lbn: u64, guaranteed: bool, delayed: bool) {
+    fn wal_admit(
+        &self,
+        window: u64,
+        tenant: u64,
+        lbn: u64,
+        guaranteed: bool,
+        delayed: bool,
+        is_write: bool,
+    ) {
         if let Some(wal) = &self.wal {
-            wal.log_admit(window, tenant, lbn, guaranteed, delayed);
+            wal.log_admit(window, tenant, lbn, guaranteed, delayed, is_write);
             // The record is durable (or at least appended); the submitter
             // has not seen the ack yet — the durable-unacked crash window.
             crash_point("post-admit-pre-ack");
@@ -771,6 +831,9 @@ impl Engine {
         s.overflow.store(state.overflow, Ordering::Relaxed);
         s.delayed.store(state.delayed, Ordering::Relaxed);
         s.served.store(state.served, Ordering::Relaxed);
+        s.write_settled
+            .store(state.write_settled, Ordering::Relaxed);
+        s.write_lost.store(state.write_lost, Ordering::Relaxed);
         s.hedges_won.store(state.hedges_won, Ordering::Relaxed);
         // hedges_cancelled == hedges_won is the exactly-once invariant;
         // the WAL stores the pair as one number.
@@ -798,25 +861,27 @@ impl Engine {
                 // entry below the floor is defensive only — forfeit it as
                 // lost rather than corrupt a reused ring slot.
                 if w < state.sealed_through {
-                    self.forfeit_recovered(w, e.tenant);
+                    self.forfeit_recovered(w, e.tenant, e.is_write);
                     continue;
                 }
-                let req = IoRequest::read_block(
-                    self.next_id.fetch_add(1, Ordering::Relaxed),
-                    w * t_ns,
-                    0,
-                    e.lbn,
-                );
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                let req = if e.is_write {
+                    IoRequest::write_block(id, w * t_ns, 0, e.lbn)
+                } else {
+                    IoRequest::read_block(id, w * t_ns, 0, e.lbn)
+                };
                 let replicas = scheme.replicas(scheme.bucket_for_lbn(e.lbn));
                 // Reservation was enforced when the admission was first
                 // granted; re-parking must not second-guess it (the
                 // tenant may have since departed), so pass an unbounded
-                // reservation and fall back to the overflow slot.
+                // reservation and fall back to the overflow slot. Writes
+                // have no overflow slot (the statistical path never admits
+                // them), so a write that no longer fits is forfeited.
                 let ok = if e.guaranteed {
                     matches!(
                         self.ring.try_admit(w, e.tenant, usize::MAX, req, replicas),
                         AdmitResult::Admitted | AdmitResult::AdmittedSlow
-                    ) || self.ring.add_overflow(w, e.tenant, req, replicas)
+                    ) || (!e.is_write && self.ring.add_overflow(w, e.tenant, req, replicas))
                 } else {
                     self.ring.add_overflow(w, e.tenant, req, replicas)
                 };
@@ -826,7 +891,7 @@ impl Engine {
                 } else {
                     // Unreachable short of every replica being down at
                     // restart; account it lost, never drop it silently.
-                    self.forfeit_recovered(w, e.tenant);
+                    self.forfeit_recovered(w, e.tenant, e.is_write);
                 }
             }
         }
@@ -834,15 +899,25 @@ impl Engine {
         Ok(restored)
     }
 
-    /// Charge one un-re-parkable recovered admission as lost, in the
-    /// engine's books and the WAL's materialized state.
-    fn forfeit_recovered(&self, window: u64, tenant: u64) {
-        self.fault.note_lost();
+    /// Charge one un-re-parkable recovered admission as lost (`fault_lost`
+    /// for reads, `write_lost` for writes), in the engine's books and the
+    /// WAL's materialized state.
+    fn forfeit_recovered(&self, window: u64, tenant: u64, is_write: bool) {
+        if is_write {
+            self.stats.write_lost.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.fault.note_lost();
+        }
         if let Some(rec) = self.registry.lookup_any(tenant) {
-            rec.counters.lost.fetch_add(1, Ordering::Relaxed);
+            let c = &rec.counters;
+            if is_write {
+                c.write_lost.fetch_add(1, Ordering::Relaxed);
+            } else {
+                c.lost.fetch_add(1, Ordering::Relaxed);
+            }
         }
         if let Some(wal) = &self.wal {
-            wal.forfeit_open(window, tenant);
+            wal.forfeit_open(window, tenant, is_write);
         }
     }
 }
@@ -861,6 +936,24 @@ impl SubmitterHandle {
     /// `arrival_ns`. Admission, replica assignment, dispatch and
     /// backpressure all happen inside this call.
     pub fn submit(&mut self, tenant: u64, lbn: u64, arrival_ns: u64) -> SubmitOutcome {
+        self.submit_op(tenant, lbn, arrival_ns, IoOp::Read)
+    }
+
+    /// Submit one 8 KiB block **write**. A write is admitted against *all*
+    /// `c` replicas of its block — feasibility charges every replica's
+    /// remaining capacity (plus any GC-pressure reserve) — and at seal it
+    /// fans out to one dispatch per replica. The logical write settles
+    /// `write_settled` only when every copy lands (all-must-settle);
+    /// losing any copy to a fail-stopped device past the bounded retry
+    /// budget settles it `write_lost` instead. Writes never ride the
+    /// statistical overflow path and are never hedged.
+    pub fn submit_write(&mut self, tenant: u64, lbn: u64, arrival_ns: u64) -> SubmitOutcome {
+        self.submit_op(tenant, lbn, arrival_ns, IoOp::Write)
+    }
+
+    /// Shared admission path behind [`SubmitterHandle::submit`] (reads) and
+    /// [`SubmitterHandle::submit_write`] (replica fan-out writes).
+    pub fn submit_op(&mut self, tenant: u64, lbn: u64, arrival_ns: u64, op: IoOp) -> SubmitOutcome {
         let engine = &self.engine;
         let _quiesce = engine.quiesce.read();
         if engine.shutdown.load(Ordering::Acquire) {
@@ -879,12 +972,13 @@ impl SubmitterHandle {
         };
         let scheme = &engine.cfg.qos.scheme;
         let replicas = scheme.replicas(scheme.bucket_for_lbn(lbn));
-        let req = IoRequest::read_block(
-            engine.next_id.fetch_add(1, Ordering::Relaxed),
-            arrival_ns,
-            0, // final device chosen at window seal
-            lbn,
-        );
+        let id = engine.next_id.fetch_add(1, Ordering::Relaxed);
+        let req = match op {
+            // Final device chosen at window seal (writes fan out to all).
+            IoOp::Read => IoRequest::read_block(id, arrival_ns, 0, lbn),
+            IoOp::Write => IoRequest::write_block(id, arrival_ns, 0, lbn),
+        };
+        let is_write = op == IoOp::Write;
 
         let horizon = match tenant_rec.policy {
             OverloadPolicy::Delay => engine.cfg.delay_horizon,
@@ -903,7 +997,11 @@ impl SubmitterHandle {
                 }
                 AdmitResult::Full => {
                     any_full = true;
-                    if k == 0 {
+                    // The statistical overflow path trades a deadline
+                    // guarantee for admission — meaningless for a write,
+                    // whose fan-out must charge real capacity on every
+                    // replica. Writes shed at admission instead.
+                    if k == 0 && !is_write {
                         if let Some(out) = self.try_overflow(&tenant_rec, window, req, replicas) {
                             return out;
                         }
@@ -918,7 +1016,7 @@ impl SubmitterHandle {
                     let w = window + k;
                     tenant_rec.counters.overflow.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
                     engine.stats.overflow.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
-                    engine.wal_admit(w, tenant, lbn, false, false);
+                    engine.wal_admit(w, tenant, lbn, false, false, is_write);
                     engine.max_target.fetch_max(w, Ordering::AcqRel);
                     engine.pump();
                     return SubmitOutcome::Overflow { window: w };
@@ -933,7 +1031,7 @@ impl SubmitterHandle {
             Some(0) => {
                 c.admitted.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
                 engine.stats.admitted.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
-                engine.wal_admit(window, tenant, lbn, true, false);
+                engine.wal_admit(window, tenant, lbn, true, false, is_write);
                 SubmitOutcome::Admitted { window }
             }
             Some(k) => {
@@ -942,7 +1040,7 @@ impl SubmitterHandle {
                 c.delay_ns.fetch_add(k * t_ns, Ordering::Relaxed);
                 engine.stats.admitted.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
                 engine.stats.delayed.fetch_add(1, Ordering::Relaxed);
-                engine.wal_admit(window + k, tenant, lbn, true, true);
+                engine.wal_admit(window + k, tenant, lbn, true, true, is_write);
                 SubmitOutcome::Delayed {
                     window: window + k,
                     delayed_windows: k,
@@ -1000,7 +1098,7 @@ impl SubmitterHandle {
         }
         tenant_rec.counters.overflow.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
         engine.stats.overflow.fetch_add(1, Ordering::Relaxed); // ledger: defer(settled at seal_window — served or fault_lost)
-        engine.wal_admit(window, tenant_rec.id, req.lbn, false, false);
+        engine.wal_admit(window, tenant_rec.id, req.lbn, false, false, false);
         engine.max_target.fetch_max(window, Ordering::AcqRel);
         engine.pump();
         Some(SubmitOutcome::Overflow { window })
@@ -1099,14 +1197,42 @@ fn worker_loop(worker: usize, workers: usize, rx: Receiver<WorkMsg>, engine: Arc
     let service = engine.cfg.qos.service_ns;
     let t_ns = engine.cfg.qos.interval_ns;
     let n_local = (devices + workers - 1 - worker) / workers;
+    // With a GC model attached, writes run at their configured program
+    // latency through a per-device page-mapped FTL whose relocation work
+    // stalls the device in-line (see `fqos_flashsim::CalibratedSsd`).
+    let write_service = engine
+        .cfg
+        .gc
+        .as_ref()
+        .and_then(|g| g.write_service_ns)
+        .unwrap_or(service);
     let mut devs: Vec<CalibratedSsd> = (0..n_local)
-        .map(|_| CalibratedSsd::with_latencies(service, service))
+        .map(|_| {
+            let ssd = CalibratedSsd::with_latencies(service, write_service);
+            match &engine.cfg.gc {
+                // Geometry was validated with the server config; should a
+                // mismatch slip through anyway, serve without the GC model
+                // rather than kill the worker (writes then run at plain
+                // program cost — degraded fidelity, never lost requests).
+                Some(g) => match CalibratedSsd::with_latencies(service, write_service)
+                    .with_gc(g.geometry, g.erase_ns)
+                {
+                    Ok(s) => s,
+                    Err(_) => ssd,
+                },
+                None => ssd,
+            }
+        })
         .collect();
     while let Ok(WorkMsg::Item(item)) = rx.recv() {
         let d = item.req.device;
         // `exec_start` is `(t+1)·T`, so the wall-clock window the item
         // executes in is `exec_start / T`.
         let exec_window = item.exec_start / t_ns;
+        if let Some(sink) = item.write.clone() {
+            serve_write_copy(&engine, &mut devs[d / workers], &item, &sink, exec_window);
+            continue;
+        }
         // Every fault-plane lookup happens BEFORE the hedge lock:
         // `fault.inner` and `fault.health` are peers of `engine.hedge` in
         // the lock hierarchy, never nested inside it.
@@ -1136,6 +1262,133 @@ fn worker_loop(worker: usize, workers: usize, rx: Receiver<WorkMsg>, engine: Arc
             completion,
         );
     }
+}
+
+/// Serve one replica copy of a fan-out write on its assigned device, then
+/// fold the outcome into the logical write's shared [`WriteSink`].
+///
+/// Unlike reads, a write copy may be *dispatched at* a device that
+/// fail-stopped between admission and execution (the seal deliberately
+/// fans writes to every replica so surviving copies keep the data's
+/// redundancy). The copy retries across the bounded backoff budget
+/// (`retry_limit` re-issues spaced `retry_backoff_ns` apart) waiting for a
+/// scheduled recovery; a copy still facing a dead device after the last
+/// attempt is lost, and the logical write settles `write_lost`. Writes are
+/// **never hedged**: a speculative duplicate of a write would either fork
+/// the replica state or double-program the FTL — the fan-out itself is the
+/// redundancy mechanism.
+fn serve_write_copy(
+    engine: &Engine,
+    dev: &mut CalibratedSsd,
+    item: &WorkItem,
+    sink: &WriteSink,
+    exec_window: u64,
+) {
+    let d = item.req.device;
+    let cfg = &engine.cfg;
+    let t_ns = cfg.qos.interval_ns;
+    let mut outcome: Option<Completion> = None;
+    let mut retries = 0u64;
+    for attempt in 0..=cfg.retry_limit as u64 {
+        let issue = item.exec_start + attempt * cfg.retry_backoff_ns;
+        let issue_window = issue / t_ns;
+        if engine.fault.mask_at(issue_window) >> d & 1 == 1 {
+            // Fail-stopped at this attempt's issue time; back off and
+            // re-check (a scheduled recovery may land mid-interval).
+            if attempt < cfg.retry_limit as u64 {
+                retries += 1;
+            }
+            continue;
+        }
+        let factor = engine.fault.slow_factor_at(d, issue_window);
+        let before = dev.gc_stats();
+        let completion = {
+            let mut hs = engine.hedge.lock();
+            dev.set_degradation(factor);
+            dev.advance_busy(hs.busy[d]);
+            let c = dev.submit(&item.req, issue);
+            hs.busy[d] = c.finish;
+            c
+        };
+        // Aggregate this write's GC work (the worker owns the device, so
+        // the stats delta is exactly this submission's).
+        let after = dev.gc_stats();
+        let host = after.host_pages - before.host_pages;
+        let gc_pages = after.gc_pages - before.gc_pages;
+        let s = &engine.stats;
+        s.gc_host_pages.fetch_add(host, Ordering::Relaxed);
+        s.gc_pages.fetch_add(gc_pages, Ordering::Relaxed);
+        s.gc_relocated
+            .fetch_add(after.relocated - before.relocated, Ordering::Relaxed);
+        s.gc_erases
+            .fetch_add(after.erases - before.erases, Ordering::Relaxed);
+        // The service sample (program + in-line GC stall) feeds the health
+        // scorer — a GC storm looks exactly like a fail-slow episode from
+        // the outside, which is the point: hedged reads route around it.
+        engine
+            .fault
+            .observe(d, completion.finish - completion.service_start, exec_window);
+        // Feed the admission-side GC-pressure reserve only when the config
+        // asks for it; the EWMA otherwise stays at 1.0 and reserves 0.
+        if host > 0 && cfg.gc.as_ref().is_some_and(|g| g.reserve) {
+            engine.fault.observe_gc(d, host, host + gc_pages);
+        }
+        outcome = Some(completion);
+        break;
+    }
+    for _ in 0..retries {
+        engine.fault.note_retry();
+    }
+    settle_write_copy(engine, item, sink, outcome);
+}
+
+/// Fold one copy's outcome into the logical write's sink; the last copy to
+/// land settles the write exactly once.
+fn settle_write_copy(
+    engine: &Engine,
+    item: &WorkItem,
+    sink: &WriteSink,
+    outcome: Option<Completion>,
+) {
+    match &outcome {
+        Some(c) => {
+            sink.latest_finish.fetch_max(c.finish, Ordering::Relaxed);
+        }
+        None => {
+            sink.lost.store(true, Ordering::Relaxed);
+        }
+    }
+    if sink.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+        return; // copies still outstanding; they will settle
+    }
+    // Last copy: settle the logical write.
+    let lost = sink.lost.load(Ordering::Relaxed);
+    let finish = sink.latest_finish.load(Ordering::Relaxed);
+    if lost {
+        engine.stats.write_lost.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &item.tenant {
+            t.counters.write_lost.fetch_add(1, Ordering::Relaxed);
+        }
+        engine.wal_settle(item, SettleKind::WriteLost);
+        return;
+    }
+    engine.hist.record(finish.saturating_sub(item.req.arrival));
+    engine.stats.write_settled.fetch_add(1, Ordering::Relaxed);
+    // A write is done when its slowest replica lands; audit that against
+    // the interval deadline. GC stalls and retry backoff legitimately push
+    // writes late — the deadline promise the engine *keeps* is for
+    // guaranteed reads, so write misses land in the general violation
+    // count only.
+    if finish > item.deadline {
+        engine.stats.violations.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &item.tenant {
+            t.counters.violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if let Some(t) = &item.tenant {
+        t.counters.write_settled.fetch_add(1, Ordering::Relaxed);
+    }
+    engine.wal_settle(item, SettleKind::WriteSettled);
 }
 
 /// A hedge candidate: an alternate replica of the dispatched block.
@@ -1777,5 +2030,162 @@ mod tests {
         let m = s.finish();
         assert_eq!(m.served, 100);
         assert_eq!(m.guaranteed_violations, 0);
+    }
+
+    /// The extended conservation law the write path adds (see DESIGN.md):
+    /// `served + write_settled + fault_lost + hedges_cancelled +
+    /// write_lost == admitted_total`.
+    fn assert_extended_law(m: &MetricsSnapshot) {
+        assert_eq!(
+            m.served + m.write_settled + m.fault_lost + m.hedges_cancelled + m.write_lost,
+            m.admitted_total(),
+            "extended conservation law violated: {m:#?}"
+        );
+    }
+
+    #[test]
+    fn write_fans_out_and_settles_once() {
+        let s = server();
+        s.register(1, 1, OverloadPolicy::Delay).unwrap();
+        let mut h = s.handle();
+        assert_eq!(
+            h.submit_write(1, 7, 10),
+            SubmitOutcome::Admitted { window: 0 }
+        );
+        h.close();
+        let m = s.finish();
+        assert_eq!(m.admitted, 1);
+        // One logical settlement, not one per replica copy.
+        assert_eq!(m.write_settled, 1);
+        assert_eq!(m.served, 0);
+        assert_eq!(m.write_lost, 0);
+        assert_eq!(m.deadline_violations, 0);
+        assert_eq!(m.tenants[0].write_settled, 1);
+        assert_extended_law(&m);
+    }
+
+    #[test]
+    fn mixed_reads_and_writes_conserve() {
+        let s = server();
+        s.register(1, 4, OverloadPolicy::Delay).unwrap();
+        let mut h = s.handle();
+        for w in 0..10u64 {
+            for i in 0..4u64 {
+                let lbn = w * 4 + i;
+                let admitted = if i % 2 == 0 {
+                    h.submit_write(1, lbn, w * BASE_T).is_admitted()
+                } else {
+                    h.submit(1, lbn, w * BASE_T).is_admitted()
+                };
+                assert!(admitted, "w={w} i={i}");
+            }
+        }
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.served, 20);
+        assert_eq!(m.write_settled, 20);
+        assert_eq!(m.write_lost, 0);
+        assert_eq!(m.guaranteed_violations, 0);
+        assert_extended_law(&m);
+    }
+
+    #[test]
+    fn write_losing_a_replica_past_retries_settles_write_lost() {
+        let s = server();
+        s.register(1, 1, OverloadPolicy::Delay).unwrap();
+        // Fail one replica of the block before admission: the write still
+        // fans out to it (redundancy is the point), but the copy faces a
+        // dead device through the whole retry budget.
+        let scheme = s.config().qos.scheme.clone();
+        let dead = scheme.replicas(scheme.bucket_for_lbn(7))[0];
+        s.inject_fault(dead).unwrap();
+        let mut h = s.handle();
+        assert!(h.submit_write(1, 7, 10).is_admitted());
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.admitted, 1);
+        assert_eq!(m.write_settled, 0);
+        assert_eq!(m.write_lost, 1, "{m:#?}");
+        assert_eq!(m.tenants[0].write_lost, 1);
+        assert_extended_law(&m);
+    }
+
+    #[test]
+    fn writes_are_refused_when_every_replica_is_down() {
+        let s = server();
+        s.register(1, 1, OverloadPolicy::Delay).unwrap();
+        let scheme = s.config().qos.scheme.clone();
+        for &d in scheme.replicas(scheme.bucket_for_lbn(7)) {
+            s.inject_fault(d).unwrap();
+        }
+        let mut h = s.handle();
+        assert_eq!(
+            h.submit_write(1, 7, 10),
+            SubmitOutcome::Rejected(RejectReason::ReplicasUnavailable)
+        );
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.admitted_total(), 0);
+        assert_eq!(m.fault_rejected, 1);
+        assert_extended_law(&m);
+    }
+
+    #[test]
+    fn gc_model_counts_relocation_work_and_amplification() {
+        use crate::config::GcConfig;
+        use fqos_flashsim::FtlGeometry;
+        // Tiny FTL so sustained overwrites of a hot set provoke GC fast.
+        let geometry = FtlGeometry {
+            dies: 1,
+            blocks_per_die: 8,
+            pages_per_block: 4,
+            overprovision: 0.25,
+        };
+        let cfg =
+            ServerConfig::new(QosConfig::paper_9_3_1()).with_gc_model(GcConfig::new(geometry));
+        let s = QosServer::new(cfg).unwrap();
+        s.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut h = s.handle();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for w in 0..300u64 {
+            // LCG-scattered overwrites of a hot set: round-robin would
+            // leave every GC victim fully invalid (relocation-free); an
+            // uneven order keeps live pages in victims so GC must
+            // relocate.
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let lbn = (x >> 33) % 11;
+            assert!(h.submit_write(1, lbn, w * BASE_T).is_admitted());
+        }
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.write_settled, 300);
+        assert!(m.gc_host_pages > 0);
+        assert!(m.gc_pages > 0, "no GC triggered: {m:#?}");
+        assert!(m.gc_erases > 0);
+        assert!(m.write_amplification() > 1.0);
+        assert_extended_law(&m);
+    }
+
+    #[test]
+    fn writes_admitted_before_a_scheduled_recovery_retry_onto_it() {
+        // Replica dies at window 0 and recovers at window 1; the write's
+        // dead-device copy is re-issued across the backoff budget and
+        // lands once the recovery takes effect — no write_lost.
+        let s = server();
+        s.register(1, 1, OverloadPolicy::Delay).unwrap();
+        let scheme = s.config().qos.scheme.clone();
+        let dead = scheme.replicas(scheme.bucket_for_lbn(7))[0];
+        s.inject_fault(dead).unwrap();
+        let mut h = s.handle();
+        assert!(h.submit_write(1, 7, 10).is_admitted());
+        // Recover before window 0 seals: execution (window 1) sees it live.
+        s.recover_device(dead).unwrap();
+        drop(h);
+        let m = s.finish();
+        assert_eq!(m.write_settled, 1, "{m:#?}");
+        assert_eq!(m.write_lost, 0);
+        assert_extended_law(&m);
     }
 }

@@ -527,7 +527,17 @@ pub struct FaultPlane {
     suspects: AtomicU64,
     recoveries: AtomicU64,
     retries: AtomicU64,
+    /// Per-device write-amplification EWMA, fixed-point `×256`
+    /// (`256` = WA 1.0). Written only by the device's owning worker;
+    /// read by window admission to size the GC-pressure reserve.
+    gc_pressure: Vec<AtomicU64>,
+    /// False until the first GC observation: keeps the per-seal decay a
+    /// no-op on read-only workloads.
+    any_gc: AtomicBool,
 }
+
+/// Fixed-point unit of the GC-pressure EWMA (`256` = write amplification 1.0).
+const GC_FP_ONE: u64 = 256;
 
 impl FaultPlane {
     /// Build the plane for `devices` devices from a scripted schedule,
@@ -573,6 +583,8 @@ impl FaultPlane {
             suspects: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            gc_pressure: (0..devices).map(|_| AtomicU64::new(GC_FP_ONE)).collect(),
+            any_gc: AtomicBool::new(false),
         })
     }
 
@@ -797,6 +809,7 @@ impl FaultPlane {
     /// either the samples come back normal (full recovery) or the anomaly
     /// streak re-promotes it within `promote_streak` completions.
     pub(crate) fn health_tick(&self, sealed_window: u64) {
+        self.gc_decay();
         let slow = self.live_slow.load(Ordering::Acquire);
         if slow == 0 {
             return;
@@ -819,6 +832,68 @@ impl FaultPlane {
         if cleared != 0 {
             self.live_slow.fetch_and(!cleared, Ordering::AcqRel);
         }
+    }
+
+    /// Record the FTL outcome of one host write on `device`: `programmed`
+    /// total page programs (host + GC relocations) for `host` host pages.
+    /// Feeds the write-amplification EWMA (α = 1/8) behind the GC-pressure
+    /// admission reserve. Each device is written by exactly one worker, so
+    /// plain load/store suffices.
+    pub fn observe_gc(&self, device: usize, host: u64, programmed: u64) {
+        let Some(cell) = self.gc_pressure.get(device) else {
+            return;
+        };
+        if host == 0 {
+            return;
+        }
+        let sample = programmed * GC_FP_ONE / host;
+        let ewma = cell.load(Ordering::Relaxed);
+        let delta = sample as i64 - ewma as i64;
+        cell.store(
+            (ewma as i64 + (delta >> 3)).max(GC_FP_ONE as i64) as u64,
+            Ordering::Relaxed,
+        );
+        self.any_gc.store(true, Ordering::Release);
+    }
+
+    /// Decay every device's GC-pressure EWMA toward 1.0 (one step per
+    /// sealed window): a device whose write storm ended gives its reserved
+    /// headroom back to `S(M)` within a few windows.
+    fn gc_decay(&self) {
+        if !self.any_gc.load(Ordering::Acquire) {
+            return;
+        }
+        for cell in &self.gc_pressure {
+            let ewma = cell.load(Ordering::Relaxed);
+            if ewma > GC_FP_ONE {
+                cell.store(ewma - ((ewma - GC_FP_ONE) >> 4).max(1), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The device's current write-amplification estimate (EWMA; 1.0 when
+    /// the device has seen no GC).
+    pub fn write_amp_estimate(&self, device: usize) -> f64 {
+        self.gc_pressure
+            .get(device)
+            .map(|c| c.load(Ordering::Relaxed) as f64 / GC_FP_ONE as f64)
+            .unwrap_or(1.0)
+    }
+
+    /// Access slots window admission reserves on `device` out of a
+    /// per-device budget of `accesses`: GC-pressure headroom stolen from
+    /// `S(M)` in proportion to the amplification excess `WA − 1`, capped
+    /// at half the budget so reads are never starved outright. Zero while
+    /// the device shows no amplification.
+    pub fn gc_reserve(&self, device: usize, accesses: usize) -> usize {
+        if !self.any_gc.load(Ordering::Acquire) {
+            return 0;
+        }
+        let Some(cell) = self.gc_pressure.get(device) else {
+            return 0;
+        };
+        let excess = cell.load(Ordering::Relaxed).saturating_sub(GC_FP_ONE);
+        ((excess as usize * accesses) / (2 * GC_FP_ONE as usize)).min(accesses / 2)
     }
 
     /// Devices down during `window`, as indices.
@@ -1190,5 +1265,37 @@ mod tests {
         assert_eq!(plane.health_state(0), DeviceHealth::Suspect);
         // Probation is not a counted recovery.
         assert_eq!(plane.health_recoveries(), 0);
+    }
+
+    #[test]
+    fn gc_pressure_reserve_grows_with_amplification_and_decays() {
+        let plane = FaultPlane::new(2, FaultSchedule::new()).unwrap();
+        assert_eq!(plane.gc_reserve(0, 8), 0, "no GC observed yet");
+        assert_eq!(plane.write_amp_estimate(0), 1.0);
+        // Sustained WA-3 writes on device 0: the EWMA converges toward 3.0
+        // and the reserve toward (3−1)/2 × budget = the half-budget cap.
+        for _ in 0..64 {
+            plane.observe_gc(0, 1, 3);
+        }
+        assert!(plane.write_amp_estimate(0) > 2.5);
+        assert_eq!(plane.gc_reserve(0, 8), 4, "capped at half the budget");
+        assert_eq!(plane.gc_reserve(1, 8), 0, "other devices unaffected");
+        // Writes stop: per-seal decay hands the headroom back.
+        for w in 0..200 {
+            plane.health_tick(w);
+        }
+        assert_eq!(plane.gc_reserve(0, 8), 0, "pressure decayed away");
+        assert!(plane.write_amp_estimate(0) < 1.1);
+    }
+
+    #[test]
+    fn gc_reserve_never_exceeds_half_the_budget() {
+        let plane = FaultPlane::new(1, FaultSchedule::new()).unwrap();
+        for _ in 0..200 {
+            plane.observe_gc(0, 1, 50);
+        }
+        for accesses in [1usize, 2, 3, 8, 27] {
+            assert!(plane.gc_reserve(0, accesses) <= accesses / 2);
+        }
     }
 }

@@ -43,13 +43,14 @@ mod sync;
 pub mod wal;
 mod window;
 
-pub use config::{AssignmentMode, ServerConfig, WalConfig, WINDOW_RING};
+pub use config::{AssignmentMode, GcConfig, ServerConfig, WalConfig, WINDOW_RING};
 pub use engine::{QosServer, RejectReason, SubmitOutcome, SubmitterHandle};
 pub use fault::{
     DeviceHealth, FaultEvent, FaultKind, FaultPlane, FaultSchedule, FaultSpecError, HealthParams,
     DEFAULT_SLOW_FACTOR,
 };
 pub use fqos_core::OverloadPolicy;
+pub use fqos_flashsim::{FtlGeometry, IoOp};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, TenantCounters, TenantSnapshot};
 pub use registry::{RegisterError, Tenant, TenantRegistry};
 pub use wal::CRASH_POINTS;

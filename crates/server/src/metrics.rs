@@ -119,19 +119,27 @@ pub struct TenantCounters {
     /// by a crash between seal and settlement — the tenant's share of the
     /// global `fault_lost` term.
     pub lost: AtomicU64,
+    /// Logical writes whose every replica copy landed (all-must-settle).
+    pub write_settled: AtomicU64,
+    /// Logical writes that lost at least one replica copy past the retry
+    /// budget — the tenant's share of the global `write_lost` term.
+    pub write_lost: AtomicU64,
     /// Total admission delay (arrival window → admitted window) in ns.
     pub delay_ns: AtomicU64,
 }
 
 impl TenantCounters {
     /// Admissions not yet settled against these counters:
-    /// `admitted + overflow − served − hedge_wins − lost`.
+    /// `admitted + overflow − served − hedge_wins − lost − write_settled −
+    /// write_lost`.
     pub fn in_flight(&self) -> u64 {
         (self.admitted.load(Ordering::Relaxed) + self.overflow.load(Ordering::Relaxed))
             .saturating_sub(
                 self.served.load(Ordering::Relaxed)
                     + self.hedge_wins.load(Ordering::Relaxed)
-                    + self.lost.load(Ordering::Relaxed),
+                    + self.lost.load(Ordering::Relaxed)
+                    + self.write_settled.load(Ordering::Relaxed)
+                    + self.write_lost.load(Ordering::Relaxed),
             )
     }
 }
@@ -163,15 +171,22 @@ pub struct TenantSnapshot {
     pub hedge_wins: u64,
     /// See [`TenantCounters::lost`].
     pub lost: u64,
+    /// See [`TenantCounters::write_settled`].
+    pub write_settled: u64,
+    /// See [`TenantCounters::write_lost`].
+    pub write_lost: u64,
 }
 
 impl TenantSnapshot {
     /// Admissions not yet settled: `admitted + overflow − served −
-    /// hedge_wins − lost`. For a departed tenant this is the
-    /// migrated-in-flight contribution to the cluster conservation law (0
-    /// once every window the tenant touched has sealed and drained).
+    /// hedge_wins − lost − write_settled − write_lost`. For a departed
+    /// tenant this is the migrated-in-flight contribution to the cluster
+    /// conservation law (0 once every window the tenant touched has sealed
+    /// and drained).
     pub fn in_flight(&self) -> u64 {
-        (self.admitted + self.overflow).saturating_sub(self.served + self.hedge_wins + self.lost)
+        (self.admitted + self.overflow).saturating_sub(
+            self.served + self.hedge_wins + self.lost + self.write_settled + self.write_lost,
+        )
     }
 }
 
@@ -188,6 +203,22 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Requests fully served.
     pub served: u64,
+    /// Logical writes whose every replica copy landed (all-must-settle).
+    /// Part of the extended conservation law: `served + write_settled +
+    /// fault_lost + hedges_cancelled + write_lost == admitted_total`.
+    pub write_settled: u64,
+    /// Logical writes that lost at least one replica copy to a fail-stopped
+    /// device past the bounded retry budget. Counted, never silently
+    /// dropped — the partial-failure term of the extended law.
+    pub write_lost: u64,
+    /// Host page programs across every device (write-path demand).
+    pub gc_host_pages: u64,
+    /// GC relocation page programs across every device (`gc_writes`).
+    pub gc_pages: u64,
+    /// Pages read back during GC relocation across every device.
+    pub gc_relocated: u64,
+    /// Block erases across every device.
+    pub gc_erases: u64,
     /// Served requests finishing past their interval deadline.
     pub deadline_violations: u64,
     /// Violations among *guaranteed* (deterministically admitted) requests.
@@ -291,9 +322,27 @@ impl MetricsSnapshot {
 
     /// Requests that completed service on either dispatch path: primaries
     /// (`served`) plus hedge wins. In a conserving run this equals
-    /// `admitted_total − fault_lost`.
+    /// `admitted_total − fault_lost` for read-only traffic; mixed traffic
+    /// adds `write_settled` (see [`MetricsSnapshot::settled`]).
     pub fn completed(&self) -> u64 {
         self.served + self.hedges_won
+    }
+
+    /// Every admission settled one way or another: the left side of the
+    /// extended conservation law `served + write_settled + fault_lost +
+    /// hedges_cancelled + write_lost == admitted_total`.
+    pub fn settled(&self) -> u64 {
+        self.served + self.write_settled + self.fault_lost + self.hedges_cancelled + self.write_lost
+    }
+
+    /// Measured write amplification across the array:
+    /// `(host + GC pages) / host pages` (1.0 before any host write).
+    pub fn write_amplification(&self) -> f64 {
+        if self.gc_host_pages == 0 {
+            1.0
+        } else {
+            (self.gc_host_pages + self.gc_pages) as f64 / self.gc_host_pages as f64
+        }
     }
 }
 

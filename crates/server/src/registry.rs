@@ -240,6 +240,14 @@ impl TenantRegistry {
             .hedge_wins
             .store(counts.hedge_wins, Ordering::Relaxed);
         record.counters.lost.store(counts.lost, Ordering::Relaxed);
+        record
+            .counters
+            .write_settled
+            .store(counts.write_settled, Ordering::Relaxed);
+        record
+            .counters
+            .write_lost
+            .store(counts.write_lost, Ordering::Relaxed);
         self.shard(tenant).write().insert(tenant, record);
         Ok(())
     }

@@ -70,7 +70,7 @@ const MAX_PAYLOAD: usize = 256;
 /// Frame header: lsn (8) + len (4) + crc (4).
 const FRAME_HEADER: usize = 16;
 /// Snapshot file magic (8 bytes, versioned).
-const SNAP_MAGIC: &[u8; 8] = b"FQWSNAP1";
+const SNAP_MAGIC: &[u8; 8] = b"FQWSNAP2";
 
 /// The deterministic crash points the injection harness recognizes, in
 /// log order of the operation they interrupt.
@@ -80,6 +80,7 @@ pub const CRASH_POINTS: &[&str] = &[
     "post-admit-pre-ack",
     "seal-mid-batch",
     "compact-mid-swap",
+    "wal-write-settle",
 ];
 
 static CRASH_SPEC: OnceLock<Option<(String, u64)>> = OnceLock::new();
@@ -133,6 +134,12 @@ pub(crate) enum SettleKind {
     /// Unservable: every replica down at seal, or stranded by a crash
     /// between seal and settlement (charged to `fault_lost`).
     Lost,
+    /// A replicated write whose every copy landed (all-must-settle).
+    WriteSettled,
+    /// A replicated write with at least one copy permanently failed after
+    /// bounded retries — or stranded mid-fan-out by a crash (charged to
+    /// `write_lost`).
+    WriteLost,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +158,7 @@ enum WalRecord {
         lbn: u64,
         guaranteed: bool,
         delayed: bool,
+        is_write: bool,
     },
     Seal {
         window: u64,
@@ -170,6 +178,7 @@ pub(crate) struct OpenEntry {
     pub lbn: u64,
     pub guaranteed: bool,
     pub delayed: bool,
+    pub is_write: bool,
 }
 
 /// Per-tenant durable counters (the law-relevant subset of
@@ -186,6 +195,8 @@ pub(crate) struct TenantState {
     pub served: u64,
     pub hedge_wins: u64,
     pub lost: u64,
+    pub write_settled: u64,
+    pub write_lost: u64,
 }
 
 /// The state a full replay of the log materializes: every counter the
@@ -203,16 +214,35 @@ pub(crate) struct WalState {
     pub served: u64,
     pub hedges_won: u64,
     pub lost: u64,
+    pub write_settled: u64,
+    pub write_lost: u64,
     pub tenants: BTreeMap<u64, TenantState>,
     /// Admissions of windows without a seal record, in admission order.
     pub open: BTreeMap<u64, Vec<OpenEntry>>,
-    /// Sealed windows' unsettled admissions: window → tenant → count.
-    /// Non-empty at recovery = dispatches a crash stranded (crash-lost).
-    pub pending: BTreeMap<u64, BTreeMap<u64, u64>>,
+    /// Sealed windows' unsettled admissions: window → tenant → read/write
+    /// counts. Non-empty at recovery = dispatches a crash stranded
+    /// (crash-lost; stranded writes resolve to `write_lost`).
+    pub pending: BTreeMap<u64, BTreeMap<u64, PendingCounts>>,
     /// Records that violated the durable-order contract (a settle without
     /// a durable sealed admission, an admit into a sealed window, …).
     /// Invariantly zero; the model suite asserts it on every schedule.
     pub misordered: u64,
+}
+
+/// Unsettled sealed admissions of one `(window, tenant)`, split by class:
+/// a read settles `Served`/`HedgeWin`/`Lost`, a logical write settles
+/// `WriteSettled`/`WriteLost` — the split keeps a crash resolution able to
+/// charge stranded writes to `write_lost` rather than `fault_lost`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PendingCounts {
+    pub reads: u64,
+    pub writes: u64,
+}
+
+impl PendingCounts {
+    fn is_empty(self) -> bool {
+        self.reads == 0 && self.writes == 0
+    }
 }
 
 impl WalState {
@@ -245,6 +275,7 @@ impl WalState {
                 lbn,
                 guaranteed,
                 delayed,
+                is_write,
             } => {
                 let Some(t) = self.tenants.get_mut(&tenant) else {
                     // An admit must follow its tenant's durable register.
@@ -273,6 +304,7 @@ impl WalState {
                     lbn,
                     guaranteed,
                     delayed,
+                    is_write,
                 });
             }
             WalRecord::Seal { window } => {
@@ -283,7 +315,12 @@ impl WalState {
                 if let Some(entries) = self.open.remove(&window) {
                     let per_tenant = self.pending.entry(window).or_default();
                     for e in entries {
-                        *per_tenant.entry(e.tenant).or_insert(0) += 1;
+                        let counts = per_tenant.entry(e.tenant).or_default();
+                        if e.is_write {
+                            counts.writes += 1;
+                        } else {
+                            counts.reads += 1;
+                        }
                     }
                 }
             }
@@ -293,17 +330,29 @@ impl WalState {
                 kind,
             } => {
                 // A settlement is only legal against a durable, sealed,
-                // not-yet-exhausted admission of (window, tenant).
+                // not-yet-exhausted admission of (window, tenant) — of the
+                // matching class (a write settle cannot consume a read
+                // admission, or vice versa).
+                let wants_write = matches!(kind, SettleKind::WriteSettled | SettleKind::WriteLost);
                 let matched = match self.pending.get_mut(&window) {
                     Some(per_tenant) => match per_tenant.get_mut(&tenant) {
-                        Some(n) if *n > 0 => {
-                            *n -= 1;
-                            if *n == 0 {
-                                per_tenant.remove(&tenant);
+                        Some(counts) => {
+                            let n = if wants_write {
+                                &mut counts.writes
+                            } else {
+                                &mut counts.reads
+                            };
+                            if *n > 0 {
+                                *n -= 1;
+                                if counts.is_empty() {
+                                    per_tenant.remove(&tenant);
+                                }
+                                true
+                            } else {
+                                false
                             }
-                            true
                         }
-                        _ => false,
+                        None => false,
                     },
                     None => false,
                 };
@@ -334,6 +383,14 @@ impl WalState {
                     SettleKind::Lost => {
                         t.lost += 1;
                         self.lost += 1;
+                    }
+                    SettleKind::WriteSettled => {
+                        t.write_settled += 1;
+                        self.write_settled += 1;
+                    }
+                    SettleKind::WriteLost => {
+                        t.write_lost += 1;
+                        self.write_lost += 1;
                     }
                 }
             }
@@ -406,12 +463,13 @@ fn encode_payload(rec: &WalRecord, out: &mut Vec<u8>) {
             lbn,
             guaranteed,
             delayed,
+            is_write,
         } => {
             out.push(3);
             put_u64(out, window);
             put_u64(out, tenant);
             put_u64(out, lbn);
-            out.push(u8::from(guaranteed) | u8::from(delayed) << 1);
+            out.push(u8::from(guaranteed) | u8::from(delayed) << 1 | u8::from(is_write) << 2);
         }
         WalRecord::Seal { window } => {
             out.push(4);
@@ -429,6 +487,8 @@ fn encode_payload(rec: &WalRecord, out: &mut Vec<u8>) {
                 SettleKind::Served => 0,
                 SettleKind::HedgeWin => 1,
                 SettleKind::Lost => 2,
+                SettleKind::WriteSettled => 3,
+                SettleKind::WriteLost => 4,
             });
         }
     }
@@ -483,7 +543,7 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
             let tenant = r.take_u64()?;
             let lbn = r.take_u64()?;
             let flags = r.take_u8()?;
-            if flags > 3 {
+            if flags > 7 {
                 return None;
             }
             WalRecord::Admit {
@@ -492,6 +552,7 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
                 lbn,
                 guaranteed: flags & 1 == 1,
                 delayed: flags & 2 == 2,
+                is_write: flags & 4 == 4,
             }
         }
         4 => WalRecord::Seal {
@@ -504,6 +565,8 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
                 0 => SettleKind::Served,
                 1 => SettleKind::HedgeWin,
                 2 => SettleKind::Lost,
+                3 => SettleKind::WriteSettled,
+                4 => SettleKind::WriteLost,
                 _ => return None,
             },
         },
@@ -522,6 +585,8 @@ fn encode_state(state: &WalState) -> Vec<u8> {
     put_u64(&mut body, state.served);
     put_u64(&mut body, state.hedges_won);
     put_u64(&mut body, state.lost);
+    put_u64(&mut body, state.write_settled);
+    put_u64(&mut body, state.write_lost);
     put_u64(&mut body, state.misordered);
     put_u64(&mut body, state.tenants.len() as u64);
     for (&id, t) in &state.tenants {
@@ -536,6 +601,8 @@ fn encode_state(state: &WalState) -> Vec<u8> {
             t.served,
             t.hedge_wins,
             t.lost,
+            t.write_settled,
+            t.write_lost,
         ] {
             put_u64(&mut body, v);
         }
@@ -547,7 +614,9 @@ fn encode_state(state: &WalState) -> Vec<u8> {
         for e in entries {
             put_u64(&mut body, e.tenant);
             put_u64(&mut body, e.lbn);
-            body.push(u8::from(e.guaranteed) | u8::from(e.delayed) << 1);
+            body.push(
+                u8::from(e.guaranteed) | u8::from(e.delayed) << 1 | u8::from(e.is_write) << 2,
+            );
         }
     }
     put_u64(&mut body, state.pending.len() as u64);
@@ -556,7 +625,8 @@ fn encode_state(state: &WalState) -> Vec<u8> {
         put_u64(&mut body, per_tenant.len() as u64);
         for (&t, &n) in per_tenant {
             put_u64(&mut body, t);
-            put_u64(&mut body, n);
+            put_u64(&mut body, n.reads);
+            put_u64(&mut body, n.writes);
         }
     }
     let mut out = Vec::with_capacity(body.len() + 12);
@@ -586,6 +656,8 @@ fn decode_state(bytes: &[u8]) -> Option<WalState> {
         served: r.take_u64()?,
         hedges_won: r.take_u64()?,
         lost: r.take_u64()?,
+        write_settled: r.take_u64()?,
+        write_lost: r.take_u64()?,
         misordered: r.take_u64()?,
         ..WalState::default()
     };
@@ -594,7 +666,7 @@ fn decode_state(bytes: &[u8]) -> Option<WalState> {
         let reserved = r.take_u64()?;
         let policy = r.take_u8()?;
         let live = r.take_u8()? == 1;
-        let mut vals = [0u64; 6];
+        let mut vals = [0u64; 8];
         for v in &mut vals {
             *v = r.take_u64()?;
         }
@@ -610,6 +682,8 @@ fn decode_state(bytes: &[u8]) -> Option<WalState> {
                 served: vals[3],
                 hedge_wins: vals[4],
                 lost: vals[5],
+                write_settled: vals[6],
+                write_lost: vals[7],
             },
         );
     }
@@ -626,6 +700,7 @@ fn decode_state(bytes: &[u8]) -> Option<WalState> {
                 lbn,
                 guaranteed: flags & 1 == 1,
                 delayed: flags & 2 == 2,
+                is_write: flags & 4 == 4,
             });
         }
         state.open.insert(w, entries);
@@ -636,7 +711,9 @@ fn decode_state(bytes: &[u8]) -> Option<WalState> {
         let mut per_tenant = BTreeMap::new();
         for _ in 0..n {
             let t = r.take_u64()?;
-            per_tenant.insert(t, r.take_u64()?);
+            let reads = r.take_u64()?;
+            let writes = r.take_u64()?;
+            per_tenant.insert(t, PendingCounts { reads, writes });
         }
         state.pending.insert(w, per_tenant);
     }
@@ -883,7 +960,15 @@ impl Wal {
     /// Log one admission. Durability follows the fsync contract: with
     /// `fsync_batch = 1` the record is on stable storage when this
     /// returns.
-    pub fn log_admit(&self, window: u64, tenant: u64, lbn: u64, guaranteed: bool, delayed: bool) {
+    pub fn log_admit(
+        &self,
+        window: u64,
+        tenant: u64,
+        lbn: u64,
+        guaranteed: bool,
+        delayed: bool,
+        is_write: bool,
+    ) {
         self.push_record(
             &WalRecord::Admit {
                 window,
@@ -891,6 +976,7 @@ impl Wal {
                 lbn,
                 guaranteed,
                 delayed,
+                is_write,
             },
             false,
             true,
@@ -917,6 +1003,11 @@ impl Wal {
     /// Log one settlement (batched; a settle is re-derivable as
     /// crash-lost, so it does not need per-record durability).
     pub fn log_settle(&self, window: u64, tenant: u64, kind: SettleKind) {
+        if matches!(kind, SettleKind::WriteSettled | SettleKind::WriteLost) {
+            // Kill site between the last copy landing and the settle
+            // record: recovery must resolve the write as crash-lost.
+            crash_point("wal-write-settle");
+        }
         self.push_record(
             &WalRecord::Settle {
                 window,
@@ -959,10 +1050,12 @@ impl Wal {
         let mut lost = 0u64;
         for per_tenant in pending.into_values() {
             for (tenant, n) in per_tenant {
-                lost += n;
-                g.state.lost += n;
+                lost += n.reads + n.writes;
+                g.state.lost += n.reads;
+                g.state.write_lost += n.writes;
                 if let Some(t) = g.state.tenants.get_mut(&tenant) {
-                    t.lost += n;
+                    t.lost += n.reads;
+                    t.write_lost += n.writes;
                 }
             }
         }
@@ -970,24 +1063,35 @@ impl Wal {
     }
 
     /// Drop one open-window admission that could not be re-parked at
-    /// recovery and account it lost, keeping the materialized state in
-    /// step with the engine's books.
-    pub fn forfeit_open(&self, window: u64, tenant: u64) {
+    /// recovery and account it lost (a write to `write_lost`), keeping the
+    /// materialized state in step with the engine's books.
+    pub fn forfeit_open(&self, window: u64, tenant: u64, is_write: bool) {
         let mut g = self.wal.lock();
         let state = &mut g.state;
         let mut hit = false;
         let mut emptied = false;
         if let Some(entries) = state.open.get_mut(&window) {
-            if let Some(i) = entries.iter().position(|e| e.tenant == tenant) {
+            if let Some(i) = entries
+                .iter()
+                .position(|e| e.tenant == tenant && e.is_write == is_write)
+            {
                 entries.remove(i);
                 hit = true;
             }
             emptied = entries.is_empty();
         }
         if hit {
-            state.lost += 1;
+            if is_write {
+                state.write_lost += 1;
+            } else {
+                state.lost += 1;
+            }
             if let Some(t) = state.tenants.get_mut(&tenant) {
-                t.lost += 1;
+                if is_write {
+                    t.write_lost += 1;
+                } else {
+                    t.lost += 1;
+                }
             }
         }
         if emptied {
@@ -1126,12 +1230,31 @@ mod tests {
                 lbn: 123,
                 guaranteed: true,
                 delayed: true,
+                is_write: false,
+            },
+            WalRecord::Admit {
+                window: 42,
+                tenant: 7,
+                lbn: 124,
+                guaranteed: true,
+                delayed: false,
+                is_write: true,
             },
             WalRecord::Seal { window: 41 },
             WalRecord::Settle {
                 window: 41,
                 tenant: 7,
                 kind: SettleKind::HedgeWin,
+            },
+            WalRecord::Settle {
+                window: 42,
+                tenant: 7,
+                kind: SettleKind::WriteSettled,
+            },
+            WalRecord::Settle {
+                window: 42,
+                tenant: 7,
+                kind: SettleKind::WriteLost,
             },
         ];
         for rec in records {
@@ -1151,9 +1274,9 @@ mod tests {
         let wal = Wal::create(&cfg).unwrap();
         wal.log_register(1, 2, OverloadPolicy::Delay);
         wal.log_register(2, 1, OverloadPolicy::Reject);
-        wal.log_admit(0, 1, 5, true, false);
-        wal.log_admit(0, 2, 9, false, false);
-        wal.log_admit(1, 1, 6, true, true);
+        wal.log_admit(0, 1, 5, true, false, false);
+        wal.log_admit(0, 2, 9, false, false, false);
+        wal.log_admit(1, 1, 6, true, true, false);
         wal.log_seal(0);
         wal.log_settle(0, 1, SettleKind::Served);
         wal.log_deregister(2);
@@ -1164,7 +1287,14 @@ mod tests {
         assert_eq!(state.admitted, 2);
         assert_eq!(state.overflow, 1);
         assert_eq!(state.sealed_through, 1);
-        assert_eq!(state.pending[&0][&2], 1, "unsettled overflow admission");
+        assert_eq!(
+            state.pending[&0][&2],
+            PendingCounts {
+                reads: 1,
+                writes: 0
+            },
+            "unsettled overflow admission"
+        );
         assert_eq!(state.open[&1].len(), 1);
         // A flipped byte breaks the CRC.
         let mut bytes = encode_state(&state);
@@ -1178,7 +1308,7 @@ mod tests {
         wal.log_register(1, 2, OverloadPolicy::Delay);
         wal.log_settle(0, 1, SettleKind::Served); // nothing sealed
         assert_eq!(wal.wal_counters().misordered, 1);
-        wal.log_admit(0, 1, 5, true, false);
+        wal.log_admit(0, 1, 5, true, false, false);
         wal.log_seal(0);
         wal.log_settle(0, 1, SettleKind::Served);
         wal.log_settle(0, 1, SettleKind::Served); // double settle
@@ -1194,8 +1324,8 @@ mod tests {
         {
             let wal = Wal::create(&cfg).unwrap();
             wal.log_register(1, 2, OverloadPolicy::Delay);
-            wal.log_admit(0, 1, 11, true, false);
-            wal.log_admit(0, 1, 12, true, false);
+            wal.log_admit(0, 1, 11, true, false, false);
+            wal.log_admit(0, 1, 12, true, false, false);
             wal.sync_now();
         }
         // Tear the final record: chop 5 bytes off the file.
@@ -1216,7 +1346,7 @@ mod tests {
         assert_eq!(s.open[&0].len(), 1);
         assert_eq!(s.misordered, 0);
         // The truncated log accepts new appends and replays cleanly.
-        wal.log_admit(0, 1, 13, true, false);
+        wal.log_admit(0, 1, 13, true, false, false);
         wal.sync_now();
         drop(wal);
         let (wal, report) = Wal::resume(&cfg).unwrap();
@@ -1233,9 +1363,9 @@ mod tests {
         {
             let wal = Wal::create(&cfg).unwrap();
             wal.log_register(1, 2, OverloadPolicy::Delay); // force-synced
-            wal.log_admit(0, 1, 11, true, false); // buffered only
-                                                  // Dropped without sync_now: the admit never reached the file,
-                                                  // exactly what an abort in the pre-fsync window loses.
+            wal.log_admit(0, 1, 11, true, false, false); // buffered only
+                                                         // Dropped without sync_now: the admit never reached the file,
+                                                         // exactly what an abort in the pre-fsync window loses.
         }
         let (wal, report) = Wal::resume(&cfg).unwrap();
         assert_eq!(report.records, 1);
@@ -1253,13 +1383,13 @@ mod tests {
             let wal = Wal::create(&cfg).unwrap();
             wal.log_register(1, 2, OverloadPolicy::Delay);
             for w in 0..4u64 {
-                wal.log_admit(w, 1, w, true, false);
+                wal.log_admit(w, 1, w, true, false, false);
                 wal.log_seal(w);
                 wal.log_settle(w, 1, SettleKind::Served);
             }
             wal.compact();
             assert_eq!(std::fs::metadata(dir.join("wal.log")).unwrap().len(), 0);
-            wal.log_admit(4, 1, 99, true, false);
+            wal.log_admit(4, 1, 99, true, false, false);
             wal.sync_now();
         }
         let (wal, report) = Wal::resume(&cfg).unwrap();
@@ -1277,8 +1407,8 @@ mod tests {
     fn resolve_crash_losses_charges_sealed_unsettled_residue() {
         let wal = Wal::create(&mem_cfg()).unwrap();
         wal.log_register(1, 2, OverloadPolicy::Delay);
-        wal.log_admit(0, 1, 1, true, false);
-        wal.log_admit(0, 1, 2, true, false);
+        wal.log_admit(0, 1, 1, true, false, false);
+        wal.log_admit(0, 1, 2, true, false, false);
         wal.log_seal(0);
         wal.log_settle(0, 1, SettleKind::Served);
         assert_eq!(wal.resolve_crash_losses(), 1);
@@ -1295,22 +1425,67 @@ mod tests {
     fn forfeit_open_keeps_the_ledger_balanced() {
         let wal = Wal::create(&mem_cfg()).unwrap();
         wal.log_register(1, 2, OverloadPolicy::Delay);
-        wal.log_admit(3, 1, 1, true, false);
-        wal.forfeit_open(3, 1);
+        wal.log_admit(3, 1, 1, true, false, false);
+        wal.forfeit_open(3, 1, false);
         let s = wal.state_snapshot();
         assert!(s.open.is_empty());
         assert_eq!(s.lost, 1);
         assert_eq!(s.served + s.lost, s.admitted_total());
         // Forfeiting something absent is a no-op.
-        wal.forfeit_open(3, 1);
+        wal.forfeit_open(3, 1, false);
         assert_eq!(wal.state_snapshot().lost, 1);
+        // A forfeited write charges write_lost, and only a write entry
+        // satisfies a write forfeit.
+        wal.log_admit(4, 1, 2, true, false, true);
+        wal.forfeit_open(4, 1, false);
+        assert_eq!(wal.state_snapshot().lost, 1, "class mismatch: no-op");
+        wal.forfeit_open(4, 1, true);
+        let s = wal.state_snapshot();
+        assert!(s.open.is_empty());
+        assert_eq!(s.write_lost, 1);
+        assert_eq!(s.tenants[&1].write_lost, 1);
+    }
+
+    #[test]
+    fn write_settlement_and_crash_resolution_use_the_write_ledger() {
+        let wal = Wal::create(&mem_cfg()).unwrap();
+        wal.log_register(1, 4, OverloadPolicy::Delay);
+        wal.log_admit(0, 1, 1, true, false, true); // settles WriteSettled
+        wal.log_admit(0, 1, 2, true, false, true); // settles WriteLost
+        wal.log_admit(0, 1, 3, true, false, true); // stranded by "crash"
+        wal.log_admit(0, 1, 4, true, false, false); // read, settles Served
+        wal.log_seal(0);
+        // A read settle must not consume a pending write admission.
+        wal.log_settle(0, 1, SettleKind::WriteSettled);
+        wal.log_settle(0, 1, SettleKind::WriteLost);
+        wal.log_settle(0, 1, SettleKind::Served);
+        assert_eq!(wal.wal_counters().misordered, 0);
+        wal.log_settle(0, 1, SettleKind::Served);
+        assert_eq!(
+            wal.wal_counters().misordered,
+            1,
+            "read class exhausted; the stranded write must not absorb it"
+        );
+        assert_eq!(wal.resolve_crash_losses(), 1, "the stranded write");
+        let s = wal.state_snapshot();
+        assert_eq!(s.write_settled, 1);
+        assert_eq!(s.write_lost, 2, "retry-exhausted + crash-stranded");
+        assert_eq!(s.tenants[&1].write_settled, 1);
+        assert_eq!(s.tenants[&1].write_lost, 2);
+        // Extended conservation over the durable admissions.
+        assert_eq!(
+            s.served + s.write_settled + s.lost + s.write_lost,
+            s.admitted_total()
+        );
+        let decoded = decode_state(&encode_state(&s)).expect("decode");
+        assert_eq!(decoded, s);
     }
 
     #[test]
     fn reregistration_starts_a_fresh_epoch_in_state() {
         let wal = Wal::create(&mem_cfg()).unwrap();
         wal.log_register(1, 2, OverloadPolicy::Delay);
-        wal.log_admit(0, 1, 1, true, false);
+        wal.log_admit(0, 1, 1, true, false, false);
         wal.log_seal(0);
         wal.log_settle(0, 1, SettleKind::Served);
         wal.log_deregister(1);

@@ -31,7 +31,7 @@ use crate::config::AssignmentMode;
 use crate::fault::FaultPlane;
 use crate::sync::{Arc, Mutex, MutexGuard};
 use fqos_decluster::retrieval::{DegradedAdmit, DegradedWindow};
-use fqos_flashsim::IoRequest;
+use fqos_flashsim::{IoOp, IoRequest};
 use std::collections::HashMap;
 
 /// A request parked in a window awaiting seal.
@@ -42,6 +42,9 @@ struct Parked {
     replicas: Vec<usize>,
     /// Chosen replica (set at admit time in EFT mode, at seal in flow mode).
     assigned: Option<usize>,
+    /// Write fan-out only: the replica devices this write charged capacity
+    /// on at admission (one feasibility unit each). Empty for reads.
+    charged: Vec<usize>,
 }
 
 /// Outcome of one [`WindowRing::try_admit`].
@@ -88,6 +91,15 @@ struct SlotState {
     flow: Option<DegradedWindow>,
     /// Per-device guaranteed load (EFT mode; flow mode derives it at seal).
     loads: Vec<u32>,
+    /// Per-device GC-pressure reserve captured when the slot opened:
+    /// capacity withheld from admission on devices under write
+    /// amplification. In flow mode the reserve is materialized as pinned
+    /// phantom units already inside `flow` (counted by `phantom`); in EFT
+    /// mode it shrinks the per-device budget directly.
+    reserve: Vec<u32>,
+    /// Successful phantom reserve units injected into `flow` at reset;
+    /// seal skips this many leading assignment entries.
+    phantom: usize,
     /// Per-tenant admitted count, enforcing each tenant's reservation.
     per_tenant: HashMap<u64, u32>,
     guaranteed: Vec<Parked>,
@@ -95,6 +107,7 @@ struct SlotState {
 }
 
 impl SlotState {
+    #[allow(clippy::too_many_arguments)]
     fn reset_for(
         &mut self,
         window: u64,
@@ -103,23 +116,45 @@ impl SlotState {
         mode: AssignmentMode,
         admit_mask: u64,
         fail_mask: u64,
+        reserve: &[u32],
     ) {
         self.window = window;
         self.active = true;
         self.admit_mask = admit_mask;
         self.fail_mask = fail_mask;
+        self.phantom = 0;
         self.flow = match mode {
             AssignmentMode::OptimalFlow => {
                 let failed: Vec<bool> = (0..devices).map(|d| admit_mask >> d & 1 == 1).collect();
-                Some(DegradedWindow::new(devices, accesses, &failed))
+                let mut flow = DegradedWindow::new(devices, accesses, &failed);
+                // Materialize the GC-pressure reserve as pinned phantom
+                // units: capacity the flow can never hand to a request.
+                for (d, &r) in reserve.iter().enumerate() {
+                    if admit_mask >> d & 1 == 1 {
+                        continue;
+                    }
+                    for _ in 0..r {
+                        if flow.try_add(&[d]) == DegradedAdmit::Admitted {
+                            self.phantom += 1;
+                        }
+                    }
+                }
+                Some(flow)
             }
             AssignmentMode::Eft => None,
         };
         self.loads.clear();
         self.loads.resize(devices, 0);
+        self.reserve.clear();
+        self.reserve.extend_from_slice(reserve);
         self.per_tenant.clear();
         self.guaranteed.clear();
         self.overflow.clear();
+    }
+
+    /// EFT-mode effective budget on `d` after the GC-pressure reserve.
+    fn eft_cap(&self, d: usize, accesses: usize) -> usize {
+        accesses.saturating_sub(self.reserve.get(d).copied().unwrap_or(0) as usize)
     }
 }
 
@@ -134,12 +169,20 @@ pub(crate) struct SealedItem {
     /// Bitmap of every replica device holding this block — the worker's
     /// hedge candidates beyond the assigned one.
     pub replica_mask: u64,
+    /// Write fan-out only: `(group, fanout)` — this item is one of
+    /// `fanout` replica copies of logical write `group` within its window.
+    /// The engine settles the logical write once all copies land
+    /// (all-must-settle). `None` for reads.
+    pub write_group: Option<(u32, u32)>,
 }
 
 /// The drained contents of one window, in dispatch order.
 #[derive(Debug)]
 pub(crate) struct SealedWindow {
+    /// Logical guaranteed admissions (a write counts once, not per copy).
     pub guaranteed: u64,
+    /// Logical total admissions; `items.len()` may exceed this when writes
+    /// fanned out to several replica copies.
     pub total: u64,
     pub items: Vec<SealedItem>,
     /// Tenant of each admission unservable at seal (every replica down),
@@ -180,6 +223,8 @@ impl WindowRing {
                         fail_mask: 0,
                         flow: None,
                         loads: Vec::new(),
+                        reserve: Vec::new(),
+                        phantom: 0,
                         per_tenant: HashMap::new(),
                         guaranteed: Vec::new(),
                         overflow: Vec::new(),
@@ -209,7 +254,18 @@ impl WindowRing {
             // no other copy still fall back to them, see try_admit).
             let fail = self.fault.admission_mask(window);
             let mask = fail | self.fault.live_slow_mask();
-            s.reset_for(window, self.devices, self.accesses, self.mode, mask, fail);
+            let reserve: Vec<u32> = (0..self.devices)
+                .map(|d| self.fault.gc_reserve(d, self.accesses) as u32)
+                .collect();
+            s.reset_for(
+                window,
+                self.devices,
+                self.accesses,
+                self.mode,
+                mask,
+                fail,
+                &reserve,
+            );
         } else if s.window != window {
             assert!(
                 s.window > window,
@@ -246,6 +302,9 @@ impl WindowRing {
         if used as usize >= reserved {
             return AdmitResult::Full;
         }
+        if req.op == IoOp::Write {
+            return self.try_admit_write(&mut s, tenant, req, replicas);
+        }
         let degraded = s.admit_mask != 0 && replicas.iter().any(|&d| s.admit_mask >> d & 1 == 1);
         let assigned = match self.mode {
             AssignmentMode::OptimalFlow => {
@@ -269,7 +328,7 @@ impl WindowRing {
                 let Some(best) = best else {
                     return Self::admit_on_slow_only(&mut s, tenant, req, replicas);
                 };
-                if s.loads[best] as usize >= self.accesses {
+                if s.loads[best] as usize >= s.eft_cap(best, self.accesses) {
                     return AdmitResult::Full;
                 }
                 s.loads[best] += 1;
@@ -285,6 +344,80 @@ impl WindowRing {
             req,
             replicas: replicas.to_vec(),
             assigned,
+            charged: Vec::new(),
+        });
+        AdmitResult::Admitted
+    }
+
+    /// Write admission: a replicated write consumes one feasibility unit on
+    /// **every** replica the window can schedule (`c×` capacity), not one
+    /// of `c` — a copy must land on each device. Replicas excluded by the
+    /// admission view (failed or detected-slow) are not charged; the
+    /// fan-out at seal still targets all replicas and the worker's bounded
+    /// retry decides whether an excluded copy settles or the logical write
+    /// is charged `write_lost`.
+    ///
+    /// Writes are never parked as best-effort overflow: when the window
+    /// cannot carry the full fan-out the write is `Full` — the engine
+    /// delays it within the horizon or sheds it, protecting read deadlines.
+    fn try_admit_write(
+        &self,
+        s: &mut SlotState,
+        tenant: u64,
+        req: IoRequest,
+        replicas: &[usize],
+    ) -> AdmitResult {
+        let charged: Vec<usize> = replicas
+            .iter()
+            .copied()
+            .filter(|&d| s.admit_mask >> d & 1 == 0)
+            .collect();
+        if charged.is_empty() {
+            // Nothing schedulable: all replicas failed is a data-path
+            // refusal; all merely slow is congestion — delay, don't lose.
+            return if replicas.iter().all(|&d| s.fail_mask >> d & 1 == 1) {
+                AdmitResult::Unavailable
+            } else {
+                AdmitResult::Full
+            };
+        }
+        let degraded = s.admit_mask != 0 && replicas.iter().any(|&d| s.admit_mask >> d & 1 == 1);
+        match self.mode {
+            AssignmentMode::OptimalFlow => {
+                let flow = s.flow.as_mut().expect("flow mode");
+                // Charge one pinned unit per replica; the incremental flow
+                // cannot retract units, so snapshot for exact rollback when
+                // a later replica does not fit.
+                let snapshot = flow.clone();
+                for &d in &charged {
+                    if flow.try_add(&[d]) != DegradedAdmit::Admitted {
+                        *flow = snapshot;
+                        return AdmitResult::Full;
+                    }
+                }
+            }
+            AssignmentMode::Eft => {
+                if charged
+                    .iter()
+                    .any(|&d| s.loads[d] as usize >= s.eft_cap(d, self.accesses))
+                {
+                    return AdmitResult::Full;
+                }
+                for &d in &charged {
+                    s.loads[d] += 1;
+                }
+            }
+        }
+        if degraded {
+            self.fault.note_reroute();
+        }
+        *s.per_tenant.entry(tenant).or_insert(0) += 1;
+        s.guaranteed.push(Parked {
+            tenant,
+            req,
+            replicas: replicas.to_vec(),
+            assigned: None,
+            charged,
         });
         AdmitResult::Admitted
     }
@@ -307,6 +440,7 @@ impl WindowRing {
             req,
             replicas: replicas.to_vec(),
             assigned: None,
+            charged: Vec::new(),
         });
         AdmitResult::AdmittedSlow
     }
@@ -329,6 +463,13 @@ impl WindowRing {
         req: IoRequest,
         replicas: &[usize],
     ) -> bool {
+        // Writes are never admitted statistically: an overflow write would
+        // consume `c×` device capacity with no feasibility backing, eating
+        // directly into guaranteed read headroom. The engine delays or
+        // sheds writes instead.
+        if req.op == IoOp::Write {
+            return false;
+        }
         let mut s = self.locked(window);
         // Only an all-*failed* replica set refuses: slow devices are live
         // and can still carry best-effort work.
@@ -340,6 +481,7 @@ impl WindowRing {
             req,
             replicas: replicas.to_vec(),
             assigned: None,
+            charged: Vec::new(),
         });
         true
     }
@@ -378,6 +520,7 @@ impl WindowRing {
         let guaranteed = std::mem::take(&mut s.guaranteed);
         let overflow = std::mem::take(&mut s.overflow);
         let flow = s.flow.take();
+        let phantom = s.phantom;
         drop(s);
 
         // Final per-device loads are rebuilt from scratch so seal-time
@@ -385,18 +528,61 @@ impl WindowRing {
         let mut loads = vec![0u32; self.devices];
         let mut items = Vec::with_capacity(guaranteed.len() + overflow.len());
         let mut lost: Vec<u64> = Vec::new();
+        // Logical guaranteed admissions: a write counts once even though it
+        // emits one item per replica copy below.
+        let n_guaranteed = guaranteed.len() as u64;
+        // Per-parked preliminary assignment. The flow's assignment list
+        // leads with the GC-reserve phantom units, then one entry per
+        // admitted unit in admission order: reads consumed one unit, writes
+        // one per charged replica. Writes ignore their entries (they fan
+        // out to every replica regardless), so skip those slots.
         let prelim: Vec<Option<usize>> = match self.mode {
             AssignmentMode::OptimalFlow => {
                 let flow = flow.expect("flow mode");
-                debug_assert_eq!(flow.len(), guaranteed.len());
-                flow.assignments().into_iter().map(Some).collect()
+                let assigns = flow.assignments();
+                debug_assert_eq!(
+                    assigns.len(),
+                    phantom
+                        + guaranteed
+                            .iter()
+                            .map(|p| {
+                                if p.req.op == IoOp::Write {
+                                    p.charged.len()
+                                } else {
+                                    1
+                                }
+                            })
+                            .sum::<usize>()
+                );
+                let mut next = assigns.into_iter().skip(phantom);
+                guaranteed
+                    .iter()
+                    .map(|p| {
+                        if p.req.op == IoOp::Write {
+                            next.by_ref().take(p.charged.len()).for_each(drop);
+                            None
+                        } else {
+                            // One unit per admitted read remains (length
+                            // check above); a None here surfaces at the
+                            // assigned-request invariant when emitting.
+                            next.next()
+                        }
+                    })
+                    .collect()
             }
             AssignmentMode::Eft => guaranteed.iter().map(|p| p.assigned).collect(),
         };
+        // Sequential id for each logical write within this window; the
+        // engine keys its all-must-settle aggregation on it.
+        let mut write_groups = 0u32;
         if drain_mask == 0 {
             // Healthy execution interval: the admission-time assignments
             // stand as-is.
             for (p, prelim) in guaranteed.into_iter().zip(prelim) {
+                if p.req.op == IoOp::Write {
+                    fan_out_write(&mut items, &mut loads, &mut write_groups, &p);
+                    continue;
+                }
                 let d = prelim.expect("guaranteed request must be assigned");
                 loads[d] += 1;
                 let replica_mask = mask_of(&p.replicas);
@@ -407,6 +593,7 @@ impl WindowRing {
                     req,
                     guaranteed: true,
                     replica_mask,
+                    write_group: None,
                 });
             }
         } else {
@@ -421,13 +608,38 @@ impl WindowRing {
                 .map(|d| drain_mask >> d & 1 == 1)
                 .collect();
             let mut rebuilt = DegradedWindow::new(self.devices, self.accesses, &failed);
-            let placements: Vec<DegradedAdmit> = guaranteed
+            // Writes keep their full fan-out whatever the drain: pre-charge
+            // the rebuilt schedule with one pinned unit per surviving write
+            // replica so read re-dispatch packs around the write load
+            // instead of overcommitting the survivors. Pinned adds on
+            // drained devices report `Unavailable` and charge nothing.
+            let mut next = 0usize;
+            for p in &guaranteed {
+                if p.req.op != IoOp::Write {
+                    continue;
+                }
+                for &d in &p.replicas {
+                    if rebuilt.try_add(&[d]) == DegradedAdmit::Admitted {
+                        next += 1;
+                    }
+                }
+            }
+            let placements: Vec<Option<DegradedAdmit>> = guaranteed
                 .iter()
-                .map(|p| rebuilt.try_add(&p.replicas))
+                .map(|p| {
+                    if p.req.op == IoOp::Write {
+                        None
+                    } else {
+                        Some(rebuilt.try_add(&p.replicas))
+                    }
+                })
                 .collect();
             let rebuilt_assign = rebuilt.assignments();
-            let mut next = 0usize;
             for ((p, prelim), placement) in guaranteed.into_iter().zip(prelim).zip(placements) {
+                let Some(placement) = placement else {
+                    fan_out_write(&mut items, &mut loads, &mut write_groups, &p);
+                    continue;
+                };
                 let d = match placement {
                     DegradedAdmit::Admitted => {
                         let d = rebuilt_assign[next];
@@ -498,10 +710,12 @@ impl WindowRing {
                     req,
                     guaranteed: true,
                     replica_mask,
+                    write_group: None,
                 });
             }
         }
-        let n_guaranteed = items.len() as u64;
+        let n_guaranteed = n_guaranteed - lost.len() as u64;
+        let mut n_overflow = 0u64;
         for p in overflow {
             // Prefer replicas that are neither failed nor detected-slow;
             // fall back to a slow-but-live one before declaring loss.
@@ -527,16 +741,18 @@ impl WindowRing {
             let replica_mask = mask_of(&p.replicas);
             let mut req = p.req;
             req.device = d;
+            n_overflow += 1;
             items.push(SealedItem {
                 tenant: p.tenant,
                 req,
                 guaranteed: false,
                 replica_mask,
+                write_group: None,
             });
         }
         SealedWindow {
             guaranteed: n_guaranteed,
-            total: items.len() as u64,
+            total: n_guaranteed + n_overflow,
             items,
             lost,
         }
@@ -546,6 +762,35 @@ impl WindowRing {
 /// Replica index list → bitmap.
 fn mask_of(replicas: &[usize]) -> u64 {
     replicas.iter().fold(0u64, |m, &d| m | 1 << d)
+}
+
+/// Emit one [`SealedItem`] per replica copy of a logical write, all tagged
+/// with the same `(group, fanout)` so the engine settles the write once
+/// every copy lands. The fan-out deliberately includes replicas the window
+/// did not charge (failed/slow at admission): the worker's bounded retry
+/// against the live health view decides each copy's fate.
+fn fan_out_write(
+    items: &mut Vec<SealedItem>,
+    loads: &mut [u32],
+    write_groups: &mut u32,
+    p: &Parked,
+) {
+    let group = *write_groups;
+    *write_groups += 1;
+    let fanout = p.replicas.len() as u32;
+    let replica_mask = mask_of(&p.replicas);
+    for &d in &p.replicas {
+        loads[d] += 1;
+        let mut req = p.req;
+        req.device = d;
+        items.push(SealedItem {
+            tenant: p.tenant,
+            req,
+            guaranteed: true,
+            replica_mask,
+            write_group: Some((group, fanout)),
+        });
+    }
 }
 
 #[cfg(test)]
@@ -849,6 +1094,130 @@ mod tests {
         assert_eq!(sealed.total, 1);
         assert_eq!(sealed.items[0].req.device, 0, "control arm: no drain");
         assert_eq!(fault.retries(), 0);
+    }
+
+    fn wreq(id: u64) -> IoRequest {
+        IoRequest::write_block(id, 0, 0, id)
+    }
+
+    const BOTH_MODES: [AssignmentMode; 2] = [AssignmentMode::OptimalFlow, AssignmentMode::Eft];
+
+    #[test]
+    fn write_charges_capacity_on_every_replica() {
+        for mode in BOTH_MODES {
+            let r = ring(mode); // 3 devices, M = 1
+            assert!(r.try_admit(0, 1, 9, wreq(1), &[0, 1]).is_admitted());
+            // The write consumed the single slot on both replicas.
+            assert_eq!(r.try_admit(0, 1, 9, req(2), &[0]), AdmitResult::Full);
+            assert_eq!(r.try_admit(0, 1, 9, req(3), &[1]), AdmitResult::Full);
+            assert!(r.try_admit(0, 1, 9, req(4), &[2]).is_admitted());
+            let sealed = r.seal(0);
+            assert_eq!(sealed.guaranteed, 2, "logical: one write + one read");
+            assert_eq!(sealed.total, 2);
+            assert_eq!(sealed.items.len(), 3, "write fans out to both replicas");
+            let copies: Vec<_> = sealed
+                .items
+                .iter()
+                .filter(|i| i.write_group.is_some())
+                .collect();
+            assert_eq!(copies.len(), 2);
+            assert!(copies.iter().all(|i| i.write_group == Some((0, 2))));
+            let mut devs: Vec<usize> = copies.iter().map(|i| i.req.device).collect();
+            devs.sort_unstable();
+            assert_eq!(devs, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn write_refusal_rolls_back_partial_charges() {
+        for mode in BOTH_MODES {
+            let r = ring(mode);
+            assert!(r.try_admit(0, 1, 9, req(1), &[0]).is_admitted());
+            // Device 0 is full: the write cannot charge its whole fan-out.
+            assert_eq!(r.try_admit(0, 1, 9, wreq(2), &[0, 1]), AdmitResult::Full);
+            // The refused attempt must not leak capacity onto device 1.
+            assert!(r.try_admit(0, 1, 9, req(3), &[1]).is_admitted());
+            assert!(r.try_admit(0, 1, 9, req(4), &[2]).is_admitted());
+            assert_eq!(r.seal(0).total, 3);
+        }
+    }
+
+    #[test]
+    fn writes_never_park_as_overflow() {
+        let r = ring(AssignmentMode::Eft);
+        assert!(!r.add_overflow(0, 1, wreq(1), &[0, 1]));
+        assert_eq!(r.seal(0).total, 0);
+    }
+
+    #[test]
+    fn write_on_all_failed_replicas_is_unavailable_but_all_slow_is_full() {
+        let fault =
+            Arc::new(FaultPlane::new(3, FaultSchedule::new().fail(0, 0).fail(1, 0)).unwrap());
+        let r = WindowRing::new(WINDOW_RING, 3, 1, AssignmentMode::OptimalFlow, fault, true);
+        assert_eq!(
+            r.try_admit(0, 1, 9, wreq(1), &[0, 1]),
+            AdmitResult::Unavailable
+        );
+
+        let slow = healthy(3);
+        condemn(&slow, 0);
+        condemn(&slow, 1);
+        let r = WindowRing::new(WINDOW_RING, 3, 1, AssignmentMode::Eft, slow, true);
+        assert_eq!(
+            r.try_admit(0, 1, 9, wreq(2), &[0, 1]),
+            AdmitResult::Full,
+            "slow replicas are congestion: delay the write, don't refuse it"
+        );
+    }
+
+    #[test]
+    fn write_with_one_failed_replica_charges_survivor_but_fans_to_both() {
+        let fault =
+            Arc::new(FaultPlane::new(3, FaultSchedule::new().fail(0, 0).recover(0, 8)).unwrap());
+        let r = WindowRing::new(
+            WINDOW_RING,
+            3,
+            1,
+            AssignmentMode::OptimalFlow,
+            Arc::clone(&fault),
+            true,
+        );
+        assert!(r.try_admit(0, 1, 9, wreq(1), &[0, 1]).is_admitted());
+        // Only the live replica was charged — and it is now full.
+        assert_eq!(r.try_admit(0, 1, 9, req(2), &[1]), AdmitResult::Full);
+        let sealed = r.seal(0);
+        assert_eq!(sealed.guaranteed, 1);
+        assert_eq!(
+            sealed.items.len(),
+            2,
+            "fan-out still targets the failed replica; the worker decides its fate"
+        );
+        assert!(sealed.items.iter().all(|i| i.write_group == Some((0, 2))));
+    }
+
+    #[test]
+    fn gc_reserve_shrinks_window_capacity() {
+        for mode in BOTH_MODES {
+            let fault = healthy(3);
+            // Sustained WA-3 writes on device 0: with M = 2 the reserve
+            // withholds one of its two slots.
+            for _ in 0..64 {
+                fault.observe_gc(0, 1, 3);
+            }
+            let r = WindowRing::new(WINDOW_RING, 3, 2, mode, Arc::clone(&fault), true);
+            assert!(r.try_admit(0, 1, 99, req(1), &[0]).is_admitted());
+            assert_eq!(
+                r.try_admit(0, 1, 99, req(2), &[0]),
+                AdmitResult::Full,
+                "GC pressure withheld the second slot"
+            );
+            // Devices without GC pressure keep their full budget.
+            assert!(r.try_admit(0, 1, 99, req(3), &[1]).is_admitted());
+            assert!(r.try_admit(0, 1, 99, req(4), &[1]).is_admitted());
+            let sealed = r.seal(0);
+            assert_eq!(sealed.total, 3);
+            assert!(sealed.items.iter().all(|i| i.write_group.is_none()));
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@ use fqos_decluster::{AllocationScheme, DesignTheoretic};
 use fqos_designs::DesignCatalog;
 use fqos_flashsim::time::{BASE_INTERVAL_NS, BLOCK_READ_NS};
 use fqos_server::{
-    AssignmentMode, FaultSchedule, MetricsSnapshot, QosServer, ServerConfig, SubmitOutcome,
+    AssignmentMode, FaultSchedule, GcConfig, IoOp, MetricsSnapshot, QosServer, ServerConfig,
+    SubmitOutcome,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -92,6 +93,15 @@ pub struct Scenario {
     pub stream: u64,
     pub workers: usize,
     pub queue_depth: usize,
+    /// Fraction of the trace issued as writes (fanned out to every
+    /// replica by the engine). 0.0 keeps the historical read-only stream
+    /// byte-identical — the op draw is skipped entirely.
+    pub write_fraction: f64,
+    /// FTL write/GC model attached to every worker device.
+    pub gc: Option<GcConfig>,
+    /// Speculative re-dispatch of late reads (on by default, matching the
+    /// server default); GC-storm scenarios compare both settings.
+    pub hedging: bool,
     /// Crash-child only: after the trace, deregister this tenant (while
     /// its tail windows are still unsealed) and abort — the recipe for a
     /// durable `DrainPending` state.
@@ -114,9 +124,30 @@ impl Scenario {
             stream: 0,
             workers: 4,
             queue_depth: 16,
+            write_fraction: 0.0,
+            gc: None,
+            hedging: true,
             deregister_after: None,
             design: (0, 0, 0),
         }
+    }
+
+    /// Issue `fraction` of the trace as writes (0.0–1.0).
+    pub fn write_fraction(mut self, fraction: f64) -> Self {
+        self.write_fraction = fraction;
+        self
+    }
+
+    /// Attach an FTL write/GC model to every worker device.
+    pub fn gc(mut self, gc: GcConfig) -> Self {
+        self.gc = Some(gc);
+        self
+    }
+
+    /// Enable or disable hedged reads.
+    pub fn hedging(mut self, on: bool) -> Self {
+        self.hedging = on;
+        self
     }
 
     /// See [`Scenario::deregister_after`].
@@ -149,34 +180,32 @@ impl Scenario {
     pub fn replay(self) -> Replay {
         let interval_ns = self.qos.interval_ns;
         let pool = AllocationScheme::num_buckets(&self.qos.scheme) as u64;
-        let server = QosServer::new(
-            ServerConfig::new(self.qos)
-                .with_workers(self.workers)
-                .with_queue_depth(self.queue_depth)
-                .with_assignment(self.mode)
-                .with_fault_schedule(self.schedule),
-        )
-        .expect("scenario config");
+        let mut cfg = ServerConfig::new(self.qos)
+            .with_workers(self.workers)
+            .with_queue_depth(self.queue_depth)
+            .with_assignment(self.mode)
+            .with_fault_schedule(self.schedule)
+            .with_hedging(self.hedging);
+        if let Some(g) = self.gc {
+            cfg = cfg.with_gc_model(g);
+        }
+        let server = QosServer::new(cfg).expect("scenario config");
         for &(t, r, p) in &self.tenants {
             server.register(t, r, p).expect("scenario registration");
         }
-        // Merge the per-tenant traces into one arrival-ordered stream.
-        let mut events: Vec<(u64, u64, u64)> = Vec::new();
-        for &(tenant, rate, _) in &self.tenants {
-            let mut rng = rng(self.stream.wrapping_mul(101).wrapping_add(tenant));
-            for w in 0..self.windows {
-                for _ in 0..rate {
-                    let lbn = rng.gen_range(0..pool);
-                    let at = w * interval_ns + rng.gen_range(0..interval_ns);
-                    events.push((at, tenant, lbn));
-                }
-            }
-        }
-        events.sort_unstable();
+        let events = merged_events(
+            &self.tenants,
+            self.windows,
+            self.stream,
+            interval_ns,
+            pool,
+            self.write_fraction,
+        );
         let (mut submitted, mut rejected) = (0u64, 0u64);
         let mut h = server.handle();
-        for &(at, tenant, lbn) in &events {
-            if let SubmitOutcome::Rejected(_) = h.submit(tenant, lbn, at) {
+        for &(at, tenant, lbn, is_write) in &events {
+            let op = if is_write { IoOp::Write } else { IoOp::Read };
+            if let SubmitOutcome::Rejected(_) = h.submit_op(tenant, lbn, at, op) {
                 rejected += 1;
             }
             submitted += 1;
@@ -210,10 +239,11 @@ pub fn assert_guarantee_held(r: &Replay) {
         m.hedges_won, m.hedges_cancelled,
         "a hedge win must cancel exactly one primary"
     );
+    assert_eq!(m.write_lost, 0, "logical write lost a replica");
     assert_eq!(
-        m.served + m.fault_lost + m.hedges_cancelled,
+        m.settled(),
         m.admitted_total(),
-        "admitted and completed diverge"
+        "admitted and settled diverge"
     );
     assert_eq!(m.rejected, r.rejected, "rejection accounting diverges");
     assert_eq!(
@@ -264,23 +294,27 @@ pub fn scratch_path(tag: &str) -> std::path::PathBuf {
 }
 
 /// Merge per-tenant seeded traces into one arrival-ordered
-/// `(arrival_ns, tenant, lbn)` stream — the same derivation
+/// `(arrival_ns, tenant, lbn, is_write)` stream — the same derivation
 /// [`Scenario::replay`] uses, so parent and child agree on the trace.
+/// With `write_fraction == 0.0` the op draw is skipped, keeping the
+/// read-only stream identical to the historical derivation.
 fn merged_events(
     tenants: &[(u64, usize, OverloadPolicy)],
     windows: u64,
     stream: u64,
     interval_ns: u64,
     pool: u64,
-) -> Vec<(u64, u64, u64)> {
-    let mut events: Vec<(u64, u64, u64)> = Vec::new();
+    write_fraction: f64,
+) -> Vec<(u64, u64, u64, bool)> {
+    let mut events: Vec<(u64, u64, u64, bool)> = Vec::new();
     for &(tenant, rate, _) in tenants {
         let mut rng = rng(stream.wrapping_mul(101).wrapping_add(tenant));
         for w in 0..windows {
             for _ in 0..rate {
                 let lbn = rng.gen_range(0..pool);
                 let at = w * interval_ns + rng.gen_range(0..interval_ns);
-                events.push((at, tenant, lbn));
+                let is_write = write_fraction > 0.0 && rng.gen_bool(write_fraction);
+                events.push((at, tenant, lbn, is_write));
             }
         }
     }
@@ -299,14 +333,19 @@ impl Scenario {
     }
 
     /// Serialize for `FQOS_CRASH_SCENARIO`:
-    /// `n,c,m,windows,stream,workers,queue_depth;tenant:rate:policy;...`
-    /// (policy `d`elay / `r`eject). Requires [`Scenario::sized`].
+    /// `n,c,m,windows,stream,workers,queue_depth,writepct;tenant:rate:policy;...`
+    /// (policy `d`elay / `r`eject; `writepct` is the write fraction in
+    /// percent). Requires [`Scenario::sized`].
     pub fn to_spec(&self) -> String {
         let (n, c, m) = self.design;
         assert!(n != 0, "to_spec needs a Scenario::sized scenario");
         let mut spec = format!(
-            "{n},{c},{m},{},{},{},{}",
-            self.windows, self.stream, self.workers, self.queue_depth
+            "{n},{c},{m},{},{},{},{},{}",
+            self.windows,
+            self.stream,
+            self.workers,
+            self.queue_depth,
+            (self.write_fraction * 100.0).round() as u64
         );
         for &(t, r, p) in &self.tenants {
             let p = match p {
@@ -328,14 +367,15 @@ impl Scenario {
             .collect();
         assert_eq!(
             nums.len(),
-            7,
-            "spec head: n,c,m,windows,stream,workers,depth"
+            8,
+            "spec head: n,c,m,windows,stream,workers,depth,writepct"
         );
         let mut s = Scenario::sized(nums[0] as usize, nums[1] as usize, nums[2] as usize);
         s.windows = nums[3];
         s.stream = nums[4];
         s.workers = nums[5] as usize;
         s.queue_depth = nums[6] as usize;
+        s.write_fraction = nums[7] as f64 / 100.0;
         for t in parts {
             let f: Vec<&str> = t.split(':').collect();
             assert_eq!(f.len(), 3, "tenant spec: id:rate:policy");
@@ -424,12 +464,15 @@ impl Scenario {
         let server = QosServer::recover(self.wal_config(wal_dir)).expect("recover");
         let m = server.finish();
         assert_eq!(
-            m.served + m.fault_lost + m.hedges_cancelled,
+            m.settled(),
             m.admitted_total(),
-            "recovered accounting diverges: served {} + lost {} + cancelled {} != admitted {}",
+            "recovered accounting diverges: served {} + write_settled {} + lost {} \
+             + cancelled {} + write_lost {} != admitted {}",
             m.served,
+            m.write_settled,
             m.fault_lost,
             m.hedges_cancelled,
+            m.write_lost,
             m.admitted_total()
         );
         assert_eq!(
@@ -476,11 +519,13 @@ pub fn crash_child_entry() {
         scenario.stream,
         interval_ns,
         pool,
+        scenario.write_fraction,
     );
     let mut acks = std::fs::File::create(&acks_path).expect("acks file");
     let mut h = server.handle();
-    for &(at, tenant, lbn) in &events {
-        let outcome = h.submit(tenant, lbn, at);
+    for &(at, tenant, lbn, is_write) in &events {
+        let op = if is_write { IoOp::Write } else { IoOp::Read };
+        let outcome = h.submit_op(tenant, lbn, at, op);
         if !matches!(outcome, SubmitOutcome::Rejected(_)) {
             // The ack line is the durability promise made to the caller:
             // with fsync_batch = 1 the admit record hit stable storage

@@ -132,6 +132,34 @@ fn recovery_after_a_mid_compaction_crash_does_not_double_apply_the_log() {
     );
 }
 
+/// A crash between the last replica landing and the write's settle record:
+/// the fan-out group is fully programmed on flash but never settled in the
+/// log, so recovery must resolve the whole logical write as crash-lost —
+/// once, not once per replica — and the extended law still closes.
+#[test]
+fn recovery_after_a_mid_write_settle_crash_resolves_the_group_once() {
+    let scenario = crash_scenario(17).write_fraction(0.5);
+    let wal_dir = scratch_path("wal-write-settle");
+    let run = scenario.spawn_with_crash_point("crash_child", &wal_dir, Some("wal-write-settle:8"));
+    assert!(
+        run.aborted,
+        "the 8th write settle lands well inside the trace"
+    );
+    let m = scenario.recover_and_verify(&wal_dir);
+    assert!(
+        m.admitted_total() >= run.acked,
+        "recovery lost acked admissions: admitted {} < acked {}",
+        m.admitted_total(),
+        run.acked
+    );
+    assert!(
+        m.write_settled + m.fault_lost > 0,
+        "at least the seven pre-crash settles (or their crash-loss \
+         residues) must survive recovery"
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
 /// Without a crash the WAL round-trips losslessly: recovery finds every
 /// acked admission already settled and re-parks nothing.
 #[test]

@@ -18,8 +18,8 @@ mod common;
 use common::{assert_guarantee_held, bucket_replicas, qos, Scenario};
 use fqos_core::OverloadPolicy;
 use fqos_server::{
-    AssignmentMode, FaultSchedule, MetricsSnapshot, QosServer, RejectReason, ServerConfig,
-    SubmitOutcome, WINDOW_RING,
+    AssignmentMode, FaultSchedule, FtlGeometry, GcConfig, MetricsSnapshot, QosServer, RejectReason,
+    ServerConfig, SubmitOutcome, WINDOW_RING,
 };
 use rand::Rng;
 
@@ -348,5 +348,77 @@ fn window_ring_wraparound_recycles_fault_views() {
         m.degraded_windows >= 100,
         "both laps' failure spans ran degraded, saw {}",
         m.degraded_windows
+    );
+}
+
+/// The GC-storm robustness claim, deterministically: sustained writes on a
+/// low-over-provisioning FTL trigger garbage collection whose relocation
+/// and erase stalls interfere with reads. The array must degrade
+/// gracefully — writes shed into later windows at admission, the extended
+/// conservation law closes, no write loses a replica — and hedging must
+/// carry the read guarantee: ≥ 99% of reads meet their deadline with
+/// hedging on, measurably more misses with it off.
+#[test]
+fn gc_storm_sheds_writes_and_hedging_holds_read_compliance() {
+    let storm = |hedging: bool| {
+        // 48 pages per device with 25% held back: every handful of write
+        // windows fills the free pool and forces an erase. Erases cost a
+        // sixteenth of a block read — enough to shove an exactly-packed
+        // replica past its deadline, small enough that a hedge to an idle
+        // replica still lands in time.
+        let geometry = FtlGeometry {
+            dies: 1,
+            blocks_per_die: 12,
+            pages_per_block: 4,
+            overprovision: 0.25,
+        };
+        let mut gc = GcConfig::new(geometry);
+        gc.erase_ns = fqos_flashsim::BLOCK_READ_NS / 16;
+        Scenario::new(qos(9, 3, 2), FaultSchedule::new())
+            .windows(400)
+            .stream(11)
+            .hedging(hedging)
+            .write_fraction(0.5)
+            .gc(gc)
+            .tenant(1, 2, OverloadPolicy::Delay)
+            .tenant(2, 1, OverloadPolicy::Delay)
+            .replay()
+    };
+    let on = storm(true);
+    let off = storm(false);
+    for (name, r) in [("hedging-on", &on), ("hedging-off", &off)] {
+        let m = &r.metrics;
+        // Extended law: served + write_settled + fault_lost +
+        // hedges_cancelled + write_lost == admitted_total.
+        assert_eq!(m.settled(), m.admitted_total(), "{name}: law violated");
+        assert_eq!(m.hedges_won, m.hedges_cancelled, "{name}");
+        assert_eq!(m.write_lost, 0, "{name}: no device ever failed");
+        assert_eq!(m.fault_lost, 0, "{name}");
+        assert!(m.write_settled > 0, "{name}: storm carried writes");
+        // The storm actually stormed: GC erased blocks and relocated pages.
+        assert!(m.gc_erases > 0, "{name}: GC never ran");
+        assert!(
+            m.delayed > 0,
+            "{name}: feasibility must shed some of the 3x-charged writes \
+             into later windows"
+        );
+    }
+    let compliance = |m: &MetricsSnapshot| {
+        100.0 * (1.0 - m.guaranteed_violations as f64 / m.served.max(1) as f64)
+    };
+    let (c_on, c_off) = (compliance(&on.metrics), compliance(&off.metrics));
+    assert!(
+        c_on >= 99.0,
+        "hedging-on read compliance {c_on:.2}% < 99% \
+         ({} violations / {} reads)",
+        on.metrics.guaranteed_violations,
+        on.metrics.served
+    );
+    assert!(
+        off.metrics.guaranteed_violations > on.metrics.guaranteed_violations,
+        "hedging-off must be measurably worse: off {} violations \
+         ({c_off:.2}%) vs on {} ({c_on:.2}%)",
+        off.metrics.guaranteed_violations,
+        on.metrics.guaranteed_violations
     );
 }

@@ -34,7 +34,7 @@
 mod common;
 
 use fqos_core::{OverloadPolicy, QosConfig};
-use fqos_server::{QosServer, ServerConfig, SubmitOutcome};
+use fqos_server::{FtlGeometry, GcConfig, IoOp, QosServer, ServerConfig, SubmitOutcome};
 use interleave::{model_with, Config, Report};
 
 /// A 2-worker, 8-slot-ring configuration small enough for exhaustive
@@ -526,4 +526,145 @@ fn evacuate_vs_seal_lands_the_displaced_tenant_exactly_once() {
         assert_eq!(t2.in_flight(), 0, "evacuated work fully settled");
     });
     report_and_check("evacuate-vs-seal", report, 1000);
+}
+
+/// Write fan-out races the seal: two submitter threads push writes (plus
+/// one read) through overlapping windows while seals dispatch each write
+/// to all three of its bucket's replicas. The settle is a
+/// `fetch_sub(1, AcqRel) == 1` on the group's remaining-copies counter,
+/// so depending on the schedule the last copy lands before, during, or
+/// after the next window's seal. On every schedule the extended law must
+/// close — `served + write_settled + fault_lost + hedges_cancelled +
+/// write_lost == admitted_total` — each logical write settles exactly
+/// once (never once per replica), and no write is lost with every device
+/// healthy.
+#[test]
+fn write_fanout_vs_seal_settles_each_group_once() {
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 4096,
+        ..Config::default()
+    };
+    let report = model_with(bounds, || {
+        let server = QosServer::new(model_cfg()).unwrap();
+        let t_ns = server.config().qos.interval_ns;
+        server.register(1, 2, OverloadPolicy::Delay).unwrap();
+        server.register(2, 2, OverloadPolicy::Delay).unwrap();
+        let mut ha = server.handle();
+        let mut hb = server.handle();
+        let a = interleave::thread::spawn(move || {
+            let mut tally = Tally::default();
+            for &(lbn, at, op) in &[(0, 0, IoOp::Write), (1, t_ns, IoOp::Read)] {
+                match ha.submit_op(1, lbn, at, op) {
+                    SubmitOutcome::Rejected(_) => tally.rejected += 1,
+                    _ => tally.admitted += 1,
+                }
+            }
+            tally
+        });
+        let b = interleave::thread::spawn(move || {
+            let mut tally = Tally::default();
+            match hb.submit_op(2, 2, 0, IoOp::Write) {
+                SubmitOutcome::Rejected(_) => tally.rejected += 1,
+                _ => tally.admitted += 1,
+            }
+            tally
+        });
+        let ta = a.join().unwrap();
+        let tb = b.join().unwrap();
+        let m = server.finish();
+        assert_eq!(ta.admitted + tb.admitted, m.admitted_total());
+        assert_eq!(m.admitted_total() + m.rejected, 3);
+        assert_eq!(
+            m.served + m.write_settled + m.fault_lost + m.hedges_cancelled + m.write_lost,
+            m.admitted_total(),
+            "extended conservation"
+        );
+        assert!(
+            m.write_settled <= 2,
+            "a fan-out group must settle once, not once per replica: {}",
+            m.write_settled
+        );
+        assert_eq!(m.write_lost, 0, "every device is healthy");
+        assert_eq!(m.fault_lost, 0, "no faults were injected");
+        assert_eq!(m.hedges_issued, 0, "healthy devices never speculate");
+        assert_eq!(m.guaranteed_violations, 0, "deadline audit");
+    });
+    report_and_check("write-fanout-vs-seal", report, 1000);
+}
+
+/// A GC stall races the hedge decision: writes into a four-page FTL force
+/// garbage collection whose erase stalls land on the same replicas a
+/// racing read's dispatch and hedge logic are timing against, while an
+/// injector degrades and restores one replica to push the scorer toward
+/// speculation. Whatever the schedule: the extended law closes, only the
+/// read may ever be hedged (a write fans out to every replica already —
+/// duplicating one would double-program a page), each write settles
+/// exactly once, and a stalled-but-live device loses nothing.
+#[test]
+fn gc_stall_vs_hedge_never_duplicates_a_write() {
+    let replicas = common::bucket_replicas(9, 3, 0);
+    let slow = replicas[0];
+    let bounds = Config {
+        preemptions: 2,
+        max_schedules: 4096,
+        ..Config::default()
+    };
+    let report = model_with(bounds, move || {
+        // Four pages per device, one quarter held back: the second write
+        // to the bucket already has GC relocating and erasing under the
+        // read it races.
+        let geometry = FtlGeometry {
+            dies: 1,
+            blocks_per_die: 2,
+            pages_per_block: 2,
+            overprovision: 0.25,
+        };
+        let cfg = model_cfg().with_gc_model(GcConfig::new(geometry));
+        let server = QosServer::new(cfg).unwrap();
+        server.register(1, 2, OverloadPolicy::Delay).unwrap();
+        let mut hs = server.handle();
+        let hf = server.handle();
+        let submitter = interleave::thread::spawn(move || {
+            // Same bucket throughout: the writes program (and GC) exactly
+            // the replica set the read dispatches against.
+            let mut tally = Tally::default();
+            for &(at, op) in &[(0, IoOp::Write), (0, IoOp::Write), (0, IoOp::Read)] {
+                match hs.submit_op(1, 0, at, op) {
+                    SubmitOutcome::Rejected(_) => tally.rejected += 1,
+                    _ => tally.admitted += 1,
+                }
+            }
+            tally
+        });
+        let injector = interleave::thread::spawn(move || {
+            hf.degrade_device(slow, 10).unwrap();
+            hf.restore_device(slow).unwrap();
+        });
+        let ts = submitter.join().unwrap();
+        injector.join().unwrap();
+        let m = server.finish();
+        assert_eq!(ts.admitted, m.admitted_total());
+        assert_eq!(m.admitted_total() + m.rejected, 3);
+        assert_eq!(
+            m.served + m.write_settled + m.fault_lost + m.hedges_cancelled + m.write_lost,
+            m.admitted_total(),
+            "extended conservation"
+        );
+        assert_eq!(m.hedges_won, m.hedges_cancelled, "exactly-once hedging");
+        assert!(
+            m.hedges_issued <= 1,
+            "only the single read may speculate; a hedged write would \
+             double-program a page ({} hedges issued)",
+            m.hedges_issued
+        );
+        assert!(
+            m.write_settled <= 2,
+            "each fan-out group settles once: {}",
+            m.write_settled
+        );
+        assert_eq!(m.write_lost, 0, "a GC stall delays a write, never loses it");
+        assert_eq!(m.fault_lost, 0, "slow devices stay live; nothing is lost");
+    });
+    report_and_check("gc-stall-vs-hedge", report, 1000);
 }

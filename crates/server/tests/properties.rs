@@ -356,20 +356,24 @@ proptest! {
         two_tenants in any::<bool>(),
         windows in 8..24u64,
         stream in any::<u64>(),
-        point_idx in 0..=5usize,
+        point_idx in 0..=6usize,
         nth in 1..=30u64,
+        write_pct in 0..=50u64,
     ) {
         let (n, c) = DESIGNS[design_idx % DESIGNS.len()];
         let mut scenario = common::Scenario::sized(n, c, m)
             .windows(windows)
             .stream(stream)
+            .write_fraction(write_pct as f64 / 100.0)
             .tenant(1, 1, OverloadPolicy::Delay);
         if two_tenants {
             scenario = scenario.tenant(2, 1, OverloadPolicy::Reject);
         }
-        // Index 5 (one past the named points) means "no crash"; a named
+        // Index 6 (one past the named points) means "no crash"; a named
         // point whose `nth` hit never occurs also exits cleanly, which the
-        // clean-run branch below must accept.
+        // clean-run branch below must accept. The write fraction mixes
+        // replica fan-out groups into the trace, so crashes can now land
+        // with a write group half-programmed across its replicas.
         let point = CRASH_POINTS.get(point_idx).map(|p| format!("{p}:{nth}"));
         let wal_dir = common::scratch_path(&format!("prop-{stream}-{point_idx}"));
         let run = scenario.spawn_with_crash_point("crash_child", &wal_dir, point.as_deref());

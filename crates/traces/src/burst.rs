@@ -1,0 +1,206 @@
+//! Flash-crowd burst generator.
+//!
+//! The synthetic generator (§V-B1) issues a constant number of blocks per
+//! interval; GC-storm and graceful-degradation experiments need the
+//! opposite — a calm baseline rate punctuated by a *flash crowd* where the
+//! arrival rate jumps for a bounded episode, with a tunable share of the
+//! traffic being writes (each of which fans out to every replica
+//! downstream). The generator is deterministic per seed so scenarios can
+//! pin exact admission decisions.
+
+use crate::record::{Trace, TraceRecord};
+use fqos_flashsim::{IoOp, SimTime, BLOCK_SIZE_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the flash-crowd generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstConfig {
+    /// Block requests per interval outside the burst episode.
+    pub base_blocks_per_interval: usize,
+    /// Block requests per interval during the burst (the crowd height).
+    pub burst_blocks_per_interval: usize,
+    /// First interval of the burst episode.
+    pub burst_start_interval: u64,
+    /// Length of the burst episode in intervals (0 = no burst).
+    pub burst_intervals: u64,
+    /// Total intervals generated.
+    pub total_intervals: u64,
+    /// Interval duration `T`.
+    pub interval_ns: SimTime,
+    /// Size of the block pool to draw from (blocks are distinct within an
+    /// interval, matching [`crate::synthetic::SyntheticConfig`]).
+    pub block_pool: u64,
+    /// Fraction of records issued as writes (0.0–1.0).
+    pub write_fraction: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl BurstConfig {
+    /// A flash crowd over the rotated `(9,3,1)` design's 36 buckets:
+    /// `base` blocks per interval, jumping to `burst` for `burst_len`
+    /// intervals starting at `start`.
+    pub fn flash_crowd(
+        base: usize,
+        burst: usize,
+        start: u64,
+        burst_len: u64,
+        total: u64,
+        interval_ns: SimTime,
+    ) -> Self {
+        BurstConfig {
+            base_blocks_per_interval: base,
+            burst_blocks_per_interval: burst,
+            burst_start_interval: start,
+            burst_intervals: burst_len,
+            total_intervals: total,
+            interval_ns,
+            block_pool: 36,
+            write_fraction: 0.0,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Set the write share of the generated traffic.
+    pub fn with_write_fraction(mut self, fraction: f64) -> Self {
+        self.write_fraction = fraction;
+        self
+    }
+
+    /// Requests generated for `interval`.
+    pub fn rate_at(&self, interval: u64) -> usize {
+        let in_burst = self.burst_intervals > 0
+            && interval >= self.burst_start_interval
+            && interval < self.burst_start_interval + self.burst_intervals;
+        if in_burst {
+            self.burst_blocks_per_interval
+        } else {
+            self.base_blocks_per_interval
+        }
+    }
+
+    /// Generate the trace: every interval issues its rate's worth of
+    /// distinct blocks at the interval start, each independently a write
+    /// with probability `write_fraction`.
+    pub fn generate(&self) -> Trace {
+        assert!(self.base_blocks_per_interval > 0 && self.block_pool > 0);
+        assert!(
+            (0.0..=1.0).contains(&self.write_fraction),
+            "write_fraction {} outside 0.0..=1.0",
+            self.write_fraction
+        );
+        let peak = if self.burst_intervals > 0 {
+            self.base_blocks_per_interval
+                .max(self.burst_blocks_per_interval)
+        } else {
+            self.base_blocks_per_interval
+        };
+        assert!(
+            peak as u64 <= self.block_pool,
+            "cannot draw more distinct blocks than the pool holds"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut pool: Vec<u64> = (0..self.block_pool).collect();
+        let mut records = Vec::new();
+        for interval in 0..self.total_intervals {
+            let n = self.rate_at(interval);
+            let arrival = interval * self.interval_ns;
+            // Partial Fisher–Yates: the first n pool entries are the draw.
+            for i in 0..n {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+                let op = if rng.gen_bool(self.write_fraction) {
+                    IoOp::Write
+                } else {
+                    IoOp::Read
+                };
+                records.push(TraceRecord {
+                    arrival_ns: arrival,
+                    device: 0,
+                    lbn: pool[i],
+                    size_bytes: BLOCK_SIZE_BYTES,
+                    op,
+                });
+            }
+        }
+        Trace::new(
+            format!(
+                "flash-crowd-{}x{}@{}+{}w{:.0}%",
+                self.base_blocks_per_interval,
+                self.burst_blocks_per_interval,
+                self.burst_start_interval,
+                self.burst_intervals,
+                self.write_fraction * 100.0
+            ),
+            records,
+            1,
+            self.interval_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqos_flashsim::time::BASE_INTERVAL_NS;
+
+    #[test]
+    fn burst_episode_has_the_crowd_rate() {
+        let cfg = BurstConfig::flash_crowd(3, 12, 5, 4, 20, BASE_INTERVAL_NS);
+        let t = cfg.generate();
+        let sizes: Vec<usize> = t.intervals().map(<[TraceRecord]>::len).collect();
+        assert_eq!(sizes.len(), 20);
+        for (i, &s) in sizes.iter().enumerate() {
+            let want = if (5..9).contains(&i) { 12 } else { 3 };
+            assert_eq!(s, want, "interval {i}");
+        }
+        assert_eq!(t.len(), 16 * 3 + 4 * 12);
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let cfg = BurstConfig::flash_crowd(10, 20, 10, 10, 100, BASE_INTERVAL_NS)
+            .with_write_fraction(0.4);
+        let t = cfg.generate();
+        let writes = t.records.iter().filter(|r| r.op == IoOp::Write).count();
+        let frac = writes as f64 / t.len() as f64;
+        assert!((frac - 0.4).abs() < 0.05, "write fraction {frac}");
+    }
+
+    #[test]
+    fn blocks_are_distinct_within_each_interval() {
+        let cfg = BurstConfig::flash_crowd(8, 30, 2, 3, 10, BASE_INTERVAL_NS);
+        let t = cfg.generate();
+        for iv in t.intervals() {
+            let mut lbns: Vec<u64> = iv.iter().map(|r| r.lbn).collect();
+            lbns.sort_unstable();
+            lbns.dedup();
+            assert_eq!(lbns.len(), iv.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg =
+            BurstConfig::flash_crowd(5, 15, 3, 2, 12, BASE_INTERVAL_NS).with_write_fraction(0.3);
+        assert_eq!(cfg.generate().records, cfg.generate().records);
+        let mut other = cfg;
+        other.seed = 1;
+        assert_ne!(other.generate().records, cfg.generate().records);
+    }
+
+    #[test]
+    fn no_burst_degenerates_to_constant_rate() {
+        let cfg = BurstConfig::flash_crowd(4, 99, 0, 0, 8, BASE_INTERVAL_NS);
+        let t = cfg.generate();
+        assert_eq!(t.len(), 32);
+        assert!(t.intervals().all(|iv| iv.len() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct blocks")]
+    fn crowd_higher_than_the_pool_is_refused() {
+        BurstConfig::flash_crowd(5, 40, 0, 1, 2, BASE_INTERVAL_NS).generate();
+    }
+}

@@ -13,6 +13,7 @@
 //! * [`record`] — trace records and the [`Trace`] container.
 //! * [`ascii`] — DiskSim-style ASCII trace parsing/emission.
 //! * [`synthetic`] — the paper's synthetic generator.
+//! * [`burst`] — flash-crowd burst generator with tunable write share.
 //! * [`arrivals`] — bursty (Poisson-modulated) arrival processes.
 //! * [`models`] — the Exchange and TPC-E workload models.
 //! * [`stats`] — per-interval trace statistics (Fig. 6).
@@ -30,12 +31,14 @@
 
 pub mod arrivals;
 pub mod ascii;
+pub mod burst;
 pub mod models;
 pub mod record;
 pub mod rw;
 pub mod stats;
 pub mod synthetic;
 
+pub use burst::BurstConfig;
 pub use record::{Trace, TraceRecord};
 pub use stats::TraceIntervalStats;
 pub use synthetic::SyntheticConfig;

@@ -50,6 +50,8 @@ const SETTLE: &[(&str, &str)] = &[
     ("fault_lost", "lost"),
     ("hedges_cancelled", "hedges_cancelled"),
     ("evacuation_lost", "evacuation_lost"),
+    ("write_settled", "write_settled"),
+    ("write_lost", "write_lost"),
 ];
 
 /// Transit counter: moves admissions between arrays, settled elsewhere.

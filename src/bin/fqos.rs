@@ -16,6 +16,7 @@
 //! fqos serve    --devices 9 [--copies 3] [--accesses 1] [--workers 4]
 //!               [--submitters 3] [--windows 500] [--epsilon 0.0]
 //!               [--queue-depth 64] [--mode flow|eft] [--seed N]
+//!               [--write-ratio F] [--burst HEIGHT@START+LEN] [--gc OP]
 //!               [--fault-schedule "fail:D@W,recover:D@W,slow:D@W[xF],restore:D@W,..."]
 //!               [--no-hedge] [--wal-dir DIR [--wal-batch N] [--wal-snapshot K]]
 //!               [--recover]
@@ -28,6 +29,13 @@
 //!     then also reports degraded windows, re-routes, losses, and the
 //!     fail-slow counters (detections, hedges, retries). `--no-hedge`
 //!     disables speculative re-dispatch so the two runs can be compared.
+//!     `--write-ratio` converts that share of the workload into writes,
+//!     each fanned out to all `c` replicas; `--burst HEIGHT@START+LEN`
+//!     spikes every tenant's rate to HEIGHT blocks per window for LEN
+//!     windows starting at START (a flash crowd); `--gc OP` turns on the
+//!     FTL write/GC model at over-provisioning OP, so sustained writes
+//!     trigger garbage collection whose relocation and erase stalls show
+//!     up in the gc audit and the read-compliance line.
 //!     `--wal-dir` makes every admission durable in a write-ahead log
 //!     before it is acknowledged (fsynced every `--wal-batch` records,
 //!     compacted every `--wal-snapshot` seals); after a crash — even a
@@ -105,6 +113,10 @@ fn print_help() {
     println!("                                              run the QoS pipeline on a trace");
     println!("  serve    --devices N [--copies C] [--accesses M] [--workers W]");
     println!("           [--submitters S] [--windows K] [--epsilon E] [--queue-depth D]");
+    println!("           [--write-ratio F] [--gc OP]        make F of the trace writes (fanned");
+    println!("           [--burst HEIGHT@START+LEN]         to all replicas), model FTL GC at");
+    println!("                                              over-provisioning OP, and spike the");
+    println!("                                              rate to HEIGHT for LEN windows");
     println!("           [--mode flow|eft] [--seed S]      replay a synthetic trace through");
     println!("           [--fault-schedule \"fail:D@W,...\"]  the concurrent serving engine,");
     println!("           [--no-hedge]                       optionally failing/recovering or");
@@ -329,6 +341,40 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         Some(other) => return Err(format!("--mode: unknown mode '{other}' (flow|eft)")),
     };
     let hedging = !opts.contains_key("no-hedge");
+    let write_ratio: f64 = get_num(opts, "write-ratio", 0.0)?;
+    if !(0.0..=1.0).contains(&write_ratio) {
+        return Err("--write-ratio must be in 0.0..=1.0".into());
+    }
+    // `--gc OP` turns on the FTL write/GC model with the default geometry
+    // at over-provisioning OP; low OP makes GC storms easy to provoke.
+    let gc_overprovision: Option<f64> = match opts.get("gc") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--gc: cannot parse over-provisioning '{v}'"))?,
+        ),
+    };
+    // `--burst HEIGHT@START+LEN`: every tenant's request rate jumps to
+    // HEIGHT blocks per window for LEN windows starting at window START —
+    // a flash crowd on top of the reserved baseline.
+    let burst: Option<(usize, u64, u64)> = match opts.get("burst") {
+        None => None,
+        Some(spec) => {
+            let parse = || -> Option<(usize, u64, u64)> {
+                let (height, rest) = spec.split_once('@')?;
+                let (start, len) = rest.split_once('+')?;
+                Some((
+                    height.trim().parse().ok()?,
+                    start.trim().parse().ok()?,
+                    len.trim().parse().ok()?,
+                ))
+            };
+            Some(
+                parse()
+                    .ok_or_else(|| format!("--burst: expected HEIGHT@START+LEN, found '{spec}'"))?,
+            )
+        }
+    };
     let wal_dir = opts.get("wal-dir");
     let recover = opts.contains_key("recover");
     let wal_batch: u64 = get_num(opts, "wal-batch", 1)?;
@@ -378,6 +424,26 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         .with_assignment(mode)
         .with_fault_schedule(fault_schedule)
         .with_hedging(hedging);
+    if let Some(op) = gc_overprovision {
+        // A deliberately small per-device FTL (128 pages) so a few hundred
+        // windows of sustained writes actually cycle the free-block pool
+        // and trigger GC; the default geometry would need millions of
+        // programs before the first erase.
+        let geometry = FtlGeometry {
+            dies: 1,
+            blocks_per_die: 16,
+            pages_per_block: 8,
+            overprovision: op,
+        };
+        cfg = cfg.with_gc_model(GcConfig::new(geometry));
+    }
+    if let Some((height, _, _)) = burst {
+        if height as u64 > pool {
+            return Err(format!(
+                "--burst: height {height} exceeds the {pool}-bucket pool"
+            ));
+        }
+    }
     if let Some(dir) = wal_dir {
         cfg = cfg
             .with_wal(dir)
@@ -438,17 +504,43 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         .iter()
         .map(|&(tenant, reserved)| {
             let mut handle = server.handle();
-            let trace = SyntheticConfig {
-                blocks_per_interval: reserved,
-                interval_ns,
-                total_requests: reserved * windows as usize,
-                block_pool: pool,
-                seed: seed ^ tenant,
-            }
-            .generate();
+            let trace = match burst {
+                Some((height, start, len)) => BurstConfig {
+                    base_blocks_per_interval: reserved,
+                    burst_blocks_per_interval: height,
+                    burst_start_interval: start,
+                    burst_intervals: len,
+                    total_intervals: windows,
+                    interval_ns,
+                    block_pool: pool,
+                    write_fraction: write_ratio,
+                    seed: seed ^ tenant,
+                }
+                .generate(),
+                None => {
+                    let base = SyntheticConfig {
+                        blocks_per_interval: reserved,
+                        interval_ns,
+                        total_requests: reserved * windows as usize,
+                        block_pool: pool,
+                        seed: seed ^ tenant,
+                    }
+                    .generate();
+                    if write_ratio > 0.0 {
+                        rw::with_write_fraction(&base, write_ratio, seed ^ tenant)
+                    } else {
+                        base
+                    }
+                }
+            };
             std::thread::spawn(move || {
                 for r in &trace.records {
-                    handle.submit(tenant, r.lbn, r.arrival_ns + base_window * interval_ns);
+                    handle.submit_op(
+                        tenant,
+                        r.lbn,
+                        r.arrival_ns + base_window * interval_ns,
+                        r.op,
+                    );
                 }
             })
         })
@@ -544,13 +636,50 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             m.retries,
         );
     }
-    let conserved = m.hedges_won == m.hedges_cancelled
-        && m.served + m.fault_lost + m.hedges_cancelled == m.admitted_total();
+    if write_ratio > 0.0 || m.write_settled + m.write_lost > 0 {
+        println!(
+            "write audit: {} writes settled on all replicas, {} lost a replica past retries {}",
+            m.write_settled,
+            m.write_lost,
+            if m.write_lost == 0 {
+                "✓"
+            } else {
+                "✗ COPIES LOST"
+            },
+        );
+    }
+    if gc_overprovision.is_some() || m.gc_host_pages > 0 {
+        println!(
+            "gc audit: {} host pages + {} gc pages (write-amp {:.3}), {} relocated, {} erases",
+            m.gc_host_pages,
+            m.gc_pages,
+            m.write_amplification(),
+            m.gc_relocated,
+            m.gc_erases,
+        );
+    }
+    let read_compliance = if m.served == 0 {
+        100.0
+    } else {
+        100.0 * (1.0 - m.guaranteed_violations as f64 / m.served as f64)
+    };
     println!(
-        "conservation: served {} + lost {} + cancelled primaries {} = admitted {} {}",
+        "read compliance: {read_compliance:.2}% of guaranteed reads met their deadline {}",
+        if read_compliance >= 99.0 {
+            "✓"
+        } else {
+            "✗"
+        },
+    );
+    let conserved = m.hedges_won == m.hedges_cancelled && m.settled() == m.admitted_total();
+    println!(
+        "conservation: served {} + write_settled {} + lost {} + cancelled primaries {} \
+         + write_lost {} = admitted {} {}",
         m.served,
+        m.write_settled,
         m.fault_lost,
         m.hedges_cancelled,
+        m.write_lost,
         m.admitted_total(),
         if conserved {
             "✓"
@@ -562,7 +691,10 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     // violation is a bug. A scripted *silent* slowdown is different:
     // admission is blind until the scorer convicts, so pre-detection
     // violations are the modeled cost, reported above rather than fatal.
-    if m.guaranteed_violations != 0 && !scripted_slow && !recover {
+    // Like a silent slowdown, GC interference degrades service behind
+    // admission's back: pre-detection read misses under a GC storm are the
+    // modeled cost (reported above), not a fatal bug.
+    if m.guaranteed_violations != 0 && !scripted_slow && gc_overprovision.is_none() && !recover {
         return Err("deterministic guarantee violated".into());
     }
     // A recovered run legitimately carries crash losses (admissions the
